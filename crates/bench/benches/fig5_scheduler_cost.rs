@@ -1,0 +1,51 @@
+//! Criterion version of Fig. 5: CA-pass cost at 20–1000 simultaneous jobs.
+//!
+//! The paper reports 0.32 s → 7.34 s with linear growth; absolute values
+//! differ across machines, the linear shape is the claim under test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rush_core::plan::{compute_plan, PlanInput};
+use rush_core::RushConfig;
+use rush_prob::rng::{derive_seed, seeded_rng};
+use rush_utility::TimeUtility;
+
+fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput> {
+    let mut rng = seeded_rng(derive_seed(seed, n as u64));
+    (0..n)
+        .map(|_| {
+            let observed = rng.gen_range(5..40);
+            let remaining = rng.gen_range(5..80);
+            let mean: f64 = rng.gen_range(30.0..90.0);
+            let samples: Vec<u64> = (0..observed)
+                .map(|_| (mean + rng.gen_range(-15.0..15.0)).max(1.0) as u64)
+                .collect();
+            let budget = rng.gen_range(200.0..4000.0);
+            PlanInput {
+                samples,
+                remaining_tasks: remaining,
+                running: 0,
+                failed_attempts: 0,
+                age: rng.gen_range(0.0..200.0),
+                utility: TimeUtility::sigmoid(budget, rng.gen_range(1.0..5.0), 10.0 / budget)
+                    .expect("valid utility"),
+            }
+        })
+        .collect()
+}
+
+fn bench_ca_pass(c: &mut Criterion) {
+    let cfg = RushConfig::default();
+    let mut group = c.benchmark_group("fig5_ca_pass");
+    group.sample_size(10);
+    for n in [20usize, 100, 500, 1000] {
+        let jobs = synth_jobs(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| compute_plan(&cfg, 48, std::hint::black_box(jobs)).expect("plan"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ca_pass);
+criterion_main!(benches);

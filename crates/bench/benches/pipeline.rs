@@ -1,0 +1,67 @@
+//! Macro-benchmarks: estimator classes and end-to-end simulation
+//! throughput (tasks scheduled per second of wall clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rush_core::{RushConfig, RushScheduler};
+use rush_estimator::{
+    DistributionEstimator, EmpiricalEstimator, GaussianEstimator, MeanEstimator,
+};
+use rush_sched::Fifo;
+use rush_sim::cluster::ClusterSpec;
+use rush_sim::engine::{SimConfig, Simulation};
+use rush_sim::perturb::Interference;
+use rush_workload::{generate, Experiment, WorkloadConfig};
+
+fn bench_estimators(c: &mut Criterion) {
+    let samples: Vec<u64> = (0..60).map(|i| 40 + (i * 13) % 45).collect();
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(20);
+    group.bench_function("mean", |b| {
+        let de = MeanEstimator::new(512);
+        b.iter(|| de.estimate(std::hint::black_box(&samples), 40).unwrap());
+    });
+    group.bench_function("gaussian", |b| {
+        let de = GaussianEstimator::new(512);
+        b.iter(|| de.estimate(std::hint::black_box(&samples), 40).unwrap());
+    });
+    group.bench_function("empirical_500", |b| {
+        let de = EmpiricalEstimator::new(512, 500);
+        b.iter(|| de.estimate(std::hint::black_box(&samples), 40).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let exp = Experiment::new(ClusterSpec::paper_testbed(8).unwrap())
+        .with_interference(Interference::LogNormal { cv: 0.25 });
+    let cfg = WorkloadConfig {
+        jobs: 20,
+        budget_ratio: 1.5,
+        mean_interarrival: 45.0,
+        max_map_tasks: 48,
+        seed: 1,
+        ..Default::default()
+    };
+    let workload = generate(&cfg, &exp).expect("workload");
+    let sim_cfg = SimConfig::new(exp.cluster().clone())
+        .with_interference(exp.interference().clone());
+
+    let mut group = c.benchmark_group("simulation_20_jobs");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("scheduler", "FIFO"), &workload, |b, w| {
+        b.iter(|| {
+            let mut s = Fifo::new();
+            Simulation::new(sim_cfg.clone(), w.clone()).unwrap().run(&mut s).unwrap()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("scheduler", "RUSH"), &workload, |b, w| {
+        b.iter(|| {
+            let mut s = RushScheduler::new(RushConfig::default());
+            Simulation::new(sim_cfg.clone(), w.clone()).unwrap().run(&mut s).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_simulation);
+criterion_main!(benches);

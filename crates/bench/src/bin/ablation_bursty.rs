@@ -1,0 +1,74 @@
+//! Ablation A6 — bursty arrivals.
+//!
+//! The paper evaluates Poisson arrivals only; real clusters see bursts.
+//! This experiment replays the same job population with on/off burst
+//! arrivals (same long-run rate) and asks whether RUSH's reservation-based
+//! planning degrades more or less gracefully than the baselines.
+
+use rush_bench::{flag, paper_experiment, parse_args, time_aware_latencies, CALIBRATED_INTERARRIVAL};
+use rush_core::{RushConfig, RushScheduler};
+use rush_metrics::table::{fmt_f64, Table};
+use rush_prob::stats::FiveNumber;
+use rush_sched::{Edf, Fifo, Rrh};
+use rush_sim::Scheduler;
+use rush_workload::{generate, ArrivalProcess, WorkloadConfig};
+
+fn main() {
+    let args = parse_args();
+    let jobs: usize = flag(&args, "jobs", 60);
+    let seed: u64 = flag(&args, "seed", 1);
+    let ratio: f64 = flag(&args, "ratio", 1.5);
+
+    println!("Ablation A6: Poisson vs bursty arrivals (budget {ratio}x, {jobs} jobs)\n");
+    let mut t =
+        Table::new(["arrivals", "scheduler", "mean_util", "zero_util", "median_lat", "q3_lat", "met"]);
+    for (name, process) in [
+        ("poisson", ArrivalProcess::Poisson),
+        ("burst-5", ArrivalProcess::Bursty { burst: 5 }),
+        ("burst-10", ArrivalProcess::Bursty { burst: 10 }),
+    ] {
+        let exp = paper_experiment(seed);
+        let cfg = WorkloadConfig {
+            jobs,
+            budget_ratio: ratio,
+            mean_interarrival: CALIBRATED_INTERARRIVAL,
+            arrivals: process,
+            seed,
+            ..Default::default()
+        };
+        let workload = generate(&cfg, &exp).expect("workload");
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let mut fifo = Fifo::new();
+        let mut edf = Edf::new();
+        let mut rrh = Rrh::new();
+        let mut set: [(&str, &mut dyn Scheduler); 4] = [
+            ("RUSH", &mut rush),
+            ("FIFO", &mut fifo),
+            ("EDF", &mut edf),
+            ("RRH", &mut rrh),
+        ];
+        for (sched, result) in exp.compare(&workload, &mut set).expect("compare") {
+            let utils = result.utility_vector();
+            let lat = time_aware_latencies(&result);
+            let s = FiveNumber::from_samples(&lat);
+            let met = lat.iter().filter(|&&l| l <= 0.0).count();
+            t.row([
+                name.to_owned(),
+                sched,
+                fmt_f64(utils.iter().sum::<f64>() / utils.len() as f64, 3),
+                fmt_f64(result.zero_utility_fraction(1e-3), 3),
+                fmt_f64(s.median, 1),
+                fmt_f64(s.q3, 1),
+                format!("{}/{}", met, lat.len()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Reading the result: mild bursts are handled fine (RUSH's planning can");
+    println!("even exploit the idle gaps between bursts), but under heavy bursts");
+    println!("RUSH falls behind greedy triage (RRH): a big burst delivers many cold");
+    println!("jobs at once, so an entire wave is planned on prior-based demand");
+    println!("estimates and some jobs are wrongly deferred as hopeless. A real");
+    println!("limitation of estimate-driven reservation under strongly correlated");
+    println!("arrivals, outside the paper's Poisson evaluation.");
+}

@@ -1,0 +1,70 @@
+//! Ablation A8 — data locality.
+//!
+//! With HDFS-style data placement and a remote-read penalty, the engine's
+//! heartbeat-level locality pick (the substrate mechanism behind the delay
+//! scheduling / locality-aware related work the paper cites) recovers most
+//! of the penalty. This experiment sweeps the penalty and reports the
+//! locality hit rate and the damage to utility per scheduler.
+
+use rush_bench::{flag, parse_args, CALIBRATED_INTERARRIVAL};
+use rush_core::{RushConfig, RushScheduler};
+use rush_metrics::table::{fmt_f64, Table};
+use rush_sched::Fifo;
+use rush_sim::cluster::ClusterSpec;
+use rush_sim::engine::{SimConfig, Simulation};
+use rush_sim::perturb::Interference;
+use rush_sim::Scheduler;
+use rush_workload::{generate, Experiment, WorkloadConfig};
+
+fn main() {
+    let args = parse_args();
+    let jobs: usize = flag(&args, "jobs", 40);
+    let seed: u64 = flag(&args, "seed", 1);
+    let ratio: f64 = flag(&args, "ratio", 1.5);
+
+    let cluster = ClusterSpec::paper_testbed(8).expect("static cluster");
+    let interference = Interference::LogNormal { cv: 0.25 };
+    let exp = Experiment::new(cluster.clone())
+        .with_interference(interference.clone())
+        .with_sim_seed(seed);
+    let cfg = WorkloadConfig {
+        jobs,
+        budget_ratio: ratio,
+        mean_interarrival: CALIBRATED_INTERARRIVAL,
+        assign_locality: true,
+        seed,
+        ..Default::default()
+    };
+    let workload = generate(&cfg, &exp).expect("workload");
+
+    println!("Ablation A8: remote-read penalty sweep ({jobs} jobs, budget {ratio}x)\n");
+    let mut t = Table::new(["penalty", "scheduler", "mean_util", "met", "locality"]);
+    for penalty in [1.0f64, 1.25, 1.5, 2.0] {
+        let run = |sched: &mut dyn Scheduler| {
+            let cfg = SimConfig::new(cluster.clone())
+                .with_interference(interference.clone())
+                .with_remote_penalty(penalty)
+                .with_seed(seed)
+                .with_max_slots(10_000_000);
+            Simulation::new(cfg, workload.clone()).expect("sim").run(sched).expect("run")
+        };
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let mut fifo = Fifo::new();
+        for (name, result) in [("RUSH", run(&mut rush)), ("FIFO", run(&mut fifo))] {
+            let utils = result.utility_vector();
+            let met = result.time_aware_outcomes().filter(|o| o.met_budget()).count();
+            let aware = result.time_aware_outcomes().count();
+            t.row([
+                fmt_f64(penalty, 2),
+                name.to_owned(),
+                fmt_f64(utils.iter().sum::<f64>() / utils.len() as f64, 3),
+                format!("{met}/{aware}"),
+                fmt_f64(result.locality_rate(), 2),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("The engine's data-local task pick keeps the hit rate well above the");
+    println!("1/6 random baseline; residual remote reads tax utilities roughly in");
+    println!("proportion to the penalty.");
+}

@@ -1,0 +1,45 @@
+//! Ablation A1 — what does the robustness margin buy?
+//!
+//! Sweeps the entropy threshold δ (0 = trust the reference distribution)
+//! on the tight-budget (1×) workload and reports utility and
+//! budget-compliance of the time-aware jobs. The paper's thesis: the KL
+//! margin protects scheduling decisions against estimation error,
+//! especially early in each job's life.
+
+use rush_bench::{flag, parse_args, run_comparison, time_aware_latencies};
+use rush_core::RushConfig;
+use rush_metrics::table::{fmt_f64, Table};
+use rush_prob::stats::FiveNumber;
+
+fn main() {
+    let args = parse_args();
+    let jobs: usize = flag(&args, "jobs", 60);
+    let seed: u64 = flag(&args, "seed", 1);
+    let ratio: f64 = flag(&args, "ratio", 1.0);
+
+    println!("Ablation A1: entropy threshold delta sweep (budget ratio {ratio}x)\n");
+    let mut t = Table::new(["delta", "mean_util", "zero_util", "median_lat", "q3_lat", "met"]);
+    for delta in [0.0f64, 0.35, 0.7, 1.4] {
+        let cfg = RushConfig::default().with_delta(delta);
+        let results = run_comparison(jobs, ratio, seed, cfg);
+        let (_, rush) = results.iter().find(|(n, _)| n == "RUSH").expect("RUSH present");
+        let utils = rush.utility_vector();
+        let lat = time_aware_latencies(rush);
+        let s = FiveNumber::from_samples(&lat);
+        let met = lat.iter().filter(|&&l| l <= 0.0).count();
+        t.row([
+            fmt_f64(delta, 2),
+            fmt_f64(utils.iter().sum::<f64>() / utils.len() as f64, 3),
+            fmt_f64(rush.zero_utility_fraction(1e-3), 3),
+            fmt_f64(s.median, 1),
+            fmt_f64(s.q3, 1),
+            format!("{}/{}", met, lat.len()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Reading the result: at saturation-level contention, end-to-end latency");
+    println!("is queueing-dominated and the delta margin changes little — the");
+    println!("robustness payoff lives in the per-job coverage guarantee (Fig. 3 /");
+    println!("ablation A2a), i.e. not promising budgets that the demand's tail will");
+    println!("break, rather than in aggregate throughput.");
+}

@@ -1,0 +1,94 @@
+//! Figure 5 — resource consumption and execution time of the scheduler.
+//!
+//! Reproduces: the cost of one full CA pass (estimate → WCDE → onion peel →
+//! mapping) as the number of simultaneous jobs grows from 20 to 1000, plus
+//! an estimate of the scheduler's working-set size.
+//!
+//! Paper's finding: runtime grows roughly linearly (0.32 s → 7.34 s on
+//! their VM) and memory stays under 130 MB — RUSH is lightweight. Absolute
+//! numbers differ on other hardware; the linear *shape* is the claim.
+
+use rush_bench::{flag, parse_args};
+use rush_core::plan::{compute_plan, PlanInput};
+use rush_core::RushConfig;
+use rush_metrics::table::{fmt_f64, Table};
+use rush_prob::rng::{derive_seed, seeded_rng};
+use rush_utility::TimeUtility;
+use rand::Rng;
+use std::time::Instant;
+
+/// Synthetic WordCount-like jobs with random configurations (paper Sec.
+/// V-C).
+fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput> {
+    let mut rng = seeded_rng(derive_seed(seed, n as u64));
+    (0..n)
+        .map(|_| {
+            let observed = rng.gen_range(5..40);
+            let remaining = rng.gen_range(5..80);
+            let mean: f64 = rng.gen_range(30.0..90.0);
+            let samples: Vec<u64> = (0..observed)
+                .map(|_| (mean + rng.gen_range(-15.0..15.0)).max(1.0) as u64)
+                .collect();
+            let budget = rng.gen_range(200.0..4000.0);
+            PlanInput {
+                samples,
+                remaining_tasks: remaining,
+                running: 0,
+                failed_attempts: 0,
+                age: rng.gen_range(0.0..200.0),
+                utility: TimeUtility::sigmoid(budget, rng.gen_range(1.0..5.0), 10.0 / budget)
+                    .expect("valid utility"),
+            }
+        })
+        .collect()
+}
+
+/// Rough working-set estimate of one CA pass: the dominant allocations are
+/// the per-job quantized PMFs and the mapping queues.
+fn approx_bytes(cfg: &RushConfig, n_jobs: usize, capacity: u32) -> usize {
+    let pmf = cfg.max_bins * std::mem::size_of::<f64>();
+    let per_job = pmf * 2 // reference + REM reweighting scratch
+        + 64 * std::mem::size_of::<u64>() // samples
+        + 256; // entries, targets, segments
+    n_jobs * per_job + capacity as usize * std::mem::size_of::<u64>()
+}
+
+fn main() {
+    let args = parse_args();
+    let reps: usize = flag(&args, "reps", 5);
+    let seed: u64 = flag(&args, "seed", 1);
+    let capacity: u32 = flag(&args, "capacity", 48);
+    let cfg = RushConfig::default();
+
+    println!("Figure 5: CA-pass cost vs number of simultaneous jobs");
+    println!("capacity {capacity} containers, {reps} repetitions per point\n");
+
+    let mut t = Table::new(["jobs", "mean_ms", "per_job_us", "approx_MB"]);
+    let mut prev: Option<(usize, f64)> = None;
+    let mut ratios = Vec::new();
+    for &n in &[20usize, 50, 100, 200, 500, 1000] {
+        let jobs = synth_jobs(n, seed);
+        // Warm-up pass.
+        let _ = compute_plan(&cfg, capacity, &jobs).expect("plan");
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = compute_plan(&cfg, capacity, &jobs).expect("plan");
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        if let Some((pn, pms)) = prev {
+            // Growth rate per job ratio: ideally ~ (n/pn) for linear cost.
+            ratios.push((ms / pms) / (n as f64 / pn as f64));
+        }
+        prev = Some((n, ms));
+        t.row([
+            n.to_string(),
+            fmt_f64(ms, 2),
+            fmt_f64(ms * 1e3 / n as f64, 1),
+            fmt_f64(approx_bytes(&cfg, n, capacity) as f64 / 1e6, 1),
+        ]);
+    }
+    println!("{}", t.render());
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("normalized growth rate (1.0 = perfectly linear): {}", fmt_f64(avg_ratio, 2));
+    println!("Paper shape: near-linear runtime growth; memory well under 130 MB.");
+}

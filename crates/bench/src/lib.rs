@@ -1,0 +1,196 @@
+//! Shared harness for regenerating every figure of the RUSH paper.
+//!
+//! Each `fig*` binary in `src/bin/` reproduces one figure of the paper's
+//! evaluation (Sec. V); `ablation_*` binaries probe the design choices
+//! DESIGN.md calls out. This library holds the common machinery: the
+//! paper-shaped testbed, the scheduler comparison runner, and the Fig. 3
+//! coverage experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rush_core::{RushConfig, RushScheduler};
+use rush_estimator::{DistributionEstimator, GaussianEstimator};
+use rush_prob::dist::{Continuous, Gaussian};
+use rush_sched::{Edf, Fifo, Rrh};
+use rush_sim::cluster::ClusterSpec;
+use rush_sim::outcome::SimResult;
+use rush_sim::perturb::Interference;
+use rush_sim::Scheduler;
+use rush_workload::{generate, Experiment, WorkloadConfig};
+use std::collections::HashMap;
+
+/// Parses `--key value` pairs from `std::env::args`.
+pub fn parse_args() -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if let Some(v) = args.next() {
+                out.insert(key.to_owned(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Reads a typed flag with a default.
+pub fn flag<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
+    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The paper's testbed shape: six heterogeneous nodes, 48 containers.
+pub fn paper_cluster() -> ClusterSpec {
+    ClusterSpec::paper_testbed(8).expect("static cluster is valid")
+}
+
+/// Builds the experiment environment used by Figs. 4 and 6: the paper
+/// cluster plus mild shared-cloud interference.
+pub fn paper_experiment(seed: u64) -> Experiment {
+    Experiment::new(paper_cluster())
+        .with_interference(Interference::LogNormal { cv: 0.25 })
+        .with_sim_seed(seed)
+}
+
+/// Runs the paper's workload under RUSH and the three baselines.
+///
+/// Every scheduler sees the same jobs and the same interference stream.
+///
+/// # Panics
+///
+/// Panics on simulator errors — the harness treats these as fatal.
+pub fn run_comparison(
+    jobs: usize,
+    budget_ratio: f64,
+    seed: u64,
+    rush_config: RushConfig,
+) -> Vec<(String, SimResult)> {
+    run_comparison_at(jobs, budget_ratio, seed, rush_config, CALIBRATED_INTERARRIVAL)
+}
+
+/// Mean inter-arrival (slots) that loads the 48-container testbed to the
+/// ~80 % utilization the paper's PUMA-on-Hadoop workload produced. The
+/// paper quotes 130 s between arrivals of *real* 1–10 GB Hadoop jobs; our
+/// synthetic jobs carry less work per job, so arrivals are compressed to
+/// match the *contention level* rather than the literal constant (see
+/// DESIGN.md, substitutions).
+pub const CALIBRATED_INTERARRIVAL: f64 = 45.0;
+
+/// [`run_comparison`] with an explicit mean inter-arrival time.
+///
+/// # Panics
+///
+/// Panics on simulator errors — the harness treats these as fatal.
+pub fn run_comparison_at(
+    jobs: usize,
+    budget_ratio: f64,
+    seed: u64,
+    rush_config: RushConfig,
+    mean_interarrival: f64,
+) -> Vec<(String, SimResult)> {
+    let exp = paper_experiment(seed);
+    let cfg = WorkloadConfig { jobs, budget_ratio, seed, mean_interarrival, ..Default::default() };
+    let workload = generate(&cfg, &exp).expect("workload generation");
+    let mut rush = RushScheduler::new(rush_config);
+    let mut fifo = Fifo::new();
+    let mut edf = Edf::new();
+    let mut rrh = Rrh::new();
+    let mut set: [(&str, &mut dyn Scheduler); 4] = [
+        ("RUSH", &mut rush),
+        ("FIFO", &mut fifo),
+        ("EDF", &mut edf),
+        ("RRH", &mut rrh),
+    ];
+    exp.compare(&workload, &mut set).expect("comparison run")
+}
+
+/// One cell of the Fig. 3 sweep: the probability that the DE + WCDE
+/// provision `η` covers the true remaining demand, estimated over
+/// `repetitions` independent sample draws.
+///
+/// Ground truth: task runtimes are N(60, 20); with `n_samples` tasks
+/// observed out of `total_tasks`, the remaining demand is
+/// `N((total−n)·60, √(total−n)·20)`, so coverage is evaluated in closed
+/// form instead of re-simulating.
+///
+/// # Panics
+///
+/// Panics if estimation fails (cannot happen for `n_samples ≥ 1`).
+pub fn fig3_coverage(
+    n_samples: usize,
+    total_tasks: usize,
+    delta: f64,
+    theta: f64,
+    repetitions: usize,
+    seed: u64,
+) -> f64 {
+    let truth = Gaussian::new(60.0, 20.0).expect("static");
+    let remaining = total_tasks.saturating_sub(n_samples);
+    if remaining == 0 {
+        return 1.0;
+    }
+    let rem_mean = remaining as f64 * 60.0;
+    let rem_std = (remaining as f64).sqrt() * 20.0;
+    let rem_total = Gaussian::new(rem_mean, rem_std).expect("static");
+    let de = GaussianEstimator::new(1024);
+    let mut covered = 0.0;
+    for rep in 0..repetitions {
+        let mut rng =
+            rush_prob::rng::seeded_rng(rush_prob::rng::derive_seed(seed, rep as u64));
+        let samples: Vec<u64> =
+            (0..n_samples).map(|_| truth.sample(&mut rng).round().max(1.0) as u64).collect();
+        let est = de.estimate(&samples, remaining).expect("estimate");
+        let eta = rush_core::wcde::worst_case_quantile(&est.pmf, theta, delta)
+            .expect("wcde")
+            .eta;
+        // P(v ≤ η) under the true remaining-demand distribution.
+        covered += rem_total.cdf(eta as f64);
+    }
+    covered / repetitions as f64
+}
+
+/// Latencies (runtime − budget) of completion-time sensitive and critical
+/// jobs — the Fig. 4 population.
+pub fn time_aware_latencies(result: &SimResult) -> Vec<f64> {
+    result
+        .time_aware_outcomes()
+        .filter_map(|o| o.latency())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_coverage_improves_with_samples_and_delta() {
+        let lo = fig3_coverage(15, 101, 0.0, 0.9, 10, 1);
+        let hi = fig3_coverage(55, 101, 0.7, 0.9, 10, 1);
+        assert!(hi > lo, "coverage {hi} should beat {lo}");
+        assert!(hi > 0.9);
+    }
+
+    #[test]
+    fn fig3_coverage_complete_job_is_one() {
+        assert_eq!(fig3_coverage(101, 101, 0.7, 0.9, 5, 1), 1.0);
+    }
+
+    #[test]
+    fn comparison_smoke() {
+        let results = run_comparison(6, 2.0, 3, RushConfig::default());
+        assert_eq!(results.len(), 4);
+        for (name, r) in &results {
+            assert_eq!(r.outcomes.len(), 6, "{name}");
+        }
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let mut m = HashMap::new();
+        m.insert("jobs".to_owned(), "42".to_owned());
+        assert_eq!(flag(&m, "jobs", 7usize), 42);
+        assert_eq!(flag(&m, "missing", 7usize), 7);
+        m.insert("bad".to_owned(), "xx".to_owned());
+        assert_eq!(flag(&m, "bad", 3.5f64), 3.5);
+    }
+}

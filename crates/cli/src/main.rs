@@ -1,0 +1,13 @@
+//! `rush-cli` entry point; all logic lives in [`rush_cli`] for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = rush_cli::parse(&args).and_then(|cli| rush_cli::run(&cli));
+    match outcome {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! RUSH scheduler configuration.
+
+use crate::CoreError;
+use rush_estimator::RuntimePrior;
+
+/// Which distribution-estimator class the DE units use (paper Sec. IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EstimatorKind {
+    /// Impulse at `mean runtime × remaining tasks`.
+    Mean,
+    /// CLT Gaussian `N(n·x̄, n·s²)` — the paper's default.
+    Gaussian,
+    /// Bootstrap Monte-Carlo over observed runtimes.
+    Empirical {
+        /// Number of bootstrap resamples.
+        resamples: usize,
+    },
+    /// CLT Gaussian fitted to only the most recent samples — tracks
+    /// time-varying task runtimes at the cost of higher variance.
+    Windowed {
+        /// Number of most-recent samples in the fit (≥ 2).
+        window: usize,
+    },
+}
+
+/// Tunable parameters of the RUSH pipeline.
+///
+/// The defaults mirror the paper's evaluation: `θ = 0.9`, entropy threshold
+/// `δ = 0.7` (the value Fig. 3 identifies as sufficient), Gaussian
+/// estimation, and a 10⁶-slot planning horizon for completion-time
+/// insensitive jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RushConfig {
+    /// Completion-probability percentile `θ ∈ (0, 1)`.
+    pub theta: f64,
+    /// KL ambiguity radius `δ ≥ 0` ("entropy threshold"). `0` disables the
+    /// robustness margin and trusts the reference distribution — the
+    /// non-robust ablation.
+    pub delta: f64,
+    /// Maximum PMF quantization bins per job.
+    pub max_bins: usize,
+    /// Onion-peeling bisection tolerance `Δ` on utility levels.
+    pub tolerance: f64,
+    /// Planning horizon (slots) standing in for "no deadline".
+    pub horizon: f64,
+    /// Which estimator class the DE units run.
+    pub estimator: EstimatorKind,
+    /// Prior used before any runtime sample exists (cold start).
+    pub cold_prior: RuntimePrior,
+    /// Subtract `R_i` from each deadline before mapping, compensating the
+    /// Theorem 3 `T_i + R_i` slack (paper Sec. III-C).
+    pub shave_mapping_slack: bool,
+    /// Fraction of cluster capacity kept free of completion-time
+    /// *insensitive* tasks: such a task only starts while at least this
+    /// share of containers would remain free afterwards. Because container
+    /// occupancy is continuous (non-preemptible), this reaction headroom is
+    /// what lets RUSH absorb estimation error and bursty arrivals without
+    /// sensitive jobs queueing behind flat-utility work.
+    pub insensitive_reserve: f64,
+    /// Inflate a job's robust demand by the expected rework factor
+    /// `1/(1−p̂)` when task failures have been observed (`p̂` is the
+    /// Laplace-smoothed per-attempt failure rate) — the failure-probability
+    /// estimation the paper lists as future work.
+    pub failure_aware: bool,
+}
+
+impl Default for RushConfig {
+    fn default() -> Self {
+        RushConfig {
+            theta: 0.9,
+            delta: 0.7,
+            max_bins: 512,
+            tolerance: 0.01,
+            horizon: 1e6,
+            estimator: EstimatorKind::Gaussian,
+            cold_prior: RuntimePrior::new(60.0, 20.0).expect("static prior is valid"),
+            shave_mapping_slack: true,
+            insensitive_reserve: 0.75,
+            failure_aware: true,
+        }
+    }
+}
+
+impl RushConfig {
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidTheta`], [`CoreError::InvalidDelta`] or
+    /// [`CoreError::InvalidConfig`] for out-of-range fields.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0..1.0).contains(&self.theta) || self.theta <= 0.0 {
+            return Err(CoreError::InvalidTheta(self.theta));
+        }
+        if !self.delta.is_finite() || self.delta < 0.0 {
+            return Err(CoreError::InvalidDelta(self.delta));
+        }
+        if self.max_bins < 2 {
+            return Err(CoreError::InvalidConfig { reason: "max_bins must be >= 2" });
+        }
+        if !self.tolerance.is_finite() || self.tolerance <= 0.0 {
+            return Err(CoreError::InvalidConfig { reason: "tolerance must be > 0" });
+        }
+        if !self.horizon.is_finite() || self.horizon <= 0.0 {
+            return Err(CoreError::InvalidConfig { reason: "horizon must be > 0" });
+        }
+        if !(0.0..=1.0).contains(&self.insensitive_reserve) {
+            return Err(CoreError::InvalidConfig {
+                reason: "insensitive_reserve must be in [0, 1]",
+            });
+        }
+        match self.estimator {
+            EstimatorKind::Empirical { resamples } if resamples < 16 => {
+                return Err(CoreError::InvalidConfig { reason: "resamples must be >= 16" });
+            }
+            EstimatorKind::Windowed { window } if window < 2 => {
+                return Err(CoreError::InvalidConfig { reason: "window must be >= 2" });
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with the percentile set.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Returns a copy with the entropy threshold set.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Returns a copy with the estimator class set.
+    pub fn with_estimator(mut self, estimator: EstimatorKind) -> Self {
+        self.estimator = estimator;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RushConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = RushConfig::default()
+            .with_theta(0.95)
+            .with_delta(0.3)
+            .with_estimator(EstimatorKind::Mean);
+        assert_eq!(c.theta, 0.95);
+        assert_eq!(c.delta, 0.3);
+        assert_eq!(c.estimator, EstimatorKind::Mean);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(RushConfig::default().with_theta(0.0).validate().is_err());
+        assert!(RushConfig::default().with_theta(1.0).validate().is_err());
+        assert!(RushConfig::default().with_delta(-0.1).validate().is_err());
+        assert!(RushConfig { max_bins: 1, ..Default::default() }.validate().is_err());
+        assert!(RushConfig { tolerance: 0.0, ..Default::default() }.validate().is_err());
+        assert!(RushConfig { horizon: -1.0, ..Default::default() }.validate().is_err());
+        assert!(RushConfig { insensitive_reserve: 1.5, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(RushConfig::default()
+            .with_estimator(EstimatorKind::Empirical { resamples: 2 })
+            .validate()
+            .is_err());
+        assert!(RushConfig::default()
+            .with_estimator(EstimatorKind::Windowed { window: 1 })
+            .validate()
+            .is_err());
+        assert!(RushConfig::default()
+            .with_estimator(EstimatorKind::Windowed { window: 16 })
+            .validate()
+            .is_ok());
+    }
+}

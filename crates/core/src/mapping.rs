@@ -1,0 +1,369 @@
+//! Continuous time-slot mapping — Algorithm 4 and Theorem 3.
+//!
+//! The onion peel fixes *target completion times*; real containers demand
+//! *continuous* occupancy: a task, once placed, holds its container for its
+//! whole runtime. The mapping maintains one queue per container and packs
+//! jobs in ascending-target order: a job keeps adding tasks to the current
+//! queue while the queue's occupation is still below the job's target, then
+//! spills to the next queue. Theorem 3 guarantees every job completes no
+//! later than `T_i + R_i` — at most one average task runtime past its
+//! target — provided the targets satisfy the Theorem 2 prefix-capacity
+//! condition.
+
+use crate::CoreError;
+
+/// One job's mapping input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MapJob {
+    /// Remaining tasks to place.
+    pub tasks: u64,
+    /// Average task runtime `R_i` in slots (≥ 1).
+    pub task_len: u64,
+    /// Target completion time `T_i` in slots from now.
+    pub target: u64,
+    /// A *lax* job is indifferent to its completion time (flat utility, or
+    /// nothing left to gain): it is placed **after** every strict job, into
+    /// whatever capacity is left, balanced across the least-occupied
+    /// queues. Its `target` is ignored for placement.
+    pub lax: bool,
+}
+
+/// A contiguous run of one job's tasks on one container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Segment {
+    /// Container (queue) index, `0..capacity`.
+    pub container: u32,
+    /// First slot of the run.
+    pub start: u64,
+    /// Number of back-to-back tasks in the run.
+    pub tasks: u64,
+}
+
+/// Where one job's tasks were placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Placement {
+    /// Task runtime used for this job.
+    pub task_len: u64,
+    /// Slot by which the job's last task finishes (0 for a task-less job).
+    pub completion: u64,
+    /// The job's segments, in placement order.
+    pub segments: Vec<Segment>,
+}
+
+impl Placement {
+    /// Number of containers this job occupies at slot `t` under the plan.
+    ///
+    /// The container-assignment unit reads `active_at(0)` as the job's
+    /// desired allocation for the *next* slot — the only part of the plan
+    /// that is actually executed before the feedback cycle replans.
+    pub fn active_at(&self, t: u64) -> u32 {
+        self.segments
+            .iter()
+            .filter(|s| s.start <= t && t < s.start + s.tasks * self.task_len)
+            .count() as u32
+    }
+}
+
+/// Runs the continuous time-slot mapping (Algorithm 4).
+///
+/// Jobs are packed in ascending `target` order (ties: input order); the
+/// result is returned in **input order**. Task-less jobs yield empty
+/// placements.
+///
+/// If the targets violate the Theorem 2 capacity condition the algorithm
+/// stays total: overflow tasks spill onto the least-occupied queue, and the
+/// affected job's completion simply exceeds `target + task_len` (callers
+/// can detect this by comparing).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] if `capacity == 0` or any `task_len == 0`.
+pub fn map_continuous(jobs: &[MapJob], capacity: u32) -> Result<Vec<Placement>, CoreError> {
+    if capacity == 0 {
+        return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
+    }
+    if jobs.iter().any(|j| j.task_len == 0) {
+        return Err(CoreError::InvalidConfig { reason: "task_len must be >= 1" });
+    }
+    // Strict jobs by ascending target; lax jobs afterwards, also by
+    // target (for lax jobs the target is not a deadline but an ordering
+    // hint assigned by the onion peel).
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| {
+        let j = &jobs[i];
+        (j.lax, j.target, i)
+    });
+
+    let mut occupation = vec![0u64; capacity as usize];
+    let mut placements: Vec<Placement> = jobs
+        .iter()
+        .map(|j| Placement { task_len: j.task_len, completion: 0, segments: Vec::new() })
+        .collect();
+
+    for &i in &order {
+        let job = jobs[i];
+        if job.lax {
+            // Leftover packing: one task at a time onto the least-occupied
+            // queue — work-conserving, and strictly behind every strict
+            // reservation already placed.
+            for _ in 0..job.tasks {
+                let (k, _) = occupation
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(idx, &o)| (o, idx))
+                    .expect("capacity > 0");
+                placements[i].segments.push(Segment {
+                    container: k as u32,
+                    start: occupation[k],
+                    tasks: 1,
+                });
+                occupation[k] += job.task_len;
+                placements[i].completion = placements[i].completion.max(occupation[k]);
+            }
+            continue;
+        }
+        let mut remaining = job.tasks;
+        let mut k = 0usize;
+        while remaining > 0 && k < capacity as usize {
+            let o = occupation[k];
+            if o < job.target {
+                // Tasks that can still *start* before the target on this
+                // queue: ceil((target − o) / task_len).
+                let fit = (job.target - o).div_ceil(job.task_len).min(remaining);
+                if fit > 0 {
+                    placements[i].segments.push(Segment {
+                        container: k as u32,
+                        start: o,
+                        tasks: fit,
+                    });
+                    occupation[k] = o + fit * job.task_len;
+                    placements[i].completion = placements[i].completion.max(occupation[k]);
+                    remaining -= fit;
+                }
+            }
+            k += 1;
+        }
+        // Overflow (targets violated capacity): spill one task at a time
+        // onto the least-occupied queue.
+        while remaining > 0 {
+            let (k, _) = occupation
+                .iter()
+                .enumerate()
+                .min_by_key(|&(idx, &o)| (o, idx))
+                .expect("capacity > 0");
+            placements[i].segments.push(Segment {
+                container: k as u32,
+                start: occupation[k],
+                tasks: 1,
+            });
+            occupation[k] += job.task_len;
+            placements[i].completion = placements[i].completion.max(occupation[k]);
+            remaining -= 1;
+        }
+    }
+    Ok(placements)
+}
+
+/// Checks the Theorem 2 prefix-capacity condition for (target, demand)
+/// pairs: `Σ_{i: T_i ≤ T_k} η_i ≤ C · T_k` for every job `k`.
+///
+/// Demands are `tasks · task_len` container·slots. Useful in tests and in
+/// admission logic.
+pub fn capacity_condition_holds(jobs: &[MapJob], capacity: u32) -> bool {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| jobs[i].target);
+    let mut cum = 0u128;
+    for &i in &order {
+        cum += (jobs[i].tasks * jobs[i].task_len) as u128;
+        if cum > capacity as u128 * jobs[i].target as u128 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_single_queue() {
+        let jobs = [MapJob { tasks: 3, task_len: 10, target: 30, lax: false }];
+        let p = map_continuous(&jobs, 4).unwrap();
+        assert_eq!(p[0].segments.len(), 1);
+        assert_eq!(p[0].segments[0], Segment { container: 0, start: 0, tasks: 3 });
+        assert_eq!(p[0].completion, 30);
+    }
+
+    #[test]
+    fn job_spreads_across_queues_when_target_tight() {
+        // 4 tasks of 10 slots, target 10: one task fits per queue.
+        let jobs = [MapJob { tasks: 4, task_len: 10, target: 10, lax: false }];
+        let p = map_continuous(&jobs, 4).unwrap();
+        assert_eq!(p[0].segments.len(), 4);
+        assert!(p[0].segments.iter().all(|s| s.start == 0 && s.tasks == 1));
+        assert_eq!(p[0].completion, 10);
+        assert_eq!(p[0].active_at(0), 4);
+        assert_eq!(p[0].active_at(9), 4);
+        assert_eq!(p[0].active_at(10), 0);
+    }
+
+    #[test]
+    fn theorem3_bound_on_boundary_case() {
+        // Target 15 with task_len 10: a task may start at slot 14 and end
+        // at 24 ≤ target + task_len = 25.
+        let jobs = [
+            MapJob { tasks: 1, task_len: 14, target: 15, lax: false }, // occupies queue 0 to 14
+            MapJob { tasks: 1, task_len: 10, target: 15, lax: false }, // starts at 14 on queue 0
+        ];
+        let p = map_continuous(&jobs, 1).unwrap();
+        assert_eq!(p[1].segments[0].start, 14);
+        assert_eq!(p[1].completion, 24);
+        assert!(p[1].completion <= 15 + 10);
+    }
+
+    #[test]
+    fn jobs_packed_in_target_order_regardless_of_input_order() {
+        let jobs = [
+            MapJob { tasks: 2, task_len: 10, target: 100, lax: false }, // late target
+            MapJob { tasks: 2, task_len: 10, target: 20, lax: false },  // early target
+        ];
+        let p = map_continuous(&jobs, 1).unwrap();
+        // Early-target job goes first on the single queue.
+        assert_eq!(p[1].segments[0].start, 0);
+        assert_eq!(p[0].segments[0].start, 20);
+    }
+
+    #[test]
+    fn results_in_input_order() {
+        let jobs = [
+            MapJob { tasks: 1, task_len: 5, target: 50, lax: false },
+            MapJob { tasks: 1, task_len: 7, target: 10, lax: false },
+        ];
+        let p = map_continuous(&jobs, 2).unwrap();
+        assert_eq!(p[0].task_len, 5);
+        assert_eq!(p[1].task_len, 7);
+    }
+
+    #[test]
+    fn overflow_spills_to_least_occupied() {
+        // Impossible target: 10 tasks of 10 slots, target 10, 2 queues.
+        let jobs = [MapJob { tasks: 10, task_len: 10, target: 10, lax: false }];
+        let p = map_continuous(&jobs, 2).unwrap();
+        let total: u64 = p[0].segments.iter().map(|s| s.tasks).sum();
+        assert_eq!(total, 10, "all tasks placed despite overflow");
+        assert_eq!(p[0].completion, 50); // 10 tasks over 2 queues
+        assert!(p[0].completion > 10 + 10, "bound violated ⇒ detectable");
+    }
+
+    #[test]
+    fn zero_task_job_is_empty() {
+        let jobs = [MapJob { tasks: 0, task_len: 10, target: 10, lax: false }];
+        let p = map_continuous(&jobs, 2).unwrap();
+        assert!(p[0].segments.is_empty());
+        assert_eq!(p[0].completion, 0);
+        assert_eq!(p[0].active_at(0), 0);
+    }
+
+    #[test]
+    fn zero_target_job_still_places() {
+        // Overdue job (target 0): the start-before-target rule never fires,
+        // so everything goes through the spill path, ASAP.
+        let jobs = [MapJob { tasks: 2, task_len: 5, target: 0, lax: false }];
+        let p = map_continuous(&jobs, 2).unwrap();
+        let total: u64 = p[0].segments.iter().map(|s| s.tasks).sum();
+        assert_eq!(total, 2);
+        assert_eq!(p[0].completion, 5); // one task per queue
+    }
+
+    #[test]
+    fn validation() {
+        assert!(map_continuous(&[], 0).is_err());
+        assert!(map_continuous(&[MapJob { tasks: 1, task_len: 0, target: 5, lax: false }], 2).is_err());
+    }
+
+    #[test]
+    fn capacity_condition_checker() {
+        let ok = [
+            MapJob { tasks: 2, task_len: 10, target: 20, lax: false },
+            MapJob { tasks: 2, task_len: 10, target: 40, lax: false },
+        ];
+        assert!(capacity_condition_holds(&ok, 1));
+        let bad = [MapJob { tasks: 3, task_len: 10, target: 20, lax: false }];
+        assert!(!capacity_condition_holds(&bad, 1));
+    }
+
+    #[test]
+    fn theorem3_bound_under_capacity_condition() {
+        // Deterministic instance satisfying (12): staggered targets.
+        let jobs = [
+            MapJob { tasks: 4, task_len: 10, target: 20, lax: false },
+            MapJob { tasks: 4, task_len: 15, target: 60, lax: false },
+            MapJob { tasks: 6, task_len: 5, target: 70, lax: false },
+            MapJob { tasks: 2, task_len: 30, target: 100, lax: false },
+        ];
+        let capacity = 2;
+        assert!(capacity_condition_holds(&jobs, capacity));
+        let p = map_continuous(&jobs, capacity).unwrap();
+        for (i, placement) in p.iter().enumerate() {
+            assert!(
+                placement.completion <= jobs[i].target + jobs[i].task_len,
+                "job {i}: completion {} > T+R {}",
+                placement.completion,
+                jobs[i].target + jobs[i].task_len
+            );
+        }
+    }
+
+    #[test]
+    fn lax_jobs_pack_into_leftovers_after_strict() {
+        let jobs = [
+            MapJob { tasks: 2, task_len: 10, target: 10, lax: false },
+            MapJob { tasks: 4, task_len: 10, target: 5, lax: true }, // target ignored
+        ];
+        let p = map_continuous(&jobs, 2).unwrap();
+        // Strict job takes both queues at slot 0; lax fills behind it.
+        assert!(p[0].segments.iter().all(|s| s.start == 0));
+        assert!(p[1].segments.iter().all(|s| s.start >= 10));
+        assert_eq!(p[1].completion, 30); // 4 tasks balanced on 2 queues after 10
+        assert_eq!(p[1].active_at(0), 0);
+        assert_eq!(p[1].active_at(15), 2);
+    }
+
+    #[test]
+    fn lax_only_runs_immediately_when_capacity_free() {
+        let jobs = [MapJob { tasks: 6, task_len: 5, target: 999, lax: true }];
+        let p = map_continuous(&jobs, 3).unwrap();
+        assert_eq!(p[0].active_at(0), 3, "lax jobs use free capacity at once");
+        assert_eq!(p[0].completion, 10);
+    }
+
+    #[test]
+    fn segments_never_overlap_on_a_container() {
+        let jobs = [
+            MapJob { tasks: 3, task_len: 7, target: 25, lax: false },
+            MapJob { tasks: 5, task_len: 3, target: 30, lax: false },
+            MapJob { tasks: 2, task_len: 11, target: 60, lax: false },
+        ];
+        let p = map_continuous(&jobs, 2).unwrap();
+        // Collect (container, interval) and check pairwise disjointness.
+        let mut intervals: Vec<(u32, u64, u64)> = Vec::new();
+        for (i, placement) in p.iter().enumerate() {
+            for s in &placement.segments {
+                intervals.push((s.container, s.start, s.start + s.tasks * jobs[i].task_len));
+            }
+        }
+        for a in 0..intervals.len() {
+            for b in (a + 1)..intervals.len() {
+                let (ca, sa, ea) = intervals[a];
+                let (cb, sb, eb) = intervals[b];
+                if ca == cb {
+                    assert!(ea <= sb || eb <= sa, "overlap: {:?} vs {:?}", intervals[a], intervals[b]);
+                }
+            }
+        }
+    }
+}

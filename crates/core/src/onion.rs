@@ -1,0 +1,630 @@
+//! The onion-peeling algorithm — Algorithm 3, solving the Time-Aware
+//! Scheduling (TAS) problem.
+//!
+//! With robust demands `η_i` fixed by WCDE, TAS becomes deterministic:
+//! choose target completion times maximizing the **lexicographic max-min**
+//! of the utility vector. The peeling loop maximizes the minimum utility by
+//! bisection over the level `L` — a level is feasible iff every job can
+//! finish by its induced deadline `U_i⁻¹(L)`, which Theorem 2 reduces to
+//! the prefix-capacity condition
+//!
+//! ```text
+//! Σ_{i∈N_k} η_i + G(U_k⁻¹(L)) ≤ C · U_k⁻¹(L)   for every prefix k
+//! ```
+//!
+//! (jobs sorted by deadline; `G(t)` counts demand already committed to
+//! previously peeled jobs with targets ≤ `t`). The bottleneck job of the
+//! last infeasible level has reached its best achievable utility: it is
+//! *peeled* — its target fixed, its demand added to `G` — and the loop
+//! continues on the remaining jobs, one onion layer at a time.
+
+use crate::CoreError;
+use rush_utility::{LatestTime, Utility};
+
+/// One job as seen by the peeling algorithm.
+#[derive(Clone, Copy)]
+pub struct OnionJob<'a> {
+    /// Robust remaining demand `η` in container·slots (WCDE output).
+    pub demand: u64,
+    /// The job's completion-time utility (already shifted to "time from
+    /// now" if the job has been running for a while).
+    pub utility: &'a dyn Utility,
+}
+
+impl std::fmt::Debug for OnionJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnionJob")
+            .field("demand", &self.demand)
+            .field("sup", &self.utility.sup())
+            .finish()
+    }
+}
+
+/// A peeled job's target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Target {
+    /// Index of the job in the input slice.
+    pub job: usize,
+    /// The utility level at which the job peeled (its max-min layer).
+    pub level: f64,
+    /// Target completion time `T_i` in slots from now.
+    pub deadline: f64,
+    /// Whether the job is *deadline-free* at its level (flat utility or
+    /// nothing left to gain): the mapping packs such jobs into leftover
+    /// capacity instead of reserving for `deadline`.
+    pub lax: bool,
+}
+
+/// A [`Utility`] shifted by the job's age: if a job arrived `shift` slots
+/// ago, completing `t` slots *from now* completes it at `shift + t` from
+/// arrival.
+///
+/// This adapter is what lets the static TAS formulation re-run inside the
+/// dynamic feedback cycle: every scheduling event re-poses the problem in
+/// "time from now" coordinates.
+#[derive(Clone, Copy)]
+pub struct Shifted<'a> {
+    base: &'a dyn Utility,
+    shift: f64,
+}
+
+impl std::fmt::Debug for Shifted<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shifted").field("shift", &self.shift).finish()
+    }
+}
+
+impl<'a> Shifted<'a> {
+    /// Wraps `base`, measuring time from `shift` slots after the job's
+    /// arrival.
+    pub fn new(base: &'a dyn Utility, shift: f64) -> Self {
+        Shifted { base, shift: shift.max(0.0) }
+    }
+}
+
+impl Utility for Shifted<'_> {
+    fn utility(&self, t: f64) -> f64 {
+        self.base.utility(self.shift + t.max(0.0))
+    }
+
+    fn inf(&self) -> f64 {
+        self.base.inf()
+    }
+
+    fn latest_time(&self, level: f64) -> LatestTime {
+        match self.base.latest_time(level) {
+            LatestTime::At(t) if t >= self.shift => LatestTime::At(t - self.shift),
+            // The level was only achievable before now.
+            LatestTime::At(_) => LatestTime::Never,
+            other => other,
+        }
+    }
+}
+
+/// Outcome of one feasibility probe.
+enum Check {
+    Feasible,
+    Infeasible { bottleneck: usize },
+}
+
+/// Sorted index over committed `(deadline, demand)` reservations for
+/// O(log n) cumulative-demand (`G(t)`) queries. Rebuilt once per peel layer
+/// — the committed set only grows between layers — so each feasibility
+/// probe inside the bisection runs in `O(n log n)` instead of `O(n·k)`.
+struct CommittedIndex {
+    times: Vec<f64>,
+    cums: Vec<u64>,
+}
+
+impl CommittedIndex {
+    fn new(committed: &[(f64, u64)]) -> Self {
+        let mut sorted: Vec<(f64, u64)> = committed.to_vec();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deadlines"));
+        let mut times = Vec::with_capacity(sorted.len());
+        let mut cums = Vec::with_capacity(sorted.len());
+        let mut cum = 0u64;
+        for (t, e) in sorted {
+            cum += e;
+            times.push(t);
+            cums.push(cum);
+        }
+        CommittedIndex { times, cums }
+    }
+
+    /// `G(t)`: total committed demand with deadline ≤ `t`.
+    fn g(&self, t: f64) -> u64 {
+        let idx = self.times.partition_point(|&x| x <= t);
+        if idx == 0 {
+            0
+        } else {
+            self.cums[idx - 1]
+        }
+    }
+}
+
+/// Tests whether level `L` is feasible for the `active` jobs given the
+/// committed reservations of already-peeled jobs.
+fn check_level(
+    jobs: &[OnionJob<'_>],
+    active: &[usize],
+    committed: &CommittedIndex,
+    capacity: u32,
+    horizon: f64,
+    level: f64,
+) -> Check {
+    // Deadline per active job; a `Never` with positive demand is an
+    // immediate bottleneck (it cannot reach the level no matter what).
+    let mut deadlines: Vec<(f64, usize)> = Vec::with_capacity(active.len());
+    for &i in active {
+        match jobs[i].utility.latest_time(level).deadline_within(horizon) {
+            Some(d) => deadlines.push((d, i)),
+            None => {
+                if jobs[i].demand > 0 {
+                    return Check::Infeasible { bottleneck: i };
+                }
+                // Demand-free jobs never block a layer.
+            }
+        }
+    }
+    deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite deadlines"));
+    // Merged sweep over active deadlines AND committed reservation times.
+    // Verifying only the active prefixes is not enough: an active job whose
+    // deadline lands just *before* a committed reservation adds its demand
+    // to that reservation's prefix and can break it — feasibility is not
+    // monotone in the level once reservations exist, so every boundary
+    // must be re-checked.
+    let c = capacity as f64;
+    let mut cum = 0u64;
+    let mut ci = 0usize;
+    let mut last_active: Option<usize> = None;
+    for &(d, i) in &deadlines {
+        while ci < committed.times.len() && committed.times[ci] < d {
+            if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
+                return Check::Infeasible { bottleneck: last_active.unwrap_or(i) };
+            }
+            ci += 1;
+        }
+        cum += jobs[i].demand;
+        if (cum + committed.g(d)) as f64 > c * d + 1e-9 {
+            return Check::Infeasible { bottleneck: i };
+        }
+        last_active = Some(i);
+    }
+    while ci < committed.times.len() {
+        if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
+            if let Some(b) = last_active {
+                return Check::Infeasible { bottleneck: b };
+            }
+            // No active job to blame: the committed set alone is
+            // infeasible (cannot arise from our own layering; guard for
+            // caller-supplied states).
+            break;
+        }
+        ci += 1;
+    }
+    Check::Feasible
+}
+
+/// Utility levels at or below this are treated as "the job gains nothing".
+const ZERO_LEVEL: f64 = 1e-9;
+
+/// Earliest completion time for `demand` that leaves every committed
+/// `(deadline, demand)` reservation intact: the smallest `d` such that
+///
+/// * `demand + G(d) ≤ C·d` (the job itself fits by `d`), and
+/// * for every committed deadline `T_k ≥ d`,
+///   `demand + cum(T_k) ≤ C·T_k` (inserting the job does not break the
+///   prefix-capacity condition of any later reservation).
+///
+/// This is how a job that can no longer gain utility is squeezed into
+/// leftover capacity without lowering anyone else's level — the
+/// lexicographic tie-break the paper describes ("allocate resources to
+/// other jobs because doing so can improve their utility without lowering
+/// the utility of this job").
+fn asap_deadline(demand: u64, committed: &[(f64, u64)], capacity: u32) -> f64 {
+    let c = capacity as f64;
+    // Committed deadlines sorted with cumulative demand.
+    let mut sorted: Vec<(f64, u64)> = committed.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deadlines"));
+    let mut cum = 0u64;
+    let mut prefix: Vec<(f64, u64)> = Vec::with_capacity(sorted.len());
+    for &(t, e) in &sorted {
+        cum += e;
+        prefix.push((t, cum));
+    }
+    // Barrier: the job must complete after any reservation it would break.
+    let mut barrier = 0.0f64;
+    for &(t, cum_t) in &prefix {
+        if (demand + cum_t) as f64 > c * t + 1e-9 {
+            barrier = barrier.max(t);
+        }
+    }
+    let mut d = ((demand as f64 / c).max(1.0)).max(barrier + 1e-9);
+    // Fixed point over the step function G; terminates in ≤ |committed|+1
+    // rounds because each bump crosses at least one reservation deadline.
+    loop {
+        let g: u64 = prefix
+            .iter()
+            .take_while(|(t, _)| *t <= d)
+            .last()
+            .map_or(0, |&(_, cum_t)| cum_t);
+        let next = (((demand + g) as f64 / c).max(1.0)).max(barrier + 1e-9);
+        if next <= d + 1e-9 {
+            return d;
+        }
+        d = next;
+    }
+}
+
+/// The deadline a job should be given when peeling at `level`.
+fn deadline_for(job: &OnionJob<'_>, level: f64, horizon: f64) -> f64 {
+    // A job can never be asked to exceed its own supremum.
+    let lvl = level.min(job.utility.sup());
+    match job.utility.latest_time(lvl).deadline_within(horizon) {
+        Some(d) => d.max(0.0),
+        // Level above sup by floating-point noise: complete ASAP.
+        None => 0.0,
+    }
+}
+
+/// Runs the onion-peeling algorithm (Algorithm 3).
+///
+/// Returns one [`Target`] per job (in peel order). `tolerance` is the
+/// bisection stopping width `Δ` on utility levels; `horizon` caps the
+/// deadline of completion-time-insensitive jobs.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] if `capacity == 0`, `tolerance ≤ 0` or
+/// `horizon ≤ 0`.
+///
+/// # Example
+///
+/// ```
+/// use rush_core::onion::{peel, OnionJob};
+/// use rush_utility::TimeUtility;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tight = TimeUtility::sigmoid(100.0, 5.0, 0.5)?;
+/// let loose = TimeUtility::sigmoid(1000.0, 5.0, 0.01)?;
+/// let jobs = [
+///     OnionJob { demand: 300, utility: &tight },
+///     OnionJob { demand: 300, utility: &loose },
+/// ];
+/// let targets = peel(&jobs, 8, 0.01, 1e6)?;
+/// let t0 = targets.iter().find(|t| t.job == 0).unwrap();
+/// let t1 = targets.iter().find(|t| t.job == 1).unwrap();
+/// assert!(t0.deadline < t1.deadline); // the tight job gets the early slot
+/// # Ok(())
+/// # }
+/// ```
+pub fn peel(
+    jobs: &[OnionJob<'_>],
+    capacity: u32,
+    tolerance: f64,
+    horizon: f64,
+) -> Result<Vec<Target>, CoreError> {
+    if capacity == 0 {
+        return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
+    }
+    if !tolerance.is_finite() || tolerance <= 0.0 {
+        return Err(CoreError::InvalidConfig { reason: "tolerance must be > 0" });
+    }
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(CoreError::InvalidConfig { reason: "horizon must be > 0" });
+    }
+    let mut active: Vec<usize> = (0..jobs.len()).collect();
+    let mut committed: Vec<(f64, u64)> = Vec::new();
+    let mut deferred: Vec<(usize, f64)> = Vec::new();
+    let mut targets: Vec<Target> = Vec::with_capacity(jobs.len());
+    // Global floor: the lowest utility any job can end up with.
+    let mut level_lo = jobs.iter().map(|j| j.utility.inf()).fold(f64::INFINITY, f64::min);
+    if !level_lo.is_finite() {
+        level_lo = 0.0;
+    }
+
+    while !active.is_empty() {
+        let level_hi = active
+            .iter()
+            .map(|&i| jobs[i].utility.sup())
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(level_lo);
+        let mut lo = level_lo;
+        let mut hi = (level_hi + tolerance).max(lo + tolerance);
+        let mut bottleneck: Option<usize> = None;
+        let index = CommittedIndex::new(&committed);
+        // The floor itself may be infeasible in overload; the bottleneck of
+        // the floor check then peels at the floor level.
+        if let Check::Infeasible { bottleneck: b } =
+            check_level(jobs, &active, &index, capacity, horizon, lo)
+        {
+            bottleneck = Some(b);
+        } else {
+            while hi - lo > tolerance {
+                let mid = 0.5 * (lo + hi);
+                match check_level(jobs, &active, &index, capacity, horizon, mid) {
+                    Check::Feasible => lo = mid,
+                    Check::Infeasible { bottleneck: b } => {
+                        hi = mid;
+                        bottleneck = Some(b);
+                    }
+                }
+            }
+        }
+
+        match bottleneck {
+            Some(b) => {
+                let level_b = lo.min(jobs[b].utility.sup());
+                if is_deadline_free(&jobs[b], level_b) {
+                    // The job's utility no longer depends on when it runs —
+                    // either it can gain nothing (level ~0) or its utility
+                    // is flat at this level (time-insensitive). Defer it:
+                    // it will be slotted into leftover capacity once every
+                    // job that *does* care has been peeled.
+                    deferred.push((b, level_b));
+                    active.retain(|&i| i != b);
+                    continue;
+                }
+                let deadline = deadline_for(&jobs[b], lo, horizon);
+                targets.push(Target { job: b, level: lo, deadline, lax: false });
+                committed.push((deadline, jobs[b].demand));
+                active.retain(|&i| i != b);
+                // Later layers can only improve on this level.
+                level_lo = lo;
+            }
+            None => {
+                // Everything feasible up to every job's supremum: peel all
+                // remaining jobs at the converged level.
+                for &i in &active {
+                    let level_i = lo.min(jobs[i].utility.sup());
+                    if is_deadline_free(&jobs[i], level_i) {
+                        deferred.push((i, level_i));
+                        continue;
+                    }
+                    let deadline = deadline_for(&jobs[i], lo, horizon);
+                    targets.push(Target { job: i, level: level_i, deadline, lax: false });
+                    committed.push((deadline, jobs[i].demand));
+                }
+                active.clear();
+            }
+        }
+    }
+
+    // Deferred jobs (zero-gain or time-insensitive): earliest completion
+    // that leaves every committed reservation intact — they run in the
+    // leftover capacity at full parallelism instead of being parked at the
+    // horizon. Hopeless-but-time-sensitive jobs (level ~0) go before
+    // genuinely flat ones — any residual utility tail still prefers
+    // earlier completion — and smaller demands go first within each group.
+    deferred.sort_by(|a, b| {
+        let flat_a = a.1 > ZERO_LEVEL;
+        let flat_b = b.1 > ZERO_LEVEL;
+        (flat_a, jobs[a.0].demand, a.0).cmp(&(flat_b, jobs[b.0].demand, b.0))
+    });
+    for (i, level) in deferred {
+        let deadline = asap_deadline(jobs[i].demand, &committed, capacity).min(horizon);
+        targets.push(Target { job: i, level, deadline, lax: true });
+        committed.push((deadline, jobs[i].demand));
+    }
+    Ok(targets)
+}
+
+/// Whether a job's utility is indifferent to *when* it completes at the
+/// given level: either the level has collapsed to ~0 (nothing left to
+/// gain) or the utility is flat at/above the level (time-insensitive).
+fn is_deadline_free(job: &OnionJob<'_>, level: f64) -> bool {
+    if level <= ZERO_LEVEL && job.utility.sup() > ZERO_LEVEL {
+        return true;
+    }
+    matches!(job.utility.latest_time(level), LatestTime::Always)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_utility::TimeUtility;
+
+    fn sigmoid(budget: f64, weight: f64, beta: f64) -> TimeUtility {
+        TimeUtility::sigmoid(budget, weight, beta).unwrap()
+    }
+
+    #[test]
+    fn single_job_peels_near_its_sup() {
+        let u = sigmoid(100.0, 5.0, 0.1);
+        let jobs = [OnionJob { demand: 200, utility: &u }];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        assert_eq!(t.len(), 1);
+        // Demand 200 on 8 containers needs ≥ 25 slots; deadline must be
+        // at least that, and the level consistent with the deadline.
+        assert!(t[0].deadline >= 25.0 - 1e-6, "deadline {}", t[0].deadline);
+        let u_at = u.utility(t[0].deadline);
+        assert!((u_at - t[0].level).abs() < 0.1, "level {} vs U(T) {}", t[0].level, u_at);
+    }
+
+    #[test]
+    fn capacity_binds_the_deadline() {
+        let u = sigmoid(10.0, 5.0, 0.5);
+        // Demand 800 on 8 containers needs ≥ 100 slots >> budget 10.
+        let jobs = [OnionJob { demand: 800, utility: &u }];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        assert!(t[0].deadline >= 100.0 - 1e-6, "deadline {}", t[0].deadline);
+        assert!(t[0].level < 0.01, "utility is gone at 10x the budget");
+    }
+
+    #[test]
+    fn equal_jobs_share_equally() {
+        let u = sigmoid(100.0, 5.0, 0.1);
+        let jobs = [
+            OnionJob { demand: 400, utility: &u },
+            OnionJob { demand: 400, utility: &u },
+        ];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        assert_eq!(t.len(), 2);
+        // Total 800 on 8 containers = 100 slots; both can't finish at 50,
+        // one must wait for ~100. Levels differ because one binds earlier,
+        // but both deadlines fit within capacity:
+        let mut deadlines: Vec<f64> = t.iter().map(|x| x.deadline).collect();
+        deadlines.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(deadlines[1] >= 100.0 - 1.0, "latest deadline {}", deadlines[1]);
+    }
+
+    #[test]
+    fn urgent_job_peels_with_earlier_deadline() {
+        let tight = sigmoid(50.0, 5.0, 0.2);
+        let loose = sigmoid(5000.0, 5.0, 0.002);
+        let jobs = [
+            OnionJob { demand: 200, utility: &tight },
+            OnionJob { demand: 200, utility: &loose },
+        ];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        let d_tight = t.iter().find(|x| x.job == 0).unwrap().deadline;
+        let d_loose = t.iter().find(|x| x.job == 1).unwrap().deadline;
+        assert!(d_tight < d_loose, "tight {d_tight} vs loose {d_loose}");
+    }
+
+    #[test]
+    fn lexicographic_improves_beyond_min() {
+        // One hopeless job (overdue) must not drag the other to zero.
+        let hopeless = sigmoid(1.0, 5.0, 5.0); // effectively expired
+        let healthy = sigmoid(500.0, 5.0, 0.05);
+        let jobs = [
+            OnionJob { demand: 1000, utility: &hopeless },
+            OnionJob { demand: 200, utility: &healthy },
+        ];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        let lvl_healthy = t.iter().find(|x| x.job == 1).unwrap().level;
+        assert!(lvl_healthy > 4.0, "healthy job should still achieve ~5, got {lvl_healthy}");
+    }
+
+    #[test]
+    fn constant_utility_jobs_defer_into_leftover_capacity() {
+        let c = TimeUtility::constant(3.0).unwrap();
+        let s = sigmoid(100.0, 5.0, 0.1);
+        let jobs = [
+            OnionJob { demand: 400, utility: &c },
+            OnionJob { demand: 400, utility: &s },
+        ];
+        let t = peel(&jobs, 8, 0.001, 10_000.0).unwrap();
+        let tc = t.iter().find(|x| x.job == 0).unwrap();
+        let ts = t.iter().find(|x| x.job == 1).unwrap();
+        // The insensitive job is lax: ordered behind the sigmoid job but
+        // with a work-conserving ASAP completion (800 demand / 8 = 100),
+        // not parked at the horizon.
+        assert!(tc.lax);
+        assert!(!ts.lax);
+        assert!(tc.deadline > ts.deadline, "insensitive defers: {tc:?} vs {ts:?}");
+        assert!((tc.deadline - 100.0).abs() < 2.0, "ASAP behind reservations, got {tc:?}");
+        assert!((tc.level - 3.0).abs() < 0.01, "flat job keeps ~its full level, got {}", tc.level);
+    }
+
+    #[test]
+    fn zero_demand_jobs_never_block() {
+        let low = sigmoid(10.0, 1.0, 0.5); // low sup
+        let high = sigmoid(100.0, 5.0, 0.1);
+        let jobs = [
+            OnionJob { demand: 0, utility: &low },
+            OnionJob { demand: 100, utility: &high },
+        ];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        assert_eq!(t.len(), 2);
+        let lvl_high = t.iter().find(|x| x.job == 1).unwrap().level;
+        assert!(lvl_high > 4.5, "zero-demand job must not cap the layer, got {lvl_high}");
+    }
+
+    #[test]
+    fn overload_peels_everyone_without_panic() {
+        let u = sigmoid(5.0, 5.0, 1.0);
+        let jobs: Vec<OnionJob<'_>> =
+            (0..10).map(|_| OnionJob { demand: 10_000, utility: &u }).collect();
+        let t = peel(&jobs, 1, 0.01, 1e5).unwrap();
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn feasibility_condition_theorem2_holds_at_targets() {
+        // After peeling, the prefix-capacity condition must hold for the
+        // chosen deadlines: Σ_{T_i ≤ d} η_i ≤ C·d for every target d.
+        let a = sigmoid(60.0, 5.0, 0.2);
+        let b = sigmoid(120.0, 4.0, 0.1);
+        let c = TimeUtility::constant(2.0).unwrap();
+        let jobs = [
+            OnionJob { demand: 300, utility: &a },
+            OnionJob { demand: 500, utility: &b },
+            OnionJob { demand: 400, utility: &c },
+        ];
+        let capacity = 8u32;
+        let t = peel(&jobs, capacity, 0.001, 1e5).unwrap();
+        let mut ds: Vec<(f64, u64)> =
+            t.iter().map(|x| (x.deadline, jobs[x.job].demand)).collect();
+        ds.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut cum = 0u64;
+        for (d, e) in ds {
+            cum += e;
+            assert!(
+                cum as f64 <= capacity as f64 * d + 1e-6,
+                "prefix demand {cum} exceeds C*d = {}",
+                capacity as f64 * d
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let u = sigmoid(10.0, 1.0, 0.1);
+        let jobs = [OnionJob { demand: 1, utility: &u }];
+        assert!(peel(&jobs, 0, 0.01, 1e6).is_err());
+        assert!(peel(&jobs, 8, 0.0, 1e6).is_err());
+        assert!(peel(&jobs, 8, 0.01, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let t = peel(&[], 8, 0.01, 1e6).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shifted_utility_behaves() {
+        let u = sigmoid(100.0, 5.0, 0.1);
+        let s = Shifted::new(&u, 40.0);
+        assert_eq!(s.utility(10.0), u.utility(50.0));
+        assert_eq!(s.inf(), u.inf());
+        match (s.latest_time(2.5), u.latest_time(2.5)) {
+            (LatestTime::At(a), LatestTime::At(b)) => assert!((a - (b - 40.0)).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A level only achievable before "now" becomes Never.
+        let s_late = Shifted::new(&u, 1000.0);
+        assert_eq!(s_late.latest_time(4.9), LatestTime::Never);
+    }
+
+    #[test]
+    fn shifted_negative_shift_clamps() {
+        let u = sigmoid(100.0, 5.0, 0.1);
+        let s = Shifted::new(&u, -5.0);
+        assert_eq!(s.utility(10.0), u.utility(10.0));
+    }
+
+    #[test]
+    fn max_min_delays_the_job_that_retains_more_utility() {
+        // Same budget/demand, different weights. Capacity forces one job to
+        // the late slot (~100); max-min on absolute utilities delays the
+        // HEAVY job, because U_heavy(100) > U_light(100): the resulting
+        // sorted utility vector dominates the swapped assignment.
+        let heavy = sigmoid(50.0, 5.0, 0.1);
+        let light = sigmoid(50.0, 1.0, 0.1);
+        let jobs = [
+            OnionJob { demand: 400, utility: &heavy },
+            OnionJob { demand: 400, utility: &light },
+        ];
+        let t = peel(&jobs, 8, 0.001, 1e6).unwrap();
+        let d_heavy = t.iter().find(|x| x.job == 0).unwrap().deadline;
+        let d_light = t.iter().find(|x| x.job == 1).unwrap().deadline;
+        assert!(d_heavy > d_light, "heavy {d_heavy} should take the late slot vs {d_light}");
+        // The achieved min level beats the swapped assignment's min level
+        // (light at deadline 100 would sit at U_light(100) ≈ 0.0067).
+        let min_level =
+            t.iter().map(|x| x.level).fold(f64::INFINITY, f64::min);
+        assert!(min_level > 0.02, "min level {min_level} must beat the swapped order");
+    }
+}

@@ -1,0 +1,428 @@
+//! The container-assignment (CA) pipeline: one full pass of the RUSH
+//! feedback cycle as a pure function.
+//!
+//! [`compute_plan`] chains estimate → WCDE → onion peel → continuous
+//! mapping and reports, per job, the robust demand `η`, the target
+//! completion time, the achieved max-min level, and the number of
+//! containers the plan gives the job in the *next* slot. The
+//! [`RushScheduler`](crate::scheduler::RushScheduler) executes exactly that
+//! next-slot column; everything else is recomputed on the next scheduling
+//! event. Keeping the pipeline pure also lets the Fig. 5 benchmarks
+//! measure scheduling cost at 20–1000 simultaneous jobs without running a
+//! cluster.
+
+use crate::config::EstimatorKind;
+use crate::mapping::{map_continuous, MapJob};
+use crate::onion::{peel, OnionJob, Shifted};
+use crate::wcde::worst_case_quantile;
+use crate::{CoreError, RushConfig};
+use rush_estimator::{
+    DistributionEstimator, EmpiricalEstimator, GaussianEstimator, MeanEstimator,
+    WindowedEstimator,
+};
+use rush_utility::TimeUtility;
+
+/// Scheduler-visible state of one job, fed into the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanInput {
+    /// Observed runtimes (slots) of the job's completed tasks. May be
+    /// empty (cold start) — the config's prior or a cross-job pool then
+    /// substitutes.
+    pub samples: Vec<u64>,
+    /// Tasks not yet started.
+    pub remaining_tasks: usize,
+    /// Containers the job currently occupies.
+    pub running: u32,
+    /// Failed task attempts observed so far (re-queued by the cluster).
+    pub failed_attempts: usize,
+    /// Slots elapsed since the job arrived (shifts its utility).
+    pub age: f64,
+    /// The job's completion-time utility (time measured from arrival).
+    pub utility: TimeUtility,
+}
+
+/// Per-job output of one CA pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEntry {
+    /// Robust remaining demand `η` in container·slots.
+    pub eta: u64,
+    /// Average task runtime `R` used for mapping (slots).
+    pub task_len: u64,
+    /// Target completion time (slots from now) from the onion peel.
+    pub target: f64,
+    /// Achieved max-min utility level.
+    pub level: f64,
+    /// Containers the plan allocates to the job in the next slot.
+    pub desired_now: u32,
+    /// Planned completion (slots from now) under the continuity mapping.
+    pub planned_completion: u64,
+    /// Whether the job cannot finish without its utility dropping to
+    /// (numerically) zero — the "red row" of the paper's HTTP interface.
+    pub impossible: bool,
+}
+
+/// The full output of one CA pass, entries parallel to the input slice.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Plan {
+    /// Per-job planning results.
+    pub entries: Vec<PlanEntry>,
+}
+
+impl Plan {
+    /// Total containers the plan wants occupied next slot.
+    pub fn total_desired_now(&self) -> u32 {
+        self.entries.iter().map(|e| e.desired_now).sum()
+    }
+}
+
+/// Renders a plan as the monitoring table the paper's enhanced HTTP
+/// interface displays (Fig. 2): per job, the robust demand, projected
+/// completion time, achieved level — and a `!!` marker on *impossible*
+/// jobs (the red rows that tell the user to renegotiate the job's
+/// requirements).
+///
+/// `labels` must parallel the plan's entries (shorter slices are padded
+/// with the entry index).
+pub fn render_dashboard(plan: &Plan, labels: &[&str]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>6} {:>10} {:>8} {:>8} {:>11}  status",
+        "job", "eta", "R", "target", "level", "desired", "proj_done"
+    );
+    let width = 20 + 1 + 10 + 1 + 6 + 1 + 10 + 1 + 8 + 1 + 8 + 1 + 11 + 2 + 6;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for (i, e) in plan.entries.iter().enumerate() {
+        let label = labels.get(i).copied().map_or_else(|| i.to_string(), str::to_owned);
+        let status = if e.impossible { "!! impossible" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>6} {:>10.1} {:>8.3} {:>8} {:>11}  {}",
+            label, e.eta, e.task_len, e.target, e.level, e.desired_now, e.planned_completion, status
+        );
+    }
+    out
+}
+
+/// Runs one CA pass with the estimator class named in `config`.
+///
+/// # Errors
+///
+/// Propagates configuration validation and estimation failures; see
+/// [`compute_plan_with`].
+pub fn compute_plan(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput],
+) -> Result<Plan, CoreError> {
+    match config.estimator {
+        EstimatorKind::Mean => {
+            let de = MeanEstimator::new(config.max_bins).with_prior(config.cold_prior);
+            compute_plan_with(config, capacity, jobs, &de)
+        }
+        EstimatorKind::Gaussian => {
+            let de = GaussianEstimator::new(config.max_bins).with_prior(config.cold_prior);
+            compute_plan_with(config, capacity, jobs, &de)
+        }
+        EstimatorKind::Empirical { resamples } => {
+            let de =
+                EmpiricalEstimator::new(config.max_bins, resamples).with_prior(config.cold_prior);
+            compute_plan_with(config, capacity, jobs, &de)
+        }
+        EstimatorKind::Windowed { window } => {
+            let de =
+                WindowedEstimator::new(config.max_bins, window).with_prior(config.cold_prior);
+            compute_plan_with(config, capacity, jobs, &de)
+        }
+    }
+}
+
+/// Runs one CA pass with a caller-supplied estimator (for custom DE
+/// classes, as the paper invites).
+///
+/// # Errors
+///
+/// * Configuration errors from [`RushConfig::validate`].
+/// * [`CoreError::InvalidConfig`] if `capacity == 0`.
+/// * Estimation or probability errors from the per-job DE pass.
+pub fn compute_plan_with<E: DistributionEstimator>(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput],
+    estimator: &E,
+) -> Result<Plan, CoreError> {
+    config.validate()?;
+    if capacity == 0 {
+        return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
+    }
+    if jobs.is_empty() {
+        return Ok(Plan::default());
+    }
+
+    // 1–2. Estimate reference distributions and robustify into η. When a
+    // job has shown task failures, inflate its demand by the expected
+    // rework factor 1/(1−p̂) with a Laplace-smoothed failure rate — the
+    // paper's stated future-work extension.
+    let mut etas = Vec::with_capacity(jobs.len());
+    let mut task_lens = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let est = estimator.estimate(&job.samples, job.remaining_tasks)?;
+        let eta = if job.remaining_tasks == 0 {
+            0
+        } else {
+            let base = worst_case_quantile(&est.pmf, config.theta, config.delta)?.eta;
+            if config.failure_aware && job.failed_attempts > 0 {
+                let attempts = job.failed_attempts + job.samples.len() + 1;
+                let p_hat = (job.failed_attempts as f64 / attempts as f64).min(0.9);
+                (base as f64 / (1.0 - p_hat)).ceil() as u64
+            } else {
+                base
+            }
+        };
+        etas.push(eta);
+        task_lens.push(est.mean_task_runtime.ceil().max(1.0) as u64);
+    }
+
+    // 3. Onion peel on age-shifted utilities.
+    let shifted: Vec<Shifted<'_>> =
+        jobs.iter().map(|j| Shifted::new(&j.utility, j.age)).collect();
+    let onion_jobs: Vec<OnionJob<'_>> = shifted
+        .iter()
+        .zip(&etas)
+        .map(|(u, &eta)| OnionJob { demand: eta, utility: u })
+        .collect();
+    let targets = peel(&onion_jobs, capacity, config.tolerance, config.horizon)?;
+
+    // 4. Continuous mapping, with the Theorem 3 slack shaved off targets.
+    let mut target_of = vec![0.0f64; jobs.len()];
+    let mut level_of = vec![0.0f64; jobs.len()];
+    let mut lax_of = vec![false; jobs.len()];
+    for t in &targets {
+        target_of[t.job] = t.deadline;
+        level_of[t.job] = t.level;
+        lax_of[t.job] = t.lax;
+    }
+    let map_jobs: Vec<MapJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            // Spread the robust demand over the real remaining tasks: each
+            // task occupies a container for its robust runtime η/n (≥ R),
+            // so the plan provisions exactly η container·slots with the
+            // true task count.
+            let n = job.remaining_tasks as u64;
+            let r = if n > 0 { etas[i].div_ceil(n).max(task_lens[i]) } else { task_lens[i] };
+            let shaved = if config.shave_mapping_slack {
+                (target_of[i] - r as f64).max(1.0)
+            } else {
+                target_of[i].max(1.0)
+            };
+            let target = if lax_of[i] { target_of[i].max(1.0) } else { shaved };
+            MapJob { tasks: n, task_len: r, target: target as u64, lax: lax_of[i] }
+        })
+        .collect();
+    let placements = map_continuous(&map_jobs, capacity)?;
+
+    // 5. Assemble.
+    let entries = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| PlanEntry {
+            eta: etas[i],
+            task_len: task_lens[i],
+            target: target_of[i],
+            level: level_of[i],
+            desired_now: placements[i].active_at(0),
+            planned_completion: placements[i].completion,
+            impossible: level_of[i] <= 1e-9,
+        })
+        .collect();
+    Ok(Plan { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigmoid(budget: f64, weight: f64, beta: f64) -> TimeUtility {
+        TimeUtility::sigmoid(budget, weight, beta).unwrap()
+    }
+
+    fn input(samples: Vec<u64>, remaining: usize, age: f64, u: TimeUtility) -> PlanInput {
+        PlanInput {
+            samples,
+            remaining_tasks: remaining,
+            running: 0,
+            failed_attempts: 0,
+            age,
+            utility: u,
+        }
+    }
+
+    #[test]
+    fn empty_jobs_empty_plan() {
+        let p = compute_plan(&RushConfig::default(), 8, &[]).unwrap();
+        assert!(p.entries.is_empty());
+        assert_eq!(p.total_desired_now(), 0);
+    }
+
+    #[test]
+    fn single_urgent_job_gets_parallelism_now() {
+        // 10 tasks of ~60 slots, budget 120: needs ~5 containers at once.
+        let cfg = RushConfig::default();
+        let jobs = vec![input(vec![60; 20], 10, 0.0, sigmoid(120.0, 5.0, 0.2))];
+        let p = compute_plan(&cfg, 16, &jobs).unwrap();
+        let e = &p.entries[0];
+        assert!(e.eta >= 600, "eta {} must cover 10x60", e.eta);
+        assert!(e.desired_now >= 5, "desired_now {} too low for the deadline", e.desired_now);
+        assert!(!e.impossible);
+    }
+
+    #[test]
+    fn relaxed_job_is_not_rushed() {
+        // Same job, huge budget: the plan should not parallelize much.
+        let cfg = RushConfig::default();
+        let jobs = vec![input(vec![60; 20], 10, 0.0, sigmoid(100_000.0, 5.0, 0.001))];
+        let p = compute_plan(&cfg, 16, &jobs).unwrap();
+        assert!(p.entries[0].desired_now <= 2, "desired {}", p.entries[0].desired_now);
+    }
+
+    #[test]
+    fn urgent_beats_insensitive_for_next_slot() {
+        // Contended cluster (capacity 4): the urgent job's reservation wins
+        // the next slot; the insensitive job only gets genuine leftovers.
+        let cfg = RushConfig::default();
+        let jobs = vec![
+            input(vec![60; 10], 8, 0.0, sigmoid(300.0, 5.0, 0.1)),
+            input(vec![60; 10], 8, 0.0, TimeUtility::constant(5.0).unwrap()),
+        ];
+        let p = compute_plan(&cfg, 4, &jobs).unwrap();
+        assert!(
+            p.entries[0].desired_now >= p.entries[1].desired_now,
+            "urgent {} vs insensitive {}",
+            p.entries[0].desired_now,
+            p.entries[1].desired_now
+        );
+        // The insensitive job's planned completion lands after the urgent
+        // job's (it is packed into leftover capacity).
+        assert!(p.entries[1].planned_completion >= p.entries[0].planned_completion);
+        assert!(p.total_desired_now() <= 4);
+    }
+
+    #[test]
+    fn expired_job_is_flagged_impossible() {
+        let cfg = RushConfig::default();
+        // Steep sigmoid budget 50 but the job is already 5000 slots old.
+        let jobs = vec![input(vec![60; 10], 8, 5000.0, sigmoid(50.0, 5.0, 1.0))];
+        let p = compute_plan(&cfg, 8, &jobs).unwrap();
+        assert!(p.entries[0].impossible);
+    }
+
+    #[test]
+    fn zero_remaining_tasks_zero_eta() {
+        let cfg = RushConfig::default();
+        let jobs = vec![input(vec![60; 10], 0, 100.0, sigmoid(500.0, 5.0, 0.05))];
+        let p = compute_plan(&cfg, 8, &jobs).unwrap();
+        assert_eq!(p.entries[0].eta, 0);
+        assert_eq!(p.entries[0].desired_now, 0);
+    }
+
+    #[test]
+    fn cold_start_uses_prior() {
+        let cfg = RushConfig::default(); // prior mean 60 std 20
+        let jobs = vec![input(vec![], 10, 0.0, sigmoid(1000.0, 5.0, 0.01))];
+        let p = compute_plan(&cfg, 8, &jobs).unwrap();
+        assert!(p.entries[0].eta >= 500, "prior-based eta {}", p.entries[0].eta);
+    }
+
+    #[test]
+    fn delta_zero_is_less_conservative() {
+        let jobs = vec![input(vec![55, 60, 65, 58, 62, 61, 59, 63], 10, 0.0, sigmoid(2000.0, 5.0, 0.01))];
+        let robust = compute_plan(&RushConfig::default().with_delta(0.7), 8, &jobs).unwrap();
+        let nominal = compute_plan(&RushConfig::default().with_delta(0.0), 8, &jobs).unwrap();
+        assert!(robust.entries[0].eta > nominal.entries[0].eta);
+    }
+
+    #[test]
+    fn estimator_kinds_all_run() {
+        let jobs = vec![input(vec![50, 60, 70], 5, 0.0, sigmoid(600.0, 5.0, 0.05))];
+        for kind in [
+            EstimatorKind::Mean,
+            EstimatorKind::Gaussian,
+            EstimatorKind::Empirical { resamples: 64 },
+            EstimatorKind::Windowed { window: 8 },
+        ] {
+            let cfg = RushConfig::default().with_estimator(kind);
+            let p = compute_plan(&cfg, 8, &jobs).unwrap();
+            assert!(p.entries[0].eta > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_zero_rejected() {
+        let jobs = vec![input(vec![60], 1, 0.0, sigmoid(100.0, 1.0, 0.1))];
+        assert!(matches!(
+            compute_plan(&RushConfig::default(), 0, &jobs),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let jobs = vec![input(vec![60], 1, 0.0, sigmoid(100.0, 1.0, 0.1))];
+        assert!(compute_plan(&RushConfig::default().with_theta(2.0), 8, &jobs).is_err());
+    }
+
+    #[test]
+    fn failure_history_inflates_provision() {
+        let cfg = RushConfig::default();
+        let mut healthy = input(vec![60; 20], 10, 0.0, sigmoid(5000.0, 5.0, 0.01));
+        let flaky = {
+            let mut j = healthy.clone();
+            j.failed_attempts = 10; // as many failures as successes
+            j
+        };
+        healthy.failed_attempts = 0;
+        let p_healthy = compute_plan(&cfg, 8, &[healthy.clone()]).unwrap();
+        let p_flaky = compute_plan(&cfg, 8, std::slice::from_ref(&flaky)).unwrap();
+        assert!(
+            p_flaky.entries[0].eta as f64 > p_healthy.entries[0].eta as f64 * 1.3,
+            "flaky {} vs healthy {}",
+            p_flaky.entries[0].eta,
+            p_healthy.entries[0].eta
+        );
+        // The extension can be switched off.
+        let cfg_off = RushConfig { failure_aware: false, ..Default::default() };
+        let p_off = compute_plan(&cfg_off, 8, &[flaky]).unwrap();
+        assert_eq!(p_off.entries[0].eta, p_healthy.entries[0].eta);
+    }
+
+    #[test]
+    fn dashboard_renders_rows_and_flags() {
+        let cfg = RushConfig::default();
+        let jobs = vec![
+            input(vec![60; 10], 8, 0.0, sigmoid(600.0, 5.0, 0.05)),
+            input(vec![60; 10], 8, 5000.0, sigmoid(50.0, 5.0, 1.0)), // expired
+        ];
+        let plan = compute_plan(&cfg, 8, &jobs).unwrap();
+        let out = render_dashboard(&plan, &["healthy", "expired"]);
+        assert!(out.contains("healthy"));
+        assert!(out.contains("expired"));
+        assert!(out.contains("!! impossible"));
+        assert_eq!(out.lines().count(), 4); // header + rule + 2 rows
+        // Missing labels fall back to indices.
+        let out = render_dashboard(&plan, &[]);
+        assert!(out.contains('0'));
+    }
+
+    #[test]
+    fn plan_respects_capacity_in_first_slot() {
+        let cfg = RushConfig::default();
+        let jobs: Vec<PlanInput> = (0..6)
+            .map(|i| input(vec![60; 10], 10, 0.0, sigmoid(200.0 + i as f64 * 50.0, 5.0, 0.1)))
+            .collect();
+        let p = compute_plan(&cfg, 8, &jobs).unwrap();
+        assert!(p.total_desired_now() <= 8, "desired {} > capacity", p.total_desired_now());
+    }
+}

@@ -1,0 +1,497 @@
+//! [`RushScheduler`] — the RUSH container-assignment unit plugged into the
+//! simulator's YARN-style SPI.
+//!
+//! On every scheduling event the CA unit re-runs the full pipeline
+//! ([`compute_plan`](crate::plan::compute_plan())), obtains each job's
+//! desired next-slot allocation, and hands the free container to the job
+//! with the **largest gap between planned and current occupancy** — the
+//! paper's dispatch rule (Sec. IV, "Container Assignment"). The plan is
+//! cached for the current slot and invalidated by arrivals, completions or
+//! the clock moving, so a burst of free containers in one slot costs one
+//! pipeline pass.
+//!
+//! Cold-start estimation: a job with no completed tasks borrows the runtime
+//! samples of *same-template* jobs seen earlier (keyed by job label), then
+//! any cluster-local samples, and only falls back to the configured prior
+//! when no runtime evidence exists at all — mirroring how production
+//! clusters benchmark recurring applications.
+
+use crate::plan::{compute_plan, Plan, PlanInput};
+use crate::RushConfig;
+use rush_sim::view::{ClusterView, TaskSample};
+use rush_sim::{JobId, Scheduler, Slot};
+use std::collections::HashMap;
+
+/// Maximum borrowed samples per label pool (newest kept).
+const LABEL_POOL_CAP: usize = 256;
+
+/// Cached per-slot desired allocations: `(job, desired_now, target)`.
+type DesiredCache = Vec<(JobId, u32, f64)>;
+
+/// The RUSH scheduler.
+///
+/// # Example
+///
+/// ```
+/// use rush_core::{RushConfig, RushScheduler};
+/// use rush_sim::engine::{SimConfig, Simulation};
+/// use rush_sim::job::{JobSpec, Phase, TaskSpec};
+/// use rush_utility::TimeUtility;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let job = JobSpec::builder("quick")
+///     .tasks((0..4).map(|_| TaskSpec::new(10.0, Phase::Map)))
+///     .utility(TimeUtility::sigmoid(100.0, 5.0, 0.1)?)
+///     .build()?;
+/// let mut rush = RushScheduler::new(RushConfig::default());
+/// let result = Simulation::new(SimConfig::homogeneous(1, 4), vec![job])?.run(&mut rush)?;
+/// assert_eq!(result.outcomes.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RushScheduler {
+    config: RushConfig,
+    name: &'static str,
+    /// Plan cached for the slot it was computed in.
+    cache: Option<(Slot, DesiredCache)>,
+    dirty: bool,
+    /// Cross-job sample pools keyed by job label (template name).
+    label_pool: HashMap<String, Vec<u64>>,
+    /// All observed samples regardless of label — last-resort cold-start
+    /// pool before falling back to the configured prior.
+    global_pool: Vec<u64>,
+    /// Label of each active job, captured at arrival.
+    labels: HashMap<JobId, String>,
+    /// The most recent full plan, for introspection (the paper's HTTP
+    /// monitoring interface exposes exactly this).
+    last_plan: Plan,
+}
+
+impl RushScheduler {
+    /// Creates a RUSH scheduler with the given configuration.
+    pub fn new(config: RushConfig) -> Self {
+        RushScheduler {
+            config,
+            name: "RUSH",
+            cache: None,
+            dirty: true,
+            label_pool: HashMap::new(),
+            global_pool: Vec::new(),
+            labels: HashMap::new(),
+            last_plan: Plan::default(),
+        }
+    }
+
+    /// Creates a scheduler configured like the authors' earlier **CoRA**
+    /// system (INFOCOM'15) — the paper's non-robust predecessor: mean-based
+    /// demand estimation and no KL ambiguity margin (`δ = 0`). Useful as the
+    /// "RUSH minus robustness" comparison point.
+    pub fn cora() -> Self {
+        let config = RushConfig::default()
+            .with_delta(0.0)
+            .with_estimator(crate::config::EstimatorKind::Mean);
+        let mut s = Self::new(config);
+        s.name = "CoRA";
+        s
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RushConfig {
+        &self.config
+    }
+
+    /// The most recently computed plan (projected completion times, robust
+    /// demands, impossible-job flags) — the data behind the paper's
+    /// enhanced HTTP interface (Fig. 2).
+    pub fn last_plan(&self) -> &Plan {
+        &self.last_plan
+    }
+
+    /// Builds pipeline inputs from the cluster view, substituting pooled
+    /// same-label samples for cold jobs.
+    fn plan_inputs(&self, view: &ClusterView<'_>) -> Vec<PlanInput> {
+        view.jobs
+            .iter()
+            .map(|j| {
+                let samples = if !j.samples.is_empty() {
+                    j.samples.clone()
+                } else if let Some(pool) = self.label_pool.get(&j.label) {
+                    pool.clone()
+                } else {
+                    // Same-template history is best, but any cluster-local
+                    // runtime evidence beats an arbitrary prior.
+                    self.global_pool.clone()
+                };
+                PlanInput {
+                    samples,
+                    remaining_tasks: j.pending_tasks,
+                    running: j.running_tasks as u32,
+                    failed_attempts: j.failed_attempts,
+                    age: j.age(view.now) as f64,
+                    utility: j.utility,
+                }
+            })
+            .collect()
+    }
+
+    /// Ensures the per-slot plan cache is fresh; returns desired
+    /// allocations as `(job, desired_now, target)` tuples.
+    fn refresh(&mut self, view: &ClusterView<'_>) {
+        let stale = self.dirty || !matches!(&self.cache, Some((slot, _)) if *slot == view.now);
+        if !stale {
+            return;
+        }
+        let inputs = self.plan_inputs(view);
+        // On estimation failure (pathological inputs) fall back to an empty
+        // plan; the assign() fallbacks keep the cluster from stalling.
+        let plan = compute_plan(&self.config, view.capacity, &inputs).unwrap_or_default();
+        let desired = view
+            .jobs
+            .iter()
+            .zip(plan.entries.iter())
+            .map(|(j, e)| (j.id, e.desired_now, e.target))
+            .collect();
+        self.last_plan = plan;
+        self.cache = Some((view.now, desired));
+        self.dirty = false;
+    }
+}
+
+impl Scheduler for RushScheduler {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn on_job_arrival(&mut self, _view: &ClusterView<'_>, job: JobId) {
+        self.dirty = true;
+        // Label is resolved lazily in on_task_complete via the view; record
+        // it here while the job is certainly visible.
+        if let Some(j) = _view.job(job) {
+            self.labels.insert(job, j.label.clone());
+        }
+    }
+
+    fn on_task_failed(&mut self, _view: &ClusterView<'_>, _sample: TaskSample) {
+        // Failed-attempt durations are not runtime samples, but the plan
+        // must be recomputed with the updated failure count.
+        self.dirty = true;
+    }
+
+    fn on_task_complete(&mut self, _view: &ClusterView<'_>, sample: TaskSample) {
+        self.dirty = true;
+        if let Some(label) = self.labels.get(&sample.job) {
+            let pool = self.label_pool.entry(label.clone()).or_default();
+            pool.push(sample.runtime);
+            if pool.len() > LABEL_POOL_CAP {
+                let excess = pool.len() - LABEL_POOL_CAP;
+                pool.drain(..excess);
+            }
+        }
+        self.global_pool.push(sample.runtime);
+        if self.global_pool.len() > LABEL_POOL_CAP {
+            let excess = self.global_pool.len() - LABEL_POOL_CAP;
+            self.global_pool.drain(..excess);
+        }
+        if _view.job(sample.job).is_none() {
+            // Job finished: forget its label mapping.
+            self.labels.remove(&sample.job);
+        }
+    }
+
+    fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+        self.refresh(view);
+        let desired = &self.cache.as_ref().expect("refresh populated cache").1;
+
+        // The paper's rule: the container goes to the job with the largest
+        // positive gap between planned and current occupancy. When no plan
+        // entry wants more containers, the container stays idle until the
+        // next scheduling event — this is how RUSH holds capacity back
+        // from completion-time-insensitive work (the mapping only plans
+        // their tasks into genuinely free queue time). A stall guard keeps
+        // the clock moving when nothing at all is running.
+        // Containers that would stay free after this assignment; an
+        // insensitive task may only claim one while the configured reserve
+        // remains for time-aware reaction headroom.
+        let free_after = view.free_containers.saturating_sub(1) as f64;
+        let reserve_ok = free_after >= self.config.insensitive_reserve * view.capacity as f64;
+        let mut best: Option<(JobId, i64, f64)> = None;
+        for j in view.jobs.iter().filter(|j| j.runnable_tasks > 0) {
+            if !j.sensitivity.is_time_aware() && !reserve_ok {
+                continue;
+            }
+            let (want, target) = desired
+                .iter()
+                .find(|(id, _, _)| *id == j.id)
+                .map_or((0, f64::MAX), |&(_, w, t)| (w, t));
+            let gap = want as i64 - j.running_tasks as i64;
+            if gap <= 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bgap, btarget)) => gap > bgap || (gap == bgap && target < btarget),
+            };
+            if better {
+                best = Some((j.id, gap, target));
+            }
+        }
+        if let Some((id, _, _)) = best {
+            return Some(id);
+        }
+
+        // No plan entry wants more containers. Estimation error routinely
+        // makes planned parallelism insufficient, so stay work-conserving
+        // for *time-aware* jobs (running them earlier never lowers their
+        // utility and protects against under-estimated demand). The free
+        // container is withheld from completion-time-insensitive jobs —
+        // they only run through plan slack above — which is exactly how
+        // RUSH "delays the execution of the completion-time insensitive
+        // jobs" (paper Sec. V-B).
+        let earliest_target = |pred: &dyn Fn(&rush_sim::view::JobView) -> bool| {
+            view.jobs
+                .iter()
+                .filter(|j| j.runnable_tasks > 0 && pred(j))
+                .min_by(|a, b| {
+                    let ta =
+                        desired.iter().find(|(id, _, _)| *id == a.id).map_or(f64::MAX, |x| x.2);
+                    let tb =
+                        desired.iter().find(|(id, _, _)| *id == b.id).map_or(f64::MAX, |x| x.2);
+                    ta.partial_cmp(&tb).expect("finite targets").then(a.id.cmp(&b.id))
+                })
+                .map(|j| j.id)
+        };
+        if let Some(id) = earliest_target(&|j| j.sensitivity.is_time_aware()) {
+            return Some(id);
+        }
+        // Stall guard: with nothing running at all, idling would freeze the
+        // clock — run whatever is runnable.
+        if view.jobs.iter().all(|j| j.running_tasks == 0) {
+            return earliest_target(&|_| true);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_sim::engine::{SimConfig, Simulation};
+    use rush_sim::job::{JobSpec, Phase, TaskSpec};
+    use rush_sim::perturb::Interference;
+    use rush_utility::{Sensitivity, TimeUtility};
+
+    fn job(
+        label: &str,
+        arrival: Slot,
+        tasks: usize,
+        runtime: f64,
+        utility: TimeUtility,
+        budget: Slot,
+    ) -> JobSpec {
+        JobSpec::builder(label)
+            .arrival(arrival)
+            .tasks((0..tasks).map(|_| TaskSpec::new(runtime, Phase::Map)))
+            .utility(utility)
+            .budget(budget)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn completes_a_simple_workload() {
+        let jobs = vec![job(
+            "wc",
+            0,
+            8,
+            10.0,
+            TimeUtility::sigmoid(100.0, 5.0, 0.1).unwrap(),
+            100,
+        )];
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs).unwrap().run(&mut rush).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        assert!(r.outcomes[0].met_budget(), "runtime {}", r.outcomes[0].runtime);
+    }
+
+    #[test]
+    fn prioritizes_urgent_over_insensitive() {
+        // One urgent job and one insensitive job contending for 4 containers.
+        let jobs = vec![
+            job("lazy", 0, 12, 20.0, TimeUtility::constant(5.0).unwrap(), 100_000),
+            job("urgent", 0, 12, 20.0, TimeUtility::sigmoid(80.0, 5.0, 0.2).unwrap(), 80),
+        ];
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
+            .unwrap()
+            .run(&mut rush)
+            .unwrap();
+        let urgent = r.outcomes.iter().find(|o| o.label == "urgent").unwrap();
+        // 12 tasks × 20 slots = 240 container·slots on 4 containers = 60
+        // slots if given everything. The budget is 80: achievable only by
+        // displacing the insensitive job.
+        assert!(
+            urgent.runtime <= 80 + 20,
+            "urgent job should land near its budget, took {}",
+            urgent.runtime
+        );
+    }
+
+    #[test]
+    fn cora_mode_is_non_robust_mean_based() {
+        let cora = RushScheduler::cora();
+        assert_eq!(Scheduler::name(&cora), "CoRA");
+        assert_eq!(cora.config().delta, 0.0);
+        assert!(matches!(cora.config().estimator, crate::config::EstimatorKind::Mean));
+        // CoRA still schedules a workload to completion.
+        let jobs = vec![job("wc", 0, 6, 10.0, TimeUtility::sigmoid(120.0, 5.0, 0.1).unwrap(), 120)];
+        let r = Simulation::new(SimConfig::homogeneous(1, 3), jobs)
+            .unwrap()
+            .run(&mut RushScheduler::cora())
+            .unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn name_and_introspection() {
+        let rush = RushScheduler::new(RushConfig::default());
+        assert_eq!(Scheduler::name(&rush), "RUSH");
+        assert!(rush.last_plan().entries.is_empty());
+        assert_eq!(rush.config().theta, 0.9);
+    }
+
+    #[test]
+    fn survives_interference() {
+        let jobs = vec![job(
+            "noisy",
+            0,
+            16,
+            15.0,
+            TimeUtility::sigmoid(400.0, 5.0, 0.05).unwrap(),
+            400,
+        )];
+        let cfg = SimConfig::homogeneous(2, 4)
+            .with_interference(Interference::LogNormal { cv: 0.5 })
+            .with_seed(13);
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn cross_label_pool_bootstraps_second_job() {
+        // Two same-label jobs back to back: by the time the second arrives,
+        // RUSH has pooled samples; the run must simply complete and both
+        // jobs use sane plans (no stall, no misassignments storm).
+        let u = TimeUtility::sigmoid(300.0, 5.0, 0.05).unwrap();
+        let jobs = vec![
+            job("tpl", 0, 8, 12.0, u, 300),
+            job("tpl", 50, 8, 12.0, u, 300),
+        ];
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
+            .unwrap()
+            .run(&mut rush)
+            .unwrap();
+        assert_eq!(r.outcomes.len(), 2);
+        assert!(r.misassignments == 0);
+    }
+
+    #[test]
+    fn insensitive_reserve_gates_flat_jobs() {
+        // One insensitive job alone on a busy-enough cluster: with
+        // reserve 1.0 the gap rule never admits it, but the stall guard
+        // still runs it when nothing else exists — the job completes
+        // either way, only slower.
+        let jobs = vec![job("flat", 0, 8, 10.0, TimeUtility::constant(2.0).unwrap(), 100_000)];
+        let strict = RushConfig { insensitive_reserve: 1.0, ..Default::default() };
+        let open = RushConfig { insensitive_reserve: 0.0, ..Default::default() };
+        let r_strict = Simulation::new(SimConfig::homogeneous(1, 4), jobs.clone())
+            .unwrap()
+            .run(&mut RushScheduler::new(strict))
+            .unwrap();
+        let r_open = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
+            .unwrap()
+            .run(&mut RushScheduler::new(open))
+            .unwrap();
+        assert_eq!(r_strict.outcomes.len(), 1);
+        assert_eq!(r_open.outcomes.len(), 1);
+        assert!(
+            r_open.makespan <= r_strict.makespan,
+            "open reserve must not be slower: {} vs {}",
+            r_open.makespan,
+            r_strict.makespan
+        );
+    }
+
+    #[test]
+    fn plan_cache_reused_within_slot() {
+        // Several free containers in one slot must not trigger several
+        // pipeline passes: with 4 containers and 4 runnable tasks at t=0,
+        // scheduler_time stays bounded and the run completes with exactly
+        // 4 assignments.
+        let jobs = vec![job(
+            "burst",
+            0,
+            4,
+            10.0,
+            TimeUtility::sigmoid(50.0, 5.0, 0.2).unwrap(),
+            50,
+        )];
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
+            .unwrap()
+            .run(&mut rush)
+            .unwrap();
+        assert_eq!(r.assignments, 4);
+        // One plan per event, not per container: the last plan is retained.
+        assert!(!rush.last_plan().entries.is_empty() || r.outcomes.len() == 1);
+    }
+
+    #[test]
+    fn failed_attempts_raise_eta_in_next_plan() {
+        use rush_sim::perturb::FailureModel;
+        let jobs = vec![job(
+            "flaky",
+            0,
+            16,
+            10.0,
+            TimeUtility::sigmoid(400.0, 5.0, 0.05).unwrap(),
+            400,
+        )];
+        let cfg = SimConfig::homogeneous(1, 4)
+            .with_failures(FailureModel::Bernoulli { p: 0.3 })
+            .with_seed(11);
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        assert!(r.failed_attempts > 0);
+    }
+
+    #[test]
+    fn mixed_sensitivities_complete() {
+        let mk = |s: Sensitivity, arrival: Slot, budget: f64| {
+            JobSpec::builder(format!("{s:?}"))
+                .arrival(arrival)
+                .tasks((0..6).map(|_| TaskSpec::new(10.0, Phase::Map)))
+                .utility(s.utility_for(budget, 3.0).unwrap())
+                .sensitivity(s)
+                .budget(budget as Slot)
+                .build()
+                .unwrap()
+        };
+        let jobs = vec![
+            mk(Sensitivity::Critical, 0, 120.0),
+            mk(Sensitivity::Sensitive, 10, 200.0),
+            mk(Sensitivity::Insensitive, 20, 100_000.0),
+        ];
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(SimConfig::homogeneous(1, 3), jobs)
+            .unwrap()
+            .run(&mut rush)
+            .unwrap();
+        assert_eq!(r.outcomes.len(), 3);
+        let critical = r.outcomes.iter().find(|o| o.label == "Critical").unwrap();
+        assert!(critical.utility > 1.0, "critical utility {}", critical.utility);
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal CSV writing (RFC 4180 quoting) for exporting figure data.
+
+use std::fmt::Write as _;
+
+/// Accumulates CSV rows in memory; call [`Csv::finish`] for the document.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    buf: String,
+}
+
+impl Csv {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Csv::default()
+    }
+
+    /// Appends one row, quoting cells that contain commas, quotes or
+    /// newlines.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let c = cell.as_ref();
+            if c.contains([',', '"', '\n']) {
+                let _ = write!(self.buf, "\"{}\"", c.replace('"', "\"\""));
+            } else {
+                self.buf.push_str(c);
+            }
+        }
+        self.buf.push('\n');
+        self
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut c = Csv::new();
+        c.row(["a", "b"]).row(["1", "2"]);
+        assert_eq!(c.finish(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut c = Csv::new();
+        c.row(["he,llo", "say \"hi\"", "multi\nline"]);
+        assert_eq!(c.as_str(), "\"he,llo\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+    }
+
+    #[test]
+    fn empty_row_is_newline() {
+        let mut c = Csv::new();
+        c.row(Vec::<&str>::new());
+        assert_eq!(c.as_str(), "\n");
+    }
+}

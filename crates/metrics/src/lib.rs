@@ -1,0 +1,25 @@
+//! Experiment reporting for the RUSH reproduction: fixed-width tables,
+//! boxplot and ECDF series (the shapes behind the paper's Figs. 3–6), and
+//! CSV export for external plotting.
+//!
+//! # Example
+//!
+//! ```
+//! use rush_metrics::table::Table;
+//!
+//! let mut t = Table::new(["scheduler", "median latency"]);
+//! t.row(["RUSH", "-12.0"]);
+//! t.row(["FIFO", "85.0"]);
+//! let s = t.render();
+//! assert!(s.contains("RUSH"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod gantt;
+pub mod series;
+pub mod table;
+
+pub use rush_prob::stats::{Ecdf, FiveNumber};

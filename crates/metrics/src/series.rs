@@ -1,0 +1,110 @@
+//! Figure-series helpers: boxplot rows and ECDF curves.
+
+use rush_prob::stats::{Ecdf, FiveNumber};
+
+/// A labelled boxplot entry, one per (scheduler, configuration) group —
+/// the unit of the paper's Fig. 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotRow {
+    /// Group label (e.g. `"RUSH @ 1.5x"`).
+    pub label: String,
+    /// The five-number summary with outliers.
+    pub stats: FiveNumber,
+    /// Number of samples behind the summary.
+    pub n: usize,
+}
+
+impl BoxplotRow {
+    /// Builds a row from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(label: impl Into<String>, samples: &[f64]) -> Self {
+        BoxplotRow { label: label.into(), stats: FiveNumber::from_samples(samples), n: samples.len() }
+    }
+}
+
+/// An ECDF curve sampled at fixed points — the unit of the paper's Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfCurve {
+    /// Curve label (scheduler name).
+    pub label: String,
+    /// `(x, F(x))` pairs in ascending `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CdfCurve {
+    /// Samples the ECDF of `values` at `grid`.
+    pub fn from_samples(label: impl Into<String>, values: &[f64], grid: &[f64]) -> Self {
+        let ecdf = Ecdf::from_samples(values);
+        CdfCurve { label: label.into(), points: ecdf.series(grid) }
+    }
+
+    /// `F(x)` by lookup on the sampled grid (exact match or nearest below).
+    pub fn at(&self, x: f64) -> f64 {
+        let mut best = 0.0;
+        for &(gx, gy) in &self.points {
+            if gx <= x {
+                best = gy;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Builds an evenly spaced grid of `n ≥ 2` points covering `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `hi ≤ lo`.
+pub fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "grid needs at least two points");
+    assert!(hi > lo, "grid range must be non-empty");
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxplot_row_from_samples() {
+        let r = BoxplotRow::from_samples("x", &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(r.n, 5);
+        assert_eq!(r.stats.median, 3.0);
+        assert_eq!(r.label, "x");
+    }
+
+    #[test]
+    #[should_panic]
+    fn boxplot_row_empty_panics() {
+        BoxplotRow::from_samples("x", &[]);
+    }
+
+    #[test]
+    fn cdf_curve_sampling_and_lookup() {
+        let c = CdfCurve::from_samples("s", &[1.0, 2.0, 3.0, 4.0], &grid(0.0, 5.0, 6));
+        assert_eq!(c.at(0.0), 0.0);
+        assert_eq!(c.at(2.0), 0.5);
+        assert_eq!(c.at(5.0), 1.0);
+        assert_eq!(c.at(4.5), 1.0);
+    }
+
+    #[test]
+    fn grid_is_even_and_inclusive() {
+        let g = grid(0.0, 10.0, 11);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[10], 10.0);
+        assert!((g[5] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_rejects_tiny_n() {
+        grid(0.0, 1.0, 1);
+    }
+}

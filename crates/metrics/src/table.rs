@@ -1,0 +1,156 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table: column widths auto-size to content.
+///
+/// Numeric-looking cells are right-aligned, text left-aligned.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row. Shorter rows are padded with empty cells; longer
+    /// rows are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        let c = &r[i];
+                        c.is_empty() || c.parse::<f64>().is_ok()
+                    })
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:<width$}", h, width = widths[i]);
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if numeric[i] {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals, trimming `-0.0` to `0.0`.
+pub fn fmt_f64(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_owned()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1.5"]);
+        t.row(["b", "-22.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned: both rows end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        t.row(["x", "y"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["h1", "h2"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn text_columns_left_aligned() {
+        let mut t = Table::new(["name", "note"]);
+        t.row(["a", "xx"]);
+        t.row(["bbbb", "y"]);
+        let s = t.render();
+        // "note" column contains non-numeric text → left aligned.
+        assert!(s.lines().nth(2).unwrap().contains("xx"));
+    }
+
+    #[test]
+    fn fmt_f64_handles_negative_zero() {
+        assert_eq!(fmt_f64(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f64(-1.23456, 2), "-1.23");
+        assert_eq!(fmt_f64(12.3456, 3), "12.346");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the probability substrate.
+
+use proptest::prelude::*;
+use rush_prob::dist::{Continuous, Exponential, Gaussian, LogNormal, Uniform};
+use rush_prob::stats::{percentile, Ecdf, FiveNumber};
+use rush_prob::Pmf;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 1..64).prop_filter("non-zero mass", |ws| {
+        ws.iter().sum::<f64>() > 1e-6
+    })
+}
+
+proptest! {
+    #[test]
+    fn pmf_always_normalized(ws in weights_strategy()) {
+        let p = Pmf::from_weights(ws, 1).unwrap();
+        prop_assert!(p.is_normalized());
+    }
+
+    #[test]
+    fn pmf_cdf_monotone(ws in weights_strategy()) {
+        let p = Pmf::from_weights(ws, 1).unwrap();
+        let mut prev = 0.0;
+        for l in 0..p.bins() {
+            let c = p.cdf(l);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        prop_assert!((p.cdf(p.bins() - 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_quantile_inverts_cdf(ws in weights_strategy(), theta in 0.01f64..0.99) {
+        let p = Pmf::from_weights(ws, 1).unwrap();
+        let l = p.quantile_bin(theta);
+        // CDF at quantile covers theta...
+        prop_assert!(p.cdf(l) + 1e-9 >= theta);
+        // ...and is the smallest such bin.
+        if l > 0 {
+            prop_assert!(p.cdf(l - 1) < theta + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kl_divergence_nonnegative(
+        ws1 in weights_strategy(),
+        ws2 in weights_strategy(),
+    ) {
+        let n = ws1.len().min(ws2.len());
+        let p = Pmf::from_weights(ws1[..n].to_vec(), 1);
+        let q = Pmf::from_weights(ws2[..n].to_vec(), 1);
+        if let (Ok(p), Ok(q)) = (p, q) {
+            let q = q.with_support_floor(1e-12).unwrap();
+            let d = p.kl_divergence(&q).unwrap();
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kl_self_divergence_zero(ws in weights_strategy()) {
+        let p = Pmf::from_weights(ws, 1).unwrap();
+        prop_assert!(p.kl_divergence(&p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebin_preserves_total_mass(ws in weights_strategy(), factor in 1u64..8) {
+        let p = Pmf::from_weights(ws, 1).unwrap();
+        let bins = (p.bins() as u64 / factor + 1) as usize;
+        let q = p.rebin(bins, factor).unwrap();
+        prop_assert!(q.is_normalized());
+        // Mean is preserved up to one new-bin width of quantization error.
+        prop_assert!((q.mean() - p.mean()).abs() <= factor as f64 + 1e-9);
+    }
+
+    #[test]
+    fn gaussian_quantize_mass_sums_to_one(
+        mean in 1.0f64..500.0,
+        std in 0.5f64..100.0,
+    ) {
+        let g = Gaussian::new(mean, std).unwrap();
+        let pmf = g.quantize(1024, 1).unwrap();
+        prop_assert!(pmf.is_normalized());
+    }
+
+    #[test]
+    fn continuous_cdfs_monotone(
+        x1 in -100.0f64..100.0,
+        x2 in -100.0f64..100.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let g = Gaussian::new(10.0, 5.0).unwrap();
+        prop_assert!(g.cdf(lo) <= g.cdf(hi) + 1e-12);
+        let u = Uniform::new(-50.0, 50.0).unwrap();
+        prop_assert!(u.cdf(lo) <= u.cdf(hi) + 1e-12);
+        let e = Exponential::new(0.1).unwrap();
+        prop_assert!(e.cdf(lo) <= e.cdf(hi) + 1e-12);
+        let ln = LogNormal::new(1.0, 0.5).unwrap();
+        prop_assert!(ln.cdf(lo) <= ln.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..128), q in 0.0f64..1.0) {
+        let p = percentile(&xs, q);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+    }
+
+    #[test]
+    fn five_number_ordering(xs in prop::collection::vec(-1e4f64..1e4, 2..128)) {
+        let s = FiveNumber::from_samples(&xs);
+        prop_assert!(s.whisker_lo <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.whisker_hi + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_monotone_and_bounded(xs in prop::collection::vec(-1e4f64..1e4, 0..64)) {
+        let e = Ecdf::from_samples(&xs);
+        let mut prev = 0.0;
+        for x in [-2e4, -1e4, 0.0, 1e4, 2e4] {
+            let v = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_std_round_trip(mean in 1.0f64..1e4, cv in 0.05f64..2.0) {
+        let std = mean * cv;
+        let ln = LogNormal::from_mean_std(mean, std).unwrap();
+        prop_assert!((ln.mean() - mean).abs() / mean < 1e-9);
+        prop_assert!((ln.variance().sqrt() - std).abs() / std < 1e-6);
+    }
+}

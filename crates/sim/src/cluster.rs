@@ -1,0 +1,177 @@
+//! Cluster topology: heterogeneous nodes hosting homogeneous containers.
+//!
+//! The paper's testbed mixes Dell R320 (2.7 GHz), T320 (2.3 GHz) and
+//! Optiplex (3.2 GHz) machines; a task's wall-clock runtime therefore
+//! depends on where its container lands. We model each [`Node`] with a
+//! *speed factor* (relative runtime multiplier: 1.0 = baseline, < 1.0 =
+//! faster) and a number of container slots.
+
+use crate::{NodeId, SimError};
+
+/// One machine in the cluster.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Node {
+    id: NodeId,
+    speed_factor: f64,
+    containers: u32,
+}
+
+impl Node {
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Runtime multiplier for tasks on this node (1.0 = baseline speed,
+    /// 0.8 = 25 % faster, 1.2 = 20 % slower).
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Number of containers hosted by this node.
+    pub fn containers(&self) -> u32 {
+        self.containers
+    }
+}
+
+/// The cluster topology handed to the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClusterSpec {
+    nodes: Vec<Node>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from `(speed_factor, containers)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyCluster`] if the total container count is zero.
+    /// * [`SimError::InvalidConfig`] if any speed factor is non-positive or
+    ///   non-finite.
+    pub fn new(nodes: impl IntoIterator<Item = (f64, u32)>) -> Result<Self, SimError> {
+        let mut out = Vec::new();
+        for (i, (speed_factor, containers)) in nodes.into_iter().enumerate() {
+            if !speed_factor.is_finite() || speed_factor <= 0.0 {
+                return Err(SimError::InvalidConfig { reason: "node speed factor must be > 0" });
+            }
+            out.push(Node { id: NodeId(i as u32), speed_factor, containers });
+        }
+        let spec = ClusterSpec { nodes: out };
+        if spec.capacity() == 0 {
+            return Err(SimError::EmptyCluster);
+        }
+        Ok(spec)
+    }
+
+    /// A homogeneous cluster: `nodes` identical unit-speed machines with
+    /// `containers_per_node` containers each.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyCluster`] if the total capacity is zero.
+    pub fn homogeneous(nodes: u32, containers_per_node: u32) -> Result<Self, SimError> {
+        Self::new((0..nodes).map(|_| (1.0, containers_per_node)))
+    }
+
+    /// A heterogeneous cluster shaped like the paper's testbed: six nodes of
+    /// three speed grades (two fast desktops, two mid servers, two slower
+    /// servers) with `containers_per_node` containers each (8 gives the
+    /// paper's 48-container capacity).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyCluster`] if `containers_per_node == 0`.
+    pub fn paper_testbed(containers_per_node: u32) -> Result<Self, SimError> {
+        Self::new(vec![
+            (0.85, containers_per_node), // Optiplex i5-3470 @3.2GHz
+            (0.85, containers_per_node),
+            (1.0, containers_per_node), // R320 E5-2470v2 @2.7GHz
+            (1.0, containers_per_node),
+            (1.15, containers_per_node), // T320 E5-2470 @2.3GHz
+            (1.15, containers_per_node),
+        ])
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Total container capacity `C`.
+    pub fn capacity(&self) -> u32 {
+        self.nodes.iter().map(|n| n.containers).sum()
+    }
+
+    /// Maps a flat container index (`0..capacity()`) to its hosting node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `container >= capacity()`.
+    pub fn node_of_container(&self, container: u32) -> &Node {
+        let mut remaining = container;
+        for node in &self.nodes {
+            if remaining < node.containers {
+                return node;
+            }
+            remaining -= node.containers;
+        }
+        panic!("container index {container} out of range (capacity {})", self.capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_capacity() {
+        let c = ClusterSpec::homogeneous(3, 4).unwrap();
+        assert_eq!(c.capacity(), 12);
+        assert_eq!(c.nodes().len(), 3);
+        assert!(c.nodes().iter().all(|n| n.speed_factor() == 1.0));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(ClusterSpec::homogeneous(0, 4), Err(SimError::EmptyCluster));
+        assert_eq!(ClusterSpec::homogeneous(4, 0), Err(SimError::EmptyCluster));
+    }
+
+    #[test]
+    fn rejects_bad_speed() {
+        assert!(matches!(
+            ClusterSpec::new(vec![(0.0, 1)]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ClusterSpec::new(vec![(f64::NAN, 1)]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = ClusterSpec::paper_testbed(8).unwrap();
+        assert_eq!(c.capacity(), 48);
+        assert_eq!(c.nodes().len(), 6);
+        let speeds: Vec<f64> = c.nodes().iter().map(|n| n.speed_factor()).collect();
+        assert!(speeds.contains(&0.85) && speeds.contains(&1.0) && speeds.contains(&1.15));
+    }
+
+    #[test]
+    fn container_to_node_mapping() {
+        let c = ClusterSpec::new(vec![(1.0, 2), (2.0, 1)]).unwrap();
+        assert_eq!(c.node_of_container(0).id(), NodeId(0));
+        assert_eq!(c.node_of_container(1).id(), NodeId(0));
+        assert_eq!(c.node_of_container(2).id(), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn container_out_of_range_panics() {
+        let c = ClusterSpec::homogeneous(1, 1).unwrap();
+        c.node_of_container(1);
+    }
+}

@@ -1,0 +1,1170 @@
+//! The discrete-time simulation engine.
+//!
+//! [`Simulation::run`] drives a deterministic event loop over job arrivals,
+//! task completions and container assignment. Between events the clock
+//! jumps directly to the next interesting slot, so run cost scales with the
+//! number of task starts/finishes rather than with wall-clock horizon.
+//!
+//! Per event, the processing order is:
+//!
+//! 1. task completions at the current slot (containers are freed, samples
+//!    are reported to the scheduler);
+//! 2. job arrivals at the current slot;
+//! 3. the **dispatch loop**: while containers are free and runnable tasks
+//!    exist, the scheduler is asked to name the job that gets the next
+//!    container. Returning `None` leaves the remaining containers idle
+//!    until the next event — a legitimate decision for a completion-time
+//!    aware scheduler.
+
+use crate::cluster::ClusterSpec;
+use crate::job::{JobSpec, Phase};
+use crate::outcome::{JobOutcome, SimResult};
+use crate::perturb::{FailureModel, Interference};
+use crate::scheduler::Scheduler;
+use crate::trace::{Trace, TraceEvent};
+use crate::view::{ClusterView, JobView, TaskSample};
+use crate::{JobId, SimError, Slot, TaskId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rush_utility::Utility;
+use std::cmp::Reverse;
+use std::time::Instant;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    cluster: ClusterSpec,
+    interference: Interference,
+    failures: FailureModel,
+    record_trace: bool,
+    remote_penalty: f64,
+    max_slots: Slot,
+    seed: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration for the given cluster with no interference,
+    /// a `2^40`-slot horizon and seed 0.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        SimConfig {
+            cluster,
+            interference: Interference::None,
+            failures: FailureModel::None,
+            record_trace: false,
+            remote_penalty: 1.0,
+            max_slots: 1 << 40,
+            seed: 0,
+        }
+    }
+
+    /// Convenience: a homogeneous, interference-free cluster of
+    /// `nodes × containers_per_node` unit-speed containers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity would be zero.
+    pub fn homogeneous(nodes: u32, containers_per_node: u32) -> Self {
+        Self::new(
+            ClusterSpec::homogeneous(nodes, containers_per_node)
+                .expect("homogeneous cluster must have at least one container"),
+        )
+    }
+
+    /// Sets the interference model (default: none).
+    pub fn with_interference(mut self, interference: Interference) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Sets the task-failure model (default: no failures). Failed attempts
+    /// occupy their container for the full attempt duration and the task is
+    /// re-queued.
+    pub fn with_failures(mut self, failures: FailureModel) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Enables event tracing; the resulting [`Trace`] is attached to the
+    /// `SimResult` (see [`crate::outcome`]).
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Sets the runtime multiplier applied when a task with a declared
+    /// [data preference](crate::job::TaskSpec::with_preference) runs on a
+    /// different node (default 1.0 = locality is free). Hadoop's rule of
+    /// thumb for rack-remote map input is 1.1–1.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `penalty ≥ 1.0` and finite.
+    pub fn with_remote_penalty(mut self, penalty: f64) -> Self {
+        assert!(penalty.is_finite() && penalty >= 1.0, "remote penalty must be >= 1");
+        self.remote_penalty = penalty;
+        self
+    }
+
+    /// Sets the RNG seed for interference draws (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the safety horizon after which the run aborts (default 2^40).
+    pub fn with_max_slots(mut self, max_slots: Slot) -> Self {
+        self.max_slots = max_slots;
+        self
+    }
+
+    /// The cluster topology.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Total container capacity.
+    pub fn capacity(&self) -> u32 {
+        self.cluster.capacity()
+    }
+}
+
+/// Per-job mutable state inside the engine.
+#[derive(Debug)]
+struct JobState {
+    spec: JobSpec,
+    /// Unstarted map task indices (popped from the back).
+    pending_maps: Vec<usize>,
+    /// Unstarted reduce task indices (popped from the back).
+    pending_reduces: Vec<usize>,
+    maps_remaining: usize,
+    completed: usize,
+    finish: Option<Slot>,
+    /// Container·slots consumed by successful attempts.
+    useful_slots: u64,
+    /// Container·slots wasted on failed or killed attempts.
+    wasted_slots: u64,
+}
+
+/// A task occupying a container until `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RunningTask {
+    end: Slot,
+    job: usize,
+    task: usize,
+    container: u32,
+    duration: Slot,
+    fails: bool,
+    speculative: bool,
+}
+
+impl RunningTask {
+    fn start(&self) -> Slot {
+        self.end - self.duration
+    }
+}
+
+/// Index of the due attempt with the smallest (end, job, task, container),
+/// or None when nothing ends at `now`.
+fn pop_due(running: &mut Vec<RunningTask>, now: Slot) -> Option<RunningTask> {
+    let idx = running
+        .iter()
+        .enumerate()
+        .filter(|(_, rt)| rt.end == now)
+        .min_by_key(|(_, rt)| (rt.job, rt.task, rt.container))
+        .map(|(i, _)| i)?;
+    Some(running.remove(idx))
+}
+
+/// Earliest attempt end across the running set.
+fn next_end(running: &[RunningTask]) -> Option<Slot> {
+    running.iter().map(|rt| rt.end).min()
+}
+
+/// Refreshes a job view's oldest-running-attempt start from the running set.
+fn refresh_oldest(views: &mut [JobView], running: &[RunningTask], job_idx: usize) {
+    if let Some(v) = views.iter_mut().find(|v| v.id == JobId(job_idx as u32)) {
+        v.oldest_running_start =
+            running.iter().filter(|rt| rt.job == job_idx).map(|rt| rt.start()).min();
+    }
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    jobs: Vec<JobState>,
+}
+
+impl Simulation {
+    /// Creates a simulation over the given jobs. Jobs receive ids
+    /// `JobId(0)..` in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if `jobs` is empty.
+    pub fn new(config: SimConfig, jobs: Vec<JobSpec>) -> Result<Self, SimError> {
+        if jobs.is_empty() {
+            return Err(SimError::InvalidConfig { reason: "no jobs submitted" });
+        }
+        let jobs = jobs
+            .into_iter()
+            .map(|spec| {
+                let maps: Vec<usize> = spec
+                    .tasks()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.phase() == Phase::Map)
+                    .map(|(i, _)| i)
+                    .rev()
+                    .collect();
+                let reduces: Vec<usize> = spec
+                    .tasks()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.phase() == Phase::Reduce)
+                    .map(|(i, _)| i)
+                    .rev()
+                    .collect();
+                JobState {
+                    maps_remaining: maps.len(),
+                    pending_maps: maps,
+                    pending_reduces: reduces,
+                    completed: 0,
+                    finish: None,
+                    useful_slots: 0,
+                    wasted_slots: 0,
+                    spec,
+                }
+            })
+            .collect();
+        Ok(Simulation { config, jobs })
+    }
+
+    /// Runs the simulation to completion under `scheduler`, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::HorizonExceeded`] if the configured `max_slots` passes
+    ///   with unfinished jobs.
+    /// * [`SimError::SchedulerStalled`] if the scheduler refuses to assign
+    ///   while nothing is running and no arrival is pending.
+    pub fn run<S: Scheduler + ?Sized>(mut self, scheduler: &mut S) -> Result<SimResult, SimError> {
+        let capacity = self.config.capacity();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+
+        // Arrivals sorted descending so the next arrival pops from the back.
+        let mut arrivals: Vec<usize> = (0..self.jobs.len()).collect();
+        arrivals.sort_by_key(|&i| Reverse((self.jobs[i].spec.arrival(), i)));
+
+        // Free containers, largest index first so pop() yields the smallest.
+        let mut free: Vec<u32> = (0..capacity).rev().collect();
+        let mut running: Vec<RunningTask> = Vec::with_capacity(capacity as usize);
+        let mut views: Vec<JobView> = Vec::new();
+        let mut result = SimResult::default();
+        let mut trace: Option<Trace> =
+            if self.config.record_trace { Some(Trace::new()) } else { None };
+        let mut now: Slot = match arrivals.last() {
+            Some(&i) => self.jobs[i].spec.arrival(),
+            None => 0,
+        };
+
+        loop {
+            // 1. Completions (and attempt failures) at `now`.
+            while let Some(rt) = pop_due(&mut running, now) {
+                free.push(rt.container);
+                free.sort_unstable_by_key(|&c| Reverse(c));
+                let sibling_running =
+                    running.iter().any(|o| o.job == rt.job && o.task == rt.task);
+                if rt.fails {
+                    let sample = self.fail_task(
+                        &mut views,
+                        rt,
+                        now,
+                        sibling_running,
+                        &mut result,
+                        &mut trace,
+                    );
+                    refresh_oldest(&mut views, &running, rt.job);
+                    let view = ClusterView {
+                        now,
+                        capacity,
+                        free_containers: free.len() as u32,
+                        jobs: &views,
+                    };
+                    let t0 = Instant::now();
+                    scheduler.on_task_failed(&view, sample);
+                    result.scheduler_time += t0.elapsed();
+                } else {
+                    // First successful attempt wins: kill any duplicate of
+                    // the same task before recording the completion.
+                    if sibling_running {
+                        let idx = running
+                            .iter()
+                            .position(|o| o.job == rt.job && o.task == rt.task)
+                            .expect("sibling present");
+                        let sib = running.remove(idx);
+                        free.push(sib.container);
+                        free.sort_unstable_by_key(|&c| Reverse(c));
+                        result.killed_attempts += 1;
+                        self.jobs[sib.job].wasted_slots += now.saturating_sub(sib.start());
+                        if let Some(v) = views.iter_mut().find(|v| v.id == JobId(sib.job as u32))
+                        {
+                            v.running_tasks -= 1;
+                        }
+                        if let Some(trace) = &mut trace {
+                            trace.push(TraceEvent::TaskKilled {
+                                job: JobId(sib.job as u32),
+                                task: TaskId(sib.task as u32),
+                                at: now,
+                            });
+                        }
+                    }
+                    let sample = self.complete_task(&mut views, rt, now, &mut result, &mut trace);
+                    refresh_oldest(&mut views, &running, rt.job);
+                    let view = ClusterView {
+                        now,
+                        capacity,
+                        free_containers: free.len() as u32,
+                        jobs: &views,
+                    };
+                    let t0 = Instant::now();
+                    scheduler.on_task_complete(&view, sample);
+                    result.scheduler_time += t0.elapsed();
+                }
+            }
+
+            // 2. Arrivals at `now`.
+            while arrivals.last().is_some_and(|&i| self.jobs[i].spec.arrival() == now) {
+                let i = arrivals.pop().expect("peeked");
+                let v = self.make_view(i);
+                let id = v.id;
+                views.push(v);
+                if let Some(trace) = &mut trace {
+                    trace.push(TraceEvent::JobArrived { job: id, at: now });
+                }
+                let view =
+                    ClusterView { now, capacity, free_containers: free.len() as u32, jobs: &views };
+                let t0 = Instant::now();
+                scheduler.on_job_arrival(&view, id);
+                result.scheduler_time += t0.elapsed();
+            }
+
+            // 3. Dispatch loop. A bounded misassignment budget lets a
+            // scheduler recover from naming an invalid job without letting
+            // a persistently confused one spin the engine forever.
+            let mut misassign_budget = capacity as u64 + 1;
+            while !free.is_empty() && views.iter().any(|v| v.runnable_tasks > 0) {
+                let view =
+                    ClusterView { now, capacity, free_containers: free.len() as u32, jobs: &views };
+                let t0 = Instant::now();
+                let choice = scheduler.assign(&view);
+                result.scheduler_time += t0.elapsed();
+                result.scheduler_invocations += 1;
+                match choice {
+                    None => break,
+                    Some(id) => {
+                        let Some(vi) = views.iter().position(|v| v.id == id) else {
+                            result.misassignments += 1;
+                            misassign_budget -= 1;
+                            if misassign_budget == 0 {
+                                break;
+                            }
+                            continue;
+                        };
+                        if views[vi].runnable_tasks == 0 {
+                            result.misassignments += 1;
+                            misassign_budget -= 1;
+                            if misassign_budget == 0 {
+                                break;
+                            }
+                            continue;
+                        }
+                        let container = free.pop().expect("free checked");
+                        self.start_task(
+                            &mut views,
+                            vi,
+                            container,
+                            now,
+                            &mut running,
+                            &mut rng,
+                            &mut trace,
+                            &mut result,
+                        );
+                        result.assignments += 1;
+                    }
+                }
+            }
+
+            // 3b. Speculation loop: with containers still free, offer the
+            // scheduler the chance to duplicate a long-running attempt
+            // (Hadoop-style speculative execution). The engine picks the
+            // oldest non-duplicated primary attempt of the named job.
+            let mut spec_budget = capacity as u64;
+            while !free.is_empty() && spec_budget > 0 {
+                spec_budget -= 1;
+                let view =
+                    ClusterView { now, capacity, free_containers: free.len() as u32, jobs: &views };
+                let t0 = Instant::now();
+                let choice = scheduler.speculate(&view);
+                result.scheduler_time += t0.elapsed();
+                let Some(id) = choice else { break };
+                let job_idx = id.0 as usize;
+                let target = running
+                    .iter()
+                    .filter(|rt| {
+                        rt.job == job_idx
+                            && !rt.speculative
+                            && running
+                                .iter()
+                                .filter(|o| o.job == rt.job && o.task == rt.task)
+                                .count()
+                                == 1
+                    })
+                    .min_by_key(|rt| (rt.start(), rt.task))
+                    .copied();
+                let Some(primary) = target else { break };
+                let container = free.pop().expect("free checked");
+                let task = self.jobs[job_idx].spec.tasks()[primary.task];
+                let base = task.base_runtime();
+                let node = self.config.cluster.node_of_container(container);
+                let locality = match task.preferred_node() {
+                    Some(pref) if pref != node.id() => self.config.remote_penalty,
+                    _ => 1.0,
+                };
+                let factor = self.config.interference.draw(&mut rng);
+                let fails = self.config.failures.draw(&mut rng);
+                let duration =
+                    (base * node.speed_factor() * locality * factor).ceil().max(1.0) as Slot;
+                if let Some(trace) = &mut trace {
+                    trace.push(TraceEvent::TaskSpeculated {
+                        job: id,
+                        task: TaskId(primary.task as u32),
+                        container,
+                        node: node.id(),
+                        at: now,
+                        duration,
+                    });
+                }
+                running.push(RunningTask {
+                    end: now + duration,
+                    job: job_idx,
+                    task: primary.task,
+                    container,
+                    duration,
+                    fails,
+                    speculative: true,
+                });
+                if let Some(v) = views.iter_mut().find(|v| v.id == id) {
+                    v.running_tasks += 1;
+                }
+                refresh_oldest(&mut views, &running, job_idx);
+                result.speculative_attempts += 1;
+            }
+
+            // 4. Advance to the next event.
+            if self.jobs.iter().all(|j| j.finish.is_some()) {
+                break;
+            }
+            let next_completion = next_end(&running);
+            let next_arrival = arrivals.last().map(|&i| self.jobs[i].spec.arrival());
+            let next = match (next_completion, next_arrival) {
+                (Some(c), Some(a)) => c.min(a),
+                (Some(c), None) => c,
+                (None, Some(a)) => a,
+                (None, None) => return Err(SimError::SchedulerStalled { at: now }),
+            };
+            debug_assert!(next > now, "time must advance");
+            if next > self.config.max_slots {
+                let unfinished = self.jobs.iter().filter(|j| j.finish.is_none()).count();
+                return Err(SimError::HorizonExceeded {
+                    max_slots: self.config.max_slots,
+                    unfinished,
+                });
+            }
+            now = next;
+        }
+
+        result.makespan = now;
+        result.outcomes.sort_by_key(|o| (o.finish, o.id));
+        result.trace = trace;
+        Ok(result)
+    }
+
+    /// Handles a failed attempt: the task is re-queued and the wasted
+    /// runtime reported.
+    fn fail_task(
+        &mut self,
+        views: &mut [JobView],
+        rt: RunningTask,
+        now: Slot,
+        sibling_running: bool,
+        result: &mut SimResult,
+        trace: &mut Option<Trace>,
+    ) -> TaskSample {
+        let job = &mut self.jobs[rt.job];
+        let was_map = job.spec.tasks()[rt.task].phase() == Phase::Map;
+        // With a duplicate attempt still in flight, the failure is absorbed:
+        // the task stays running elsewhere and is not re-queued.
+        if !sibling_running {
+            if was_map {
+                job.pending_maps.push(rt.task);
+            } else {
+                job.pending_reduces.push(rt.task);
+            }
+        }
+        let vi = views
+            .iter()
+            .position(|v| v.id == JobId(rt.job as u32))
+            .expect("failing task of an active job");
+        let v = &mut views[vi];
+        v.running_tasks -= 1;
+        v.failed_attempts += 1;
+        if !sibling_running {
+            v.pending_tasks += 1;
+            // Re-queued map tasks are always runnable; reduces only once the
+            // map barrier has cleared (it has, if a reduce was running).
+            if was_map || job.maps_remaining == 0 {
+                v.runnable_tasks += 1;
+            }
+        }
+        result.failed_attempts += 1;
+        job.wasted_slots += rt.duration;
+        if let Some(trace) = trace {
+            trace.push(TraceEvent::TaskFailed {
+                job: JobId(rt.job as u32),
+                task: TaskId(rt.task as u32),
+                at: now,
+                runtime: rt.duration,
+            });
+        }
+        TaskSample {
+            job: JobId(rt.job as u32),
+            task: TaskId(rt.task as u32),
+            runtime: rt.duration,
+            finished_at: now,
+        }
+    }
+
+    /// Builds the initial view of job `i`.
+    fn make_view(&self, i: usize) -> JobView {
+        let job = &self.jobs[i];
+        let spec = &job.spec;
+        let runnable = if job.maps_remaining > 0 {
+            job.pending_maps.len()
+        } else {
+            job.pending_maps.len() + job.pending_reduces.len()
+        };
+        JobView {
+            id: JobId(i as u32),
+            label: spec.label().to_owned(),
+            arrival: spec.arrival(),
+            utility: *spec.utility(),
+            priority: spec.priority(),
+            sensitivity: spec.sensitivity(),
+            budget: spec.budget(),
+            total_tasks: spec.tasks().len(),
+            pending_tasks: spec.tasks().len(),
+            runnable_tasks: runnable,
+            running_tasks: 0,
+            completed_tasks: 0,
+            failed_attempts: 0,
+            oldest_running_start: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Starts the next runnable task of the job behind `views[vi]`.
+    #[allow(clippy::too_many_arguments)] // engine plumbing, not public API
+    fn start_task(
+        &mut self,
+        views: &mut [JobView],
+        vi: usize,
+        container: u32,
+        now: Slot,
+        running: &mut Vec<RunningTask>,
+        rng: &mut SmallRng,
+        trace: &mut Option<Trace>,
+        result: &mut SimResult,
+    ) {
+        let job_idx = views[vi].id.0 as usize;
+        let node = self.config.cluster.node_of_container(container);
+        let node_id = node.id();
+        let job = &mut self.jobs[job_idx];
+        // Locality-aware pick: prefer a pending task whose input lives on
+        // this container's node (the data-local choice a YARN node manager
+        // heartbeat would make), falling back to stack order.
+        let pick_local = |pending: &[usize], spec: &JobSpec| -> Option<usize> {
+            pending
+                .iter()
+                .rposition(|&t| spec.tasks()[t].preferred_node() == Some(node_id))
+        };
+        let task_idx = if let Some(pos) = pick_local(&job.pending_maps, &job.spec) {
+            job.pending_maps.remove(pos)
+        } else if let Some(t) = job.pending_maps.pop() {
+            t
+        } else if job.maps_remaining == 0 {
+            if let Some(pos) = pick_local(&job.pending_reduces, &job.spec) {
+                job.pending_reduces.remove(pos)
+            } else {
+                job.pending_reduces.pop().expect("runnable task exists")
+            }
+        } else {
+            unreachable!("runnable task exists")
+        };
+        let task = job.spec.tasks()[task_idx];
+        let base = task.base_runtime();
+        let speed = node.speed_factor();
+        let locality = match task.preferred_node() {
+            Some(pref) if pref != node_id => {
+                result.remote_starts += 1;
+                self.config.remote_penalty
+            }
+            Some(_) => {
+                result.local_starts += 1;
+                1.0
+            }
+            None => 1.0,
+        };
+        let factor = self.config.interference.draw(rng);
+        let fails = self.config.failures.draw(rng);
+        let duration = (base * speed * locality * factor).ceil().max(1.0) as Slot;
+        if let Some(trace) = trace {
+            trace.push(TraceEvent::TaskStarted {
+                job: JobId(job_idx as u32),
+                task: crate::TaskId(task_idx as u32),
+                container,
+                node: node_id,
+                at: now,
+                duration,
+            });
+        }
+        running.push(RunningTask {
+            end: now + duration,
+            job: job_idx,
+            task: task_idx,
+            container,
+            duration,
+            fails,
+            speculative: false,
+        });
+        let v = &mut views[vi];
+        v.pending_tasks -= 1;
+        v.runnable_tasks -= 1;
+        v.running_tasks += 1;
+        refresh_oldest(views, running, job_idx);
+    }
+
+    /// Records a task completion; returns the sample reported to the
+    /// scheduler. Removes the job's view once the job is fully complete.
+    fn complete_task(
+        &mut self,
+        views: &mut Vec<JobView>,
+        rt: RunningTask,
+        now: Slot,
+        result: &mut SimResult,
+        trace: &mut Option<Trace>,
+    ) -> TaskSample {
+        let job = &mut self.jobs[rt.job];
+        job.completed += 1;
+        job.useful_slots += rt.duration;
+        let was_map = job.spec.tasks()[rt.task].phase() == Phase::Map;
+        if was_map {
+            job.maps_remaining -= 1;
+        }
+        let vi = views
+            .iter()
+            .position(|v| v.id == JobId(rt.job as u32))
+            .expect("completing task of an active job");
+        let v = &mut views[vi];
+        v.running_tasks -= 1;
+        v.completed_tasks += 1;
+        if was_map && job.maps_remaining == 0 {
+            // Map barrier cleared: reduces become runnable.
+            v.runnable_tasks += job.pending_reduces.len();
+        }
+        v.samples.push(rt.duration);
+        if let Some(trace) = trace {
+            trace.push(TraceEvent::TaskFinished {
+                job: JobId(rt.job as u32),
+                task: TaskId(rt.task as u32),
+                at: now,
+                runtime: rt.duration,
+            });
+        }
+        let sample = TaskSample {
+            job: JobId(rt.job as u32),
+            task: TaskId(rt.task as u32),
+            runtime: rt.duration,
+            finished_at: now,
+        };
+        if job.completed == job.spec.tasks().len() {
+            job.finish = Some(now);
+            let runtime_slots = now - job.spec.arrival();
+            result.outcomes.push(JobOutcome {
+                id: JobId(rt.job as u32),
+                label: job.spec.label().to_owned(),
+                arrival: job.spec.arrival(),
+                finish: now,
+                runtime: runtime_slots,
+                budget: job.spec.budget(),
+                utility: job.spec.utility().utility(runtime_slots as f64),
+                sensitivity: job.spec.sensitivity(),
+                priority: job.spec.priority(),
+                tasks: job.spec.tasks().len(),
+                container_slots: job.useful_slots,
+                wasted_slots: job.wasted_slots,
+            });
+            if let Some(trace) = trace {
+                trace.push(TraceEvent::JobCompleted { job: JobId(rt.job as u32), at: now });
+            }
+            views.remove(vi);
+        }
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TaskSpec;
+    use crate::scheduler::{fcfs_task_order, FcfsTaskOrder};
+    use rush_utility::TimeUtility;
+
+    fn util() -> TimeUtility {
+        TimeUtility::constant(1.0).unwrap()
+    }
+
+    fn simple_job(label: &str, arrival: Slot, maps: usize, runtime: f64) -> JobSpec {
+        JobSpec::builder(label)
+            .arrival(arrival)
+            .tasks((0..maps).map(|_| TaskSpec::new(runtime, Phase::Map)))
+            .utility(util())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_job_on_ample_cluster_runs_in_one_wave() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 8), vec![simple_job("j", 0, 4, 10.0)])
+            .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.outcomes[0].runtime, 10);
+        assert_eq!(r.assignments, 4);
+        assert_eq!(r.misassignments, 0);
+    }
+
+    #[test]
+    fn constrained_cluster_serializes_waves() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 2), vec![simple_job("j", 0, 4, 10.0)])
+            .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes[0].runtime, 20); // two waves of two tasks
+    }
+
+    #[test]
+    fn arrival_offsets_are_respected() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 1), vec![simple_job("j", 7, 1, 5.0)])
+            .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes[0].arrival, 7);
+        assert_eq!(r.outcomes[0].finish, 12);
+        assert_eq!(r.outcomes[0].runtime, 5);
+    }
+
+    #[test]
+    fn reduce_waits_for_map_barrier() {
+        let job = JobSpec::builder("mr")
+            .tasks(vec![
+                TaskSpec::new(10.0, Phase::Map),
+                TaskSpec::new(2.0, Phase::Map),
+                TaskSpec::new(5.0, Phase::Reduce),
+            ])
+            .utility(util())
+            .build()
+            .unwrap();
+        // Plenty of containers: without the barrier the reduce would start
+        // at 0 and the job would finish at 10; with it, 10 + 5 = 15.
+        let sim = Simulation::new(SimConfig::homogeneous(1, 8), vec![job]).unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes[0].runtime, 15);
+    }
+
+    #[test]
+    fn two_jobs_fcfs_order() {
+        let sim = Simulation::new(
+            SimConfig::homogeneous(1, 1),
+            vec![simple_job("a", 0, 1, 10.0), simple_job("b", 1, 1, 10.0)],
+        )
+        .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        let a = r.outcome(JobId(0)).unwrap();
+        let b = r.outcome(JobId(1)).unwrap();
+        assert_eq!(a.finish, 10);
+        assert_eq!(b.finish, 20); // waits for the single container
+        assert_eq!(b.runtime, 19);
+    }
+
+    #[test]
+    fn node_speed_scales_runtime() {
+        let cluster = ClusterSpec::new(vec![(2.0, 1)]).unwrap(); // 2x slower
+        let sim = Simulation::new(SimConfig::new(cluster), vec![simple_job("j", 0, 1, 10.0)])
+            .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes[0].runtime, 20);
+    }
+
+    #[test]
+    fn interference_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = SimConfig::homogeneous(1, 4)
+                .with_interference(Interference::LogNormal { cv: 0.5 })
+                .with_seed(seed);
+            let sim = Simulation::new(cfg, vec![simple_job("j", 0, 16, 10.0)]).unwrap();
+            sim.run(&mut fcfs_task_order()).unwrap().makespan
+        };
+        assert_eq!(run(9), run(9));
+        // With CV=0.5, two seeds virtually never produce identical makespans.
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn horizon_exceeded_is_reported() {
+        let cfg = SimConfig::homogeneous(1, 1).with_max_slots(5);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 2, 10.0)]).unwrap();
+        let err = sim.run(&mut fcfs_task_order()).unwrap_err();
+        assert!(matches!(err, SimError::HorizonExceeded { unfinished: 1, .. }));
+    }
+
+    #[test]
+    fn empty_job_list_rejected() {
+        assert!(matches!(
+            Simulation::new(SimConfig::homogeneous(1, 1), vec![]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    /// A scheduler that always refuses to assign.
+    #[derive(Debug)]
+    struct Refusenik;
+    impl Scheduler for Refusenik {
+        fn name(&self) -> &str {
+            "refusenik"
+        }
+        fn assign(&mut self, _view: &ClusterView<'_>) -> Option<JobId> {
+            None
+        }
+    }
+
+    #[test]
+    fn refusing_scheduler_stalls() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 1), vec![simple_job("j", 0, 1, 5.0)])
+            .unwrap();
+        let err = sim.run(&mut Refusenik).unwrap_err();
+        assert!(matches!(err, SimError::SchedulerStalled { at: 0 }));
+    }
+
+    /// A scheduler that names a bogus job.
+    #[derive(Debug)]
+    struct Bogus(bool);
+    impl Scheduler for Bogus {
+        fn name(&self) -> &str {
+            "bogus"
+        }
+        fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+            if self.0 {
+                // After the first bogus answer, behave.
+                FcfsTaskOrder.assign(view)
+            } else {
+                self.0 = true;
+                Some(JobId(999))
+            }
+        }
+    }
+
+    #[test]
+    fn misassignments_are_counted_and_survivable() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 2), vec![simple_job("j", 0, 2, 5.0)])
+            .unwrap();
+        let r = sim.run(&mut Bogus(false)).unwrap();
+        assert!(r.misassignments >= 1);
+        assert_eq!(r.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn scheduler_counters_populated() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 2), vec![simple_job("j", 0, 4, 5.0)])
+            .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.assignments, 4);
+        assert!(r.scheduler_invocations >= 4);
+    }
+
+    #[test]
+    fn outcomes_sorted_by_finish() {
+        let sim = Simulation::new(
+            SimConfig::homogeneous(1, 2),
+            vec![simple_job("slow", 0, 1, 30.0), simple_job("fast", 0, 1, 5.0)],
+        )
+        .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes[0].label, "fast");
+        assert_eq!(r.outcomes[1].label, "slow");
+        assert_eq!(r.makespan, 30);
+    }
+
+    #[test]
+    fn failed_attempts_are_requeued_and_job_still_completes() {
+        use crate::perturb::FailureModel;
+        let cfg = SimConfig::homogeneous(1, 2)
+            .with_failures(FailureModel::Bernoulli { p: 0.3 })
+            .with_seed(5);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 30, 10.0)]).unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        assert!(r.failed_attempts > 0, "p=0.3 over 30+ attempts should fail at least once");
+        // Every failed attempt re-runs: assignments = tasks + failures.
+        assert_eq!(r.assignments, 30 + r.failed_attempts);
+        // Wasted attempts stretch the runtime beyond the ideal 150.
+        assert!(r.outcomes[0].runtime >= 150);
+    }
+
+    #[test]
+    fn reduce_failure_respects_barrier_state() {
+        use crate::perturb::FailureModel;
+        // With p=0.5 and a seed chosen to hit a reduce failure, the reduce
+        // must be re-queued as runnable (barrier already cleared).
+        let job = JobSpec::builder("mr")
+            .tasks(vec![TaskSpec::new(5.0, Phase::Map), TaskSpec::new(5.0, Phase::Reduce)])
+            .utility(util())
+            .build()
+            .unwrap();
+        for seed in 0..20 {
+            let cfg = SimConfig::homogeneous(1, 1)
+                .with_failures(FailureModel::Bernoulli { p: 0.4 })
+                .with_seed(seed);
+            let sim = Simulation::new(cfg, vec![job.clone()]).unwrap();
+            let r = sim.run(&mut fcfs_task_order()).unwrap();
+            assert_eq!(r.outcomes.len(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trace_records_full_lifecycle() {
+        use crate::trace::TraceEvent;
+        let cfg = SimConfig::homogeneous(1, 2).with_trace(true);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 3, 2, 10.0)]).unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        let trace = r.trace.expect("tracing enabled");
+        let kinds: Vec<&str> = trace
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::JobArrived { .. } => "arrive",
+                TraceEvent::TaskStarted { .. } => "start",
+                TraceEvent::TaskFinished { .. } => "finish",
+                TraceEvent::TaskFailed { .. } => "fail",
+                TraceEvent::TaskSpeculated { .. } => "speculate",
+                TraceEvent::TaskKilled { .. } => "kill",
+                TraceEvent::JobCompleted { .. } => "complete",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["arrive", "start", "start", "finish", "finish", "complete"]);
+        assert_eq!(trace.events()[0].at(), 3);
+        // CSV renders one line per event plus a header.
+        assert_eq!(trace.to_csv().lines().count(), 7);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let sim = Simulation::new(SimConfig::homogeneous(1, 1), vec![simple_job("j", 0, 1, 5.0)])
+            .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert!(r.trace.is_none());
+    }
+
+    /// Speculates on every opportunity.
+    #[derive(Debug)]
+    struct AlwaysSpeculate;
+    impl Scheduler for AlwaysSpeculate {
+        fn name(&self) -> &str {
+            "always-spec"
+        }
+        fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+            FcfsTaskOrder.assign(view)
+        }
+        fn speculate(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+            view.jobs.iter().find(|j| j.running_tasks > 0).map(|j| j.id)
+        }
+    }
+
+    #[test]
+    fn speculation_duplicates_and_kills_cleanly() {
+        // 2 tasks on 4 containers: after both start, 2 containers stay free
+        // and the speculator duplicates both. Every task finishes once;
+        // sibling attempts are killed; counters balance.
+        let sim = Simulation::new(
+            SimConfig::homogeneous(1, 4).with_trace(true),
+            vec![simple_job("s", 0, 2, 10.0)],
+        )
+        .unwrap();
+        let r = sim.run(&mut AlwaysSpeculate).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.speculative_attempts, 2);
+        // Duplicates on a homogeneous interference-free cluster tie with
+        // their primaries; the primary (processed first by job/task order)
+        // wins and each duplicate is killed.
+        assert_eq!(r.killed_attempts, 2);
+        assert_eq!(r.outcomes[0].runtime, 10);
+        let trace = r.trace.unwrap();
+        use crate::trace::TraceEvent;
+        let kinds: Vec<&str> = trace
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::JobArrived { .. } => "arrive",
+                TraceEvent::TaskStarted { .. } => "start",
+                TraceEvent::TaskFinished { .. } => "finish",
+                TraceEvent::TaskFailed { .. } => "fail",
+                TraceEvent::TaskSpeculated { .. } => "speculate",
+                TraceEvent::TaskKilled { .. } => "kill",
+                TraceEvent::JobCompleted { .. } => "complete",
+            })
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "speculate").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "kill").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "finish").count(), 2);
+    }
+
+    #[test]
+    fn speculation_rescues_failed_primary() {
+        use crate::perturb::FailureModel;
+        // With failures and always-on speculation, a failed primary whose
+        // duplicate is still running is absorbed without re-queueing; the
+        // job still completes exactly its task count.
+        for seed in 0..12 {
+            let cfg = SimConfig::homogeneous(1, 6)
+                .with_failures(FailureModel::Bernoulli { p: 0.4 })
+                .with_seed(seed);
+            let sim = Simulation::new(cfg, vec![simple_job("s", 0, 3, 10.0)]).unwrap();
+            let r = sim.run(&mut AlwaysSpeculate).unwrap();
+            assert_eq!(r.outcomes.len(), 1, "seed {seed}");
+            assert_eq!(r.outcomes[0].tasks, 3);
+        }
+    }
+
+    #[test]
+    fn remote_penalty_slows_misplaced_tasks() {
+        use crate::NodeId;
+        // 2 nodes x 1 container. Two tasks preferring node 0: one runs
+        // local (10 slots), the other is forced onto node 1 (15 slots).
+        let job = JobSpec::builder("loc")
+            .tasks(vec![
+                TaskSpec::new(10.0, Phase::Map).with_preference(NodeId(0)),
+                TaskSpec::new(10.0, Phase::Map).with_preference(NodeId(0)),
+            ])
+            .utility(util())
+            .build()
+            .unwrap();
+        let cfg = SimConfig::homogeneous(2, 1).with_remote_penalty(1.5).with_trace(true);
+        let r = Simulation::new(cfg, vec![job]).unwrap().run(&mut fcfs_task_order()).unwrap();
+        let trace = r.trace.unwrap();
+        let mut durations: Vec<Slot> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::TraceEvent::TaskStarted { duration, .. } => Some(*duration),
+                _ => None,
+            })
+            .collect();
+        durations.sort_unstable();
+        assert_eq!(durations, vec![10, 15]);
+    }
+
+    #[test]
+    fn local_tasks_are_picked_first() {
+        use crate::NodeId;
+        // Single container on node 0; the job has one node-1 task and one
+        // node-0 task queued in that order. The engine must pick the local
+        // (node-0) task first.
+        let job = JobSpec::builder("pick")
+            .tasks(vec![
+                TaskSpec::new(10.0, Phase::Map).with_preference(NodeId(1)),
+                TaskSpec::new(10.0, Phase::Map).with_preference(NodeId(0)),
+            ])
+            .utility(util())
+            .build()
+            .unwrap();
+        let cfg = SimConfig::homogeneous(1, 1).with_remote_penalty(2.0).with_trace(true);
+        let r = Simulation::new(cfg, vec![job]).unwrap().run(&mut fcfs_task_order()).unwrap();
+        let trace = r.trace.unwrap();
+        let first_started = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                crate::trace::TraceEvent::TaskStarted { task, duration, .. } => {
+                    Some((*task, *duration))
+                }
+                _ => None,
+            })
+            .unwrap();
+        // task-1 prefers node 0 → runs first at full speed.
+        assert_eq!(first_started, (crate::TaskId(1), 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "remote penalty")]
+    fn remote_penalty_validated() {
+        let _ = SimConfig::homogeneous(1, 1).with_remote_penalty(0.5);
+    }
+
+    #[test]
+    fn resource_accounting_balances() {
+        use crate::perturb::FailureModel;
+        let cfg = SimConfig::homogeneous(1, 2)
+            .with_failures(FailureModel::Bernoulli { p: 0.25 })
+            .with_seed(4);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 10, 10.0)]).unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        let o = &r.outcomes[0];
+        assert_eq!(o.container_slots, 100, "10 successes x 10 slots");
+        assert_eq!(o.wasted_slots, r.failed_attempts * 10, "each wasted attempt is 10 slots");
+    }
+
+    #[test]
+    fn default_schedulers_never_speculate() {
+        let sim = Simulation::new(
+            SimConfig::homogeneous(1, 8),
+            vec![simple_job("s", 0, 2, 10.0)],
+        )
+        .unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.speculative_attempts, 0);
+        assert_eq!(r.killed_attempts, 0);
+    }
+
+    #[test]
+    fn samples_reach_views_through_scheduler() {
+        /// Records samples it receives.
+        #[derive(Debug, Default)]
+        struct Recorder {
+            samples: Vec<Slot>,
+        }
+        impl Scheduler for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn on_task_complete(&mut self, _view: &ClusterView<'_>, s: TaskSample) {
+                self.samples.push(s.runtime);
+            }
+            fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+                FcfsTaskOrder.assign(view)
+            }
+        }
+        let sim = Simulation::new(SimConfig::homogeneous(1, 2), vec![simple_job("j", 0, 3, 7.0)])
+            .unwrap();
+        let mut rec = Recorder::default();
+        sim.run(&mut rec).unwrap();
+        assert_eq!(rec.samples, vec![7, 7, 7]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulator error types.
+
+use crate::Slot;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The cluster was configured with zero containers.
+    EmptyCluster,
+    /// A job was submitted with no tasks.
+    EmptyJob {
+        /// Label of the offending job.
+        label: String,
+    },
+    /// A task had a non-positive or non-finite base runtime.
+    InvalidRuntime {
+        /// Offending base runtime.
+        base_runtime: f64,
+    },
+    /// The simulation passed `max_slots` without draining all jobs.
+    HorizonExceeded {
+        /// The configured horizon.
+        max_slots: Slot,
+        /// Number of jobs still incomplete.
+        unfinished: usize,
+    },
+    /// The scheduler declined to assign any container while work was
+    /// runnable, no task was running, and no arrival was pending — the
+    /// simulation can never progress.
+    SchedulerStalled {
+        /// Slot at which the stall was detected.
+        at: Slot,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyCluster => write!(f, "cluster must have at least one container"),
+            SimError::EmptyJob { label } => write!(f, "job {label} has no tasks"),
+            SimError::InvalidRuntime { base_runtime } => {
+                write!(f, "task base runtime must be positive and finite, got {base_runtime}")
+            }
+            SimError::HorizonExceeded { max_slots, unfinished } => {
+                write!(f, "simulation exceeded {max_slots} slots with {unfinished} unfinished jobs")
+            }
+            SimError::SchedulerStalled { at } => {
+                write!(f, "scheduler assigned nothing at slot {at} with no way to progress")
+            }
+            SimError::InvalidConfig { reason } => write!(f, "invalid simulator config: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            SimError::EmptyCluster,
+            SimError::EmptyJob { label: "x".into() },
+            SimError::InvalidRuntime { base_runtime: -1.0 },
+            SimError::HorizonExceeded { max_slots: 10, unfinished: 2 },
+            SimError::SchedulerStalled { at: 5 },
+            SimError::InvalidConfig { reason: "bad" },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulation results: per-job outcomes and run-level counters.
+
+use crate::trace::Trace;
+use crate::{JobId, Slot};
+use rush_utility::Sensitivity;
+use std::time::Duration;
+
+/// What happened to one job.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobOutcome {
+    /// Job identifier.
+    pub id: JobId,
+    /// Label (template name).
+    pub label: String,
+    /// Arrival slot.
+    pub arrival: Slot,
+    /// Slot at which the last task finished.
+    pub finish: Slot,
+    /// Job runtime: `finish − arrival` (the paper's "actual job runtime").
+    pub runtime: Slot,
+    /// Declared time budget, if any.
+    pub budget: Option<Slot>,
+    /// Utility achieved: `U(runtime)`.
+    pub utility: f64,
+    /// Completion-time sensitivity class.
+    pub sensitivity: Sensitivity,
+    /// Client priority weight.
+    pub priority: u32,
+    /// Number of tasks in the job.
+    pub tasks: usize,
+    /// Container·slots consumed by successful attempts.
+    pub container_slots: u64,
+    /// Container·slots wasted on failed or killed attempts.
+    pub wasted_slots: u64,
+}
+
+impl JobOutcome {
+    /// The paper's latency metric: `runtime − budget` (negative means the
+    /// job beat its budget). `None` when the job declared no budget.
+    pub fn latency(&self) -> Option<f64> {
+        self.budget.map(|b| self.runtime as f64 - b as f64)
+    }
+
+    /// Whether the job finished within its budget (vacuously `false`
+    /// without a budget).
+    pub fn met_budget(&self) -> bool {
+        matches!(self.latency(), Some(l) if l <= 0.0)
+    }
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// One outcome per job, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Slot at which the last job finished.
+    pub makespan: Slot,
+    /// Number of container assignments performed.
+    pub assignments: u64,
+    /// Number of times the scheduler named a job with no runnable task.
+    pub misassignments: u64,
+    /// Number of `assign` calls issued to the scheduler.
+    pub scheduler_invocations: u64,
+    /// Total wall-clock time spent inside the scheduler (assign +
+    /// notifications) — the quantity behind the paper's Fig. 5 runtime
+    /// series.
+    pub scheduler_time: Duration,
+    /// Task attempts that failed and were re-queued.
+    pub failed_attempts: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative_attempts: u64,
+    /// Task starts placed on their preferred data node.
+    pub local_starts: u64,
+    /// Task starts with a data preference placed on a different node.
+    pub remote_starts: u64,
+    /// Duplicate attempts killed because their sibling finished first.
+    pub killed_attempts: u64,
+    /// The event trace, when tracing was enabled in the config.
+    pub trace: Option<Trace>,
+}
+
+impl SimResult {
+    /// Outcomes restricted to time-aware (critical + sensitive) jobs — the
+    /// population plotted in the paper's Fig. 4.
+    pub fn time_aware_outcomes(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.outcomes.iter().filter(|o| o.sensitivity.is_time_aware())
+    }
+
+    /// The achieved utility vector, one entry per job (arbitrary order) —
+    /// the object RUSH's lexicographic max-min criterion ranks.
+    pub fn utility_vector(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.utility).collect()
+    }
+
+    /// Fraction of jobs with (near-)zero achieved utility, the headline of
+    /// the paper's Fig. 6 discussion.
+    pub fn zero_utility_fraction(&self, eps: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.outcomes.iter().filter(|o| o.utility <= eps).count();
+        zeros as f64 / self.outcomes.len() as f64
+    }
+
+    /// Fraction of preference-carrying task starts that ran data-local
+    /// (1.0 when no task declared a preference).
+    pub fn locality_rate(&self) -> f64 {
+        let total = self.local_starts + self.remote_starts;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_starts as f64 / total as f64
+        }
+    }
+
+    /// Looks up one job's outcome.
+    pub fn outcome(&self, id: JobId) -> Option<&JobOutcome> {
+        self.outcomes.iter().find(|o| o.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u32, runtime: Slot, budget: Option<Slot>, utility: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            label: "t".into(),
+            arrival: 0,
+            finish: runtime,
+            runtime,
+            budget,
+            utility,
+            sensitivity: if id.is_multiple_of(2) {
+                Sensitivity::Sensitive
+            } else {
+                Sensitivity::Insensitive
+            },
+            priority: 1,
+            tasks: 4,
+            container_slots: 40,
+            wasted_slots: 0,
+        }
+    }
+
+    #[test]
+    fn latency_and_budget() {
+        let o = outcome(0, 120, Some(100), 1.0);
+        assert_eq!(o.latency(), Some(20.0));
+        assert!(!o.met_budget());
+        let o = outcome(0, 80, Some(100), 1.0);
+        assert_eq!(o.latency(), Some(-20.0));
+        assert!(o.met_budget());
+        let o = outcome(0, 80, None, 1.0);
+        assert_eq!(o.latency(), None);
+        assert!(!o.met_budget());
+    }
+
+    #[test]
+    fn result_aggregates() {
+        let r = SimResult {
+            outcomes: vec![
+                outcome(0, 10, None, 0.0),
+                outcome(1, 20, None, 2.0),
+                outcome(2, 30, None, 3.0),
+            ],
+            makespan: 30,
+            ..Default::default()
+        };
+        assert_eq!(r.utility_vector(), vec![0.0, 2.0, 3.0]);
+        assert!((r.zero_utility_fraction(1e-9) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.time_aware_outcomes().count(), 2); // ids 0 and 2
+        assert_eq!(r.outcome(JobId(1)).unwrap().utility, 2.0);
+        assert!(r.outcome(JobId(9)).is_none());
+    }
+
+    #[test]
+    fn locality_rate_math() {
+        let mut r = SimResult::default();
+        assert_eq!(r.locality_rate(), 1.0);
+        r.local_starts = 3;
+        r.remote_starts = 1;
+        assert!((r.locality_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_utility_fraction_empty() {
+        assert_eq!(SimResult::default().zero_utility_fraction(0.0), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The scheduler SPI, mirroring YARN's resource-manager plug-in interface.
+//!
+//! The simulation engine invokes a [`Scheduler`] at three points:
+//!
+//! 1. [`on_job_arrival`](Scheduler::on_job_arrival) when a job is submitted;
+//! 2. [`on_task_complete`](Scheduler::on_task_complete) when a task finishes
+//!    (the runtime sample is the estimator telemetry);
+//! 3. [`assign`](Scheduler::assign), repeatedly, whenever containers are
+//!    free and runnable tasks exist — each call hands out **one** container,
+//!    exactly like YARN heartbeat-driven allocation. Returning `None` leaves
+//!    the remaining containers idle for this slot, which is a legitimate
+//!    decision (RUSH intentionally delays time-insensitive jobs).
+
+use crate::view::{ClusterView, TaskSample};
+use crate::JobId;
+
+/// A pluggable cluster scheduler.
+///
+/// Implementations must be deterministic given their inputs; the simulator
+/// supplies no randomness through this interface.
+pub trait Scheduler {
+    /// Short name used in experiment reports (e.g. `"RUSH"`, `"FIFO"`).
+    fn name(&self) -> &str;
+
+    /// Called when a job arrives. The new job is already present in `view`.
+    fn on_job_arrival(&mut self, view: &ClusterView<'_>, job: JobId) {
+        let _ = (view, job);
+    }
+
+    /// Called when a task completes; `sample.runtime` is the observed
+    /// wall-clock runtime in slots.
+    fn on_task_complete(&mut self, view: &ClusterView<'_>, sample: TaskSample) {
+        let _ = (view, sample);
+    }
+
+    /// Called when a task attempt fails (the task has been re-queued);
+    /// `sample.runtime` is the wasted attempt duration.
+    fn on_task_failed(&mut self, view: &ClusterView<'_>, sample: TaskSample) {
+        let _ = (view, sample);
+    }
+
+    /// Offers a chance to *speculate*: duplicate the oldest running attempt
+    /// of the returned job on a free container (the engine picks the
+    /// attempt). Called only while containers remain free after
+    /// [`assign`](Scheduler::assign) declines them. The first attempt to
+    /// finish wins; the other is killed. Default: never speculate.
+    fn speculate(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+        let _ = view;
+        None
+    }
+
+    /// Chooses the job that receives the next free container, or `None` to
+    /// leave remaining containers idle until the next scheduling event.
+    ///
+    /// Returning a job with no runnable tasks counts as a mis-assignment:
+    /// the engine ignores it, stops assigning for this event, and increments
+    /// [`SimResult::misassignments`](crate::outcome::SimResult::misassignments).
+    fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId>;
+}
+
+/// The simplest possible scheduler: gives every free container to the
+/// earliest-arrived job that still has runnable tasks (task-level FCFS).
+///
+/// Useful as a sanity baseline and in tests; the paper's FIFO baseline
+/// (strict job-level head-of-line) lives in `rush-sched`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsTaskOrder;
+
+impl Scheduler for FcfsTaskOrder {
+    fn name(&self) -> &str {
+        "FCFS-task"
+    }
+
+    fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+        view.jobs
+            .iter()
+            .filter(|j| j.runnable_tasks > 0)
+            .min_by_key(|j| (j.arrival, j.id))
+            .map(|j| j.id)
+    }
+}
+
+/// Convenience constructor for [`FcfsTaskOrder`].
+pub fn fcfs_task_order() -> FcfsTaskOrder {
+    FcfsTaskOrder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::JobView;
+    use crate::Slot;
+    use rush_utility::{Sensitivity, TimeUtility};
+
+    fn job_view(id: u32, arrival: Slot, runnable: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            label: format!("j{id}"),
+            arrival,
+            utility: TimeUtility::constant(1.0).unwrap(),
+            priority: 1,
+            sensitivity: Sensitivity::Sensitive,
+            budget: None,
+            total_tasks: 8,
+            pending_tasks: runnable,
+            runnable_tasks: runnable,
+            running_tasks: 0,
+            completed_tasks: 0,
+            failed_attempts: 0,
+            oldest_running_start: None,
+            samples: vec![],
+        }
+    }
+
+    #[test]
+    fn fcfs_prefers_earliest_arrival() {
+        let jobs = vec![job_view(1, 20, 3), job_view(2, 10, 3)];
+        let view = ClusterView { now: 30, capacity: 4, free_containers: 4, jobs: &jobs };
+        assert_eq!(FcfsTaskOrder.assign(&view), Some(JobId(2)));
+    }
+
+    #[test]
+    fn fcfs_skips_jobs_without_runnable_tasks() {
+        let jobs = vec![job_view(1, 10, 0), job_view(2, 20, 1)];
+        let view = ClusterView { now: 30, capacity: 4, free_containers: 4, jobs: &jobs };
+        assert_eq!(FcfsTaskOrder.assign(&view), Some(JobId(2)));
+    }
+
+    #[test]
+    fn fcfs_returns_none_when_nothing_runnable() {
+        let jobs = vec![job_view(1, 10, 0)];
+        let view = ClusterView { now: 30, capacity: 4, free_containers: 4, jobs: &jobs };
+        assert_eq!(FcfsTaskOrder.assign(&view), None);
+    }
+
+    #[test]
+    fn fcfs_breaks_ties_by_id() {
+        let jobs = vec![job_view(2, 10, 1), job_view(1, 10, 1)];
+        let view = ClusterView { now: 30, capacity: 4, free_containers: 4, jobs: &jobs };
+        assert_eq!(FcfsTaskOrder.assign(&view), Some(JobId(1)));
+    }
+}

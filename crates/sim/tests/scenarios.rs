@@ -1,0 +1,191 @@
+//! Scenario-level integration tests of the simulator: heterogeneity,
+//! barriers, failures, tracing and saturation, plus engine invariants under
+//! randomized workloads.
+
+use proptest::prelude::*;
+use rush_sim::cluster::ClusterSpec;
+use rush_sim::engine::{SimConfig, Simulation};
+use rush_sim::job::{JobSpec, Phase, TaskSpec};
+use rush_sim::perturb::{FailureModel, Interference};
+use rush_sim::scheduler::fcfs_task_order;
+use rush_sim::trace::TraceEvent;
+use rush_sim::Slot;
+use rush_utility::TimeUtility;
+
+fn constant() -> TimeUtility {
+    TimeUtility::constant(1.0).unwrap()
+}
+
+fn map_job(label: &str, arrival: Slot, maps: usize, runtime: f64) -> JobSpec {
+    JobSpec::builder(label)
+        .arrival(arrival)
+        .tasks((0..maps).map(|_| TaskSpec::new(runtime, Phase::Map)))
+        .utility(constant())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn heterogeneous_nodes_split_runtimes() {
+    // 2 containers: one on a fast node (0.5x), one on a slow node (2x).
+    // Two identical tasks must finish at different times.
+    let cluster = ClusterSpec::new(vec![(0.5, 1), (2.0, 1)]).unwrap();
+    let cfg = SimConfig::new(cluster).with_trace(true);
+    let r = Simulation::new(cfg, vec![map_job("het", 0, 2, 10.0)])
+        .unwrap()
+        .run(&mut fcfs_task_order())
+        .unwrap();
+    let trace = r.trace.unwrap();
+    let mut finishes: Vec<u64> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TaskFinished { runtime, .. } => Some(*runtime),
+            _ => None,
+        })
+        .collect();
+    finishes.sort_unstable();
+    assert_eq!(finishes, vec![5, 20]);
+}
+
+#[test]
+fn barrier_with_failures_still_orders_phases() {
+    // Map attempts may fail; reduces must never start before the last map
+    // SUCCESS. Verified via the trace ordering.
+    let job = JobSpec::builder("mr")
+        .tasks((0..6).map(|_| TaskSpec::new(8.0, Phase::Map)))
+        .tasks((0..2).map(|_| TaskSpec::new(5.0, Phase::Reduce)))
+        .utility(constant())
+        .build()
+        .unwrap();
+    for seed in 0..10 {
+        let cfg = SimConfig::homogeneous(1, 3)
+            .with_failures(FailureModel::Bernoulli { p: 0.3 })
+            .with_trace(true)
+            .with_seed(seed);
+        let r = Simulation::new(cfg, vec![job.clone()])
+            .unwrap()
+            .run(&mut fcfs_task_order())
+            .unwrap();
+        let trace = r.trace.unwrap();
+        let mut last_map_finish = 0;
+        let mut first_reduce_start = u64::MAX;
+        let mut map_successes = 0;
+        for e in trace.events() {
+            match *e {
+                TraceEvent::TaskFinished { task, at, .. } if task.0 < 6 => {
+                    last_map_finish = last_map_finish.max(at);
+                    map_successes += 1;
+                }
+                TraceEvent::TaskStarted { task, at, .. } if task.0 >= 6 => {
+                    first_reduce_start = first_reduce_start.min(at);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(map_successes, 6, "seed {seed}");
+        assert!(
+            first_reduce_start >= last_map_finish,
+            "seed {seed}: reduce at {first_reduce_start} before barrier {last_map_finish}"
+        );
+    }
+}
+
+#[test]
+fn saturated_cluster_is_work_conserving_under_fcfs() {
+    // 3 jobs x 8 tasks x 10 slots on 4 containers: 240 container·slots on
+    // 4 containers = 60 slots makespan, no idle gaps under FCFS.
+    let jobs: Vec<JobSpec> = (0..3).map(|i| map_job(&format!("j{i}"), 0, 8, 10.0)).collect();
+    let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
+        .unwrap()
+        .run(&mut fcfs_task_order())
+        .unwrap();
+    assert_eq!(r.makespan, 60);
+}
+
+#[test]
+fn trace_csv_round_trip_counts() {
+    let cfg = SimConfig::homogeneous(2, 2).with_trace(true);
+    let jobs = vec![map_job("a", 0, 3, 7.0), map_job("b", 2, 2, 5.0)];
+    let r = Simulation::new(cfg, jobs).unwrap().run(&mut fcfs_task_order()).unwrap();
+    let trace = r.trace.unwrap();
+    let csv = trace.to_csv();
+    // header + 2 arrivals + 5 starts + 5 finishes + 2 completes
+    assert_eq!(csv.lines().count(), 1 + 2 + 5 + 5 + 2);
+    assert_eq!(trace.for_job(rush_sim::JobId(0)).count(), 3 + 3 + 2);
+}
+
+#[test]
+fn interference_and_failures_compose() {
+    let cfg = SimConfig::homogeneous(2, 4)
+        .with_interference(Interference::Straggler { p: 0.2, slowdown: 3.0 })
+        .with_failures(FailureModel::Bernoulli { p: 0.1 })
+        .with_seed(9);
+    let jobs: Vec<JobSpec> = (0..4).map(|i| map_job(&format!("j{i}"), i * 5, 10, 12.0)).collect();
+    let r = Simulation::new(cfg, jobs).unwrap().run(&mut fcfs_task_order()).unwrap();
+    assert_eq!(r.outcomes.len(), 4);
+    assert_eq!(r.assignments, 40 + r.failed_attempts);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine invariants hold for arbitrary small workloads: all jobs
+    /// finish, finishes are causal, assignments account for every attempt,
+    /// and makespan equals the last finish.
+    #[test]
+    fn engine_invariants(
+        specs in prop::collection::vec((0u64..100, 1usize..8, 1.0f64..30.0), 1..8),
+        containers in 1u32..8,
+        fail_p in 0.0f64..0.3,
+        seed in 0u64..1000,
+    ) {
+        let jobs: Vec<JobSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, maps, runtime))| {
+                map_job(&format!("j{i}"), arrival, maps, runtime)
+            })
+            .collect();
+        let total_tasks: u64 = specs.iter().map(|&(_, m, _)| m as u64).sum();
+        let cfg = SimConfig::homogeneous(1, containers)
+            .with_interference(Interference::LogNormal { cv: 0.3 })
+            .with_failures(FailureModel::Bernoulli { p: fail_p })
+            .with_seed(seed);
+        let r = Simulation::new(cfg, jobs).unwrap().run(&mut fcfs_task_order()).unwrap();
+        prop_assert_eq!(r.outcomes.len(), specs.len());
+        prop_assert_eq!(r.assignments, total_tasks + r.failed_attempts);
+        let mut max_finish = 0;
+        for o in &r.outcomes {
+            prop_assert!(o.finish >= o.arrival);
+            prop_assert!(o.runtime >= 1);
+            max_finish = max_finish.max(o.finish);
+        }
+        prop_assert_eq!(r.makespan, max_finish);
+        prop_assert_eq!(r.misassignments, 0);
+    }
+
+    /// Capacity monotonicity: adding containers never increases makespan
+    /// under the FCFS baseline (no interference, no failures).
+    #[test]
+    fn more_capacity_never_hurts_fcfs(
+        specs in prop::collection::vec((0u64..50, 1usize..6, 1.0f64..20.0), 1..6),
+        containers in 1u32..6,
+    ) {
+        let jobs: Vec<JobSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, maps, runtime))| {
+                map_job(&format!("j{i}"), arrival, maps, runtime)
+            })
+            .collect();
+        let run = |c: u32| {
+            Simulation::new(SimConfig::homogeneous(1, c), jobs.clone())
+                .unwrap()
+                .run(&mut fcfs_task_order())
+                .unwrap()
+                .makespan
+        };
+        prop_assert!(run(containers + 1) <= run(containers));
+    }
+}

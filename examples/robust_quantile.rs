@@ -1,0 +1,91 @@
+//! The robust demand pipeline in isolation: estimate a job's remaining
+//! demand from runtime samples, then ask WCDE for the worst-case quantile
+//! at different ambiguity radii — including with a custom, user-supplied
+//! distribution estimator (the extension point the paper's DE framework
+//! advertises).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example robust_quantile
+//! ```
+
+use rush::core::wcde::worst_case_quantile;
+use rush::estimator::{
+    DistributionEstimator, Estimate, EstimatorError, GaussianEstimator, MeanEstimator,
+};
+use rush::prob::Pmf;
+
+/// A custom DE class: a triangular kernel around the sample mean whose
+/// width is three sample standard deviations — deliberately heavier-tailed
+/// than the Gaussian near its center.
+#[derive(Debug)]
+struct TriangularEstimator {
+    bins: usize,
+}
+
+impl DistributionEstimator for TriangularEstimator {
+    fn name(&self) -> &str {
+        "triangular"
+    }
+
+    fn estimate(
+        &self,
+        samples: &[u64],
+        remaining_tasks: usize,
+    ) -> Result<Estimate, EstimatorError> {
+        if samples.is_empty() {
+            return Err(EstimatorError::NoSamples);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<u64>() as f64 / n;
+        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n.max(2.0);
+        let total_mean = mean * remaining_tasks as f64;
+        let half_width = 3.0 * (var * remaining_tasks as f64).sqrt().max(1.0);
+        let hi = total_mean + half_width;
+        let bin_width = ((hi / self.bins as f64).ceil() as u64).max(1);
+        let bins = (hi / bin_width as f64).ceil() as usize + 1;
+        let weights: Vec<f64> = (0..bins)
+            .map(|l| {
+                let x = (l as u64 * bin_width) as f64;
+                (1.0 - (x - total_mean).abs() / half_width).max(0.0)
+            })
+            .collect();
+        let pmf = Pmf::from_weights(weights, bin_width)?.with_support_floor(1e-12)?;
+        Ok(Estimate { pmf, mean_task_runtime: mean.max(1.0) })
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 40 observed task runtimes around 60 slots with spread.
+    let samples: Vec<u64> = (0..40).map(|i| 45 + (i * 7) % 31).collect();
+    let remaining = 61usize;
+    let theta = 0.9;
+
+    println!("samples: n={} mean≈{:.1}", samples.len(), {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    });
+    println!("remaining tasks: {remaining}; completion-probability target θ = {theta}\n");
+
+    let estimators: Vec<Box<dyn DistributionEstimator>> = vec![
+        Box::new(MeanEstimator::new(1024)),
+        Box::new(GaussianEstimator::new(1024)),
+        Box::new(TriangularEstimator { bins: 1024 }),
+    ];
+
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "estimator", "mean", "δ=0", "δ=0.7", "δ=1.4");
+    for de in &estimators {
+        let est = de.estimate(&samples, remaining)?;
+        let mut row = format!("{:<12} {:>10.0}", de.name(), est.pmf.mean());
+        for delta in [0.0, 0.7, 1.4] {
+            let eta = worst_case_quantile(&est.pmf, theta, delta)?.eta;
+            row.push_str(&format!(" {eta:>10}"));
+        }
+        println!("{row}");
+    }
+    println!("\nη grows with δ: the scheduler provisions more container-slots as it");
+    println!("trusts the estimate less. The mean estimator's impulse cannot spread");
+    println!("within the KL ball, so its η barely moves — the paper's reason to");
+    println!("prefer the Gaussian estimator.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! End-to-end scheduler shoot-out on a generated PUMA-style workload —
+//! a miniature of the paper's Sec. V-B evaluation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison -- [jobs] [budget_ratio]
+//! ```
+
+use rush::core::{RushConfig, RushScheduler};
+use rush::metrics::table::{fmt_f64, Table};
+use rush::metrics::FiveNumber;
+use rush::sched::{Edf, Fair, Fifo, Rrh};
+use rush::sim::cluster::ClusterSpec;
+use rush::sim::perturb::Interference;
+use rush::sim::Scheduler;
+use rush::workload::{generate, Experiment, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
+    let ratio: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.5);
+
+    let cluster = ClusterSpec::paper_testbed(8)?;
+    let exp = Experiment::new(cluster)
+        .with_interference(Interference::LogNormal { cv: 0.25 })
+        .with_sim_seed(7);
+    let cfg = WorkloadConfig {
+        jobs,
+        budget_ratio: ratio,
+        mean_interarrival: 45.0,
+        seed: 7,
+        ..Default::default()
+    };
+    let workload = generate(&cfg, &exp)?;
+    println!(
+        "{} jobs, budget = {ratio}x benchmarked runtime, 48 containers\n",
+        workload.len()
+    );
+
+    let mut rush = RushScheduler::new(RushConfig::default());
+    let mut fifo = Fifo::new();
+    let mut edf = Edf::new();
+    let mut rrh = Rrh::new();
+    let mut fair = Fair::new();
+    let mut set: [(&str, &mut dyn Scheduler); 5] = [
+        ("RUSH", &mut rush),
+        ("FIFO", &mut fifo),
+        ("EDF", &mut edf),
+        ("RRH", &mut rrh),
+        ("Fair", &mut fair),
+    ];
+    let results = exp.compare(&workload, &mut set)?;
+
+    let mut t =
+        Table::new(["scheduler", "mean_util", "zero_util", "median_lat", "q3_lat", "met", "makespan"]);
+    for (name, r) in &results {
+        let utils = r.utility_vector();
+        let lat: Vec<f64> = r.time_aware_outcomes().filter_map(|o| o.latency()).collect();
+        let s = FiveNumber::from_samples(&lat);
+        let met = lat.iter().filter(|&&l| l <= 0.0).count();
+        t.row([
+            name.clone(),
+            fmt_f64(utils.iter().sum::<f64>() / utils.len() as f64, 3),
+            fmt_f64(r.zero_utility_fraction(1e-3), 3),
+            fmt_f64(s.median, 1),
+            fmt_f64(s.q3, 1),
+            format!("{}/{}", met, lat.len()),
+            r.makespan.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("latency = runtime − budget over time-aware (critical+sensitive) jobs;");
+    println!("met = jobs finishing within budget.");
+    Ok(())
+}

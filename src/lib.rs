@@ -1,0 +1,31 @@
+//! # RUSH — robust completion-time-aware cluster scheduling
+//!
+//! A full reproduction of *RUSH: A RobUst ScHeduler to Manage Uncertain
+//! Completion-Times in Shared Clouds* (Huang et al., ICDCS 2016) as a Rust
+//! workspace. This facade crate re-exports every sub-crate:
+//!
+//! * [`prob`] — quantized PMFs, KL divergence, distributions, statistics.
+//! * [`sim`] — a discrete-time YARN-like cluster simulator with a pluggable
+//!   scheduler SPI.
+//! * [`utility`] — completion-time utility functions with inverses.
+//! * [`estimator`] — online job-demand distribution estimators.
+//! * [`core`] — the RUSH algorithms (REM closed form, WCDE bisection, onion
+//!   peeling, continuous time-slot mapping) and the [`core::RushScheduler`].
+//! * [`sched`] — baseline schedulers (FIFO, EDF, RRH, Fair).
+//! * [`workload`] — PUMA-like job templates and the experiment driver.
+//! * [`metrics`] — boxplots, ECDFs and table rendering for the harness.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: generate a workload,
+//! schedule it with RUSH and a baseline, and compare utility distributions.
+
+pub use rush_core as core;
+pub use rush_estimator as estimator;
+pub use rush_lp as lp;
+pub use rush_metrics as metrics;
+pub use rush_prob as prob;
+pub use rush_sched as sched;
+pub use rush_sim as sim;
+pub use rush_utility as utility;
+pub use rush_workload as workload;

@@ -1,0 +1,202 @@
+//! End-to-end integration tests spanning every crate: workload generation,
+//! simulation under all five schedulers, determinism, and cross-scheduler
+//! invariants.
+
+use rush::core::{RushConfig, RushScheduler};
+use rush::sched::{Edf, Fair, Fifo, Rrh};
+use rush::sim::cluster::ClusterSpec;
+use rush::sim::outcome::SimResult;
+use rush::sim::perturb::Interference;
+use rush::sim::Scheduler;
+use rush::workload::{generate, Experiment, WorkloadConfig};
+
+fn experiment(seed: u64) -> Experiment {
+    // The calibrated environment of the benchmark harness: the paper's
+    // 48-container testbed under mild shared-cloud interference.
+    Experiment::new(ClusterSpec::paper_testbed(8).unwrap())
+        .with_interference(Interference::LogNormal { cv: 0.25 })
+        .with_sim_seed(seed)
+}
+
+fn workload(jobs: usize, ratio: f64, seed: u64) -> (Experiment, Vec<rush::sim::job::JobSpec>) {
+    let exp = experiment(seed);
+    let cfg = WorkloadConfig {
+        jobs,
+        budget_ratio: ratio,
+        mean_interarrival: 45.0,
+        seed,
+        ..Default::default()
+    };
+    let w = generate(&cfg, &exp).unwrap();
+    (exp, w)
+}
+
+fn run_all(jobs: usize, ratio: f64, seed: u64) -> Vec<(String, SimResult)> {
+    let (exp, w) = workload(jobs, ratio, seed);
+    let mut rush_s = RushScheduler::new(RushConfig::default());
+    let mut fifo = Fifo::new();
+    let mut edf = Edf::new();
+    let mut rrh = Rrh::new();
+    let mut fair = Fair::new();
+    let mut set: [(&str, &mut dyn Scheduler); 5] = [
+        ("RUSH", &mut rush_s),
+        ("FIFO", &mut fifo),
+        ("EDF", &mut edf),
+        ("RRH", &mut rrh),
+        ("Fair", &mut fair),
+    ];
+    exp.compare(&w, &mut set).unwrap()
+}
+
+#[test]
+fn every_scheduler_completes_every_job() {
+    for (name, result) in run_all(16, 1.5, 11) {
+        assert_eq!(result.outcomes.len(), 16, "{name} lost jobs");
+        assert!(result.makespan > 0, "{name} empty makespan");
+        for o in &result.outcomes {
+            assert!(o.finish >= o.arrival, "{name}: finish before arrival");
+            assert!(o.utility >= 0.0, "{name}: negative utility");
+            assert!(o.tasks > 0);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let a = run_all(12, 1.5, 3);
+    let b = run_all(12, 1.5, 3);
+    for ((na, ra), (nb, rb)) in a.iter().zip(b.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(ra.outcomes, rb.outcomes, "{na} nondeterministic");
+        assert_eq!(ra.makespan, rb.makespan);
+        assert_eq!(ra.assignments, rb.assignments);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_workloads() {
+    let a = run_all(12, 1.5, 3);
+    let b = run_all(12, 1.5, 4);
+    assert_ne!(
+        a[0].1.utility_vector(),
+        b[0].1.utility_vector(),
+        "seed must change the workload"
+    );
+}
+
+#[test]
+fn total_assignments_equal_total_tasks() {
+    let (exp, w) = workload(10, 2.0, 5);
+    let total_tasks: u64 = w.iter().map(|j| j.tasks().len() as u64).sum();
+    let mut fifo = Fifo::new();
+    let r = exp.run(w, &mut fifo).unwrap();
+    assert_eq!(r.assignments, total_tasks);
+}
+
+#[test]
+fn rush_beats_arrival_order_schedulers_under_contention() {
+    // The paper's headline (Figs. 4 and 6): under budget pressure, RUSH
+    // meets more time-aware budgets than the arrival-order baselines and
+    // leaves no more jobs at zero utility. The workload and interference
+    // are fully seeded, so this comparison is deterministic.
+    let results = run_all(40, 1.5, 1);
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+            .unwrap()
+    };
+    let met = |r: &SimResult| r.time_aware_outcomes().filter(|o| o.met_budget()).count();
+    let mean = |r: &SimResult| {
+        let v = r.utility_vector();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let rush_r = get("RUSH");
+    let fifo_r = get("FIFO");
+    assert!(
+        met(rush_r) > met(fifo_r),
+        "RUSH met {} vs FIFO {}",
+        met(rush_r),
+        met(fifo_r)
+    );
+    assert!(
+        mean(rush_r) > mean(fifo_r),
+        "RUSH mean {} vs FIFO {}",
+        mean(rush_r),
+        mean(fifo_r)
+    );
+    assert!(
+        rush_r.zero_utility_fraction(1e-3) <= fifo_r.zero_utility_fraction(1e-3) + 1e-9,
+        "RUSH must not leave more jobs at zero utility than FIFO"
+    );
+}
+
+#[test]
+fn rush_meets_more_time_aware_budgets_than_fifo() {
+    let results = run_all(40, 1.5, 2);
+    let met = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r.time_aware_outcomes().filter(|o| o.met_budget()).count())
+            .unwrap()
+    };
+    assert!(
+        met("RUSH") >= met("FIFO"),
+        "RUSH {} vs FIFO {}",
+        met("RUSH"),
+        met("FIFO")
+    );
+}
+
+#[test]
+fn generous_budgets_are_met_by_everyone() {
+    // At 3x budgets on a lightly loaded cluster, every scheduler should
+    // finish the bulk of time-aware jobs in time.
+    let (exp, w) = {
+        let exp = experiment(9);
+        let cfg = WorkloadConfig {
+            jobs: 10,
+            budget_ratio: 3.0,
+            mean_interarrival: 400.0,
+            max_map_tasks: 24,
+            seed: 9,
+            ..Default::default()
+        };
+        let w = generate(&cfg, &exp).unwrap();
+        (exp, w)
+    };
+    let mut rush_s = RushScheduler::new(RushConfig::default());
+    let mut fifo = Fifo::new();
+    let mut set: [(&str, &mut dyn Scheduler); 2] =
+        [("RUSH", &mut rush_s), ("FIFO", &mut fifo)];
+    for (name, r) in exp.compare(&w, &mut set).unwrap() {
+        let aware: Vec<_> = r.time_aware_outcomes().collect();
+        let met = aware.iter().filter(|o| o.met_budget()).count();
+        assert!(
+            met * 10 >= aware.len() * 8,
+            "{name}: only {met}/{} met generous budgets",
+            aware.len()
+        );
+    }
+}
+
+#[test]
+fn scheduler_time_is_accounted() {
+    let (exp, w) = workload(10, 2.0, 6);
+    let mut rush_s = RushScheduler::new(RushConfig::default());
+    let r = exp.run(w, &mut rush_s).unwrap();
+    assert!(r.scheduler_invocations > 0);
+    assert!(r.scheduler_time.as_nanos() > 0, "RUSH work must be timed");
+}
+
+#[test]
+fn rush_reports_projected_plan() {
+    let (exp, w) = workload(6, 2.0, 8);
+    let mut rush_s = RushScheduler::new(RushConfig::default());
+    exp.run(w, &mut rush_s).unwrap();
+    // After the run the last plan reflects the final replanning pass.
+    let plan = rush_s.last_plan();
+    assert!(!plan.entries.is_empty(), "the CA unit must retain its last plan");
+}

@@ -1,0 +1,129 @@
+//! End-to-end robustness properties of the RUSH scheduler itself: on
+//! arbitrary randomized workloads (mixed sensitivities, failures,
+//! interference, tight or absurd budgets) RUSH must never stall, never
+//! mis-assign, and always complete every job.
+
+use proptest::prelude::*;
+use rush::core::wcde::worst_case_quantile;
+use rush::core::{RushConfig, RushScheduler};
+use rush::estimator::{DistributionEstimator, GaussianEstimator};
+use rush::sim::engine::{SimConfig, Simulation};
+use rush::sim::job::{JobSpec, Phase, TaskSpec};
+use rush::sim::perturb::{FailureModel, Interference};
+use rush::utility::{Sensitivity, TimeUtility};
+
+/// Random job spec: arrival, maps, reduces, runtime scale, sensitivity id,
+/// budget scale.
+type JobParams = (u64, usize, usize, f64, u8, f64);
+
+fn job_from(params: &JobParams, i: usize) -> JobSpec {
+    let &(arrival, maps, reduces, runtime, sens, budget_scale) = params;
+    let sensitivity = match sens % 3 {
+        0 => Sensitivity::Critical,
+        1 => Sensitivity::Sensitive,
+        _ => Sensitivity::Insensitive,
+    };
+    // Budgets from absurdly tight (0.2x of serial work) to generous.
+    let serial = runtime * (maps + reduces) as f64;
+    let budget = (serial * budget_scale).max(1.0);
+    JobSpec::builder(format!("p{i}"))
+        .arrival(arrival)
+        .tasks((0..maps).map(|_| TaskSpec::new(runtime, Phase::Map)))
+        .tasks((0..reduces).map(|_| TaskSpec::new(runtime * 0.7, Phase::Reduce)))
+        .utility(sensitivity.utility_for(budget, 1.0 + f64::from(sens % 5)).unwrap())
+        .sensitivity(sensitivity)
+        .budget(budget as u64)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// RUSH completes every job under arbitrary conditions.
+    #[test]
+    fn rush_always_completes(
+        specs in prop::collection::vec(
+            (0u64..300, 1usize..10, 0usize..3, 2.0f64..40.0, 0u8..6, 0.2f64..3.0),
+            1..8,
+        ),
+        containers in 1u32..10,
+        cv in 0.0f64..0.6,
+        fail_p in 0.0f64..0.25,
+        seed in 0u64..500,
+    ) {
+        let jobs: Vec<JobSpec> =
+            specs.iter().enumerate().map(|(i, p)| job_from(p, i)).collect();
+        let n = jobs.len();
+        let cfg = SimConfig::homogeneous(1, containers)
+            .with_interference(Interference::LogNormal { cv: cv.max(0.01) })
+            .with_failures(FailureModel::Bernoulli { p: fail_p })
+            .with_seed(seed)
+            .with_max_slots(50_000_000);
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
+        prop_assert_eq!(r.outcomes.len(), n, "RUSH lost jobs");
+        prop_assert_eq!(r.misassignments, 0, "RUSH named an invalid job");
+        for o in &r.outcomes {
+            prop_assert!(o.utility >= 0.0);
+            prop_assert!(o.finish >= o.arrival);
+        }
+    }
+
+    /// The full estimate→WCDE pipeline respects demand units when the
+    /// quantization uses wide bins (large totals): η is always expressed in
+    /// container·slots, never bin indices.
+    #[test]
+    fn wide_demand_pipeline_units(
+        mean_rt in 200.0f64..2000.0,
+        n_tasks in 50usize..400,
+        theta in 0.5f64..0.95,
+        delta in 0.0f64..1.0,
+    ) {
+        // Totals up to 800k container·slots force bin widths >> 1.
+        let samples: Vec<u64> = (0..40)
+            .map(|i| (mean_rt + (i as f64 - 20.0) * mean_rt * 0.01) as u64)
+            .collect();
+        let est = GaussianEstimator::new(512).estimate(&samples, n_tasks).unwrap();
+        prop_assert!(est.pmf.bin_width() > 1, "expected wide bins");
+        let eta = worst_case_quantile(&est.pmf, theta, delta).unwrap().eta;
+        let expected = mean_rt * n_tasks as f64;
+        prop_assert!(
+            (eta as f64) >= expected * 0.9,
+            "eta {eta} far below expected total {expected}"
+        );
+        prop_assert!(
+            (eta as f64) <= expected * 2.5,
+            "eta {eta} absurdly above expected total {expected}"
+        );
+    }
+
+    /// Determinism end-to-end: identical seeds give identical runs even
+    /// with failures and speculation-capable machinery in the loop.
+    #[test]
+    fn rush_runs_are_reproducible(
+        specs in prop::collection::vec(
+            (0u64..100, 1usize..6, 0usize..2, 2.0f64..20.0, 0u8..6, 0.5f64..2.0),
+            1..5,
+        ),
+        seed in 0u64..200,
+    ) {
+        let jobs: Vec<JobSpec> =
+            specs.iter().enumerate().map(|(i, p)| job_from(p, i)).collect();
+        let run = || {
+            let cfg = SimConfig::homogeneous(1, 4)
+                .with_interference(Interference::LogNormal { cv: 0.3 })
+                .with_failures(FailureModel::Bernoulli { p: 0.1 })
+                .with_seed(seed)
+                .with_max_slots(50_000_000);
+            let mut rush = RushScheduler::new(RushConfig::default());
+            Simulation::new(cfg, jobs.clone()).unwrap().run(&mut rush).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.outcomes, b.outcomes);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.assignments, b.assignments);
+        prop_assert_eq!(a.failed_attempts, b.failed_attempts);
+    }
+}
