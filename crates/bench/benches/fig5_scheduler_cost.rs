@@ -10,7 +10,7 @@ use rush_core::RushConfig;
 use rush_prob::rng::{derive_seed, seeded_rng};
 use rush_utility::TimeUtility;
 
-fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput> {
+fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput<'static>> {
     let mut rng = seeded_rng(derive_seed(seed, n as u64));
     (0..n)
         .map(|_| {
@@ -18,11 +18,11 @@ fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput> {
             let remaining = rng.gen_range(5..80);
             let mean: f64 = rng.gen_range(30.0..90.0);
             let samples: Vec<u64> = (0..observed)
-                .map(|_| (mean + rng.gen_range(-15.0..15.0)).max(1.0) as u64)
+                .map(|_| (mean + rng.gen_range(-15.0f64..15.0)).max(1.0) as u64)
                 .collect();
             let budget = rng.gen_range(200.0..4000.0);
             PlanInput {
-                samples,
+                samples: samples.into(),
                 remaining_tasks: remaining,
                 running: 0,
                 failed_attempts: 0,

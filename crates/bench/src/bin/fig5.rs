@@ -7,19 +7,42 @@
 //! Paper's finding: runtime grows roughly linearly (0.32 s → 7.34 s on
 //! their VM) and memory stays under 130 MB — RUSH is lightweight. Absolute
 //! numbers differ on other hardware; the linear *shape* is the claim.
+//!
+//! Beyond the paper, this binary records the effect of the incremental CA
+//! pipeline. Three per-event costs are measured:
+//!
+//! * **baseline** — the pre-optimization pipeline: per-job estimate + WCDE
+//!   with no memoization and the straightforward [`rush_core::onion::naive`]
+//!   peel (per-probe allocation + sort, full-range bisection per layer).
+//! * **uncached** — `compute_plan` from scratch: optimized peel, no
+//!   memoization.
+//! * **cached** — steady state: each scheduling event mutates one job and
+//!   re-plans through a warm [`PlanCache`], so the estimate + WCDE stage
+//!   re-solves only the mutated job.
+//!
+//! Results are written to `BENCH_fig5_scheduler_cost.json` (override with
+//! `--out PATH`) so the speedup is a versioned artifact, not terminal
+//! scroll-back.
+//!
+//! Flags: `--reps N`, `--seed S`, `--capacity C`, `--out PATH`, `--quick`
+//! (CI mode: fewer points and repetitions).
 
+use rand::Rng;
 use rush_bench::{flag, parse_args};
-use rush_core::plan::{compute_plan, PlanInput};
+use rush_core::mapping::{map_continuous, MapJob};
+use rush_core::onion::{naive, OnionJob, Shifted};
+use rush_core::plan::{compute_plan, compute_plan_cached, PlanCache, PlanInput};
+use rush_core::wcde::worst_case_quantile;
 use rush_core::RushConfig;
+use rush_estimator::{DistributionEstimator, GaussianEstimator};
 use rush_metrics::table::{fmt_f64, Table};
 use rush_prob::rng::{derive_seed, seeded_rng};
 use rush_utility::TimeUtility;
-use rand::Rng;
 use std::time::Instant;
 
 /// Synthetic WordCount-like jobs with random configurations (paper Sec.
 /// V-C).
-fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput> {
+fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput<'static>> {
     let mut rng = seeded_rng(derive_seed(seed, n as u64));
     (0..n)
         .map(|_| {
@@ -27,11 +50,11 @@ fn synth_jobs(n: usize, seed: u64) -> Vec<PlanInput> {
             let remaining = rng.gen_range(5..80);
             let mean: f64 = rng.gen_range(30.0..90.0);
             let samples: Vec<u64> = (0..observed)
-                .map(|_| (mean + rng.gen_range(-15.0..15.0)).max(1.0) as u64)
+                .map(|_| (mean + rng.gen_range(-15.0f64..15.0)).max(1.0) as u64)
                 .collect();
             let budget = rng.gen_range(200.0..4000.0);
             PlanInput {
-                samples,
+                samples: samples.into(),
                 remaining_tasks: remaining,
                 running: 0,
                 failed_attempts: 0,
@@ -53,42 +76,182 @@ fn approx_bytes(cfg: &RushConfig, n_jobs: usize, capacity: u32) -> usize {
     n_jobs * per_job + capacity as usize * std::mem::size_of::<u64>()
 }
 
+/// The pre-optimization CA pass: per-job estimate + WCDE recomputed from
+/// scratch, reference (`naive`) onion peel, continuous mapping. This is
+/// what every scheduling event cost before the incremental pipeline.
+fn baseline_pass(cfg: &RushConfig, capacity: u32, jobs: &[PlanInput<'_>]) {
+    let de = GaussianEstimator::new(cfg.max_bins).with_prior(cfg.cold_prior);
+    let n = jobs.len();
+    let mut etas = Vec::with_capacity(n);
+    let mut task_lens = Vec::with_capacity(n);
+    for j in jobs {
+        let est = de.estimate(&j.samples, j.remaining_tasks).expect("estimate");
+        let eta = worst_case_quantile(&est.pmf, cfg.theta, cfg.delta).expect("wcde").eta;
+        etas.push(eta);
+        task_lens.push(est.mean_task_runtime.ceil().max(1.0) as u64);
+    }
+    let shifted: Vec<Shifted<'_>> = jobs.iter().map(|j| Shifted::new(&j.utility, j.age)).collect();
+    let onion_jobs: Vec<OnionJob<'_>> =
+        shifted.iter().zip(&etas).map(|(u, &eta)| OnionJob { demand: eta, utility: u }).collect();
+    let targets = naive::peel(&onion_jobs, capacity, cfg.tolerance, cfg.horizon).expect("peel");
+    let mut target_of = vec![0.0f64; n];
+    let mut lax_of = vec![false; n];
+    for t in &targets {
+        target_of[t.job] = t.deadline;
+        lax_of[t.job] = t.lax;
+    }
+    let map_jobs: Vec<MapJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let nt = job.remaining_tasks as u64;
+            let r = if nt > 0 { etas[i].div_ceil(nt).max(task_lens[i]) } else { task_lens[i] };
+            MapJob { tasks: nt, task_len: r, target: target_of[i].max(1.0) as u64, lax: lax_of[i] }
+        })
+        .collect();
+    let _ = map_continuous(&map_jobs, capacity).expect("map");
+}
+
+/// One scheduling event: a task of job `k` completes. Exactly one job's
+/// estimator-visible state changes — the access pattern the plan cache is
+/// built for.
+fn apply_event(jobs: &mut [PlanInput<'static>], k: usize, sample: u64) {
+    let job = &mut jobs[k];
+    job.samples.to_mut().push(sample);
+    if job.samples.len() > 120 {
+        job.samples.to_mut().remove(0);
+    }
+    if job.remaining_tasks > 1 {
+        job.remaining_tasks -= 1;
+    }
+}
+
+struct Point {
+    jobs: usize,
+    baseline_ns_per_event: f64,
+    uncached_ns_per_event: f64,
+    cached_ns_per_event: f64,
+    approx_mb: f64,
+}
+
 fn main() {
     let args = parse_args();
-    let reps: usize = flag(&args, "reps", 5);
+    let quick = args.contains_key("quick");
+    let reps: usize = flag(&args, "reps", if quick { 2 } else { 5 });
     let seed: u64 = flag(&args, "seed", 1);
     let capacity: u32 = flag(&args, "capacity", 48);
+    let out_path: String = flag(&args, "out", "BENCH_fig5_scheduler_cost.json".to_owned());
     let cfg = RushConfig::default();
 
     println!("Figure 5: CA-pass cost vs number of simultaneous jobs");
     println!("capacity {capacity} containers, {reps} repetitions per point\n");
 
-    let mut t = Table::new(["jobs", "mean_ms", "per_job_us", "approx_MB"]);
+    let ns: &[usize] = if quick { &[20, 100, 1000] } else { &[20, 50, 100, 200, 500, 1000] };
+    let mut t = Table::new(["jobs", "baseline_ms", "full_ms", "event_ms", "speedup", "approx_MB"]);
+    let mut points: Vec<Point> = Vec::new();
     let mut prev: Option<(usize, f64)> = None;
     let mut ratios = Vec::new();
-    for &n in &[20usize, 50, 100, 200, 500, 1000] {
+    for &n in ns {
+        // Baseline: the pre-optimization per-event cost — full recompute
+        // with the reference peel (the paper's Fig. 5 measurement).
         let jobs = synth_jobs(n, seed);
-        // Warm-up pass.
-        let _ = compute_plan(&cfg, capacity, &jobs).expect("plan");
+        baseline_pass(&cfg, capacity, &jobs); // warm-up
         let t0 = Instant::now();
+        for _ in 0..reps {
+            baseline_pass(&cfg, capacity, &jobs);
+        }
+        let baseline_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        // Uncached: `compute_plan` from scratch with the optimized peel.
+        let _ = compute_plan(&cfg, capacity, &jobs).expect("plan"); // warm-up
+        let t1 = Instant::now();
         for _ in 0..reps {
             let _ = compute_plan(&cfg, capacity, &jobs).expect("plan");
         }
-        let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let uncached_ms = t1.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        // Cached: steady-state event cost. Each event mutates one job, so
+        // the memoized estimate + WCDE stage re-solves that job and serves
+        // the other n−1 from the cache; peel + mapping still run in full.
+        let mut jobs = synth_jobs(n, seed);
+        let mut cache = PlanCache::new();
+        let _ = compute_plan_cached(&cfg, capacity, &jobs, &mut cache).expect("plan");
+        let events = reps.max(3);
+        let t2 = Instant::now();
+        for e in 0..events {
+            apply_event(&mut jobs, e % n, 40 + (e as u64 * 13) % 50);
+            let _ = compute_plan_cached(&cfg, capacity, &jobs, &mut cache).expect("plan");
+        }
+        let cached_ms = t2.elapsed().as_secs_f64() * 1e3 / events as f64;
+
         if let Some((pn, pms)) = prev {
             // Growth rate per job ratio: ideally ~ (n/pn) for linear cost.
-            ratios.push((ms / pms) / (n as f64 / pn as f64));
+            ratios.push((baseline_ms / pms) / (n as f64 / pn as f64));
         }
-        prev = Some((n, ms));
+        prev = Some((n, baseline_ms));
+        let mb = approx_bytes(&cfg, n, capacity) as f64 / 1e6;
         t.row([
             n.to_string(),
-            fmt_f64(ms, 2),
-            fmt_f64(ms * 1e3 / n as f64, 1),
-            fmt_f64(approx_bytes(&cfg, n, capacity) as f64 / 1e6, 1),
+            fmt_f64(baseline_ms, 2),
+            fmt_f64(uncached_ms, 2),
+            fmt_f64(cached_ms, 2),
+            fmt_f64(baseline_ms / cached_ms, 2),
+            fmt_f64(mb, 1),
         ]);
+        points.push(Point {
+            jobs: n,
+            baseline_ns_per_event: baseline_ms * 1e6,
+            uncached_ns_per_event: uncached_ms * 1e6,
+            cached_ns_per_event: cached_ms * 1e6,
+            approx_mb: mb,
+        });
     }
     println!("{}", t.render());
-    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
     println!("normalized growth rate (1.0 = perfectly linear): {}", fmt_f64(avg_ratio, 2));
     println!("Paper shape: near-linear runtime growth; memory well under 130 MB.");
+
+    let json = render_json(&points, capacity, reps, seed, quick);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON: the workspace builds offline, without serde.
+fn render_json(points: &[Point], capacity: u32, reps: usize, seed: u64, quick: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"benchmark\": \"fig5_scheduler_cost\",");
+    let _ = writeln!(s, "  \"unit\": \"ns_per_event\",");
+    let _ = writeln!(s, "  \"capacity\": {capacity},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"jobs\": {}, \"baseline_ns_per_event\": {:.0}, \"uncached_ns_per_event\": {:.0}, \"cached_ns_per_event\": {:.0}, \"speedup\": {:.2}, \"approx_mb\": {:.1}}}{}",
+            p.jobs,
+            p.baseline_ns_per_event,
+            p.uncached_ns_per_event,
+            p.cached_ns_per_event,
+            p.baseline_ns_per_event / p.cached_ns_per_event,
+            p.approx_mb,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let last = points.last().expect("at least one point");
+    let _ = writeln!(
+        s,
+        "  \"speedup_at_{}_jobs\": {:.2}",
+        last.jobs,
+        last.baseline_ns_per_event / last.cached_ns_per_event
+    );
+    let _ = writeln!(s, "}}");
+    s
 }

@@ -21,14 +21,25 @@ use rush_workload::{generate, Experiment, WorkloadConfig};
 use std::collections::HashMap;
 
 /// Parses `--key value` pairs from `std::env::args`.
+///
+/// A `--flag` immediately followed by another `--…` token (or by nothing)
+/// is a bare switch: it is stored with an empty value rather than
+/// swallowing the next flag as its value, so `--quick --out f.json` parses
+/// as `{quick: "", out: "f.json"}`.
 pub fn parse_args() -> HashMap<String, String> {
+    parse_arg_list(std::env::args().skip(1))
+}
+
+fn parse_arg_list(args: impl IntoIterator<Item = String>) -> HashMap<String, String> {
     let mut out = HashMap::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter().peekable();
     while let Some(a) = args.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if let Some(v) = args.next() {
-                out.insert(key.to_owned(), v);
-            }
+            let v = match args.peek() {
+                Some(next) if !next.starts_with("--") => args.next().unwrap_or_default(),
+                _ => String::new(),
+            };
+            out.insert(key.to_owned(), v);
         }
     }
     out
@@ -192,5 +203,15 @@ mod tests {
         assert_eq!(flag(&m, "missing", 7usize), 7);
         m.insert("bad".to_owned(), "xx".to_owned());
         assert_eq!(flag(&m, "bad", 3.5f64), 3.5);
+    }
+
+    #[test]
+    fn bare_switch_does_not_swallow_next_flag() {
+        let argv = ["--quick", "--out", "f.json", "--reps", "3", "--verbose"];
+        let m = parse_arg_list(argv.iter().map(|s| s.to_string()));
+        assert_eq!(m.get("quick").map(String::as_str), Some(""));
+        assert_eq!(m.get("out").map(String::as_str), Some("f.json"));
+        assert_eq!(flag(&m, "reps", 0usize), 3);
+        assert_eq!(m.get("verbose").map(String::as_str), Some(""));
     }
 }

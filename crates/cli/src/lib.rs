@@ -239,7 +239,7 @@ pub fn cmd_dashboard(cli: &Cli) -> Result<String, String> {
             let samples: Vec<u64> =
                 j.tasks()[..done].iter().map(|t| t.base_runtime().round() as u64).collect();
             PlanInput {
-                samples,
+                samples: samples.into(),
                 remaining_tasks: j.tasks().len() - done,
                 running: 0,
                 failed_attempts: 0,

@@ -34,7 +34,7 @@
 //! let cfg = RushConfig::default();
 //! let jobs = vec![
 //!     PlanInput {
-//!         samples: vec![50, 60, 70, 55, 65],
+//!         samples: vec![50, 60, 70, 55, 65].into(),
 //!         remaining_tasks: 10,
 //!         running: 0,
 //!         failed_attempts: 0,
@@ -64,4 +64,5 @@ pub mod wcde;
 
 pub use config::RushConfig;
 pub use error::CoreError;
+pub use plan::{compute_plan, compute_plan_cached, Plan, PlanCache, PlanInput};
 pub use scheduler::RushScheduler;

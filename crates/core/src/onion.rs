@@ -107,46 +107,58 @@ enum Check {
     Infeasible { bottleneck: usize },
 }
 
-/// Sorted index over committed `(deadline, demand)` reservations for
-/// O(log n) cumulative-demand (`G(t)`) queries. Rebuilt once per peel layer
-/// — the committed set only grows between layers — so each feasibility
-/// probe inside the bisection runs in `O(n log n)` instead of `O(n·k)`.
+/// Sorted index over committed `(deadline, demand)` reservations with
+/// prefix sums for cumulative-demand (`G(t)`) queries. Maintained
+/// *incrementally*: peeling a job binary-inserts one reservation instead of
+/// re-sorting the whole committed set every layer.
+#[derive(Default)]
 struct CommittedIndex {
     times: Vec<f64>,
     cums: Vec<u64>,
 }
 
 impl CommittedIndex {
-    fn new(committed: &[(f64, u64)]) -> Self {
-        let mut sorted: Vec<(f64, u64)> = committed.to_vec();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deadlines"));
-        let mut times = Vec::with_capacity(sorted.len());
-        let mut cums = Vec::with_capacity(sorted.len());
-        let mut cum = 0u64;
-        for (t, e) in sorted {
-            cum += e;
-            times.push(t);
-            cums.push(cum);
-        }
-        CommittedIndex { times, cums }
-    }
-
-    /// `G(t)`: total committed demand with deadline ≤ `t`.
-    fn g(&self, t: f64) -> u64 {
-        let idx = self.times.partition_point(|&x| x <= t);
-        if idx == 0 {
-            0
-        } else {
-            self.cums[idx - 1]
+    /// Adds a reservation, keeping `times` sorted (ties in commit order)
+    /// and `cums` the running prefix demand.
+    fn insert(&mut self, t: f64, demand: u64) {
+        let pos = self.times.partition_point(|&x| x <= t);
+        self.times.insert(pos, t);
+        let before = if pos == 0 { 0 } else { self.cums[pos - 1] };
+        self.cums.insert(pos, before + demand);
+        for c in &mut self.cums[pos + 1..] {
+            *c += demand;
         }
     }
 }
 
-/// Tests whether level `L` is feasible for the `active` jobs given the
-/// committed reservations of already-peeled jobs.
+/// Reusable probe state: the `(deadline, job)` buffer persists across
+/// probes and layers, so a feasibility check allocates nothing, and because
+/// neighboring levels barely change the deadline order, the stable sort's
+/// run detection makes the per-probe re-sort nearly linear.
+///
+/// Entries mirror the active set exactly; jobs whose deadline is `Never`
+/// at the probed level keep a sentinel (`∞` for demand-free jobs — they
+/// never block) so they are not lost for later, lower-level probes.
+#[derive(Default)]
+struct ProbeScratch {
+    deadlines: Vec<(f64, usize)>,
+}
+
+impl ProbeScratch {
+    fn fill(&mut self, jobs: &[OnionJob<'_>]) {
+        self.deadlines = (0..jobs.len()).map(|i| (0.0, i)).collect();
+    }
+
+    fn remove(&mut self, job: usize) {
+        self.deadlines.retain(|&(_, i)| i != job);
+    }
+}
+
+/// Tests whether level `L` is feasible for the active jobs (the entries of
+/// `scratch`) given the committed reservations of already-peeled jobs.
 fn check_level(
     jobs: &[OnionJob<'_>],
-    active: &[usize],
+    scratch: &mut ProbeScratch,
     committed: &CommittedIndex,
     capacity: u32,
     horizon: f64,
@@ -154,19 +166,27 @@ fn check_level(
 ) -> Check {
     // Deadline per active job; a `Never` with positive demand is an
     // immediate bottleneck (it cannot reach the level no matter what).
-    let mut deadlines: Vec<(f64, usize)> = Vec::with_capacity(active.len());
-    for &i in active {
+    // The lowest-indexed such job is reported, matching a scan of the
+    // active set in index order.
+    let mut never: Option<usize> = None;
+    for slot in &mut scratch.deadlines {
+        let i = slot.1;
         match jobs[i].utility.latest_time(level).deadline_within(horizon) {
-            Some(d) => deadlines.push((d, i)),
+            Some(d) => slot.0 = d,
             None => {
                 if jobs[i].demand > 0 {
-                    return Check::Infeasible { bottleneck: i };
+                    never = Some(never.map_or(i, |b| b.min(i)));
                 }
-                // Demand-free jobs never block a layer.
+                // Demand-free jobs never block a layer: park them past
+                // every finite deadline.
+                slot.0 = f64::INFINITY;
             }
         }
     }
-    deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite deadlines"));
+    if let Some(b) = never {
+        return Check::Infeasible { bottleneck: b };
+    }
+    scratch.deadlines.sort_by(|a, b| a.partial_cmp(b).expect("deadlines are ordered"));
     // Merged sweep over active deadlines AND committed reservation times.
     // Verifying only the active prefixes is not enough: an active job whose
     // deadline lands just *before* a committed reservation adds its demand
@@ -177,7 +197,11 @@ fn check_level(
     let mut cum = 0u64;
     let mut ci = 0usize;
     let mut last_active: Option<usize> = None;
-    for &(d, i) in &deadlines {
+    for &(d, i) in &scratch.deadlines {
+        if d.is_infinite() {
+            // Demand-free sentinel: contributes nothing, checks nothing.
+            break;
+        }
         while ci < committed.times.len() && committed.times[ci] < d {
             if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
                 return Check::Infeasible { bottleneck: last_active.unwrap_or(i) };
@@ -185,7 +209,14 @@ fn check_level(
             ci += 1;
         }
         cum += jobs[i].demand;
-        if (cum + committed.g(d)) as f64 > c * d + 1e-9 {
+        // G(d): the sweep pointer already skipped times < d; peek past the
+        // ties at exactly d without disturbing it.
+        let mut cj = ci;
+        while cj < committed.times.len() && committed.times[cj] <= d {
+            cj += 1;
+        }
+        let g = if cj == 0 { 0 } else { committed.cums[cj - 1] };
+        if (cum + g) as f64 > c * d + 1e-9 {
             return Check::Infeasible { bottleneck: i };
         }
         last_active = Some(i);
@@ -315,6 +346,9 @@ pub fn peel(
     }
     let mut active: Vec<usize> = (0..jobs.len()).collect();
     let mut committed: Vec<(f64, u64)> = Vec::new();
+    let mut index = CommittedIndex::default();
+    let mut scratch = ProbeScratch::default();
+    scratch.fill(jobs);
     let mut deferred: Vec<(usize, f64)> = Vec::new();
     let mut targets: Vec<Target> = Vec::with_capacity(jobs.len());
     // Global floor: the lowest utility any job can end up with.
@@ -322,6 +356,13 @@ pub fn peel(
     if !level_lo.is_finite() {
         level_lo = 0.0;
     }
+    // Whether `level_lo` is known feasible for the current active/committed
+    // state. Peeling a bottleneck at a proven-feasible level preserves
+    // feasibility of that level exactly (the job's demand moves from the
+    // active sweep to a reservation at the same deadline), so the floor
+    // only needs an explicit probe on the first layer and after an
+    // infeasible-floor peel.
+    let mut floor_feasible = false;
 
     while !active.is_empty() {
         let level_hi = active
@@ -330,19 +371,48 @@ pub fn peel(
             .fold(f64::NEG_INFINITY, f64::max)
             .max(level_lo);
         let mut lo = level_lo;
-        let mut hi = (level_hi + tolerance).max(lo + tolerance);
+        let hi_cap = (level_hi + tolerance).max(lo + tolerance);
         let mut bottleneck: Option<usize> = None;
-        let index = CommittedIndex::new(&committed);
         // The floor itself may be infeasible in overload; the bottleneck of
         // the floor check then peels at the floor level.
-        if let Check::Infeasible { bottleneck: b } =
-            check_level(jobs, &active, &index, capacity, horizon, lo)
-        {
-            bottleneck = Some(b);
-        } else {
+        let floor_ok = floor_feasible
+            || match check_level(jobs, &mut scratch, &index, capacity, horizon, lo) {
+                Check::Feasible => true,
+                Check::Infeasible { bottleneck: b } => {
+                    bottleneck = Some(b);
+                    false
+                }
+            };
+        if floor_ok {
+            // Warm-started bisection: consecutive layers converge to
+            // nearby levels, so instead of always bracketing against the
+            // global sup, gallop upward from the floor with a geometrically
+            // growing window until a probe turns infeasible (or the cap is
+            // reached), then bisect the bracket down to `tolerance`. The
+            // first probe sits one tolerance above the floor: with many
+            // jobs the level gap between layers is usually smaller, and an
+            // infeasible first probe converges the layer immediately.
+            let mut width = tolerance;
+            let mut hi = (lo + width).min(hi_cap);
+            while hi < hi_cap {
+                match check_level(jobs, &mut scratch, &index, capacity, horizon, hi) {
+                    Check::Feasible => {
+                        lo = hi;
+                        width *= 4.0;
+                        hi = (lo + width).min(hi_cap);
+                    }
+                    Check::Infeasible { bottleneck: b } => {
+                        bottleneck = Some(b);
+                        break;
+                    }
+                }
+            }
+            if bottleneck.is_none() {
+                hi = hi_cap;
+            }
             while hi - lo > tolerance {
                 let mid = 0.5 * (lo + hi);
-                match check_level(jobs, &active, &index, capacity, horizon, mid) {
+                match check_level(jobs, &mut scratch, &index, capacity, horizon, mid) {
                     Check::Feasible => lo = mid,
                     Check::Infeasible { bottleneck: b } => {
                         hi = mid;
@@ -363,14 +433,23 @@ pub fn peel(
                     // job that *does* care has been peeled.
                     deferred.push((b, level_b));
                     active.retain(|&i| i != b);
+                    scratch.remove(b);
+                    // Removing demand can only help: a floor proven
+                    // feasible this layer stays feasible.
+                    floor_feasible = floor_ok;
                     continue;
                 }
                 let deadline = deadline_for(&jobs[b], lo, horizon);
                 targets.push(Target { job: b, level: lo, deadline, lax: false });
                 committed.push((deadline, jobs[b].demand));
+                index.insert(deadline, jobs[b].demand);
                 active.retain(|&i| i != b);
-                // Later layers can only improve on this level.
+                scratch.remove(b);
+                // Later layers can only improve on this level; it stays
+                // feasible only if it was proven so this layer (peeling
+                // from an infeasible floor must re-probe).
                 level_lo = lo;
+                floor_feasible = floor_ok;
             }
             None => {
                 // Everything feasible up to every job's supremum: peel all
@@ -417,6 +496,205 @@ fn is_deadline_free(job: &OnionJob<'_>, level: f64) -> bool {
         return true;
     }
     matches!(job.utility.latest_time(level), LatestTime::Always)
+}
+
+/// Straightforward reference implementation of Algorithm 3.
+///
+/// This is the direct transcription of the paper: every feasibility probe
+/// recomputes and re-sorts all active deadlines, the committed-demand index
+/// is rebuilt once per layer, and each layer bisects the full
+/// `[floor, sup]` level range. The optimized [`peel`] must produce the
+/// same layering — property tests compare the two on random instances, and
+/// the Fig. 5 benchmark uses this as the before-optimization baseline.
+pub mod naive {
+    use super::{
+        asap_deadline, deadline_for, is_deadline_free, Check, OnionJob, Target, ZERO_LEVEL,
+    };
+    use crate::CoreError;
+
+    /// Sorted index over committed `(deadline, demand)` reservations,
+    /// rebuilt from scratch once per peel layer.
+    struct CommittedIndex {
+        times: Vec<f64>,
+        cums: Vec<u64>,
+    }
+
+    impl CommittedIndex {
+        fn new(committed: &[(f64, u64)]) -> Self {
+            let mut sorted: Vec<(f64, u64)> = committed.to_vec();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deadlines"));
+            let mut times = Vec::with_capacity(sorted.len());
+            let mut cums = Vec::with_capacity(sorted.len());
+            let mut cum = 0u64;
+            for (t, e) in sorted {
+                cum += e;
+                times.push(t);
+                cums.push(cum);
+            }
+            CommittedIndex { times, cums }
+        }
+
+        /// `G(t)`: total committed demand with deadline ≤ `t`.
+        fn g(&self, t: f64) -> u64 {
+            let idx = self.times.partition_point(|&x| x <= t);
+            if idx == 0 {
+                0
+            } else {
+                self.cums[idx - 1]
+            }
+        }
+    }
+
+    /// Theorem 2 feasibility probe, allocating and sorting per call.
+    fn check_level(
+        jobs: &[OnionJob<'_>],
+        active: &[usize],
+        committed: &CommittedIndex,
+        capacity: u32,
+        horizon: f64,
+        level: f64,
+    ) -> Check {
+        let mut deadlines: Vec<(f64, usize)> = Vec::with_capacity(active.len());
+        for &i in active {
+            match jobs[i].utility.latest_time(level).deadline_within(horizon) {
+                Some(d) => deadlines.push((d, i)),
+                None => {
+                    if jobs[i].demand > 0 {
+                        return Check::Infeasible { bottleneck: i };
+                    }
+                }
+            }
+        }
+        deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite deadlines"));
+        let c = capacity as f64;
+        let mut cum = 0u64;
+        let mut ci = 0usize;
+        let mut last_active: Option<usize> = None;
+        for &(d, i) in &deadlines {
+            while ci < committed.times.len() && committed.times[ci] < d {
+                if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
+                    return Check::Infeasible { bottleneck: last_active.unwrap_or(i) };
+                }
+                ci += 1;
+            }
+            cum += jobs[i].demand;
+            if (cum + committed.g(d)) as f64 > c * d + 1e-9 {
+                return Check::Infeasible { bottleneck: i };
+            }
+            last_active = Some(i);
+        }
+        while ci < committed.times.len() {
+            if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
+                if let Some(b) = last_active {
+                    return Check::Infeasible { bottleneck: b };
+                }
+                break;
+            }
+            ci += 1;
+        }
+        Check::Feasible
+    }
+
+    /// Runs Algorithm 3 exactly as written — see the module docs. Same
+    /// contract as [`super::peel`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] under the same conditions as
+    /// [`super::peel`].
+    pub fn peel(
+        jobs: &[OnionJob<'_>],
+        capacity: u32,
+        tolerance: f64,
+        horizon: f64,
+    ) -> Result<Vec<Target>, CoreError> {
+        if capacity == 0 {
+            return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
+        }
+        if !tolerance.is_finite() || tolerance <= 0.0 {
+            return Err(CoreError::InvalidConfig { reason: "tolerance must be > 0" });
+        }
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(CoreError::InvalidConfig { reason: "horizon must be > 0" });
+        }
+        let mut active: Vec<usize> = (0..jobs.len()).collect();
+        let mut committed: Vec<(f64, u64)> = Vec::new();
+        let mut deferred: Vec<(usize, f64)> = Vec::new();
+        let mut targets: Vec<Target> = Vec::with_capacity(jobs.len());
+        let mut level_lo = jobs.iter().map(|j| j.utility.inf()).fold(f64::INFINITY, f64::min);
+        if !level_lo.is_finite() {
+            level_lo = 0.0;
+        }
+
+        while !active.is_empty() {
+            let level_hi = active
+                .iter()
+                .map(|&i| jobs[i].utility.sup())
+                .fold(f64::NEG_INFINITY, f64::max)
+                .max(level_lo);
+            let mut lo = level_lo;
+            let mut hi = (level_hi + tolerance).max(lo + tolerance);
+            let mut bottleneck: Option<usize> = None;
+            let index = CommittedIndex::new(&committed);
+            if let Check::Infeasible { bottleneck: b } =
+                check_level(jobs, &active, &index, capacity, horizon, lo)
+            {
+                bottleneck = Some(b);
+            } else {
+                while hi - lo > tolerance {
+                    let mid = 0.5 * (lo + hi);
+                    match check_level(jobs, &active, &index, capacity, horizon, mid) {
+                        Check::Feasible => lo = mid,
+                        Check::Infeasible { bottleneck: b } => {
+                            hi = mid;
+                            bottleneck = Some(b);
+                        }
+                    }
+                }
+            }
+
+            match bottleneck {
+                Some(b) => {
+                    let level_b = lo.min(jobs[b].utility.sup());
+                    if is_deadline_free(&jobs[b], level_b) {
+                        deferred.push((b, level_b));
+                        active.retain(|&i| i != b);
+                        continue;
+                    }
+                    let deadline = deadline_for(&jobs[b], lo, horizon);
+                    targets.push(Target { job: b, level: lo, deadline, lax: false });
+                    committed.push((deadline, jobs[b].demand));
+                    active.retain(|&i| i != b);
+                    level_lo = lo;
+                }
+                None => {
+                    for &i in &active {
+                        let level_i = lo.min(jobs[i].utility.sup());
+                        if is_deadline_free(&jobs[i], level_i) {
+                            deferred.push((i, level_i));
+                            continue;
+                        }
+                        let deadline = deadline_for(&jobs[i], lo, horizon);
+                        targets.push(Target { job: i, level: level_i, deadline, lax: false });
+                        committed.push((deadline, jobs[i].demand));
+                    }
+                    active.clear();
+                }
+            }
+        }
+
+        deferred.sort_by(|a, b| {
+            let flat_a = a.1 > ZERO_LEVEL;
+            let flat_b = b.1 > ZERO_LEVEL;
+            (flat_a, jobs[a.0].demand, a.0).cmp(&(flat_b, jobs[b.0].demand, b.0))
+        });
+        for (i, level) in deferred {
+            let deadline = asap_deadline(jobs[i].demand, &committed, capacity).min(horizon);
+            targets.push(Target { job: i, level, deadline, lax: true });
+            committed.push((deadline, jobs[i].demand));
+        }
+        Ok(targets)
+    }
 }
 
 #[cfg(test)]

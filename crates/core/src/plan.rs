@@ -10,6 +10,18 @@
 //! event. Keeping the pipeline pure also lets the Fig. 5 benchmarks
 //! measure scheduling cost at 20–1000 simultaneous jobs without running a
 //! cluster.
+//!
+//! # Incremental operation
+//!
+//! A scheduling event (task completion, failure, arrival) changes the
+//! estimator-visible state of *one* job; the other jobs' robust demands
+//! `(η, R)` are unchanged. [`PlanCache`] memoizes the estimate + WCDE
+//! stage per job, keyed by a fingerprint of everything that stage reads:
+//! the sample multiset (order-sensitive — estimators may window), the
+//! remaining-task count, the failure count and the config knobs. Ages and
+//! utilities are deliberately **not** part of the key: they only enter the
+//! peel and mapping stages, which are always recomputed. A cached pass
+//! therefore produces bit-identical plans to an uncached one.
 
 use crate::config::EstimatorKind;
 use crate::mapping::{map_continuous, MapJob};
@@ -21,14 +33,21 @@ use rush_estimator::{
     WindowedEstimator,
 };
 use rush_utility::TimeUtility;
+use std::borrow::Cow;
+use std::collections::HashMap;
 
 /// Scheduler-visible state of one job, fed into the pipeline.
+///
+/// `samples` borrows from the caller whenever possible (the scheduler's
+/// sample pools, the simulator's job views); owned vectors still convert
+/// via `.into()`. One CA pass over 1000 jobs then clones no sample data
+/// at all.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PlanInput {
+pub struct PlanInput<'a> {
     /// Observed runtimes (slots) of the job's completed tasks. May be
     /// empty (cold start) — the config's prior or a cross-job pool then
     /// substitutes.
-    pub samples: Vec<u64>,
+    pub samples: Cow<'a, [u64]>,
     /// Tasks not yet started.
     pub remaining_tasks: usize,
     /// Containers the job currently occupies.
@@ -75,34 +94,260 @@ impl Plan {
     }
 }
 
-/// Renders a plan as the monitoring table the paper's enhanced HTTP
-/// interface displays (Fig. 2): per job, the robust demand, projected
-/// completion time, achieved level — and a `!!` marker on *impossible*
-/// jobs (the red rows that tell the user to renegotiate the job's
-/// requirements).
+/// The memoized result of the estimate + WCDE stage for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSolve {
+    /// Robust remaining demand `η` in container·slots.
+    pub eta: u64,
+    /// Average task runtime `R` (slots), for the mapping stage.
+    pub task_len: u64,
+}
+
+/// Memo table for the per-job estimate + WCDE stage.
 ///
-/// `labels` must parallel the plan's entries (shorter slices are padded
-/// with the entry index).
-pub fn render_dashboard(plan: &Plan, labels: &[&str]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<20} {:>10} {:>6} {:>10} {:>8} {:>8} {:>11}  status",
-        "job", "eta", "R", "target", "level", "desired", "proj_done"
-    );
-    let width = 20 + 1 + 10 + 1 + 6 + 1 + 10 + 1 + 8 + 1 + 8 + 1 + 11 + 2 + 6;
-    let _ = writeln!(out, "{}", "-".repeat(width));
-    for (i, e) in plan.entries.iter().enumerate() {
-        let label = labels.get(i).copied().map_or_else(|| i.to_string(), str::to_owned);
-        let status = if e.impossible { "!! impossible" } else { "ok" };
-        let _ = writeln!(
-            out,
-            "{:<20} {:>10} {:>6} {:>10.1} {:>8.3} {:>8} {:>11}  {}",
-            label, e.eta, e.task_len, e.target, e.level, e.desired_now, e.planned_completion, status
-        );
+/// Entries are keyed by a fingerprint of the job state *and* the config
+/// knobs that stage reads (θ, δ, bins, estimator class and parameters,
+/// cold prior, failure awareness) — changing any of those naturally
+/// misses. The table self-prunes: each pass keeps only the entries it
+/// touched, so memory is bounded by the live job set, and entries for
+/// departed jobs vanish on the next pass.
+///
+/// When used through [`compute_plan_with_cached`] with a *custom*
+/// estimator, dedicate one cache per estimator instance — the fingerprint
+/// can only see the estimator named in the config.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    map: HashMap<u128, JobSolve>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
     }
-    out
+
+    /// Lifetime count of per-job stage results served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime count of per-job stage results actually computed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries currently retained (≤ jobs in the last pass).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a, folded over `u64` words. Cheap, dependency-free and stable
+/// across runs — cache keys never hit the allocator or `DefaultHasher`'s
+/// randomized state.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(seed: u64) -> Self {
+        Fnv(FNV_OFFSET ^ seed)
+    }
+
+    fn u64(mut self, v: u64) -> Self {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+}
+
+/// Hash of every config knob the estimate + WCDE stage reads. Mixed into
+/// each job fingerprint so a cache survives config changes correctly.
+fn config_tag(config: &RushConfig) -> u64 {
+    let h = Fnv::new(0)
+        .f64(config.theta)
+        .f64(config.delta)
+        .u64(config.max_bins as u64)
+        .u64(u64::from(config.failure_aware))
+        .f64(config.cold_prior.mean)
+        .f64(config.cold_prior.std);
+    match config.estimator {
+        EstimatorKind::Mean => h.u64(1),
+        EstimatorKind::Gaussian => h.u64(2),
+        EstimatorKind::Empirical { resamples } => h.u64(3).u64(resamples as u64),
+        EstimatorKind::Windowed { window } => h.u64(4).u64(window as u64),
+    }
+    .0
+}
+
+/// 128-bit fingerprint of one job's estimator-visible state: two
+/// independently seeded 64-bit FNV streams over the sample sequence,
+/// remaining-task count and failure count. Age and utility are excluded
+/// on purpose — they do not enter this stage.
+fn fingerprint(tag: u64, job: &PlanInput<'_>) -> u128 {
+    let mut lo = Fnv::new(tag)
+        .u64(job.remaining_tasks as u64)
+        .u64(job.failed_attempts as u64)
+        .u64(job.samples.len() as u64);
+    let mut hi = Fnv::new(tag ^ 0x9e37_79b9_7f4a_7c15)
+        .u64(job.remaining_tasks as u64)
+        .u64(job.failed_attempts as u64)
+        .u64(job.samples.len() as u64);
+    for &s in job.samples.iter() {
+        lo = lo.u64(s);
+        hi = hi.u64(s.rotate_left(17));
+    }
+    (u128::from(hi.0) << 64) | u128::from(lo.0)
+}
+
+/// The estimator bound the pipeline requires. With the `parallel` feature
+/// the per-job stage fans out across threads, so the estimator must also
+/// be [`Sync`]; without it the alias is exactly [`DistributionEstimator`].
+/// Blanket-implemented — callers never implement it by hand.
+#[cfg(feature = "parallel")]
+pub trait PlanEstimator: DistributionEstimator + Sync {}
+#[cfg(feature = "parallel")]
+impl<T: DistributionEstimator + Sync> PlanEstimator for T {}
+
+/// The estimator bound the pipeline requires. With the `parallel` feature
+/// the per-job stage fans out across threads, so the estimator must also
+/// be [`Sync`]; without it the alias is exactly [`DistributionEstimator`].
+/// Blanket-implemented — callers never implement it by hand.
+#[cfg(not(feature = "parallel"))]
+pub trait PlanEstimator: DistributionEstimator {}
+#[cfg(not(feature = "parallel"))]
+impl<T: DistributionEstimator> PlanEstimator for T {}
+
+/// Estimate + WCDE + failure inflation for one job (steps 1–2 of the CA
+/// pass). Pure in its inputs — the contract the memo table relies on.
+fn solve_one<E: PlanEstimator>(
+    config: &RushConfig,
+    job: &PlanInput<'_>,
+    estimator: &E,
+) -> Result<JobSolve, CoreError> {
+    let est = estimator.estimate(&job.samples, job.remaining_tasks)?;
+    let eta = if job.remaining_tasks == 0 {
+        0
+    } else {
+        let base = worst_case_quantile(&est.pmf, config.theta, config.delta)?.eta;
+        if config.failure_aware && job.failed_attempts > 0 {
+            // Inflate by the expected rework factor 1/(1−p̂) with a
+            // Laplace-smoothed failure rate — the paper's stated
+            // future-work extension.
+            let attempts = job.failed_attempts + job.samples.len() + 1;
+            let p_hat = (job.failed_attempts as f64 / attempts as f64).min(0.9);
+            (base as f64 / (1.0 - p_hat)).ceil() as u64
+        } else {
+            base
+        }
+    };
+    Ok(JobSolve { eta, task_len: est.mean_task_runtime.ceil().max(1.0) as u64 })
+}
+
+/// Don't spin up threads for job counts where the fan-out overhead
+/// rivals the work.
+#[cfg(feature = "parallel")]
+const PARALLEL_THRESHOLD: usize = 32;
+
+/// Solves the per-job stage for every listed job, in input order. With
+/// the `parallel` feature and enough jobs the slice is chunked across a
+/// scoped thread pool; results are identical to the sequential path
+/// because each solve is a pure function of its job.
+fn solve_batch<E: PlanEstimator>(
+    config: &RushConfig,
+    jobs: &[&PlanInput<'_>],
+    estimator: &E,
+) -> Result<Vec<JobSolve>, CoreError> {
+    #[cfg(feature = "parallel")]
+    if jobs.len() >= PARALLEL_THRESHOLD {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+        if workers > 1 {
+            let chunk = jobs.len().div_ceil(workers);
+            let per_chunk: Vec<Result<Vec<JobSolve>, CoreError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .map(|c| {
+                        s.spawn(move || {
+                            c.iter().map(|j| solve_one(config, j, estimator)).collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("solver thread panicked")).collect()
+            });
+            let mut out = Vec::with_capacity(jobs.len());
+            for r in per_chunk {
+                out.extend(r?);
+            }
+            return Ok(out);
+        }
+    }
+    jobs.iter().map(|j| solve_one(config, j, estimator)).collect()
+}
+
+/// Per-job stage with optional memoization. Rotates the cache map so only
+/// fingerprints touched by *this* pass survive into the next one.
+fn solve_jobs<E: PlanEstimator>(
+    config: &RushConfig,
+    jobs: &[PlanInput<'_>],
+    estimator: &E,
+    cache: Option<&mut PlanCache>,
+) -> Result<Vec<JobSolve>, CoreError> {
+    let Some(cache) = cache else {
+        let refs: Vec<&PlanInput<'_>> = jobs.iter().collect();
+        return solve_batch(config, &refs, estimator);
+    };
+
+    let tag = config_tag(config);
+    let prints: Vec<u128> = jobs.iter().map(|j| fingerprint(tag, j)).collect();
+    let prev = std::mem::take(&mut cache.map);
+    let mut next: HashMap<u128, JobSolve> = HashMap::with_capacity(jobs.len());
+    let mut out: Vec<Option<JobSolve>> = vec![None; jobs.len()];
+    let mut miss_idx: Vec<usize> = Vec::new();
+    for (i, fp) in prints.iter().enumerate() {
+        if let Some(&s) = prev.get(fp).or_else(|| next.get(fp)) {
+            out[i] = Some(s);
+            next.insert(*fp, s);
+            cache.hits += 1;
+        } else {
+            miss_idx.push(i);
+            cache.misses += 1;
+        }
+    }
+    let miss_jobs: Vec<&PlanInput<'_>> = miss_idx.iter().map(|&i| &jobs[i]).collect();
+    let solved = match solve_batch(config, &miss_jobs, estimator) {
+        Ok(s) => s,
+        Err(e) => {
+            // Keep the hits gathered so far; the failed pass must not
+            // wipe the cache.
+            cache.map = next;
+            return Err(e);
+        }
+    };
+    for (&i, s) in miss_idx.iter().zip(solved) {
+        next.insert(prints[i], s);
+        out[i] = Some(s);
+    }
+    cache.map = next;
+    Ok(out.into_iter().map(|s| s.expect("every job hit or solved")).collect())
 }
 
 /// Runs one CA pass with the estimator class named in `config`.
@@ -114,26 +359,55 @@ pub fn render_dashboard(plan: &Plan, labels: &[&str]) -> String {
 pub fn compute_plan(
     config: &RushConfig,
     capacity: u32,
-    jobs: &[PlanInput],
+    jobs: &[PlanInput<'_>],
+) -> Result<Plan, CoreError> {
+    dispatch(config, capacity, jobs, None)
+}
+
+/// [`compute_plan`] with the estimate + WCDE stage memoized in `cache`.
+///
+/// Feeding consecutive scheduling events through the same cache skips the
+/// per-job robustification for every job whose samples, task counts and
+/// failure counts are unchanged — the common case, since one event
+/// touches one job. The resulting plan is bit-identical to
+/// [`compute_plan`]'s.
+///
+/// # Errors
+///
+/// Same as [`compute_plan`]; a failed pass leaves the cache usable.
+pub fn compute_plan_cached(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput<'_>],
+    cache: &mut PlanCache,
+) -> Result<Plan, CoreError> {
+    dispatch(config, capacity, jobs, Some(cache))
+}
+
+fn dispatch(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput<'_>],
+    cache: Option<&mut PlanCache>,
 ) -> Result<Plan, CoreError> {
     match config.estimator {
         EstimatorKind::Mean => {
             let de = MeanEstimator::new(config.max_bins).with_prior(config.cold_prior);
-            compute_plan_with(config, capacity, jobs, &de)
+            compute_plan_inner(config, capacity, jobs, &de, cache)
         }
         EstimatorKind::Gaussian => {
             let de = GaussianEstimator::new(config.max_bins).with_prior(config.cold_prior);
-            compute_plan_with(config, capacity, jobs, &de)
+            compute_plan_inner(config, capacity, jobs, &de, cache)
         }
         EstimatorKind::Empirical { resamples } => {
             let de =
                 EmpiricalEstimator::new(config.max_bins, resamples).with_prior(config.cold_prior);
-            compute_plan_with(config, capacity, jobs, &de)
+            compute_plan_inner(config, capacity, jobs, &de, cache)
         }
         EstimatorKind::Windowed { window } => {
             let de =
                 WindowedEstimator::new(config.max_bins, window).with_prior(config.cold_prior);
-            compute_plan_with(config, capacity, jobs, &de)
+            compute_plan_inner(config, capacity, jobs, &de, cache)
         }
     }
 }
@@ -146,43 +420,56 @@ pub fn compute_plan(
 /// * Configuration errors from [`RushConfig::validate`].
 /// * [`CoreError::InvalidConfig`] if `capacity == 0`.
 /// * Estimation or probability errors from the per-job DE pass.
-pub fn compute_plan_with<E: DistributionEstimator>(
+pub fn compute_plan_with<E: PlanEstimator>(
     config: &RushConfig,
     capacity: u32,
-    jobs: &[PlanInput],
+    jobs: &[PlanInput<'_>],
     estimator: &E,
+) -> Result<Plan, CoreError> {
+    compute_plan_inner(config, capacity, jobs, estimator, None)
+}
+
+/// [`compute_plan_with`] with the per-job stage memoized in `cache`. Use
+/// one cache per estimator instance: the key cannot observe a custom
+/// estimator's identity, only the config's knobs.
+///
+/// # Errors
+///
+/// Same as [`compute_plan_with`]; a failed pass leaves the cache usable.
+pub fn compute_plan_with_cached<E: PlanEstimator>(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput<'_>],
+    estimator: &E,
+    cache: &mut PlanCache,
+) -> Result<Plan, CoreError> {
+    compute_plan_inner(config, capacity, jobs, estimator, Some(cache))
+}
+
+fn compute_plan_inner<E: PlanEstimator>(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput<'_>],
+    estimator: &E,
+    cache: Option<&mut PlanCache>,
 ) -> Result<Plan, CoreError> {
     config.validate()?;
     if capacity == 0 {
         return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
     }
     if jobs.is_empty() {
+        // A drained cluster retains no per-job state.
+        if let Some(c) = cache {
+            c.map.clear();
+        }
         return Ok(Plan::default());
     }
 
-    // 1–2. Estimate reference distributions and robustify into η. When a
-    // job has shown task failures, inflate its demand by the expected
-    // rework factor 1/(1−p̂) with a Laplace-smoothed failure rate — the
-    // paper's stated future-work extension.
-    let mut etas = Vec::with_capacity(jobs.len());
-    let mut task_lens = Vec::with_capacity(jobs.len());
-    for job in jobs {
-        let est = estimator.estimate(&job.samples, job.remaining_tasks)?;
-        let eta = if job.remaining_tasks == 0 {
-            0
-        } else {
-            let base = worst_case_quantile(&est.pmf, config.theta, config.delta)?.eta;
-            if config.failure_aware && job.failed_attempts > 0 {
-                let attempts = job.failed_attempts + job.samples.len() + 1;
-                let p_hat = (job.failed_attempts as f64 / attempts as f64).min(0.9);
-                (base as f64 / (1.0 - p_hat)).ceil() as u64
-            } else {
-                base
-            }
-        };
-        etas.push(eta);
-        task_lens.push(est.mean_task_runtime.ceil().max(1.0) as u64);
-    }
+    // 1–2. Estimate reference distributions and robustify into η —
+    // memoized and/or fanned out per job (see solve_jobs / solve_batch).
+    let solves = solve_jobs(config, jobs, estimator, cache)?;
+    let etas: Vec<u64> = solves.iter().map(|s| s.eta).collect();
+    let task_lens: Vec<u64> = solves.iter().map(|s| s.task_len).collect();
 
     // 3. Onion peel on age-shifted utilities.
     let shifted: Vec<Shifted<'_>> =
@@ -241,6 +528,36 @@ pub fn compute_plan_with<E: DistributionEstimator>(
     Ok(Plan { entries })
 }
 
+/// Renders a plan as the monitoring table the paper's enhanced HTTP
+/// interface displays (Fig. 2): per job, the robust demand, projected
+/// completion time, achieved level — and a `!!` marker on *impossible*
+/// jobs (the red rows that tell the user to renegotiate the job's
+/// requirements).
+///
+/// `labels` must parallel the plan's entries (shorter slices are padded
+/// with the entry index).
+pub fn render_dashboard(plan: &Plan, labels: &[&str]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>6} {:>10} {:>8} {:>8} {:>11}  status",
+        "job", "eta", "R", "target", "level", "desired", "proj_done"
+    );
+    let width = 20 + 1 + 10 + 1 + 6 + 1 + 10 + 1 + 8 + 1 + 8 + 1 + 11 + 2 + 6;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for (i, e) in plan.entries.iter().enumerate() {
+        let label = labels.get(i).copied().map_or_else(|| i.to_string(), str::to_owned);
+        let status = if e.impossible { "!! impossible" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>6} {:>10.1} {:>8.3} {:>8} {:>11}  {}",
+            label, e.eta, e.task_len, e.target, e.level, e.desired_now, e.planned_completion, status
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,9 +566,9 @@ mod tests {
         TimeUtility::sigmoid(budget, weight, beta).unwrap()
     }
 
-    fn input(samples: Vec<u64>, remaining: usize, age: f64, u: TimeUtility) -> PlanInput {
+    fn input(samples: Vec<u64>, remaining: usize, age: f64, u: TimeUtility) -> PlanInput<'static> {
         PlanInput {
-            samples,
+            samples: samples.into(),
             remaining_tasks: remaining,
             running: 0,
             failed_attempts: 0,
@@ -419,10 +736,94 @@ mod tests {
     #[test]
     fn plan_respects_capacity_in_first_slot() {
         let cfg = RushConfig::default();
-        let jobs: Vec<PlanInput> = (0..6)
+        let jobs: Vec<PlanInput<'_>> = (0..6)
             .map(|i| input(vec![60; 10], 10, 0.0, sigmoid(200.0 + i as f64 * 50.0, 5.0, 0.1)))
             .collect();
         let p = compute_plan(&cfg, 8, &jobs).unwrap();
         assert!(p.total_desired_now() <= 8, "desired {} > capacity", p.total_desired_now());
+    }
+
+    fn mixed_fleet(n: usize) -> Vec<PlanInput<'static>> {
+        (0..n)
+            .map(|i| {
+                let mut j = input(
+                    vec![40 + (i as u64 * 7) % 50; 4 + i % 9],
+                    3 + (i * 5) % 40,
+                    (i as f64 * 13.0) % 300.0,
+                    sigmoid(200.0 + i as f64 * 37.0, 1.0 + (i % 4) as f64, 0.05),
+                );
+                j.failed_attempts = i % 3;
+                j
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cached_plan_is_bit_identical_to_uncached() {
+        let cfg = RushConfig::default();
+        let jobs = mixed_fleet(40);
+        let mut cache = PlanCache::new();
+        let cold = compute_plan_cached(&cfg, 16, &jobs, &mut cache).unwrap();
+        let plain = compute_plan(&cfg, 16, &jobs).unwrap();
+        assert_eq!(cold, plain, "cold cached pass must equal uncached");
+        // Warm pass: all per-job solves served from the cache, same plan.
+        let misses_after_cold = cache.misses();
+        let warm = compute_plan_cached(&cfg, 16, &jobs, &mut cache).unwrap();
+        assert_eq!(warm, plain, "warm cached pass must equal uncached");
+        assert_eq!(cache.misses(), misses_after_cold, "warm pass must not recompute");
+        assert_eq!(cache.hits(), jobs.len() as u64);
+    }
+
+    #[test]
+    fn cache_misses_only_the_mutated_job() {
+        let cfg = RushConfig::default();
+        let mut jobs = mixed_fleet(20);
+        let mut cache = PlanCache::new();
+        compute_plan_cached(&cfg, 16, &jobs, &mut cache).unwrap();
+        let baseline_misses = cache.misses();
+        // One event: job 7 completes a task.
+        jobs[7].samples.to_mut().push(44);
+        jobs[7].remaining_tasks -= 1;
+        let incremental = compute_plan_cached(&cfg, 16, &jobs, &mut cache).unwrap();
+        assert_eq!(cache.misses(), baseline_misses + 1, "exactly one job recomputed");
+        let fresh = compute_plan(&cfg, 16, &jobs).unwrap();
+        assert_eq!(incremental, fresh);
+    }
+
+    #[test]
+    fn cache_prunes_departed_jobs_and_keys_on_config() {
+        let cfg = RushConfig::default();
+        let jobs = mixed_fleet(10);
+        let mut cache = PlanCache::new();
+        compute_plan_cached(&cfg, 16, &jobs, &mut cache).unwrap();
+        assert!(cache.len() <= 10);
+        // Half the fleet departs: the next pass retains only live entries.
+        compute_plan_cached(&cfg, 16, &jobs[..5], &mut cache).unwrap();
+        assert!(cache.len() <= 5, "cache kept {} entries for 5 jobs", cache.len());
+        // A changed θ misses (stale η would be wrong) and still matches
+        // the uncached pipeline.
+        let cfg2 = cfg.with_theta(0.95);
+        let p = compute_plan_cached(&cfg2, 16, &jobs[..5], &mut cache).unwrap();
+        assert_eq!(p, compute_plan(&cfg2, 16, &jobs[..5]).unwrap());
+        // An emptied cluster clears the cache entirely.
+        compute_plan_cached(&cfg, 16, &[], &mut cache).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn batch_solve_matches_per_job_regardless_of_count() {
+        // Crossing PARALLEL_THRESHOLD must not change results; with the
+        // `parallel` feature off this pins the chunk-free path too.
+        let cfg = RushConfig::default();
+        let jobs = mixed_fleet(70);
+        let whole = compute_plan(&cfg, 16, &jobs).unwrap();
+        for (i, job) in jobs.iter().enumerate() {
+            let single = compute_plan(&cfg, 16, std::slice::from_ref(job)).unwrap();
+            assert_eq!(
+                (whole.entries[i].eta, whole.entries[i].task_len),
+                (single.entries[0].eta, single.entries[0].task_len),
+                "job {i} solve differs between batch and solo"
+            );
+        }
     }
 }

@@ -64,17 +64,11 @@ impl RemSolution {
 ///
 /// [`CoreError::InvalidTheta`] unless `θ ∈ (0, 1)`.
 pub fn solve(phi: &Pmf, l_bin: usize, theta: f64) -> Result<RemSolution, CoreError> {
-    if !(0.0..1.0).contains(&theta) || theta <= 0.0 {
-        return Err(CoreError::InvalidTheta(theta));
-    }
-    let head: f64 = phi.probs().iter().take(l_bin + 1).sum();
-    if head <= theta {
-        return Ok(RemSolution::Reference);
-    }
-    let tail = 1.0 - head;
-    if tail <= f64::EPSILON {
-        return Ok(RemSolution::Infeasible);
-    }
+    let (head, tail) = match split_masses(phi, l_bin, theta)? {
+        Split::Reference => return Ok(RemSolution::Reference),
+        Split::Infeasible => return Ok(RemSolution::Infeasible),
+        Split::Tight { head, tail } => (head, tail),
+    };
     // Eq. (11): head bins scaled by θ/head, tail bins by (1−θ)/tail.
     let head_scale = theta / head;
     let tail_scale = (1.0 - theta) / tail;
@@ -85,20 +79,54 @@ pub fn solve(phi: &Pmf, l_bin: usize, theta: f64) -> Result<RemSolution, CoreErr
         .map(|(l, &p)| if l <= l_bin { p * head_scale } else { p * tail_scale })
         .collect();
     let pmf = Pmf::from_weights(weights, phi.bin_width())?;
-    // D(p‖φ) collapses to θ·ln(θ/head) + (1−θ)·ln((1−θ)/tail) because the
-    // within-group shape is unchanged.
-    let kl = theta * head_scale.ln() + (1.0 - theta) * tail_scale.ln();
-    Ok(RemSolution::Reweighted { pmf, kl: kl.max(0.0) })
+    Ok(RemSolution::Reweighted { pmf, kl: closed_form_kl(head, tail, theta) })
+}
+
+enum Split {
+    Reference,
+    Infeasible,
+    Tight { head: f64, tail: f64 },
+}
+
+/// Shared validation + head/tail mass computation. O(1): the head mass is
+/// the PMF's cached prefix sum, not a fresh O(bins) summation.
+fn split_masses(phi: &Pmf, l_bin: usize, theta: f64) -> Result<Split, CoreError> {
+    if !(0.0..1.0).contains(&theta) || theta <= 0.0 {
+        return Err(CoreError::InvalidTheta(theta));
+    }
+    let head = phi.head_mass(l_bin);
+    if head <= theta {
+        return Ok(Split::Reference);
+    }
+    let tail = 1.0 - head;
+    if tail <= f64::EPSILON {
+        return Ok(Split::Infeasible);
+    }
+    Ok(Split::Tight { head, tail })
+}
+
+/// D(p‖φ) collapses to θ·ln(θ/head) + (1−θ)·ln((1−θ)/tail) because the
+/// within-group shape is unchanged (Theorem 1).
+fn closed_form_kl(head: f64, tail: f64, theta: f64) -> f64 {
+    let kl = theta * (theta / head).ln() + (1.0 - theta) * ((1.0 - theta) / tail).ln();
+    kl.max(0.0)
 }
 
 /// The minimal KL divergence for the head constraint at `l_bin` — the value
 /// the WCDE bisection compares against `δ`.
 ///
+/// Allocation-free: unlike [`solve`] it never materializes the reweighted
+/// distribution, so each probe of the bisection is O(1).
+///
 /// # Errors
 ///
 /// [`CoreError::InvalidTheta`] unless `θ ∈ (0, 1)`.
 pub fn min_kl(phi: &Pmf, l_bin: usize, theta: f64) -> Result<f64, CoreError> {
-    Ok(solve(phi, l_bin, theta)?.kl())
+    Ok(match split_masses(phi, l_bin, theta)? {
+        Split::Reference => 0.0,
+        Split::Infeasible => f64::INFINITY,
+        Split::Tight { head, tail } => closed_form_kl(head, tail, theta),
+    })
 }
 
 #[cfg(test)]
@@ -183,6 +211,21 @@ mod tests {
             let kl = min_kl(&phi, l, theta).unwrap();
             assert!(kl + 1e-12 >= prev, "KL dipped at L={l}");
             prev = kl;
+        }
+    }
+
+    #[test]
+    fn min_kl_bit_identical_to_solve() {
+        let phi = pmf(&[0.25, 0.3, 0.2, 0.15, 0.1]);
+        for theta in [0.05, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            for l in 0..7 {
+                let fast = min_kl(&phi, l, theta).unwrap();
+                let full = solve(&phi, l, theta).unwrap().kl();
+                assert!(
+                    fast == full || (fast.is_infinite() && full.is_infinite()),
+                    "min_kl {fast} != solve().kl() {full} at L={l}, θ={theta}"
+                );
+            }
         }
     }
 

@@ -16,10 +16,11 @@
 //! when no runtime evidence exists at all — mirroring how production
 //! clusters benchmark recurring applications.
 
-use crate::plan::{compute_plan, Plan, PlanInput};
+use crate::plan::{compute_plan_cached, Plan, PlanCache, PlanInput};
 use crate::RushConfig;
 use rush_sim::view::{ClusterView, TaskSample};
 use rush_sim::{JobId, Scheduler, Slot};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Maximum borrowed samples per label pool (newest kept).
@@ -66,6 +67,10 @@ pub struct RushScheduler {
     /// The most recent full plan, for introspection (the paper's HTTP
     /// monitoring interface exposes exactly this).
     last_plan: Plan,
+    /// Memo table for the per-job estimate + WCDE stage: a scheduling
+    /// event touches one job, so the other jobs' robust demands are
+    /// served from here (see [`PlanCache`]).
+    plan_cache: PlanCache,
 }
 
 impl RushScheduler {
@@ -80,6 +85,7 @@ impl RushScheduler {
             global_pool: Vec::new(),
             labels: HashMap::new(),
             last_plan: Plan::default(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -108,33 +114,6 @@ impl RushScheduler {
         &self.last_plan
     }
 
-    /// Builds pipeline inputs from the cluster view, substituting pooled
-    /// same-label samples for cold jobs.
-    fn plan_inputs(&self, view: &ClusterView<'_>) -> Vec<PlanInput> {
-        view.jobs
-            .iter()
-            .map(|j| {
-                let samples = if !j.samples.is_empty() {
-                    j.samples.clone()
-                } else if let Some(pool) = self.label_pool.get(&j.label) {
-                    pool.clone()
-                } else {
-                    // Same-template history is best, but any cluster-local
-                    // runtime evidence beats an arbitrary prior.
-                    self.global_pool.clone()
-                };
-                PlanInput {
-                    samples,
-                    remaining_tasks: j.pending_tasks,
-                    running: j.running_tasks as u32,
-                    failed_attempts: j.failed_attempts,
-                    age: j.age(view.now) as f64,
-                    utility: j.utility,
-                }
-            })
-            .collect()
-    }
-
     /// Ensures the per-slot plan cache is fresh; returns desired
     /// allocations as `(job, desired_now, target)` tuples.
     fn refresh(&mut self, view: &ClusterView<'_>) {
@@ -142,10 +121,30 @@ impl RushScheduler {
         if !stale {
             return;
         }
-        let inputs = self.plan_inputs(view);
+        // Destructure for disjoint borrows: the inputs borrow the sample
+        // pools while the pipeline takes the plan cache mutably.
+        let Self { config, label_pool, global_pool, plan_cache, .. } = &mut *self;
+        let inputs: Vec<PlanInput<'_>> = view
+            .jobs
+            .iter()
+            .map(|j| PlanInput {
+                samples: Cow::Borrowed(cold_start_samples(
+                    label_pool,
+                    global_pool,
+                    &j.label,
+                    &j.samples,
+                )),
+                remaining_tasks: j.pending_tasks,
+                running: j.running_tasks as u32,
+                failed_attempts: j.failed_attempts,
+                age: j.age(view.now) as f64,
+                utility: j.utility,
+            })
+            .collect();
         // On estimation failure (pathological inputs) fall back to an empty
         // plan; the assign() fallbacks keep the cluster from stalling.
-        let plan = compute_plan(&self.config, view.capacity, &inputs).unwrap_or_default();
+        let plan =
+            compute_plan_cached(config, view.capacity, &inputs, plan_cache).unwrap_or_default();
         let desired = view
             .jobs
             .iter()
@@ -155,6 +154,29 @@ impl RushScheduler {
         self.last_plan = plan;
         self.cache = Some((view.now, desired));
         self.dirty = false;
+    }
+}
+
+/// Picks the sample set backing a job's estimate: its own completed-task
+/// runtimes, else the same-label pool, else the cluster-wide pool. A label
+/// pool that exists but holds no samples is *no evidence* — it must not
+/// shadow the global pool (a label entry can outlive its drained samples).
+/// The returned slice may be empty, in which case the estimator falls back
+/// to the configured prior.
+fn cold_start_samples<'v>(
+    label_pool: &'v HashMap<String, Vec<u64>>,
+    global_pool: &'v [u64],
+    label: &str,
+    own: &'v [u64],
+) -> &'v [u64] {
+    if !own.is_empty() {
+        own
+    } else if let Some(pool) = label_pool.get(label).filter(|p| !p.is_empty()) {
+        pool
+    } else {
+        // Same-template history is best, but any cluster-local runtime
+        // evidence beats an arbitrary prior.
+        global_pool
     }
 }
 
@@ -296,6 +318,27 @@ mod tests {
             .budget(budget)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn empty_label_pool_falls_back_to_global_pool() {
+        // A label key can exist with no samples left (e.g. after future
+        // pool eviction): it must not shadow the global pool.
+        let mut label_pool: HashMap<String, Vec<u64>> = HashMap::new();
+        label_pool.insert("tpl".into(), Vec::new());
+        label_pool.insert("warm".into(), vec![7, 8]);
+        let global = vec![40, 50, 60];
+
+        // Own samples always win.
+        assert_eq!(cold_start_samples(&label_pool, &global, "tpl", &[9]), &[9]);
+        // Non-empty label pool beats global.
+        assert_eq!(cold_start_samples(&label_pool, &global, "warm", &[]), &[7, 8]);
+        // Empty label pool → global, same as a missing label.
+        assert_eq!(cold_start_samples(&label_pool, &global, "tpl", &[]), &[40, 50, 60]);
+        assert_eq!(cold_start_samples(&label_pool, &global, "unseen", &[]), &[40, 50, 60]);
+        // Nothing anywhere → empty slice (estimator prior takes over).
+        let no_global: Vec<u64> = Vec::new();
+        assert!(cold_start_samples(&label_pool, &no_global, "tpl", &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no cargo registry, so the workspace vendors the
+//! slice of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short calibration run sizes an
+//! iteration batch to roughly [`TARGET_BATCH_NANOS`], then `sample_size`
+//! batches are timed and the median ns/iteration is reported on stdout as
+//! `group/id: <median> ns/iter (±spread)`. There are no plots, no saved
+//! baselines and no statistical tests — the numbers are honest wall-clock
+//! medians, suitable for the coarse before/after comparisons this repo
+//! records.
+//!
+//! Passing `--quick` (or setting `CRITERION_QUICK=1`) shrinks calibration
+//! and sample counts so CI smoke runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one timed batch.
+pub const TARGET_BATCH_NANOS: u64 = 25_000_000;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let quick = self.quick;
+        run_one(&id.into(), 10, quick, |b| f(b));
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.criterion.quick, |b| f(b));
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.criterion.quick, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this only exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate the batch size so one batch lasts ~TARGET_BATCH_NANOS.
+        let budget =
+            if self.quick { TARGET_BATCH_NANOS / 10 } else { TARGET_BATCH_NANOS };
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            if elapsed >= budget / 2 || batch >= 1 << 20 {
+                self.batch = batch;
+                break;
+            }
+            let grow = if elapsed == 0 { 16 } else { (budget / elapsed.max(1)).clamp(2, 16) };
+            batch = batch.saturating_mul(grow);
+        }
+        let samples = if self.quick { 3 } else { self.sample_size };
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..self.batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Median ns per iteration over the recorded batches.
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() || self.batch == 0 {
+            return f64::NAN;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.batch as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter[per_iter.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, quick: bool, mut f: F) {
+    let mut b = Bencher { batch: 0, samples: Vec::new(), sample_size, quick };
+    f(&mut b);
+    let med = b.median_ns();
+    let mut line = String::new();
+    let _ = write!(line, "{label:<40} {:>14}/iter", format_ns(med));
+    if let (Some(min), Some(max)) = (
+        b.samples.iter().min().copied(),
+        b.samples.iter().max().copied(),
+    ) {
+        if b.batch > 0 {
+            let lo = min.as_nanos() as f64 / b.batch as f64;
+            let hi = max.as_nanos() as f64 / b.batch as f64;
+            let _ = write!(line, "   [{} .. {}]", format_ns(lo), format_ns(hi));
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { batch: 0, samples: Vec::new(), sample_size: 3, quick: true };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.batch >= 1);
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.median_ns().is_finite());
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+}

@@ -32,11 +32,31 @@ pub const NORMALIZATION_EPS: f64 = 1e-9;
 /// # Ok(())
 /// # }
 /// ```
+/// Invariant: `cdf[l]` is the running left-to-right prefix sum of
+/// `probs[0..=l]`, recomputed by every constructor. Caching it here turns
+/// the REM head-mass query into O(1) and quantile search into O(log bins),
+/// which is what keeps the WCDE bisection at O(log bins) per solve (the
+/// Fig. 5 scheduling-cost hot path).
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pmf {
     probs: Vec<f64>,
+    cdf: Vec<f64>,
     bin_width: u64,
+}
+
+/// Left-to-right running prefix sums of `probs` — the same summation order
+/// as `probs[..=l].iter().sum()`, so cached values are bit-identical to
+/// naive on-demand sums.
+fn prefix_sums(probs: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    probs
+        .iter()
+        .map(|&p| {
+            acc += p;
+            acc
+        })
+        .collect()
 }
 
 impl Pmf {
@@ -67,8 +87,9 @@ impl Pmf {
         if total <= 0.0 {
             return Err(ProbError::ZeroMass);
         }
-        let probs = weights.into_iter().map(|w| w / total).collect();
-        Ok(Pmf { probs, bin_width })
+        let probs: Vec<f64> = weights.into_iter().map(|w| w / total).collect();
+        let cdf = prefix_sums(&probs);
+        Ok(Pmf { probs, cdf, bin_width })
     }
 
     /// Builds an impulse (degenerate) PMF placing all mass on one bin.
@@ -92,7 +113,8 @@ impl Pmf {
         }
         let mut probs = vec![0.0; bins];
         probs[bin] = 1.0;
-        Ok(Pmf { probs, bin_width })
+        let cdf = prefix_sums(&probs);
+        Ok(Pmf { probs, cdf, bin_width })
     }
 
     /// Builds the uniform PMF over `bins` bins.
@@ -164,28 +186,37 @@ impl Pmf {
 
     /// Cumulative probability `P(bin ≤ l)`, the quantized CDF `Φ(l)`.
     ///
-    /// Returns 1 for `l ≥ bins() − 1`.
+    /// Returns 1 for `l ≥ bins() − 1`. O(1): reads the cached prefix sums.
     pub fn cdf(&self, l: usize) -> f64 {
-        if l + 1 >= self.probs.len() {
+        if l + 1 >= self.cdf.len() {
             return 1.0;
         }
-        self.probs[..=l].iter().sum::<f64>().min(1.0)
+        self.cdf[l].min(1.0)
+    }
+
+    /// Head mass `Σ_{i≤l} p_i` as the raw cached prefix sum, uncapped.
+    ///
+    /// Unlike [`Pmf::cdf`] this is exactly the left-to-right partial sum —
+    /// the quantity the REM closed form divides by — so callers replacing a
+    /// manual `probs().iter().take(l + 1).sum()` get bit-identical values
+    /// in O(1).
+    pub fn head_mass(&self, l: usize) -> f64 {
+        match self.cdf.get(l) {
+            Some(&c) => c,
+            None => *self.cdf.last().expect("Pmf has at least one bin"),
+        }
     }
 
     /// The `θ`-quantile bin index `Φ⁻¹(θ)`: the smallest `l` with
-    /// `P(bin ≤ l) ≥ θ`.
+    /// `P(bin ≤ l) ≥ θ` (within [`NORMALIZATION_EPS`]).
     ///
-    /// Out-of-range `θ` is clamped to `[0, 1]`.
+    /// Out-of-range `θ` is clamped to `[0, 1]`. O(log bins): binary search
+    /// over the cached prefix sums (non-decreasing, so the predicate is
+    /// monotone and the result matches the former linear scan exactly).
     pub fn quantile_bin(&self, theta: f64) -> usize {
         let theta = theta.clamp(0.0, 1.0);
-        let mut acc = 0.0;
-        for (l, &p) in self.probs.iter().enumerate() {
-            acc += p;
-            if acc + NORMALIZATION_EPS >= theta {
-                return l;
-            }
-        }
-        self.probs.len() - 1
+        let l = self.cdf.partition_point(|&c| c + NORMALIZATION_EPS < theta);
+        l.min(self.cdf.len() - 1)
     }
 
     /// The `θ`-quantile in demand units (container·slots):

@@ -136,3 +136,68 @@ proptest! {
         prop_assert!((ln.variance().sqrt() - std).abs() / std < 1e-6);
     }
 }
+
+/// Oracle for the cached CDF: the naive left-to-right partial sum over
+/// `probs()`, the computation the cache replaced. Summation order matches
+/// `prefix_sums`, so equality below is exact (`to_bits`), not approximate.
+fn check_cdf_cache(p: &Pmf) -> Result<(), TestCaseError> {
+    let mut acc = 0.0f64;
+    for l in 0..p.bins() {
+        acc += p.probs()[l];
+        prop_assert_eq!(
+            p.head_mass(l).to_bits(),
+            acc.to_bits(),
+            "head_mass({}) diverged from naive prefix sum",
+            l
+        );
+        let expect_cdf = if l + 1 >= p.bins() { 1.0 } else { acc.min(1.0) };
+        prop_assert_eq!(p.cdf(l).to_bits(), expect_cdf.to_bits(), "cdf({}) diverged", l);
+    }
+    // Past-the-end queries saturate.
+    prop_assert_eq!(p.cdf(p.bins() + 7), 1.0);
+    prop_assert_eq!(p.head_mass(p.bins() + 7).to_bits(), acc.to_bits());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn cdf_cache_matches_naive_from_weights(ws in weights_strategy(), bw in 1u64..16) {
+        check_cdf_cache(&Pmf::from_weights(ws, bw).unwrap())?;
+    }
+
+    #[test]
+    fn cdf_cache_matches_naive_after_support_floor(
+        ws in weights_strategy(),
+        floor in 1e-12f64..1e-3,
+    ) {
+        let p = Pmf::from_weights(ws, 1).unwrap().with_support_floor(floor).unwrap();
+        check_cdf_cache(&p)?;
+    }
+
+    #[test]
+    fn cdf_cache_matches_naive_after_rebin(
+        ws in weights_strategy(),
+        bins in 1usize..96,
+        bw in 1u64..8,
+    ) {
+        let p = Pmf::from_weights(ws, 1).unwrap();
+        check_cdf_cache(&p.rebin(bins, bw).unwrap())?;
+    }
+
+    #[test]
+    fn cdf_cache_matches_naive_from_samples(
+        samples in prop::collection::vec(1u64..500, 1..64),
+        min_bins in 1usize..64,
+        bw in 1u64..8,
+    ) {
+        check_cdf_cache(&Pmf::from_samples(&samples, min_bins, bw).unwrap())?;
+    }
+
+    #[test]
+    fn cdf_cache_matches_naive_impulse_and_uniform(bins in 1usize..64, bin in 0usize..64) {
+        check_cdf_cache(&Pmf::uniform(bins, 1).unwrap())?;
+        if bin < bins {
+            check_cdf_cache(&Pmf::impulse(bins, bin, 1).unwrap())?;
+        }
+    }
+}

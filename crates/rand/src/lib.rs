@@ -1,0 +1,274 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to a cargo registry, so the
+//! workspace vendors the small slice of the `rand 0.8` API it actually
+//! uses: `SmallRng`, `SeedableRng::seed_from_u64`, and the `Rng` extension
+//! methods `gen`/`gen_range`/`gen_bool`. The generator is xoshiro256++
+//! seeded through splitmix64 — the same construction the real `SmallRng`
+//! uses on 64-bit targets — so statistical quality is comparable, though
+//! streams are NOT bit-compatible with upstream `rand`. Everything in this
+//! repo that depends on determinism seeds explicitly, so only internal
+//! consistency matters.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (high word of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from an `RngCore` (the stand-in
+/// for rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range (half-open or inclusive) that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add((rng.next_u64() % span) as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add((rng.next_u64() % (span + 1)) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = f64::sample_standard(rng) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = f64::sample_standard(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T` (`u32`/`u64` full-range, `f64` in
+    /// `[0, 1)`, `bool` fair coin).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_range(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ with
+    /// splitmix64 seed expansion.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            // splitmix64 cannot emit four zeros from any seed, but keep the
+            // generator safe against an all-zero state regardless.
+            if s == [0; 4] {
+                return Self { s: [0xDEAD_BEEF, 1, 2, 3] };
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let a = r.gen_range(5..40);
+            assert!((5..40).contains(&a));
+            let b = r.gen_range(1u32..=5);
+            assert!((1..=5).contains(&b));
+            let c = r.gen_range(-3i64..3);
+            assert!((-3..3).contains(&c));
+            let d = r.gen_range(0.5f64..=2.5);
+            assert!((0.5..=2.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_support() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let samples: Vec<u64> = all_runtimes[..done].to_vec();
         let age: f64 = samples.iter().sum::<u64>() as f64 / capacity as f64; // rough elapsed
         let inputs = vec![PlanInput {
-            samples,
+            samples: samples.into(),
             remaining_tasks: total_tasks - done,
             running: 0,
             failed_attempts: 0,

@@ -69,7 +69,7 @@ fn plan_pipeline_runs_with_custom_estimator() {
     }
     let cfg = RushConfig::default();
     let jobs = vec![PlanInput {
-        samples: vec![30; 10],
+        samples: vec![30; 10].into(),
         remaining_tasks: 10,
         running: 0,
         failed_attempts: 0,
@@ -90,7 +90,7 @@ fn plan_pipeline_runs_with_custom_estimator() {
 fn plan_errors_propagate() {
     let cfg = RushConfig::default().with_theta(7.0);
     let jobs = vec![PlanInput {
-        samples: vec![30],
+        samples: vec![30].into(),
         remaining_tasks: 1,
         running: 0,
         failed_attempts: 0,
@@ -123,7 +123,7 @@ fn plan_is_deterministic() {
     let cfg = RushConfig::default();
     let jobs: Vec<PlanInput> = (0..6)
         .map(|i| PlanInput {
-            samples: vec![40 + i as u64; 8],
+            samples: vec![40 + i as u64; 8].into(),
             remaining_tasks: 12,
             running: 1,
             failed_attempts: 0,

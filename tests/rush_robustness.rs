@@ -10,7 +10,7 @@ use rush::estimator::{DistributionEstimator, GaussianEstimator};
 use rush::sim::engine::{SimConfig, Simulation};
 use rush::sim::job::{JobSpec, Phase, TaskSpec};
 use rush::sim::perturb::{FailureModel, Interference};
-use rush::utility::{Sensitivity, TimeUtility};
+use rush::utility::Sensitivity;
 
 /// Random job spec: arrival, maps, reduces, runtime scale, sensitivity id,
 /// budget scale.
