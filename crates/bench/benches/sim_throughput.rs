@@ -1,0 +1,59 @@
+//! Criterion counterpart of `src/bin/sim_throughput.rs`: indexed vs naive
+//! engine cost on the same deterministic fleet, at sizes small enough for
+//! repeated sampling. The binary remains the source of the committed
+//! `BENCH_sim_throughput.json`; this bench is for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rush_sim::engine::{naive, SimConfig, Simulation};
+use rush_sim::job::{JobSpec, Phase, TaskSpec};
+use rush_sim::scheduler::fcfs_task_order;
+use rush_sim::Slot;
+use rush_utility::TimeUtility;
+
+/// Same shape as the binary's fleet: 4 arrivals/slot, 4 map tasks each,
+/// ~85 % utilization of a 1024-container cluster.
+fn fleet(n_jobs: usize) -> Vec<JobSpec> {
+    (0..n_jobs)
+        .map(|i| {
+            let arrival = i as Slot / 4;
+            JobSpec::builder(format!("j{i}"))
+                .arrival(arrival)
+                .tasks(
+                    (0..4).map(|t| TaskSpec::new(35.0 + ((i * 13 + t * 7) % 40) as f64, Phase::Map)),
+                )
+                .utility(TimeUtility::constant(1.0).expect("valid utility"))
+                .build()
+                .expect("valid job")
+        })
+        .collect()
+}
+
+fn config() -> SimConfig {
+    SimConfig::homogeneous(128, 8) // 1024 containers
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let jobs = fleet(n);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &jobs, |b, jobs| {
+            b.iter(|| {
+                Simulation::new(config(), jobs.clone())
+                    .unwrap()
+                    .run(&mut fcfs_task_order())
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &jobs, |b, jobs| {
+            b.iter(|| {
+                naive::run(Simulation::new(config(), jobs.clone()).unwrap(), &mut fcfs_task_order())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -10,6 +10,9 @@
 //! (≥ 75 % of time-aware jobs meet their budget); FIFO/EDF suffer
 //! head-of-line blocking and RRH sacrifices sensitive jobs to critical
 //! ones.
+//!
+//! Flags: `--jobs N`, `--seed S`, `--interarrival T`, `--quick` (CI mode:
+//! a small fleet and the tightest budget ratio only).
 
 use rush_bench::{flag, parse_args, run_comparison_at, time_aware_latencies, CALIBRATED_INTERARRIVAL};
 use rush_core::RushConfig;
@@ -18,9 +21,11 @@ use rush_prob::stats::FiveNumber;
 
 fn main() {
     let args = parse_args();
-    let jobs: usize = flag(&args, "jobs", 100);
+    let quick = args.contains_key("quick");
+    let jobs: usize = flag(&args, "jobs", if quick { 25 } else { 100 });
     let seed: u64 = flag(&args, "seed", 1);
     let interarrival: f64 = flag(&args, "interarrival", CALIBRATED_INTERARRIVAL);
+    let ratios: &[f64] = if quick { &[1.0] } else { &[2.0, 1.5, 1.0] };
 
     println!("Figure 4: latency (runtime - budget) of sensitive+critical jobs");
     println!(
@@ -31,7 +36,7 @@ fn main() {
         "budget", "scheduler", "whisk_lo", "q1", "median", "q3", "whisk_hi", "outliers",
         "met_budget",
     ]);
-    for ratio in [2.0f64, 1.5, 1.0] {
+    for &ratio in ratios {
         let results = run_comparison_at(jobs, ratio, seed, RushConfig::default(), interarrival);
         for (name, result) in &results {
             let lat = time_aware_latencies(result);

@@ -106,6 +106,9 @@ impl ClusterSpec {
 
     /// Maps a flat container index (`0..capacity()`) to its hosting node.
     ///
+    /// This walks the node list; hot paths should precompute
+    /// [`container_node_map`](Self::container_node_map) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `container >= capacity()`.
@@ -118,6 +121,163 @@ impl ClusterSpec {
             remaining -= node.containers;
         }
         panic!("container index {container} out of range (capacity {})", self.capacity());
+    }
+
+    /// Precomputes the container → node-index map, one entry per container,
+    /// so per-event lookups cost one array read instead of a node walk.
+    pub fn container_node_map(&self) -> Vec<u32> {
+        let mut map = Vec::with_capacity(self.capacity() as usize);
+        for (i, node) in self.nodes.iter().enumerate() {
+            map.extend(std::iter::repeat_n(i as u32, node.containers as usize));
+        }
+        map
+    }
+
+    /// The half-open container-index range `[start, end)` hosted by each
+    /// node, in node order.
+    pub fn node_container_ranges(&self) -> Vec<(u32, u32)> {
+        let mut ranges = Vec::with_capacity(self.nodes.len());
+        let mut start = 0;
+        for node in &self.nodes {
+            ranges.push((start, start + node.containers));
+            start += node.containers;
+        }
+        ranges
+    }
+}
+
+/// An ordered pool of free containers over a [`ClusterSpec`]'s flat
+/// container index space.
+///
+/// The simulation engine acquires the lowest free container on every task
+/// start and releases one on every completion; with a sorted `Vec` those
+/// operations cost a re-sort per completion (the seed engine's
+/// `sort_unstable_by_key` after every push). `FreePool` keeps the free set
+/// as a two-level bitset — one bit per container plus a summary bit per
+/// 64-container word — so acquire, release and membership are O(1) word
+/// operations (O(capacity/4096) in the worst case for the summary scan),
+/// and the lowest free container *on a given node* is answerable directly
+/// for locality-aware placement.
+#[derive(Debug, Clone)]
+pub struct FreePool {
+    /// Bit `c % 64` of `words[c / 64]` is set iff container `c` is free.
+    words: Vec<u64>,
+    /// Bit `w % 64` of `summary[w / 64]` is set iff `words[w] != 0`.
+    summary: Vec<u64>,
+    /// Per-node container ranges `[start, end)`, in node order.
+    node_ranges: Vec<(u32, u32)>,
+    free: u32,
+    capacity: u32,
+}
+
+impl FreePool {
+    /// Creates a pool over `spec`'s containers with every container free.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        let capacity = spec.capacity();
+        let n_words = (capacity as usize).div_ceil(64);
+        let mut words = vec![u64::MAX; n_words];
+        // Mask off the bits past `capacity` in the last word.
+        let tail = capacity as usize % 64;
+        if tail != 0 {
+            words[n_words - 1] = (1u64 << tail) - 1;
+        }
+        let summary = (0..n_words.div_ceil(64))
+            .map(|s| {
+                let mut bits = 0u64;
+                for b in 0..64.min(n_words - s * 64) {
+                    if words[s * 64 + b] != 0 {
+                        bits |= 1 << b;
+                    }
+                }
+                bits
+            })
+            .collect();
+        FreePool { words, summary, node_ranges: spec.node_container_ranges(), free: capacity, capacity }
+    }
+
+    /// Number of free containers.
+    pub fn len(&self) -> u32 {
+        self.free
+    }
+
+    /// Whether no container is free.
+    pub fn is_empty(&self) -> bool {
+        self.free == 0
+    }
+
+    /// Total container capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Whether container `c` is currently free.
+    pub fn contains(&self, c: u32) -> bool {
+        c < self.capacity && self.words[(c / 64) as usize] & (1 << (c % 64)) != 0
+    }
+
+    /// Acquires (removes and returns) the lowest-indexed free container.
+    pub fn acquire_lowest(&mut self) -> Option<u32> {
+        let si = self.summary.iter().position(|&s| s != 0)?;
+        let w = si * 64 + self.summary[si].trailing_zeros() as usize;
+        let c = w as u32 * 64 + self.words[w].trailing_zeros();
+        self.clear(c);
+        Some(c)
+    }
+
+    /// Acquires a specific container; returns `false` if it was not free.
+    pub fn acquire(&mut self, c: u32) -> bool {
+        if !self.contains(c) {
+            return false;
+        }
+        self.clear(c);
+        true
+    }
+
+    /// Returns container `c` to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range; debug-asserts it was not already free.
+    pub fn release(&mut self, c: u32) {
+        assert!(c < self.capacity, "container {c} out of range (capacity {})", self.capacity);
+        let w = (c / 64) as usize;
+        debug_assert!(self.words[w] & (1 << (c % 64)) == 0, "double release of container {c}");
+        self.words[w] |= 1 << (c % 64);
+        self.summary[w / 64] |= 1 << (w % 64);
+        self.free += 1;
+    }
+
+    /// The lowest free container hosted by `node`, if any — the query a
+    /// data-locality-aware placement needs, answered without scanning the
+    /// whole pool.
+    pub fn lowest_free_on_node(&self, node: NodeId) -> Option<u32> {
+        let &(start, end) = self.node_ranges.get(node.0 as usize)?;
+        if start == end {
+            return None;
+        }
+        let (first_w, last_w) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        for w in first_w..=last_w {
+            let mut bits = self.words[w];
+            if w == first_w {
+                bits &= u64::MAX << (start % 64);
+            }
+            if w == last_w && end % 64 != 0 {
+                bits &= (1u64 << (end % 64)) - 1;
+            }
+            if bits != 0 {
+                return Some(w as u32 * 64 + bits.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    fn clear(&mut self, c: u32) {
+        let w = (c / 64) as usize;
+        self.words[w] &= !(1 << (c % 64));
+        if self.words[w] == 0 {
+            self.summary[w / 64] &= !(1 << (w % 64));
+        }
+        self.free -= 1;
     }
 }
 
@@ -173,5 +333,97 @@ mod tests {
     fn container_out_of_range_panics() {
         let c = ClusterSpec::homogeneous(1, 1).unwrap();
         c.node_of_container(1);
+    }
+
+    #[test]
+    fn container_node_map_matches_walk() {
+        let c = ClusterSpec::new(vec![(1.0, 3), (2.0, 1), (0.5, 2)]).unwrap();
+        let map = c.container_node_map();
+        assert_eq!(map.len(), 6);
+        for (container, &ni) in map.iter().enumerate() {
+            assert_eq!(c.nodes()[ni as usize].id(), c.node_of_container(container as u32).id());
+        }
+        assert_eq!(c.node_container_ranges(), vec![(0, 3), (3, 4), (4, 6)]);
+    }
+
+    #[test]
+    fn free_pool_acquires_lowest_first() {
+        let spec = ClusterSpec::homogeneous(2, 3).unwrap();
+        let mut pool = FreePool::new(&spec);
+        assert_eq!(pool.len(), 6);
+        assert_eq!(pool.capacity(), 6);
+        assert_eq!(pool.acquire_lowest(), Some(0));
+        assert_eq!(pool.acquire_lowest(), Some(1));
+        pool.release(0);
+        assert_eq!(pool.acquire_lowest(), Some(0)); // released slot comes back first
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn free_pool_drains_and_refills() {
+        let spec = ClusterSpec::homogeneous(1, 130).unwrap(); // spans 3 words
+        let mut pool = FreePool::new(&spec);
+        let mut order = Vec::new();
+        while let Some(c) = pool.acquire_lowest() {
+            order.push(c);
+        }
+        assert_eq!(order, (0..130).collect::<Vec<_>>());
+        assert!(pool.is_empty());
+        for c in (0..130).rev() {
+            pool.release(c);
+        }
+        assert_eq!(pool.len(), 130);
+        assert_eq!(pool.acquire_lowest(), Some(0));
+    }
+
+    #[test]
+    fn free_pool_specific_acquire_and_membership() {
+        let spec = ClusterSpec::homogeneous(1, 8).unwrap();
+        let mut pool = FreePool::new(&spec);
+        assert!(pool.contains(5));
+        assert!(pool.acquire(5));
+        assert!(!pool.contains(5));
+        assert!(!pool.acquire(5)); // already taken
+        assert!(!pool.acquire(99)); // out of range is just "not free"
+        assert_eq!(pool.acquire_lowest(), Some(0));
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn free_pool_lowest_free_on_node() {
+        // Node 0: containers 0..3, node 1: 3..4, node 2: 4..6.
+        let spec = ClusterSpec::new(vec![(1.0, 3), (1.0, 1), (1.0, 2)]).unwrap();
+        let mut pool = FreePool::new(&spec);
+        assert_eq!(pool.lowest_free_on_node(NodeId(0)), Some(0));
+        assert_eq!(pool.lowest_free_on_node(NodeId(2)), Some(4));
+        assert!(pool.acquire(4));
+        assert_eq!(pool.lowest_free_on_node(NodeId(2)), Some(5));
+        assert!(pool.acquire(3));
+        assert_eq!(pool.lowest_free_on_node(NodeId(1)), None);
+        assert_eq!(pool.lowest_free_on_node(NodeId(9)), None); // unknown node
+    }
+
+    #[test]
+    fn free_pool_node_query_across_word_boundaries() {
+        // Two nodes of 70 containers each: node 1 spans the 64-bit word seam.
+        let spec = ClusterSpec::new(vec![(1.0, 70), (1.0, 70)]).unwrap();
+        let mut pool = FreePool::new(&spec);
+        assert_eq!(pool.lowest_free_on_node(NodeId(1)), Some(70));
+        for c in 70..128 {
+            assert!(pool.acquire(c));
+        }
+        assert_eq!(pool.lowest_free_on_node(NodeId(1)), Some(128));
+        for c in 128..140 {
+            assert!(pool.acquire(c));
+        }
+        assert_eq!(pool.lowest_free_on_node(NodeId(1)), None);
+        assert_eq!(pool.lowest_free_on_node(NodeId(0)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn free_pool_release_out_of_range_panics() {
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        FreePool::new(&spec).release(4);
     }
 }

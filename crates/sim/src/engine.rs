@@ -15,8 +15,26 @@
 //!    container. Returning `None` leaves the remaining containers idle
 //!    until the next event — a legitimate decision for a completion-time
 //!    aware scheduler.
+//!
+//! # Two engines, one contract
+//!
+//! The default engine is **indexed**: completions live in a lazy-deletion
+//! binary heap keyed by `(end, job, task, container)` (O(log n) next
+//! event), free containers in a two-level bitset
+//! [`FreePool`](crate::cluster::FreePool) (O(1) word-op acquire/release),
+//! the dispatch condition is a maintained `total_runnable` counter, and
+//! per-event scratch (attempt slab, per-job attempt lists, the job → view
+//! index) is allocated once up front, so the steady state allocates only
+//! when a job's sample vector or the optional trace grows.
+//!
+//! The seed engine — linear scans over a running `Vec`, a re-sorted free
+//! list — is preserved verbatim as [`naive::run`] and must produce
+//! **bit-identical** results: same outcomes, same counters, same trace
+//! event sequence, same RNG draw order. The differential property test in
+//! `tests/engine_differential.rs` holds the two to that contract under
+//! randomized workloads, failures, interference and speculation.
 
-use crate::cluster::ClusterSpec;
+use crate::cluster::{ClusterSpec, FreePool};
 use crate::job::{JobSpec, Phase};
 use crate::outcome::{JobOutcome, SimResult};
 use crate::perturb::{FailureModel, Interference};
@@ -28,6 +46,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rush_utility::Utility;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Configuration of one simulation run.
@@ -145,46 +164,187 @@ struct JobState {
     wasted_slots: u64,
 }
 
-/// A task occupying a container until `end`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct RunningTask {
+/// A task attempt occupying a container until `end`, stored in the
+/// indexed engine's attempt slab.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
     end: Slot,
-    job: usize,
-    task: usize,
+    job: u32,
+    task: u32,
     container: u32,
     duration: Slot,
     fails: bool,
     speculative: bool,
+    /// Cleared when the attempt is killed or popped; a dead slab entry
+    /// lingers until its heap entry surfaces (lazy deletion).
+    alive: bool,
 }
 
-impl RunningTask {
+impl Attempt {
     fn start(&self) -> Slot {
         self.end - self.duration
     }
 }
 
-/// Index of the due attempt with the smallest (end, job, task, container),
-/// or None when nothing ends at `now`.
-fn pop_due(running: &mut Vec<RunningTask>, now: Slot) -> Option<RunningTask> {
-    let idx = running
-        .iter()
-        .enumerate()
-        .filter(|(_, rt)| rt.end == now)
-        .min_by_key(|(_, rt)| (rt.job, rt.task, rt.container))
-        .map(|(i, _)| i)?;
-    Some(running.remove(idx))
+/// Completion-queue key: `(end, job, task, container, attempt_id)`.
+///
+/// The first four fields replicate the naive engine's pop order — the due
+/// attempt with the smallest `(job, task, container)` — and are unique
+/// among *alive* attempts (containers are exclusive; duplicates of one
+/// task sit on different containers), so the trailing slab id never
+/// decides between two live entries; it only keeps the ordering total once
+/// dead entries are in the heap.
+type QueueKey = (Slot, u32, u32, u32, u32);
+
+/// All per-run engine indexes, allocated once before the event loop.
+///
+/// Nothing here allocates in the steady state: the attempt slab recycles
+/// slots through a free list, the completion queue's backing buffer is
+/// pre-sized to cluster capacity (an attempt needs a container, so at most
+/// `capacity` entries are alive; dead entries are drained lazily), and the
+/// per-job attempt lists grow to each job's high-water running count.
+#[derive(Debug)]
+struct EngineState {
+    /// Attempt storage; `slab_free` holds recyclable slots.
+    slab: Vec<Attempt>,
+    slab_free: Vec<u32>,
+    /// Min-heap of completions with lazy deletion of killed attempts.
+    queue: BinaryHeap<Reverse<QueueKey>>,
+    /// Free containers as a two-level bitset (lowest-index acquire).
+    free: FreePool,
+    /// Scheduler-visible views of active jobs, in arrival order.
+    views: Vec<JobView>,
+    /// Job index → position in `views`, `None` once the job completed (or
+    /// before it arrives).
+    view_of: Vec<Option<u32>>,
+    /// Alive attempt ids per job — sized for sibling lookup, speculation
+    /// targeting and oldest-start refresh without scanning all running
+    /// attempts.
+    job_attempts: Vec<Vec<u32>>,
+    /// Container → node index, precomputed from the cluster spec.
+    node_of: Vec<u32>,
+    /// Maintained sum of `views[*].runnable_tasks` — the dispatch-loop
+    /// condition without a view scan.
+    total_runnable: usize,
+    /// Jobs with `finish` set — the termination condition without a job
+    /// scan.
+    finished_jobs: usize,
 }
 
-/// Earliest attempt end across the running set.
-fn next_end(running: &[RunningTask]) -> Option<Slot> {
-    running.iter().map(|rt| rt.end).min()
-}
+impl EngineState {
+    fn new(config: &SimConfig, n_jobs: usize) -> Self {
+        let capacity = config.capacity() as usize;
+        EngineState {
+            slab: Vec::with_capacity(capacity),
+            slab_free: Vec::with_capacity(capacity),
+            queue: BinaryHeap::with_capacity(capacity + 1),
+            free: FreePool::new(config.cluster()),
+            views: Vec::new(),
+            view_of: vec![None; n_jobs],
+            job_attempts: vec![Vec::new(); n_jobs],
+            node_of: config.cluster().container_node_map(),
+            total_runnable: 0,
+            finished_jobs: 0,
+        }
+    }
 
-/// Refreshes a job view's oldest-running-attempt start from the running set.
-fn refresh_oldest(views: &mut [JobView], running: &[RunningTask], job_idx: usize) {
-    if let Some(v) = views.iter_mut().find(|v| v.id == JobId(job_idx as u32)) {
-        v.oldest_running_start =
-            running.iter().filter(|rt| rt.job == job_idx).map(|rt| rt.start()).min();
+    /// Registers a new attempt: slab slot (recycled if possible), heap
+    /// entry, per-job list entry.
+    fn spawn(&mut self, a: Attempt) {
+        let id = match self.slab_free.pop() {
+            Some(id) => {
+                self.slab[id as usize] = a;
+                id
+            }
+            None => {
+                self.slab.push(a);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.queue.push(Reverse((a.end, a.job, a.task, a.container, id)));
+        self.job_attempts[a.job as usize].push(id);
+    }
+
+    /// Pops the next attempt due at `now`, in the naive engine's order
+    /// (smallest `(job, task, container)` first). Dead heap entries are
+    /// discarded — and their slab slots recycled — on the way.
+    fn pop_due(&mut self, now: Slot) -> Option<Attempt> {
+        while let Some(&Reverse((end, _, _, _, id))) = self.queue.peek() {
+            let a = self.slab[id as usize];
+            if !a.alive {
+                self.queue.pop();
+                self.slab_free.push(id);
+                continue;
+            }
+            if end != now {
+                return None;
+            }
+            self.queue.pop();
+            let attempts = &mut self.job_attempts[a.job as usize];
+            let pos = attempts.iter().position(|&x| x == id).expect("attempt tracked");
+            attempts.swap_remove(pos);
+            self.slab[id as usize].alive = false;
+            self.slab_free.push(id);
+            return Some(a);
+        }
+        None
+    }
+
+    /// Earliest end across alive attempts. Dead heap tops are drained so
+    /// the engine never advances to a slot where nothing happens (which
+    /// would add scheduler invocations the naive engine does not issue).
+    fn next_end(&mut self) -> Option<Slot> {
+        while let Some(&Reverse((end, _, _, _, id))) = self.queue.peek() {
+            if self.slab[id as usize].alive {
+                return Some(end);
+            }
+            self.queue.pop();
+            self.slab_free.push(id);
+        }
+        None
+    }
+
+    /// Kills attempt `id` (sibling lost the duplicate race). The slab slot
+    /// is **not** recycled here — the heap still holds an entry pointing at
+    /// it; the slot frees when that entry surfaces in
+    /// [`pop_due`](Self::pop_due)/[`next_end`](Self::next_end).
+    fn kill(&mut self, id: u32) {
+        let job = self.slab[id as usize].job as usize;
+        self.slab[id as usize].alive = false;
+        let attempts = &mut self.job_attempts[job];
+        let pos = attempts.iter().position(|&x| x == id).expect("attempt tracked");
+        attempts.swap_remove(pos);
+    }
+
+    /// The alive duplicate of `(job, task)`, if one is running. At most one
+    /// exists: speculation only duplicates singleton attempts.
+    fn sibling_of(&self, job: u32, task: u32) -> Option<u32> {
+        self.job_attempts[job as usize]
+            .iter()
+            .copied()
+            .find(|&a| self.slab[a as usize].task == task)
+    }
+
+    /// Refreshes the job view's oldest-running-attempt start from the
+    /// job's alive attempts (no-op once the job's view is gone).
+    fn refresh_oldest(&mut self, job: u32) {
+        if let Some(vi) = self.view_of[job as usize] {
+            self.views[vi as usize].oldest_running_start = self.job_attempts[job as usize]
+                .iter()
+                .map(|&a| self.slab[a as usize].start())
+                .min();
+        }
+    }
+
+    /// Removes a completed job's view and re-indexes the views behind it
+    /// (views stay in arrival order, which schedulers observe).
+    fn remove_view(&mut self, vi: usize) {
+        let job = self.views[vi].id.0 as usize;
+        self.views.remove(vi);
+        self.view_of[job] = None;
+        for (w, v) in self.views.iter().enumerate().skip(vi) {
+            self.view_of[v.id.0 as usize] = Some(w as u32);
+        }
     }
 }
 
@@ -209,22 +369,8 @@ impl Simulation {
         let jobs = jobs
             .into_iter()
             .map(|spec| {
-                let maps: Vec<usize> = spec
-                    .tasks()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.phase() == Phase::Map)
-                    .map(|(i, _)| i)
-                    .rev()
-                    .collect();
-                let reduces: Vec<usize> = spec
-                    .tasks()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.phase() == Phase::Reduce)
-                    .map(|(i, _)| i)
-                    .rev()
-                    .collect();
+                let maps: Vec<usize> = spec.task_indices(Phase::Map).rev().collect();
+                let reduces: Vec<usize> = spec.task_indices(Phase::Reduce).rev().collect();
                 JobState {
                     maps_remaining: maps.len(),
                     pending_maps: maps,
@@ -242,6 +388,9 @@ impl Simulation {
 
     /// Runs the simulation to completion under `scheduler`, consuming it.
     ///
+    /// This is the indexed engine; [`naive::run`] executes the same
+    /// semantics with scan-based structures and must agree bit-for-bit.
+    ///
     /// # Errors
     ///
     /// * [`SimError::HorizonExceeded`] if the configured `max_slots` passes
@@ -256,13 +405,17 @@ impl Simulation {
         let mut arrivals: Vec<usize> = (0..self.jobs.len()).collect();
         arrivals.sort_by_key(|&i| Reverse((self.jobs[i].spec.arrival(), i)));
 
-        // Free containers, largest index first so pop() yields the smallest.
-        let mut free: Vec<u32> = (0..capacity).rev().collect();
-        let mut running: Vec<RunningTask> = Vec::with_capacity(capacity as usize);
-        let mut views: Vec<JobView> = Vec::new();
+        let mut st = EngineState::new(&self.config, self.jobs.len());
         let mut result = SimResult::default();
-        let mut trace: Option<Trace> =
-            if self.config.record_trace { Some(Trace::new()) } else { None };
+        let mut trace: Option<Trace> = if self.config.record_trace {
+            // Every job arrives and completes; every task starts and
+            // finishes at least once. Failures, kills and speculation push
+            // past the hint, but the common case never reallocates.
+            let total_tasks: usize = self.jobs.iter().map(|j| j.spec.tasks().len()).sum();
+            Some(Trace::with_capacity(2 * self.jobs.len() + 2 * total_tasks))
+        } else {
+            None
+        };
         let mut now: Slot = match arrivals.last() {
             Some(&i) => self.jobs[i].spec.arrival(),
             None => 0,
@@ -270,13 +423,565 @@ impl Simulation {
 
         loop {
             // 1. Completions (and attempt failures) at `now`.
+            while let Some(a) = st.pop_due(now) {
+                st.free.release(a.container);
+                let sibling = st.sibling_of(a.job, a.task);
+                if a.fails {
+                    let sample = self.fail_task_ix(
+                        &mut st,
+                        a,
+                        now,
+                        sibling.is_some(),
+                        &mut result,
+                        &mut trace,
+                    );
+                    st.refresh_oldest(a.job);
+                    let view = ClusterView {
+                        now,
+                        capacity,
+                        free_containers: st.free.len(),
+                        jobs: &st.views,
+                    };
+                    let t0 = Instant::now();
+                    scheduler.on_task_failed(&view, sample);
+                    result.scheduler_time += t0.elapsed();
+                } else {
+                    // First successful attempt wins: kill any duplicate of
+                    // the same task before recording the completion.
+                    if let Some(sib_id) = sibling {
+                        let sib = st.slab[sib_id as usize];
+                        st.kill(sib_id);
+                        st.free.release(sib.container);
+                        result.killed_attempts += 1;
+                        self.jobs[sib.job as usize].wasted_slots +=
+                            now.saturating_sub(sib.start());
+                        if let Some(vi) = st.view_of[sib.job as usize] {
+                            st.views[vi as usize].running_tasks -= 1;
+                        }
+                        if let Some(trace) = &mut trace {
+                            trace.push(TraceEvent::TaskKilled {
+                                job: JobId(sib.job),
+                                task: TaskId(sib.task),
+                                at: now,
+                            });
+                        }
+                    }
+                    let sample = self.complete_task_ix(&mut st, a, now, &mut result, &mut trace);
+                    st.refresh_oldest(a.job);
+                    let view = ClusterView {
+                        now,
+                        capacity,
+                        free_containers: st.free.len(),
+                        jobs: &st.views,
+                    };
+                    let t0 = Instant::now();
+                    scheduler.on_task_complete(&view, sample);
+                    result.scheduler_time += t0.elapsed();
+                }
+            }
+
+            // 2. Arrivals at `now`.
+            while arrivals.last().is_some_and(|&i| self.jobs[i].spec.arrival() == now) {
+                let i = arrivals.pop().expect("peeked");
+                let v = self.make_view(i);
+                let id = v.id;
+                st.view_of[i] = Some(st.views.len() as u32);
+                st.total_runnable += v.runnable_tasks;
+                st.views.push(v);
+                if let Some(trace) = &mut trace {
+                    trace.push(TraceEvent::JobArrived { job: id, at: now });
+                }
+                let view = ClusterView {
+                    now,
+                    capacity,
+                    free_containers: st.free.len(),
+                    jobs: &st.views,
+                };
+                let t0 = Instant::now();
+                scheduler.on_job_arrival(&view, id);
+                result.scheduler_time += t0.elapsed();
+            }
+
+            // 3. Dispatch loop. A bounded misassignment budget lets a
+            // scheduler recover from naming an invalid job without letting
+            // a persistently confused one spin the engine forever.
+            let mut misassign_budget = capacity as u64 + 1;
+            while !st.free.is_empty() && st.total_runnable > 0 {
+                let view = ClusterView {
+                    now,
+                    capacity,
+                    free_containers: st.free.len(),
+                    jobs: &st.views,
+                };
+                let t0 = Instant::now();
+                let choice = scheduler.assign(&view);
+                result.scheduler_time += t0.elapsed();
+                result.scheduler_invocations += 1;
+                match choice {
+                    None => break,
+                    Some(id) => {
+                        let Some(vi) = st.view_of.get(id.0 as usize).copied().flatten() else {
+                            result.misassignments += 1;
+                            misassign_budget -= 1;
+                            if misassign_budget == 0 {
+                                break;
+                            }
+                            continue;
+                        };
+                        let vi = vi as usize;
+                        if st.views[vi].runnable_tasks == 0 {
+                            result.misassignments += 1;
+                            misassign_budget -= 1;
+                            if misassign_budget == 0 {
+                                break;
+                            }
+                            continue;
+                        }
+                        let container = st.free.acquire_lowest().expect("free checked");
+                        self.start_task_ix(
+                            &mut st,
+                            vi,
+                            container,
+                            now,
+                            &mut rng,
+                            &mut trace,
+                            &mut result,
+                        );
+                        result.assignments += 1;
+                    }
+                }
+            }
+
+            // 3b. Speculation loop: with containers still free, offer the
+            // scheduler the chance to duplicate a long-running attempt
+            // (Hadoop-style speculative execution). The engine picks the
+            // oldest non-duplicated primary attempt of the named job.
+            let mut spec_budget = capacity as u64;
+            while !st.free.is_empty() && spec_budget > 0 {
+                spec_budget -= 1;
+                let view = ClusterView {
+                    now,
+                    capacity,
+                    free_containers: st.free.len(),
+                    jobs: &st.views,
+                };
+                let t0 = Instant::now();
+                let choice = scheduler.speculate(&view);
+                result.scheduler_time += t0.elapsed();
+                let Some(id) = choice else { break };
+                let job_idx = id.0 as usize;
+                let target = st.job_attempts.get(job_idx).and_then(|attempts| {
+                    attempts
+                        .iter()
+                        .map(|&aid| st.slab[aid as usize])
+                        .filter(|a| {
+                            !a.speculative
+                                && attempts
+                                    .iter()
+                                    .filter(|&&o| st.slab[o as usize].task == a.task)
+                                    .count()
+                                    == 1
+                        })
+                        .min_by_key(|a| (a.start(), a.task))
+                });
+                let Some(primary) = target else { break };
+                let container = st.free.acquire_lowest().expect("free checked");
+                let task = self.jobs[job_idx].spec.tasks()[primary.task as usize];
+                let base = task.base_runtime();
+                let node = &self.config.cluster.nodes()[st.node_of[container as usize] as usize];
+                let locality = match task.preferred_node() {
+                    Some(pref) if pref != node.id() => self.config.remote_penalty,
+                    _ => 1.0,
+                };
+                let factor = self.config.interference.draw(&mut rng);
+                let fails = self.config.failures.draw(&mut rng);
+                let duration =
+                    (base * node.speed_factor() * locality * factor).ceil().max(1.0) as Slot;
+                if let Some(trace) = &mut trace {
+                    trace.push(TraceEvent::TaskSpeculated {
+                        job: id,
+                        task: TaskId(primary.task),
+                        container,
+                        node: node.id(),
+                        at: now,
+                        duration,
+                    });
+                }
+                st.spawn(Attempt {
+                    end: now + duration,
+                    job: job_idx as u32,
+                    task: primary.task,
+                    container,
+                    duration,
+                    fails,
+                    speculative: true,
+                    alive: true,
+                });
+                if let Some(vi) = st.view_of[job_idx] {
+                    st.views[vi as usize].running_tasks += 1;
+                }
+                st.refresh_oldest(job_idx as u32);
+                result.speculative_attempts += 1;
+            }
+
+            // 4. Advance to the next event.
+            if st.finished_jobs == self.jobs.len() {
+                break;
+            }
+            let next_completion = st.next_end();
+            let next_arrival = arrivals.last().map(|&i| self.jobs[i].spec.arrival());
+            let next = match (next_completion, next_arrival) {
+                (Some(c), Some(a)) => c.min(a),
+                (Some(c), None) => c,
+                (None, Some(a)) => a,
+                (None, None) => return Err(SimError::SchedulerStalled { at: now }),
+            };
+            debug_assert!(next > now, "time must advance");
+            if next > self.config.max_slots {
+                let unfinished = self.jobs.len() - st.finished_jobs;
+                return Err(SimError::HorizonExceeded {
+                    max_slots: self.config.max_slots,
+                    unfinished,
+                });
+            }
+            now = next;
+        }
+
+        result.makespan = now;
+        result.sort_outcomes();
+        result.trace = trace;
+        Ok(result)
+    }
+
+    /// Handles a failed attempt (indexed engine): the task is re-queued and
+    /// the wasted runtime reported.
+    fn fail_task_ix(
+        &mut self,
+        st: &mut EngineState,
+        a: Attempt,
+        now: Slot,
+        sibling_running: bool,
+        result: &mut SimResult,
+        trace: &mut Option<Trace>,
+    ) -> TaskSample {
+        let job = &mut self.jobs[a.job as usize];
+        let was_map = job.spec.tasks()[a.task as usize].phase() == Phase::Map;
+        // With a duplicate attempt still in flight, the failure is absorbed:
+        // the task stays running elsewhere and is not re-queued.
+        if !sibling_running {
+            if was_map {
+                job.pending_maps.push(a.task as usize);
+            } else {
+                job.pending_reduces.push(a.task as usize);
+            }
+        }
+        let vi = st.view_of[a.job as usize].expect("failing task of an active job") as usize;
+        let v = &mut st.views[vi];
+        v.running_tasks -= 1;
+        v.failed_attempts += 1;
+        if !sibling_running {
+            v.pending_tasks += 1;
+            // Re-queued map tasks are always runnable; reduces only once the
+            // map barrier has cleared (it has, if a reduce was running).
+            if was_map || job.maps_remaining == 0 {
+                v.runnable_tasks += 1;
+                st.total_runnable += 1;
+            }
+        }
+        result.failed_attempts += 1;
+        job.wasted_slots += a.duration;
+        if let Some(trace) = trace {
+            trace.push(TraceEvent::TaskFailed {
+                job: JobId(a.job),
+                task: TaskId(a.task),
+                at: now,
+                runtime: a.duration,
+            });
+        }
+        TaskSample {
+            job: JobId(a.job),
+            task: TaskId(a.task),
+            runtime: a.duration,
+            finished_at: now,
+        }
+    }
+
+    /// Builds the initial view of job `i`.
+    fn make_view(&self, i: usize) -> JobView {
+        let job = &self.jobs[i];
+        let spec = &job.spec;
+        let runnable = if job.maps_remaining > 0 {
+            job.pending_maps.len()
+        } else {
+            job.pending_maps.len() + job.pending_reduces.len()
+        };
+        JobView {
+            id: JobId(i as u32),
+            label: spec.label().to_owned(),
+            arrival: spec.arrival(),
+            utility: *spec.utility(),
+            priority: spec.priority(),
+            sensitivity: spec.sensitivity(),
+            budget: spec.budget(),
+            total_tasks: spec.tasks().len(),
+            pending_tasks: spec.tasks().len(),
+            runnable_tasks: runnable,
+            running_tasks: 0,
+            completed_tasks: 0,
+            failed_attempts: 0,
+            oldest_running_start: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Starts the next runnable task of the job behind `views[vi]`
+    /// (indexed engine).
+    #[allow(clippy::too_many_arguments)] // engine plumbing, not public API
+    fn start_task_ix(
+        &mut self,
+        st: &mut EngineState,
+        vi: usize,
+        container: u32,
+        now: Slot,
+        rng: &mut SmallRng,
+        trace: &mut Option<Trace>,
+        result: &mut SimResult,
+    ) {
+        let job_idx = st.views[vi].id.0 as usize;
+        let node = &self.config.cluster.nodes()[st.node_of[container as usize] as usize];
+        let node_id = node.id();
+        let speed = node.speed_factor();
+        let job = &mut self.jobs[job_idx];
+        // Locality-aware pick: prefer a pending task whose input lives on
+        // this container's node (the data-local choice a YARN node manager
+        // heartbeat would make), falling back to stack order.
+        let pick_local = |pending: &[usize], spec: &JobSpec| -> Option<usize> {
+            pending.iter().rposition(|&t| spec.tasks()[t].preferred_node() == Some(node_id))
+        };
+        let task_idx = if let Some(pos) = pick_local(&job.pending_maps, &job.spec) {
+            job.pending_maps.remove(pos)
+        } else if let Some(t) = job.pending_maps.pop() {
+            t
+        } else if job.maps_remaining == 0 {
+            if let Some(pos) = pick_local(&job.pending_reduces, &job.spec) {
+                job.pending_reduces.remove(pos)
+            } else {
+                job.pending_reduces.pop().expect("runnable task exists")
+            }
+        } else {
+            unreachable!("runnable task exists")
+        };
+        let task = job.spec.tasks()[task_idx];
+        let base = task.base_runtime();
+        let locality = match task.preferred_node() {
+            Some(pref) if pref != node_id => {
+                result.remote_starts += 1;
+                self.config.remote_penalty
+            }
+            Some(_) => {
+                result.local_starts += 1;
+                1.0
+            }
+            None => 1.0,
+        };
+        let factor = self.config.interference.draw(rng);
+        let fails = self.config.failures.draw(rng);
+        let duration = (base * speed * locality * factor).ceil().max(1.0) as Slot;
+        if let Some(trace) = trace {
+            trace.push(TraceEvent::TaskStarted {
+                job: JobId(job_idx as u32),
+                task: TaskId(task_idx as u32),
+                container,
+                node: node_id,
+                at: now,
+                duration,
+            });
+        }
+        st.spawn(Attempt {
+            end: now + duration,
+            job: job_idx as u32,
+            task: task_idx as u32,
+            container,
+            duration,
+            fails,
+            speculative: false,
+            alive: true,
+        });
+        let v = &mut st.views[vi];
+        v.pending_tasks -= 1;
+        v.runnable_tasks -= 1;
+        v.running_tasks += 1;
+        st.total_runnable -= 1;
+        st.refresh_oldest(job_idx as u32);
+    }
+
+    /// Records a task completion (indexed engine); returns the sample
+    /// reported to the scheduler. Removes the job's view once the job is
+    /// fully complete.
+    fn complete_task_ix(
+        &mut self,
+        st: &mut EngineState,
+        a: Attempt,
+        now: Slot,
+        result: &mut SimResult,
+        trace: &mut Option<Trace>,
+    ) -> TaskSample {
+        let job = &mut self.jobs[a.job as usize];
+        job.completed += 1;
+        job.useful_slots += a.duration;
+        let was_map = job.spec.tasks()[a.task as usize].phase() == Phase::Map;
+        if was_map {
+            job.maps_remaining -= 1;
+        }
+        let vi = st.view_of[a.job as usize].expect("completing task of an active job") as usize;
+        let v = &mut st.views[vi];
+        v.running_tasks -= 1;
+        v.completed_tasks += 1;
+        if was_map && job.maps_remaining == 0 {
+            // Map barrier cleared: reduces become runnable.
+            v.runnable_tasks += job.pending_reduces.len();
+            st.total_runnable += job.pending_reduces.len();
+        }
+        v.samples.push(a.duration);
+        if let Some(trace) = trace {
+            trace.push(TraceEvent::TaskFinished {
+                job: JobId(a.job),
+                task: TaskId(a.task),
+                at: now,
+                runtime: a.duration,
+            });
+        }
+        let sample = TaskSample {
+            job: JobId(a.job),
+            task: TaskId(a.task),
+            runtime: a.duration,
+            finished_at: now,
+        };
+        if job.completed == job.spec.tasks().len() {
+            job.finish = Some(now);
+            let runtime_slots = now - job.spec.arrival();
+            result.outcomes.push(JobOutcome {
+                id: JobId(a.job),
+                label: job.spec.label().to_owned(),
+                arrival: job.spec.arrival(),
+                finish: now,
+                runtime: runtime_slots,
+                budget: job.spec.budget(),
+                utility: job.spec.utility().utility(runtime_slots as f64),
+                sensitivity: job.spec.sensitivity(),
+                priority: job.spec.priority(),
+                tasks: job.spec.tasks().len(),
+                container_slots: job.useful_slots,
+                wasted_slots: job.wasted_slots,
+            });
+            if let Some(trace) = trace {
+                trace.push(TraceEvent::JobCompleted { job: JobId(a.job), at: now });
+            }
+            st.remove_view(vi);
+            st.finished_jobs += 1;
+        }
+        sample
+    }
+}
+
+/// The seed scan-based engine, kept as the differential-testing reference.
+///
+/// [`run`](naive::run) executes the same event loop as
+/// [`Simulation::run`] with the original data structures: a linear scan
+/// over a `Vec` of running attempts per event, a descending-sorted free
+/// container list, and a view scan for the dispatch condition. Results must
+/// be bit-identical to the indexed engine (outcomes, counters, RNG draw
+/// order, trace events); `tests/engine_differential.rs` enforces that.
+pub mod naive {
+    use super::*;
+
+    /// A task occupying a container until `end`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct RunningTask {
+        end: Slot,
+        job: usize,
+        task: usize,
+        container: u32,
+        duration: Slot,
+        fails: bool,
+        speculative: bool,
+    }
+
+    impl RunningTask {
+        fn start(&self) -> Slot {
+            self.end - self.duration
+        }
+    }
+
+    /// Index of the due attempt with the smallest (end, job, task,
+    /// container), or None when nothing ends at `now`.
+    fn pop_due(running: &mut Vec<RunningTask>, now: Slot) -> Option<RunningTask> {
+        let idx = running
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| rt.end == now)
+            .min_by_key(|(_, rt)| (rt.job, rt.task, rt.container))
+            .map(|(i, _)| i)?;
+        Some(running.remove(idx))
+    }
+
+    /// Earliest attempt end across the running set.
+    fn next_end(running: &[RunningTask]) -> Option<Slot> {
+        running.iter().map(|rt| rt.end).min()
+    }
+
+    /// Refreshes a job view's oldest-running-attempt start from the
+    /// running set.
+    fn refresh_oldest(views: &mut [JobView], running: &[RunningTask], job_idx: usize) {
+        if let Some(v) = views.iter_mut().find(|v| v.id == JobId(job_idx as u32)) {
+            v.oldest_running_start =
+                running.iter().filter(|rt| rt.job == job_idx).map(|rt| rt.start()).min();
+        }
+    }
+
+    /// Runs `sim` to completion under `scheduler` with the scan-based
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`]: [`SimError::HorizonExceeded`] and
+    /// [`SimError::SchedulerStalled`].
+    pub fn run<S: Scheduler + ?Sized>(
+        mut sim: Simulation,
+        scheduler: &mut S,
+    ) -> Result<SimResult, SimError> {
+        let capacity = sim.config.capacity();
+        let mut rng = SmallRng::seed_from_u64(sim.config.seed);
+
+        // Arrivals sorted descending so the next arrival pops from the back.
+        let mut arrivals: Vec<usize> = (0..sim.jobs.len()).collect();
+        arrivals.sort_by_key(|&i| Reverse((sim.jobs[i].spec.arrival(), i)));
+
+        // Free containers, largest index first so pop() yields the smallest.
+        let mut free: Vec<u32> = (0..capacity).rev().collect();
+        let mut running: Vec<RunningTask> = Vec::with_capacity(capacity as usize);
+        let mut views: Vec<JobView> = Vec::new();
+        let mut result = SimResult::default();
+        let mut trace: Option<Trace> =
+            if sim.config.record_trace { Some(Trace::new()) } else { None };
+        let mut now: Slot = match arrivals.last() {
+            Some(&i) => sim.jobs[i].spec.arrival(),
+            None => 0,
+        };
+
+        loop {
+            // 1. Completions (and attempt failures) at `now`. Freed
+            // containers are collected unsorted and the free list re-sorted
+            // once after the drain: ordering only matters when a container
+            // is acquired, which happens no earlier than the dispatch loop.
+            let mut freed_any = false;
             while let Some(rt) = pop_due(&mut running, now) {
                 free.push(rt.container);
-                free.sort_unstable_by_key(|&c| Reverse(c));
-                let sibling_running =
-                    running.iter().any(|o| o.job == rt.job && o.task == rt.task);
+                freed_any = true;
+                let sibling_running = running.iter().any(|o| o.job == rt.job && o.task == rt.task);
                 if rt.fails {
-                    let sample = self.fail_task(
+                    let sample = fail_task(
+                        &mut sim,
                         &mut views,
                         rt,
                         now,
@@ -304,11 +1009,9 @@ impl Simulation {
                             .expect("sibling present");
                         let sib = running.remove(idx);
                         free.push(sib.container);
-                        free.sort_unstable_by_key(|&c| Reverse(c));
                         result.killed_attempts += 1;
-                        self.jobs[sib.job].wasted_slots += now.saturating_sub(sib.start());
-                        if let Some(v) = views.iter_mut().find(|v| v.id == JobId(sib.job as u32))
-                        {
+                        sim.jobs[sib.job].wasted_slots += now.saturating_sub(sib.start());
+                        if let Some(v) = views.iter_mut().find(|v| v.id == JobId(sib.job as u32)) {
                             v.running_tasks -= 1;
                         }
                         if let Some(trace) = &mut trace {
@@ -319,7 +1022,8 @@ impl Simulation {
                             });
                         }
                     }
-                    let sample = self.complete_task(&mut views, rt, now, &mut result, &mut trace);
+                    let sample =
+                        complete_task(&mut sim, &mut views, rt, now, &mut result, &mut trace);
                     refresh_oldest(&mut views, &running, rt.job);
                     let view = ClusterView {
                         now,
@@ -332,11 +1036,14 @@ impl Simulation {
                     result.scheduler_time += t0.elapsed();
                 }
             }
+            if freed_any {
+                free.sort_unstable_by_key(|&c| Reverse(c));
+            }
 
             // 2. Arrivals at `now`.
-            while arrivals.last().is_some_and(|&i| self.jobs[i].spec.arrival() == now) {
+            while arrivals.last().is_some_and(|&i| sim.jobs[i].spec.arrival() == now) {
                 let i = arrivals.pop().expect("peeked");
-                let v = self.make_view(i);
+                let v = sim.make_view(i);
                 let id = v.id;
                 views.push(v);
                 if let Some(trace) = &mut trace {
@@ -380,7 +1087,8 @@ impl Simulation {
                             continue;
                         }
                         let container = free.pop().expect("free checked");
-                        self.start_task(
+                        start_task(
+                            &mut sim,
                             &mut views,
                             vi,
                             container,
@@ -424,15 +1132,15 @@ impl Simulation {
                     .copied();
                 let Some(primary) = target else { break };
                 let container = free.pop().expect("free checked");
-                let task = self.jobs[job_idx].spec.tasks()[primary.task];
+                let task = sim.jobs[job_idx].spec.tasks()[primary.task];
                 let base = task.base_runtime();
-                let node = self.config.cluster.node_of_container(container);
+                let node = sim.config.cluster.node_of_container(container);
                 let locality = match task.preferred_node() {
-                    Some(pref) if pref != node.id() => self.config.remote_penalty,
+                    Some(pref) if pref != node.id() => sim.config.remote_penalty,
                     _ => 1.0,
                 };
-                let factor = self.config.interference.draw(&mut rng);
-                let fails = self.config.failures.draw(&mut rng);
+                let factor = sim.config.interference.draw(&mut rng);
+                let fails = sim.config.failures.draw(&mut rng);
                 let duration =
                     (base * node.speed_factor() * locality * factor).ceil().max(1.0) as Slot;
                 if let Some(trace) = &mut trace {
@@ -462,11 +1170,11 @@ impl Simulation {
             }
 
             // 4. Advance to the next event.
-            if self.jobs.iter().all(|j| j.finish.is_some()) {
+            if sim.jobs.iter().all(|j| j.finish.is_some()) {
                 break;
             }
             let next_completion = next_end(&running);
-            let next_arrival = arrivals.last().map(|&i| self.jobs[i].spec.arrival());
+            let next_arrival = arrivals.last().map(|&i| sim.jobs[i].spec.arrival());
             let next = match (next_completion, next_arrival) {
                 (Some(c), Some(a)) => c.min(a),
                 (Some(c), None) => c,
@@ -474,10 +1182,10 @@ impl Simulation {
                 (None, None) => return Err(SimError::SchedulerStalled { at: now }),
             };
             debug_assert!(next > now, "time must advance");
-            if next > self.config.max_slots {
-                let unfinished = self.jobs.iter().filter(|j| j.finish.is_none()).count();
+            if next > sim.config.max_slots {
+                let unfinished = sim.jobs.iter().filter(|j| j.finish.is_none()).count();
                 return Err(SimError::HorizonExceeded {
-                    max_slots: self.config.max_slots,
+                    max_slots: sim.config.max_slots,
                     unfinished,
                 });
             }
@@ -485,7 +1193,7 @@ impl Simulation {
         }
 
         result.makespan = now;
-        result.outcomes.sort_by_key(|o| (o.finish, o.id));
+        result.sort_outcomes();
         result.trace = trace;
         Ok(result)
     }
@@ -493,7 +1201,7 @@ impl Simulation {
     /// Handles a failed attempt: the task is re-queued and the wasted
     /// runtime reported.
     fn fail_task(
-        &mut self,
+        sim: &mut Simulation,
         views: &mut [JobView],
         rt: RunningTask,
         now: Slot,
@@ -501,7 +1209,7 @@ impl Simulation {
         result: &mut SimResult,
         trace: &mut Option<Trace>,
     ) -> TaskSample {
-        let job = &mut self.jobs[rt.job];
+        let job = &mut sim.jobs[rt.job];
         let was_map = job.spec.tasks()[rt.task].phase() == Phase::Map;
         // With a duplicate attempt still in flight, the failure is absorbed:
         // the task stays running elsewhere and is not re-queued.
@@ -545,38 +1253,10 @@ impl Simulation {
         }
     }
 
-    /// Builds the initial view of job `i`.
-    fn make_view(&self, i: usize) -> JobView {
-        let job = &self.jobs[i];
-        let spec = &job.spec;
-        let runnable = if job.maps_remaining > 0 {
-            job.pending_maps.len()
-        } else {
-            job.pending_maps.len() + job.pending_reduces.len()
-        };
-        JobView {
-            id: JobId(i as u32),
-            label: spec.label().to_owned(),
-            arrival: spec.arrival(),
-            utility: *spec.utility(),
-            priority: spec.priority(),
-            sensitivity: spec.sensitivity(),
-            budget: spec.budget(),
-            total_tasks: spec.tasks().len(),
-            pending_tasks: spec.tasks().len(),
-            runnable_tasks: runnable,
-            running_tasks: 0,
-            completed_tasks: 0,
-            failed_attempts: 0,
-            oldest_running_start: None,
-            samples: Vec::new(),
-        }
-    }
-
     /// Starts the next runnable task of the job behind `views[vi]`.
     #[allow(clippy::too_many_arguments)] // engine plumbing, not public API
     fn start_task(
-        &mut self,
+        sim: &mut Simulation,
         views: &mut [JobView],
         vi: usize,
         container: u32,
@@ -587,16 +1267,15 @@ impl Simulation {
         result: &mut SimResult,
     ) {
         let job_idx = views[vi].id.0 as usize;
-        let node = self.config.cluster.node_of_container(container);
+        let node = sim.config.cluster.node_of_container(container);
         let node_id = node.id();
-        let job = &mut self.jobs[job_idx];
+        let speed = node.speed_factor();
+        let job = &mut sim.jobs[job_idx];
         // Locality-aware pick: prefer a pending task whose input lives on
         // this container's node (the data-local choice a YARN node manager
         // heartbeat would make), falling back to stack order.
         let pick_local = |pending: &[usize], spec: &JobSpec| -> Option<usize> {
-            pending
-                .iter()
-                .rposition(|&t| spec.tasks()[t].preferred_node() == Some(node_id))
+            pending.iter().rposition(|&t| spec.tasks()[t].preferred_node() == Some(node_id))
         };
         let task_idx = if let Some(pos) = pick_local(&job.pending_maps, &job.spec) {
             job.pending_maps.remove(pos)
@@ -613,11 +1292,10 @@ impl Simulation {
         };
         let task = job.spec.tasks()[task_idx];
         let base = task.base_runtime();
-        let speed = node.speed_factor();
         let locality = match task.preferred_node() {
             Some(pref) if pref != node_id => {
                 result.remote_starts += 1;
-                self.config.remote_penalty
+                sim.config.remote_penalty
             }
             Some(_) => {
                 result.local_starts += 1;
@@ -625,13 +1303,13 @@ impl Simulation {
             }
             None => 1.0,
         };
-        let factor = self.config.interference.draw(rng);
-        let fails = self.config.failures.draw(rng);
+        let factor = sim.config.interference.draw(rng);
+        let fails = sim.config.failures.draw(rng);
         let duration = (base * speed * locality * factor).ceil().max(1.0) as Slot;
         if let Some(trace) = trace {
             trace.push(TraceEvent::TaskStarted {
                 job: JobId(job_idx as u32),
-                task: crate::TaskId(task_idx as u32),
+                task: TaskId(task_idx as u32),
                 container,
                 node: node_id,
                 at: now,
@@ -657,14 +1335,14 @@ impl Simulation {
     /// Records a task completion; returns the sample reported to the
     /// scheduler. Removes the job's view once the job is fully complete.
     fn complete_task(
-        &mut self,
+        sim: &mut Simulation,
         views: &mut Vec<JobView>,
         rt: RunningTask,
         now: Slot,
         result: &mut SimResult,
         trace: &mut Option<Trace>,
     ) -> TaskSample {
-        let job = &mut self.jobs[rt.job];
+        let job = &mut sim.jobs[rt.job];
         job.completed += 1;
         job.useful_slots += rt.duration;
         let was_map = job.spec.tasks()[rt.task].phase() == Phase::Map;
@@ -808,8 +1486,8 @@ mod tests {
     #[test]
     fn node_speed_scales_runtime() {
         let cluster = ClusterSpec::new(vec![(2.0, 1)]).unwrap(); // 2x slower
-        let sim = Simulation::new(SimConfig::new(cluster), vec![simple_job("j", 0, 1, 10.0)])
-            .unwrap();
+        let sim =
+            Simulation::new(SimConfig::new(cluster), vec![simple_job("j", 0, 1, 10.0)]).unwrap();
         let r = sim.run(&mut fcfs_task_order()).unwrap();
         assert_eq!(r.outcomes[0].runtime, 20);
     }
@@ -1133,11 +1811,8 @@ mod tests {
 
     #[test]
     fn default_schedulers_never_speculate() {
-        let sim = Simulation::new(
-            SimConfig::homogeneous(1, 8),
-            vec![simple_job("s", 0, 2, 10.0)],
-        )
-        .unwrap();
+        let sim = Simulation::new(SimConfig::homogeneous(1, 8), vec![simple_job("s", 0, 2, 10.0)])
+            .unwrap();
         let r = sim.run(&mut fcfs_task_order()).unwrap();
         assert_eq!(r.speculative_attempts, 0);
         assert_eq!(r.killed_attempts, 0);
@@ -1166,5 +1841,63 @@ mod tests {
         let mut rec = Recorder::default();
         sim.run(&mut rec).unwrap();
         assert_eq!(rec.samples, vec![7, 7, 7]);
+    }
+
+    /// The two engines must agree bit-for-bit on a scenario that exercises
+    /// speculation kills, failures, interference, heterogeneity and the
+    /// map/reduce barrier at once. The full randomized differential suite
+    /// lives in `tests/engine_differential.rs`; this is the in-crate smoke
+    /// version.
+    #[test]
+    fn naive_engine_matches_indexed_smoke() {
+        let mk = || {
+            let cfg = SimConfig::new(ClusterSpec::paper_testbed(2).unwrap())
+                .with_interference(Interference::LogNormal { cv: 0.4 })
+                .with_failures(FailureModel::Bernoulli { p: 0.15 })
+                .with_remote_penalty(1.3)
+                .with_trace(true)
+                .with_seed(42);
+            let jobs: Vec<JobSpec> = (0..6)
+                .map(|i| {
+                    JobSpec::builder(format!("j{i}"))
+                        .arrival(i * 3)
+                        .tasks((0..5).map(|t| {
+                            TaskSpec::new(4.0 + t as f64, Phase::Map)
+                                .with_preference(crate::NodeId((t % 6) as u32))
+                        }))
+                        .task(TaskSpec::new(6.0, Phase::Reduce))
+                        .utility(TimeUtility::constant(1.0).unwrap())
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            Simulation::new(cfg, jobs).unwrap()
+        };
+        let indexed = mk().run(&mut AlwaysSpeculate).unwrap();
+        let scanned = naive::run(mk(), &mut AlwaysSpeculate).unwrap();
+        assert_eq!(indexed.outcomes, scanned.outcomes);
+        assert_eq!(indexed.makespan, scanned.makespan);
+        assert_eq!(indexed.assignments, scanned.assignments);
+        assert_eq!(indexed.misassignments, scanned.misassignments);
+        assert_eq!(indexed.scheduler_invocations, scanned.scheduler_invocations);
+        assert_eq!(indexed.failed_attempts, scanned.failed_attempts);
+        assert_eq!(indexed.speculative_attempts, scanned.speculative_attempts);
+        assert_eq!(indexed.killed_attempts, scanned.killed_attempts);
+        assert_eq!(indexed.local_starts, scanned.local_starts);
+        assert_eq!(indexed.remote_starts, scanned.remote_starts);
+        assert_eq!(indexed.trace, scanned.trace);
+    }
+
+    #[test]
+    fn naive_engine_reports_same_errors() {
+        let cfg = SimConfig::homogeneous(1, 1).with_max_slots(5);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 2, 10.0)]).unwrap();
+        let err = naive::run(sim, &mut fcfs_task_order()).unwrap_err();
+        assert!(matches!(err, SimError::HorizonExceeded { unfinished: 1, .. }));
+
+        let sim = Simulation::new(SimConfig::homogeneous(1, 1), vec![simple_job("j", 0, 1, 5.0)])
+            .unwrap();
+        let err = naive::run(sim, &mut Refusenik).unwrap_err();
+        assert!(matches!(err, SimError::SchedulerStalled { at: 0 }));
     }
 }

@@ -144,6 +144,11 @@ impl JobSpec {
     pub fn total_base_runtime(&self) -> f64 {
         self.tasks.iter().map(|t| t.base_runtime()).sum()
     }
+
+    /// Indices of the tasks in `phase`, in declaration order.
+    pub fn task_indices(&self, phase: Phase) -> impl DoubleEndedIterator<Item = usize> + '_ {
+        self.tasks.iter().enumerate().filter(move |(_, t)| t.phase() == phase).map(|(i, _)| i)
+    }
 }
 
 /// Builder for [`JobSpec`] (see [`JobSpec::builder`]).

@@ -81,6 +81,20 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Sorts `outcomes` into the order the engine promises — ascending
+    /// `(finish, id)` — and checks the invariant that the order is *strict*
+    /// (ids are unique, so ties on `finish` break deterministically by id).
+    ///
+    /// Both simulation engines call this exactly once before returning;
+    /// every consumer of `outcomes` may rely on the ordering.
+    pub fn sort_outcomes(&mut self) {
+        self.outcomes.sort_by_key(|o| (o.finish, o.id));
+        debug_assert!(
+            self.outcomes.windows(2).all(|w| (w[0].finish, w[0].id) < (w[1].finish, w[1].id)),
+            "outcomes must be strictly ordered by (finish, id)"
+        );
+    }
+
     /// Outcomes restricted to time-aware (critical + sensitive) jobs — the
     /// population plotted in the paper's Fig. 4.
     pub fn time_aware_outcomes(&self) -> impl Iterator<Item = &JobOutcome> {
@@ -188,5 +202,33 @@ mod tests {
     #[test]
     fn zero_utility_fraction_empty() {
         assert_eq!(SimResult::default().zero_utility_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn sort_outcomes_breaks_finish_ties_by_id() {
+        // Jobs 3 and 1 tie on finish; 2 finishes earlier. Expected order:
+        // (5, id 2), (9, id 1), (9, id 3).
+        let mut r = SimResult {
+            outcomes: vec![
+                outcome(3, 9, None, 1.0),
+                outcome(1, 9, None, 1.0),
+                outcome(2, 5, None, 1.0),
+            ],
+            ..Default::default()
+        };
+        r.sort_outcomes();
+        let order: Vec<(Slot, JobId)> = r.outcomes.iter().map(|o| (o.finish, o.id)).collect();
+        assert_eq!(order, vec![(5, JobId(2)), (9, JobId(1)), (9, JobId(3))]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly ordered")]
+    fn sort_outcomes_rejects_duplicate_ids() {
+        let mut r = SimResult {
+            outcomes: vec![outcome(1, 9, None, 1.0), outcome(1, 9, None, 1.0)],
+            ..Default::default()
+        };
+        r.sort_outcomes();
     }
 }

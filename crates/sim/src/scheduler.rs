@@ -72,11 +72,7 @@ impl Scheduler for FcfsTaskOrder {
     }
 
     fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
-        view.jobs
-            .iter()
-            .filter(|j| j.runnable_tasks > 0)
-            .min_by_key(|j| (j.arrival, j.id))
-            .map(|j| j.id)
+        view.runnable_jobs().min_by_key(|j| (j.arrival, j.id)).map(|j| j.id)
     }
 }
 

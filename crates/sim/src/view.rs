@@ -111,6 +111,12 @@ impl<'a> ClusterView<'a> {
         self.jobs.iter().map(|j| j.runnable_tasks).sum()
     }
 
+    /// Jobs with at least one runnable task, in arrival order — the
+    /// candidate set every assignment policy filters down to.
+    pub fn runnable_jobs(&self) -> impl Iterator<Item = &JobView> {
+        self.jobs.iter().filter(|j| j.runnable_tasks > 0)
+    }
+
     /// Containers currently occupied.
     pub fn busy_containers(&self) -> u32 {
         self.capacity - self.free_containers
@@ -166,5 +172,13 @@ mod tests {
         assert!(cv.job(JobId(9)).is_none());
         assert_eq!(cv.total_runnable(), 10);
         assert_eq!(cv.busy_containers(), 11);
+    }
+
+    #[test]
+    fn runnable_jobs_filters_and_preserves_order() {
+        let jobs = vec![view(1, 0), view(2, 6), view(3, 0), view(4, 2)];
+        let cv = ClusterView { now: 30, capacity: 16, free_containers: 5, jobs: &jobs };
+        let ids: Vec<JobId> = cv.runnable_jobs().map(|j| j.id).collect();
+        assert_eq!(ids, vec![JobId(2), JobId(4)]);
     }
 }

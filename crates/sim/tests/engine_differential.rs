@@ -1,0 +1,211 @@
+//! Differential and determinism properties of the two simulation engines.
+//!
+//! The indexed engine ([`Simulation::run`]) and the scan-based reference
+//! ([`rush_sim::engine::naive::run`]) must produce **bit-identical**
+//! results: the same job outcomes in the same order, the same makespan and
+//! counters, the same RNG draw order (visible through durations), and the
+//! same trace event sequence. Wall-clock `scheduler_time` is the only field
+//! allowed to differ.
+//!
+//! The workload generator below deliberately crosses the hard cases:
+//! heterogeneous node speeds, map/reduce barriers, data-locality
+//! preferences, Bernoulli failures, log-normal interference, and a
+//! speculation-happy scheduler so duplicate-kill (including two duplicates
+//! due at the same slot) is exercised.
+
+use proptest::prelude::*;
+use rush_sim::cluster::ClusterSpec;
+use rush_sim::engine::{naive, SimConfig, Simulation};
+use rush_sim::job::{JobSpec, Phase, TaskSpec};
+use rush_sim::outcome::SimResult;
+use rush_sim::perturb::{FailureModel, Interference};
+use rush_sim::scheduler::{fcfs_task_order, FcfsTaskOrder, Scheduler};
+use rush_sim::view::ClusterView;
+use rush_sim::{JobId, NodeId, Slot};
+use rush_utility::TimeUtility;
+
+/// Deterministically speculates on the active job with the most running
+/// tasks — enough pressure to trigger duplicate kills on every run shape.
+#[derive(Debug, Clone, Copy, Default)]
+struct GreedySpeculator;
+
+impl Scheduler for GreedySpeculator {
+    fn name(&self) -> &str {
+        "greedy-spec"
+    }
+    fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+        FcfsTaskOrder.assign(view)
+    }
+    fn speculate(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+        view.jobs
+            .iter()
+            .filter(|j| j.running_tasks > 0)
+            .max_by_key(|j| (j.running_tasks, std::cmp::Reverse(j.id)))
+            .map(|j| j.id)
+    }
+}
+
+/// One parameterized workload: `n_jobs` jobs with mixed map/reduce shapes
+/// and node preferences on a 3-speed-grade cluster.
+fn build_sim(
+    seed: u64,
+    n_jobs: usize,
+    containers_per_node: u32,
+    fail_p: f64,
+    cv: f64,
+    trace: bool,
+) -> Simulation {
+    let cluster =
+        ClusterSpec::new(vec![(0.8, containers_per_node), (1.0, containers_per_node), (1.3, containers_per_node)])
+            .unwrap();
+    let mut cfg = SimConfig::new(cluster)
+        .with_remote_penalty(1.4)
+        .with_trace(trace)
+        .with_seed(seed);
+    if fail_p > 0.0 {
+        cfg = cfg.with_failures(FailureModel::Bernoulli { p: fail_p });
+    }
+    if cv > 0.0 {
+        cfg = cfg.with_interference(Interference::LogNormal { cv });
+    }
+    let jobs: Vec<JobSpec> = (0..n_jobs)
+        .map(|i| {
+            // Derive per-job shape from the index so every (seed, n_jobs)
+            // pair names exactly one workload.
+            let maps = 1 + (i * 7 + seed as usize) % 6;
+            let reduces = (i + seed as usize) % 3;
+            let arrival = (i as Slot * 5) % 23;
+            let mut b = JobSpec::builder(format!("j{i}")).arrival(arrival);
+            for t in 0..maps {
+                let mut task = TaskSpec::new(3.0 + ((i + t) % 9) as f64, Phase::Map);
+                if t % 2 == 0 {
+                    task = task.with_preference(NodeId(((i + t) % 3) as u32));
+                }
+                b = b.task(task);
+            }
+            for t in 0..reduces {
+                b = b.task(TaskSpec::new(4.0 + (t % 5) as f64, Phase::Reduce));
+            }
+            b.utility(TimeUtility::constant(1.0).unwrap()).build().unwrap()
+        })
+        .collect();
+    Simulation::new(cfg, jobs).unwrap()
+}
+
+/// Asserts everything except wall-clock scheduler time is identical.
+fn assert_bit_identical(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.outcomes, b.outcomes, "per-job outcomes must match");
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.misassignments, b.misassignments);
+    assert_eq!(a.scheduler_invocations, b.scheduler_invocations);
+    assert_eq!(a.failed_attempts, b.failed_attempts);
+    assert_eq!(a.speculative_attempts, b.speculative_attempts);
+    assert_eq!(a.killed_attempts, b.killed_attempts);
+    assert_eq!(a.local_starts, b.local_starts);
+    assert_eq!(a.remote_starts, b.remote_starts);
+    assert_eq!(a.trace, b.trace, "trace event sequences must match");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole contract: indexed engine ≡ naive engine, bit for bit,
+    /// across randomized seeds, fleet sizes, failures and interference.
+    #[test]
+    fn engines_agree_bit_for_bit(
+        seed in 0u64..1000,
+        n_jobs in 1usize..14,
+        cpn in 1u32..5,
+        fail in prop_oneof![Just(0.0), Just(0.15), Just(0.35)],
+        cv in prop_oneof![Just(0.0), Just(0.4)],
+    ) {
+        let indexed = build_sim(seed, n_jobs, cpn, fail, cv, true)
+            .run(&mut GreedySpeculator)
+            .unwrap();
+        let scanned = naive::run(
+            build_sim(seed, n_jobs, cpn, fail, cv, true),
+            &mut GreedySpeculator,
+        )
+        .unwrap();
+        assert_bit_identical(&indexed, &scanned);
+    }
+
+    /// The engines also agree without speculation (pure FCFS path).
+    #[test]
+    fn engines_agree_without_speculation(
+        seed in 0u64..1000,
+        n_jobs in 1usize..10,
+        fail in prop_oneof![Just(0.0), Just(0.25)],
+    ) {
+        let indexed = build_sim(seed, n_jobs, 2, fail, 0.3, true)
+            .run(&mut fcfs_task_order())
+            .unwrap();
+        let scanned = naive::run(
+            build_sim(seed, n_jobs, 2, fail, 0.3, true),
+            &mut fcfs_task_order(),
+        )
+        .unwrap();
+        assert_bit_identical(&indexed, &scanned);
+    }
+
+    /// Satellite: identical SimConfig + specs → bit-identical results
+    /// across two fresh Simulations (run determinism).
+    #[test]
+    fn runs_are_deterministic(
+        seed in 0u64..1000,
+        n_jobs in 1usize..10,
+    ) {
+        let first = build_sim(seed, n_jobs, 3, 0.2, 0.5, true)
+            .run(&mut GreedySpeculator)
+            .unwrap();
+        let second = build_sim(seed, n_jobs, 3, 0.2, 0.5, true)
+            .run(&mut GreedySpeculator)
+            .unwrap();
+        assert_bit_identical(&first, &second);
+    }
+
+    /// Satellite: tracing must be pure observation — `record_trace` on vs
+    /// off cannot change outcomes, counters or RNG consumption.
+    #[test]
+    fn trace_recording_does_not_change_outcomes(
+        seed in 0u64..1000,
+        n_jobs in 1usize..10,
+    ) {
+        let traced = build_sim(seed, n_jobs, 2, 0.2, 0.4, true)
+            .run(&mut GreedySpeculator)
+            .unwrap();
+        let untraced = build_sim(seed, n_jobs, 2, 0.2, 0.4, false)
+            .run(&mut GreedySpeculator)
+            .unwrap();
+        assert!(traced.trace.is_some());
+        assert!(untraced.trace.is_none());
+        assert_eq!(traced.outcomes, untraced.outcomes);
+        assert_eq!(traced.makespan, untraced.makespan);
+        assert_eq!(traced.assignments, untraced.assignments);
+        assert_eq!(traced.scheduler_invocations, untraced.scheduler_invocations);
+        assert_eq!(traced.failed_attempts, untraced.failed_attempts);
+        assert_eq!(traced.speculative_attempts, untraced.speculative_attempts);
+        assert_eq!(traced.killed_attempts, untraced.killed_attempts);
+    }
+
+    /// Outcomes arrive sorted by `(finish, id)` from both engines.
+    #[test]
+    fn outcomes_sorted_in_both_engines(
+        seed in 0u64..1000,
+        n_jobs in 2usize..12,
+    ) {
+        let check = |r: &SimResult| {
+            assert!(r
+                .outcomes
+                .windows(2)
+                .all(|w| (w[0].finish, w[0].id) < (w[1].finish, w[1].id)));
+        };
+        check(&build_sim(seed, n_jobs, 2, 0.1, 0.3, false).run(&mut GreedySpeculator).unwrap());
+        check(&naive::run(
+            build_sim(seed, n_jobs, 2, 0.1, 0.3, false),
+            &mut GreedySpeculator,
+        )
+        .unwrap());
+    }
+}
