@@ -164,6 +164,37 @@ pub fn map_continuous(jobs: &[MapJob], capacity: u32) -> Result<Vec<Placement>, 
             remaining -= 1;
         }
     }
+    #[cfg(feature = "strict-invariants")]
+    {
+        // Conservation: every task of every job lands in exactly one
+        // segment — the spill path guarantees totality.
+        for (i, p) in placements.iter().enumerate() {
+            let placed: u64 = p.segments.iter().map(|s| s.tasks).sum();
+            debug_assert_eq!(
+                placed, jobs[i].tasks,
+                "mapping contract: job {i} placed {placed} of {} tasks",
+                jobs[i].tasks
+            );
+        }
+        // Theorem 3: when the strict jobs' targets satisfy the Theorem 2
+        // prefix-capacity condition, every strict job completes within one
+        // task runtime of its target. (Lax jobs are packed after every
+        // strict job and cannot affect strict completions.)
+        let strict: Vec<MapJob> = jobs.iter().copied().filter(|j| !j.lax).collect();
+        if capacity_condition_holds(&strict, capacity) {
+            for (i, job) in jobs.iter().enumerate() {
+                if job.lax {
+                    continue;
+                }
+                debug_assert!(
+                    placements[i].completion <= job.target + job.task_len,
+                    "Theorem 3 contract: job {i} completion {} > T + R = {}",
+                    placements[i].completion,
+                    job.target + job.task_len
+                );
+            }
+        }
+    }
     Ok(placements)
 }
 
@@ -339,6 +370,58 @@ mod tests {
         let p = map_continuous(&jobs, 3).unwrap();
         assert_eq!(p[0].active_at(0), 3, "lax jobs use free capacity at once");
         assert_eq!(p[0].completion, 10);
+    }
+
+    #[test]
+    fn zero_demand_jobs_mixed_with_loaded_jobs() {
+        // Zero-demand jobs ride along without consuming capacity or
+        // breaking the Theorem 3 bound for their loaded peers.
+        let jobs = [
+            MapJob { tasks: 0, task_len: 10, target: 20, lax: false },
+            MapJob { tasks: 4, task_len: 10, target: 20, lax: false },
+            MapJob { tasks: 0, task_len: 3, target: 0, lax: false },
+            MapJob { tasks: 0, task_len: 5, target: 7, lax: true },
+        ];
+        let p = map_continuous(&jobs, 2).unwrap();
+        assert!(p[0].segments.is_empty() && p[2].segments.is_empty() && p[3].segments.is_empty());
+        assert_eq!(p[0].completion, 0);
+        let total: u64 = p[1].segments.iter().map(|s| s.tasks).sum();
+        assert_eq!(total, 4);
+        assert!(p[1].completion <= 20 + 10);
+    }
+
+    #[test]
+    fn target_at_horizon_completes_within_bound() {
+        // A job whose target sits exactly at the planning horizon still
+        // obeys T + R: the pack never starts a task at or past the target.
+        const HORIZON: u64 = 1_000_000;
+        let jobs = [
+            MapJob { tasks: 3, task_len: 7, target: 10, lax: false },
+            MapJob { tasks: 5, task_len: 9, target: HORIZON, lax: false },
+        ];
+        assert!(capacity_condition_holds(&jobs, 3));
+        let p = map_continuous(&jobs, 3).unwrap();
+        assert!(p[1].completion <= HORIZON + 9);
+    }
+
+    #[test]
+    fn full_cluster_all_containers_committed() {
+        // C = 3 containers, each fully committed to a strict job through
+        // slot 30; a later-target job queues behind and still meets T + R.
+        let jobs = [
+            MapJob { tasks: 3, task_len: 10, target: 30, lax: false },
+            MapJob { tasks: 3, task_len: 10, target: 30, lax: false },
+            MapJob { tasks: 3, task_len: 10, target: 30, lax: false },
+            MapJob { tasks: 3, task_len: 10, target: 60, lax: false },
+        ];
+        assert!(capacity_condition_holds(&jobs, 3));
+        let p = map_continuous(&jobs, 3).unwrap();
+        for placement in &p[..3] {
+            // bound: the first three jobs fill all containers through 30
+            assert_eq!(placement.completion, 30);
+        }
+        assert!(p[3].segments.iter().all(|s| s.start >= 30));
+        assert!(p[3].completion <= 60 + 10);
     }
 
     #[test]

@@ -186,7 +186,7 @@ fn check_level(
     if let Some(b) = never {
         return Check::Infeasible { bottleneck: b };
     }
-    scratch.deadlines.sort_by(|a, b| a.partial_cmp(b).expect("deadlines are ordered"));
+    scratch.deadlines.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     // Merged sweep over active deadlines AND committed reservation times.
     // Verifying only the active prefixes is not enough: an active job whose
     // deadline lands just *before* a committed reservation adds its demand
@@ -256,7 +256,7 @@ fn asap_deadline(demand: u64, committed: &[(f64, u64)], capacity: u32) -> f64 {
     let c = capacity as f64;
     // Committed deadlines sorted with cumulative demand.
     let mut sorted: Vec<(f64, u64)> = committed.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deadlines"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut cum = 0u64;
     let mut prefix: Vec<(f64, u64)> = Vec::with_capacity(sorted.len());
     for &(t, e) in &sorted {
@@ -363,6 +363,10 @@ pub fn peel(
     // only needs an explicit probe on the first layer and after an
     // infeasible-floor peel.
     let mut floor_feasible = false;
+    // Overload marker: once a job peels off an infeasible floor (or a
+    // deferred job's ASAP slot is clamped by the horizon), the cluster
+    // cannot honor every target and Theorem 2's premise no longer holds.
+    let mut overloaded = false;
 
     while !active.is_empty() {
         let level_hi = active
@@ -439,6 +443,9 @@ pub fn peel(
                     floor_feasible = floor_ok;
                     continue;
                 }
+                if !floor_ok {
+                    overloaded = true;
+                }
                 let deadline = deadline_for(&jobs[b], lo, horizon);
                 targets.push(Target { job: b, level: lo, deadline, lax: false });
                 committed.push((deadline, jobs[b].demand));
@@ -481,12 +488,50 @@ pub fn peel(
         (flat_a, jobs[a.0].demand, a.0).cmp(&(flat_b, jobs[b.0].demand, b.0))
     });
     for (i, level) in deferred {
-        let deadline = asap_deadline(jobs[i].demand, &committed, capacity).min(horizon);
+        let asap = asap_deadline(jobs[i].demand, &committed, capacity);
+        if asap > horizon {
+            overloaded = true;
+        }
+        let deadline = asap.min(horizon);
         targets.push(Target { job: i, level, deadline, lax: true });
         committed.push((deadline, jobs[i].demand));
     }
+    debug_check_theorem2(&committed, capacity, overloaded);
     Ok(targets)
 }
+
+/// Contract (Theorem 2): in a non-overloaded instance, the committed
+/// reservations satisfy the prefix-capacity condition
+/// `Σ_{T_k ≤ d} η_k ≤ C · d` at every reservation deadline `d` — the
+/// feasibility certificate the peeling loop maintained layer by layer.
+#[cfg(feature = "strict-invariants")]
+fn debug_check_theorem2(committed: &[(f64, u64)], capacity: u32, overloaded: bool) {
+    if overloaded {
+        return;
+    }
+    let mut sorted: Vec<(f64, u64)> = committed.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if sorted.iter().any(|&(d, e)| e > 0 && d <= 0.0) {
+        // Degenerate clamp: a level sitting above a job's supremum by
+        // floating-point noise maps to an ASAP deadline of 0 — the same
+        // "cannot satisfy" category as overload.
+        return;
+    }
+    let c = capacity as f64;
+    let mut cum = 0u64;
+    for &(d, e) in &sorted {
+        cum += e;
+        debug_assert!(
+            cum as f64 <= c * d + 1e-6,
+            "Theorem 2 contract: committed demand {cum} exceeds C·d = {} at deadline {d}",
+            c * d
+        );
+    }
+}
+
+#[cfg(not(feature = "strict-invariants"))]
+#[inline(always)]
+fn debug_check_theorem2(_committed: &[(f64, u64)], _capacity: u32, _overloaded: bool) {}
 
 /// Whether a job's utility is indifferent to *when* it completes at the
 /// given level: either the level has collapsed to ~0 (nothing left to
@@ -522,7 +567,7 @@ pub mod naive {
     impl CommittedIndex {
         fn new(committed: &[(f64, u64)]) -> Self {
             let mut sorted: Vec<(f64, u64)> = committed.to_vec();
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deadlines"));
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut times = Vec::with_capacity(sorted.len());
             let mut cums = Vec::with_capacity(sorted.len());
             let mut cum = 0u64;
@@ -565,7 +610,7 @@ pub mod naive {
                 }
             }
         }
-        deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite deadlines"));
+        deadlines.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let c = capacity as f64;
         let mut cum = 0u64;
         let mut ci = 0usize;

@@ -34,6 +34,7 @@ use rush_estimator::{
 };
 use rush_utility::TimeUtility;
 use std::borrow::Cow;
+// rush-lint: allow(RUSH-L001): point-lookup-only memo table, never iterated
 use std::collections::HashMap;
 
 /// Scheduler-visible state of one job, fed into the pipeline.
@@ -117,6 +118,7 @@ pub struct JobSolve {
 /// can only see the estimator named in the config.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
+    // rush-lint: allow(RUSH-L001): keyed by u128 fingerprint, get/insert only
     map: HashMap<u128, JobSolve>,
     hits: u64,
     misses: u64,
@@ -319,6 +321,7 @@ fn solve_jobs<E: PlanEstimator>(
     let tag = config_tag(config);
     let prints: Vec<u128> = jobs.iter().map(|j| fingerprint(tag, j)).collect();
     let prev = std::mem::take(&mut cache.map);
+    // rush-lint: allow(RUSH-L001): generation rotation of the memo table, never iterated
     let mut next: HashMap<u128, JobSolve> = HashMap::with_capacity(jobs.len());
     let mut out: Vec<Option<JobSolve>> = vec![None; jobs.len()];
     let mut miss_idx: Vec<usize> = Vec::new();

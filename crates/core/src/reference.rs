@@ -51,7 +51,7 @@ pub fn level_feasible_lp(
     }
     // Interval grid from the distinct positive deadlines.
     let mut bounds: Vec<f64> = deadlines.iter().copied().filter(|d| *d > 0.0).collect();
-    bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    bounds.sort_by(|a, b| a.total_cmp(b));
     bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     if bounds.is_empty() {
         // No one needs anything (all demands of deadline-0 jobs must be 0).

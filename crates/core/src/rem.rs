@@ -79,7 +79,26 @@ pub fn solve(phi: &Pmf, l_bin: usize, theta: f64) -> Result<RemSolution, CoreErr
         .map(|(l, &p)| if l <= l_bin { p * head_scale } else { p * tail_scale })
         .collect();
     let pmf = Pmf::from_weights(weights, phi.bin_width())?;
-    Ok(RemSolution::Reweighted { pmf, kl: closed_form_kl(head, tail, theta) })
+    let kl = closed_form_kl(head, tail, theta);
+    #[cfg(feature = "strict-invariants")]
+    {
+        // Contract (Theorem 1 / eq. 11): the reweighted head carries mass
+        // exactly θ, and the closed-form divergence agrees with a direct
+        // D(p*‖φ) evaluation.
+        let head_after: f64 = pmf.probs().iter().take(l_bin + 1).sum();
+        debug_assert!(
+            (head_after - theta).abs() < 1e-9,
+            "REM contract: reweighted head mass {head_after} != θ {theta}"
+        );
+        debug_assert!(kl.is_finite() && kl >= 0.0, "REM contract: KL {kl} not finite/non-negative");
+        if let Ok(direct) = pmf.kl_divergence(phi) {
+            debug_assert!(
+                (kl - direct).abs() < 1e-9,
+                "REM contract: closed-form KL {kl} disagrees with direct {direct}"
+            );
+        }
+    }
+    Ok(RemSolution::Reweighted { pmf, kl })
 }
 
 enum Split {

@@ -21,7 +21,7 @@ use crate::RushConfig;
 use rush_sim::view::{ClusterView, TaskSample};
 use rush_sim::{JobId, Scheduler, Slot};
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum borrowed samples per label pool (newest kept).
 const LABEL_POOL_CAP: usize = 256;
@@ -58,12 +58,12 @@ pub struct RushScheduler {
     cache: Option<(Slot, DesiredCache)>,
     dirty: bool,
     /// Cross-job sample pools keyed by job label (template name).
-    label_pool: HashMap<String, Vec<u64>>,
+    label_pool: BTreeMap<String, Vec<u64>>,
     /// All observed samples regardless of label — last-resort cold-start
     /// pool before falling back to the configured prior.
     global_pool: Vec<u64>,
     /// Label of each active job, captured at arrival.
-    labels: HashMap<JobId, String>,
+    labels: BTreeMap<JobId, String>,
     /// The most recent full plan, for introspection (the paper's HTTP
     /// monitoring interface exposes exactly this).
     last_plan: Plan,
@@ -81,9 +81,9 @@ impl RushScheduler {
             name: "RUSH",
             cache: None,
             dirty: true,
-            label_pool: HashMap::new(),
+            label_pool: BTreeMap::new(),
             global_pool: Vec::new(),
-            labels: HashMap::new(),
+            labels: BTreeMap::new(),
             last_plan: Plan::default(),
             plan_cache: PlanCache::new(),
         }
@@ -164,7 +164,7 @@ impl RushScheduler {
 /// The returned slice may be empty, in which case the estimator falls back
 /// to the configured prior.
 fn cold_start_samples<'v>(
-    label_pool: &'v HashMap<String, Vec<u64>>,
+    label_pool: &'v BTreeMap<String, Vec<u64>>,
     global_pool: &'v [u64],
     label: &str,
     own: &'v [u64],
@@ -279,7 +279,7 @@ impl Scheduler for RushScheduler {
                         desired.iter().find(|(id, _, _)| *id == a.id).map_or(f64::MAX, |x| x.2);
                     let tb =
                         desired.iter().find(|(id, _, _)| *id == b.id).map_or(f64::MAX, |x| x.2);
-                    ta.partial_cmp(&tb).expect("finite targets").then(a.id.cmp(&b.id))
+                    ta.total_cmp(&tb).then(a.id.cmp(&b.id))
                 })
                 .map(|j| j.id)
         };
@@ -324,7 +324,7 @@ mod tests {
     fn empty_label_pool_falls_back_to_global_pool() {
         // A label key can exist with no samples left (e.g. after future
         // pool eviction): it must not shadow the global pool.
-        let mut label_pool: HashMap<String, Vec<u64>> = HashMap::new();
+        let mut label_pool: BTreeMap<String, Vec<u64>> = BTreeMap::new();
         label_pool.insert("tpl".into(), Vec::new());
         label_pool.insert("warm".into(), vec![7, 8]);
         let global = vec![40, 50, 60];

@@ -68,7 +68,9 @@ pub fn worst_case_quantile(phi: &Pmf, theta: f64, delta: f64) -> Result<WcdeResu
     if bins == 1 || feasible(hi)? {
         // Degenerate single-bin PMF (head==1 makes this unreachable for
         // bins > 1, but keep the guard total).
-        return Ok(WcdeResult { eta_bin: hi, eta: (hi as u64 + 1) * phi.bin_width() });
+        let r = WcdeResult { eta_bin: hi, eta: (hi as u64 + 1) * phi.bin_width() };
+        debug_check_wcde(phi, theta, delta, &r);
+        return Ok(r);
     }
     let mut lo = 0usize;
     if !feasible(lo)? {
@@ -77,7 +79,9 @@ pub fn worst_case_quantile(phi: &Pmf, theta: f64, delta: f64) -> Result<WcdeResu
         // itself may place it higher; fall back to the reference quantile
         // so the provision never undershoots the nominal estimate.
         let qb = phi.quantile_bin(theta);
-        return Ok(WcdeResult { eta_bin: qb, eta: (qb as u64 + 1) * phi.bin_width() });
+        let r = WcdeResult { eta_bin: qb, eta: (qb as u64 + 1) * phi.bin_width() };
+        debug_check_wcde(phi, theta, delta, &r);
+        return Ok(r);
     }
     // Invariant: feasible(lo), !feasible(hi).
     while hi - lo > 1 {
@@ -93,8 +97,43 @@ pub fn worst_case_quantile(phi: &Pmf, theta: f64, delta: f64) -> Result<WcdeResu
     // floor so δ→0 never yields less than the nominal estimate.
     let eta_bin = (lo + 1).max(phi.quantile_bin(theta));
     let eta_bin = eta_bin.min(bins - 1);
-    Ok(WcdeResult { eta_bin, eta: (eta_bin as u64 + 1) * phi.bin_width() })
+    let r = WcdeResult { eta_bin, eta: (eta_bin as u64 + 1) * phi.bin_width() };
+    debug_check_wcde(phi, theta, delta, &r);
+    Ok(r)
 }
+
+/// Contract for Algorithm 2 (checked on every return path): `η` is the
+/// upper edge of `eta_bin`, never undershoots the nominal quantile, and the
+/// in-ball guarantee holds — no distribution within KL radius `δ` can push
+/// its θ-quantile past `eta_bin` (the REM minimum one bin further already
+/// exceeds `δ`).
+#[cfg(feature = "strict-invariants")]
+fn debug_check_wcde(phi: &Pmf, theta: f64, delta: f64, r: &WcdeResult) {
+    debug_assert_eq!(
+        r.eta,
+        (r.eta_bin as u64 + 1) * phi.bin_width(),
+        "WCDE contract: eta is not the upper edge of eta_bin"
+    );
+    debug_assert!(
+        r.eta_bin >= phi.quantile_bin(theta),
+        "WCDE contract: eta_bin {} undershoots nominal quantile bin {}",
+        r.eta_bin,
+        phi.quantile_bin(theta)
+    );
+    if r.eta_bin + 1 < phi.bins() {
+        if let Ok(kl_next) = rem::min_kl(phi, r.eta_bin + 1, theta) {
+            debug_assert!(
+                kl_next > delta,
+                "WCDE contract: bin {} beyond eta is still in-ball (KL {kl_next} <= δ {delta})",
+                r.eta_bin + 1
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "strict-invariants"))]
+#[inline(always)]
+fn debug_check_wcde(_phi: &Pmf, _theta: f64, _delta: f64, _r: &WcdeResult) {}
 
 #[cfg(test)]
 mod tests {

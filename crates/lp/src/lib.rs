@@ -191,6 +191,7 @@ impl Tableau {
     }
 
     fn cols(&self) -> usize {
+        // bound: the tableau always carries at least the objective row
         self.a[0].len()
     }
 
@@ -293,6 +294,7 @@ impl Tableau {
             self.load_objective(&phase1);
             if !self.iterate(n_total) {
                 // Phase 1 objective is bounded by construction.
+                // rush-lint: allow(RUSH-L003): structurally impossible branch
                 unreachable!("phase-1 cannot be unbounded");
             }
             let last = self.a.len() - 1;

@@ -396,6 +396,7 @@ impl Weibull {
         ];
         // gamma(z) for z = 1 + x, x >= 0.
         let z = x; // gamma(1+x) = x! ; use gamma(z+1) with z = x
+        // bound: C is a fixed-size coefficient table
         let mut acc = C[0];
         for (i, &c) in C.iter().enumerate().skip(1) {
             acc += c / (z + i as f64);

@@ -89,7 +89,9 @@ impl Pmf {
         }
         let probs: Vec<f64> = weights.into_iter().map(|w| w / total).collect();
         let cdf = prefix_sums(&probs);
-        Ok(Pmf { probs, cdf, bin_width })
+        let out = Pmf { probs, cdf, bin_width };
+        out.debug_check_invariants();
+        Ok(out)
     }
 
     /// Builds an impulse (degenerate) PMF placing all mass on one bin.
@@ -114,7 +116,9 @@ impl Pmf {
         let mut probs = vec![0.0; bins];
         probs[bin] = 1.0;
         let cdf = prefix_sums(&probs);
-        Ok(Pmf { probs, cdf, bin_width })
+        let out = Pmf { probs, cdf, bin_width };
+        out.debug_check_invariants();
+        Ok(out)
     }
 
     /// Builds the uniform PMF over `bins` bins.
@@ -332,6 +336,35 @@ impl Pmf {
     pub fn is_normalized(&self) -> bool {
         (self.probs.iter().sum::<f64>() - 1.0).abs() < 1e-6
     }
+
+    /// Contract checks behind the `strict-invariants` feature: mass ≈ 1 and
+    /// the cached CDF is a monotone non-decreasing prefix sum reaching the
+    /// total mass. `debug_assert!`-backed, so even with the feature enabled
+    /// release builds compile this to nothing.
+    #[cfg(feature = "strict-invariants")]
+    fn debug_check_invariants(&self) {
+        debug_assert!(!self.probs.is_empty(), "Pmf must have at least one bin");
+        debug_assert!(self.bin_width >= 1, "Pmf bin width must be positive");
+        debug_assert!(
+            self.probs.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "Pmf probabilities must be finite and non-negative"
+        );
+        debug_assert!(self.is_normalized(), "Pmf mass must be ~1");
+        debug_assert_eq!(self.probs.len(), self.cdf.len(), "Pmf CDF cache length mismatch");
+        debug_assert!(
+            // bound: windows(2) yields exactly two elements
+            self.cdf.windows(2).all(|w| w[0] <= w[1]),
+            "Pmf CDF must be monotone non-decreasing"
+        );
+        debug_assert!(
+            (self.cdf.last().copied().unwrap_or(0.0) - 1.0).abs() < 1e-6,
+            "Pmf CDF must reach total mass ~1"
+        );
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    fn debug_check_invariants(&self) {}
 }
 
 impl AsRef<[f64]> for Pmf {

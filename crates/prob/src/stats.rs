@@ -32,12 +32,13 @@ pub fn sample_std(xs: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+/// Panics if `xs` is empty or contains NaN, or `q` is outside `[0, 1]`.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty sample");
     assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1], got {q}");
+    assert!(xs.iter().all(|x| !x.is_nan()), "percentile of NaN sample");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -102,7 +103,7 @@ impl FiveNumber {
         // the box so the five numbers stay ordered.
         whisker_lo = whisker_lo.min(q1);
         whisker_hi = whisker_hi.max(q3);
-        outliers.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        outliers.sort_by(|a, b| a.total_cmp(b));
         FiveNumber { whisker_lo, q1, median, q3, whisker_hi, outliers }
     }
 
@@ -136,8 +137,9 @@ impl Ecdf {
     ///
     /// Panics if any sample is NaN.
     pub fn from_samples(xs: &[f64]) -> Self {
+        assert!(xs.iter().all(|x| !x.is_nan()), "Ecdf sample contains NaN");
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted }
     }
 

@@ -151,8 +151,7 @@ impl Scheduler for Rrh {
             .filter(|j| j.runnable_tasks > 0)
             .map(|j| (j, Self::bid(j, view.now)))
             .max_by(|(a, ba), (b, bb)| {
-                ba.partial_cmp(bb)
-                    .expect("finite bids")
+                ba.total_cmp(bb)
                     .then_with(|| (b.arrival, b.id).cmp(&(a.arrival, a.id)))
             })
             .map(|(j, _)| j.id)
@@ -183,7 +182,7 @@ impl Scheduler for Fair {
             .min_by(|a, b| {
                 let sa = a.running_tasks as f64 / a.priority.max(1) as f64;
                 let sb = b.running_tasks as f64 / b.priority.max(1) as f64;
-                sa.partial_cmp(&sb).expect("finite shares").then((a.arrival, a.id).cmp(&(b.arrival, b.id)))
+                sa.total_cmp(&sb).then((a.arrival, a.id).cmp(&(b.arrival, b.id)))
             })
             .map(|j| j.id)
     }
@@ -249,7 +248,7 @@ impl<S: Scheduler> Scheduler for Speculative<S> {
                 let slowdown = elapsed / mean.max(1.0);
                 (slowdown > self.threshold).then_some((j.id, slowdown))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite slowdowns"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(id, _)| id)
     }
 }

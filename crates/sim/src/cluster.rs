@@ -120,6 +120,7 @@ impl ClusterSpec {
             }
             remaining -= node.containers;
         }
+        // rush-lint: allow(RUSH-L003): caller contract — container < capacity()
         panic!("container index {container} out of range (capacity {})", self.capacity());
     }
 

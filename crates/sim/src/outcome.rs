@@ -90,6 +90,7 @@ impl SimResult {
     pub fn sort_outcomes(&mut self) {
         self.outcomes.sort_by_key(|o| (o.finish, o.id));
         debug_assert!(
+            // bound: windows(2) yields exactly two elements
             self.outcomes.windows(2).all(|w| (w[0].finish, w[0].id) < (w[1].finish, w[1].id)),
             "outcomes must be strictly ordered by (finish, id)"
         );

@@ -379,13 +379,14 @@ impl PiecewiseLinear {
 impl Utility for PiecewiseLinear {
     fn utility(&self, t: f64) -> f64 {
         let t = t.max(0.0);
+        // bound: points is validated non-empty at construction
         let first = self.points[0];
         if t <= first.0 {
             return first.1;
         }
         for w in self.points.windows(2) {
-            let (t0, u0) = w[0];
-            let (t1, u1) = w[1];
+            // bound: windows(2) yields exactly two elements
+            let ((t0, u0), (t1, u1)) = (w[0], w[1]);
             if t <= t1 {
                 return u0 + (u1 - u0) * (t - t0) / (t1 - t0);
             }
@@ -398,6 +399,7 @@ impl Utility for PiecewiseLinear {
     }
 
     fn latest_time(&self, level: f64) -> LatestTime {
+        // bound: points is validated non-empty at construction
         let sup = self.points[0].1;
         let inf = self.inf();
         if level <= inf {
@@ -407,10 +409,11 @@ impl Utility for PiecewiseLinear {
             return LatestTime::Never;
         }
         // Walk segments to find the last time with utility ≥ level.
+        // bound: points is validated non-empty at construction
         let mut latest = self.points[0].0;
         for w in self.points.windows(2) {
-            let (t0, u0) = w[0];
-            let (t1, u1) = w[1];
+            // bound: windows(2) yields exactly two elements
+            let ((t0, u0), (t1, u1)) = (w[0], w[1]);
             if u1 >= level {
                 latest = t1;
             } else if u0 >= level {

@@ -1,0 +1,17 @@
+//! Seeded RUSH-L005 violations: uses upstream `rand` API the shim does not
+//! implement. This file is never compiled.
+
+use rand::rngs::SmallRng; // implemented: not a finding
+use rand::rngs::StdRng; // RUSH-L005 (path not in shim API)
+
+pub fn entropy_seeded() -> SmallRng {
+    SmallRng::from_entropy() // RUSH-L005 (denylist)
+}
+
+pub fn shuffled(v: &mut Vec<u8>, rng: &mut SmallRng) {
+    v.shuffle(rng); // RUSH-L005 (denylist)
+}
+
+pub fn fresh() {
+    let _rng = rand::thread_rng(); // RUSH-L005 (denylist)
+}

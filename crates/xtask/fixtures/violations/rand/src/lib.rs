@@ -1,0 +1,14 @@
+//! Mini stand-in shim so the fixture tree exercises the RUSH-L005 path
+//! check: the API below is everything the "shim" implements.
+
+pub mod rngs {
+    pub struct SmallRng;
+}
+
+pub trait Rng {
+    fn gen_range(&mut self, n: u64) -> u64;
+}
+
+pub trait SeedableRng {
+    fn seed_from_u64(seed: u64) -> Self;
+}

@@ -1,0 +1,450 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The container is offline, so we cannot depend on `syn` or `proc-macro2`.
+//! This lexer is deliberately "AST-lite": it produces a flat token stream
+//! (plus a side list of comments with positions) that is good enough for the
+//! pattern-level rules in [`crate::rules`]. It understands the parts of the
+//! Rust grammar that matter for not mis-tokenizing real code:
+//!
+//! * line / nested block comments (kept, with line numbers, for pragmas),
+//! * string, raw-string, byte-string and char literals (vs. lifetimes),
+//! * numeric literals, classified int vs. float (`0..10` stays two ints),
+//! * raw identifiers (`r#type`),
+//! * multi-character punctuation (`::`, `==`, `..=`, `->`, ...).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also `_`).
+    Ident,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2.5f32`).
+    Float,
+    /// String, raw-string or byte-string literal.
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Punctuation, possibly multi-character (`::`, `==`).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is punctuation with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// A comment (line or block) with the 1-based line where it starts.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+}
+
+/// Result of lexing a file: tokens plus comments (kept separately).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into tokens and comments. Never panics on malformed input;
+/// unterminated literals simply run to end-of-file.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.chars().filter(|&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            } else {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            out.comments.push(Comment { text, line: start_line });
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            // br"..." / br#"..."#
+            let (prefix_len, rest) = if c == 'b' && b[i + 1] == 'r' { (2, i + 2) } else { (1, i + 1) };
+            let is_raw = (c == 'r' || (c == 'b' && prefix_len == 2)) && rest < n && (b[rest] == '"' || b[rest] == '#');
+            if c == 'r' && i + 1 < n && b[i + 1] == '#' && i + 2 < n && is_ident_start(b[i + 2]) {
+                // Raw identifier r#ident
+                let start = i;
+                i += 2;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                out.tokens.push(Token { kind: TokKind::Ident, text, line });
+                continue;
+            }
+            if is_raw {
+                // Count hashes.
+                let start = i;
+                let start_line = line;
+                let mut j = rest;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    j += 1;
+                    // Scan until `"` followed by `hashes` hashes.
+                    'scan: while j < n {
+                        if b[j] == '"' {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while k < n && h < hashes && b[k] == '#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let text: String = b[start..j].iter().collect();
+                    bump_lines!(text);
+                    out.tokens.push(Token { kind: TokKind::Str, text, line: start_line });
+                    i = j;
+                    continue;
+                }
+                // Not actually a raw string (e.g. `r#` at EOF); fall through.
+            }
+            if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                // b"..." or b'x': lex the inner literal with the prefix.
+                let start = i;
+                let quote = b[i + 1];
+                let mut j = i + 2;
+                while j < n {
+                    if b[j] == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if b[j] == quote {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                let text: String = b[start..j.min(n)].iter().collect();
+                bump_lines!(text);
+                let kind = if quote == '"' { TokKind::Str } else { TokKind::Char };
+                out.tokens.push(Token { kind, text, line });
+                i = j.min(n);
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            out.tokens.push(Token { kind: TokKind::Ident, text, line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part: a `.` NOT followed by another `.` (range) or
+                // an identifier start (method call like `1.max(2)`).
+                if i < n && b[i] == '.' {
+                    let next = if i + 1 < n { Some(b[i + 1]) } else { None };
+                    let part_of_float = match next {
+                        Some('.') => false,
+                        Some(ch) if is_ident_start(ch) => false,
+                        _ => true,
+                    };
+                    if part_of_float {
+                        is_float = true;
+                        i += 1;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Suffix (u32, f64, ...).
+                if i < n && is_ident_start(b[i]) {
+                    let sfx_start = i;
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    let sfx: String = b[sfx_start..i].iter().collect();
+                    if sfx.starts_with('f') {
+                        is_float = true;
+                    }
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            let kind = if is_float { TokKind::Float } else { TokKind::Int };
+            out.tokens.push(Token { kind, text, line });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            let text: String = b[start..i.min(n)].iter().collect();
+            out.tokens.push(Token { kind: TokKind::Str, text, line: start_line });
+            i = i.min(n);
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            // 'x' | '\n' | '\u{..}'  vs  'a (lifetime) | 'static
+            let mut j = i + 1;
+            let mut is_char = false;
+            if j < n && b[j] == '\\' {
+                is_char = true;
+                j += 2;
+                // \u{...}
+                while j < n && b[j] != '\'' && b[j] != '\n' {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    j += 1;
+                }
+            } else if j < n {
+                if is_ident_start(b[j]) {
+                    // Could be lifetime or 'c'.
+                    let mut k = j + 1;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    if k < n && b[k] == '\'' && k == j + 1 {
+                        is_char = true;
+                        j = k + 1;
+                    } else {
+                        // Lifetime.
+                        let text: String = b[i..k].iter().collect();
+                        out.tokens.push(Token { kind: TokKind::Lifetime, text, line });
+                        i = k;
+                        continue;
+                    }
+                } else if b[j] != '\'' {
+                    // Something like '(' — a char literal of punctuation.
+                    if j + 1 < n && b[j + 1] == '\'' {
+                        is_char = true;
+                        j += 2;
+                    }
+                }
+            }
+            if is_char {
+                let text: String = b[i..j.min(n)].iter().collect();
+                out.tokens.push(Token { kind: TokKind::Char, text, line });
+                i = j.min(n);
+                continue;
+            }
+            // Bare quote; treat as punct to make progress.
+            out.tokens.push(Token { kind: TokKind::Punct, text: "'".into(), line });
+            i += 1;
+            continue;
+        }
+        // Punctuation: greedy multi-char match.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.chars().count();
+            if i + pl <= n {
+                let cand: String = b[i..i + pl].iter().collect();
+                if &cand == p {
+                    out.tokens.push(Token { kind: TokKind::Punct, text: cand, line });
+                    i += pl;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if !matched {
+            out.tokens.push(Token { kind: TokKind::Punct, text: c.to_string(), line });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Int, "10".into())));
+    }
+
+    #[test]
+    fn floats_classified() {
+        for s in ["1.0", "0.5e3", "1e-9", "2f64", "3.14_15"] {
+            let toks = kinds(s);
+            assert_eq!(toks[0].0, TokKind::Float, "{s}");
+        }
+        for s in ["42", "0xFF", "1_000u64"] {
+            let toks = kinds(s);
+            assert_eq!(toks[0].0, TokKind::Int, "{s}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Lifetime && t.1 == "'a"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Char && t.1 == "'x'"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Char && t.1 == "'\\n'"));
+    }
+
+    #[test]
+    fn comments_collected_with_lines() {
+        let l = lex("let a = 1;\n// pragma here\nlet b = 2; /* block\nspans */ let c = 3;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("pragma here"));
+        assert_eq!(l.comments[1].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_and_multichar_punct() {
+        let l = lex("let s = r#\"a \" b\"#; if a == b && c != 1.0 {}");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Str && t.text.starts_with("r#")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("==")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("!=")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("&&")));
+    }
+
+    #[test]
+    fn method_call_on_int_not_float() {
+        let toks = kinds("let m = 1.max(2);");
+        assert!(toks.contains(&(TokKind::Int, "1".into())));
+        assert!(toks.contains(&(TokKind::Ident, "max".into())));
+    }
+}

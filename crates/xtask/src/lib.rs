@@ -1,0 +1,123 @@
+//! `xtask` — offline workspace automation for RUSH.
+//!
+//! The only subcommand today is `lint`: a from-scratch, registry-free
+//! static-analysis pass enforcing the workspace's RUSH-specific rules
+//! (determinism, float hygiene, panic hygiene, feature-gate hygiene and
+//! shim drift). See `cargo xtask lint --explain RUSH-L001` … `RUSH-L005`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use manifest::Manifest;
+use report::Report;
+use rules::{Allowlist, Engine, FileInput, ShimApi, SHIM_NAMES};
+
+/// Directory names never descended into during the scan.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".cargo", "fixtures", "node_modules"];
+
+/// Name of the checked-in grandfathered-site allowlist at the scan root.
+pub const ALLOWLIST_FILE: &str = "xtask-lint.allow";
+
+/// Recursively collect files under `dir`, skipping [`SKIP_DIRS`].
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&p, out);
+        } else {
+            out.push(p);
+        }
+    }
+}
+
+/// One discovered crate: its directory and parsed manifest.
+struct CrateInfo {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+/// Run the full lint over the tree rooted at `root`.
+pub fn lint(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, &mut files);
+
+    // Discover crates (any Cargo.toml with a [package] name).
+    let mut crates: Vec<CrateInfo> = Vec::new();
+    for f in &files {
+        if f.file_name().and_then(|n| n.to_str()) == Some("Cargo.toml") {
+            if let Some(m) = manifest::parse(f) {
+                if !m.name.is_empty() {
+                    crates.push(CrateInfo { dir: f.parent().unwrap_or(root).to_path_buf(), manifest: m });
+                }
+            }
+        }
+    }
+    // Longest-prefix owner wins for nested crates.
+    crates.sort_by_key(|c| std::cmp::Reverse(c.dir.components().count()));
+
+    // Lex the shim crates found in-tree to build their API surfaces.
+    let mut shims: Vec<ShimApi> = Vec::new();
+    for c in &crates {
+        if SHIM_NAMES.contains(&c.manifest.name.as_str()) {
+            let mut idents = BTreeSet::new();
+            for f in &files {
+                if f.extension().and_then(|e| e.to_str()) == Some("rs") && f.starts_with(c.dir.join("src")) {
+                    if let Ok(src) = std::fs::read_to_string(f) {
+                        rules::collect_api(&lexer::lex(&src), &mut idents);
+                    }
+                }
+            }
+            shims.push(ShimApi { name: c.manifest.name.clone(), idents });
+        }
+    }
+
+    let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_FILE)).unwrap_or_default();
+    let allow = Allowlist::parse(&allow_text);
+    let engine = Engine { shims: &shims, allow: &allow };
+
+    let mut report = Report { crates_scanned: crates.len(), ..Report::default() };
+
+    for f in &files {
+        if f.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let Some(owner) = crates.iter().find(|c| f.starts_with(&c.dir)) else { continue };
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let lexed = lexer::lex(&src);
+        let rel_path = rel_str(f, root);
+        let crate_rel = rel_str(f, &owner.dir);
+        report.files_scanned += 1;
+        engine.check_file(
+            &FileInput { rel_path, crate_rel, manifest: &owner.manifest, src: &src, lexed: &lexed },
+            &mut report,
+        );
+    }
+
+    report.finalize();
+    Ok(report)
+}
+
+/// `path` relative to `base`, with forward slashes.
+fn rel_str(path: &Path, base: &Path) -> String {
+    path.strip_prefix(base)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

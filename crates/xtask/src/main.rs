@@ -1,0 +1,102 @@
+//! CLI entry point: `cargo xtask lint [--json] [--root PATH]` and
+//! `cargo xtask lint --explain RUSH-LNNN`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::report::{Rule, ALL_RULES};
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  lint [--json] [--root PATH]   run the RUSH static-analysis pass
+  lint --explain RUSH-LNNN      print the documentation for one rule
+  lint --list                   list rule codes and summaries
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Default scan root: two levels above this crate's manifest dir.
+fn default_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = default_root();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--list" => {
+                for &r in ALL_RULES {
+                    println!("{}  {}", r.code(), r.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(code) = args.get(i + 1) else {
+                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L005)");
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = Rule::from_code(code) else {
+                    eprintln!("unknown rule code `{code}`; known codes:");
+                    for &r in ALL_RULES {
+                        eprintln!("  {}  {}", r.code(), r.summary());
+                    }
+                    return ExitCode::from(2);
+                };
+                println!("{}", rule.explain());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    match xtask::lint(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal `Cargo.toml` reader — just enough TOML for the lint rules.
+//!
+//! We only need: the package name, the declared `[features]` keys (plus
+//! implicit features from optional dependencies), and the boolean flags
+//! under `[package.metadata.rush-lint]` that opt a crate into rule scopes.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Parsed subset of a crate manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `package.name`, empty for a virtual (workspace-only) manifest.
+    pub name: String,
+    /// Keys of `[features]` plus implicit `optional = true` dependency features.
+    pub features: BTreeSet<String>,
+    /// `package.metadata.rush-lint.deterministic` — L1 applies.
+    pub deterministic: bool,
+    /// `package.metadata.rush-lint.library-hygiene` — L3 applies.
+    pub library_hygiene: bool,
+}
+
+fn unquote(v: &str) -> String {
+    let v = v.trim();
+    v.trim_matches('"').to_string()
+}
+
+/// Parse a manifest file. Returns `None` when the file cannot be read.
+pub fn parse(path: &Path) -> Option<Manifest> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(parse_str(&text))
+}
+
+/// Parse manifest text (line-oriented; ignores everything we don't need).
+pub fn parse_str(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').trim().to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim().trim_matches('"');
+        let value = line[eq + 1..].trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.name = unquote(value);
+            }
+            "features" => {
+                m.features.insert(key.to_string());
+            }
+            "package.metadata.rush-lint" => {
+                let on = value == "true";
+                match key {
+                    "deterministic" => m.deterministic = on,
+                    "library-hygiene" => m.library_hygiene = on,
+                    _ => {}
+                }
+            }
+            // Implicit feature from an optional dependency (inline table).
+            s if (s == "dependencies"
+                || s == "dev-dependencies"
+                || s == "build-dependencies"
+                || s.starts_with("dependencies.")
+                || s.starts_with("target."))
+                && value.contains("optional")
+                && value.contains("true") =>
+            {
+                m.features.insert(key.to_string());
+            }
+            _ => {}
+        }
+        // `optional = true` inside a `[dependencies.foo]` table.
+        if key == "optional" && value == "true" {
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                m.features.insert(dep.to_string());
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_features_and_metadata() {
+        let m = parse_str(
+            r#"
+[package]
+name = "rush-core"
+version = "0.1.0"
+
+[features]
+serde = []
+parallel = []
+
+[dependencies]
+rush-prob = { path = "../prob" }
+maybe = { path = "../maybe", optional = true }
+
+[package.metadata.rush-lint]
+deterministic = true
+library-hygiene = true
+"#,
+        );
+        assert_eq!(m.name, "rush-core");
+        assert!(m.features.contains("serde"));
+        assert!(m.features.contains("parallel"));
+        assert!(m.features.contains("maybe"));
+        assert!(m.deterministic);
+        assert!(m.library_hygiene);
+    }
+
+    #[test]
+    fn virtual_manifest_has_no_name() {
+        let m = parse_str("[workspace]\nmembers = [\"crates/*\"]\n");
+        assert!(m.name.is_empty());
+        assert!(!m.deterministic);
+    }
+}

@@ -1,0 +1,283 @@
+//! Findings, stable rule codes, `--explain` documentation and JSON output.
+
+use std::fmt;
+
+/// Stable rule codes. The numeric part never changes once shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// RUSH-L001 — determinism: no hash-order iteration in deterministic crates.
+    Determinism,
+    /// RUSH-L002 — float hygiene: no `==`/`!=` on floats, no `partial_cmp().unwrap()`.
+    FloatHygiene,
+    /// RUSH-L003 — panic hygiene: no `unwrap`/`expect`/`panic!` in library code.
+    PanicHygiene,
+    /// RUSH-L004 — feature-gate hygiene: `cfg(feature = ...)` must be declared.
+    FeatureGate,
+    /// RUSH-L005 — shim drift: only use the API the vendored shims implement.
+    ShimDrift,
+}
+
+/// All rules, in code order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::Determinism,
+    Rule::FloatHygiene,
+    Rule::PanicHygiene,
+    Rule::FeatureGate,
+    Rule::ShimDrift,
+];
+
+impl Rule {
+    /// The stable `RUSH-LNNN` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Determinism => "RUSH-L001",
+            Rule::FloatHygiene => "RUSH-L002",
+            Rule::PanicHygiene => "RUSH-L003",
+            Rule::FeatureGate => "RUSH-L004",
+            Rule::ShimDrift => "RUSH-L005",
+        }
+    }
+
+    /// Parse a `RUSH-LNNN` code (case-insensitive).
+    pub fn from_code(code: &str) -> Option<Rule> {
+        let c = code.to_ascii_uppercase();
+        ALL_RULES.iter().copied().find(|r| r.code() == c)
+    }
+
+    /// One-line summary used in finding output.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Determinism => "hash-ordered collection in a determinism-critical crate",
+            Rule::FloatHygiene => "float comparison hazard",
+            Rule::PanicHygiene => "panic path in library code",
+            Rule::FeatureGate => "cfg(feature) names an undeclared feature",
+            Rule::ShimDrift => "API not implemented by the vendored shim",
+        }
+    }
+
+    /// Long-form documentation for `--explain`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Determinism => {
+                "RUSH-L001: determinism\n\
+                 \n\
+                 The fast CA pipeline and the event-indexed simulation engine are both\n\
+                 validated against naive twins by *bit-identical* differential tests.\n\
+                 Iterating a `HashMap`/`HashSet` yields platform- and run-dependent order,\n\
+                 which silently breaks that property. In crates marked\n\
+                 `[package.metadata.rush-lint] deterministic = true` (rush-core, rush-sim,\n\
+                 rush-prob), non-test code must not name `HashMap`/`HashSet` or import\n\
+                 `std::collections::hash_map`/`hash_set`. Use `BTreeMap`/`BTreeSet`, `Vec`,\n\
+                 or index-keyed structures instead.\n\
+                 \n\
+                 A map that is provably never iterated (pure point lookups) may be kept\n\
+                 with a pragma on the line:  // rush-lint: allow(RUSH-L001): <why>\n"
+            }
+            Rule::FloatHygiene => {
+                "RUSH-L002: float hygiene\n\
+                 \n\
+                 `==`/`!=` against float literals is almost always a rounding bug in the\n\
+                 REM/WCDE/onion math; compare against a tolerance or restructure.\n\
+                 `partial_cmp(..).unwrap()`/`.expect(..)` panics on NaN and orders\n\
+                 `-0.0`/`+0.0` unstably across refactors — use `f64::total_cmp`, which is a\n\
+                 total order and cannot panic.\n\
+                 \n\
+                 Limitation (token-level analyzer): only comparisons with a float *literal*\n\
+                 operand are detected; variable-vs-variable float equality is not.\n\
+                 Intentional exact comparisons (e.g. sentinel values) take a pragma:\n\
+                 // rush-lint: allow(RUSH-L002): <why>\n"
+            }
+            Rule::PanicHygiene => {
+                "RUSH-L003: panic hygiene\n\
+                 \n\
+                 Library code (non-test, non-bench, non-bin) of the algorithm crates marked\n\
+                 `[package.metadata.rush-lint] library-hygiene = true` must not call\n\
+                 `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` or index\n\
+                 slices with bare integer literals. Return `Result`/`Option` instead, or\n\
+                 document the bound.\n\
+                 \n\
+                 Grandfathered sites live in the checked-in allowlist `xtask-lint.allow`\n\
+                 (format: CODE|path-suffix|line-substring|justification). New sites need a\n\
+                 pragma with a justification:  // rush-lint: allow(RUSH-L003): <why>\n\
+                 Integer-literal indexing is accepted when the line (or the line above)\n\
+                 carries a `bound:`-style comment explaining why it cannot be out of range.\n"
+            }
+            Rule::FeatureGate => {
+                "RUSH-L004: feature-gate hygiene\n\
+                 \n\
+                 Every `#[cfg(feature = \"name\")]` / `#[cfg_attr(feature = \"name\", ..)]`\n\
+                 and `cfg!(feature = \"name\")` must name a feature declared in that crate's\n\
+                 `Cargo.toml` `[features]` table (or an implicit optional-dependency\n\
+                 feature). A typo here silently compiles the gated code out forever —\n\
+                 rustc only warns under `-W unexpected_cfgs` with extra configuration,\n\
+                 and the offline container has no external linting.\n"
+            }
+            Rule::ShimDrift => {
+                "RUSH-L005: shim drift\n\
+                 \n\
+                 The workspace vendors minimal offline shims for `rand`, `proptest` and\n\
+                 `criterion` (the container cannot reach a registry). The shims implement a\n\
+                 deliberate subset of the upstream API. This rule lexes the shim sources to\n\
+                 collect the names they actually define and flags any `rand::...`,\n\
+                 `proptest::...` or `criterion::...` path whose segments are not in that\n\
+                 set, plus a curated denylist of well-known upstream API the shims omit\n\
+                 (`thread_rng`, `shuffle`, `choose`, `StdRng`, `from_entropy`, ...).\n\
+                 Either extend the shim or stay inside the implemented subset.\n"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Path relative to the scan root (always with `/` separators).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, code).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crates scanned.
+    pub crates_scanned: usize,
+    /// Findings suppressed by pragma or allowlist (for the summary line).
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Sort findings into a stable order.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            a.file
+                .cmp(&b.file)
+                .then(a.line.cmp(&b.line))
+                .then(a.rule.code().cmp(b.rule.code()))
+        });
+    }
+
+    /// Render the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} {}: {}\n",
+                f.file,
+                f.line,
+                f.rule.code(),
+                f.rule.summary(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "lint: {} finding(s) in {} file(s) across {} crate(s) ({} suppressed)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.crates_scanned,
+            self.suppressed
+        ));
+        out
+    }
+
+    /// Render the report as JSON (hand-rolled; no serde in the toolchain).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"code\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(f.rule.code()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let mut counts: Vec<(Rule, usize)> = ALL_RULES.iter().map(|&r| (r, 0usize)).collect();
+        for f in &self.findings {
+            if let Some(c) = counts.iter_mut().find(|(r, _)| *r == f.rule) {
+                c.1 += 1;
+            }
+        }
+        out.push_str("  \"counts\": {");
+        out.push_str(
+            &counts
+                .iter()
+                .map(|(r, c)| format!("{}: {}", json_str(r.code()), c))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"crates_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {}\n}}\n",
+            self.files_scanned,
+            self.crates_scanned,
+            self.suppressed,
+            self.findings.len()
+        ));
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(Rule::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Rule::from_code("rush-l001"), Some(Rule::Determinism));
+        assert_eq!(Rule::from_code("RUSH-L999"), None);
+    }
+
+    #[test]
+    fn json_escapes() {
+        let mut rep = Report::default();
+        rep.findings.push(Finding {
+            rule: Rule::FloatHygiene,
+            file: "a \"b\".rs".into(),
+            line: 3,
+            message: "x\ny".into(),
+        });
+        let j = rep.render_json();
+        assert!(j.contains("a \\\"b\\\".rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"RUSH-L002\": 1"));
+    }
+}

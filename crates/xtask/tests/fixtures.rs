@@ -1,0 +1,86 @@
+//! Fixture-based self-tests: the seeded-violation corpus must trip every
+//! rule family, the clean corpus must pass with zero findings.
+
+use std::path::PathBuf;
+
+use xtask::report::{Rule, ALL_RULES};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+#[test]
+fn violations_corpus_trips_all_five_rule_families() {
+    let report = xtask::lint(&fixture("violations")).expect("fixture tree readable");
+    assert!(!report.findings.is_empty(), "seeded corpus must produce findings");
+    for &rule in ALL_RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "rule {} not demonstrated by the seeded corpus; findings: {:#?}",
+            rule.code(),
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn violations_corpus_flags_expected_sites() {
+    let report = xtask::lint(&fixture("violations")).expect("fixture tree readable");
+    let has = |rule: Rule, file_part: &str, msg_part: &str| {
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.file.contains(file_part) && f.message.contains(msg_part))
+    };
+    assert!(has(Rule::Determinism, "det_crate", "HashMap"));
+    assert!(has(Rule::Determinism, "det_crate", "hash_map"));
+    assert!(has(Rule::FloatHygiene, "det_crate", "`==`"));
+    assert!(has(Rule::FloatHygiene, "det_crate", "`!=`"));
+    assert!(has(Rule::FloatHygiene, "det_crate", "total_cmp"));
+    assert!(has(Rule::PanicHygiene, "det_crate", "`.unwrap()`"));
+    assert!(has(Rule::PanicHygiene, "det_crate", "`panic!`"));
+    assert!(has(Rule::PanicHygiene, "det_crate", "literal index"));
+    assert!(has(Rule::FeatureGate, "det_crate", "paralel"));
+    assert!(has(Rule::ShimDrift, "consumer", "StdRng"));
+    assert!(has(Rule::ShimDrift, "consumer", "from_entropy"));
+    assert!(has(Rule::ShimDrift, "consumer", "shuffle"));
+    assert!(has(Rule::ShimDrift, "consumer", "thread_rng"));
+    // The declared feature and the implemented shim path must NOT fire.
+    assert!(!has(Rule::FeatureGate, "det_crate", "serde"));
+    assert!(!has(Rule::ShimDrift, "consumer", "SmallRng"));
+    // Test-gated code in the corpus is exempt.
+    assert!(report.findings.iter().all(|f| f.line < 44 || !f.file.contains("det_crate")));
+}
+
+#[test]
+fn clean_corpus_passes_with_suppressions_exercised() {
+    let report = xtask::lint(&fixture("clean")).expect("fixture tree readable");
+    assert!(
+        report.findings.is_empty(),
+        "clean corpus must produce no findings, got: {:#?}",
+        report.findings
+    );
+    // The pragma and the allowlist entry are both exercised.
+    assert!(report.suppressed >= 2, "expected pragma + allowlist suppressions");
+}
+
+#[test]
+fn json_report_carries_codes_and_counts() {
+    let mut report = xtask::lint(&fixture("violations")).expect("fixture tree readable");
+    report.finalize();
+    let json = report.render_json();
+    for &rule in ALL_RULES {
+        assert!(json.contains(rule.code()), "JSON must mention {}", rule.code());
+    }
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"total\""));
+}
+
+#[test]
+fn explain_text_exists_for_every_rule() {
+    for &rule in ALL_RULES {
+        let text = rule.explain();
+        assert!(text.contains(rule.code()), "explain for {} must cite its code", rule.code());
+        assert!(text.len() > 200, "explain for {} should be substantive", rule.code());
+    }
+}
