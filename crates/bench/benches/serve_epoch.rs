@@ -1,0 +1,68 @@
+//! Epoch-close cost for the serving layer: how long one
+//! `ServeState::submit_epoch` call takes as the batch size and the number
+//! of already-resident jobs grow. This is the daemon's per-epoch planning
+//! bill — everything else on the hot path is queue shuffling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rush_core::RushConfig;
+use rush_serve::protocol::JobSubmission;
+use rush_serve::ServeState;
+use rush_utility::TimeUtility;
+
+fn submission(i: usize) -> JobSubmission {
+    JobSubmission {
+        label: format!("job-{i}"),
+        tasks: 20 + (i as u64 * 7) % 30,
+        runtime_hint: Some(35.0 + (i as f64 * 11.0) % 40.0),
+        utility: TimeUtility::sigmoid(4000.0 + 100.0 * i as f64, 4.0, 0.002).expect("valid"),
+        budget: Some(4000 + 100 * i as u64),
+        priority: 1 + (i as u32 % 3),
+    }
+}
+
+/// A state pre-loaded with `resident` planned jobs, plan warm at slot 0.
+fn warm_state(resident: usize) -> ServeState {
+    let mut state = ServeState::new(RushConfig::default(), 64).expect("state");
+    let subs: Vec<JobSubmission> = (0..resident).map(submission).collect();
+    state.submit_epoch(subs, 0).expect("seed epoch");
+    state
+}
+
+fn bench_epoch_close(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_epoch");
+    group.sample_size(20);
+    for (resident, batch) in [(0usize, 8usize), (32, 1), (32, 8), (128, 8)] {
+        let id = format!("resident_{resident}_batch_{batch}");
+        group.bench_function(BenchmarkId::new("submit_epoch", id), |b| {
+            let state = warm_state(resident);
+            let batch_subs: Vec<JobSubmission> =
+                (resident..resident + batch).map(submission).collect();
+            b.iter(|| {
+                // Clone so every iteration closes the *same* epoch rather
+                // than growing the job table without bound.
+                let mut s = state.clone();
+                s.submit_epoch(std::hint::black_box(batch_subs.clone()), 1).expect("epoch")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_replan(c: &mut Criterion) {
+    // The other recurring cost: a task-runtime report invalidates the
+    // plan; the next stats/query pays one incremental replan.
+    let mut group = c.benchmark_group("serve_epoch");
+    group.sample_size(20);
+    group.bench_function("report_sample_then_replan_32_jobs", |b| {
+        let state = warm_state(32);
+        b.iter(|| {
+            let mut s = state.clone();
+            s.report_sample(0, 41).expect("sample");
+            s.stats(2)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_close, bench_sample_replan);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 //!   schedulers and print the comparison table.
 //! * `gantt`    — run one scheduler with tracing and print an ASCII Gantt
 //!   chart of container usage.
+//! * `serve`    — run the `rushd` scheduling daemon in the foreground.
+//! * `loadgen`  — drive a running daemon with an open-loop Poisson load.
 //!
 //! All parsing is hand-rolled (`--key value` flags) so the binary carries
 //! no extra dependencies.
@@ -68,7 +70,11 @@ pub fn usage() -> String {
        compare   --jobs N --ratio R --seed S [--interarrival T] [--load FILE]\n\
                  [--schedulers rush,fifo,edf,rrh,fair,spec-edf]\n\
        gantt     --scheduler NAME --jobs N --seed S [--width W]\n\
-       dashboard --jobs N --seed S [--at SLOT]\n"
+       dashboard --jobs N --seed S [--at SLOT]\n\
+       serve     [--addr A] [--capacity N] [--epoch-ms T] [--batch N]\n\
+                 [--ms-per-slot T] [--snapshot FILE] [--theta F] [--delta F]\n\
+       loadgen   --addr A [--jobs N] [--workers N] [--mean-ms F] [--seed S]\n\
+                 [--epoch-ms T] [--out FILE] [--shutdown true]\n"
         .to_owned()
 }
 
@@ -256,6 +262,89 @@ pub fn cmd_dashboard(cli: &Cli) -> Result<String, String> {
         render_dashboard(&plan, &labels)))
 }
 
+/// Builds a daemon config from `serve` subcommand flags.
+///
+/// # Errors
+///
+/// Returns a message when a numeric flag fails to parse.
+pub fn serve_config(cli: &Cli) -> Result<rush_serve::ServeConfig, String> {
+    let mut cfg = rush_serve::ServeConfig {
+        addr: cli.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4117".into()),
+        ..rush_serve::ServeConfig::default()
+    };
+    cfg.capacity = flag(cli, "capacity", cfg.capacity);
+    cfg.epoch_ms = flag(cli, "epoch-ms", cfg.epoch_ms);
+    cfg.epoch_max_batch = flag(cli, "batch", cfg.epoch_max_batch);
+    cfg.ms_per_slot = flag(cli, "ms-per-slot", cfg.ms_per_slot);
+    cfg.snapshot_path = cli.flags.get("snapshot").map(std::path::PathBuf::from);
+    cfg.rush.theta = flag(cli, "theta", cfg.rush.theta);
+    cfg.rush.delta = flag(cli, "delta", cfg.rush.delta);
+    Ok(cfg)
+}
+
+/// `serve` subcommand: run the daemon in the foreground until a client
+/// sends the `shutdown` op, then report submit-wait quantiles.
+///
+/// # Errors
+///
+/// Propagates bind/snapshot failures as strings.
+pub fn cmd_serve(cli: &Cli) -> Result<String, String> {
+    let cfg = serve_config(cli)?;
+    let handle = rush_serve::serve(cfg).map_err(|e| e.to_string())?;
+    println!("rushd listening on {}", handle.local_addr());
+    let waits = handle.join().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "served {} submissions (p50 wait {} us, p99 {} us)\n",
+        waits.count(),
+        waits.quantile(0.5),
+        waits.quantile(0.99)
+    ))
+}
+
+/// Builds a load-generator config from `loadgen` subcommand flags.
+///
+/// # Errors
+///
+/// Returns a message when a numeric flag fails to parse.
+pub fn loadgen_config(cli: &Cli) -> Result<rush_serve::loadgen::LoadgenConfig, String> {
+    Ok(rush_serve::loadgen::LoadgenConfig {
+        addr: cli.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4117".into()),
+        jobs: flag(cli, "jobs", 100),
+        workers: flag(cli, "workers", 8),
+        mean_interarrival_ms: flag(cli, "mean-ms", 10.0),
+        seed: flag(cli, "seed", 7),
+        epoch_ms: flag(cli, "epoch-ms", 25),
+        report_samples: flag(cli, "report-samples", true),
+        shutdown: flag(cli, "shutdown", false),
+        out: cli.flags.get("out").map(std::path::PathBuf::from),
+    })
+}
+
+/// `loadgen` subcommand: drive a running daemon and summarize latency.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures as strings.
+pub fn cmd_loadgen(cli: &Cli) -> Result<String, String> {
+    let cfg = loadgen_config(cli)?;
+    let report = rush_serve::loadgen::run(&cfg).map_err(|e| e.to_string())?;
+    if report.protocol_errors > 0 {
+        return Err(format!("loadgen hit {} protocol errors", report.protocol_errors));
+    }
+    Ok(format!(
+        "loadgen: {} submitted, {} admitted, {} deferred, {} rejected; \
+         p50 {} us, p99 {} us; {:.1}% within epoch deadline; {} epochs\n",
+        report.submitted,
+        report.admitted,
+        report.deferred,
+        report.rejected,
+        report.client_latency_us.quantile(0.5),
+        report.client_latency_us.quantile(0.99),
+        100.0 * report.within_deadline_frac(),
+        report.epochs,
+    ))
+}
+
 /// Dispatches a parsed CLI to its subcommand.
 ///
 /// # Errors
@@ -268,6 +357,8 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         "compare" => cmd_compare(cli),
         "gantt" => cmd_gantt(cli),
         "dashboard" => cmd_dashboard(cli),
+        "serve" => cmd_serve(cli),
+        "loadgen" => cmd_loadgen(cli),
         _ => Err(usage()),
     }
 }
@@ -371,6 +462,64 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("no jobs arrived"));
+    }
+
+    #[test]
+    fn serve_config_parses_flags_and_defaults() {
+        let cfg = serve_config(&cli(
+            "serve",
+            &[("capacity", "4"), ("epoch-ms", "7"), ("batch", "3"), ("theta", "0.8")],
+        ))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:4117");
+        assert_eq!(cfg.capacity, 4);
+        assert_eq!(cfg.epoch_ms, 7);
+        assert_eq!(cfg.epoch_max_batch, 3);
+        assert!((cfg.rush.theta - 0.8).abs() < 1e-12);
+        assert!(cfg.snapshot_path.is_none());
+    }
+
+    #[test]
+    fn loadgen_config_parses_flags_and_defaults() {
+        let cfg = loadgen_config(&cli(
+            "loadgen",
+            &[("addr", "127.0.0.1:9"), ("jobs", "5"), ("shutdown", "true")],
+        ))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:9");
+        assert_eq!(cfg.jobs, 5);
+        assert_eq!(cfg.workers, 8);
+        assert!(cfg.shutdown);
+        assert!(cfg.out.is_none());
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_daemon_to_shutdown() {
+        // serve+loadgen end to end through the CLI layer: bind on an
+        // ephemeral port, point loadgen at it with --shutdown, and check
+        // both summaries.
+        let handle = rush_serve::serve(rush_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..serve_config(&cli("serve", &[("epoch-ms", "5")])).unwrap()
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+        let out = cmd_loadgen(&cli(
+            "loadgen",
+            &[
+                ("addr", &addr),
+                ("jobs", "6"),
+                ("workers", "2"),
+                ("mean-ms", "2"),
+                ("epoch-ms", "5"),
+                ("shutdown", "true"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("6 submitted"), "{out}");
+        assert!(out.contains("within epoch deadline"), "{out}");
+        let waits = handle.join().unwrap();
+        assert_eq!(waits.count(), 6);
     }
 
     #[test]

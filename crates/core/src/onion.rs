@@ -533,6 +533,59 @@ fn debug_check_theorem2(committed: &[(f64, u64)], capacity: u32, overloaded: boo
 #[inline(always)]
 fn debug_check_theorem2(_committed: &[(f64, u64)], _capacity: u32, _overloaded: bool) {}
 
+/// The Theorem-2 prefix-capacity feasibility test, exposed as a standalone
+/// probe: given `(deadline, demand)` reservations (in any order), returns
+/// whether `Σ_{T_k ≤ d} η_k ≤ C · d` holds at every reservation deadline
+/// `d` — i.e. whether a schedule meeting every deadline exists on `capacity`
+/// containers.
+///
+/// This is the test an *admission controller* runs at submission time: take
+/// the current plan's committed `(target, η)` pairs, add the candidate
+/// job's `(deadline, η)`, and probe. Infeasible means admitting the job
+/// would overcommit the cluster — some deadline must slip.
+///
+/// Non-finite deadlines (a job with no deadline at all) never constrain
+/// feasibility and are skipped; a non-positive deadline with positive
+/// demand is immediately infeasible. `capacity == 0` is infeasible unless
+/// there is no demand at all.
+///
+/// # Example
+///
+/// ```
+/// use rush_core::onion::prefix_capacity_feasible;
+///
+/// // 2 containers: 100 container·slots by t=60 and 140 more by t=120.
+/// assert!(prefix_capacity_feasible(&[(60.0, 100), (120.0, 140)], 2));
+/// // Adding 80 more by t=60 breaks the first prefix (180 > 2·60).
+/// assert!(!prefix_capacity_feasible(&[(60.0, 100), (120.0, 140), (60.0, 80)], 2));
+/// ```
+pub fn prefix_capacity_feasible(reservations: &[(f64, u64)], capacity: u32) -> bool {
+    let mut sorted: Vec<(f64, u64)> = reservations
+        .iter()
+        .copied()
+        .filter(|&(d, e)| e > 0 && d.is_finite())
+        .collect();
+    if sorted.is_empty() {
+        return true;
+    }
+    if capacity == 0 {
+        return false;
+    }
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let c = capacity as f64;
+    let mut cum = 0u64;
+    for &(d, e) in &sorted {
+        if d <= 0.0 {
+            return false;
+        }
+        cum += e;
+        if cum as f64 > c * d + 1e-9 {
+            return false;
+        }
+    }
+    true
+}
+
 /// Whether a job's utility is indifferent to *when* it completes at the
 /// given level: either the level has collapsed to ~0 (nothing left to
 /// gain) or the utility is flat at/above the level (time-insensitive).
@@ -949,5 +1002,47 @@ mod tests {
         let min_level =
             t.iter().map(|x| x.level).fold(f64::INFINITY, f64::min);
         assert!(min_level > 0.02, "min level {min_level} must beat the swapped order");
+    }
+
+    #[test]
+    fn prefix_capacity_probe_accepts_and_rejects() {
+        // Exactly at capacity is feasible (2 containers, 120 by t=60).
+        assert!(prefix_capacity_feasible(&[(60.0, 120)], 2));
+        // One over is not.
+        assert!(!prefix_capacity_feasible(&[(60.0, 121)], 2));
+        // Order of reservations does not matter.
+        assert!(prefix_capacity_feasible(&[(120.0, 140), (60.0, 100)], 2));
+        assert!(!prefix_capacity_feasible(&[(120.0, 140), (60.0, 180)], 2));
+        // A later prefix can be the binding one.
+        assert!(!prefix_capacity_feasible(&[(60.0, 50), (61.0, 200)], 2));
+        // Empty and zero-demand sets are trivially feasible.
+        assert!(prefix_capacity_feasible(&[], 4));
+        assert!(prefix_capacity_feasible(&[(10.0, 0)], 0));
+        // Zero capacity with demand is not.
+        assert!(!prefix_capacity_feasible(&[(10.0, 1)], 0));
+        // Non-finite deadlines never constrain; non-positive ones always do.
+        assert!(prefix_capacity_feasible(&[(f64::INFINITY, 10_000)], 1));
+        assert!(!prefix_capacity_feasible(&[(0.0, 5)], 8));
+        assert!(!prefix_capacity_feasible(&[(-3.0, 5)], 8));
+    }
+
+    #[test]
+    fn prefix_capacity_probe_agrees_with_peel_output() {
+        // The reservations the peel commits in a non-overloaded instance
+        // must pass the standalone probe (Theorem 2's certificate).
+        let a = sigmoid(200.0, 5.0, 0.05);
+        let b = sigmoid(400.0, 3.0, 0.02);
+        let c = sigmoid(800.0, 1.0, 0.01);
+        let jobs = [
+            OnionJob { demand: 300, utility: &a },
+            OnionJob { demand: 500, utility: &b },
+            OnionJob { demand: 400, utility: &c },
+        ];
+        let targets = peel(&jobs, 4, 0.001, 1e6).unwrap();
+        let reservations: Vec<(f64, u64)> =
+            targets.iter().map(|t| (t.deadline, jobs[t.job].demand)).collect();
+        assert!(prefix_capacity_feasible(&reservations, 4));
+        // Squeezing the same demands onto 1 container breaks feasibility.
+        assert!(!prefix_capacity_feasible(&reservations, 1));
     }
 }

@@ -114,6 +114,25 @@ impl RushScheduler {
         &self.last_plan
     }
 
+    /// Forgets a completed or cancelled job: drops its label mapping and
+    /// invalidates the per-slot plan cache so the next scheduling event
+    /// re-plans without it. Returns whether the job was known.
+    ///
+    /// The simulator calls [`Scheduler::on_task_complete`] with the job
+    /// already gone from the view when it finishes naturally, which prunes
+    /// the mapping — but a job *cancelled* mid-flight (or completed while
+    /// no further task-completion event fires) would otherwise leak its
+    /// entry forever and keep polluting `last_plan` until the next event.
+    /// Long-running daemons must call this on every cancel.
+    ///
+    /// Pooled runtime samples the job contributed are deliberately kept:
+    /// they are evidence about the *template*, not the job, and future
+    /// same-label jobs still want them.
+    pub fn remove_job(&mut self, job: rush_sim::JobId) -> bool {
+        self.dirty = true;
+        self.labels.remove(&job).is_some()
+    }
+
     /// Ensures the per-slot plan cache is fresh; returns desired
     /// allocations as `(job, desired_now, target)` tuples.
     fn refresh(&mut self, view: &ClusterView<'_>) {
@@ -339,6 +358,54 @@ mod tests {
         // Nothing anywhere → empty slice (estimator prior takes over).
         let no_global: Vec<u64> = Vec::new();
         assert!(cold_start_samples(&label_pool, &no_global, "tpl", &[]).is_empty());
+    }
+
+    #[test]
+    fn remove_job_forgets_label_and_invalidates_cache() {
+        use rush_sim::view::{ClusterView, JobView};
+        use rush_sim::JobId;
+        let jv = JobView {
+            id: JobId(0),
+            label: "tpl".into(),
+            arrival: 0,
+            utility: TimeUtility::sigmoid(100.0, 5.0, 0.1).unwrap(),
+            priority: 1,
+            sensitivity: Sensitivity::Sensitive,
+            budget: Some(100),
+            total_tasks: 4,
+            pending_tasks: 4,
+            runnable_tasks: 4,
+            running_tasks: 0,
+            completed_tasks: 0,
+            failed_attempts: 0,
+            oldest_running_start: None,
+            samples: Vec::new(),
+        };
+        let jobs = vec![jv];
+        let view = ClusterView { now: 0, capacity: 4, free_containers: 4, jobs: &jobs };
+        let mut rush = RushScheduler::new(RushConfig::default());
+        rush.on_job_arrival(&view, JobId(0));
+        // Populate the per-slot plan cache, then cancel the job.
+        assert_eq!(rush.assign(&view), Some(JobId(0)));
+        assert!(rush.remove_job(JobId(0)), "job was tracked");
+        assert!(!rush.remove_job(JobId(0)), "second removal is a no-op");
+        // The cancelled job's samples no longer feed its label pool: a
+        // late task-completion event for it must not resurrect the label.
+        let empty: Vec<JobView> = Vec::new();
+        let gone = ClusterView { now: 5, capacity: 4, free_containers: 4, jobs: &empty };
+        rush.on_task_complete(
+            &gone,
+            rush_sim::view::TaskSample {
+                job: JobId(0),
+                task: rush_sim::TaskId(0),
+                runtime: 37,
+                finished_at: 5,
+            },
+        );
+        // Re-planning over an empty view yields an empty plan (the dirty
+        // flag set by remove_job forces the refresh).
+        assert_eq!(rush.assign(&gone), None);
+        assert!(rush.last_plan().entries.is_empty());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 
 pub mod csv;
 pub mod gantt;
+pub mod histogram;
 pub mod series;
 pub mod table;
 
+pub use histogram::Histogram;
 pub use rush_prob::stats::{Ecdf, FiveNumber};

@@ -1,0 +1,204 @@
+//! Admission control: the Theorem-2 prefix-capacity test applied at the
+//! door.
+//!
+//! The offline pipeline assumes the job set is given; a daemon gets to
+//! choose. Admitting a job the cluster cannot carry does not merely hurt
+//! that job — the onion peel lowers the *max-min* utility level, so one
+//! overcommitting arrival dilutes every resident job's guarantee. The
+//! controller therefore probes, before a submission enters the job table,
+//! whether the resident reservations plus the candidate still satisfy the
+//! paper's Theorem 2 feasibility condition
+//! `Σ_{k: T_k ≤ d} η_k ≤ C · d` for every deadline `d`
+//! (via [`rush_core::onion::prefix_capacity_feasible`]).
+//!
+//! Verdicts:
+//!
+//! * feasible → **admit**;
+//! * infeasible, candidate completion-time *insensitive* → **defer**: a
+//!   constant-utility job loses nothing by waiting, so it is parked and
+//!   re-probed at every epoch;
+//! * infeasible, candidate time-sensitive → **reject**: its deadline
+//!   cannot be met, and admitting it anyway would only spread the damage.
+//!
+//! The candidate's robust demand `η` is estimated exactly the way the
+//! planner will estimate it once admitted (same estimator class, same
+//! cold-start prior, same WCDE robustification), so admission and planning
+//! never disagree about a job's size.
+
+use crate::protocol::{Decision, JobSubmission};
+use crate::ServeError;
+use rush_core::config::EstimatorKind;
+use rush_core::onion::prefix_capacity_feasible;
+use rush_core::wcde::worst_case_quantile;
+use rush_core::RushConfig;
+use rush_estimator::{
+    DistributionEstimator, EmpiricalEstimator, GaussianEstimator, MeanEstimator,
+    WindowedEstimator,
+};
+
+/// Estimates a job's robust remaining demand `η` (container·slots) and mean
+/// task runtime `R` (slots) from its runtime samples, using the same
+/// estimator + WCDE path the planner runs.
+///
+/// With no samples yet, the submission's runtime hint (if any) seeds a
+/// single pseudo-sample; otherwise the configured cold prior carries the
+/// estimate.
+///
+/// # Errors
+///
+/// [`ServeError::Estimator`] or [`ServeError::Core`] when estimation or
+/// robustification fails (e.g. no samples and no prior).
+pub fn estimate_eta(
+    config: &RushConfig,
+    samples: &[u64],
+    runtime_hint: Option<f64>,
+    remaining_tasks: usize,
+) -> Result<(u64, f64), ServeError> {
+    let hint_sample;
+    let samples: &[u64] = if samples.is_empty() {
+        match runtime_hint {
+            Some(h) => {
+                hint_sample = [(h.round() as u64).max(1)];
+                &hint_sample
+            }
+            None => samples,
+        }
+    } else {
+        samples
+    };
+    let estimate = match config.estimator {
+        EstimatorKind::Mean => MeanEstimator::new(config.max_bins)
+            .with_prior(config.cold_prior)
+            .estimate(samples, remaining_tasks)?,
+        EstimatorKind::Gaussian => GaussianEstimator::new(config.max_bins)
+            .with_prior(config.cold_prior)
+            .estimate(samples, remaining_tasks)?,
+        EstimatorKind::Empirical { resamples } => {
+            EmpiricalEstimator::new(config.max_bins, resamples)
+                .with_prior(config.cold_prior)
+                .estimate(samples, remaining_tasks)?
+        }
+        EstimatorKind::Windowed { window } => WindowedEstimator::new(config.max_bins, window)
+            .with_prior(config.cold_prior)
+            .estimate(samples, remaining_tasks)?,
+    };
+    let wcde = worst_case_quantile(&estimate.pmf, config.theta, config.delta)?;
+    Ok((wcde.eta, estimate.mean_task_runtime))
+}
+
+/// The admission deadline of a job: its declared budget, else the planning
+/// horizon (an insensitive job still occupies `η` container·slots *by* the
+/// horizon, which is what lets the probe detect saturation).
+pub fn admission_deadline(config: &RushConfig, budget: Option<u64>) -> f64 {
+    match budget {
+        Some(b) => (b as f64).min(config.horizon).max(1.0),
+        None => config.horizon,
+    }
+}
+
+/// Probes one candidate against the resident reservations and returns the
+/// verdict.
+///
+/// `reservations` are the `(remaining deadline, η)` pairs of currently
+/// admitted jobs (deadlines in slots from now); the candidate is appended
+/// with its own estimated `η` and [`admission_deadline`].
+pub fn probe(
+    config: &RushConfig,
+    capacity: u32,
+    reservations: &[(f64, u64)],
+    candidate: &JobSubmission,
+    candidate_eta: u64,
+) -> Decision {
+    let mut all = reservations.to_vec();
+    all.push((admission_deadline(config, candidate.budget), candidate_eta));
+    if prefix_capacity_feasible(&all, capacity) {
+        Decision::Admit
+    } else if candidate.is_insensitive() {
+        Decision::Defer
+    } else {
+        Decision::Reject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_utility::TimeUtility;
+
+    fn cfg() -> RushConfig {
+        RushConfig::default()
+    }
+
+    fn sub(utility: TimeUtility, budget: Option<u64>) -> JobSubmission {
+        JobSubmission {
+            label: "t".into(),
+            tasks: 10,
+            runtime_hint: Some(50.0),
+            utility,
+            budget,
+            priority: 1,
+        }
+    }
+
+    #[test]
+    fn eta_scales_with_remaining_tasks() {
+        let c = cfg();
+        let (eta5, r5) = estimate_eta(&c, &[50, 60, 55], None, 5).expect("estimate");
+        let (eta20, r20) = estimate_eta(&c, &[50, 60, 55], None, 20).expect("estimate");
+        assert!(eta20 > eta5, "eta20={eta20} eta5={eta5}");
+        assert!(r5 > 0.0 && r20 > 0.0);
+        // Robustification only ever inflates the nominal demand.
+        assert!(eta5 as f64 >= 5.0 * 50.0 * 0.5, "eta5={eta5}");
+    }
+
+    #[test]
+    fn hint_seeds_the_cold_start() {
+        let c = cfg();
+        let (with_small_hint, _) = estimate_eta(&c, &[], Some(10.0), 10).expect("estimate");
+        let (with_big_hint, _) = estimate_eta(&c, &[], Some(1000.0), 10).expect("estimate");
+        assert!(
+            with_big_hint > with_small_hint,
+            "{with_big_hint} vs {with_small_hint}"
+        );
+        // No hint: the cold prior still produces an estimate.
+        let (cold, _) = estimate_eta(&c, &[], None, 10).expect("cold prior");
+        assert!(cold > 0);
+    }
+
+    #[test]
+    fn feasible_candidate_is_admitted() {
+        let c = cfg();
+        let util = TimeUtility::sigmoid(1000.0, 3.0, 0.01).expect("valid");
+        // 16 containers × 1000 slots of room, tiny resident load.
+        let d = probe(&c, 16, &[(500.0, 100)], &sub(util, Some(1000)), 200);
+        assert_eq!(d, Decision::Admit);
+    }
+
+    #[test]
+    fn infeasible_sensitive_candidate_is_rejected() {
+        let c = cfg();
+        let util = TimeUtility::sigmoid(10.0, 3.0, 1.0).expect("valid");
+        // Demand 10_000 by slot 10 on a 4-container cluster: hopeless.
+        let d = probe(&c, 4, &[], &sub(util, Some(10)), 10_000);
+        assert_eq!(d, Decision::Reject);
+    }
+
+    #[test]
+    fn infeasible_insensitive_candidate_is_deferred() {
+        let c = cfg();
+        let util = TimeUtility::constant(1.0).expect("valid");
+        // The horizon-deadline reservation already saturates the cluster, so
+        // the insensitive candidate must wait.
+        let full = (c.horizon, (c.horizon as u64) * 4);
+        let d = probe(&c, 4, &[full], &sub(util, None), 10_000);
+        assert_eq!(d, Decision::Defer);
+    }
+
+    #[test]
+    fn admission_deadline_prefers_budget_and_clamps() {
+        let c = cfg();
+        assert!((admission_deadline(&c, Some(700)) - 700.0).abs() < 1e-12);
+        assert!((admission_deadline(&c, None) - c.horizon).abs() < 1e-12);
+        assert!((admission_deadline(&c, Some(0)) - 1.0).abs() < 1e-12);
+    }
+}

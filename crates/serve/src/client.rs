@@ -1,0 +1,161 @@
+//! A blocking client for the `rushd` wire protocol.
+
+use crate::protocol::{
+    Decision, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
+};
+use crate::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client. One request/response in flight at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sets a read timeout on the underlying socket (`None` = block
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the socket rejects the option.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a broken connection, [`ServeError::Wire`] when
+    /// the server's reply cannot be decoded.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.writer.write_all((req.encode() + "\n").as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(Response::decode(line.trim_end())?)
+    }
+
+    /// Submits a job; returns `(decision, job id, epoch, waited_us)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as in [`Client::call`]; a server-side error
+    /// response surfaces as [`ServeError::Wire`].
+    pub fn submit(
+        &mut self,
+        sub: JobSubmission,
+    ) -> Result<(Decision, Option<u64>, u64, u64), ServeError> {
+        match self.call(&Request::Submit(sub))? {
+            Response::Submitted { job, decision, epoch, waited_us } => {
+                Ok((decision, job, epoch, waited_us))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reports one completed-task runtime sample.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`].
+    pub fn report_sample(&mut self, job: u64, runtime: u64) -> Result<(), ServeError> {
+        match self.call(&Request::ReportSample { job, runtime })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the plan table (all jobs when `job` is `None`).
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`].
+    pub fn query_plan(&mut self, job: Option<u64>) -> Result<Vec<PlanRow>, ServeError> {
+        match self.call(&Request::QueryPlan { job })? {
+            Response::PlanTable { rows, .. } => Ok(rows),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks for the Theorem-3 robust completion bound `T + R` of a job.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`].
+    pub fn predict(&mut self, job: u64) -> Result<f64, ServeError> {
+        match self.call(&Request::Predict { job })? {
+            Response::Prediction { bound, .. } => Ok(bound),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`].
+    pub fn cancel(&mut self, job: u64) -> Result<(), ServeError> {
+        match self.call(&Request::Cancel { job })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`].
+    pub fn stats(&mut self) -> Result<StatsReport, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Gracefully stops the daemon; returns whether a snapshot was
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`].
+    pub fn shutdown(&mut self, snapshot: bool) -> Result<bool, ServeError> {
+        match self.call(&Request::Shutdown { snapshot })? {
+            Response::ShuttingDown { snapshot_written } => Ok(snapshot_written),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    match resp {
+        Response::Error(e) => ServeError::Wire(e.clone()),
+        other => ServeError::Wire(WireError {
+            code: crate::protocol::ErrorCode::BadOp,
+            message: format!("unexpected response kind: {other:?}"),
+        }),
+    }
+}

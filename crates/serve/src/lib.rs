@@ -1,0 +1,112 @@
+//! Online serving layer for the RUSH scheduler: the `rushd` daemon and its
+//! wire protocol.
+//!
+//! Everything below PR 3 ran *offline* — workloads were generated, simulated
+//! and scored in one process. This crate turns the same planning pipeline
+//! into a long-running service:
+//!
+//! * [`json`] — a hand-rolled strict JSON codec (the workspace vendors no
+//!   serde, and a daemon must reject malformed frames with located errors,
+//!   not panics);
+//! * [`protocol`] — the versioned newline-delimited request/response frames
+//!   (`submit`, `report-sample`, `query-plan`, `predict`, `cancel`,
+//!   `stats`, `shutdown`);
+//! * [`state`] — the daemon's job table plus epoch-batched planning: many
+//!   submissions arriving close together are planned by **one**
+//!   [`rush_core::compute_plan_cached`] call;
+//! * [`admission`] — the Theorem-2 prefix-capacity test applied *before* a
+//!   job enters the table, so an overcommitted cluster defers or rejects
+//!   instead of thrashing every resident deadline;
+//! * [`snapshot`] — durable state: a graceful shutdown writes the job table
+//!   to disk and a restarted daemon reproduces the same plan (bit-identical
+//!   `η` and targets) for in-flight jobs;
+//! * [`server`] / [`client`] — the TCP daemon (thread-per-connection
+//!   workers feeding a single planner thread over a channel) and a blocking
+//!   client;
+//! * [`loadgen`] — an open-loop Poisson load generator that measures
+//!   submit→planned latency and writes `BENCH_serve_latency.json`.
+//!
+//! Time is a **logical slot clock**: `now_slot = base + elapsed_ms /
+//! ms_per_slot`, integer-quantized, so plans depend only on (state,
+//! `now_slot`) and snapshot/restore is exact.
+//!
+//! # Example
+//!
+//! See `examples/server_quickstart.rs` at the workspace root, or the
+//! end-to-end tests in `tests/server_e2e.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod state;
+
+pub use client::Client;
+pub use protocol::{Decision, ErrorCode, Request, Response, PROTOCOL_VERSION};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use state::ServeState;
+
+use std::fmt;
+
+/// Top-level error type of the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Planning or admission failed inside the core pipeline.
+    Core(rush_core::CoreError),
+    /// Demand estimation failed.
+    Estimator(rush_estimator::EstimatorError),
+    /// Socket or file I/O failed.
+    Io(std::io::Error),
+    /// A peer sent a frame we could not decode, or we received one we
+    /// could not interpret.
+    Wire(protocol::WireError),
+    /// A snapshot file was missing fields or internally inconsistent.
+    Snapshot(String),
+    /// The serve configuration is invalid.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "core: {e}"),
+            ServeError::Estimator(e) => write!(f, "estimator: {e}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Wire(e) => write!(f, "wire: {e}"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
+            ServeError::Config(msg) => write!(f, "config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<rush_core::CoreError> for ServeError {
+    fn from(e: rush_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<rush_estimator::EstimatorError> for ServeError {
+    fn from(e: rush_estimator::EstimatorError) -> Self {
+        ServeError::Estimator(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<protocol::WireError> for ServeError {
+    fn from(e: protocol::WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}

@@ -1,0 +1,331 @@
+//! `rush-loadgen`: an open-loop Poisson load generator for `rushd`.
+//!
+//! The generator draws a job mix from [`rush_workload`] (the paper's PUMA
+//! templates, priorities, sensitivity classes and budgets), rescales the
+//! workload's Poisson arrival slots to wall-clock milliseconds, and drives
+//! the daemon **open-loop**: submissions fire at their scheduled times
+//! regardless of how fast the daemon answers, which is what exposes epoch
+//! batching under bursts. Each worker thread owns one connection and one
+//! pair of [`rush_metrics::Histogram`]s (client-observed submit latency
+//! and daemon-reported epoch wait); histograms merge lock-free at the end.
+//!
+//! A submission counts as *planned within its epoch deadline* when the
+//! daemon-reported wait is at most `2 × epoch_ms` (the worst legal wait is
+//! one full epoch window; the factor 2 absorbs scheduling jitter on loaded
+//! CI machines). The run fails loudly if any frame draws a protocol error.
+//!
+//! The report is written as `BENCH_serve_latency.json`.
+
+use crate::client::Client;
+use crate::json::Json;
+use crate::protocol::{Decision, JobSubmission};
+use crate::ServeError;
+use rush_metrics::Histogram;
+use rush_sim::cluster::ClusterSpec;
+use rush_workload::{generate, Experiment, WorkloadConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:4117`.
+    pub addr: String,
+    /// Number of jobs to submit.
+    pub jobs: usize,
+    /// Concurrent connections.
+    pub workers: usize,
+    /// Mean interarrival time in wall-clock milliseconds.
+    pub mean_interarrival_ms: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// The daemon's epoch window (for the within-deadline criterion).
+    pub epoch_ms: u64,
+    /// Report one runtime sample per admitted job after the submission
+    /// phase (exercises `report-sample` and shrinks plans).
+    pub report_samples: bool,
+    /// Send `shutdown` (with snapshot) after the run.
+    pub shutdown: bool,
+    /// Where to write the JSON report (`None` = don't write).
+    pub out: Option<PathBuf>,
+}
+
+impl LoadgenConfig {
+    /// The `--quick` preset used by CI's serve-smoke step.
+    pub fn quick(addr: String, epoch_ms: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            jobs: 24,
+            workers: 4,
+            mean_interarrival_ms: 4.0,
+            seed: 7,
+            epoch_ms,
+            report_samples: true,
+            shutdown: false,
+            out: Some(PathBuf::from("BENCH_serve_latency.json")),
+        }
+    }
+}
+
+/// Aggregated results of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Admission verdict counts.
+    pub admitted: u64,
+    /// Jobs deferred.
+    pub deferred: u64,
+    /// Jobs rejected.
+    pub rejected: u64,
+    /// Frames that drew a transport or protocol error.
+    pub protocol_errors: u64,
+    /// Submissions planned within `2 × epoch_ms`.
+    pub within_deadline: u64,
+    /// Client-observed submit→response latency (µs).
+    pub client_latency_us: Histogram,
+    /// Daemon-reported submit→planned epoch wait (µs).
+    pub epoch_wait_us: Histogram,
+    /// Epochs the daemon closed during the run.
+    pub epochs: u64,
+    /// Plan-cache hits reported by the daemon.
+    pub cache_hits: u64,
+    /// Plan-cache misses reported by the daemon.
+    pub cache_misses: u64,
+}
+
+impl LoadgenReport {
+    /// Fraction of submissions planned within the epoch deadline.
+    pub fn within_deadline_frac(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.within_deadline as f64 / self.submitted as f64
+        }
+    }
+}
+
+struct WorkerOutcome {
+    client_latency_us: Histogram,
+    epoch_wait_us: Histogram,
+    admitted_ids: Vec<(u64, u64)>,
+    deferred: u64,
+    rejected: u64,
+    protocol_errors: u64,
+    within_deadline: u64,
+}
+
+/// Builds the submission schedule: `(offset_ms, submission)` pairs in
+/// arrival order, drawn from the paper's workload generator and rescaled
+/// from slots to wall-clock milliseconds.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] when the workload cannot be generated.
+pub fn schedule(
+    jobs: usize,
+    mean_interarrival_ms: f64,
+    seed: u64,
+) -> Result<Vec<(u64, JobSubmission)>, ServeError> {
+    let cluster = ClusterSpec::paper_testbed(8)
+        .map_err(|e| ServeError::Config(format!("cluster spec: {e}")))?;
+    let cfg = WorkloadConfig { jobs, seed, ..WorkloadConfig::default() };
+    let exp = Experiment::new(cluster);
+    let specs =
+        generate(&cfg, &exp).map_err(|e| ServeError::Config(format!("workload: {e}")))?;
+    let scale = mean_interarrival_ms / cfg.mean_interarrival;
+    Ok(specs
+        .into_iter()
+        .map(|spec| {
+            let tasks = spec.tasks().len() as u64;
+            let hint = if tasks == 0 {
+                None
+            } else {
+                Some((spec.total_base_runtime() / tasks as f64).max(1.0))
+            };
+            let offset_ms = (spec.arrival() as f64 * scale).round() as u64;
+            let sub = JobSubmission {
+                label: spec.label().to_string(),
+                tasks: tasks.max(1),
+                runtime_hint: hint,
+                utility: *spec.utility(),
+                budget: spec.budget(),
+                priority: spec.priority().max(1),
+            };
+            (offset_ms, sub)
+        })
+        .collect())
+}
+
+fn run_worker(
+    addr: &str,
+    plan: &[(u64, JobSubmission)],
+    next: &AtomicUsize,
+    start: Instant,
+    deadline_us: u64,
+) -> WorkerOutcome {
+    let mut out = WorkerOutcome {
+        client_latency_us: Histogram::new(),
+        epoch_wait_us: Histogram::new(),
+        admitted_ids: Vec::new(),
+        deferred: 0,
+        rejected: 0,
+        protocol_errors: 0,
+        within_deadline: 0,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            // Count every submission this worker would have sent.
+            while next.fetch_add(1, Ordering::SeqCst) < plan.len() {
+                out.protocol_errors += 1;
+            }
+            return out;
+        }
+    };
+    loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= plan.len() {
+            break;
+        }
+        let (offset_ms, sub) = &plan[i];
+        let due = start + Duration::from_millis(*offset_ms);
+        let now = Instant::now();
+        if due > now {
+            thread::sleep(due - now);
+        }
+        let sent = Instant::now();
+        match client.submit(sub.clone()) {
+            Ok((decision, id, _epoch, waited_us)) => {
+                out.client_latency_us.record(sent.elapsed().as_micros() as u64);
+                out.epoch_wait_us.record(waited_us);
+                if waited_us <= deadline_us {
+                    out.within_deadline += 1;
+                }
+                match decision {
+                    Decision::Admit => {
+                        if let Some(id) = id {
+                            let runtime = sub.runtime_hint.unwrap_or(50.0).round() as u64;
+                            out.admitted_ids.push((id, runtime.max(1)));
+                        }
+                    }
+                    Decision::Defer => out.deferred += 1,
+                    Decision::Reject => out.rejected += 1,
+                }
+            }
+            Err(_) => out.protocol_errors += 1,
+        }
+    }
+    out
+}
+
+/// Runs the load generator against a live daemon.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] when the workload cannot be generated,
+/// [`ServeError::Io`] when the report cannot be written or the final
+/// stats/shutdown calls fail.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    let plan = Arc::new(schedule(cfg.jobs, cfg.mean_interarrival_ms, cfg.seed)?);
+    let next = Arc::new(AtomicUsize::new(0));
+    let deadline_us = 2 * cfg.epoch_ms * 1000;
+    let start = Instant::now();
+
+    let workers: Vec<thread::JoinHandle<WorkerOutcome>> = (0..cfg.workers.max(1))
+        .map(|_| {
+            let plan = Arc::clone(&plan);
+            let next = Arc::clone(&next);
+            let addr = cfg.addr.clone();
+            thread::spawn(move || run_worker(&addr, &plan, &next, start, deadline_us))
+        })
+        .collect();
+
+    let mut client_latency_us = Histogram::new();
+    let mut epoch_wait_us = Histogram::new();
+    let mut admitted_ids = Vec::new();
+    let (mut deferred, mut rejected, mut protocol_errors, mut within_deadline) = (0, 0, 0, 0);
+    for w in workers {
+        let Ok(o) = w.join() else {
+            protocol_errors += 1;
+            continue;
+        };
+        client_latency_us.merge(&o.client_latency_us);
+        epoch_wait_us.merge(&o.epoch_wait_us);
+        admitted_ids.extend(o.admitted_ids);
+        deferred += o.deferred;
+        rejected += o.rejected;
+        protocol_errors += o.protocol_errors;
+        within_deadline += o.within_deadline;
+    }
+
+    let mut tail = Client::connect(&cfg.addr)?;
+    if cfg.report_samples {
+        for &(id, runtime) in &admitted_ids {
+            // The job may already have completed or been cancelled; only
+            // transport failures count against the run.
+            if tail.call(&crate::protocol::Request::ReportSample { job: id, runtime }).is_err() {
+                protocol_errors += 1;
+            }
+        }
+    }
+    let stats = tail.stats()?;
+    if cfg.shutdown {
+        tail.shutdown(true)?;
+    }
+
+    let report = LoadgenReport {
+        submitted: plan.len() as u64,
+        admitted: admitted_ids.len() as u64,
+        deferred,
+        rejected,
+        protocol_errors,
+        within_deadline,
+        client_latency_us,
+        epoch_wait_us,
+        epochs: stats.epochs,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+    };
+    if let Some(path) = &cfg.out {
+        std::fs::write(path, report_json(cfg, &report) + "\n")?;
+    }
+    Ok(report)
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        ("p50_us".to_string(), Json::u64(h.quantile(0.5))),
+        ("p99_us".into(), Json::u64(h.quantile(0.99))),
+        ("mean_us".into(), Json::f64(h.mean())),
+        ("max_us".into(), Json::u64(h.max())),
+        ("count".into(), Json::u64(h.count())),
+    ])
+}
+
+/// Renders the benchmark report document.
+pub fn report_json(cfg: &LoadgenConfig, r: &LoadgenReport) -> String {
+    Json::Obj(vec![
+        ("bench".to_string(), Json::str("serve_latency")),
+        ("jobs".into(), Json::u64(cfg.jobs as u64)),
+        ("workers".into(), Json::u64(cfg.workers as u64)),
+        ("mean_interarrival_ms".into(), Json::f64(cfg.mean_interarrival_ms)),
+        ("epoch_ms".into(), Json::u64(cfg.epoch_ms)),
+        ("submitted".into(), Json::u64(r.submitted)),
+        ("admitted".into(), Json::u64(r.admitted)),
+        ("deferred".into(), Json::u64(r.deferred)),
+        ("rejected".into(), Json::u64(r.rejected)),
+        ("protocol_errors".into(), Json::u64(r.protocol_errors)),
+        ("within_deadline".into(), Json::u64(r.within_deadline)),
+        ("within_deadline_frac".into(), Json::f64(r.within_deadline_frac())),
+        ("client_latency".into(), hist_json(&r.client_latency_us)),
+        ("epoch_wait".into(), hist_json(&r.epoch_wait_us)),
+        ("epochs".into(), Json::u64(r.epochs)),
+        ("cache_hits".into(), Json::u64(r.cache_hits)),
+        ("cache_misses".into(), Json::u64(r.cache_misses)),
+    ])
+    .encode()
+}

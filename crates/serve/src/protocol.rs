@@ -1,0 +1,851 @@
+//! The versioned, newline-delimited wire protocol of `rushd`.
+//!
+//! One frame = one JSON object = one line. Every request carries
+//! `"v": 1` and an `"op"` discriminator; every response carries `"ok"`
+//! plus either a `"kind"` discriminator (success) or a structured error
+//! (`"code"`, `"message"`). Unknown versions, unknown ops and missing or
+//! mistyped fields are *structured* errors ([`WireError`]), never panics —
+//! the daemon keeps serving after any malformed frame.
+//!
+//! Utilities travel in the workload persist text form (`sigmoid:700,5,0.02`,
+//! see [`rush_workload::persist::utility_from_text`]) so the wire format,
+//! the workload files and the snapshot format all share one grammar.
+//!
+//! The full grammar is documented in `DESIGN.md` §10.
+
+use crate::json::{parse, Json};
+use rush_utility::TimeUtility;
+use rush_workload::persist::{utility_from_text, utility_to_text};
+use std::fmt;
+
+/// Wire protocol version carried in every request's `"v"` field.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error class carried in error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON.
+    BadJson,
+    /// The `"v"` field was missing or not a supported version.
+    BadVersion,
+    /// The `"op"` (or response `"kind"`) was missing or unrecognized.
+    BadOp,
+    /// A field was missing, mistyped or out of range.
+    BadField,
+    /// The referenced job id is not resident.
+    UnknownJob,
+    /// The referenced job is parked by admission control (deferred), so it
+    /// has no plan row yet.
+    Deferred,
+    /// The daemon is shutting down and no longer accepts work.
+    Shutdown,
+    /// The request was valid but the planner failed internally.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire form of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::BadOp => "bad-op",
+            ErrorCode::BadField => "bad-field",
+            ErrorCode::UnknownJob => "unknown-job",
+            ErrorCode::Deferred => "deferred",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad-json" => ErrorCode::BadJson,
+            "bad-version" => ErrorCode::BadVersion,
+            "bad-op" => ErrorCode::BadOp,
+            "bad-field" => ErrorCode::BadField,
+            "unknown-job" => ErrorCode::UnknownJob,
+            "deferred" => ErrorCode::Deferred,
+            "shutdown" => ErrorCode::Shutdown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured protocol-level failure: decoding a frame, or a request the
+/// server answered with an error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError { code, message: message.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The admission controller's verdict on a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The job passed the Theorem-2 prefix-capacity test and is planned.
+    Admit,
+    /// The cluster is overcommitted but the job is completion-time
+    /// insensitive: it is parked and re-probed every epoch.
+    Defer,
+    /// The cluster is overcommitted and the job's deadline cannot be met;
+    /// admitting it would only dilute every resident job's guarantee.
+    Reject,
+}
+
+impl Decision {
+    /// The wire form of the decision.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Decision::Admit => "admit",
+            Decision::Defer => "defer",
+            Decision::Reject => "reject",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Option<Decision> {
+        Some(match s {
+            "admit" => Decision::Admit,
+            "defer" => Decision::Defer,
+            "reject" => Decision::Reject,
+            _ => return None,
+        })
+    }
+}
+
+/// A job submission: everything the paper's job-configuration interface
+/// collects from the client (Sec. IV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSubmission {
+    /// Human-readable label (e.g. the workload template name).
+    pub label: String,
+    /// Number of tasks the job will run.
+    pub tasks: u64,
+    /// Client's per-task runtime hint in slots (used only before the first
+    /// real sample arrives; the cold prior covers its absence).
+    pub runtime_hint: Option<f64>,
+    /// Completion-time utility, in persist text form on the wire.
+    pub utility: TimeUtility,
+    /// Declared time budget in slots, if any (drives the admission
+    /// deadline; the planner itself reads only the utility).
+    pub budget: Option<u64>,
+    /// Priority weight.
+    pub priority: u32,
+}
+
+impl JobSubmission {
+    /// Whether the job is completion-time insensitive (constant utility) —
+    /// the class admission control may defer instead of reject.
+    pub fn is_insensitive(&self) -> bool {
+        matches!(self.utility, TimeUtility::Constant { .. })
+    }
+}
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job for admission + planning.
+    Submit(JobSubmission),
+    /// Report one completed-task runtime sample for a resident job.
+    ReportSample {
+        /// Job id returned by `submit`.
+        job: u64,
+        /// Observed task runtime in slots.
+        runtime: u64,
+    },
+    /// Fetch the current plan table (all jobs, or one).
+    QueryPlan {
+        /// Restrict to one job id.
+        job: Option<u64>,
+    },
+    /// Ask for the robust completion bound `T_i + R_i` (Theorem 3).
+    Predict {
+        /// Job id.
+        job: u64,
+    },
+    /// Remove a job from the table (and its parked twin, if deferred).
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Fetch daemon counters.
+    Stats,
+    /// Gracefully stop the daemon.
+    Shutdown {
+        /// Write a state snapshot before exiting (requires the daemon to
+        /// have been started with a snapshot path).
+        snapshot: bool,
+    },
+}
+
+/// One row of the plan table, mirroring [`rush_core::plan::PlanEntry`] plus
+/// the job's identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRow {
+    /// Job id.
+    pub job: u64,
+    /// Job label.
+    pub label: String,
+    /// Robust remaining demand `η` (container·slots).
+    pub eta: u64,
+    /// Mean task runtime `R` (slots).
+    pub task_len: u64,
+    /// Target completion time (slots from now).
+    pub target: f64,
+    /// Achieved max-min utility level.
+    pub level: f64,
+    /// Containers the plan allocates next slot.
+    pub desired_now: u32,
+    /// Planned completion (slots from now).
+    pub planned_completion: u64,
+    /// Whether the job cannot finish with nonzero utility.
+    pub impossible: bool,
+    /// Remaining (unsampled) tasks.
+    pub remaining_tasks: u64,
+}
+
+/// Daemon counters returned by `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Jobs currently planned.
+    pub active_jobs: u64,
+    /// Jobs parked by admission control.
+    pub deferred_jobs: u64,
+    /// Planning epochs closed so far.
+    pub epochs: u64,
+    /// Submissions admitted (including unparked ones).
+    pub admitted: u64,
+    /// Submissions deferred at least once.
+    pub deferred: u64,
+    /// Submissions rejected.
+    pub rejected: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs whose every task reported a sample.
+    pub completed: u64,
+    /// Task runtime samples ingested.
+    pub samples: u64,
+    /// Plan-cache hits across all epochs.
+    pub cache_hits: u64,
+    /// Plan-cache misses across all epochs.
+    pub cache_misses: u64,
+    /// Current logical slot.
+    pub now_slot: u64,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Verdict on a `submit`.
+    Submitted {
+        /// Job id (present unless rejected).
+        job: Option<u64>,
+        /// Admission decision.
+        decision: Decision,
+        /// Epoch that planned (or parked) the job.
+        epoch: u64,
+        /// Microseconds the submission waited for its epoch to close.
+        waited_us: u64,
+    },
+    /// Generic success (report-sample, cancel).
+    Ack,
+    /// Plan table.
+    PlanTable {
+        /// Logical slot the table was computed at.
+        now_slot: u64,
+        /// Epoch counter at computation time.
+        epoch: u64,
+        /// One row per requested job.
+        rows: Vec<PlanRow>,
+    },
+    /// Robust completion prediction for one job.
+    Prediction {
+        /// Job id.
+        job: u64,
+        /// Target completion `T_i` (slots from now).
+        target: f64,
+        /// Mean task runtime `R_i` (slots).
+        task_len: u64,
+        /// Theorem-3 robust bound `T_i + R_i` (slots from now).
+        bound: f64,
+        /// Planned completion under the continuity mapping (slots from now).
+        planned_completion: u64,
+        /// Whether the job cannot finish with nonzero utility.
+        impossible: bool,
+    },
+    /// Counter dump.
+    Stats(StatsReport),
+    /// The daemon acknowledged `shutdown` and is exiting.
+    ShuttingDown {
+        /// Whether a snapshot was written.
+        snapshot_written: bool,
+    },
+    /// Structured failure.
+    Error(WireError),
+}
+
+// ---------------------------------------------------------------------------
+// Field-access helpers (decode side)
+// ---------------------------------------------------------------------------
+
+fn bad_field(name: &str, why: &str) -> WireError {
+    WireError::new(ErrorCode::BadField, format!("field \"{name}\": {why}"))
+}
+
+fn need_u64(obj: &Json, name: &str) -> Result<u64, WireError> {
+    obj.get(name)
+        .ok_or_else(|| bad_field(name, "missing"))?
+        .as_u64()
+        .ok_or_else(|| bad_field(name, "expected a non-negative integer"))
+}
+
+fn opt_u64(obj: &Json, name: &str) -> Result<Option<u64>, WireError> {
+    match obj.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            v.as_u64().map(Some).ok_or_else(|| bad_field(name, "expected a non-negative integer"))
+        }
+    }
+}
+
+fn need_f64(obj: &Json, name: &str) -> Result<f64, WireError> {
+    obj.get(name)
+        .ok_or_else(|| bad_field(name, "missing"))?
+        .as_f64()
+        .ok_or_else(|| bad_field(name, "expected a number"))
+}
+
+fn opt_f64(obj: &Json, name: &str) -> Result<Option<f64>, WireError> {
+    match obj.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| bad_field(name, "expected a number")),
+    }
+}
+
+fn need_str<'a>(obj: &'a Json, name: &str) -> Result<&'a str, WireError> {
+    obj.get(name)
+        .ok_or_else(|| bad_field(name, "missing"))?
+        .as_str()
+        .ok_or_else(|| bad_field(name, "expected a string"))
+}
+
+fn need_bool(obj: &Json, name: &str) -> Result<bool, WireError> {
+    obj.get(name)
+        .ok_or_else(|| bad_field(name, "missing"))?
+        .as_bool()
+        .ok_or_else(|| bad_field(name, "expected a boolean"))
+}
+
+fn opt_bool(obj: &Json, name: &str, default: bool) -> Result<bool, WireError> {
+    match obj.get(name) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| bad_field(name, "expected a boolean")),
+    }
+}
+
+fn parse_frame(line: &str) -> Result<Json, WireError> {
+    let v = parse(line)
+        .map_err(|e| WireError::new(ErrorCode::BadJson, e.to_string()))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(WireError::new(ErrorCode::BadJson, "frame must be a JSON object"));
+    }
+    Ok(v)
+}
+
+fn check_version(obj: &Json) -> Result<(), WireError> {
+    match obj.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => Ok(()),
+        Some(v) => Err(WireError::new(
+            ErrorCode::BadVersion,
+            format!("unsupported protocol version {v} (expected {PROTOCOL_VERSION})"),
+        )),
+        None => Err(WireError::new(ErrorCode::BadVersion, "missing \"v\" field")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("v".to_string(), Json::u64(PROTOCOL_VERSION))];
+        match self {
+            Request::Submit(sub) => {
+                fields.push(("op".into(), Json::str("submit")));
+                fields.push(("label".into(), Json::str(sub.label.clone())));
+                fields.push(("tasks".into(), Json::u64(sub.tasks)));
+                if let Some(h) = sub.runtime_hint {
+                    fields.push(("hint".into(), Json::f64(h)));
+                }
+                fields.push(("utility".into(), Json::str(utility_to_text(&sub.utility))));
+                if let Some(b) = sub.budget {
+                    fields.push(("budget".into(), Json::u64(b)));
+                }
+                fields.push(("priority".into(), Json::u64(u64::from(sub.priority))));
+            }
+            Request::ReportSample { job, runtime } => {
+                fields.push(("op".into(), Json::str("report-sample")));
+                fields.push(("job".into(), Json::u64(*job)));
+                fields.push(("runtime".into(), Json::u64(*runtime)));
+            }
+            Request::QueryPlan { job } => {
+                fields.push(("op".into(), Json::str("query-plan")));
+                if let Some(id) = job {
+                    fields.push(("job".into(), Json::u64(*id)));
+                }
+            }
+            Request::Predict { job } => {
+                fields.push(("op".into(), Json::str("predict")));
+                fields.push(("job".into(), Json::u64(*job)));
+            }
+            Request::Cancel { job } => {
+                fields.push(("op".into(), Json::str("cancel")));
+                fields.push(("job".into(), Json::u64(*job)));
+            }
+            Request::Stats => {
+                fields.push(("op".into(), Json::str("stats")));
+            }
+            Request::Shutdown { snapshot } => {
+                fields.push(("op".into(), Json::str("shutdown")));
+                fields.push(("snapshot".into(), Json::Bool(*snapshot)));
+            }
+        }
+        Json::Obj(fields).encode()
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] with [`ErrorCode::BadJson`], [`ErrorCode::BadVersion`],
+    /// [`ErrorCode::BadOp`] or [`ErrorCode::BadField`]; the connection
+    /// stays usable after any of them.
+    pub fn decode(line: &str) -> Result<Request, WireError> {
+        let obj = parse_frame(line)?;
+        check_version(&obj)?;
+        let op = obj
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new(ErrorCode::BadOp, "missing \"op\" field"))?;
+        match op {
+            "submit" => {
+                let tasks = need_u64(&obj, "tasks")?;
+                if tasks == 0 {
+                    return Err(bad_field("tasks", "must be >= 1"));
+                }
+                let hint = opt_f64(&obj, "hint")?;
+                if let Some(h) = hint {
+                    // The JSON layer only yields finite numbers, so this
+                    // cleanly rejects zero and negatives.
+                    if h <= 0.0 {
+                        return Err(bad_field("hint", "must be > 0"));
+                    }
+                }
+                let utility = utility_from_text(need_str(&obj, "utility")?)
+                    .map_err(|e| bad_field("utility", &e))?;
+                let priority = need_u64(&obj, "priority")?;
+                let priority = u32::try_from(priority)
+                    .map_err(|_| bad_field("priority", "must fit in u32"))?;
+                if priority == 0 {
+                    return Err(bad_field("priority", "must be >= 1"));
+                }
+                Ok(Request::Submit(JobSubmission {
+                    label: need_str(&obj, "label")?.to_string(),
+                    tasks,
+                    runtime_hint: hint,
+                    utility,
+                    budget: opt_u64(&obj, "budget")?,
+                    priority,
+                }))
+            }
+            "report-sample" => Ok(Request::ReportSample {
+                job: need_u64(&obj, "job")?,
+                runtime: need_u64(&obj, "runtime")?,
+            }),
+            "query-plan" => Ok(Request::QueryPlan { job: opt_u64(&obj, "job")? }),
+            "predict" => Ok(Request::Predict { job: need_u64(&obj, "job")? }),
+            "cancel" => Ok(Request::Cancel { job: need_u64(&obj, "job")? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown { snapshot: opt_bool(&obj, "snapshot", true)? }),
+            other => {
+                Err(WireError::new(ErrorCode::BadOp, format!("unknown op \"{other}\"")))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+fn plan_row_to_json(r: &PlanRow) -> Json {
+    Json::Obj(vec![
+        ("job".into(), Json::u64(r.job)),
+        ("label".into(), Json::str(r.label.clone())),
+        ("eta".into(), Json::u64(r.eta)),
+        ("task_len".into(), Json::u64(r.task_len)),
+        ("target".into(), Json::f64(r.target)),
+        ("level".into(), Json::f64(r.level)),
+        ("desired_now".into(), Json::u64(u64::from(r.desired_now))),
+        ("planned_completion".into(), Json::u64(r.planned_completion)),
+        ("impossible".into(), Json::Bool(r.impossible)),
+        ("remaining_tasks".into(), Json::u64(r.remaining_tasks)),
+    ])
+}
+
+fn plan_row_from_json(v: &Json) -> Result<PlanRow, WireError> {
+    let desired = need_u64(v, "desired_now")?;
+    Ok(PlanRow {
+        job: need_u64(v, "job")?,
+        label: need_str(v, "label")?.to_string(),
+        eta: need_u64(v, "eta")?,
+        task_len: need_u64(v, "task_len")?,
+        target: need_f64(v, "target")?,
+        level: need_f64(v, "level")?,
+        desired_now: u32::try_from(desired)
+            .map_err(|_| bad_field("desired_now", "must fit in u32"))?,
+        planned_completion: need_u64(v, "planned_completion")?,
+        impossible: need_bool(v, "impossible")?,
+        remaining_tasks: need_u64(v, "remaining_tasks")?,
+    })
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let fields = match self {
+            Response::Submitted { job, decision, epoch, waited_us } => {
+                let mut f = vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("kind".into(), Json::str("submitted")),
+                    ("decision".into(), Json::str(decision.as_str())),
+                    ("epoch".into(), Json::u64(*epoch)),
+                    ("waited_us".into(), Json::u64(*waited_us)),
+                ];
+                if let Some(id) = job {
+                    f.insert(2, ("job".into(), Json::u64(*id)));
+                }
+                f
+            }
+            Response::Ack => vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("kind".into(), Json::str("ack")),
+            ],
+            Response::PlanTable { now_slot, epoch, rows } => vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("kind".into(), Json::str("plan")),
+                ("now_slot".into(), Json::u64(*now_slot)),
+                ("epoch".into(), Json::u64(*epoch)),
+                ("rows".into(), Json::Arr(rows.iter().map(plan_row_to_json).collect())),
+            ],
+            Response::Prediction { job, target, task_len, bound, planned_completion, impossible } => {
+                vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("kind".into(), Json::str("prediction")),
+                    ("job".into(), Json::u64(*job)),
+                    ("target".into(), Json::f64(*target)),
+                    ("task_len".into(), Json::u64(*task_len)),
+                    ("bound".into(), Json::f64(*bound)),
+                    ("planned_completion".into(), Json::u64(*planned_completion)),
+                    ("impossible".into(), Json::Bool(*impossible)),
+                ]
+            }
+            Response::Stats(s) => vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("kind".into(), Json::str("stats")),
+                ("active_jobs".into(), Json::u64(s.active_jobs)),
+                ("deferred_jobs".into(), Json::u64(s.deferred_jobs)),
+                ("epochs".into(), Json::u64(s.epochs)),
+                ("admitted".into(), Json::u64(s.admitted)),
+                ("deferred".into(), Json::u64(s.deferred)),
+                ("rejected".into(), Json::u64(s.rejected)),
+                ("cancelled".into(), Json::u64(s.cancelled)),
+                ("completed".into(), Json::u64(s.completed)),
+                ("samples".into(), Json::u64(s.samples)),
+                ("cache_hits".into(), Json::u64(s.cache_hits)),
+                ("cache_misses".into(), Json::u64(s.cache_misses)),
+                ("now_slot".into(), Json::u64(s.now_slot)),
+            ],
+            Response::ShuttingDown { snapshot_written } => vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("kind".into(), Json::str("shutting-down")),
+                ("snapshot_written".into(), Json::Bool(*snapshot_written)),
+            ],
+            Response::Error(e) => vec![
+                ("ok".to_string(), Json::Bool(false)),
+                ("code".into(), Json::str(e.code.as_str())),
+                ("message".into(), Json::str(e.message.clone())),
+            ],
+        };
+        Json::Obj(fields).encode()
+    }
+
+    /// Decodes one response line (the client side of the codec).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the line is not a well-formed response frame.
+    pub fn decode(line: &str) -> Result<Response, WireError> {
+        let obj = parse_frame(line)?;
+        let ok = need_bool(&obj, "ok")?;
+        if !ok {
+            let code_str = need_str(&obj, "code")?;
+            let code = ErrorCode::from_wire(code_str)
+                .ok_or_else(|| bad_field("code", "unknown error code"))?;
+            return Ok(Response::Error(WireError::new(
+                code,
+                need_str(&obj, "message")?.to_string(),
+            )));
+        }
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new(ErrorCode::BadOp, "missing \"kind\" field"))?;
+        match kind {
+            "submitted" => {
+                let decision = Decision::from_wire(need_str(&obj, "decision")?)
+                    .ok_or_else(|| bad_field("decision", "unknown decision"))?;
+                Ok(Response::Submitted {
+                    job: opt_u64(&obj, "job")?,
+                    decision,
+                    epoch: need_u64(&obj, "epoch")?,
+                    waited_us: need_u64(&obj, "waited_us")?,
+                })
+            }
+            "ack" => Ok(Response::Ack),
+            "plan" => {
+                let rows_json = obj
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad_field("rows", "expected an array"))?;
+                let rows: Result<Vec<PlanRow>, WireError> =
+                    rows_json.iter().map(plan_row_from_json).collect();
+                Ok(Response::PlanTable {
+                    now_slot: need_u64(&obj, "now_slot")?,
+                    epoch: need_u64(&obj, "epoch")?,
+                    rows: rows?,
+                })
+            }
+            "prediction" => Ok(Response::Prediction {
+                job: need_u64(&obj, "job")?,
+                target: need_f64(&obj, "target")?,
+                task_len: need_u64(&obj, "task_len")?,
+                bound: need_f64(&obj, "bound")?,
+                planned_completion: need_u64(&obj, "planned_completion")?,
+                impossible: need_bool(&obj, "impossible")?,
+            }),
+            "stats" => Ok(Response::Stats(StatsReport {
+                active_jobs: need_u64(&obj, "active_jobs")?,
+                deferred_jobs: need_u64(&obj, "deferred_jobs")?,
+                epochs: need_u64(&obj, "epochs")?,
+                admitted: need_u64(&obj, "admitted")?,
+                deferred: need_u64(&obj, "deferred")?,
+                rejected: need_u64(&obj, "rejected")?,
+                cancelled: need_u64(&obj, "cancelled")?,
+                completed: need_u64(&obj, "completed")?,
+                samples: need_u64(&obj, "samples")?,
+                cache_hits: need_u64(&obj, "cache_hits")?,
+                cache_misses: need_u64(&obj, "cache_misses")?,
+                now_slot: need_u64(&obj, "now_slot")?,
+            })),
+            "shutting-down" => Ok(Response::ShuttingDown {
+                snapshot_written: need_bool(&obj, "snapshot_written")?,
+            }),
+            other => {
+                Err(WireError::new(ErrorCode::BadOp, format!("unknown kind \"{other}\"")))
+            }
+        }
+    }
+
+    /// Shorthand for an error response.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error(WireError::new(code, message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub() -> JobSubmission {
+        JobSubmission {
+            label: "terasort".into(),
+            tasks: 40,
+            runtime_hint: Some(55.5),
+            utility: TimeUtility::sigmoid(700.0, 5.0, 0.02).expect("valid"),
+            budget: Some(700),
+            priority: 3,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Submit(sub()),
+            Request::Submit(JobSubmission {
+                runtime_hint: None,
+                budget: None,
+                utility: TimeUtility::constant(2.0).expect("valid"),
+                ..sub()
+            }),
+            Request::ReportSample { job: 7, runtime: 61 },
+            Request::QueryPlan { job: None },
+            Request::QueryPlan { job: Some(3) },
+            Request::Predict { job: 9 },
+            Request::Cancel { job: 0 },
+            Request::Stats,
+            Request::Shutdown { snapshot: false },
+        ];
+        for r in reqs {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "{line}");
+            let back = Request::decode(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(r, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Submitted {
+                job: Some(12),
+                decision: Decision::Admit,
+                epoch: 4,
+                waited_us: 1800,
+            },
+            Response::Submitted {
+                job: None,
+                decision: Decision::Reject,
+                epoch: 4,
+                waited_us: 90,
+            },
+            Response::Ack,
+            Response::PlanTable {
+                now_slot: 17,
+                epoch: 6,
+                rows: vec![PlanRow {
+                    job: 12,
+                    label: "grep".into(),
+                    eta: 2400,
+                    task_len: 60,
+                    target: 512.25,
+                    level: 4.75,
+                    desired_now: 5,
+                    planned_completion: 480,
+                    impossible: false,
+                    remaining_tasks: 31,
+                }],
+            },
+            Response::Prediction {
+                job: 12,
+                target: 512.25,
+                task_len: 60,
+                bound: 572.25,
+                planned_completion: 480,
+                impossible: false,
+            },
+            Response::Stats(StatsReport {
+                active_jobs: 3,
+                deferred_jobs: 1,
+                epochs: 9,
+                admitted: 10,
+                deferred: 2,
+                rejected: 1,
+                cancelled: 1,
+                completed: 5,
+                samples: 230,
+                cache_hits: 40,
+                cache_misses: 9,
+                now_slot: 123,
+            }),
+            Response::ShuttingDown { snapshot_written: true },
+            Response::error(ErrorCode::UnknownJob, "job 99 is not resident"),
+        ];
+        for r in resps {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "{line}");
+            let back = Response::decode(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(r, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn version_is_enforced() {
+        let line = Request::Stats.encode().replace("\"v\":1", "\"v\":2");
+        let e = Request::decode(&line).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadVersion);
+        let e = Request::decode(r#"{"op":"stats"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadVersion);
+    }
+
+    #[test]
+    fn unknown_op_is_structured() {
+        let e = Request::decode(r#"{"v":1,"op":"frobnicate"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadOp);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_are_structured() {
+        let e = Request::decode(r#"{"v":1,"op":"predict"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadField);
+        let e = Request::decode(r#"{"v":1,"op":"predict","job":-3}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadField);
+        let e = Request::decode(r#"{"v":1,"op":"predict","job":1.5}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadField);
+        let e = Request::decode(
+            r#"{"v":1,"op":"submit","label":"x","tasks":0,"utility":"constant:1","priority":1}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadField);
+        let e = Request::decode(
+            r#"{"v":1,"op":"submit","label":"x","tasks":4,"utility":"warp:1","priority":1}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadField);
+        assert!(e.message.contains("utility"));
+    }
+
+    #[test]
+    fn truncated_frames_are_bad_json() {
+        let whole = Request::Submit(sub()).encode();
+        for cut in [1, whole.len() / 2, whole.len() - 1] {
+            let e = Request::decode(&whole[..cut]).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadJson, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn shutdown_snapshot_defaults_to_true() {
+        let r = Request::decode(r#"{"v":1,"op":"shutdown"}"#).unwrap();
+        assert_eq!(r, Request::Shutdown { snapshot: true });
+    }
+
+    #[test]
+    fn insensitivity_is_derived_from_the_utility() {
+        assert!(!sub().is_insensitive());
+        let s = JobSubmission { utility: TimeUtility::constant(1.0).expect("valid"), ..sub() };
+        assert!(s.is_insensitive());
+    }
+}

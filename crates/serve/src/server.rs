@@ -1,0 +1,353 @@
+//! The `rushd` TCP daemon.
+//!
+//! Concurrency model: **thread-per-connection workers feeding a single
+//! planner thread** over an `mpsc` channel. Connection workers only parse
+//! and frame — all scheduling state lives on the planner thread, so there
+//! are no locks anywhere in the daemon.
+//!
+//! **Epoch batching.** `submit` requests are not planned individually: the
+//! planner collects them until either `epoch_max_batch` submissions are
+//! pending or the oldest has waited `epoch_ms` milliseconds, then closes
+//! the epoch — one admission sweep plus **one**
+//! [`rush_core::compute_plan_cached`] call for the whole batch (PR 1's
+//! plan cache makes the unchanged residents nearly free). Every waiting
+//! client then receives its verdict, stamped with the microseconds it
+//! waited; the planner records that wait in a
+//! [`rush_metrics::Histogram`] surfaced through the load generator.
+//! Non-submit requests never wait for an epoch.
+//!
+//! **Time.** The daemon quantizes its wall clock into logical slots:
+//! `now_slot = base_slot + elapsed_ms / ms_per_slot`. Plans are a pure
+//! function of (state, slot), which is what makes the snapshot/restore
+//! guarantee testable: a daemon restored from a snapshot starts its clock
+//! at the snapshot's slot.
+
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::snapshot;
+use crate::state::ServeState;
+use crate::ServeError;
+use rush_core::RushConfig;
+use rush_metrics::Histogram;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (0 = ephemeral port).
+    pub addr: String,
+    /// Cluster capacity in containers.
+    pub capacity: u32,
+    /// Close an epoch once this many submissions are pending.
+    pub epoch_max_batch: usize,
+    /// Close an epoch once the oldest pending submission has waited this
+    /// many milliseconds.
+    pub epoch_ms: u64,
+    /// Wall-clock milliseconds per logical slot.
+    pub ms_per_slot: u64,
+    /// Snapshot file: written on graceful shutdown, restored on startup
+    /// when present.
+    pub snapshot_path: Option<PathBuf>,
+    /// The scheduling pipeline's parameters.
+    pub rush: RushConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            capacity: 16,
+            epoch_max_batch: 32,
+            epoch_ms: 25,
+            ms_per_slot: 1000,
+            snapshot_path: None,
+            rush: RushConfig::default(),
+        }
+    }
+}
+
+/// What connection workers send the planner.
+enum PlannerMsg {
+    /// A submission waiting for its epoch.
+    Submit { req: Request, enqueued: Instant, reply: Sender<Response> },
+    /// Anything else — answered immediately.
+    Immediate { req: Request, reply: Sender<Response> },
+}
+
+/// A running daemon. Dropping the handle does *not* stop the daemon; send
+/// a `shutdown` request (or use [`crate::Client::shutdown`]) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    planner: thread::JoinHandle<Result<Histogram, ServeError>>,
+    acceptor: thread::JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to finish (it finishes when a client sends
+    /// `shutdown`). Returns the submit-wait histogram (µs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when the planner exited on an internal error or a
+    /// daemon thread panicked.
+    pub fn join(self) -> Result<Histogram, ServeError> {
+        let hist = self
+            .planner
+            .join()
+            .map_err(|_| ServeError::Config("planner thread panicked".into()))??;
+        // The planner exits first and flips the stop flag; the acceptor
+        // notices within one poll interval.
+        self.stop.store(true, Ordering::SeqCst);
+        self.acceptor
+            .join()
+            .map_err(|_| ServeError::Config("acceptor thread panicked".into()))?;
+        Ok(hist)
+    }
+}
+
+/// Starts the daemon: binds `config.addr`, restores the snapshot if one
+/// exists, and spawns the planner + acceptor threads.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the bind fails, [`ServeError::Snapshot`] when a
+/// present snapshot is malformed or mismatched, [`ServeError::Core`] /
+/// [`ServeError::Config`] for invalid configuration.
+pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    if config.epoch_max_batch == 0 {
+        return Err(ServeError::Config("epoch_max_batch must be >= 1".into()));
+    }
+    if config.ms_per_slot == 0 {
+        return Err(ServeError::Config("ms_per_slot must be >= 1".into()));
+    }
+    let (state, base_slot) = match &config.snapshot_path {
+        Some(p) if p.exists() => snapshot::read(p, config.rush, config.capacity)?,
+        _ => (ServeState::new(config.rush, config.capacity)?, 0),
+    };
+
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<PlannerMsg>();
+
+    let planner = {
+        let stop = Arc::clone(&stop);
+        let config = config.clone();
+        thread::spawn(move || planner_loop(config, state, base_slot, &rx, &stop))
+    };
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || acceptor_loop(&listener, &tx, &stop))
+    };
+
+    Ok(ServerHandle { addr, planner, acceptor, stop })
+}
+
+/// The logical slot clock.
+fn now_slot(base_slot: u64, started: Instant, ms_per_slot: u64) -> u64 {
+    base_slot + started.elapsed().as_millis() as u64 / ms_per_slot
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn planner_loop(
+    config: ServeConfig,
+    mut state: ServeState,
+    base_slot: u64,
+    rx: &Receiver<PlannerMsg>,
+    stop: &AtomicBool,
+) -> Result<Histogram, ServeError> {
+    let started = Instant::now();
+    let mut waits = Histogram::new();
+    let mut pending: Vec<(Request, Instant, Sender<Response>)> = Vec::new();
+    let mut epoch_deadline: Option<Instant> = None;
+    let idle_tick = Duration::from_millis(200);
+
+    loop {
+        let timeout = match epoch_deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => idle_tick,
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(PlannerMsg::Submit { req, enqueued, reply }) => {
+                if pending.is_empty() {
+                    epoch_deadline = Some(enqueued + Duration::from_millis(config.epoch_ms));
+                }
+                pending.push((req, enqueued, reply));
+                if pending.len() >= config.epoch_max_batch {
+                    close_epoch(&config, &mut state, base_slot, started, &mut pending, &mut waits)?;
+                    epoch_deadline = None;
+                }
+            }
+            Ok(PlannerMsg::Immediate { req, reply }) => {
+                if matches!(req, Request::Shutdown { .. }) {
+                    // Flush the pending epoch so no submitter is stranded,
+                    // then snapshot and exit.
+                    close_epoch(&config, &mut state, base_slot, started, &mut pending, &mut waits)?;
+                    let slot = now_slot(base_slot, started, config.ms_per_slot);
+                    let wants_snapshot = matches!(req, Request::Shutdown { snapshot: true });
+                    let written = match (&config.snapshot_path, wants_snapshot) {
+                        (Some(p), true) => snapshot::write(p, &state, slot).is_ok(),
+                        _ => false,
+                    };
+                    let _ = reply.send(Response::ShuttingDown { snapshot_written: written });
+                    stop.store(true, Ordering::SeqCst);
+                    return Ok(waits);
+                }
+                let slot = now_slot(base_slot, started, config.ms_per_slot);
+                let _ = reply.send(answer_immediate(&mut state, req, slot));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if epoch_deadline.is_some_and(|d| Instant::now() >= d) {
+                    close_epoch(&config, &mut state, base_slot, started, &mut pending, &mut waits)?;
+                    epoch_deadline = None;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(waits);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Ok(waits),
+        }
+    }
+}
+
+/// Closes one planning epoch: admission + a single replan for every
+/// pending submission, then replies to all of them.
+fn close_epoch(
+    config: &ServeConfig,
+    state: &mut ServeState,
+    base_slot: u64,
+    started: Instant,
+    pending: &mut Vec<(Request, Instant, Sender<Response>)>,
+    waits: &mut Histogram,
+) -> Result<(), ServeError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let batch = std::mem::take(pending);
+    let slot = now_slot(base_slot, started, config.ms_per_slot);
+    let subs = batch
+        .iter()
+        .filter_map(|(req, _, _)| match req {
+            Request::Submit(sub) => Some(sub.clone()),
+            _ => None,
+        })
+        .collect();
+    let verdicts = state.submit_epoch(subs, slot)?;
+    let epoch = state.counters().epochs;
+    for ((_, enqueued, reply), (decision, id)) in batch.iter().zip(verdicts) {
+        let waited_us = enqueued.elapsed().as_micros() as u64;
+        waits.record(waited_us);
+        let _ = reply.send(Response::Submitted { job: id, decision, epoch, waited_us });
+    }
+    Ok(())
+}
+
+/// Answers a non-submit request against the state.
+fn answer_immediate(state: &mut ServeState, req: Request, slot: u64) -> Response {
+    match req {
+        Request::ReportSample { job, runtime } => match state.report_sample(job, runtime) {
+            Ok(_) => Response::Ack,
+            Err(e) => Response::Error(e),
+        },
+        Request::QueryPlan { job } => match state.rows(slot, job) {
+            Ok(rows) => Response::PlanTable {
+                now_slot: slot,
+                epoch: state.counters().epochs,
+                rows,
+            },
+            Err(e) => Response::Error(e),
+        },
+        Request::Predict { job } => match state.predict(job, slot) {
+            Ok((target, task_len, bound, planned_completion, impossible)) => {
+                Response::Prediction { job, target, task_len, bound, planned_completion, impossible }
+            }
+            Err(e) => Response::Error(e),
+        },
+        Request::Cancel { job } => match state.cancel(job) {
+            Ok(()) => Response::Ack,
+            Err(e) => Response::Error(e),
+        },
+        Request::Stats => Response::Stats(state.stats(slot)),
+        // Submit and Shutdown are routed before this function.
+        Request::Submit(_) | Request::Shutdown { .. } => {
+            Response::error(ErrorCode::Internal, "request routed to the wrong handler")
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &Sender<PlannerMsg>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                thread::spawn(move || connection_loop(stream, &tx));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept errors (e.g. a peer resetting mid-handshake)
+            // must not kill the daemon.
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// One connection: read request lines, route to the planner, write
+/// response lines. Malformed frames get structured error responses and the
+/// connection stays open.
+fn connection_loop(stream: TcpStream, tx: &Sender<PlannerMsg>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::decode(&line) {
+            Err(e) => Response::Error(e),
+            Ok(req) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let msg = match req {
+                    Request::Submit(_) => {
+                        PlannerMsg::Submit { req, enqueued: Instant::now(), reply: reply_tx }
+                    }
+                    _ => PlannerMsg::Immediate { req, reply: reply_tx },
+                };
+                if tx.send(msg).is_err() {
+                    Response::error(ErrorCode::Shutdown, "daemon is shutting down")
+                } else {
+                    match reply_rx.recv() {
+                        Ok(resp) => resp,
+                        Err(_) => {
+                            Response::error(ErrorCode::Shutdown, "daemon is shutting down")
+                        }
+                    }
+                }
+            }
+        };
+        let done = matches!(response, Response::ShuttingDown { .. });
+        if writer.write_all((response.encode() + "\n").as_bytes()).is_err() {
+            return;
+        }
+        if writer.flush().is_err() || done {
+            return;
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Durable daemon state: snapshot on shutdown, restore on startup.
+//!
+//! The snapshot is one JSON document (same strict codec as the wire
+//! protocol) holding the job table, the id counter, the daemon counters
+//! and the logical slot at which the snapshot was taken. It deliberately
+//! does **not** store the [`rush_core::RushConfig`] or the capacity as the
+//! source of truth — those come from the daemon's startup flags — but it
+//! records both and the restore path *verifies* them, because a plan is
+//! only reproducible under the same configuration.
+//!
+//! Restoring sets the restarted daemon's slot clock base to the snapshot's
+//! `now_slot`, so job ages — and therefore the age-shifted utilities, the
+//! peel targets and the whole plan — are bit-identical to what the old
+//! daemon would have produced at that slot (`tests/snapshot_restore.rs`
+//! proves this).
+
+use crate::json::{parse, Json};
+use crate::protocol::JobSubmission;
+use crate::state::{Counters, JobState, ServeState};
+use crate::ServeError;
+use rush_core::RushConfig;
+use rush_workload::persist::{utility_from_text, utility_to_text};
+use std::path::Path;
+
+/// Format version of the snapshot document.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+fn snap_err(msg: impl Into<String>) -> ServeError {
+    ServeError::Snapshot(msg.into())
+}
+
+fn need_u64(v: &Json, name: &str) -> Result<u64, ServeError> {
+    v.get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| snap_err(format!("missing or non-integer field \"{name}\"")))
+}
+
+fn job_to_json(id: u64, j: &JobState) -> Json {
+    let sub = &j.submission;
+    let mut fields = vec![
+        ("id".to_string(), Json::u64(id)),
+        ("label".into(), Json::str(sub.label.clone())),
+        ("tasks".into(), Json::u64(sub.tasks)),
+        ("utility".into(), Json::str(utility_to_text(&sub.utility))),
+        ("priority".into(), Json::u64(u64::from(sub.priority))),
+        ("remaining_tasks".into(), Json::u64(j.remaining_tasks)),
+        ("arrived_slot".into(), Json::u64(j.arrived_slot)),
+        ("parked".into(), Json::Bool(j.parked)),
+        ("samples".into(), Json::Arr(j.samples.iter().map(|&s| Json::u64(s)).collect())),
+    ];
+    if let Some(h) = sub.runtime_hint {
+        fields.insert(4, ("hint".into(), Json::f64(h)));
+    }
+    if let Some(b) = sub.budget {
+        fields.insert(4, ("budget".into(), Json::u64(b)));
+    }
+    Json::Obj(fields)
+}
+
+fn job_from_json(v: &Json) -> Result<(u64, JobState), ServeError> {
+    let utility = utility_from_text(
+        v.get("utility")
+            .and_then(Json::as_str)
+            .ok_or_else(|| snap_err("job is missing \"utility\""))?,
+    )
+    .map_err(|e| snap_err(format!("bad utility: {e}")))?;
+    let hint = match v.get("hint") {
+        None | Some(Json::Null) => None,
+        Some(h) => Some(h.as_f64().ok_or_else(|| snap_err("bad \"hint\""))?),
+    };
+    let budget = match v.get("budget") {
+        None | Some(Json::Null) => None,
+        Some(b) => Some(b.as_u64().ok_or_else(|| snap_err("bad \"budget\""))?),
+    };
+    let samples: Result<Vec<u64>, ServeError> = v
+        .get("samples")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| snap_err("job is missing \"samples\""))?
+        .iter()
+        .map(|s| s.as_u64().ok_or_else(|| snap_err("non-integer sample")))
+        .collect();
+    let priority = u32::try_from(need_u64(v, "priority")?)
+        .map_err(|_| snap_err("priority does not fit in u32"))?;
+    Ok((
+        need_u64(v, "id")?,
+        JobState {
+            submission: JobSubmission {
+                label: v
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| snap_err("job is missing \"label\""))?
+                    .to_string(),
+                tasks: need_u64(v, "tasks")?,
+                runtime_hint: hint,
+                utility,
+                budget,
+                priority,
+            },
+            samples: samples?,
+            remaining_tasks: need_u64(v, "remaining_tasks")?,
+            arrived_slot: need_u64(v, "arrived_slot")?,
+            parked: v
+                .get("parked")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| snap_err("job is missing \"parked\""))?,
+        },
+    ))
+}
+
+/// Serializes the daemon state (plus the slot it was taken at) to a JSON
+/// document.
+pub fn encode(state: &ServeState, now_slot: u64) -> String {
+    let c = state.counters();
+    let doc = Json::Obj(vec![
+        ("v".to_string(), Json::u64(SNAPSHOT_VERSION)),
+        ("kind".into(), Json::str("rushd-snapshot")),
+        ("now_slot".into(), Json::u64(now_slot)),
+        ("next_id".into(), Json::u64(state.next_id())),
+        ("capacity".into(), Json::u64(u64::from(state.capacity()))),
+        ("theta".into(), Json::f64(state.config().theta)),
+        ("delta".into(), Json::f64(state.config().delta)),
+        (
+            "counters".into(),
+            Json::Obj(vec![
+                ("epochs".into(), Json::u64(c.epochs)),
+                ("admitted".into(), Json::u64(c.admitted)),
+                ("deferred".into(), Json::u64(c.deferred)),
+                ("rejected".into(), Json::u64(c.rejected)),
+                ("cancelled".into(), Json::u64(c.cancelled)),
+                ("completed".into(), Json::u64(c.completed)),
+                ("samples".into(), Json::u64(c.samples)),
+            ]),
+        ),
+        (
+            "jobs".into(),
+            Json::Arr(state.jobs().map(|(id, j)| job_to_json(id, j)).collect()),
+        ),
+    ]);
+    doc.encode()
+}
+
+/// Rebuilds a [`ServeState`] from a snapshot document under the daemon's
+/// startup `config` and `capacity`. Returns the state and the logical slot
+/// the snapshot was taken at (the restarted clock's base).
+///
+/// # Errors
+///
+/// [`ServeError::Snapshot`] when the document is malformed, claims a
+/// different format version, or was taken under a different capacity /
+/// `θ` / `δ` than the daemon was restarted with.
+pub fn decode(text: &str, config: RushConfig, capacity: u32) -> Result<(ServeState, u64), ServeError> {
+    let doc = parse(text).map_err(|e| snap_err(format!("not valid JSON: {e}")))?;
+    if doc.get("kind").and_then(Json::as_str) != Some("rushd-snapshot") {
+        return Err(snap_err("not a rushd snapshot"));
+    }
+    match need_u64(&doc, "v")? {
+        SNAPSHOT_VERSION => {}
+        v => return Err(snap_err(format!("unsupported snapshot version {v}"))),
+    }
+    let snap_capacity = need_u64(&doc, "capacity")?;
+    if snap_capacity != u64::from(capacity) {
+        return Err(snap_err(format!(
+            "snapshot was taken at capacity {snap_capacity}, daemon restarted with {capacity}"
+        )));
+    }
+    for (name, have) in [("theta", config.theta), ("delta", config.delta)] {
+        let want = doc
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| snap_err(format!("missing \"{name}\"")))?;
+        if (want - have).abs() > 1e-12 {
+            return Err(snap_err(format!(
+                "snapshot was taken with {name}={want}, daemon restarted with {have}"
+            )));
+        }
+    }
+    let now_slot = need_u64(&doc, "now_slot")?;
+    let cj = doc.get("counters").ok_or_else(|| snap_err("missing \"counters\""))?;
+    let counters = Counters {
+        epochs: need_u64(cj, "epochs")?,
+        admitted: need_u64(cj, "admitted")?,
+        deferred: need_u64(cj, "deferred")?,
+        rejected: need_u64(cj, "rejected")?,
+        cancelled: need_u64(cj, "cancelled")?,
+        completed: need_u64(cj, "completed")?,
+        samples: need_u64(cj, "samples")?,
+    };
+    let jobs: Result<Vec<(u64, JobState)>, ServeError> = doc
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| snap_err("missing \"jobs\""))?
+        .iter()
+        .map(job_from_json)
+        .collect();
+    let state =
+        ServeState::from_parts(config, capacity, jobs?, need_u64(&doc, "next_id")?, counters)?;
+    Ok((state, now_slot))
+}
+
+/// Writes a snapshot atomically (temp file + rename).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on filesystem failure.
+pub fn write(path: &Path, state: &ServeState, now_slot: u64) -> Result<(), ServeError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, encode(state, now_slot) + "\n")?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and decodes a snapshot file.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on filesystem failure, [`ServeError::Snapshot`] on a
+/// malformed or mismatched document.
+pub fn read(path: &Path, config: RushConfig, capacity: u32) -> Result<(ServeState, u64), ServeError> {
+    let text = std::fs::read_to_string(path)?;
+    decode(&text, config, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Decision;
+    use rush_utility::TimeUtility;
+
+    fn populated() -> (ServeState, u64) {
+        let mut s = ServeState::new(RushConfig::default(), 16).expect("state");
+        let subs = vec![
+            JobSubmission {
+                label: "grep".into(),
+                tasks: 12,
+                runtime_hint: Some(40.0),
+                utility: TimeUtility::sigmoid(2000.0, 4.0, 0.005).expect("valid"),
+                budget: Some(2000),
+                priority: 4,
+            },
+            JobSubmission {
+                label: "bulk".into(),
+                tasks: 50,
+                runtime_hint: None,
+                utility: TimeUtility::constant(1.0).expect("valid"),
+                budget: None,
+                priority: 1,
+            },
+        ];
+        let verdicts = s.submit_epoch(subs, 3).expect("epoch");
+        assert!(verdicts.iter().all(|(d, _)| *d == Decision::Admit));
+        let id = verdicts[0].1.expect("id");
+        s.report_sample(id, 38).expect("sample");
+        s.report_sample(id, 44).expect("sample");
+        (s, 7)
+    }
+
+    #[test]
+    fn snapshot_round_trips_state_and_slot() {
+        let (mut a, slot) = populated();
+        let text = encode(&a, slot);
+        let (mut b, restored_slot) =
+            decode(&text, RushConfig::default(), 16).expect("decode");
+        assert_eq!(restored_slot, slot);
+        assert_eq!(a.next_id(), b.next_id());
+        assert_eq!(a.counters(), b.counters());
+        let ja: Vec<_> = a.jobs().map(|(id, j)| (id, j.clone())).collect();
+        let jb: Vec<_> = b.jobs().map(|(id, j)| (id, j.clone())).collect();
+        assert_eq!(ja, jb);
+        // The restored daemon reproduces the plan bit-identically.
+        assert_eq!(a.rows(slot, None).expect("rows"), b.rows(slot, None).expect("rows"));
+        // And encoding the restored state yields the identical document.
+        assert_eq!(text, encode(&b, slot));
+    }
+
+    #[test]
+    fn snapshot_files_round_trip() {
+        let (state, slot) = populated();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rushd-snap-test-{}.json", std::process::id()));
+        write(&path, &state, slot).expect("write");
+        let (restored, restored_slot) =
+            read(&path, RushConfig::default(), 16).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored_slot, slot);
+        assert_eq!(restored.next_id(), state.next_id());
+    }
+
+    #[test]
+    fn mismatched_restore_configuration_is_refused() {
+        let (state, slot) = populated();
+        let text = encode(&state, slot);
+        assert!(matches!(
+            decode(&text, RushConfig::default(), 8),
+            Err(ServeError::Snapshot(_))
+        ));
+        let other = RushConfig { theta: 0.5, ..RushConfig::default() };
+        assert!(matches!(decode(&text, other, 16), Err(ServeError::Snapshot(_))));
+    }
+
+    #[test]
+    fn malformed_snapshots_are_refused() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"v":1,"kind":"other"}"#,
+            r#"{"v":9,"kind":"rushd-snapshot"}"#,
+        ] {
+            assert!(
+                matches!(decode(bad, RushConfig::default(), 4), Err(ServeError::Snapshot(_))),
+                "{bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! The daemon's job table and epoch-batched planning.
+//!
+//! [`ServeState`] is deliberately *pure with respect to time*: every method
+//! that can replan takes an explicit logical `now_slot`, and the plan is a
+//! deterministic function of (config, capacity, job table, `now_slot`).
+//! The server layer owns the wall clock and quantizes it to slots; tests
+//! and the snapshot/restore path drive the state with explicit slots and
+//! get bit-identical plans.
+//!
+//! **Epochs.** Submissions are not planned one at a time. The server
+//! collects a batch (bounded by count and by wall-clock age) and hands it
+//! to [`ServeState::submit_epoch`], which runs admission per candidate —
+//! each admitted job's reservation immediately counts against the next
+//! candidate in the same epoch — and then replans *once* via
+//! [`compute_plan_cached`], so the WCDE/peel/mapping cost is amortized
+//! across the whole batch. Parked (deferred) jobs are re-probed at the
+//! start of every epoch, in submission order.
+
+use crate::admission::{admission_deadline, estimate_eta, probe};
+use crate::protocol::{Decision, ErrorCode, JobSubmission, PlanRow, StatsReport, WireError};
+use crate::ServeError;
+use rush_core::plan::{compute_plan_cached, Plan, PlanCache, PlanInput};
+use rush_core::RushConfig;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// One resident job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobState {
+    /// The submission as received.
+    pub submission: JobSubmission,
+    /// Completed-task runtime samples (slots), in arrival order.
+    pub samples: Vec<u64>,
+    /// Tasks that have not reported a sample yet.
+    pub remaining_tasks: u64,
+    /// Logical slot at which the job was admitted (or first parked).
+    pub arrived_slot: u64,
+    /// Whether the job is parked by admission control (not planned).
+    pub parked: bool,
+}
+
+/// Monotonic daemon counters (all start at zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Planning epochs closed.
+    pub epochs: u64,
+    /// Submissions admitted (including unparkings).
+    pub admitted: u64,
+    /// Submissions parked at least once.
+    pub deferred: u64,
+    /// Submissions rejected.
+    pub rejected: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs fully sampled (all tasks reported).
+    pub completed: u64,
+    /// Runtime samples ingested.
+    pub samples: u64,
+}
+
+/// The daemon's entire mutable state (minus sockets and clocks).
+#[derive(Debug, Clone)]
+pub struct ServeState {
+    config: RushConfig,
+    capacity: u32,
+    jobs: BTreeMap<u64, JobState>,
+    next_id: u64,
+    cache: PlanCache,
+    plan: Plan,
+    /// Job ids of `plan.entries`, parallel, ascending.
+    plan_ids: Vec<u64>,
+    /// Slot the current plan was computed at; `None` = stale.
+    plan_slot: Option<u64>,
+    counters: Counters,
+}
+
+impl ServeState {
+    /// Creates an empty state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for zero capacity, [`ServeError::Core`] for
+    /// an invalid [`RushConfig`].
+    pub fn new(config: RushConfig, capacity: u32) -> Result<Self, ServeError> {
+        config.validate()?;
+        if capacity == 0 {
+            return Err(ServeError::Config("capacity must be >= 1".into()));
+        }
+        Ok(ServeState {
+            config,
+            capacity,
+            jobs: BTreeMap::new(),
+            next_id: 0,
+            cache: PlanCache::new(),
+            plan: Plan::default(),
+            plan_ids: Vec::new(),
+            plan_slot: None,
+            counters: Counters::default(),
+        })
+    }
+
+    /// Rebuilds a state from snapshot parts (see [`crate::snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeState::new`], plus [`ServeError::Snapshot`] when a
+    /// job id is not below `next_id`.
+    pub fn from_parts(
+        config: RushConfig,
+        capacity: u32,
+        jobs: Vec<(u64, JobState)>,
+        next_id: u64,
+        counters: Counters,
+    ) -> Result<Self, ServeError> {
+        let mut state = ServeState::new(config, capacity)?;
+        for (id, job) in jobs {
+            if id >= next_id {
+                return Err(ServeError::Snapshot(format!(
+                    "job id {id} is not below next_id {next_id}"
+                )));
+            }
+            if state.jobs.insert(id, job).is_some() {
+                return Err(ServeError::Snapshot(format!("duplicate job id {id}")));
+            }
+        }
+        state.next_id = next_id;
+        state.counters = counters;
+        Ok(state)
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &RushConfig {
+        &self.config
+    }
+
+    /// Cluster capacity in containers.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Next job id to be assigned.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Iterates all resident jobs (planned and parked) in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = (u64, &JobState)> {
+        self.jobs.iter().map(|(id, j)| (*id, j))
+    }
+
+    /// Replans if the cached plan is stale or was computed at a different
+    /// slot.
+    fn ensure_plan(&mut self, now_slot: u64) -> Result<(), ServeError> {
+        if self.plan_slot == Some(now_slot) {
+            return Ok(());
+        }
+        let ids: Vec<u64> =
+            self.jobs.iter().filter(|(_, j)| !j.parked).map(|(id, _)| *id).collect();
+        let inputs: Vec<PlanInput<'_>> = ids
+            .iter()
+            .map(|id| {
+                let j = &self.jobs[id];
+                PlanInput {
+                    samples: Cow::Borrowed(j.samples.as_slice()),
+                    remaining_tasks: j.remaining_tasks as usize,
+                    running: 0,
+                    failed_attempts: 0,
+                    age: now_slot.saturating_sub(j.arrived_slot) as f64,
+                    utility: j.submission.utility,
+                }
+            })
+            .collect();
+        self.plan = compute_plan_cached(&self.config, self.capacity, &inputs, &mut self.cache)?;
+        self.plan_ids = ids;
+        self.plan_slot = Some(now_slot);
+        Ok(())
+    }
+
+    /// The `(remaining deadline, η)` reservations of the planned jobs, read
+    /// off the current plan (call [`Self::ensure_plan`] first).
+    fn reservations(&self, now_slot: u64) -> Vec<(f64, u64)> {
+        self.plan_ids
+            .iter()
+            .zip(self.plan.entries.iter())
+            .map(|(id, entry)| {
+                let j = &self.jobs[id];
+                let age = now_slot.saturating_sub(j.arrived_slot) as f64;
+                let d = (admission_deadline(&self.config, j.submission.budget) - age)
+                    .clamp(1.0, self.config.horizon);
+                (d, entry.eta)
+            })
+            .collect()
+    }
+
+    /// Closes one planning epoch: re-probes parked jobs, admits / defers /
+    /// rejects each new submission (in order, each admission's reservation
+    /// visible to the next candidate), then replans **once**.
+    ///
+    /// Returns one `(decision, job id)` pair per submission, in order; the
+    /// id is `None` exactly when the submission was rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Core`] when the final replan fails; per-candidate
+    /// estimation failures downgrade that candidate to a rejection rather
+    /// than aborting the epoch.
+    pub fn submit_epoch(
+        &mut self,
+        subs: Vec<JobSubmission>,
+        now_slot: u64,
+    ) -> Result<Vec<(Decision, Option<u64>)>, ServeError> {
+        self.ensure_plan(now_slot)?;
+        let mut reservations = self.reservations(now_slot);
+
+        // Re-probe parked jobs first: deferred work gets the room freed
+        // since the last epoch before new arrivals can claim it.
+        let parked: Vec<u64> =
+            self.jobs.iter().filter(|(_, j)| j.parked).map(|(id, _)| *id).collect();
+        for id in parked {
+            let (eta, sub) = {
+                let j = &self.jobs[&id];
+                let eta = match estimate_eta(
+                    &self.config,
+                    &j.samples,
+                    j.submission.runtime_hint,
+                    j.remaining_tasks as usize,
+                ) {
+                    Ok((eta, _)) => eta,
+                    Err(_) => continue,
+                };
+                (eta, j.submission.clone())
+            };
+            if probe(&self.config, self.capacity, &reservations, &sub, eta) == Decision::Admit {
+                if let Some(j) = self.jobs.get_mut(&id) {
+                    j.parked = false;
+                }
+                self.counters.admitted += 1;
+                reservations.push((admission_deadline(&self.config, sub.budget), eta));
+            }
+        }
+
+        let mut verdicts = Vec::with_capacity(subs.len());
+        for sub in subs {
+            // New submissions carry no samples; admission sizes them from
+            // the hint or the cold prior.
+            let eta = estimate_eta(&self.config, &[], sub.runtime_hint, sub.tasks as usize)
+                .ok()
+                .map(|(eta, _)| eta);
+            let decision = match eta {
+                Some(eta) => probe(&self.config, self.capacity, &reservations, &sub, eta),
+                // A submission the estimator cannot size cannot be probed;
+                // refusing it is the conservative verdict.
+                None => Decision::Reject,
+            };
+            let id = match decision {
+                Decision::Admit | Decision::Defer => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    if decision == Decision::Admit {
+                        self.counters.admitted += 1;
+                        if let Some(eta) = eta {
+                            reservations
+                                .push((admission_deadline(&self.config, sub.budget), eta));
+                        }
+                    } else {
+                        self.counters.deferred += 1;
+                    }
+                    self.jobs.insert(
+                        id,
+                        JobState {
+                            remaining_tasks: sub.tasks,
+                            samples: Vec::new(),
+                            arrived_slot: now_slot,
+                            parked: decision == Decision::Defer,
+                            submission: sub,
+                        },
+                    );
+                    Some(id)
+                }
+                Decision::Reject => {
+                    self.counters.rejected += 1;
+                    None
+                }
+            };
+            verdicts.push((decision, id));
+        }
+
+        self.counters.epochs += 1;
+        self.plan_slot = None;
+        self.ensure_plan(now_slot)?;
+        Ok(verdicts)
+    }
+
+    /// Ingests one completed-task runtime sample. Returns `true` when the
+    /// job's last task reported (the job is then dropped from the table).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownJob`] for a non-resident id.
+    pub fn report_sample(&mut self, job: u64, runtime: u64) -> Result<bool, WireError> {
+        let j = self.jobs.get_mut(&job).ok_or_else(|| unknown_job(job))?;
+        j.samples.push(runtime);
+        j.remaining_tasks = j.remaining_tasks.saturating_sub(1);
+        self.counters.samples += 1;
+        self.plan_slot = None;
+        if j.remaining_tasks == 0 {
+            self.jobs.remove(&job);
+            self.counters.completed += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Removes a job (planned or parked).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownJob`] for a non-resident id.
+    pub fn cancel(&mut self, job: u64) -> Result<(), WireError> {
+        if self.jobs.remove(&job).is_none() {
+            return Err(unknown_job(job));
+        }
+        self.counters.cancelled += 1;
+        self.plan_slot = None;
+        Ok(())
+    }
+
+    /// The current plan table (replanning if stale), optionally filtered to
+    /// one job.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownJob`] / [`ErrorCode::Deferred`] for a filter id
+    /// that is absent / parked; [`ServeError`]-shaped internal errors are
+    /// reported as [`ErrorCode::Internal`].
+    pub fn rows(
+        &mut self,
+        now_slot: u64,
+        filter: Option<u64>,
+    ) -> Result<Vec<PlanRow>, WireError> {
+        if let Some(id) = filter {
+            self.check_planned(id)?;
+        }
+        self.ensure_plan(now_slot).map_err(internal)?;
+        Ok(self
+            .plan_ids
+            .iter()
+            .zip(self.plan.entries.iter())
+            .filter(|(id, _)| filter.is_none() || filter == Some(**id))
+            .map(|(id, e)| {
+                let j = &self.jobs[id];
+                PlanRow {
+                    job: *id,
+                    label: j.submission.label.clone(),
+                    eta: e.eta,
+                    task_len: e.task_len,
+                    target: e.target,
+                    level: e.level,
+                    desired_now: e.desired_now,
+                    planned_completion: e.planned_completion,
+                    impossible: e.impossible,
+                    remaining_tasks: j.remaining_tasks,
+                }
+            })
+            .collect())
+    }
+
+    /// The Theorem-3 robust completion prediction for one planned job:
+    /// `(target T, task_len R, bound T+R, planned_completion, impossible)`.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Self::rows`].
+    pub fn predict(
+        &mut self,
+        job: u64,
+        now_slot: u64,
+    ) -> Result<(f64, u64, f64, u64, bool), WireError> {
+        self.check_planned(job)?;
+        self.ensure_plan(now_slot).map_err(internal)?;
+        let idx = self
+            .plan_ids
+            .iter()
+            .position(|id| *id == job)
+            .ok_or_else(|| unknown_job(job))?;
+        let e = &self.plan.entries[idx];
+        Ok((e.target, e.task_len, e.target + e.task_len as f64, e.planned_completion, e.impossible))
+    }
+
+    /// The counter snapshot. A stale plan is fine for counters, so this
+    /// never forces a replan.
+    pub fn stats(&mut self, now_slot: u64) -> StatsReport {
+        let parked = self.jobs.values().filter(|j| j.parked).count() as u64;
+        StatsReport {
+            active_jobs: self.jobs.len() as u64 - parked,
+            deferred_jobs: parked,
+            epochs: self.counters.epochs,
+            admitted: self.counters.admitted,
+            deferred: self.counters.deferred,
+            rejected: self.counters.rejected,
+            cancelled: self.counters.cancelled,
+            completed: self.counters.completed,
+            samples: self.counters.samples,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            now_slot,
+        }
+    }
+
+    fn check_planned(&self, job: u64) -> Result<(), WireError> {
+        match self.jobs.get(&job) {
+            None => Err(unknown_job(job)),
+            Some(j) if j.parked => Err(WireError {
+                code: ErrorCode::Deferred,
+                message: format!("job {job} is deferred by admission control"),
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+fn unknown_job(job: u64) -> WireError {
+    WireError { code: ErrorCode::UnknownJob, message: format!("job {job} is not resident") }
+}
+
+fn internal(e: ServeError) -> WireError {
+    WireError { code: ErrorCode::Internal, message: e.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_utility::TimeUtility;
+
+    fn sub(label: &str, tasks: u64, budget: u64) -> JobSubmission {
+        JobSubmission {
+            label: label.into(),
+            tasks,
+            runtime_hint: Some(50.0),
+            utility: TimeUtility::sigmoid(budget as f64, 3.0, 10.0 / budget as f64)
+                .expect("valid"),
+            budget: Some(budget),
+            priority: 1,
+        }
+    }
+
+    fn insensitive(label: &str, tasks: u64) -> JobSubmission {
+        JobSubmission {
+            label: label.into(),
+            tasks,
+            runtime_hint: Some(50.0),
+            utility: TimeUtility::constant(1.0).expect("valid"),
+            budget: None,
+            priority: 1,
+        }
+    }
+
+    #[test]
+    fn one_epoch_plans_a_batch_with_one_miss() {
+        let mut s = ServeState::new(RushConfig::default(), 32).expect("state");
+        let verdicts = s
+            .submit_epoch(vec![sub("a", 10, 5000), sub("b", 20, 8000)], 0)
+            .expect("epoch");
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|(d, id)| *d == Decision::Admit && id.is_some()));
+        assert_eq!(s.counters().epochs, 1);
+        assert_eq!(s.counters().admitted, 2);
+        // The epoch replanned exactly once: one per-job solve each.
+        assert_eq!(s.stats(0).cache_misses, 2);
+        let rows = s.rows(0, None).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.eta > 0));
+        // Re-reading the plan at the same slot hits the in-state plan, and
+        // at a new slot goes through the cache.
+        let before = s.stats(0).cache_misses;
+        let _ = s.rows(0, None).expect("rows");
+        assert_eq!(s.stats(0).cache_misses, before);
+    }
+
+    #[test]
+    fn overcommit_rejects_sensitive_and_defers_insensitive() {
+        let mut s = ServeState::new(RushConfig::default(), 2).expect("state");
+        // 50-slot tasks × 400 tasks on 2 containers: ~10000 slots of work,
+        // with a budget of 100 slots — hopeless for a sensitive job.
+        let verdicts = s
+            .submit_epoch(vec![sub("huge", 400, 100), insensitive("patient", 400)], 0)
+            .expect("epoch");
+        assert_eq!(verdicts[0].0, Decision::Reject);
+        assert_eq!(verdicts[0].1, None);
+        assert_eq!(s.counters().rejected, 1);
+        // The insensitive twin is parked, not dropped. (Whether it is
+        // parked or admitted depends on the horizon; with the default 1e6
+        // horizon 10000 slots of work fit, so it is admitted.)
+        assert!(verdicts[1].1.is_some());
+    }
+
+    #[test]
+    fn deferred_job_is_admitted_when_room_frees_up() {
+        let cfg = RushConfig { horizon: 1000.0, ..RushConfig::default() };
+        let mut s = ServeState::new(cfg, 2).expect("state");
+        // One bulk job (~20 × 50 = 1000 mean demand, more after WCDE
+        // inflation) fits the 2 × 1000 container·slot horizon; two don't.
+        let verdicts =
+            s.submit_epoch(vec![insensitive("filler", 20)], 0).expect("epoch");
+        assert_eq!(verdicts[0].0, Decision::Admit);
+        let filler = verdicts[0].1.expect("id");
+        // A second bulk job no longer fits and is deferred.
+        let verdicts = s.submit_epoch(vec![insensitive("waiter", 20)], 1).expect("epoch");
+        assert_eq!(verdicts[0].0, Decision::Defer);
+        let waiter = verdicts[0].1.expect("id");
+        assert!(s.rows(1, Some(waiter)).is_err(), "parked job has no plan row");
+        // Cancel the filler; the next epoch unparks the waiter.
+        s.cancel(filler).expect("cancel");
+        let verdicts = s.submit_epoch(vec![], 2).expect("epoch");
+        assert!(verdicts.is_empty());
+        assert_eq!(s.stats(2).deferred_jobs, 0);
+        assert_eq!(s.rows(2, Some(waiter)).expect("rows").len(), 1);
+    }
+
+    #[test]
+    fn samples_shrink_the_job_and_complete_it() {
+        let mut s = ServeState::new(RushConfig::default(), 8).expect("state");
+        let verdicts = s.submit_epoch(vec![sub("j", 3, 5000)], 0).expect("epoch");
+        let id = verdicts[0].1.expect("id");
+        assert!(!s.report_sample(id, 48).expect("sample"));
+        assert!(!s.report_sample(id, 52).expect("sample"));
+        assert!(s.report_sample(id, 50).expect("sample"), "last task completes the job");
+        assert_eq!(s.counters().completed, 1);
+        assert_eq!(s.counters().samples, 3);
+        assert!(matches!(
+            s.report_sample(id, 1).unwrap_err().code,
+            ErrorCode::UnknownJob
+        ));
+        assert!(s.rows(1, None).expect("rows").is_empty());
+    }
+
+    #[test]
+    fn predict_returns_the_theorem3_bound() {
+        let mut s = ServeState::new(RushConfig::default(), 8).expect("state");
+        let id = s.submit_epoch(vec![sub("j", 10, 5000)], 0).expect("epoch")[0]
+            .1
+            .expect("id");
+        let (target, task_len, bound, planned, impossible) =
+            s.predict(id, 0).expect("predict");
+        assert!(target > 0.0);
+        assert!(task_len > 0);
+        assert!((bound - (target + task_len as f64)).abs() < 1e-9);
+        assert!(planned > 0);
+        assert!(!impossible);
+        assert!(matches!(s.predict(999, 0).unwrap_err().code, ErrorCode::UnknownJob));
+    }
+
+    #[test]
+    fn restored_state_reproduces_the_plan_bit_identically() {
+        let mut a = ServeState::new(RushConfig::default(), 16).expect("state");
+        a.submit_epoch(vec![sub("x", 12, 4000), sub("y", 30, 9000)], 5).expect("epoch");
+        let x = a.plan_ids[0];
+        a.report_sample(x, 47).expect("sample");
+        let rows_a = a.rows(9, None).expect("rows");
+
+        // Clone through from_parts, as snapshot restore does.
+        let jobs: Vec<(u64, JobState)> = a.jobs().map(|(id, j)| (id, j.clone())).collect();
+        let mut b = ServeState::from_parts(
+            *a.config(),
+            a.capacity(),
+            jobs,
+            a.next_id(),
+            a.counters(),
+        )
+        .expect("restore");
+        let rows_b = b.rows(9, None).expect("rows");
+        assert_eq!(rows_a, rows_b, "restored plan must be bit-identical");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_ids() {
+        let jobs = vec![(
+            7u64,
+            JobState {
+                submission: sub("j", 1, 100),
+                samples: vec![],
+                remaining_tasks: 1,
+                arrived_slot: 0,
+                parked: false,
+            },
+        )];
+        let err = ServeState::from_parts(RushConfig::default(), 4, jobs, 5, Counters::default());
+        assert!(matches!(err, Err(ServeError::Snapshot(_))));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixture tests for malformed wire frames: every one must produce a
+//! *structured* error with the right [`ErrorCode`] — never a panic, and
+//! never a silently-coerced value. The live-daemon halves of these cases
+//! (connection survives a bad frame) are in `server_e2e.rs`.
+
+use rush_serve::protocol::{ErrorCode, Request, Response};
+
+fn code_of(line: &str) -> ErrorCode {
+    Request::decode(line).expect_err(&format!("should be rejected: {line:?}")).code
+}
+
+#[test]
+fn truncated_frames() {
+    let whole = r#"{"v":1,"op":"submit","label":"grep","tasks":8,"utility":"sigmoid:700,5,0.02","priority":2}"#;
+    assert!(Request::decode(whole).is_ok(), "fixture itself must be valid");
+    for cut in 1..whole.len() {
+        assert_eq!(code_of(&whole[..cut]), ErrorCode::BadJson, "cut at {cut}");
+    }
+}
+
+#[test]
+fn non_object_and_garbage_frames() {
+    for bad in ["", "   ", "null", "42", "[1,2]", "\"submit\"", "submit", "{]", "{\"v\":1,}"] {
+        assert_eq!(code_of(bad), ErrorCode::BadJson, "{bad:?}");
+    }
+}
+
+#[test]
+fn bad_versions() {
+    for bad in [
+        r#"{"op":"stats"}"#,
+        r#"{"v":0,"op":"stats"}"#,
+        r#"{"v":2,"op":"stats"}"#,
+        r#"{"v":"1","op":"stats"}"#,
+        r#"{"v":1.5,"op":"stats"}"#,
+        r#"{"v":null,"op":"stats"}"#,
+    ] {
+        assert_eq!(code_of(bad), ErrorCode::BadVersion, "{bad:?}");
+    }
+}
+
+#[test]
+fn unknown_ops() {
+    for bad in [
+        r#"{"v":1}"#,
+        r#"{"v":1,"op":"frobnicate"}"#,
+        r#"{"v":1,"op":""}"#,
+        r#"{"v":1,"op":17}"#,
+        r#"{"v":1,"op":"SUBMIT"}"#,
+    ] {
+        assert_eq!(code_of(bad), ErrorCode::BadOp, "{bad:?}");
+    }
+}
+
+#[test]
+fn missing_and_mistyped_submit_fields() {
+    let cases = [
+        // missing label
+        r#"{"v":1,"op":"submit","tasks":8,"utility":"constant:1","priority":2}"#,
+        // missing tasks
+        r#"{"v":1,"op":"submit","label":"x","utility":"constant:1","priority":2}"#,
+        // zero tasks
+        r#"{"v":1,"op":"submit","label":"x","tasks":0,"utility":"constant:1","priority":2}"#,
+        // fractional tasks
+        r#"{"v":1,"op":"submit","label":"x","tasks":2.5,"utility":"constant:1","priority":2}"#,
+        // negative hint
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"hint":-4,"utility":"constant:1","priority":2}"#,
+        // unknown utility kind
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"warp:1,2","priority":2}"#,
+        // malformed utility args
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"sigmoid:1","priority":2}"#,
+        // utility args that fail validation (negative weight)
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"constant:-3","priority":2}"#,
+        // missing priority
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"constant:1"}"#,
+        // zero priority
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"constant:1","priority":0}"#,
+        // priority beyond u32
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"constant:1","priority":5000000000}"#,
+        // mistyped budget
+        r#"{"v":1,"op":"submit","label":"x","tasks":2,"utility":"constant:1","priority":2,"budget":"soon"}"#,
+    ];
+    for bad in cases {
+        assert_eq!(code_of(bad), ErrorCode::BadField, "{bad:?}");
+    }
+}
+
+#[test]
+fn mistyped_job_references() {
+    for bad in [
+        r#"{"v":1,"op":"report-sample","runtime":10}"#,
+        r#"{"v":1,"op":"report-sample","job":1}"#,
+        r#"{"v":1,"op":"report-sample","job":-1,"runtime":10}"#,
+        r#"{"v":1,"op":"report-sample","job":"j1","runtime":10}"#,
+        r#"{"v":1,"op":"predict"}"#,
+        r#"{"v":1,"op":"predict","job":3.25}"#,
+        r#"{"v":1,"op":"cancel","job":null}"#,
+        r#"{"v":1,"op":"query-plan","job":"all"}"#,
+        // 2^53 + 1: not exactly representable, must not be silently rounded
+        r#"{"v":1,"op":"predict","job":9007199254740993}"#,
+    ] {
+        assert_eq!(code_of(bad), ErrorCode::BadField, "{bad:?}");
+    }
+}
+
+#[test]
+fn duplicate_keys_and_deep_nesting_are_bad_json() {
+    assert_eq!(code_of(r#"{"v":1,"op":"stats","op":"shutdown"}"#), ErrorCode::BadJson);
+    let deep = format!(r#"{{"v":1,"op":"stats","x":{}{}}}"#, "[".repeat(80), "]".repeat(80));
+    assert_eq!(code_of(&deep), ErrorCode::BadJson);
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    assert_eq!(code_of(r#"{"v":1,"op":"stats"} extra"#), ErrorCode::BadJson);
+    assert_eq!(code_of(r#"{"v":1,"op":"stats"}{"v":1,"op":"stats"}"#), ErrorCode::BadJson);
+}
+
+#[test]
+fn error_messages_locate_the_problem() {
+    let e = Request::decode(r#"{"v":1,"op":"submit","label":"x"}"#).expect_err("rejected");
+    assert!(e.message.contains("tasks"), "message should name the field: {e}");
+    let e = Request::decode("{\"v\":1,\"op\"").expect_err("rejected");
+    assert!(e.message.contains("byte"), "json errors carry a position: {e}");
+}
+
+#[test]
+fn malformed_responses_are_structured_errors_too() {
+    for bad in [
+        "",
+        "{}",
+        r#"{"ok":"yes"}"#,
+        r#"{"ok":true}"#,
+        r#"{"ok":true,"kind":"prize"}"#,
+        r#"{"ok":false,"code":"made-up","message":"x"}"#,
+        r#"{"ok":false,"code":"bad-json"}"#,
+        r#"{"ok":true,"kind":"submitted","decision":"maybe","epoch":1,"waited_us":1}"#,
+        r#"{"ok":true,"kind":"plan","now_slot":1,"epoch":1,"rows":[{"job":1}]}"#,
+    ] {
+        assert!(Response::decode(bad).is_err(), "{bad:?}");
+    }
+}

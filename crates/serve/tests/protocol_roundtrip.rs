@@ -1,0 +1,219 @@
+//! Property tests for the wire codec: every request and response variant
+//! must survive encode → decode unchanged (PartialEq, which for the float
+//! fields means bit-identical thanks to shortest-round-trip `f64`
+//! formatting on both the JSON layer and the utility text form).
+
+use proptest::prelude::*;
+use rush_serve::protocol::{
+    Decision, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
+};
+use rush_utility::TimeUtility;
+
+/// Characters chosen to stress the string escaper: quotes, backslashes,
+/// control characters, multi-byte UTF-8 and an astral-plane emoji.
+const PALETTE: &[char] =
+    &['a', 'Z', '7', ' ', '-', '_', '"', '\\', '\n', '\t', '\r', '\u{1}', 'é', '木', '🚀'];
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn utility_strategy() -> BoxedStrategy<TimeUtility> {
+    prop_oneof![
+        (100.0f64..5000.0, 0.5f64..10.0, 0.001f64..1.0)
+            .prop_map(|(b, w, beta)| TimeUtility::linear(b, w, beta).expect("valid linear")),
+        (100.0f64..5000.0, 0.5f64..10.0, 0.001f64..1.0)
+            .prop_map(|(b, w, beta)| TimeUtility::sigmoid(b, w, beta).expect("valid sigmoid")),
+        (0.5f64..10.0).prop_map(|w| TimeUtility::constant(w).expect("valid constant")),
+        (100.0f64..5000.0, 0.5f64..10.0)
+            .prop_map(|(b, w)| TimeUtility::step(b, w).expect("valid step")),
+    ]
+    .boxed()
+}
+
+fn submission_strategy() -> impl Strategy<Value = JobSubmission> {
+    (
+        label_strategy(),
+        1u64..500,
+        prop_oneof![Just(None), (1.0f64..500.0).prop_map(Some)],
+        utility_strategy(),
+        prop_oneof![Just(None), (1u64..100_000).prop_map(Some)],
+        1u64..20,
+    )
+        .prop_map(|(label, tasks, runtime_hint, utility, budget, priority)| JobSubmission {
+            label,
+            tasks,
+            runtime_hint,
+            utility,
+            budget,
+            priority: priority as u32,
+        })
+}
+
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        submission_strategy().prop_map(Request::Submit),
+        (0u64..1000, 1u64..10_000)
+            .prop_map(|(job, runtime)| Request::ReportSample { job, runtime }),
+        prop_oneof![Just(None), (0u64..1000).prop_map(Some)]
+            .prop_map(|job| Request::QueryPlan { job }),
+        (0u64..1000).prop_map(|job| Request::Predict { job }),
+        (0u64..1000).prop_map(|job| Request::Cancel { job }),
+        Just(Request::Stats),
+        prop_oneof![Just(true), Just(false)]
+            .prop_map(|snapshot| Request::Shutdown { snapshot }),
+    ]
+    .boxed()
+}
+
+fn plan_row_strategy() -> impl Strategy<Value = PlanRow> {
+    (
+        (0u64..1000, label_strategy(), 1u64..1_000_000, 1u64..500),
+        (0.0f64..100_000.0, 0.0f64..50.0, 0u64..64, 0u64..1_000_000),
+        prop_oneof![Just(true), Just(false)],
+        0u64..500,
+    )
+        .prop_map(|((job, label, eta, task_len), (target, level, desired, planned), imp, rem)| {
+            PlanRow {
+                job,
+                label,
+                eta,
+                task_len,
+                target,
+                level,
+                desired_now: desired as u32,
+                planned_completion: planned,
+                impossible: imp,
+                remaining_tasks: rem,
+            }
+        })
+}
+
+fn decision_strategy() -> BoxedStrategy<Decision> {
+    prop_oneof![Just(Decision::Admit), Just(Decision::Defer), Just(Decision::Reject)]
+    .boxed()
+}
+
+fn error_code_strategy() -> BoxedStrategy<ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::BadJson),
+        Just(ErrorCode::BadVersion),
+        Just(ErrorCode::BadOp),
+        Just(ErrorCode::BadField),
+        Just(ErrorCode::UnknownJob),
+        Just(ErrorCode::Deferred),
+        Just(ErrorCode::Shutdown),
+        Just(ErrorCode::Internal),
+    ]
+    .boxed()
+}
+
+fn response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (
+            prop_oneof![Just(None), (0u64..1000).prop_map(Some)],
+            decision_strategy(),
+            0u64..10_000,
+            0u64..100_000_000,
+        )
+            .prop_map(|(job, decision, epoch, waited_us)| Response::Submitted {
+                job,
+                decision,
+                epoch,
+                waited_us,
+            }),
+        Just(Response::Ack),
+        (0u64..100_000, 0u64..10_000, prop::collection::vec(plan_row_strategy(), 0..6))
+            .prop_map(|(now_slot, epoch, rows)| Response::PlanTable { now_slot, epoch, rows }),
+        (
+            (0u64..1000, 0.0f64..100_000.0, 1u64..500),
+            (0.0f64..100_500.0, 0u64..1_000_000),
+            prop_oneof![Just(true), Just(false)],
+        )
+            .prop_map(|((job, target, task_len), (bound, planned), impossible)| {
+                Response::Prediction {
+                    job,
+                    target,
+                    task_len,
+                    bound,
+                    planned_completion: planned,
+                    impossible,
+                }
+            }),
+        (
+            (0u64..100, 0u64..100, 0u64..10_000, 0u64..10_000),
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000),
+            (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        )
+            .prop_map(
+                |(
+                    (active_jobs, deferred_jobs, epochs, admitted),
+                    (deferred, rejected, cancelled, completed),
+                    (samples, cache_hits, cache_misses, now_slot),
+                )| {
+                    Response::Stats(StatsReport {
+                        active_jobs,
+                        deferred_jobs,
+                        epochs,
+                        admitted,
+                        deferred,
+                        rejected,
+                        cancelled,
+                        completed,
+                        samples,
+                        cache_hits,
+                        cache_misses,
+                        now_slot,
+                    })
+                }
+            ),
+        prop_oneof![Just(true), Just(false)]
+            .prop_map(|snapshot_written| Response::ShuttingDown { snapshot_written }),
+        (error_code_strategy(), label_strategy())
+            .prop_map(|(code, message)| Response::Error(WireError { code, message })),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity on every request variant, and the
+    /// encoded frame is always a single line.
+    #[test]
+    fn request_encode_decode_round_trips(req in request_strategy()) {
+        let line = req.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {:?}", line);
+        let back = Request::decode(&line);
+        prop_assert!(back.is_ok(), "decode failed on {:?}: {:?}", line, back);
+        prop_assert_eq!(req, back.expect("checked ok"));
+    }
+
+    /// Encode → decode is the identity on every response variant.
+    #[test]
+    fn response_encode_decode_round_trips(resp in response_strategy()) {
+        let line = resp.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {:?}", line);
+        let back = Response::decode(&line);
+        prop_assert!(back.is_ok(), "decode failed on {:?}: {:?}", line, back);
+        prop_assert_eq!(resp, back.expect("checked ok"));
+    }
+
+    /// Truncating an encoded request anywhere never panics the decoder:
+    /// it either still parses (the cut fell inside trailing whitespace —
+    /// impossible here, frames end at the closing brace) or returns a
+    /// structured error.
+    #[test]
+    fn truncated_requests_never_panic(req in request_strategy(), frac in 0.0f64..1.0) {
+        let line = req.encode();
+        let mut cut = (line.len() as f64 * frac) as usize;
+        while cut < line.len() && !line.is_char_boundary(cut) {
+            cut += 1;
+        }
+        if cut < line.len() {
+            let e = Request::decode(&line[..cut]);
+            prop_assert!(e.is_err(), "truncation at {} decoded: {:?}", cut, e);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end tests against a live in-process daemon: full request
+//! lifecycle, epoch batching across concurrent clients, and the
+//! connection-survives-a-bad-frame contract whose pure-codec halves live
+//! in `malformed_frames.rs`.
+
+use rush_serve::protocol::{Decision, ErrorCode, Request, Response};
+use rush_serve::server::{serve, ServeConfig};
+use rush_serve::Client;
+use rush_utility::TimeUtility;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        capacity: 16,
+        epoch_max_batch: 8,
+        epoch_ms: 10,
+        ms_per_slot: 3_600_000,
+        snapshot_path: None,
+        rush: rush_core::RushConfig::default(),
+    }
+}
+
+fn submission(label: &str, tasks: u64) -> rush_serve::protocol::JobSubmission {
+    rush_serve::protocol::JobSubmission {
+        label: label.into(),
+        tasks,
+        runtime_hint: Some(40.0),
+        utility: TimeUtility::linear(5000.0, 3.0, 0.01).expect("valid"),
+        budget: Some(5000),
+        priority: 1,
+    }
+}
+
+#[test]
+fn full_session_lifecycle() {
+    let handle = serve(test_config()).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Submit, then exercise every read/write op against the job.
+    let (decision, id, epoch, _) = client.submit(submission("session", 10)).expect("submit");
+    assert_eq!(decision, Decision::Admit);
+    let id = id.expect("admitted");
+    assert!(epoch >= 1);
+
+    let rows = client.query_plan(Some(id)).expect("plan");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].label, "session");
+    assert_eq!(rows[0].remaining_tasks, 10);
+    assert!(rows[0].eta >= 10 * 40, "robust demand inflates the hint");
+
+    let bound = client.predict(id).expect("predict");
+    assert_eq!(bound, rows[0].target + rows[0].task_len as f64);
+
+    for _ in 0..9 {
+        client.report_sample(id, 41).expect("sample");
+    }
+    client.report_sample(id, 39).expect("last sample completes the job");
+    let err = client.predict(id).expect_err("job is gone");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown-job"), "completion removes the job: {msg}");
+
+    // A second job can still be cancelled explicitly.
+    let (_, id2, _, _) = client.submit(submission("doomed", 4)).expect("submit");
+    client.cancel(id2.expect("admitted")).expect("cancel");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.active_jobs, 0);
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.samples, 10);
+
+    assert!(!client.shutdown(false).expect("shutdown"));
+    handle.join().expect("join");
+}
+
+#[test]
+fn concurrent_submissions_share_an_epoch() {
+    // Batch of 4 with a generous 2 s window: the epoch closes on count,
+    // so four concurrent submissions must land in the same epoch.
+    let cfg = ServeConfig { epoch_max_batch: 4, epoch_ms: 2000, ..test_config() };
+    let handle = serve(cfg).expect("serve");
+    let addr = handle.local_addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let (decision, id, epoch, waited_us) =
+                    client.submit(submission(&format!("par-{i}"), 5)).expect("submit");
+                assert_eq!(decision, Decision::Admit);
+                assert!(id.is_some());
+                (epoch, waited_us)
+            })
+        })
+        .collect();
+    let results: Vec<(u64, u64)> =
+        workers.into_iter().map(|w| w.join().expect("worker")).collect();
+
+    let first_epoch = results[0].0;
+    assert!(
+        results.iter().all(|(e, _)| *e == first_epoch),
+        "all four submissions should share one epoch: {results:?}"
+    );
+    // The batch trigger fired well before the 2 s deadline.
+    assert!(
+        results.iter().all(|(_, w)| *w < 2_000_000),
+        "batch-close should beat the epoch deadline: {results:?}"
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.epochs, 1, "one shared epoch");
+    client.shutdown(false).expect("shutdown");
+    handle.join().expect("join");
+}
+
+/// Raw-socket client: sends `line`, returns the response line.
+fn raw_call(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("write");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    reply
+}
+
+#[test]
+fn connection_survives_malformed_frames() {
+    let handle = serve(test_config()).expect("serve");
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Three different malformed frames, each answered with a structured
+    // error on the SAME connection.
+    for (bad, want) in [
+        ("{\"v\":1,\"op\":\"stats\"", ErrorCode::BadJson),
+        ("{\"v\":9,\"op\":\"stats\"}", ErrorCode::BadVersion),
+        ("{\"v\":1,\"op\":\"warp\"}", ErrorCode::BadOp),
+    ] {
+        let reply = raw_call(&mut stream, &mut reader, bad);
+        match Response::decode(reply.trim()) {
+            Ok(Response::Error(e)) => assert_eq!(e.code, want, "frame {bad:?}"),
+            other => panic!("expected structured error for {bad:?}, got {other:?}"),
+        }
+    }
+
+    // ...and the connection is still perfectly usable afterwards.
+    let reply = raw_call(&mut stream, &mut reader, &Request::Stats.encode());
+    match Response::decode(reply.trim()) {
+        Ok(Response::Stats(s)) => assert_eq!(s.active_jobs, 0),
+        other => panic!("expected stats after bad frames, got {other:?}"),
+    }
+
+    let reply = raw_call(&mut stream, &mut reader, &Request::Shutdown { snapshot: false }.encode());
+    match Response::decode(reply.trim()) {
+        Ok(Response::ShuttingDown { snapshot_written }) => assert!(!snapshot_written),
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    handle.join().expect("join");
+}
+
+#[test]
+fn overcommit_draws_reject_and_deferred_is_queryable_later() {
+    // Tiny cluster: one container, short horizon. A huge deadline-
+    // sensitive job is rejected; an insensitive one is deferred and its
+    // plan/predict queries answer `deferred` until room frees up.
+    let rush = rush_core::RushConfig { horizon: 500.0, ..rush_core::RushConfig::default() };
+    let cfg = ServeConfig { capacity: 1, rush, ..test_config() };
+    let handle = serve(cfg).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Fills most of the single 500-slot container.
+    let (d1, id1, _, _) = client.submit(submission("filler", 4)).expect("submit");
+    assert_eq!(d1, Decision::Admit);
+    let _ = id1.expect("admitted");
+
+    // Deadline-sensitive and far too big: rejected outright, no id.
+    let (d2, id2, _, _) = client.submit(submission("too-big", 400)).expect("submit");
+    assert_eq!(d2, Decision::Reject);
+    assert!(id2.is_none());
+
+    // Deadline-insensitive and too big *now*: deferred with an id.
+    let insensitive = rush_serve::protocol::JobSubmission {
+        label: "patient".into(),
+        tasks: 8,
+        runtime_hint: Some(40.0),
+        utility: TimeUtility::constant(1.0).expect("valid"),
+        budget: None,
+        priority: 1,
+    };
+    let (d3, id3, _, _) = client.submit(insensitive).expect("submit");
+    assert_eq!(d3, Decision::Defer);
+    let id3 = id3.expect("deferred jobs get ids");
+
+    let err = client.predict(id3).expect_err("parked job has no plan row");
+    assert!(err.to_string().contains("deferred"), "{err}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.deferred_jobs, 1);
+    assert_eq!(stats.rejected, 1);
+
+    client.shutdown(false).expect("shutdown");
+    handle.join().expect("join");
+}

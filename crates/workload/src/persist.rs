@@ -65,7 +65,12 @@ impl fmt::Display for PersistError {
 
 impl Error for PersistError {}
 
-fn utility_to_text(u: &TimeUtility) -> String {
+/// Renders a utility in the compact `kind:args` text form used by the v1
+/// workload format *and* the `rush-serve` wire protocol (e.g.
+/// `sigmoid:412,3,0.024`). Round-trips exactly through
+/// [`utility_from_text`]: parameters print in Rust's shortest-round-trip
+/// `f64` notation.
+pub fn utility_to_text(u: &TimeUtility) -> String {
     match *u {
         TimeUtility::Linear { budget, weight, beta } => format!("linear:{budget},{weight},{beta}"),
         TimeUtility::Sigmoid { budget, weight, beta } => {
@@ -76,7 +81,13 @@ fn utility_to_text(u: &TimeUtility) -> String {
     }
 }
 
-fn utility_from_text(s: &str) -> Result<TimeUtility, String> {
+/// Parses the compact `kind:args` utility form (see [`utility_to_text`]).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending class or parameter
+/// count; constructor validation errors pass through.
+pub fn utility_from_text(s: &str) -> Result<TimeUtility, String> {
     let (kind, args) = s.split_once(':').unwrap_or((s, ""));
     let nums: Result<Vec<f64>, _> = if args.is_empty() {
         Ok(Vec::new())

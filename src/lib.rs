@@ -14,6 +14,9 @@
 //! * [`sched`] — baseline schedulers (FIFO, EDF, RRH, Fair).
 //! * [`workload`] — PUMA-like job templates and the experiment driver.
 //! * [`metrics`] — boxplots, ECDFs and table rendering for the harness.
+//! * [`serve`] — the `rushd` scheduling daemon: newline-delimited JSON
+//!   wire protocol, epoch batching, admission control, snapshots and a
+//!   load generator.
 //!
 //! # Quickstart
 //!
@@ -26,6 +29,7 @@ pub use rush_lp as lp;
 pub use rush_metrics as metrics;
 pub use rush_prob as prob;
 pub use rush_sched as sched;
+pub use rush_serve as serve;
 pub use rush_sim as sim;
 pub use rush_utility as utility;
 pub use rush_workload as workload;
