@@ -2,7 +2,8 @@
 //! throughput (tasks scheduled per second of wall clock).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
+use rush_planner::RushScheduler;
 use rush_estimator::{
     DistributionEstimator, EmpiricalEstimator, GaussianEstimator, MeanEstimator,
 };

@@ -6,7 +6,8 @@
 //! planning degrades more or less gracefully than the baselines.
 
 use rush_bench::{flag, paper_experiment, parse_args, time_aware_latencies, CALIBRATED_INTERARRIVAL};
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
+use rush_planner::RushScheduler;
 use rush_metrics::table::{fmt_f64, Table};
 use rush_prob::stats::FiveNumber;
 use rush_sched::{Edf, Fifo, Rrh};

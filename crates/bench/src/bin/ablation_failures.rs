@@ -5,7 +5,8 @@
 //! at increasing failure rates.
 
 use rush_bench::{flag, parse_args, paper_experiment, CALIBRATED_INTERARRIVAL};
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
+use rush_planner::RushScheduler;
 use rush_metrics::table::{fmt_f64, Table};
 use rush_prob::stats::FiveNumber;
 use rush_sched::Fifo;

@@ -7,7 +7,8 @@
 //! locality hit rate and the damage to utility per scheduler.
 
 use rush_bench::{flag, parse_args, CALIBRATED_INTERARRIVAL};
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
+use rush_planner::RushScheduler;
 use rush_metrics::table::{fmt_f64, Table};
 use rush_sched::Fifo;
 use rush_sim::cluster::ClusterSpec;

@@ -7,7 +7,8 @@
 //! them, since the mechanisms are orthogonal.
 
 use rush_bench::{flag, parse_args, time_aware_latencies, CALIBRATED_INTERARRIVAL};
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
+use rush_planner::RushScheduler;
 use rush_metrics::table::{fmt_f64, Table};
 use rush_prob::stats::FiveNumber;
 use rush_sched::{Edf, Speculative};

@@ -9,7 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
+use rush_planner::RushScheduler;
 use rush_estimator::{DistributionEstimator, GaussianEstimator};
 use rush_prob::dist::{Continuous, Gaussian};
 use rush_sched::{Edf, Fifo, Rrh};

@@ -17,8 +17,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rush_core::{RushConfig, RushScheduler};
+use rush_core::RushConfig;
 use rush_metrics::gantt::{utilization, Gantt, GanttSpan};
+use rush_planner::RushScheduler;
 use rush_metrics::table::{fmt_f64, Table};
 use rush_prob::stats::FiveNumber;
 use rush_sched::{Edf, Fair, Fifo, Rrh, Speculative};
@@ -220,46 +221,69 @@ pub fn cmd_gantt(cli: &Cli) -> Result<String, String> {
 /// slot `--at` (jobs arrived by then, progress approximated from elapsed
 /// time), rendered as the paper's Fig. 2 monitoring table.
 ///
+/// The snapshot is replayed into the shared planner kernel
+/// ([`rush_planner::PlannerCore`]) as a typed event stream — one arrival
+/// per job (kernel ids ascend in arrival order, which is the planning
+/// order), one sample per approximated completed task, then a `Tick` at
+/// the snapshot slot — so the CLI exercises exactly the state machine the
+/// daemon and simulator adapter run.
+///
 /// # Errors
 ///
 /// Propagates workload and planning failures as strings.
 pub fn cmd_dashboard(cli: &Cli) -> Result<String, String> {
-    use rush_core::plan::{compute_plan, render_dashboard, PlanInput};
+    use rush_core::plan::render_dashboard;
+    use rush_planner::{EventOutcome, PlannerCore, PlannerEvent};
     let (exp, jobs) = build_workload(cli)?;
     let at: u64 = flag(cli, "at", 120);
     let arrived: Vec<&JobSpec> = jobs.iter().filter(|j| j.arrival() <= at).collect();
     if arrived.is_empty() {
-        return Ok(format!("no jobs arrived by slot {at}
-"));
+        return Ok(format!("no jobs arrived by slot {at}\n"));
     }
+    let capacity = exp.cluster().capacity();
+    let mut kernel = PlannerCore::new(RushConfig::default(), capacity)
+        .map_err(|e| e.to_string())?
+        .with_retirement(false);
     // Approximate progress: assume tasks completed in arrival order at the
     // template's mean rate on a fair share of the cluster.
-    let share = (exp.cluster().capacity() as usize / arrived.len()).max(1);
-    let inputs: Vec<PlanInput> = arrived
-        .iter()
-        .map(|j| {
-            let mean_rt = (j.total_base_runtime() / j.tasks().len() as f64).max(1.0);
-            let age = at.saturating_sub(j.arrival());
-            let done = ((age as f64 / mean_rt) * share as f64) as usize;
-            let done = done.min(j.tasks().len().saturating_sub(1));
-            let samples: Vec<u64> =
-                j.tasks()[..done].iter().map(|t| t.base_runtime().round() as u64).collect();
-            PlanInput {
-                samples: samples.into(),
-                remaining_tasks: j.tasks().len() - done,
-                running: 0,
-                failed_attempts: 0,
-                age: age as f64,
-                utility: *j.utility(),
-            }
-        })
-        .collect();
-    let plan = compute_plan(&RushConfig::default(), exp.cluster().capacity(), &inputs)
-        .map_err(|e| e.to_string())?;
+    let share = (capacity as usize / arrived.len()).max(1);
+    for j in &arrived {
+        let mean_rt = (j.total_base_runtime() / j.tasks().len() as f64).max(1.0);
+        let age = at.saturating_sub(j.arrival());
+        let done = ((age as f64 / mean_rt) * share as f64) as usize;
+        let done = done.min(j.tasks().len().saturating_sub(1));
+        let outcome = kernel
+            .apply(PlannerEvent::JobArrival {
+                id: None,
+                spec: rush_planner::JobSpec {
+                    label: j.label().to_owned(),
+                    utility: *j.utility(),
+                    tasks: j.tasks().len() as u64,
+                    arrived_slot: j.arrival(),
+                    runtime_hint: None,
+                    parked: false,
+                },
+            })
+            .map_err(|e| e.to_string())?;
+        let EventOutcome::Arrived { job } = outcome else {
+            return Err(format!("unexpected arrival outcome {outcome:?}"));
+        };
+        for t in &j.tasks()[..done] {
+            kernel
+                .apply(PlannerEvent::TaskSample {
+                    job,
+                    runtime: t.base_runtime().round() as u64,
+                })
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    kernel.apply(PlannerEvent::Tick { now_slot: at }).map_err(|e| e.to_string())?;
     let labels: Vec<&str> = arrived.iter().map(|j| j.label()).collect();
-    Ok(format!("RUSH plan at slot {at} ({} active jobs)
-{}", arrived.len(),
-        render_dashboard(&plan, &labels)))
+    Ok(format!(
+        "RUSH plan at slot {at} ({} active jobs)\n{}",
+        arrived.len(),
+        render_dashboard(kernel.plan(), &labels)
+    ))
 }
 
 /// Builds a daemon config from `serve` subcommand flags.

@@ -19,10 +19,13 @@
 //! 4. **Map** ([`mapping`]) — targets become a continuity-respecting
 //!    per-container plan (Algorithm 4), each job completing no later than
 //!    `T_i + R_i` (Theorem 3).
-//! 5. **Assign** ([`plan`], [`scheduler::RushScheduler`]) — only the plan's
-//!    next-slot column is used: the free container goes to the job with the
-//!    largest gap between planned and current occupancy, then the cycle
-//!    repeats on the next event.
+//! 5. **Assign** ([`plan`]) — only the plan's next-slot column is used:
+//!    the free container goes to the job with the largest gap between
+//!    planned and current occupancy, then the cycle repeats on the next
+//!    event. The production assignment unit lives in `rush-planner`
+//!    (`rush_planner::RushScheduler`, a thin adapter over the shared
+//!    planner kernel); [`scheduler::ReferenceScheduler`] here is its
+//!    frozen pre-kernel twin, kept for differential testing.
 //!
 //! # Example: one pass of the robust pipeline
 //!
@@ -65,4 +68,4 @@ pub mod wcde;
 pub use config::RushConfig;
 pub use error::CoreError;
 pub use plan::{compute_plan, compute_plan_cached, Plan, PlanCache, PlanInput};
-pub use scheduler::RushScheduler;
+pub use scheduler::ReferenceScheduler;

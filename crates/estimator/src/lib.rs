@@ -163,8 +163,14 @@ fn binning(hi: f64, max_bins: usize) -> (usize, u64) {
     (bins, bin_width)
 }
 
-/// Sample mean and (unbiased) variance of integer runtimes.
+/// Sample mean and (unbiased) variance of integer runtimes. An empty slice
+/// yields `(0.0, 0.0)` rather than a NaN divide — callers gate on
+/// `samples.is_empty()` for cold-start handling, but the moments must stay
+/// finite even if a new call site forgets to.
 fn sample_moments(samples: &[u64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<u64>() as f64 / n;
     let var = if samples.len() < 2 {
@@ -378,7 +384,7 @@ mod tests {
     #[test]
     fn mean_estimator_is_impulse_at_mean_times_remaining() {
         let de = MeanEstimator::new(512);
-        let est = de.estimate(SAMPLES, 10).unwrap();
+        let est = de.estimate(SAMPLES, 10).expect("estimate succeeds");
         let mean: f64 = SAMPLES.iter().sum::<u64>() as f64 / SAMPLES.len() as f64;
         let total = mean * 10.0;
         assert!((est.pmf.mean() - total).abs() <= est.pmf.bin_width() as f64);
@@ -393,15 +399,15 @@ mod tests {
 
     #[test]
     fn mean_estimator_uses_prior_when_cold() {
-        let de = MeanEstimator::new(64).with_prior(RuntimePrior::new(60.0, 20.0).unwrap());
-        let est = de.estimate(&[], 2).unwrap();
+        let de = MeanEstimator::new(64).with_prior(RuntimePrior::new(60.0, 20.0).expect("valid prior"));
+        let est = de.estimate(&[], 2).expect("estimate succeeds");
         assert!((est.pmf.mean() - 120.0).abs() <= est.pmf.bin_width() as f64);
     }
 
     #[test]
     fn gaussian_estimator_matches_clt_moments() {
         let de = GaussianEstimator::new(1024);
-        let est = de.estimate(SAMPLES, 20).unwrap();
+        let est = de.estimate(SAMPLES, 20).expect("estimate succeeds");
         let (m, v) = sample_moments(SAMPLES);
         let total_mean = 20.0 * m;
         let total_std = (20.0 * v).sqrt();
@@ -422,30 +428,30 @@ mod tests {
     #[test]
     fn gaussian_estimator_quantile_grows_with_theta() {
         let de = GaussianEstimator::new(1024);
-        let est = de.estimate(SAMPLES, 20).unwrap();
+        let est = de.estimate(SAMPLES, 20).expect("estimate succeeds");
         assert!(est.pmf.quantile(0.95) > est.pmf.quantile(0.5));
     }
 
     #[test]
     fn gaussian_single_sample_uses_cv_fallback() {
         let de = GaussianEstimator::new(512);
-        let est = de.estimate(&[60], 10).unwrap();
+        let est = de.estimate(&[60], 10).expect("estimate succeeds");
         assert!(est.pmf.variance() > 0.0, "single sample must still carry spread");
     }
 
     #[test]
     fn gaussian_prior_cold_start() {
-        let de = GaussianEstimator::new(512).with_prior(RuntimePrior::new(60.0, 20.0).unwrap());
-        let est = de.estimate(&[], 100).unwrap();
+        let de = GaussianEstimator::new(512).with_prior(RuntimePrior::new(60.0, 20.0).expect("valid prior"));
+        let est = de.estimate(&[], 100).expect("estimate succeeds");
         assert!((est.pmf.mean() - 6000.0).abs() < 50.0);
     }
 
     #[test]
     fn zero_remaining_tasks_is_zero_demand() {
         for est in [
-            MeanEstimator::new(64).estimate(SAMPLES, 0).unwrap(),
-            GaussianEstimator::new(64).estimate(SAMPLES, 0).unwrap(),
-            EmpiricalEstimator::new(64, 64).estimate(SAMPLES, 0).unwrap(),
+            MeanEstimator::new(64).estimate(SAMPLES, 0).expect("estimate succeeds"),
+            GaussianEstimator::new(64).estimate(SAMPLES, 0).expect("estimate succeeds"),
+            EmpiricalEstimator::new(64, 64).estimate(SAMPLES, 0).expect("estimate succeeds"),
         ] {
             assert_eq!(est.pmf.quantile(0.99), 0);
         }
@@ -454,15 +460,15 @@ mod tests {
     #[test]
     fn empirical_estimator_deterministic() {
         let de = EmpiricalEstimator::new(256, 200);
-        let a = de.estimate(SAMPLES, 15).unwrap();
-        let b = de.estimate(SAMPLES, 15).unwrap();
+        let a = de.estimate(SAMPLES, 15).expect("estimate succeeds");
+        let b = de.estimate(SAMPLES, 15).expect("estimate succeeds");
         assert_eq!(a, b);
     }
 
     #[test]
     fn empirical_estimator_tracks_gaussian_for_symmetric_data() {
-        let emp = EmpiricalEstimator::new(1024, 2000).estimate(SAMPLES, 20).unwrap();
-        let gau = GaussianEstimator::new(1024).estimate(SAMPLES, 20).unwrap();
+        let emp = EmpiricalEstimator::new(1024, 2000).estimate(SAMPLES, 20).expect("estimate succeeds");
+        let gau = GaussianEstimator::new(1024).estimate(SAMPLES, 20).expect("estimate succeeds");
         let rel = (emp.pmf.mean() - gau.pmf.mean()).abs() / gau.pmf.mean();
         assert!(rel < 0.05, "means differ by {rel}");
     }
@@ -471,7 +477,7 @@ mod tests {
     fn empirical_estimator_captures_skew() {
         // Bimodal: mostly fast tasks, occasional 10x stragglers.
         let samples: Vec<u64> = (0..50).map(|i| if i % 10 == 0 { 300 } else { 30 }).collect();
-        let est = EmpiricalEstimator::new(1024, 2000).estimate(&samples, 5).unwrap();
+        let est = EmpiricalEstimator::new(1024, 2000).estimate(&samples, 5).expect("estimate succeeds");
         // Right tail: 99th percentile well above the mean.
         assert!(est.pmf.quantile(0.99) as f64 > est.pmf.mean() * 1.1);
     }
@@ -497,6 +503,12 @@ mod tests {
             assert!(bins <= 257, "bins={bins}");
             assert!(bins as u64 * width >= hi as u64, "range covered");
         }
+    }
+
+    #[test]
+    fn sample_moments_stay_finite_on_empty_input() {
+        let (mean, var) = sample_moments(&[]);
+        assert!(mean.abs() < 1e-12 && var.abs() < 1e-12, "no NaN divide on empty input");
     }
 
     #[test]
@@ -570,8 +582,8 @@ mod windowed_tests {
         // Runtimes double halfway through: the windowed fit follows the new
         // regime, the full-history Gaussian averages the two.
         let samples: Vec<u64> = (0..40).map(|i| if i < 20 { 30 } else { 60 }).collect();
-        let windowed = WindowedEstimator::new(1024, 10).estimate(&samples, 10).unwrap();
-        let full = GaussianEstimator::new(1024).estimate(&samples, 10).unwrap();
+        let windowed = WindowedEstimator::new(1024, 10).estimate(&samples, 10).expect("estimate succeeds");
+        let full = GaussianEstimator::new(1024).estimate(&samples, 10).expect("estimate succeeds");
         assert!(
             (windowed.mean_task_runtime - 60.0).abs() < 1.0,
             "windowed R = {}",
@@ -584,15 +596,15 @@ mod windowed_tests {
     #[test]
     fn short_history_uses_everything() {
         let samples = [50u64, 52, 48];
-        let windowed = WindowedEstimator::new(512, 10).estimate(&samples, 5).unwrap();
-        let full = GaussianEstimator::new(512).estimate(&samples, 5).unwrap();
+        let windowed = WindowedEstimator::new(512, 10).estimate(&samples, 5).expect("estimate succeeds");
+        let full = GaussianEstimator::new(512).estimate(&samples, 5).expect("estimate succeeds");
         assert_eq!(windowed, full);
     }
 
     #[test]
     fn cold_start_uses_prior() {
-        let de = WindowedEstimator::new(512, 8).with_prior(RuntimePrior::new(40.0, 10.0).unwrap());
-        let est = de.estimate(&[], 10).unwrap();
+        let de = WindowedEstimator::new(512, 8).with_prior(RuntimePrior::new(40.0, 10.0).expect("valid prior"));
+        let est = de.estimate(&[], 10).expect("estimate succeeds");
         assert!((est.pmf.mean() - 400.0).abs() < 20.0);
         assert_eq!(
             WindowedEstimator::new(512, 8).estimate(&[], 10),

@@ -1,50 +1,34 @@
-//! [`ReferenceScheduler`] — the **frozen pre-kernel** RUSH
-//! container-assignment unit, kept verbatim as the differential twin of
-//! the production adapter (`rush_planner::RushScheduler`).
+//! [`RushScheduler`] — the thin `rush_sim::Scheduler` adapter over the
+//! planner kernel.
 //!
-//! The live scheduler now drives the shared planner kernel
-//! (`rush_planner::PlannerCore`); this module preserves the original
-//! self-contained implementation so the refactor stays provable:
-//! `crates/planner/tests/adapter_differential.rs` runs both schedulers
-//! over the same randomized workloads and asserts bit-identical
-//! assignment behavior and `SimResult`s. Do not evolve this file with new
-//! scheduling features — change the kernel and its adapter instead.
-//!
-//! On every scheduling event the CA unit re-runs the full pipeline
-//! ([`compute_plan`](crate::plan::compute_plan())), obtains each job's
-//! desired next-slot allocation, and hands the free container to the job
-//! with the **largest gap between planned and current occupancy** — the
-//! paper's dispatch rule (Sec. IV, "Container Assignment"). The plan is
-//! cached for the current slot and invalidated by arrivals, completions or
-//! the clock moving, so a burst of free containers in one slot costs one
+//! The adapter owns nothing but a [`PlannerCore`] (in
+//! [`ColdStart::PooledByLabel`] mode) and a desired-allocation map it
+//! maintains incrementally from the kernel's [plan
+//! deltas](crate::PlanDelta). Simulator events become kernel events; on
+//! every `assign` the adapter lends the kernel the cluster view as a
+//! planning roster (so plan inputs are authoritative and zero-copy) and
+//! then applies the paper's dispatch rule (Sec. IV, "Container
+//! Assignment"): the free container goes to the job with the **largest gap
+//! between planned and current occupancy**, with the work-conserving and
+//! stall-guard fallbacks layered below it. The plan is cached for the
+//! current slot, so a burst of free containers in one slot costs one
 //! pipeline pass.
-//!
-//! Cold-start estimation: a job with no completed tasks borrows the runtime
-//! samples of *same-template* jobs seen earlier (keyed by job label), then
-//! any cluster-local samples, and only falls back to the configured prior
-//! when no runtime evidence exists at all — mirroring how production
-//! clusters benchmark recurring applications.
 
-use crate::plan::{compute_plan_cached, Plan, PlanCache, PlanInput};
-use crate::RushConfig;
+use crate::core::{ColdStart, JobId, JobSpec, PlannerCore, RosterJob};
+use rush_core::plan::Plan;
+use rush_core::RushConfig;
 use rush_sim::view::{ClusterView, TaskSample};
-use rush_sim::{JobId, Scheduler, Slot};
-use std::borrow::Cow;
+use rush_sim::Scheduler;
 use std::collections::BTreeMap;
 
-/// Maximum borrowed samples per label pool (newest kept).
-const LABEL_POOL_CAP: usize = 256;
-
-/// Cached per-slot desired allocations: `(job, desired_now, target)`.
-type DesiredCache = Vec<(JobId, u32, f64)>;
-
-/// The frozen pre-kernel RUSH scheduler (differential twin of
-/// `rush_planner::RushScheduler`).
+/// The RUSH scheduler: a `rush_sim::Scheduler` adapter over
+/// [`PlannerCore`].
 ///
 /// # Example
 ///
 /// ```
-/// use rush_core::{ReferenceScheduler, RushConfig};
+/// use rush_core::RushConfig;
+/// use rush_planner::RushScheduler;
 /// use rush_sim::engine::{SimConfig, Simulation};
 /// use rush_sim::job::{JobSpec, Phase, TaskSpec};
 /// use rush_utility::TimeUtility;
@@ -54,48 +38,35 @@ type DesiredCache = Vec<(JobId, u32, f64)>;
 ///     .tasks((0..4).map(|_| TaskSpec::new(10.0, Phase::Map)))
 ///     .utility(TimeUtility::sigmoid(100.0, 5.0, 0.1)?)
 ///     .build()?;
-/// let mut rush = ReferenceScheduler::new(RushConfig::default());
+/// let mut rush = RushScheduler::new(RushConfig::default());
 /// let result = Simulation::new(SimConfig::homogeneous(1, 4), vec![job])?.run(&mut rush)?;
 /// assert_eq!(result.outcomes.len(), 1);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct ReferenceScheduler {
-    config: RushConfig,
+pub struct RushScheduler {
+    kernel: PlannerCore,
     name: &'static str,
-    /// Plan cached for the slot it was computed in.
-    cache: Option<(Slot, DesiredCache)>,
-    dirty: bool,
-    /// Cross-job sample pools keyed by job label (template name).
-    label_pool: BTreeMap<String, Vec<u64>>,
-    /// All observed samples regardless of label — last-resort cold-start
-    /// pool before falling back to the configured prior.
-    global_pool: Vec<u64>,
-    /// Label of each active job, captured at arrival.
-    labels: BTreeMap<JobId, String>,
-    /// The most recent full plan, for introspection (the paper's HTTP
-    /// monitoring interface exposes exactly this).
-    last_plan: Plan,
-    /// Memo table for the per-job estimate + WCDE stage: a scheduling
-    /// event touches one job, so the other jobs' robust demands are
-    /// served from here (see [`PlanCache`]).
-    plan_cache: PlanCache,
+    /// Desired next-slot allocations `(desired_now, target)` by raw job
+    /// id, maintained incrementally from plan deltas.
+    desired: BTreeMap<u64, (u32, f64)>,
 }
 
-impl ReferenceScheduler {
+impl RushScheduler {
     /// Creates a RUSH scheduler with the given configuration.
+    ///
+    /// The scheduler SPI has no error channel, so the config is taken as
+    /// given (capacity comes from the view at plan time): an invalid
+    /// config surfaces as a failed plan pass, which the assign fallbacks
+    /// absorb — same as the pre-kernel scheduler.
     pub fn new(config: RushConfig) -> Self {
-        ReferenceScheduler {
-            config,
+        RushScheduler {
+            kernel: PlannerCore::new_unchecked(config, 1)
+                .with_cold_start(ColdStart::PooledByLabel)
+                .with_retirement(false),
             name: "RUSH",
-            cache: None,
-            dirty: true,
-            label_pool: BTreeMap::new(),
-            global_pool: Vec::new(),
-            labels: BTreeMap::new(),
-            last_plan: Plan::default(),
-            plan_cache: PlanCache::new(),
+            desired: BTreeMap::new(),
         }
     }
 
@@ -106,7 +77,7 @@ impl ReferenceScheduler {
     pub fn cora() -> Self {
         let config = RushConfig::default()
             .with_delta(0.0)
-            .with_estimator(crate::config::EstimatorKind::Mean);
+            .with_estimator(rush_core::config::EstimatorKind::Mean);
         let mut s = Self::new(config);
         s.name = "CoRA";
         s
@@ -114,55 +85,56 @@ impl ReferenceScheduler {
 
     /// The configuration in use.
     pub fn config(&self) -> &RushConfig {
-        &self.config
+        self.kernel.config()
+    }
+
+    /// The planner kernel behind the adapter (plan, deltas, cache
+    /// counters — the data behind the paper's enhanced HTTP interface).
+    pub fn kernel(&self) -> &PlannerCore {
+        &self.kernel
     }
 
     /// The most recently computed plan (projected completion times, robust
     /// demands, impossible-job flags) — the data behind the paper's
     /// enhanced HTTP interface (Fig. 2).
     pub fn last_plan(&self) -> &Plan {
-        &self.last_plan
+        self.kernel.plan()
     }
 
-    /// Forgets a completed or cancelled job: drops its label mapping and
-    /// invalidates the per-slot plan cache so the next scheduling event
-    /// re-plans without it. Returns whether the job was known.
+    /// Forgets a completed or cancelled job: drops its registry record and
+    /// invalidates the per-slot plan so the next scheduling event re-plans
+    /// without it. Returns whether the job was known.
     ///
     /// The simulator calls [`Scheduler::on_task_complete`] with the job
     /// already gone from the view when it finishes naturally, which prunes
-    /// the mapping — but a job *cancelled* mid-flight (or completed while
+    /// the record — but a job *cancelled* mid-flight (or completed while
     /// no further task-completion event fires) would otherwise leak its
-    /// entry forever and keep polluting `last_plan` until the next event.
-    /// Long-running daemons must call this on every cancel.
+    /// entry forever and keep polluting [`Self::last_plan`] until the next
+    /// event. Long-running daemons must call this on every cancel.
     ///
     /// Pooled runtime samples the job contributed are deliberately kept:
     /// they are evidence about the *template*, not the job, and future
     /// same-label jobs still want them.
     pub fn remove_job(&mut self, job: rush_sim::JobId) -> bool {
-        self.dirty = true;
-        self.labels.remove(&job).is_some()
+        // The pre-kernel scheduler invalidated unconditionally; keep that.
+        self.kernel.invalidate();
+        self.kernel.cancel(JobId::from(job))
     }
 
-    /// Ensures the per-slot plan cache is fresh; returns desired
-    /// allocations as `(job, desired_now, target)` tuples.
+    /// Ensures the kernel's plan is fresh for `view.now` and the desired
+    /// map reflects it.
     fn refresh(&mut self, view: &ClusterView<'_>) {
-        let stale = self.dirty || !matches!(&self.cache, Some((slot, _)) if *slot == view.now);
-        if !stale {
+        self.kernel.set_capacity(view.capacity);
+        if self.kernel.is_fresh(view.now) {
             return;
         }
-        // Destructure for disjoint borrows: the inputs borrow the sample
-        // pools while the pipeline takes the plan cache mutably.
-        let Self { config, label_pool, global_pool, plan_cache, .. } = &mut *self;
-        let inputs: Vec<PlanInput<'_>> = view
+        let roster: Vec<RosterJob<'_>> = view
             .jobs
             .iter()
-            .map(|j| PlanInput {
-                samples: Cow::Borrowed(cold_start_samples(
-                    label_pool,
-                    global_pool,
-                    &j.label,
-                    &j.samples,
-                )),
+            .map(|j| RosterJob {
+                id: JobId::from(j.id),
+                label: &j.label,
+                samples: &j.samples,
                 remaining_tasks: j.pending_tasks,
                 running: j.running_tasks as u32,
                 failed_attempts: j.failed_attempts,
@@ -170,89 +142,68 @@ impl ReferenceScheduler {
                 utility: j.utility,
             })
             .collect();
-        // On estimation failure (pathological inputs) fall back to an empty
-        // plan; the assign() fallbacks keep the cluster from stalling.
-        let plan =
-            compute_plan_cached(config, view.capacity, &inputs, plan_cache).unwrap_or_default();
-        let desired = view
-            .jobs
-            .iter()
-            .zip(plan.entries.iter())
-            .map(|(j, e)| (j.id, e.desired_now, e.target))
-            .collect();
-        self.last_plan = plan;
-        self.cache = Some((view.now, desired));
-        self.dirty = false;
+        match self.kernel.plan_roster(view.now, &roster) {
+            Ok(delta) => {
+                for id in &delta.removed {
+                    self.desired.remove(&id.0);
+                }
+                for (id, e) in &delta.changed {
+                    self.desired.insert(id.0, (e.desired_now, e.target));
+                }
+            }
+            Err(_) => {
+                // On estimation failure (pathological inputs) fall back to
+                // an empty plan for this slot; the assign() fallbacks keep
+                // the cluster from stalling.
+                self.desired.clear();
+                self.kernel.install_empty_plan(view.now);
+            }
+        }
     }
 }
 
-/// Picks the sample set backing a job's estimate: its own completed-task
-/// runtimes, else the same-label pool, else the cluster-wide pool. A label
-/// pool that exists but holds no samples is *no evidence* — it must not
-/// shadow the global pool (a label entry can outlive its drained samples).
-/// The returned slice may be empty, in which case the estimator falls back
-/// to the configured prior.
-fn cold_start_samples<'v>(
-    label_pool: &'v BTreeMap<String, Vec<u64>>,
-    global_pool: &'v [u64],
-    label: &str,
-    own: &'v [u64],
-) -> &'v [u64] {
-    if !own.is_empty() {
-        own
-    } else if let Some(pool) = label_pool.get(label).filter(|p| !p.is_empty()) {
-        pool
-    } else {
-        // Same-template history is best, but any cluster-local runtime
-        // evidence beats an arbitrary prior.
-        global_pool
-    }
-}
-
-impl Scheduler for ReferenceScheduler {
+impl Scheduler for RushScheduler {
     fn name(&self) -> &str {
         self.name
     }
 
-    fn on_job_arrival(&mut self, _view: &ClusterView<'_>, job: JobId) {
-        self.dirty = true;
-        // Label is resolved lazily in on_task_complete via the view; record
-        // it here while the job is certainly visible.
-        if let Some(j) = _view.job(job) {
-            self.labels.insert(job, j.label.clone());
+    fn on_job_arrival(&mut self, _view: &ClusterView<'_>, job: rush_sim::JobId) {
+        // Record the label while the job is certainly visible; the
+        // arrival event dirties the kernel either way.
+        match _view.job(job) {
+            Some(j) => self.kernel.admit_as(
+                JobId::from(job),
+                JobSpec {
+                    label: j.label.clone(),
+                    utility: j.utility,
+                    tasks: j.pending_tasks as u64,
+                    arrived_slot: j.arrival,
+                    runtime_hint: None,
+                    parked: false,
+                },
+            ),
+            None => self.kernel.invalidate(),
         }
     }
 
-    fn on_task_failed(&mut self, _view: &ClusterView<'_>, _sample: TaskSample) {
+    fn on_task_failed(&mut self, _view: &ClusterView<'_>, sample: TaskSample) {
         // Failed-attempt durations are not runtime samples, but the plan
         // must be recomputed with the updated failure count.
-        self.dirty = true;
+        self.kernel.record_failure(JobId::from(sample.job));
     }
 
     fn on_task_complete(&mut self, _view: &ClusterView<'_>, sample: TaskSample) {
-        self.dirty = true;
-        if let Some(label) = self.labels.get(&sample.job) {
-            let pool = self.label_pool.entry(label.clone()).or_default();
-            pool.push(sample.runtime);
-            if pool.len() > LABEL_POOL_CAP {
-                let excess = pool.len() - LABEL_POOL_CAP;
-                pool.drain(..excess);
-            }
-        }
-        self.global_pool.push(sample.runtime);
-        if self.global_pool.len() > LABEL_POOL_CAP {
-            let excess = self.global_pool.len() - LABEL_POOL_CAP;
-            self.global_pool.drain(..excess);
-        }
+        // Pooled ingestion never errors; the binding documents intent.
+        let _known = self.kernel.ingest_sample(JobId::from(sample.job), sample.runtime);
         if _view.job(sample.job).is_none() {
-            // Job finished: forget its label mapping.
-            self.labels.remove(&sample.job);
+            // Job finished: forget its registry record.
+            self.kernel.cancel(JobId::from(sample.job));
         }
     }
 
-    fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+    fn assign(&mut self, view: &ClusterView<'_>) -> Option<rush_sim::JobId> {
         self.refresh(view);
-        let desired = &self.cache.as_ref().expect("refresh populated cache").1;
+        let desired = &self.desired;
 
         // The paper's rule: the container goes to the job with the largest
         // positive gap between planned and current occupancy. When no plan
@@ -265,16 +216,15 @@ impl Scheduler for ReferenceScheduler {
         // insensitive task may only claim one while the configured reserve
         // remains for time-aware reaction headroom.
         let free_after = view.free_containers.saturating_sub(1) as f64;
-        let reserve_ok = free_after >= self.config.insensitive_reserve * view.capacity as f64;
-        let mut best: Option<(JobId, i64, f64)> = None;
+        let reserve_ok =
+            free_after >= self.kernel.config().insensitive_reserve * view.capacity as f64;
+        let mut best: Option<(rush_sim::JobId, i64, f64)> = None;
         for j in view.jobs.iter().filter(|j| j.runnable_tasks > 0) {
             if !j.sensitivity.is_time_aware() && !reserve_ok {
                 continue;
             }
-            let (want, target) = desired
-                .iter()
-                .find(|(id, _, _)| *id == j.id)
-                .map_or((0, f64::MAX), |&(_, w, t)| (w, t));
+            let (want, target) =
+                desired.get(&u64::from(j.id.0)).map_or((0, f64::MAX), |&(w, t)| (w, t));
             let gap = want as i64 - j.running_tasks as i64;
             if gap <= 0 {
                 continue;
@@ -304,10 +254,8 @@ impl Scheduler for ReferenceScheduler {
                 .iter()
                 .filter(|j| j.runnable_tasks > 0 && pred(j))
                 .min_by(|a, b| {
-                    let ta =
-                        desired.iter().find(|(id, _, _)| *id == a.id).map_or(f64::MAX, |x| x.2);
-                    let tb =
-                        desired.iter().find(|(id, _, _)| *id == b.id).map_or(f64::MAX, |x| x.2);
+                    let ta = desired.get(&u64::from(a.id.0)).map_or(f64::MAX, |x| x.1);
+                    let tb = desired.get(&u64::from(b.id.0)).map_or(f64::MAX, |x| x.1);
                     ta.total_cmp(&tb).then(a.id.cmp(&b.id))
                 })
                 .map(|j| j.id)
@@ -330,6 +278,7 @@ mod tests {
     use rush_sim::engine::{SimConfig, Simulation};
     use rush_sim::job::{JobSpec, Phase, TaskSpec};
     use rush_sim::perturb::Interference;
+    use rush_sim::Slot;
     use rush_utility::{Sensitivity, TimeUtility};
 
     fn job(
@@ -350,28 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_label_pool_falls_back_to_global_pool() {
-        // A label key can exist with no samples left (e.g. after future
-        // pool eviction): it must not shadow the global pool.
-        let mut label_pool: BTreeMap<String, Vec<u64>> = BTreeMap::new();
-        label_pool.insert("tpl".into(), Vec::new());
-        label_pool.insert("warm".into(), vec![7, 8]);
-        let global = vec![40, 50, 60];
-
-        // Own samples always win.
-        assert_eq!(cold_start_samples(&label_pool, &global, "tpl", &[9]), &[9]);
-        // Non-empty label pool beats global.
-        assert_eq!(cold_start_samples(&label_pool, &global, "warm", &[]), &[7, 8]);
-        // Empty label pool → global, same as a missing label.
-        assert_eq!(cold_start_samples(&label_pool, &global, "tpl", &[]), &[40, 50, 60]);
-        assert_eq!(cold_start_samples(&label_pool, &global, "unseen", &[]), &[40, 50, 60]);
-        // Nothing anywhere → empty slice (estimator prior takes over).
-        let no_global: Vec<u64> = Vec::new();
-        assert!(cold_start_samples(&label_pool, &no_global, "tpl", &[]).is_empty());
-    }
-
-    #[test]
-    fn remove_job_forgets_label_and_invalidates_cache() {
+    fn remove_job_forgets_record_and_invalidates_cache() {
         use rush_sim::view::{ClusterView, JobView};
         use rush_sim::JobId;
         let jv = JobView {
@@ -393,7 +321,7 @@ mod tests {
         };
         let jobs = vec![jv];
         let view = ClusterView { now: 0, capacity: 4, free_containers: 4, jobs: &jobs };
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         rush.on_job_arrival(&view, JobId(0));
         // Populate the per-slot plan cache, then cancel the job.
         assert_eq!(rush.assign(&view), Some(JobId(0)));
@@ -412,8 +340,8 @@ mod tests {
                 finished_at: 5,
             },
         );
-        // Re-planning over an empty view yields an empty plan (the dirty
-        // flag set by remove_job forces the refresh).
+        // Re-planning over an empty view yields an empty plan (the
+        // invalidation from remove_job forces the refresh).
         assert_eq!(rush.assign(&gone), None);
         assert!(rush.last_plan().entries.is_empty());
     }
@@ -428,7 +356,7 @@ mod tests {
             TimeUtility::sigmoid(100.0, 5.0, 0.1).unwrap(),
             100,
         )];
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs).unwrap().run(&mut rush).unwrap();
         assert_eq!(r.outcomes.len(), 1);
         assert!(r.outcomes[0].met_budget(), "runtime {}", r.outcomes[0].runtime);
@@ -441,7 +369,7 @@ mod tests {
             job("lazy", 0, 12, 20.0, TimeUtility::constant(5.0).unwrap(), 100_000),
             job("urgent", 0, 12, 20.0, TimeUtility::sigmoid(80.0, 5.0, 0.2).unwrap(), 80),
         ];
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
             .unwrap()
             .run(&mut rush)
@@ -459,25 +387,26 @@ mod tests {
 
     #[test]
     fn cora_mode_is_non_robust_mean_based() {
-        let cora = ReferenceScheduler::cora();
+        let cora = RushScheduler::cora();
         assert_eq!(Scheduler::name(&cora), "CoRA");
         assert_eq!(cora.config().delta, 0.0);
-        assert!(matches!(cora.config().estimator, crate::config::EstimatorKind::Mean));
+        assert!(matches!(cora.config().estimator, rush_core::config::EstimatorKind::Mean));
         // CoRA still schedules a workload to completion.
         let jobs = vec![job("wc", 0, 6, 10.0, TimeUtility::sigmoid(120.0, 5.0, 0.1).unwrap(), 120)];
         let r = Simulation::new(SimConfig::homogeneous(1, 3), jobs)
             .unwrap()
-            .run(&mut ReferenceScheduler::cora())
+            .run(&mut RushScheduler::cora())
             .unwrap();
         assert_eq!(r.outcomes.len(), 1);
     }
 
     #[test]
     fn name_and_introspection() {
-        let rush = ReferenceScheduler::new(RushConfig::default());
+        let rush = RushScheduler::new(RushConfig::default());
         assert_eq!(Scheduler::name(&rush), "RUSH");
         assert!(rush.last_plan().entries.is_empty());
         assert_eq!(rush.config().theta, 0.9);
+        assert_eq!(rush.kernel().cache_misses(), 0);
     }
 
     #[test]
@@ -493,7 +422,7 @@ mod tests {
         let cfg = SimConfig::homogeneous(2, 4)
             .with_interference(Interference::LogNormal { cv: 0.5 })
             .with_seed(13);
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
         assert_eq!(r.outcomes.len(), 1);
     }
@@ -508,7 +437,7 @@ mod tests {
             job("tpl", 0, 8, 12.0, u, 300),
             job("tpl", 50, 8, 12.0, u, 300),
         ];
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
             .unwrap()
             .run(&mut rush)
@@ -528,11 +457,11 @@ mod tests {
         let open = RushConfig { insensitive_reserve: 0.0, ..Default::default() };
         let r_strict = Simulation::new(SimConfig::homogeneous(1, 4), jobs.clone())
             .unwrap()
-            .run(&mut ReferenceScheduler::new(strict))
+            .run(&mut RushScheduler::new(strict))
             .unwrap();
         let r_open = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
             .unwrap()
-            .run(&mut ReferenceScheduler::new(open))
+            .run(&mut RushScheduler::new(open))
             .unwrap();
         assert_eq!(r_strict.outcomes.len(), 1);
         assert_eq!(r_open.outcomes.len(), 1);
@@ -558,7 +487,7 @@ mod tests {
             TimeUtility::sigmoid(50.0, 5.0, 0.2).unwrap(),
             50,
         )];
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(SimConfig::homogeneous(1, 4), jobs)
             .unwrap()
             .run(&mut rush)
@@ -582,7 +511,7 @@ mod tests {
         let cfg = SimConfig::homogeneous(1, 4)
             .with_failures(FailureModel::Bernoulli { p: 0.3 })
             .with_seed(11);
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
         assert_eq!(r.outcomes.len(), 1);
         assert!(r.failed_attempts > 0);
@@ -605,7 +534,7 @@ mod tests {
             mk(Sensitivity::Sensitive, 10, 200.0),
             mk(Sensitivity::Insensitive, 20, 100_000.0),
         ];
-        let mut rush = ReferenceScheduler::new(RushConfig::default());
+        let mut rush = RushScheduler::new(RushConfig::default());
         let r = Simulation::new(SimConfig::homogeneous(1, 3), jobs)
             .unwrap()
             .run(&mut rush)

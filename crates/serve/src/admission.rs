@@ -27,18 +27,14 @@
 
 use crate::protocol::{Decision, JobSubmission};
 use crate::ServeError;
-use rush_core::config::EstimatorKind;
 use rush_core::onion::prefix_capacity_feasible;
-use rush_core::wcde::worst_case_quantile;
 use rush_core::RushConfig;
-use rush_estimator::{
-    DistributionEstimator, EmpiricalEstimator, GaussianEstimator, MeanEstimator,
-    WindowedEstimator,
-};
 
 /// Estimates a job's robust remaining demand `η` (container·slots) and mean
-/// task runtime `R` (slots) from its runtime samples, using the same
-/// estimator + WCDE path the planner runs.
+/// task runtime `R` (slots) from its runtime samples, delegating to the
+/// shared planner kernel's [`rush_planner::estimate_eta`] — the same
+/// estimator + WCDE path the planner runs, so admission and planning never
+/// disagree about a job's size.
 ///
 /// With no samples yet, the submission's runtime hint (if any) seeds a
 /// single pseudo-sample; otherwise the configured cold prior carries the
@@ -46,44 +42,15 @@ use rush_estimator::{
 ///
 /// # Errors
 ///
-/// [`ServeError::Estimator`] or [`ServeError::Core`] when estimation or
-/// robustification fails (e.g. no samples and no prior).
+/// [`ServeError::Planner`] when estimation or robustification fails (e.g.
+/// no samples and no prior).
 pub fn estimate_eta(
     config: &RushConfig,
     samples: &[u64],
     runtime_hint: Option<f64>,
     remaining_tasks: usize,
 ) -> Result<(u64, f64), ServeError> {
-    let hint_sample;
-    let samples: &[u64] = if samples.is_empty() {
-        match runtime_hint {
-            Some(h) => {
-                hint_sample = [(h.round() as u64).max(1)];
-                &hint_sample
-            }
-            None => samples,
-        }
-    } else {
-        samples
-    };
-    let estimate = match config.estimator {
-        EstimatorKind::Mean => MeanEstimator::new(config.max_bins)
-            .with_prior(config.cold_prior)
-            .estimate(samples, remaining_tasks)?,
-        EstimatorKind::Gaussian => GaussianEstimator::new(config.max_bins)
-            .with_prior(config.cold_prior)
-            .estimate(samples, remaining_tasks)?,
-        EstimatorKind::Empirical { resamples } => {
-            EmpiricalEstimator::new(config.max_bins, resamples)
-                .with_prior(config.cold_prior)
-                .estimate(samples, remaining_tasks)?
-        }
-        EstimatorKind::Windowed { window } => WindowedEstimator::new(config.max_bins, window)
-            .with_prior(config.cold_prior)
-            .estimate(samples, remaining_tasks)?,
-    };
-    let wcde = worst_case_quantile(&estimate.pmf, config.theta, config.delta)?;
-    Ok((wcde.eta, estimate.mean_task_runtime))
+    Ok(rush_planner::estimate_eta(config, samples, runtime_hint, remaining_tasks)?)
 }
 
 /// The admission deadline of a job: its declared budget, else the planning

@@ -11,9 +11,9 @@
 //! * [`protocol`] — the versioned newline-delimited request/response frames
 //!   (`submit`, `report-sample`, `query-plan`, `predict`, `cancel`,
 //!   `stats`, `shutdown`);
-//! * [`state`] — the daemon's job table plus epoch-batched planning: many
-//!   submissions arriving close together are planned by **one**
-//!   [`rush_core::compute_plan_cached`] call;
+//! * [`state`] — protocol/epoch/admission bookkeeping over the shared
+//!   planner kernel ([`rush_planner::PlannerCore`]): many submissions
+//!   arriving close together are planned by **one** kernel replan;
 //! * [`admission`] — the Theorem-2 prefix-capacity test applied *before* a
 //!   job enters the table, so an overcommitted cluster defers or rejects
 //!   instead of thrashing every resident deadline;
@@ -57,10 +57,9 @@ use std::fmt;
 /// Top-level error type of the serving layer.
 #[derive(Debug)]
 pub enum ServeError {
-    /// Planning or admission failed inside the core pipeline.
-    Core(rush_core::CoreError),
-    /// Demand estimation failed.
-    Estimator(rush_estimator::EstimatorError),
+    /// Planning, estimation or admission sizing failed inside the shared
+    /// planner kernel (see [`rush_planner::PlannerError`]).
+    Planner(rush_planner::PlannerError),
     /// Socket or file I/O failed.
     Io(std::io::Error),
     /// A peer sent a frame we could not decode, or we received one we
@@ -75,8 +74,7 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Core(e) => write!(f, "core: {e}"),
-            ServeError::Estimator(e) => write!(f, "estimator: {e}"),
+            ServeError::Planner(e) => write!(f, "planner: {e}"),
             ServeError::Io(e) => write!(f, "io: {e}"),
             ServeError::Wire(e) => write!(f, "wire: {e}"),
             ServeError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
@@ -87,15 +85,22 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-impl From<rush_core::CoreError> for ServeError {
-    fn from(e: rush_core::CoreError) -> Self {
-        ServeError::Core(e)
+impl From<rush_planner::PlannerError> for ServeError {
+    fn from(e: rush_planner::PlannerError) -> Self {
+        // Config and snapshot problems keep their serve-level identity (the
+        // daemon surfaces them differently); everything else is a planner
+        // failure.
+        match e {
+            rush_planner::PlannerError::Config(msg) => ServeError::Config(msg),
+            rush_planner::PlannerError::Snapshot(msg) => ServeError::Snapshot(msg),
+            other => ServeError::Planner(other),
+        }
     }
 }
 
-impl From<rush_estimator::EstimatorError> for ServeError {
-    fn from(e: rush_estimator::EstimatorError) -> Self {
-        ServeError::Estimator(e)
+impl From<rush_core::CoreError> for ServeError {
+    fn from(e: rush_core::CoreError) -> Self {
+        ServeError::Planner(rush_planner::PlannerError::from(e))
     }
 }
 

@@ -133,7 +133,7 @@ pub fn encode(state: &ServeState, now_slot: u64) -> String {
         ),
         (
             "jobs".into(),
-            Json::Arr(state.jobs().map(|(id, j)| job_to_json(id, j)).collect()),
+            Json::Arr(state.jobs().map(|(id, j)| job_to_json(id, &j)).collect()),
         ),
     ]);
     doc.encode()
@@ -263,8 +263,8 @@ mod tests {
         assert_eq!(restored_slot, slot);
         assert_eq!(a.next_id(), b.next_id());
         assert_eq!(a.counters(), b.counters());
-        let ja: Vec<_> = a.jobs().map(|(id, j)| (id, j.clone())).collect();
-        let jb: Vec<_> = b.jobs().map(|(id, j)| (id, j.clone())).collect();
+        let ja: Vec<_> = a.jobs().collect();
+        let jb: Vec<_> = b.jobs().collect();
         assert_eq!(ja, jb);
         // The restored daemon reproduces the plan bit-identically.
         assert_eq!(a.rows(slot, None).expect("rows"), b.rows(slot, None).expect("rows"));

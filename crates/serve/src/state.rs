@@ -1,4 +1,13 @@
-//! The daemon's job table and epoch-batched planning.
+//! The daemon's protocol/epoch/admission layer over the shared planner
+//! kernel.
+//!
+//! [`ServeState`] owns no planning state of its own anymore: the job
+//! registry, sample history, plan cache and current plan live in one
+//! [`rush_planner::PlannerCore`] (in own-samples cold-start mode, so plans
+//! depend only on explicitly ingested state and snapshot/restore stays
+//! bit-exact). What remains here is the daemon-specific rind: wire
+//! submissions, admission verdicts, monotonic counters, and the
+//! translation from kernel errors to wire errors.
 //!
 //! [`ServeState`] is deliberately *pure with respect to time*: every method
 //! that can replan takes an explicit logical `now_slot`, and the plan is a
@@ -11,20 +20,21 @@
 //! collects a batch (bounded by count and by wall-clock age) and hands it
 //! to [`ServeState::submit_epoch`], which runs admission per candidate —
 //! each admitted job's reservation immediately counts against the next
-//! candidate in the same epoch — and then replans *once* via
-//! [`compute_plan_cached`], so the WCDE/peel/mapping cost is amortized
-//! across the whole batch. Parked (deferred) jobs are re-probed at the
-//! start of every epoch, in submission order.
+//! candidate in the same epoch — and then replans *once* via the kernel,
+//! so the WCDE/peel/mapping cost is amortized across the whole batch.
+//! Parked (deferred) jobs are re-probed at the start of every epoch, in
+//! submission order.
 
 use crate::admission::{admission_deadline, estimate_eta, probe};
 use crate::protocol::{Decision, ErrorCode, JobSubmission, PlanRow, StatsReport, WireError};
 use crate::ServeError;
-use rush_core::plan::{compute_plan_cached, Plan, PlanCache, PlanInput};
 use rush_core::RushConfig;
-use std::borrow::Cow;
+use rush_planner::{JobId, JobRecord, JobSpec, PlannerCore, PlannerError};
 use std::collections::BTreeMap;
 
-/// One resident job.
+/// One resident job, as exchanged with the snapshot layer. Internally the
+/// kernel's [`JobRecord`] is the source of truth; this type reassembles the
+/// record with its wire submission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobState {
     /// The submission as received.
@@ -58,19 +68,14 @@ pub struct Counters {
     pub samples: u64,
 }
 
-/// The daemon's entire mutable state (minus sockets and clocks).
+/// The daemon's entire mutable state (minus sockets and clocks): the
+/// planner kernel plus the wire submissions and counters.
 #[derive(Debug, Clone)]
 pub struct ServeState {
-    config: RushConfig,
-    capacity: u32,
-    jobs: BTreeMap<u64, JobState>,
-    next_id: u64,
-    cache: PlanCache,
-    plan: Plan,
-    /// Job ids of `plan.entries`, parallel, ascending.
-    plan_ids: Vec<u64>,
-    /// Slot the current plan was computed at; `None` = stale.
-    plan_slot: Option<u64>,
+    planner: PlannerCore,
+    /// The original wire submission of every resident job (the kernel's
+    /// registry carries the planning projection of it).
+    subs: BTreeMap<u64, JobSubmission>,
     counters: Counters,
 }
 
@@ -79,22 +84,12 @@ impl ServeState {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Config`] for zero capacity, [`ServeError::Core`] for
-    /// an invalid [`RushConfig`].
+    /// [`ServeError::Config`] for zero capacity, [`ServeError::Planner`]
+    /// for an invalid [`RushConfig`].
     pub fn new(config: RushConfig, capacity: u32) -> Result<Self, ServeError> {
-        config.validate()?;
-        if capacity == 0 {
-            return Err(ServeError::Config("capacity must be >= 1".into()));
-        }
         Ok(ServeState {
-            config,
-            capacity,
-            jobs: BTreeMap::new(),
-            next_id: 0,
-            cache: PlanCache::new(),
-            plan: Plan::default(),
-            plan_ids: Vec::new(),
-            plan_slot: None,
+            planner: PlannerCore::new(config, capacity)?,
+            subs: BTreeMap::new(),
             counters: Counters::default(),
         })
     }
@@ -104,7 +99,7 @@ impl ServeState {
     /// # Errors
     ///
     /// Same as [`ServeState::new`], plus [`ServeError::Snapshot`] when a
-    /// job id is not below `next_id`.
+    /// job id is duplicated or not below `next_id`.
     pub fn from_parts(
         config: RushConfig,
         capacity: u32,
@@ -112,35 +107,41 @@ impl ServeState {
         next_id: u64,
         counters: Counters,
     ) -> Result<Self, ServeError> {
-        let mut state = ServeState::new(config, capacity)?;
-        for (id, job) in jobs {
-            if id >= next_id {
-                return Err(ServeError::Snapshot(format!(
-                    "job id {id} is not below next_id {next_id}"
-                )));
-            }
-            if state.jobs.insert(id, job).is_some() {
-                return Err(ServeError::Snapshot(format!("duplicate job id {id}")));
-            }
-        }
-        state.next_id = next_id;
-        state.counters = counters;
-        Ok(state)
+        let mut subs = BTreeMap::new();
+        let records: Vec<(JobId, JobRecord)> = jobs
+            .into_iter()
+            .map(|(id, j)| {
+                let record = JobRecord {
+                    label: j.submission.label.clone(),
+                    utility: j.submission.utility,
+                    remaining_tasks: j.remaining_tasks,
+                    arrived_slot: j.arrived_slot,
+                    runtime_hint: j.submission.runtime_hint,
+                    parked: j.parked,
+                    samples: j.samples,
+                    failed_attempts: 0,
+                };
+                subs.insert(id, j.submission);
+                (JobId(id), record)
+            })
+            .collect();
+        let planner = PlannerCore::from_parts(config, capacity, records, next_id)?;
+        Ok(ServeState { planner, subs, counters })
     }
 
     /// The scheduler configuration.
     pub fn config(&self) -> &RushConfig {
-        &self.config
+        self.planner.config()
     }
 
     /// Cluster capacity in containers.
     pub fn capacity(&self) -> u32 {
-        self.capacity
+        self.planner.capacity()
     }
 
     /// Next job id to be assigned.
     pub fn next_id(&self) -> u64 {
-        self.next_id
+        self.planner.next_id()
     }
 
     /// The counters.
@@ -148,51 +149,43 @@ impl ServeState {
         self.counters
     }
 
-    /// Iterates all resident jobs (planned and parked) in id order.
-    pub fn jobs(&self) -> impl Iterator<Item = (u64, &JobState)> {
-        self.jobs.iter().map(|(id, j)| (*id, j))
+    /// The planner kernel (plan, deltas, cache counters) — read-only.
+    pub fn planner(&self) -> &PlannerCore {
+        &self.planner
     }
 
-    /// Replans if the cached plan is stale or was computed at a different
-    /// slot.
-    fn ensure_plan(&mut self, now_slot: u64) -> Result<(), ServeError> {
-        if self.plan_slot == Some(now_slot) {
-            return Ok(());
-        }
-        let ids: Vec<u64> =
-            self.jobs.iter().filter(|(_, j)| !j.parked).map(|(id, _)| *id).collect();
-        let inputs: Vec<PlanInput<'_>> = ids
-            .iter()
-            .map(|id| {
-                let j = &self.jobs[id];
-                PlanInput {
-                    samples: Cow::Borrowed(j.samples.as_slice()),
-                    remaining_tasks: j.remaining_tasks as usize,
-                    running: 0,
-                    failed_attempts: 0,
-                    age: now_slot.saturating_sub(j.arrived_slot) as f64,
-                    utility: j.submission.utility,
-                }
-            })
-            .collect();
-        self.plan = compute_plan_cached(&self.config, self.capacity, &inputs, &mut self.cache)?;
-        self.plan_ids = ids;
-        self.plan_slot = Some(now_slot);
-        Ok(())
+    /// Iterates all resident jobs (planned and parked) in id order,
+    /// reassembling each kernel record with its wire submission.
+    pub fn jobs(&self) -> impl Iterator<Item = (u64, JobState)> + '_ {
+        self.planner.jobs().map(|(id, record)| {
+            (
+                id.0,
+                JobState {
+                    submission: self.subs[&id.0].clone(),
+                    samples: record.samples.clone(),
+                    remaining_tasks: record.remaining_tasks,
+                    arrived_slot: record.arrived_slot,
+                    parked: record.parked,
+                },
+            )
+        })
     }
 
     /// The `(remaining deadline, η)` reservations of the planned jobs, read
-    /// off the current plan (call [`Self::ensure_plan`] first).
+    /// off the kernel's current plan (replan first).
     fn reservations(&self, now_slot: u64) -> Vec<(f64, u64)> {
-        self.plan_ids
+        let config = self.planner.config();
+        self.planner
+            .plan_ids()
             .iter()
-            .zip(self.plan.entries.iter())
-            .map(|(id, entry)| {
-                let j = &self.jobs[id];
-                let age = now_slot.saturating_sub(j.arrived_slot) as f64;
-                let d = (admission_deadline(&self.config, j.submission.budget) - age)
-                    .clamp(1.0, self.config.horizon);
-                (d, entry.eta)
+            .zip(self.planner.plan().entries.iter())
+            .filter_map(|(id, entry)| {
+                let record = self.planner.job(*id)?;
+                let sub = self.subs.get(&id.0)?;
+                let age = now_slot.saturating_sub(record.arrived_slot) as f64;
+                let d = (admission_deadline(config, sub.budget) - age)
+                    .clamp(1.0, config.horizon);
+                Some((d, entry.eta))
             })
             .collect()
     }
@@ -206,7 +199,7 @@ impl ServeState {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Core`] when the final replan fails; per-candidate
+    /// [`ServeError::Planner`] when the final replan fails; per-candidate
     /// estimation failures downgrade that candidate to a rejection rather
     /// than aborting the epoch.
     pub fn submit_epoch(
@@ -214,33 +207,38 @@ impl ServeState {
         subs: Vec<JobSubmission>,
         now_slot: u64,
     ) -> Result<Vec<(Decision, Option<u64>)>, ServeError> {
-        self.ensure_plan(now_slot)?;
+        self.planner.plan_at(now_slot)?;
         let mut reservations = self.reservations(now_slot);
 
         // Re-probe parked jobs first: deferred work gets the room freed
         // since the last epoch before new arrivals can claim it.
-        let parked: Vec<u64> =
-            self.jobs.iter().filter(|(_, j)| j.parked).map(|(id, _)| *id).collect();
+        let parked: Vec<JobId> = self
+            .planner
+            .jobs()
+            .filter(|(_, j)| j.parked)
+            .map(|(id, _)| id)
+            .collect();
         for id in parked {
             let (eta, sub) = {
-                let j = &self.jobs[&id];
+                let Some(record) = self.planner.job(id) else { continue };
+                let Some(sub) = self.subs.get(&id.0) else { continue };
                 let eta = match estimate_eta(
-                    &self.config,
-                    &j.samples,
-                    j.submission.runtime_hint,
-                    j.remaining_tasks as usize,
+                    self.planner.config(),
+                    &record.samples,
+                    sub.runtime_hint,
+                    record.remaining_tasks as usize,
                 ) {
                     Ok((eta, _)) => eta,
                     Err(_) => continue,
                 };
-                (eta, j.submission.clone())
+                (eta, sub.clone())
             };
-            if probe(&self.config, self.capacity, &reservations, &sub, eta) == Decision::Admit {
-                if let Some(j) = self.jobs.get_mut(&id) {
-                    j.parked = false;
-                }
+            let verdict =
+                probe(self.planner.config(), self.capacity(), &reservations, &sub, eta);
+            if verdict == Decision::Admit {
+                let _ = self.planner.set_parked(id, false);
                 self.counters.admitted += 1;
-                reservations.push((admission_deadline(&self.config, sub.budget), eta));
+                reservations.push((admission_deadline(self.planner.config(), sub.budget), eta));
             }
         }
 
@@ -248,39 +246,41 @@ impl ServeState {
         for sub in subs {
             // New submissions carry no samples; admission sizes them from
             // the hint or the cold prior.
-            let eta = estimate_eta(&self.config, &[], sub.runtime_hint, sub.tasks as usize)
-                .ok()
-                .map(|(eta, _)| eta);
+            let eta =
+                estimate_eta(self.planner.config(), &[], sub.runtime_hint, sub.tasks as usize)
+                    .ok()
+                    .map(|(eta, _)| eta);
             let decision = match eta {
-                Some(eta) => probe(&self.config, self.capacity, &reservations, &sub, eta),
+                Some(eta) => {
+                    probe(self.planner.config(), self.capacity(), &reservations, &sub, eta)
+                }
                 // A submission the estimator cannot size cannot be probed;
                 // refusing it is the conservative verdict.
                 None => Decision::Reject,
             };
             let id = match decision {
                 Decision::Admit | Decision::Defer => {
-                    let id = self.next_id;
-                    self.next_id += 1;
                     if decision == Decision::Admit {
                         self.counters.admitted += 1;
                         if let Some(eta) = eta {
-                            reservations
-                                .push((admission_deadline(&self.config, sub.budget), eta));
+                            reservations.push((
+                                admission_deadline(self.planner.config(), sub.budget),
+                                eta,
+                            ));
                         }
                     } else {
                         self.counters.deferred += 1;
                     }
-                    self.jobs.insert(
-                        id,
-                        JobState {
-                            remaining_tasks: sub.tasks,
-                            samples: Vec::new(),
-                            arrived_slot: now_slot,
-                            parked: decision == Decision::Defer,
-                            submission: sub,
-                        },
-                    );
-                    Some(id)
+                    let id = self.planner.admit(JobSpec {
+                        label: sub.label.clone(),
+                        utility: sub.utility,
+                        tasks: sub.tasks,
+                        arrived_slot: now_slot,
+                        runtime_hint: sub.runtime_hint,
+                        parked: decision == Decision::Defer,
+                    });
+                    self.subs.insert(id.0, sub);
+                    Some(id.0)
                 }
                 Decision::Reject => {
                     self.counters.rejected += 1;
@@ -291,8 +291,8 @@ impl ServeState {
         }
 
         self.counters.epochs += 1;
-        self.plan_slot = None;
-        self.ensure_plan(now_slot)?;
+        self.planner.invalidate();
+        self.planner.plan_at(now_slot)?;
         Ok(verdicts)
     }
 
@@ -303,18 +303,16 @@ impl ServeState {
     ///
     /// [`ErrorCode::UnknownJob`] for a non-resident id.
     pub fn report_sample(&mut self, job: u64, runtime: u64) -> Result<bool, WireError> {
-        let j = self.jobs.get_mut(&job).ok_or_else(|| unknown_job(job))?;
-        j.samples.push(runtime);
-        j.remaining_tasks = j.remaining_tasks.saturating_sub(1);
+        let outcome = self.planner.ingest_sample(JobId(job), runtime).map_err(|e| match e {
+            PlannerError::UnknownJob(id) => unknown_job(id),
+            other => internal(ServeError::from(other)),
+        })?;
         self.counters.samples += 1;
-        self.plan_slot = None;
-        if j.remaining_tasks == 0 {
-            self.jobs.remove(&job);
+        if outcome.completed {
+            self.subs.remove(&job);
             self.counters.completed += 1;
-            Ok(true)
-        } else {
-            Ok(false)
         }
+        Ok(outcome.completed)
     }
 
     /// Removes a job (planned or parked).
@@ -323,11 +321,11 @@ impl ServeState {
     ///
     /// [`ErrorCode::UnknownJob`] for a non-resident id.
     pub fn cancel(&mut self, job: u64) -> Result<(), WireError> {
-        if self.jobs.remove(&job).is_none() {
+        if !self.planner.cancel(JobId(job)) {
             return Err(unknown_job(job));
         }
+        self.subs.remove(&job);
         self.counters.cancelled += 1;
-        self.plan_slot = None;
         Ok(())
     }
 
@@ -347,17 +345,19 @@ impl ServeState {
         if let Some(id) = filter {
             self.check_planned(id)?;
         }
-        self.ensure_plan(now_slot).map_err(internal)?;
+        self.planner.plan_at(now_slot).map_err(|e| internal(ServeError::from(e)))?;
         Ok(self
-            .plan_ids
+            .planner
+            .plan_ids()
             .iter()
-            .zip(self.plan.entries.iter())
-            .filter(|(id, _)| filter.is_none() || filter == Some(**id))
-            .map(|(id, e)| {
-                let j = &self.jobs[id];
-                PlanRow {
-                    job: *id,
-                    label: j.submission.label.clone(),
+            .zip(self.planner.plan().entries.iter())
+            .filter(|(id, _)| filter.is_none() || filter == Some(id.0))
+            .filter_map(|(id, e)| {
+                let record = self.planner.job(*id)?;
+                let sub = self.subs.get(&id.0)?;
+                Some(PlanRow {
+                    job: id.0,
+                    label: sub.label.clone(),
                     eta: e.eta,
                     task_len: e.task_len,
                     target: e.target,
@@ -365,8 +365,8 @@ impl ServeState {
                     desired_now: e.desired_now,
                     planned_completion: e.planned_completion,
                     impossible: e.impossible,
-                    remaining_tasks: j.remaining_tasks,
-                }
+                    remaining_tasks: record.remaining_tasks,
+                })
             })
             .collect())
     }
@@ -383,22 +383,17 @@ impl ServeState {
         now_slot: u64,
     ) -> Result<(f64, u64, f64, u64, bool), WireError> {
         self.check_planned(job)?;
-        self.ensure_plan(now_slot).map_err(internal)?;
-        let idx = self
-            .plan_ids
-            .iter()
-            .position(|id| *id == job)
-            .ok_or_else(|| unknown_job(job))?;
-        let e = &self.plan.entries[idx];
+        self.planner.plan_at(now_slot).map_err(|e| internal(ServeError::from(e)))?;
+        let e = self.planner.entry(JobId(job)).ok_or_else(|| unknown_job(job))?;
         Ok((e.target, e.task_len, e.target + e.task_len as f64, e.planned_completion, e.impossible))
     }
 
     /// The counter snapshot. A stale plan is fine for counters, so this
     /// never forces a replan.
     pub fn stats(&mut self, now_slot: u64) -> StatsReport {
-        let parked = self.jobs.values().filter(|j| j.parked).count() as u64;
+        let parked = self.planner.parked_count() as u64;
         StatsReport {
-            active_jobs: self.jobs.len() as u64 - parked,
+            active_jobs: self.planner.job_count() as u64 - parked,
             deferred_jobs: parked,
             epochs: self.counters.epochs,
             admitted: self.counters.admitted,
@@ -407,14 +402,14 @@ impl ServeState {
             cancelled: self.counters.cancelled,
             completed: self.counters.completed,
             samples: self.counters.samples,
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
+            cache_hits: self.planner.cache_hits(),
+            cache_misses: self.planner.cache_misses(),
             now_slot,
         }
     }
 
     fn check_planned(&self, job: u64) -> Result<(), WireError> {
-        match self.jobs.get(&job) {
+        match self.planner.job(JobId(job)) {
             None => Err(unknown_job(job)),
             Some(j) if j.parked => Err(WireError {
                 code: ErrorCode::Deferred,
@@ -560,12 +555,12 @@ mod tests {
     fn restored_state_reproduces_the_plan_bit_identically() {
         let mut a = ServeState::new(RushConfig::default(), 16).expect("state");
         a.submit_epoch(vec![sub("x", 12, 4000), sub("y", 30, 9000)], 5).expect("epoch");
-        let x = a.plan_ids[0];
+        let x = a.planner().plan_ids()[0].0;
         a.report_sample(x, 47).expect("sample");
         let rows_a = a.rows(9, None).expect("rows");
 
         // Clone through from_parts, as snapshot restore does.
-        let jobs: Vec<(u64, JobState)> = a.jobs().map(|(id, j)| (id, j.clone())).collect();
+        let jobs: Vec<(u64, JobState)> = a.jobs().collect();
         let mut b = ServeState::from_parts(
             *a.config(),
             a.capacity(),
@@ -592,5 +587,17 @@ mod tests {
         )];
         let err = ServeState::from_parts(RushConfig::default(), 4, jobs, 5, Counters::default());
         assert!(matches!(err, Err(ServeError::Snapshot(_))));
+    }
+
+    #[test]
+    fn cancel_of_unknown_job_keeps_the_plan_fresh() {
+        // An unknown-job cancel must not invalidate the kernel's plan:
+        // cache hit/miss statistics would silently drift otherwise.
+        let mut s = ServeState::new(RushConfig::default(), 8).expect("state");
+        s.submit_epoch(vec![sub("j", 4, 5000)], 0).expect("epoch");
+        let misses = s.stats(0).cache_misses;
+        assert!(matches!(s.cancel(777).unwrap_err().code, ErrorCode::UnknownJob));
+        let _ = s.rows(0, None).expect("rows");
+        assert_eq!(s.stats(0).cache_misses, misses, "no replan after a no-op cancel");
     }
 }

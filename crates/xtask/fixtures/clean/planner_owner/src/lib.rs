@@ -1,0 +1,11 @@
+//! Clean corpus: the planner kernel itself may name `PlanCache` and
+//! `compute_plan_cached` — RUSH-L006 exempts the owning crates. This file
+//! is never compiled.
+
+pub struct Kernel {
+    pub cache: PlanCache,
+}
+
+pub fn replan(kernel: &mut Kernel) -> Result<(), ()> {
+    compute_plan_cached(&mut kernel.cache)
+}

@@ -1,0 +1,16 @@
+//! Seeded RUSH-L006 violations: an adapter crate holding the planner
+//! kernel's internal cache machinery instead of driving `PlannerCore`.
+//! This file is never compiled.
+
+use rush_core::plan::compute_plan_cached; // RUSH-L006 (kernel-internal fn)
+use rush_core::plan::PlanCache; // RUSH-L006 (kernel-internal type)
+
+pub struct ShadowPlanner {
+    cache: PlanCache, // RUSH-L006 (second cache outside the kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may poke the internals: not a finding.
+    use rush_core::plan::PlanCache;
+}

@@ -2,8 +2,9 @@
 //!
 //! The only subcommand today is `lint`: a from-scratch, registry-free
 //! static-analysis pass enforcing the workspace's RUSH-specific rules
-//! (determinism, float hygiene, panic hygiene, feature-gate hygiene and
-//! shim drift). See `cargo xtask lint --explain RUSH-L001` … `RUSH-L005`.
+//! (determinism, float hygiene, panic hygiene, feature-gate hygiene, shim
+//! drift and planner layering). See `cargo xtask lint --explain
+//! RUSH-L001` … `RUSH-L006`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

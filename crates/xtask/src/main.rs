@@ -51,7 +51,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             }
             "--explain" => {
                 let Some(code) = args.get(i + 1) else {
-                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L005)");
+                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L006)");
                     return ExitCode::from(2);
                 };
                 let Some(rule) = Rule::from_code(code) else {

@@ -15,6 +15,9 @@ pub enum Rule {
     FeatureGate,
     /// RUSH-L005 — shim drift: only use the API the vendored shims implement.
     ShimDrift,
+    /// RUSH-L006 — planner layering: `compute_plan_cached`/`PlanCache` are
+    /// kernel-internal; adapters go through `rush_planner::PlannerCore`.
+    PlannerLayering,
 }
 
 /// All rules, in code order.
@@ -24,6 +27,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::PanicHygiene,
     Rule::FeatureGate,
     Rule::ShimDrift,
+    Rule::PlannerLayering,
 ];
 
 impl Rule {
@@ -35,6 +39,7 @@ impl Rule {
             Rule::PanicHygiene => "RUSH-L003",
             Rule::FeatureGate => "RUSH-L004",
             Rule::ShimDrift => "RUSH-L005",
+            Rule::PlannerLayering => "RUSH-L006",
         }
     }
 
@@ -52,6 +57,7 @@ impl Rule {
             Rule::PanicHygiene => "panic path in library code",
             Rule::FeatureGate => "cfg(feature) names an undeclared feature",
             Rule::ShimDrift => "API not implemented by the vendored shim",
+            Rule::PlannerLayering => "planner-kernel internals used outside rush-planner",
         }
     }
 
@@ -123,6 +129,26 @@ impl Rule {
                  set, plus a curated denylist of well-known upstream API the shims omit\n\
                  (`thread_rng`, `shuffle`, `choose`, `StdRng`, `from_entropy`, ...).\n\
                  Either extend the shim or stay inside the implemented subset.\n"
+            }
+            Rule::PlannerLayering => {
+                "RUSH-L006: planner layering\n\
+                 \n\
+                 The event-driven planner kernel (`rush-planner`) is the single owner of\n\
+                 the CA pipeline's incremental machinery: the `PlanCache` memo table and\n\
+                 the `compute_plan_cached` entry point it feeds. Adapters (the simulator\n\
+                 scheduler, the `rushd` daemon, the CLI) must drive planning through\n\
+                 `rush_planner::PlannerCore` — never by calling `compute_plan_cached` or\n\
+                 holding a `PlanCache` of their own. A second cache outside the kernel\n\
+                 reintroduces exactly the duplicated freshness/invalidation state the\n\
+                 kernel refactor removed, and its hit/miss counters silently diverge\n\
+                 from the ones `stats` reports.\n\
+                 \n\
+                 The rule flags any reference to `compute_plan_cached` or `PlanCache` in\n\
+                 non-test library code of crates other than `rush-planner` and\n\
+                 `rush-core` (which defines them). Test code, benches and binaries are\n\
+                 exempt, as are the two owning crates. If a new layer legitimately needs\n\
+                 the raw cache, put it behind a kernel API instead, or justify the site:\n\
+                 // rush-lint: allow(RUSH-L006): <why>\n"
             }
         }
     }

@@ -1,4 +1,4 @@
-//! The five RUSH lint rules (RUSH-L001 … RUSH-L005), plus the supporting
+//! The six RUSH lint rules (RUSH-L001 … RUSH-L006), plus the supporting
 //! machinery: `#[cfg(test)]` region detection, pragma comments, the
 //! grandfathered-site allowlist and shim API surface extraction.
 
@@ -10,6 +10,13 @@ use crate::report::{Finding, Report, Rule};
 
 /// Names of the vendored shim crates checked by RUSH-L005.
 pub const SHIM_NAMES: &[&str] = &["rand", "proptest", "criterion"];
+
+/// Identifiers RUSH-L006 reserves to the planner kernel.
+const PLANNER_INTERNAL_IDENTS: &[&str] = &["compute_plan_cached", "PlanCache"];
+
+/// Crates allowed to reference [`PLANNER_INTERNAL_IDENTS`]: the kernel
+/// itself and the crate that defines the CA pipeline.
+const PLANNER_OWNER_CRATES: &[&str] = &["rush-planner", "rush-core"];
 
 /// Upstream API the shims deliberately do NOT implement. These fire even when
 /// the shim crate itself is outside the scanned tree (pure-name matching,
@@ -510,6 +517,25 @@ impl Engine<'_> {
             }
         }
 
+        // ---- RUSH-L006: planner layering -------------------------------
+        if !PLANNER_OWNER_CRATES.contains(&f.manifest.name.as_str()) && f.is_library() {
+            for (i, t) in toks.iter().enumerate() {
+                if in_test(i) || t.kind != TokKind::Ident {
+                    continue;
+                }
+                if PLANNER_INTERNAL_IDENTS.contains(&t.text.as_str()) {
+                    emit(
+                        Rule::PlannerLayering,
+                        t.line,
+                        format!(
+                            "`{}` is planner-kernel internal API; drive planning through `rush_planner::PlannerCore`",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+
         // ---- suppression: pragmas and allowlist ------------------------
         for finding in pending {
             let code = finding.rule.code();
@@ -737,6 +763,36 @@ mod tests {
         assert!(drift.iter().any(|f| f.message.contains("StdRng")));
         assert!(drift.iter().any(|f| f.message.contains("shuffle")));
         assert!(drift.iter().all(|f| !f.message.contains("SmallRng")));
+    }
+
+    #[test]
+    fn planner_internals_flagged_outside_owner_crates() {
+        let outsider = crate::manifest::parse_str(
+            "[package]\nname = \"rush-serve\"\n\
+             [package.metadata.rush-lint]\ndeterministic = false\nlibrary-hygiene = false\n",
+        );
+        let src = "use rush_core::plan::{compute_plan_cached, PlanCache};\n\
+                   pub struct S { cache: PlanCache }\n\
+                   #[cfg(test)]\nmod tests { use rush_core::plan::PlanCache; }\n";
+        let r = run(src, &outsider, "src/lib.rs");
+        let hits: Vec<_> =
+            r.findings.iter().filter(|f| f.rule == Rule::PlannerLayering).collect();
+        assert_eq!(hits.len(), 3, "two idents on line 1 + field type on line 2: {hits:#?}");
+        assert!(hits.iter().all(|f| f.line <= 2), "test-gated use is exempt");
+        // The owning crates may reference the internals freely.
+        for owner in super::PLANNER_OWNER_CRATES {
+            let m = crate::manifest::parse_str(&format!(
+                "[package]\nname = \"{owner}\"\n\
+                 [package.metadata.rush-lint]\ndeterministic = true\nlibrary-hygiene = true\n"
+            ));
+            let r = run("pub fn f(c: &mut PlanCache) { compute_plan_cached(c); }\n", &m, "src/lib.rs");
+            assert!(r.findings.iter().all(|f| f.rule != Rule::PlannerLayering), "{owner}");
+        }
+        // Bench/bin targets are not library code.
+        let bench = run(src, &outsider, "benches/b.rs");
+        assert!(bench.findings.iter().all(|f| f.rule != Rule::PlannerLayering));
+        let bin = run(src, &outsider, "src/bin/tool.rs");
+        assert!(bin.findings.iter().all(|f| f.rule != Rule::PlannerLayering));
     }
 
     #[test]

@@ -10,7 +10,7 @@ fn fixture(name: &str) -> PathBuf {
 }
 
 #[test]
-fn violations_corpus_trips_all_five_rule_families() {
+fn violations_corpus_trips_every_rule_family() {
     let report = xtask::lint(&fixture("violations")).expect("fixture tree readable");
     assert!(!report.findings.is_empty(), "seeded corpus must produce findings");
     for &rule in ALL_RULES {
@@ -45,9 +45,21 @@ fn violations_corpus_flags_expected_sites() {
     assert!(has(Rule::ShimDrift, "consumer", "from_entropy"));
     assert!(has(Rule::ShimDrift, "consumer", "shuffle"));
     assert!(has(Rule::ShimDrift, "consumer", "thread_rng"));
+    assert!(has(Rule::PlannerLayering, "layering", "compute_plan_cached"));
+    assert!(has(Rule::PlannerLayering, "layering", "PlanCache"));
     // The declared feature and the implemented shim path must NOT fire.
     assert!(!has(Rule::FeatureGate, "det_crate", "serde"));
     assert!(!has(Rule::ShimDrift, "consumer", "SmallRng"));
+    // The layering fixture's test-gated use of the internals is exempt.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::PlannerLayering && f.file.contains("layering"))
+            .count(),
+        3,
+        "two use-sites + the struct field, test module exempt"
+    );
     // Test-gated code in the corpus is exempt.
     assert!(report.findings.iter().all(|f| f.line < 44 || !f.file.contains("det_crate")));
 }

@@ -7,7 +7,8 @@
 //! cargo run --release --example failure_recovery
 //! ```
 
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::sim::engine::{SimConfig, Simulation};
 use rush::sim::job::{JobSpec, Phase, TaskSpec};
 use rush::sim::perturb::{FailureModel, Interference};

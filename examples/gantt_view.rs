@@ -7,7 +7,8 @@
 //! cargo run --release --example gantt_view
 //! ```
 
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::metrics::gantt::{utilization, Gantt, GanttSpan};
 use rush::sched::Fifo;
 use rush::sim::engine::{SimConfig, Simulation};

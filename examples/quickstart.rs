@@ -7,7 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::sched::Fifo;
 use rush::sim::cluster::ClusterSpec;
 use rush::sim::engine::{SimConfig, Simulation};

@@ -7,7 +7,8 @@
 //! cargo run --release --example scheduler_comparison -- [jobs] [budget_ratio]
 //! ```
 
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::metrics::table::{fmt_f64, Table};
 use rush::metrics::FiveNumber;
 use rush::sched::{Edf, Fair, Fifo, Rrh};

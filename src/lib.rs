@@ -10,7 +10,10 @@
 //! * [`utility`] — completion-time utility functions with inverses.
 //! * [`estimator`] — online job-demand distribution estimators.
 //! * [`core`] — the RUSH algorithms (REM closed form, WCDE bisection, onion
-//!   peeling, continuous time-slot mapping) and the [`core::RushScheduler`].
+//!   peeling, continuous time-slot mapping) and the CA feedback pipeline.
+//! * [`planner`] — the shared event-driven planner kernel
+//!   ([`planner::PlannerCore`]) and the [`planner::RushScheduler`] simulator
+//!   adapter built on it.
 //! * [`sched`] — baseline schedulers (FIFO, EDF, RRH, Fair).
 //! * [`workload`] — PUMA-like job templates and the experiment driver.
 //! * [`metrics`] — boxplots, ECDFs and table rendering for the harness.
@@ -27,6 +30,7 @@ pub use rush_core as core;
 pub use rush_estimator as estimator;
 pub use rush_lp as lp;
 pub use rush_metrics as metrics;
+pub use rush_planner as planner;
 pub use rush_prob as prob;
 pub use rush_sched as sched;
 pub use rush_serve as serve;

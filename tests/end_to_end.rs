@@ -2,7 +2,8 @@
 //! simulation under all five schedulers, determinism, and cross-scheduler
 //! invariants.
 
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::sched::{Edf, Fair, Fifo, Rrh};
 use rush::sim::cluster::ClusterSpec;
 use rush::sim::outcome::SimResult;

@@ -3,7 +3,8 @@
 //! driver, bursty arrivals, the CoRA comparison mode, and the LP reference
 //! against a real workload's plan.
 
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::sched::Fifo;
 use rush::sim::cluster::ClusterSpec;
 use rush::sim::engine::{SimConfig, Simulation};

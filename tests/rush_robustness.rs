@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use rush::core::wcde::worst_case_quantile;
-use rush::core::{RushConfig, RushScheduler};
+use rush::core::RushConfig;
+use rush::planner::RushScheduler;
 use rush::estimator::{DistributionEstimator, GaussianEstimator};
 use rush::sim::engine::{SimConfig, Simulation};
 use rush::sim::job::{JobSpec, Phase, TaskSpec};
