@@ -67,5 +67,8 @@ pub mod wcde;
 
 pub use config::RushConfig;
 pub use error::CoreError;
-pub use plan::{compute_plan, compute_plan_cached, Plan, PlanCache, PlanInput};
+pub use plan::{
+    compute_plan, compute_plan_cached, compute_plan_incremental, Plan, PlanCache, PlanInput,
+    PlanState,
+};
 pub use scheduler::ReferenceScheduler;

@@ -82,88 +82,283 @@ impl Placement {
 ///
 /// [`CoreError::InvalidConfig`] if `capacity == 0` or any `task_len == 0`.
 pub fn map_continuous(jobs: &[MapJob], capacity: u32) -> Result<Vec<Placement>, CoreError> {
+    validate(jobs, capacity)?;
+    let order = pack_order(jobs);
+    let mut occupation = vec![0u64; capacity as usize];
+    let mut placements = empty_placements(jobs);
+    pack_suffix(jobs, &order, 0, &mut occupation, &mut placements);
+    check_mapping_contract(jobs, &placements, capacity);
+    Ok(placements)
+}
+
+fn validate(jobs: &[MapJob], capacity: u32) -> Result<(), CoreError> {
     if capacity == 0 {
         return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
     }
     if jobs.iter().any(|j| j.task_len == 0) {
         return Err(CoreError::InvalidConfig { reason: "task_len must be >= 1" });
     }
-    // Strict jobs by ascending target; lax jobs afterwards, also by
-    // target (for lax jobs the target is not a deadline but an ordering
-    // hint assigned by the onion peel).
+    Ok(())
+}
+
+/// Pack order: strict jobs by ascending target; lax jobs afterwards, also
+/// by target (for lax jobs the target is not a deadline but an ordering
+/// hint assigned by the onion peel). Ties broken by input index, so the
+/// order is a pure function of the job list.
+fn pack_order(jobs: &[MapJob]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| {
         let j = &jobs[i];
         (j.lax, j.target, i)
     });
+    order
+}
 
-    let mut occupation = vec![0u64; capacity as usize];
-    let mut placements: Vec<Placement> = jobs
-        .iter()
+fn empty_placements(jobs: &[MapJob]) -> Vec<Placement> {
+    jobs.iter()
         .map(|j| Placement { task_len: j.task_len, completion: 0, segments: Vec::new() })
-        .collect();
+        .collect()
+}
 
-    for &i in &order {
+/// Packs `order[from..]` onto the queues, given the occupation the prefix
+/// `order[..from]` left behind. Packing one position at a time makes this
+/// the shared tail of both the full and the incremental mapping: identical
+/// inputs produce identical placements, bit for bit.
+///
+/// Least-occupied-queue selection (lax packing and overflow spill) is
+/// evaluated in closed form by [`water_fill`] — O(C · log(t·R)) per job
+/// instead of O(C) per *task*, with placements identical to the
+/// one-task-at-a-time scan.
+fn pack_suffix(
+    jobs: &[MapJob],
+    order: &[usize],
+    from: usize,
+    occupation: &mut [u64],
+    placements: &mut [Placement],
+) {
+    for &i in &order[from..] {
         let job = jobs[i];
+        // Reset in place: the slot may hold a recycled placement from the
+        // previous pass — clearing keeps its segment buffer's capacity, so
+        // steady-state repacks allocate nothing.
+        let p = &mut placements[i];
+        p.task_len = job.task_len;
+        p.completion = 0;
+        p.segments.clear();
         if job.lax {
-            // Leftover packing: one task at a time onto the least-occupied
-            // queue — work-conserving, and strictly behind every strict
-            // reservation already placed.
-            for _ in 0..job.tasks {
-                let (k, _) = occupation
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(idx, &o)| (o, idx))
-                    .expect("capacity > 0");
-                placements[i].segments.push(Segment {
-                    container: k as u32,
-                    start: occupation[k],
-                    tasks: 1,
-                });
-                occupation[k] += job.task_len;
-                placements[i].completion = placements[i].completion.max(occupation[k]);
-            }
+            // Leftover packing: least-occupied-queue filling — work-
+            // conserving, and strictly behind every strict reservation
+            // already placed (the pack order puts every strict job first).
+            water_fill(occupation, job.task_len, job.tasks, p);
             continue;
         }
         let mut remaining = job.tasks;
         let mut k = 0usize;
-        while remaining > 0 && k < capacity as usize {
+        // Dividends are at most `target + R − 1`.
+        let div = Recip::new(job.task_len, job.target.saturating_add(job.task_len));
+        while remaining > 0 && k < occupation.len() {
             let o = occupation[k];
             if o < job.target {
                 // Tasks that can still *start* before the target on this
                 // queue: ceil((target − o) / task_len).
-                let fit = (job.target - o).div_ceil(job.task_len).min(remaining);
+                let fit = div.div(job.target - o + (job.task_len - 1)).min(remaining);
                 if fit > 0 {
-                    placements[i].segments.push(Segment {
-                        container: k as u32,
-                        start: o,
-                        tasks: fit,
-                    });
+                    p.segments.push(Segment { container: k as u32, start: o, tasks: fit });
                     occupation[k] = o + fit * job.task_len;
-                    placements[i].completion = placements[i].completion.max(occupation[k]);
+                    p.completion = p.completion.max(occupation[k]);
                     remaining -= fit;
                 }
             }
             k += 1;
         }
-        // Overflow (targets violated capacity): spill one task at a time
-        // onto the least-occupied queue.
-        while remaining > 0 {
-            let (k, _) = occupation
-                .iter()
-                .enumerate()
-                .min_by_key(|&(idx, &o)| (o, idx))
-                .expect("capacity > 0");
-            placements[i].segments.push(Segment {
-                container: k as u32,
-                start: occupation[k],
-                tasks: 1,
-            });
-            occupation[k] += job.task_len;
-            placements[i].completion = placements[i].completion.max(occupation[k]);
-            remaining -= 1;
+        // Overflow (targets violated capacity): spill onto the
+        // least-occupied queues, same selection rule as lax packing.
+        if remaining > 0 {
+            water_fill(occupation, job.task_len, remaining, p);
         }
     }
+}
+
+/// Exact floor division by a fixed divisor via a precomputed reciprocal
+/// (the round-up method): with `m = ⌊2^64/d⌋ + 1` and `e = m·d − 2^64`
+/// (so `0 < e ≤ d`), `⌊x·m / 2^64⌋ = ⌊x/d⌋` exactly whenever
+/// `x·e < 2^64` — guaranteed here by requiring `x_max·d < 2^64` up
+/// front and falling back to hardware division otherwise. Turns the
+/// ~30-cycle `div` in the packing inner loops into a multiply-and-shift
+/// with bit-identical results.
+#[derive(Clone, Copy)]
+struct Recip {
+    d: u64,
+    m: u128,
+    exact: bool,
+}
+
+impl Recip {
+    fn new(d: u64, x_max: u64) -> Self {
+        Recip {
+            d,
+            m: (1u128 << 64) / d as u128 + 1,
+            exact: (x_max as u128) * (d as u128) < 1u128 << 64,
+        }
+    }
+
+    #[inline]
+    fn div(&self, x: u64) -> u64 {
+        if self.exact {
+            ((x as u128 * self.m) >> 64) as u64
+        } else {
+            x / self.d
+        }
+    }
+}
+
+/// Places `tasks` tasks of length `task_len` by least-occupied-queue
+/// selection — the queue with the smallest `(occupation, index)` key takes
+/// the next task — evaluated in closed form.
+///
+/// One-at-a-time selection pops keys in non-decreasing `(value, queue)`
+/// order from the per-queue arithmetic progressions
+/// `(o_k + j·R, k), j ≥ 0`: placing a task on queue `k` exposes its next
+/// key, so after `t` pops exactly the `t` smallest keys of the union have
+/// been taken. The per-queue task counts therefore follow from the value
+/// `w` of the `t`-th smallest key: every key strictly below `w` is taken,
+/// and the remainder goes to the queues whose progression hits `w`
+/// exactly, in ascending queue order (the key tie-break). `w` is located
+/// by a volume bound that pins it inside a window of width O(R) (bisection
+/// narrows the rare cases where the bound is loose), then *selected*
+/// outright as the matching order statistic of the ≤ 3 per-queue
+/// progression keys inside the window — O(C) total, independent of how
+/// many tasks each queue absorbs — and each queue's tasks land as one
+/// contiguous segment, exactly where the scan would have stacked them.
+fn water_fill(occupation: &mut [u64], task_len: u64, tasks: u64, placement: &mut Placement) {
+    if tasks == 0 {
+        return;
+    }
+    let l = task_len;
+    let (min_o, sum_o) = occupation
+        .iter()
+        .fold((u64::MAX, 0u128), |(m, s), &o| (m.min(o), s + o as u128));
+    debug_assert_ne!(min_o, u64::MAX, "capacity > 0");
+    // Every dividend below is `w − o ≤ tasks·R` (the bisection never
+    // probes past `min_o + tasks·R`, and `o ≥ min_o` whenever it is
+    // divided), so one reciprocal covers the whole call.
+    let div = Recip::new(l, tasks.saturating_mul(l));
+    // Keys with value ≤ w across all queue progressions.
+    let count = |occ: &[u64], w: u64| -> u64 {
+        occ.iter().map(|&o| if o > w { 0 } else { div.div(w - o) + 1 }).sum()
+    };
+    // The least-occupied queue alone exposes `tasks + 1` keys by
+    // `min_o + tasks·R`, so the t-th smallest key is at most that. The
+    // volume bound sharpens both ends: summing over *all* queues (queues
+    // above `w` contribute negatively), `count(w) > (C·w − Σo)/R`, so
+    // `w` with `C·w ≥ t·R + Σo` is a valid upper end; and each of the
+    // `A ≤ C` active queues overshoots the real quotient by less than 1,
+    // so `count(w) < (C·w − Σo)/R + C` *when every queue is active* —
+    // making the symmetric lower end a guess that one probe verifies.
+    let c = occupation.len() as u128;
+    let hi_bound = ((tasks as u128 * l as u128 + sum_o) / c + 1) as u64;
+    let lo_guess = ((tasks.saturating_sub(c as u64) as u128 * l as u128 + sum_o) / c) as u64;
+    let mut hi = (min_o + tasks * l).min(hi_bound.max(min_o));
+    let mut lo = min_o.max(lo_guess.min(hi));
+    if lo > min_o && count(occupation, lo) >= tasks {
+        // Some queue sat above the water level: the all-active bound did
+        // not apply. Fall back to the safe lower end.
+        hi = lo;
+        lo = min_o;
+    }
+    // Invariants: `count(hi) ≥ tasks` and `count(lo − 1) < tasks`, so the
+    // t-th smallest key value lies in `[lo, hi]`. Bisection narrows the
+    // window to width ≤ 2R (the volume guess usually lands there outright);
+    // within such a window each queue's progression holds at most three
+    // keys, so the t-th smallest is *selected* from the enumerated step
+    // points rather than probed for — and the same enumeration yields the
+    // strictly-below-`w` count the tie split needs, probe-free.
+    const STACK_KEYS: usize = 256;
+    let window = l.saturating_mul(2);
+    while hi - lo > window {
+        let mid = lo + (hi - lo) / 2;
+        if count(occupation, mid) >= tasks {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let (w, below_w) = if lo < hi && 3 * occupation.len() <= STACK_KEYS {
+        // `base` (keys strictly below the window) falls out of the same
+        // divisions that locate each queue's first in-window key — no
+        // separate counting probe.
+        let mut base = 0u64;
+        let mut keys = [0u64; STACK_KEYS];
+        let mut nk = 0usize;
+        for &o in occupation.iter() {
+            // Smallest progression key ≥ lo, then every key up to hi.
+            let mut key = if o >= lo {
+                o
+            } else {
+                let q = div.div(lo - o);
+                let f = o + q * l;
+                if f < lo {
+                    base += q + 1;
+                    f + l
+                } else {
+                    base += q;
+                    f
+                }
+            };
+            while key <= hi {
+                keys[nk] = key;
+                nk += 1;
+                key += l;
+            }
+        }
+        // `nk = count(hi) − base ≥ tasks − base`, so the rank is in range.
+        let k = (tasks - base) as usize;
+        let (_, kth, _) = keys[..nk].select_nth_unstable(k - 1);
+        let w = *kth;
+        (w, base + keys[..nk].iter().filter(|&&x| x < w).count() as u64)
+    } else {
+        // Degenerate window or very wide fleet: finish by bisection.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+                if count(occupation, mid) >= tasks {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let w = lo;
+        (w, if w == 0 { 0 } else { count(occupation, w - 1) })
+    };
+    // Keys strictly below `w` are all taken (count(w−1) < tasks by
+    // minimality of `w`); ties at exactly `w` fill in queue order.
+    let mut leftover = tasks - below_w;
+    for (k, o) in occupation.iter_mut().enumerate() {
+        let o0 = *o;
+        let mut m = 0;
+        let mut tie = false;
+        if o0 <= w {
+            let q = div.div(w - o0);
+            let r = (w - o0) - q * l;
+            // Keys strictly below w: q + 1 if the remainder is nonzero
+            // (progression entries at o0, o0+R, …, o0+q·R), else q.
+            m = if r != 0 { q + 1 } else { q };
+            tie = r == 0;
+        }
+        if leftover > 0 && tie {
+            m += 1;
+            leftover -= 1;
+        }
+        if m > 0 {
+            placement.segments.push(Segment { container: k as u32, start: o0, tasks: m });
+            *o = o0 + m * l;
+            placement.completion = placement.completion.max(*o);
+        }
+    }
+    debug_assert_eq!(leftover, 0, "water_fill under-placed");
+}
+
+#[cfg_attr(not(feature = "strict-invariants"), allow(unused_variables))]
+fn check_mapping_contract(jobs: &[MapJob], placements: &[Placement], capacity: u32) {
     #[cfg(feature = "strict-invariants")]
     {
         // Conservation: every task of every job lands in exactly one
@@ -195,7 +390,178 @@ pub fn map_continuous(jobs: &[MapJob], capacity: u32) -> Result<Vec<Placement>, 
             }
         }
     }
-    Ok(placements)
+}
+
+/// Telemetry: how the last [`map_continuous_incremental`] pass executed.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapStats {
+    /// Whether any cached prefix was eligible for reuse.
+    pub delta: bool,
+    /// Pack-order positions whose cached placements were reused verbatim.
+    pub reused_prefix: usize,
+    /// Pack-order positions repacked from the divergence point on.
+    pub repacked: usize,
+}
+
+/// Cross-pass state for [`map_continuous_incremental`]: the previous
+/// pass's inputs, pack order and placements (in input order). All
+/// buffers — placements, their segment vectors, the pack order and the
+/// occupation array — are recycled in place across passes, so a
+/// steady-state single-job delta allocates nothing.
+#[derive(Default, Debug, Clone)]
+pub struct MapState {
+    capacity: u32,
+    jobs: Vec<MapJob>,
+    order: Vec<usize>,
+    placements: Vec<Placement>,
+    occupation: Vec<u64>,
+    valid: bool,
+    stats: MapStats,
+}
+
+impl MapState {
+    /// Creates an empty state; the first pass packs everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached pack: the next pass repacks from scratch.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// How the most recent pass executed.
+    pub fn last_stats(&self) -> MapStats {
+        self.stats
+    }
+}
+
+/// Beyond this many changed jobs a splice repair of the cached pack
+/// order stops paying for itself (each splice memmoves O(n) entries and
+/// the divergence point drops toward 0 anyway); fall back to a full
+/// re-sort and repack.
+const MAX_SPLICED_CHANGES: usize = 16;
+
+/// [`map_continuous`] with cross-pass memoization.
+///
+/// Algorithm 4 packs one pack-order position at a time, and a position's
+/// placement depends only on the queue occupations left by the positions
+/// before it. So when the jobs at pack-order positions `0..p` are
+/// unchanged since the previous pass, their cached placements are reused
+/// verbatim: the occupation array they imply is replayed from their
+/// recorded segments (each segment's end *is* the queue's occupation at
+/// the moment it was placed), and only positions `p..` are repacked —
+/// in place, onto the recycled placement buffers. The cached pack order
+/// is likewise repaired by splicing out the changed jobs and
+/// re-inserting them at their new key positions instead of re-sorting.
+/// The returned slice (borrowed from `state`, in input order) is
+/// bit-identical to [`map_continuous`]'s result in every case.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] under the same conditions as
+/// [`map_continuous`].
+pub fn map_continuous_incremental<'a>(
+    jobs: &[MapJob],
+    capacity: u32,
+    state: &'a mut MapState,
+) -> Result<&'a [Placement], CoreError> {
+    validate(jobs, capacity)?;
+    let n = jobs.len();
+    let eligible = state.valid && state.capacity == capacity && state.jobs.len() == n;
+    // First pack-order position whose inputs differ from the cached pass;
+    // everything before it keeps its placement verbatim.
+    let mut from = 0usize;
+    if eligible {
+        from = splice_order(jobs, &mut state.order, &state.jobs);
+    } else {
+        state.order.clear();
+        state.order.extend(0..n);
+        state.order.sort_unstable_by_key(|&i| (jobs[i].lax, jobs[i].target, i));
+    }
+    state.jobs.clear();
+    state.jobs.extend_from_slice(jobs);
+    // Recycle the placement slots; stale suffix entries are reset inside
+    // `pack_suffix`, prefix entries are already correct.
+    if state.placements.len() != n {
+        state
+            .placements
+            .resize(n, Placement { task_len: 1, completion: 0, segments: Vec::new() });
+    }
+    state.occupation.clear();
+    state.occupation.resize(capacity as usize, 0);
+    for &i in &state.order[..from] {
+        // Replay occupancy: segments are recorded in placement order, so
+        // the last write to a queue leaves its true occupation.
+        let p = &state.placements[i];
+        for s in &p.segments {
+            state.occupation[s.container as usize] = s.start + s.tasks * p.task_len;
+        }
+    }
+    pack_suffix(jobs, &state.order, from, &mut state.occupation, &mut state.placements);
+    check_mapping_contract(jobs, &state.placements, capacity);
+    state.capacity = capacity;
+    state.stats = MapStats { delta: eligible, reused_prefix: from, repacked: n - from };
+    state.valid = true;
+    Ok(&state.placements)
+}
+
+/// Repairs a cached pack order after some jobs changed: every changed
+/// job is spliced out (located by its *old* sort key) and re-inserted at
+/// its *new* key position, leaving `order` exactly equal to
+/// [`pack_order`]`(jobs)` — the key `(lax, target, index)` is unique, so
+/// sorted-by-unique-key is a canonical form. Returns the first position
+/// the repair touched (the repack divergence point); positions before it
+/// kept both their order entry and that job's fields.
+///
+/// Falls back to a full re-sort when more than [`MAX_SPLICED_CHANGES`]
+/// jobs changed, returning 0.
+fn splice_order(jobs: &[MapJob], order: &mut Vec<usize>, old_jobs: &[MapJob]) -> usize {
+    let n = jobs.len();
+    let mut from = n;
+    // (old position, job index) of changed jobs whose sort key moved.
+    let mut moved = [(0usize, 0usize); MAX_SPLICED_CHANGES];
+    let mut moved_len = 0usize;
+    for (k, (job, old)) in jobs.iter().zip(old_jobs).enumerate() {
+        if job == old {
+            continue;
+        }
+        let old_key = (old.lax, old.target, k);
+        let pos = order
+            .binary_search_by_key(&old_key, |&i| (old_jobs[i].lax, old_jobs[i].target, i))
+            // rush-lint: allow(RUSH-L003): the key is read from the same cached order being searched
+            .expect("cached pack order is sorted by the cached jobs' keys");
+        if (job.lax, job.target) == (old.lax, old.target) {
+            // Key unchanged: the job stays put, but its packing inputs
+            // changed, so repack must start no later than here.
+            from = from.min(pos);
+            continue;
+        }
+        if moved_len == MAX_SPLICED_CHANGES {
+            order.clear();
+            order.extend(0..n);
+            order.sort_unstable_by_key(|&i| (jobs[i].lax, jobs[i].target, i));
+            return 0;
+        }
+        moved[moved_len] = (pos, k);
+        moved_len += 1;
+    }
+    let moved = &mut moved[..moved_len];
+    // Remove in descending position order so earlier removals don't
+    // shift the positions still pending; the smallest removal position is
+    // removed last and hence unshifted — safe to take as a `from` bound.
+    moved.sort_unstable_by_key(|m| std::cmp::Reverse(m.0));
+    for &(pos, _) in moved.iter() {
+        order.remove(pos);
+        from = from.min(pos);
+    }
+    for &(_, k) in moved.iter() {
+        let new_key = (jobs[k].lax, jobs[k].target, k);
+        let ins = order.partition_point(|&i| (jobs[i].lax, jobs[i].target, i) < new_key);
+        order.insert(ins, k);
+        from = from.min(ins);
+    }
+    from
 }
 
 /// Checks the Theorem 2 prefix-capacity condition for (target, demand)
@@ -422,6 +788,48 @@ mod tests {
         }
         assert!(p[3].segments.iter().all(|s| s.start >= 30));
         assert!(p[3].completion <= 60 + 10);
+    }
+
+    /// The memoized pack must be bit-identical to the full pack across a
+    /// deterministic stream of single-job mutations (target moves, task
+    /// count changes, lax flips, job churn at both ends of the order).
+    #[test]
+    fn incremental_mapping_matches_full_pack() {
+        let mut jobs: Vec<MapJob> = (0..50)
+            .map(|i| MapJob {
+                tasks: 1 + (i * 7) % 9,
+                task_len: 1 + (i * 3) % 13,
+                target: 10 + (i * 37) % 400,
+                lax: i % 5 == 0,
+            })
+            .collect();
+        let mut state = MapState::new();
+        let capacity = 8;
+        for step in 0..40u64 {
+            let k = (step as usize * 11) % jobs.len();
+            match step % 4 {
+                0 => jobs[k].target = (jobs[k].target + 31) % 450,
+                1 => jobs[k].tasks = 1 + (jobs[k].tasks + 2) % 11,
+                2 => jobs[k].lax = !jobs[k].lax,
+                _ => jobs[k].task_len = 1 + (jobs[k].task_len + 4) % 17,
+            }
+            let full = map_continuous(&jobs, capacity).unwrap();
+            let inc = map_continuous_incremental(&jobs, capacity, &mut state).unwrap();
+            assert_eq!(full, inc, "step {step}");
+            if step > 0 {
+                assert!(state.last_stats().delta, "step {step} should take the delta path");
+            }
+        }
+        // Capacity change invalidates the cache but stays correct.
+        let full = map_continuous(&jobs, capacity + 1).unwrap();
+        let inc = map_continuous_incremental(&jobs, capacity + 1, &mut state).unwrap();
+        assert_eq!(full, inc);
+        assert!(!state.last_stats().delta);
+        // No-op replan: the entire pack order is reused.
+        let again = map_continuous_incremental(&jobs, capacity + 1, &mut state).unwrap();
+        assert_eq!(full, again);
+        assert_eq!(state.last_stats().reused_prefix, jobs.len());
+        assert_eq!(state.last_stats().repacked, 0);
     }
 
     #[test]

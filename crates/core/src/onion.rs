@@ -101,10 +101,22 @@ impl Utility for Shifted<'_> {
     }
 }
 
-/// Outcome of one feasibility probe.
+/// Outcome of one feasibility probe, annotated with the evidence the
+/// delta-replay engine ([`peel_incremental`]) needs to re-verify the probe
+/// after a demand change without re-running the sweep.
+#[derive(Clone, Copy, Debug)]
 enum Check {
-    Feasible,
-    Infeasible { bottleneck: usize },
+    /// Every prefix-capacity boundary holds; `margin` is the minimum slack
+    /// `C·t + ε − (cum + G(t))` over all boundaries the sweep checked
+    /// (`+∞` when no boundary constrains the level).
+    Feasible { margin: f64 },
+    /// A boundary failed. `boundary` is the time at which the violation
+    /// was detected; `prefix_margin` is the minimum slack over the
+    /// boundaries checked *before* it (so a bounded demand increase
+    /// provably cannot move the first violation earlier); `never` marks
+    /// the pre-sweep case of a positive-demand job that cannot reach the
+    /// level at all (no boundary involved).
+    Infeasible { bottleneck: usize, boundary: f64, prefix_margin: f64, never: bool },
 }
 
 /// Sorted index over committed `(deadline, demand)` reservations with
@@ -115,18 +127,59 @@ enum Check {
 struct CommittedIndex {
     times: Vec<f64>,
     cums: Vec<u64>,
+    /// Bumped on every mutation; lets a [`SweepCursor`] detect that the
+    /// committed prefix it was captured against is unchanged.
+    epoch: u64,
 }
 
 impl CommittedIndex {
     /// Adds a reservation, keeping `times` sorted (ties in commit order)
     /// and `cums` the running prefix demand.
     fn insert(&mut self, t: f64, demand: u64) {
+        self.epoch += 1;
+        // Tail append: reservations created by the deferred phase land at
+        // or past the current maximum deadline (each packs after the load
+        // that precedes it), so the O(len) shift-and-bump is skipped.
+        if self.times.last().is_none_or(|&last| t >= last) {
+            let before = self.cums.last().copied().unwrap_or(0);
+            self.times.push(t);
+            self.cums.push(before + demand);
+            return;
+        }
         let pos = self.times.partition_point(|&x| x <= t);
         self.times.insert(pos, t);
         let before = if pos == 0 { 0 } else { self.cums[pos - 1] };
         self.cums.insert(pos, before + demand);
         for c in &mut self.cums[pos + 1..] {
             *c += demand;
+        }
+    }
+
+    /// Rebuilds the index from an unsorted committed list. A stable sort
+    /// by time keeps ties in commit order — bitwise the same index an
+    /// incremental insert sequence would have produced (inserts land
+    /// *after* existing ties).
+    fn rebuild(&mut self, committed: &[(f64, u64)]) {
+        self.epoch += 1;
+        let mut sorted: Vec<(f64, u64)> = committed.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.times.clear();
+        self.cums.clear();
+        let mut cum = 0u64;
+        for (t, e) in sorted {
+            cum += e;
+            self.times.push(t);
+            self.cums.push(cum);
+        }
+    }
+
+    /// `G(t)`: total committed demand with deadline ≤ `t`.
+    fn g(&self, t: f64) -> u64 {
+        let idx = self.times.partition_point(|&x| x <= t);
+        if idx == 0 {
+            0
+        } else {
+            self.cums[idx - 1]
         }
     }
 }
@@ -142,15 +195,112 @@ impl CommittedIndex {
 #[derive(Default)]
 struct ProbeScratch {
     deadlines: Vec<(f64, usize)>,
+    /// Deadline memo: when `filled`, the entries hold the *sorted* deadlines
+    /// of a previous probe at level `level_bits` over a superset of the
+    /// current entries. Consecutive layers overwhelmingly probe the exact
+    /// same level (`lo + tolerance` with an unchanged floor), so the memo
+    /// skips both the per-job utility inversion (the transcendental hot
+    /// spot) and the re-sort: `remove` preserves order and values.
+    level_bits: u64,
+    filled: bool,
+    /// Live entries. Removal tombstones an entry in place (job index set
+    /// to the [`DEAD`] sentinel) instead of compacting the vector, so a
+    /// peel/defer cascade removes in O(1) per layer rather than O(n);
+    /// sweeps skip tombstones, preserving the compact scan's order and
+    /// values exactly.
+    alive: usize,
+    /// Job index → position in `deadlines`; rebuilt with each sort (memo
+    /// refill), valid while `filled` — tombstoning never moves entries.
+    pos_of: Vec<u32>,
+    /// Resume point for the merged sweep (see [`SweepCursor`]).
+    cursor: SweepCursor,
+}
+
+/// Tombstone marker for a removed `ProbeScratch` entry.
+const DEAD: usize = usize::MAX;
+
+/// Snapshot of the merged sweep's running state, captured just *before*
+/// the entry whose prefix-capacity check failed. While the memoized
+/// deadline order, every entry ahead of `pos`, and the committed index are
+/// all unchanged, the next probe at the same level re-enters the sweep at
+/// `pos` instead of position 0 — the skipped prefix would recompute
+/// bit-identical sums, margins, and boundary checks, so resuming is
+/// indistinguishable from a full sweep. A defer cascade (hundreds of
+/// consecutive same-level probes, each tombstoning exactly the entry at
+/// `pos` and committing nothing) therefore sweeps each entry O(1) times
+/// overall instead of once per layer.
+///
+/// Invalidated by: a memo refill (re-sort moves entries), a removal at any
+/// position other than `pos`, tombstone compaction (positions shift), and
+/// any committed-index mutation (tracked via its epoch).
+#[derive(Clone, Copy, Default)]
+struct SweepCursor {
+    valid: bool,
+    /// Entry position the sweep resumes at.
+    pos: u32,
+    /// Committed-boundary pointer at the resume point.
+    ci: u32,
+    /// Active demand accumulated strictly before `pos` (the violating
+    /// entry's own demand is *excluded* — it is re-added when the resumed
+    /// sweep processes `pos`, or skipped if the entry was tombstoned).
+    cum: u64,
+    /// Minimum slack over all boundaries checked before the capture.
+    margin: f64,
+    /// Last live active entry before `pos` (`usize::MAX` = none).
+    last_active: usize,
+    /// [`CommittedIndex::epoch`] at capture time.
+    committed_epoch: u64,
 }
 
 impl ProbeScratch {
     fn fill(&mut self, jobs: &[OnionJob<'_>]) {
         self.deadlines = (0..jobs.len()).map(|i| (0.0, i)).collect();
+        self.alive = self.deadlines.len();
+        self.filled = false;
+        self.cursor.valid = false;
+    }
+
+    /// Fills from an explicit active set (delta-replay materialization).
+    /// Entry order does not matter for probe results — `check_level`
+    /// re-sorts by a total order — but ascending index matches what the
+    /// from-scratch loop's removals would have left.
+    fn fill_active(&mut self, active: &[usize]) {
+        self.deadlines.clear();
+        self.deadlines.extend(active.iter().filter(|&&i| i != DEAD).map(|&i| (0.0, i)));
+        self.alive = self.deadlines.len();
+        self.filled = false;
+        self.cursor.valid = false;
     }
 
     fn remove(&mut self, job: usize) {
-        self.deadlines.retain(|&(_, i)| i != job);
+        if self.filled {
+            // Sorted + position-indexed: tombstone in place.
+            let pos = self.pos_of[job] as usize;
+            debug_assert_eq!(self.deadlines[pos].1, job, "stale scratch position index");
+            self.deadlines[pos].1 = DEAD;
+            self.alive -= 1;
+            // A removal at or past the cursor's entry keeps the resumable
+            // prefix intact (the resumed sweep skips tombstones); one
+            // *before* it changes the prefix sums, so drop the cursor.
+            if self.cursor.valid && pos < self.cursor.pos as usize {
+                self.cursor.valid = false;
+            }
+            // Amortized compaction: once tombstones outnumber live entries,
+            // drop them — order-preserving, so the sorted memo stays valid —
+            // and rebuild the position index. Keeps probe sweeps O(live)
+            // while removal stays O(1) amortized.
+            if self.deadlines.len() > 2 * self.alive + 16 {
+                self.deadlines.retain(|&(_, i)| i != DEAD);
+                for (pos, &(_, i)) in self.deadlines.iter().enumerate() {
+                    self.pos_of[i] = pos as u32;
+                }
+                self.cursor.valid = false;
+            }
+        } else {
+            self.deadlines.retain(|&(_, i)| i != job);
+            self.alive -= 1;
+            self.cursor.valid = false;
+        }
     }
 }
 
@@ -168,25 +318,53 @@ fn check_level(
     // immediate bottleneck (it cannot reach the level no matter what).
     // The lowest-indexed such job is reported, matching a scan of the
     // active set in index order.
-    let mut never: Option<usize> = None;
-    for slot in &mut scratch.deadlines {
-        let i = slot.1;
-        match jobs[i].utility.latest_time(level).deadline_within(horizon) {
-            Some(d) => slot.0 = d,
-            None => {
-                if jobs[i].demand > 0 {
-                    never = Some(never.map_or(i, |b| b.min(i)));
-                }
-                // Demand-free jobs never block a layer: park them past
-                // every finite deadline.
+    //
+    // Memo hit: a previous probe at these exact level bits already filled
+    // and sorted the deadlines (over a superset of the current entries —
+    // removals preserve both), and proved no entry is a never-bottleneck;
+    // the inversion and sort are skipped wholesale.
+    if !(scratch.filled && scratch.level_bits == level.to_bits()) {
+        scratch.cursor.valid = false;
+        let mut never: Option<usize> = None;
+        for slot in &mut scratch.deadlines {
+            let i = slot.1;
+            if i == DEAD {
+                // Tombstone: park past every finite deadline so the sort
+                // keeps all live entries in front.
                 slot.0 = f64::INFINITY;
+                continue;
+            }
+            match jobs[i].utility.latest_time(level).deadline_within(horizon) {
+                Some(d) => slot.0 = d,
+                None => {
+                    if jobs[i].demand > 0 {
+                        never = Some(never.map_or(i, |b| b.min(i)));
+                    }
+                    // Demand-free jobs never block a layer: park them past
+                    // every finite deadline.
+                    slot.0 = f64::INFINITY;
+                }
             }
         }
+        if let Some(b) = never {
+            scratch.filled = false;
+            return Check::Infeasible {
+                bottleneck: b,
+                boundary: f64::NAN,
+                prefix_margin: 0.0,
+                never: true,
+            };
+        }
+        scratch.deadlines.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scratch.pos_of.resize(jobs.len(), 0);
+        for (pos, &(_, i)) in scratch.deadlines.iter().enumerate() {
+            if i != DEAD {
+                scratch.pos_of[i] = pos as u32;
+            }
+        }
+        scratch.level_bits = level.to_bits();
+        scratch.filled = true;
     }
-    if let Some(b) = never {
-        return Check::Infeasible { bottleneck: b };
-    }
-    scratch.deadlines.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     // Merged sweep over active deadlines AND committed reservation times.
     // Verifying only the active prefixes is not enough: an active job whose
     // deadline lands just *before* a committed reservation adds its demand
@@ -194,18 +372,47 @@ fn check_level(
     // monotone in the level once reservations exist, so every boundary
     // must be re-checked.
     let c = capacity as f64;
-    let mut cum = 0u64;
-    let mut ci = 0usize;
-    let mut last_active: Option<usize> = None;
-    for &(d, i) in &scratch.deadlines {
+    // Sweep resume: a valid cursor means every entry ahead of `pos`, the
+    // memoized order, and the committed index are untouched since the last
+    // same-level probe captured its state — re-sweeping that prefix would
+    // recompute these exact values, so skip straight to `pos`.
+    let resume = scratch.cursor;
+    let (start, mut cum, mut ci, mut margin, mut last_active) =
+        if resume.valid && resume.committed_epoch == committed.epoch {
+            (
+                resume.pos as usize,
+                resume.cum,
+                resume.ci as usize,
+                resume.margin,
+                (resume.last_active != DEAD).then_some(resume.last_active),
+            )
+        } else {
+            (0, 0u64, 0usize, f64::INFINITY, None)
+        };
+    for pos in start..scratch.deadlines.len() {
+        let (d, i) = scratch.deadlines[pos];
+        if i == DEAD {
+            continue;
+        }
         if d.is_infinite() {
             // Demand-free sentinel: contributes nothing, checks nothing.
             break;
         }
         while ci < committed.times.len() && committed.times[ci] < d {
-            if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
-                return Check::Infeasible { bottleneck: last_active.unwrap_or(i) };
+            let bound = c * committed.times[ci] + 1e-9;
+            let load = (cum + committed.cums[ci]) as f64;
+            if load > bound {
+                // The blamed entry sits somewhere *before* this one — the
+                // upcoming removal won't be at `pos`, so no resume point.
+                scratch.cursor.valid = false;
+                return Check::Infeasible {
+                    bottleneck: last_active.unwrap_or(i),
+                    boundary: committed.times[ci],
+                    prefix_margin: margin,
+                    never: false,
+                };
             }
+            margin = margin.min(bound - load);
             ci += 1;
         }
         cum += jobs[i].demand;
@@ -216,24 +423,55 @@ fn check_level(
             cj += 1;
         }
         let g = if cj == 0 { 0 } else { committed.cums[cj - 1] };
-        if (cum + g) as f64 > c * d + 1e-9 {
-            return Check::Infeasible { bottleneck: i };
+        let bound = c * d + 1e-9;
+        let load = (cum + g) as f64;
+        if load > bound {
+            // Capture the state just before this entry: if the caller
+            // defers/peels this bottleneck (the common cascade), the next
+            // probe at this level resumes here.
+            scratch.cursor = SweepCursor {
+                valid: true,
+                pos: pos as u32,
+                ci: ci as u32,
+                cum: cum - jobs[i].demand,
+                margin,
+                last_active: last_active.unwrap_or(DEAD),
+                committed_epoch: committed.epoch,
+            };
+            return Check::Infeasible {
+                bottleneck: i,
+                boundary: d,
+                prefix_margin: margin,
+                never: false,
+            };
         }
+        margin = margin.min(bound - load);
         last_active = Some(i);
     }
     while ci < committed.times.len() {
-        if (cum + committed.cums[ci]) as f64 > c * committed.times[ci] + 1e-9 {
+        let bound = c * committed.times[ci] + 1e-9;
+        let load = (cum + committed.cums[ci]) as f64;
+        if load > bound {
             if let Some(b) = last_active {
-                return Check::Infeasible { bottleneck: b };
+                // Blamed entry is not at a known single position ahead of
+                // the sweep — no resume point.
+                scratch.cursor.valid = false;
+                return Check::Infeasible {
+                    bottleneck: b,
+                    boundary: committed.times[ci],
+                    prefix_margin: margin,
+                    never: false,
+                };
             }
             // No active job to blame: the committed set alone is
             // infeasible (cannot arise from our own layering; guard for
             // caller-supplied states).
             break;
         }
+        margin = margin.min(bound - load);
         ci += 1;
     }
-    Check::Feasible
+    Check::Feasible { margin }
 }
 
 /// Utility levels at or below this are treated as "the job gains nothing".
@@ -252,33 +490,33 @@ const ZERO_LEVEL: f64 = 1e-9;
 /// lexicographic tie-break the paper describes ("allocate resources to
 /// other jobs because doing so can improve their utility without lowering
 /// the utility of this job").
-fn asap_deadline(demand: u64, committed: &[(f64, u64)], capacity: u32) -> f64 {
+fn asap_deadline(demand: u64, index: &CommittedIndex, capacity: u32) -> f64 {
     let c = capacity as f64;
-    // Committed deadlines sorted with cumulative demand.
-    let mut sorted: Vec<(f64, u64)> = committed.to_vec();
-    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut cum = 0u64;
-    let mut prefix: Vec<(f64, u64)> = Vec::with_capacity(sorted.len());
-    for &(t, e) in &sorted {
-        cum += e;
-        prefix.push((t, cum));
-    }
     // Barrier: the job must complete after any reservation it would break.
+    // The index's `(times, cums)` pair is exactly the sorted prefix the
+    // reference implementation rebuilds per call. When the *last*
+    // reservation is already broken it is the maximal violated deadline —
+    // the overloaded-steady-state common case — and the scan is skipped.
     let mut barrier = 0.0f64;
-    for &(t, cum_t) in &prefix {
-        if (demand + cum_t) as f64 > c * t + 1e-9 {
-            barrier = barrier.max(t);
+    match (index.times.last(), index.cums.last()) {
+        (Some(&t_last), Some(&cum_last))
+            if (demand + cum_last) as f64 > c * t_last + 1e-9 =>
+        {
+            barrier = t_last;
+        }
+        _ => {
+            for (&t, &cum_t) in index.times.iter().zip(&index.cums) {
+                if (demand + cum_t) as f64 > c * t + 1e-9 {
+                    barrier = barrier.max(t);
+                }
+            }
         }
     }
     let mut d = ((demand as f64 / c).max(1.0)).max(barrier + 1e-9);
     // Fixed point over the step function G; terminates in ≤ |committed|+1
     // rounds because each bump crosses at least one reservation deadline.
     loop {
-        let g: u64 = prefix
-            .iter()
-            .take_while(|(t, _)| *t <= d)
-            .last()
-            .map_or(0, |&(_, cum_t)| cum_t);
+        let g = index.g(d);
         let next = (((demand + g) as f64 / c).max(1.0)).max(barrier + 1e-9);
         if next <= d + 1e-9 {
             return d;
@@ -335,6 +573,15 @@ pub fn peel(
     tolerance: f64,
     horizon: f64,
 ) -> Result<Vec<Target>, CoreError> {
+    validate_params(capacity, tolerance, horizon)?;
+    let mut ctx = PeelCtx::fresh(jobs, capacity, tolerance, horizon);
+    run_layers(&mut ctx);
+    finish_deferred(&mut ctx);
+    debug_check_theorem2(&ctx.committed, capacity, ctx.overloaded);
+    Ok(ctx.targets)
+}
+
+fn validate_params(capacity: u32, tolerance: f64, horizon: f64) -> Result<(), CoreError> {
     if capacity == 0 {
         return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
     }
@@ -344,50 +591,180 @@ pub fn peel(
     if !horizon.is_finite() || horizon <= 0.0 {
         return Err(CoreError::InvalidConfig { reason: "horizon must be > 0" });
     }
-    let mut active: Vec<usize> = (0..jobs.len()).collect();
-    let mut committed: Vec<(f64, u64)> = Vec::new();
-    let mut index = CommittedIndex::default();
-    let mut scratch = ProbeScratch::default();
-    scratch.fill(jobs);
-    let mut deferred: Vec<(usize, f64)> = Vec::new();
-    let mut targets: Vec<Target> = Vec::with_capacity(jobs.len());
-    // Global floor: the lowest utility any job can end up with.
-    let mut level_lo = jobs.iter().map(|j| j.utility.inf()).fold(f64::INFINITY, f64::min);
-    if !level_lo.is_finite() {
-        level_lo = 0.0;
-    }
-    // Whether `level_lo` is known feasible for the current active/committed
-    // state. Peeling a bottleneck at a proven-feasible level preserves
-    // feasibility of that level exactly (the job's demand moves from the
-    // active sweep to a reservation at the same deadline), so the floor
-    // only needs an explicit probe on the first layer and after an
-    // infeasible-floor peel.
-    let mut floor_feasible = false;
-    // Overload marker: once a job peels off an infeasible floor (or a
-    // deferred job's ASAP slot is clamped by the horizon), the cluster
-    // cannot honor every target and Theorem 2's premise no longer holds.
-    let mut overloaded = false;
+    Ok(())
+}
 
-    while !active.is_empty() {
-        let level_hi = active
-            .iter()
-            .map(|&i| jobs[i].utility.sup())
-            .fold(f64::NEG_INFINITY, f64::max)
-            .max(level_lo);
-        let mut lo = level_lo;
-        let hi_cap = (level_hi + tolerance).max(lo + tolerance);
+/// One recorded feasibility probe: the exact level probed and the
+/// annotated outcome. Replay verifies the outcome still holds after a
+/// demand change; if every probe of every layer verifies, the whole
+/// trajectory — and therefore the peel output — is unchanged bit for bit.
+#[derive(Clone, Copy, Debug)]
+struct ProbeRec {
+    level: f64,
+    outcome: Check,
+}
+
+/// The action that closed one layer.
+#[derive(Clone, Copy, Debug)]
+enum ActionRec {
+    /// The bottleneck was deadline-free at its level: moved to the
+    /// deferred list.
+    Defer { job: usize, level: f64 },
+    /// The bottleneck peeled: target fixed, demand committed.
+    Peel { job: usize, level: f64, deadline: f64 },
+    /// No bottleneck up to every active sup: all remaining jobs close at
+    /// the converged level.
+    FinishAll { lo: f64 },
+}
+
+/// Per-layer slice of the flat probe log plus the closing action.
+#[derive(Clone, Copy, Debug)]
+struct LayerRec {
+    probe_start: u32,
+    probe_len: u32,
+    /// Whether the floor was (known or proven) feasible this layer — the
+    /// `floor_feasible` value layers after this one inherit.
+    floor_ok: bool,
+    action: ActionRec,
+}
+
+/// Execution trace of one fast peel: every probe and every layer action,
+/// in order, in flat reusable buffers.
+#[derive(Default, Debug, Clone)]
+struct PeelTrace {
+    probes: Vec<ProbeRec>,
+    layers: Vec<LayerRec>,
+}
+
+impl PeelTrace {
+    fn clear(&mut self) {
+        self.probes.clear();
+        self.layers.clear();
+    }
+
+    /// Drops layer `at` and everything after it (delta-replay resume).
+    fn truncate_layers(&mut self, at: usize) {
+        if at < self.layers.len() {
+            self.probes.truncate(self.layers[at].probe_start as usize);
+            self.layers.truncate(at);
+        }
+    }
+}
+
+/// Mutable state of one peeling run — everything layer `ℓ+1` inherits from
+/// layer `ℓ`. The delta-replay engine reconstructs exactly this state at
+/// its resume point, which is what makes a resumed run bit-identical to a
+/// from-scratch one.
+struct PeelCtx<'j, 'u> {
+    jobs: &'j [OnionJob<'u>],
+    capacity: u32,
+    tolerance: f64,
+    horizon: f64,
+    /// Active (unpeeled, undeferred) jobs in ascending index order. The
+    /// vector is the full `0..n` fill and is never compacted: removing job
+    /// `b` writes the [`DEAD`] sentinel at position `b` (the invariant
+    /// `active[b] == b` holds for every live job), so a peel/defer cascade
+    /// removes in O(1) per layer. Iteration skips sentinels.
+    active: Vec<usize>,
+    /// Live (non-sentinel) entries in `active`.
+    active_count: usize,
+    committed: Vec<(f64, u64)>,
+    index: CommittedIndex,
+    scratch: ProbeScratch,
+    deferred: Vec<(usize, f64)>,
+    targets: Vec<Target>,
+    /// Global floor: the lowest utility any job can end up with.
+    level_lo: f64,
+    /// Whether `level_lo` is known feasible for the current
+    /// active/committed state. Peeling a bottleneck at a proven-feasible
+    /// level preserves feasibility of that level exactly (the job's demand
+    /// moves from the active sweep to a reservation at the same deadline),
+    /// so the floor only needs an explicit probe on the first layer and
+    /// after an infeasible-floor peel.
+    floor_feasible: bool,
+    /// Overload marker: once a job peels off an infeasible floor (or a
+    /// deferred job's ASAP slot is clamped by the horizon), the cluster
+    /// cannot honor every target and Theorem 2's premise no longer holds.
+    overloaded: bool,
+    trace: PeelTrace,
+}
+
+impl<'j, 'u> PeelCtx<'j, 'u> {
+    fn fresh(jobs: &'j [OnionJob<'u>], capacity: u32, tolerance: f64, horizon: f64) -> Self {
+        let mut level_lo =
+            jobs.iter().map(|j| j.utility.inf()).fold(f64::INFINITY, f64::min);
+        if !level_lo.is_finite() {
+            level_lo = 0.0;
+        }
+        let mut scratch = ProbeScratch::default();
+        scratch.fill(jobs);
+        PeelCtx {
+            jobs,
+            capacity,
+            tolerance,
+            horizon,
+            active: (0..jobs.len()).collect(),
+            active_count: jobs.len(),
+            committed: Vec::new(),
+            index: CommittedIndex::default(),
+            scratch,
+            deferred: Vec::new(),
+            targets: Vec::with_capacity(jobs.len()),
+            level_lo,
+            floor_feasible: false,
+            overloaded: false,
+            trace: PeelTrace::default(),
+        }
+    }
+}
+
+/// The peeling loop (Algorithm 3's outer iteration), recording a
+/// [`PeelTrace`] as it goes. May start from a mid-run context — the
+/// delta-replay resume path — and behaves exactly as if a from-scratch run
+/// had reached that state.
+fn run_layers(ctx: &mut PeelCtx<'_, '_>) {
+    let jobs = ctx.jobs;
+    let (capacity, tolerance, horizon) = (ctx.capacity, ctx.tolerance, ctx.horizon);
+    // Descending-sup order of the live active set. With a cursor that
+    // skips jobs removed by earlier layers, the per-layer supremum is O(1)
+    // amortized instead of an O(n) fold; the first live entry under the
+    // descending total order is exactly the fold's maximum. Suprema are
+    // evaluated once up front — `sup()` costs a transcendental for the
+    // sigmoid class.
+    let mut sups: Vec<(f64, usize)> = ctx
+        .active
+        .iter()
+        .filter(|&&i| i != DEAD)
+        .map(|&i| (jobs[i].utility.sup(), i))
+        .collect();
+    sups.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut sup_cursor = 0usize;
+    while ctx.active_count > 0 {
+        let probe_start = ctx.trace.probes.len() as u32;
+        let mut lo = ctx.level_lo;
         let mut bottleneck: Option<usize> = None;
         // The floor itself may be infeasible in overload; the bottleneck of
         // the floor check then peels at the floor level.
-        let floor_ok = floor_feasible
-            || match check_level(jobs, &mut scratch, &index, capacity, horizon, lo) {
-                Check::Feasible => true,
-                Check::Infeasible { bottleneck: b } => {
+        let floor_ok = ctx.floor_feasible || {
+            let chk = check_level(jobs, &mut ctx.scratch, &ctx.index, capacity, horizon, lo);
+            ctx.trace.probes.push(ProbeRec { level: lo, outcome: chk });
+            match chk {
+                Check::Feasible { .. } => true,
+                Check::Infeasible { bottleneck: b, .. } => {
                     bottleneck = Some(b);
                     false
                 }
-            };
+            }
+        };
         if floor_ok {
+            while sup_cursor < sups.len() && ctx.active[sups[sup_cursor].1] == DEAD {
+                sup_cursor += 1;
+            }
+            let level_hi = sups
+                .get(sup_cursor)
+                .map_or(f64::NEG_INFINITY, |&(s, _)| s)
+                .max(ctx.level_lo);
+            let hi_cap = (level_hi + tolerance).max(lo + tolerance);
             // Warm-started bisection: consecutive layers converge to
             // nearby levels, so instead of always bracketing against the
             // global sup, gallop upward from the floor with a geometrically
@@ -399,13 +776,16 @@ pub fn peel(
             let mut width = tolerance;
             let mut hi = (lo + width).min(hi_cap);
             while hi < hi_cap {
-                match check_level(jobs, &mut scratch, &index, capacity, horizon, hi) {
-                    Check::Feasible => {
+                let chk =
+                    check_level(jobs, &mut ctx.scratch, &ctx.index, capacity, horizon, hi);
+                ctx.trace.probes.push(ProbeRec { level: hi, outcome: chk });
+                match chk {
+                    Check::Feasible { .. } => {
                         lo = hi;
                         width *= 4.0;
                         hi = (lo + width).min(hi_cap);
                     }
-                    Check::Infeasible { bottleneck: b } => {
+                    Check::Infeasible { bottleneck: b, .. } => {
                         bottleneck = Some(b);
                         break;
                     }
@@ -416,9 +796,12 @@ pub fn peel(
             }
             while hi - lo > tolerance {
                 let mid = 0.5 * (lo + hi);
-                match check_level(jobs, &mut scratch, &index, capacity, horizon, mid) {
-                    Check::Feasible => lo = mid,
-                    Check::Infeasible { bottleneck: b } => {
+                let chk =
+                    check_level(jobs, &mut ctx.scratch, &ctx.index, capacity, horizon, mid);
+                ctx.trace.probes.push(ProbeRec { level: mid, outcome: chk });
+                match chk {
+                    Check::Feasible { .. } => lo = mid,
+                    Check::Infeasible { bottleneck: b, .. } => {
                         hi = mid;
                         bottleneck = Some(b);
                     }
@@ -426,6 +809,7 @@ pub fn peel(
             }
         }
 
+        let probe_len = ctx.trace.probes.len() as u32 - probe_start;
         match bottleneck {
             Some(b) => {
                 let level_b = lo.min(jobs[b].utility.sup());
@@ -435,33 +819,469 @@ pub fn peel(
                     // is flat at this level (time-insensitive). Defer it:
                     // it will be slotted into leftover capacity once every
                     // job that *does* care has been peeled.
-                    deferred.push((b, level_b));
-                    active.retain(|&i| i != b);
-                    scratch.remove(b);
+                    ctx.deferred.push((b, level_b));
+                    debug_assert_eq!(ctx.active[b], b, "active-slot invariant");
+                    ctx.active[b] = DEAD;
+                    ctx.active_count -= 1;
+                    ctx.scratch.remove(b);
                     // Removing demand can only help: a floor proven
                     // feasible this layer stays feasible.
-                    floor_feasible = floor_ok;
+                    ctx.floor_feasible = floor_ok;
+                    ctx.trace.layers.push(LayerRec {
+                        probe_start,
+                        probe_len,
+                        floor_ok,
+                        action: ActionRec::Defer { job: b, level: level_b },
+                    });
                     continue;
                 }
                 if !floor_ok {
-                    overloaded = true;
+                    ctx.overloaded = true;
                 }
                 let deadline = deadline_for(&jobs[b], lo, horizon);
-                targets.push(Target { job: b, level: lo, deadline, lax: false });
-                committed.push((deadline, jobs[b].demand));
-                index.insert(deadline, jobs[b].demand);
-                active.retain(|&i| i != b);
-                scratch.remove(b);
+                ctx.targets.push(Target { job: b, level: lo, deadline, lax: false });
+                ctx.committed.push((deadline, jobs[b].demand));
+                ctx.index.insert(deadline, jobs[b].demand);
+                debug_assert_eq!(ctx.active[b], b, "active-slot invariant");
+                ctx.active[b] = DEAD;
+                ctx.active_count -= 1;
+                ctx.scratch.remove(b);
                 // Later layers can only improve on this level; it stays
                 // feasible only if it was proven so this layer (peeling
                 // from an infeasible floor must re-probe).
-                level_lo = lo;
-                floor_feasible = floor_ok;
+                ctx.level_lo = lo;
+                ctx.floor_feasible = floor_ok;
+                ctx.trace.layers.push(LayerRec {
+                    probe_start,
+                    probe_len,
+                    floor_ok,
+                    action: ActionRec::Peel { job: b, level: lo, deadline },
+                });
             }
             None => {
                 // Everything feasible up to every job's supremum: peel all
                 // remaining jobs at the converged level.
-                for &i in &active {
+                for &i in &ctx.active {
+                    if i == DEAD {
+                        continue;
+                    }
+                    let level_i = lo.min(jobs[i].utility.sup());
+                    if is_deadline_free(&jobs[i], level_i) {
+                        ctx.deferred.push((i, level_i));
+                        continue;
+                    }
+                    let deadline = deadline_for(&jobs[i], lo, horizon);
+                    ctx.targets.push(Target { job: i, level: level_i, deadline, lax: false });
+                    ctx.committed.push((deadline, jobs[i].demand));
+                    ctx.index.insert(deadline, jobs[i].demand);
+                }
+                ctx.active.clear();
+                ctx.active_count = 0;
+                ctx.trace.layers.push(LayerRec {
+                    probe_start,
+                    probe_len,
+                    floor_ok: true,
+                    action: ActionRec::FinishAll { lo },
+                });
+            }
+        }
+    }
+}
+
+/// Places the deferred (zero-gain or time-insensitive) jobs: earliest
+/// completion that leaves every committed reservation intact — they run in
+/// the leftover capacity at full parallelism instead of being parked at
+/// the horizon. Hopeless-but-time-sensitive jobs (level ~0) go before
+/// genuinely flat ones — any residual utility tail still prefers earlier
+/// completion — and smaller demands go first within each group.
+fn finish_deferred(ctx: &mut PeelCtx<'_, '_>) {
+    let jobs = ctx.jobs;
+    ctx.deferred.sort_by(|a, b| {
+        let flat_a = a.1 > ZERO_LEVEL;
+        let flat_b = b.1 > ZERO_LEVEL;
+        (flat_a, jobs[a.0].demand, a.0).cmp(&(flat_b, jobs[b.0].demand, b.0))
+    });
+    for &(i, level) in &ctx.deferred {
+        let asap = asap_deadline(jobs[i].demand, &ctx.index, ctx.capacity);
+        if asap > ctx.horizon {
+            ctx.overloaded = true;
+        }
+        let deadline = asap.min(ctx.horizon);
+        ctx.targets.push(Target { job: i, level, deadline, lax: true });
+        ctx.committed.push((deadline, jobs[i].demand));
+        ctx.index.insert(deadline, jobs[i].demand);
+    }
+}
+
+/// Telemetry: how the last [`peel_incremental`] pass executed. Exposed so
+/// benches and tests can assert the delta path actually replays instead of
+/// silently re-peeling.
+#[derive(Default, Clone, Copy, Debug, PartialEq)]
+pub struct ReplayStats {
+    /// Whether the pass took the delta-replay path at all (false: full
+    /// re-peel, because the context changed or the state was invalid).
+    pub delta: bool,
+    /// Layers whose recorded trajectory was verified and applied.
+    pub replayed_layers: usize,
+    /// Layer index at which replay fell back to the real peeling loop
+    /// (`None`: replay ran to completion).
+    pub resumed_at: Option<usize>,
+    /// Probes re-verified in O(1) arithmetic, without a sweep.
+    pub verified_probes: usize,
+    /// Probes re-executed for real against materialized sweep state.
+    pub refreshed_probes: usize,
+}
+
+/// Cross-pass state for [`peel_incremental`]: the previous pass's
+/// execution trace, demands and parameters.
+///
+/// The state is opaque; it only promises that feeding consecutive passes
+/// through it yields plans bit-identical to from-scratch [`peel`] calls.
+#[derive(Default, Debug, Clone)]
+pub struct PeelState {
+    trace: PeelTrace,
+    demands: Vec<u64>,
+    capacity: u32,
+    tolerance: f64,
+    horizon: f64,
+    valid: bool,
+    stats: ReplayStats,
+}
+
+impl PeelState {
+    /// Creates an empty state; the first pass through it records a trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the recorded trace: the next pass re-peels from scratch.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// How the most recent pass executed.
+    pub fn last_stats(&self) -> ReplayStats {
+        self.stats
+    }
+}
+
+/// Absolute slack (container·slots) a recorded margin must retain beyond
+/// the demand delta before arithmetic re-verification is trusted; covers
+/// accumulated f64 rounding from margin decay across events.
+const REPLAY_GUARD: f64 = 1e-6;
+
+/// [`peel`] with cross-pass memoization: when only demands (η) changed
+/// since the previous pass — `same_context` asserts the job count, order,
+/// utilities and ages are unchanged; capacity/tolerance/horizon are
+/// checked against the state — the recorded probe trajectory is *replayed*
+/// instead of re-peeled.
+///
+/// Replay verifies each recorded feasibility probe in O(1) arithmetic
+/// using the monotone structure of the Theorem-2 prefix-capacity test: a
+/// feasible probe whose minimum slack exceeds the total demand increase
+/// stays feasible; an infeasible probe stays infeasible at the same
+/// boundary when every decreased demand lies strictly after it and the
+/// increases fit inside the pre-violation slack. Probes that cannot be
+/// verified arithmetically are re-executed against materialized sweep
+/// state; the first probe whose *outcome* actually flips aborts the replay
+/// and resumes the real peeling loop from that layer — on exactly the
+/// state a from-scratch run would have reached, so the result is bitwise
+/// identical to [`peel`] in every case.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] under the same conditions as [`peel`].
+pub fn peel_incremental(
+    jobs: &[OnionJob<'_>],
+    capacity: u32,
+    tolerance: f64,
+    horizon: f64,
+    same_context: bool,
+    state: &mut PeelState,
+) -> Result<Vec<Target>, CoreError> {
+    validate_params(capacity, tolerance, horizon)?;
+    let eligible = same_context
+        && state.valid
+        && state.demands.len() == jobs.len()
+        && state.capacity == capacity
+        && state.tolerance.to_bits() == tolerance.to_bits()
+        && state.horizon.to_bits() == horizon.to_bits()
+        // A demand crossing zero flips the job's never-blocks/∞-sentinel
+        // classification inside probes; replay does not model that.
+        && jobs.iter().zip(&state.demands).all(|(j, &old)| (j.demand == 0) == (old == 0));
+    if !eligible {
+        let mut ctx = PeelCtx::fresh(jobs, capacity, tolerance, horizon);
+        state.trace.clear();
+        std::mem::swap(&mut ctx.trace, &mut state.trace);
+        run_layers(&mut ctx);
+        finish_deferred(&mut ctx);
+        debug_check_theorem2(&ctx.committed, capacity, ctx.overloaded);
+        std::mem::swap(&mut ctx.trace, &mut state.trace);
+        state.demands.clear();
+        state.demands.extend(jobs.iter().map(|j| j.demand));
+        state.capacity = capacity;
+        state.tolerance = tolerance;
+        state.horizon = horizon;
+        state.valid = true;
+        state.stats = ReplayStats::default();
+        return Ok(ctx.targets);
+    }
+    Ok(replay(jobs, capacity, tolerance, horizon, state))
+}
+
+/// Where a changed job's demand currently sits during replay.
+#[derive(Clone, Copy, PartialEq)]
+enum ChangedStatus {
+    /// Still in the active sweep (deadline = U⁻¹ at the probed level).
+    Active,
+    /// Peeled: the demand is a committed reservation at the stored target.
+    Committed(f64),
+    /// Deferred: the demand influences nothing until the deferred phase,
+    /// which replay always recomputes for real.
+    Deferred,
+}
+
+/// One job whose demand differs from the recorded pass.
+struct ChangedJob {
+    idx: usize,
+    /// `new − old`; exact in f64 for demands below 2⁵³.
+    delta: f64,
+    status: ChangedStatus,
+    /// Memoized `latest_time(level).deadline_within(horizon)` keyed by the
+    /// level's bits: cascade layers probe long runs of one level, and the
+    /// utility inversion is the only transcendental in the verify path.
+    inv: Option<(u64, Option<f64>)>,
+}
+
+/// Re-verifies one recorded probe arithmetically. `pos` is the total
+/// demand increase currently in play. Returns the updated record
+/// (conservatively decayed margins) or `None` when a real probe is needed.
+fn verify_probe(
+    jobs: &[OnionJob<'_>],
+    horizon: f64,
+    rec: ProbeRec,
+    changed: &mut [ChangedJob],
+    pos: f64,
+) -> Option<Check> {
+    match rec.outcome {
+        Check::Feasible { margin } => {
+            // Decreases only grow every boundary's slack; increases shrink
+            // each by at most `pos`, so the stored minimum decays by `pos`.
+            // rush-lint: allow(RUSH-L002): exact zero means no positive deltas exist, not a rounded value
+            if pos == 0.0 {
+                Some(rec.outcome)
+            } else if margin - pos >= REPLAY_GUARD {
+                Some(Check::Feasible { margin: margin - pos })
+            } else {
+                None
+            }
+        }
+        // The never-scan reads utilities and the demand>0 pattern only —
+        // both unchanged under the delta-eligibility preconditions.
+        Check::Infeasible { never: true, .. } => Some(rec.outcome),
+        Check::Infeasible { bottleneck, boundary, prefix_margin, never: false } => {
+            // A decreased demand at or before the violated boundary could
+            // heal it; require every decrease to sit strictly after it.
+            for c in changed.iter_mut() {
+                if c.delta >= 0.0 || c.status == ChangedStatus::Deferred {
+                    continue;
+                }
+                let eff = match c.status {
+                    ChangedStatus::Committed(t) => Some(t),
+                    ChangedStatus::Active => match c.inv {
+                        Some((bits, d)) if bits == rec.level.to_bits() => d,
+                        _ => {
+                            let d = jobs[c.idx]
+                                .utility
+                                .latest_time(rec.level)
+                                .deadline_within(horizon);
+                            c.inv = Some((rec.level.to_bits(), d));
+                            d
+                        }
+                    },
+                    // rush-lint: allow(RUSH-L003): deferred jobs are skipped by the `continue` above
+                    ChangedStatus::Deferred => unreachable!(),
+                };
+                match eff {
+                    Some(e) if e > boundary => {}
+                    _ => return None,
+                }
+            }
+            // Increases cannot heal the violation; they could only move it
+            // *earlier*, which the pre-violation slack rules out.
+            if pos > prefix_margin - REPLAY_GUARD {
+                return None;
+            }
+            Some(Check::Infeasible {
+                bottleneck,
+                boundary,
+                prefix_margin: prefix_margin - pos,
+                never: false,
+            })
+        }
+    }
+}
+
+/// Whether a freshly executed probe confirms the recorded trajectory: the
+/// layer's control flow depends on the outcome variant and (for the layer
+/// action) the bottleneck identity.
+fn same_trajectory(fresh: Check, rec: Check) -> bool {
+    match (fresh, rec) {
+        (Check::Feasible { .. }, Check::Feasible { .. }) => true,
+        (Check::Infeasible { bottleneck: a, .. }, Check::Infeasible { bottleneck: b, .. }) => {
+            a == b
+        }
+        _ => false,
+    }
+}
+
+/// The delta-replay pass. See [`peel_incremental`] for the contract.
+fn replay(
+    jobs: &[OnionJob<'_>],
+    capacity: u32,
+    tolerance: f64,
+    horizon: f64,
+    state: &mut PeelState,
+) -> Vec<Target> {
+    let n = jobs.len();
+    let mut changed: Vec<ChangedJob> = jobs
+        .iter()
+        .zip(&state.demands)
+        .enumerate()
+        .filter(|(_, (j, &old))| j.demand != old)
+        .map(|(i, (j, &old))| ChangedJob {
+            idx: i,
+            delta: j.demand as f64 - old as f64,
+            status: ChangedStatus::Active,
+            inv: None,
+        })
+        .collect();
+    let mut stats = ReplayStats { delta: true, ..Default::default() };
+
+    let mut removed = vec![false; n];
+    let mut committed: Vec<(f64, u64)> = Vec::new();
+    let mut deferred: Vec<(usize, f64)> = Vec::new();
+    let mut targets: Vec<Target> = Vec::with_capacity(n);
+    let mut level_lo = jobs.iter().map(|j| j.utility.inf()).fold(f64::INFINITY, f64::min);
+    if !level_lo.is_finite() {
+        level_lo = 0.0;
+    }
+    let mut floor_feasible = false;
+    let mut overloaded = false;
+    let mut removed_count = 0usize;
+    // Sweep state materialized at the first refresh probe, then kept in
+    // sync lazily: layer actions only bump `removed`/`committed`, and the
+    // next refresh catches up in one retain pass plus the few pending
+    // reservation inserts — preserving the scratch's deadline memo, which
+    // makes a dense run of refresh probes at one recorded level cost one
+    // utility inversion total.
+    let mut live: Option<(ProbeScratch, CommittedIndex)> = None;
+    // Committed entries already present in the live index.
+    let mut live_commits = 0usize;
+    // Jobs removed by layer actions since the live scratch last caught up.
+    let mut pending_removed: Vec<usize> = Vec::new();
+    let mut resume_at: Option<usize> = None;
+
+    'layers: for li in 0..state.trace.layers.len() {
+        let layer = state.trace.layers[li];
+        let pos: f64 = changed
+            .iter()
+            .filter(|c| c.status != ChangedStatus::Deferred)
+            .map(|c| c.delta.max(0.0))
+            .sum();
+        let influenced = changed.iter().any(|c| c.status != ChangedStatus::Deferred);
+        let pr = layer.probe_start as usize..(layer.probe_start + layer.probe_len) as usize;
+        for p in pr {
+            let rec = state.trace.probes[p];
+            let verdict = if influenced {
+                verify_probe(jobs, horizon, rec, &mut changed, pos)
+            } else {
+                Some(rec.outcome)
+            };
+            match verdict {
+                Some(updated) => {
+                    stats.verified_probes += 1;
+                    state.trace.probes[p].outcome = updated;
+                }
+                None => {
+                    match live.as_mut() {
+                        None => {
+                            let active: Vec<usize> =
+                                (0..n).filter(|&i| !removed[i]).collect();
+                            let mut scratch = ProbeScratch::default();
+                            scratch.fill_active(&active);
+                            let mut index = CommittedIndex::default();
+                            index.rebuild(&committed);
+                            live = Some((scratch, index));
+                        }
+                        Some((scratch, index)) => {
+                            // Catch up on actions applied since the last
+                            // refresh: O(1) per removed job (tombstone via
+                            // the scratch's position index), a few
+                            // reservation inserts.
+                            for &j in &pending_removed {
+                                scratch.remove(j);
+                            }
+                            if committed.len() - live_commits > 32 {
+                                index.rebuild(&committed);
+                            } else {
+                                for &(t, e) in &committed[live_commits..] {
+                                    index.insert(t, e);
+                                }
+                            }
+                        }
+                    }
+                    pending_removed.clear();
+                    live_commits = committed.len();
+                    // rush-lint: allow(RUSH-L003): populated by the refresh branch directly above
+                    let (scratch, index) = live.as_mut().expect("just materialized");
+                    let fresh = check_level(jobs, scratch, index, capacity, horizon, rec.level);
+                    stats.refreshed_probes += 1;
+                    if same_trajectory(fresh, rec.outcome) {
+                        state.trace.probes[p].outcome = fresh;
+                    } else {
+                        // The trajectory genuinely diverged: resume the
+                        // real loop from this layer's entry state.
+                        resume_at = Some(li);
+                        break 'layers;
+                    }
+                }
+            }
+        }
+        match layer.action {
+            ActionRec::Defer { job, level } => {
+                removed[job] = true;
+                removed_count += 1;
+                pending_removed.push(job);
+                deferred.push((job, level));
+                floor_feasible = layer.floor_ok;
+                if let Some(c) = changed.iter_mut().find(|c| c.idx == job) {
+                    c.status = ChangedStatus::Deferred;
+                }
+            }
+            ActionRec::Peel { job, level, deadline } => {
+                targets.push(Target { job, level, deadline, lax: false });
+                committed.push((deadline, jobs[job].demand));
+                removed[job] = true;
+                removed_count += 1;
+                pending_removed.push(job);
+                if !layer.floor_ok {
+                    overloaded = true;
+                }
+                level_lo = level;
+                floor_feasible = layer.floor_ok;
+                if let Some(c) = changed.iter_mut().find(|c| c.idx == job) {
+                    c.status = ChangedStatus::Committed(deadline);
+                }
+            }
+            ActionRec::FinishAll { lo } => {
+                for i in 0..n {
+                    if removed[i] {
+                        continue;
+                    }
+                    removed[i] = true;
+                    removed_count += 1;
+                    pending_removed.push(i);
                     let level_i = lo.min(jobs[i].utility.sup());
                     if is_deadline_free(&jobs[i], level_i) {
                         deferred.push((i, level_i));
@@ -471,33 +1291,51 @@ pub fn peel(
                     targets.push(Target { job: i, level: level_i, deadline, lax: false });
                     committed.push((deadline, jobs[i].demand));
                 }
-                active.clear();
             }
         }
+        stats.replayed_layers += 1;
     }
 
-    // Deferred jobs (zero-gain or time-insensitive): earliest completion
-    // that leaves every committed reservation intact — they run in the
-    // leftover capacity at full parallelism instead of being parked at the
-    // horizon. Hopeless-but-time-sensitive jobs (level ~0) go before
-    // genuinely flat ones — any residual utility tail still prefers
-    // earlier completion — and smaller demands go first within each group.
-    deferred.sort_by(|a, b| {
-        let flat_a = a.1 > ZERO_LEVEL;
-        let flat_b = b.1 > ZERO_LEVEL;
-        (flat_a, jobs[a.0].demand, a.0).cmp(&(flat_b, jobs[b.0].demand, b.0))
-    });
-    for (i, level) in deferred {
-        let asap = asap_deadline(jobs[i].demand, &committed, capacity);
-        if asap > horizon {
-            overloaded = true;
-        }
-        let deadline = asap.min(horizon);
-        targets.push(Target { job: i, level, deadline, lax: true });
-        committed.push((deadline, jobs[i].demand));
+    let mut ctx = PeelCtx {
+        jobs,
+        capacity,
+        tolerance,
+        horizon,
+        active: Vec::new(),
+        active_count: 0,
+        committed,
+        index: CommittedIndex::default(),
+        scratch: ProbeScratch::default(),
+        deferred,
+        targets,
+        level_lo,
+        floor_feasible,
+        overloaded,
+        trace: std::mem::take(&mut state.trace),
+    };
+    if let Some(li) = resume_at {
+        stats.resumed_at = Some(li);
+        ctx.trace.truncate_layers(li);
+        ctx.active = (0..n).map(|i| if removed[i] { DEAD } else { i }).collect();
+        ctx.active_count = n - removed_count;
+        // rush-lint: allow(RUSH-L003): divergence always refreshes `live` before breaking out
+        let (scratch, index) = live.take().expect("resume always follows a refresh");
+        ctx.scratch = scratch;
+        ctx.index = index;
+        run_layers(&mut ctx);
+    } else {
+        // Replay covered every layer; only the deferred phase (always
+        // recomputed — its packing order keys on the live demands) needs
+        // the committed index.
+        ctx.index.rebuild(&ctx.committed);
     }
-    debug_check_theorem2(&committed, capacity, overloaded);
-    Ok(targets)
+    finish_deferred(&mut ctx);
+    debug_check_theorem2(&ctx.committed, capacity, ctx.overloaded);
+    state.trace = ctx.trace;
+    state.demands.clear();
+    state.demands.extend(jobs.iter().map(|j| j.demand));
+    state.stats = stats;
+    ctx.targets
 }
 
 /// Contract (Theorem 2): in a non-overloaded instance, the committed
@@ -605,10 +1443,54 @@ fn is_deadline_free(job: &OnionJob<'_>, level: f64) -> bool {
 /// same layering — property tests compare the two on random instances, and
 /// the Fig. 5 benchmark uses this as the before-optimization baseline.
 pub mod naive {
-    use super::{
-        asap_deadline, deadline_for, is_deadline_free, Check, OnionJob, Target, ZERO_LEVEL,
-    };
+    use super::{deadline_for, is_deadline_free, OnionJob, Target, ZERO_LEVEL};
     use crate::CoreError;
+
+    /// Frozen two-outcome probe verdict. The optimized peel's [`super::Check`]
+    /// has since grown margin annotations for delta replay; the oracle keeps
+    /// the original shape so its transcription of Algorithm 3 never drifts.
+    enum Check {
+        Feasible,
+        Infeasible { bottleneck: usize },
+    }
+
+    /// Frozen copy of the original sort-per-call ASAP packing used by the
+    /// deferred phase, kept verbatim as the optimized path migrated to the
+    /// maintained committed index.
+    fn asap_deadline(demand: u64, committed: &[(f64, u64)], capacity: u32) -> f64 {
+        let c = capacity as f64;
+        // Committed deadlines sorted with cumulative demand.
+        let mut sorted: Vec<(f64, u64)> = committed.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cum = 0u64;
+        let mut prefix: Vec<(f64, u64)> = Vec::with_capacity(sorted.len());
+        for &(t, e) in &sorted {
+            cum += e;
+            prefix.push((t, cum));
+        }
+        // Barrier: the job must complete after any reservation it would break.
+        let mut barrier = 0.0f64;
+        for &(t, cum_t) in &prefix {
+            if (demand + cum_t) as f64 > c * t + 1e-9 {
+                barrier = barrier.max(t);
+            }
+        }
+        let mut d = ((demand as f64 / c).max(1.0)).max(barrier + 1e-9);
+        // Fixed point over the step function G; terminates in ≤ |committed|+1
+        // rounds because each bump crosses at least one reservation deadline.
+        loop {
+            let g: u64 = prefix
+                .iter()
+                .take_while(|(t, _)| *t <= d)
+                .last()
+                .map_or(0, |&(_, cum_t)| cum_t);
+            let next = (((demand + g) as f64 / c).max(1.0)).max(barrier + 1e-9);
+            if next <= d + 1e-9 {
+                return d;
+            }
+            d = next;
+        }
+    }
 
     /// Sorted index over committed `(deadline, demand)` reservations,
     /// rebuilt from scratch once per peel layer.
@@ -1044,5 +1926,110 @@ mod tests {
         assert!(prefix_capacity_feasible(&reservations, 4));
         // Squeezing the same demands onto 1 container breaks feasibility.
         assert!(!prefix_capacity_feasible(&reservations, 1));
+    }
+
+    fn assert_targets_bitwise(a: &[Target], b: &[Target], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.job, y.job, "{ctx}: job order");
+            assert_eq!(x.level.to_bits(), y.level.to_bits(), "{ctx}: level, job {}", x.job);
+            assert_eq!(x.deadline.to_bits(), y.deadline.to_bits(), "{ctx}: deadline, job {}", x.job);
+            assert_eq!(x.lax, y.lax, "{ctx}: lax, job {}", x.job);
+        }
+    }
+
+    /// Delta replay must be bit-identical to a from-scratch peel across a
+    /// deterministic sweep of single- and multi-job demand perturbations,
+    /// including large swings that force trajectory resumes.
+    #[test]
+    fn incremental_peel_bitwise_matches_full_peel() {
+        let utilities: Vec<TimeUtility> = (0..40)
+            .map(|i| {
+                let budget = 120.0 + 61.0 * i as f64;
+                sigmoid(budget, 1.0 + (i % 5) as f64, 10.0 / budget)
+            })
+            .collect();
+        let mut demands: Vec<u64> = (0..40).map(|i| 37 + 91 * i as u64 % 1800).collect();
+        let mut state = PeelState::new();
+        let (cap, tol, hor) = (16u32, 1e-4, 1e6);
+
+        let jobs: Vec<OnionJob<'_>> = demands
+            .iter()
+            .zip(&utilities)
+            .map(|(&d, u)| OnionJob { demand: d, utility: u })
+            .collect();
+        let full = peel(&jobs, cap, tol, hor).unwrap();
+        let inc = peel_incremental(&jobs, cap, tol, hor, true, &mut state).unwrap();
+        assert_targets_bitwise(&full, &inc, "cold");
+        assert!(!state.last_stats().delta, "first pass records, not replays");
+
+        let mut saw_replay = false;
+        let mut saw_resume = false;
+        for step in 0..60u64 {
+            // Deterministic perturbation: small nudges, occasional large
+            // swings, and a periodic burst touching several jobs at once.
+            let k = (step as usize * 7) % demands.len();
+            match step % 5 {
+                0 => demands[k] = demands[k].saturating_add(3).max(1),
+                1 => demands[k] = demands[k].saturating_sub(2).max(1),
+                2 => demands[k] = (demands[k] * 3).max(1),
+                3 => demands[k] = (demands[k] / 4).max(1),
+                _ => {
+                    for j in 0..4 {
+                        let m = (k + j * 11) % demands.len();
+                        demands[m] = (demands[m] + 17 * j as u64 + 1).max(1);
+                    }
+                }
+            }
+            let jobs: Vec<OnionJob<'_>> = demands
+                .iter()
+                .zip(&utilities)
+                .map(|(&d, u)| OnionJob { demand: d, utility: u })
+                .collect();
+            let full = peel(&jobs, cap, tol, hor).unwrap();
+            let inc = peel_incremental(&jobs, cap, tol, hor, true, &mut state).unwrap();
+            assert_targets_bitwise(&full, &inc, &format!("step {step}"));
+            let stats = state.last_stats();
+            assert!(stats.delta, "step {step}: eligible pass must take delta path");
+            saw_replay |= stats.resumed_at.is_none();
+            saw_resume |= stats.resumed_at.is_some();
+        }
+        assert!(saw_replay, "sweep never exercised a full replay");
+        assert!(saw_resume, "sweep never exercised a trajectory resume");
+    }
+
+    /// Context changes (job count, capacity, zero-crossings, caller flag)
+    /// must force the safe full-record path.
+    #[test]
+    fn incremental_peel_rejects_context_changes() {
+        let u = sigmoid(300.0, 2.0, 0.03);
+        let utilities = vec![u, u, u];
+        fn jobs<'a>(d: &[u64], us: &'a [TimeUtility]) -> Vec<OnionJob<'a>> {
+            d.iter().zip(us).map(|(&d, u)| OnionJob { demand: d, utility: u }).collect()
+        }
+        let mut state = PeelState::new();
+        let j = jobs(&[100, 200, 300], &utilities);
+        peel_incremental(&j, 8, 1e-4, 1e6, true, &mut state).unwrap();
+
+        // Caller says context changed.
+        peel_incremental(&j, 8, 1e-4, 1e6, false, &mut state).unwrap();
+        assert!(!state.last_stats().delta);
+        // Capacity changed.
+        peel_incremental(&j, 9, 1e-4, 1e6, true, &mut state).unwrap();
+        assert!(!state.last_stats().delta);
+        // Job count changed.
+        let j2 = jobs(&[100, 200], &utilities[..2]);
+        peel_incremental(&j2, 9, 1e-4, 1e6, true, &mut state).unwrap();
+        assert!(!state.last_stats().delta);
+        // Demand zero-crossing.
+        let j3 = jobs(&[100, 0], &utilities[..2]);
+        peel_incremental(&j3, 9, 1e-4, 1e6, true, &mut state).unwrap();
+        assert!(!state.last_stats().delta);
+        // And back on the happy path: same context replays.
+        let j4 = jobs(&[101, 0], &utilities[..2]);
+        let full = peel(&j4, 9, 1e-4, 1e6).unwrap();
+        let inc = peel_incremental(&j4, 9, 1e-4, 1e6, true, &mut state).unwrap();
+        assert_targets_bitwise(&full, &inc, "post-reset delta");
+        assert!(state.last_stats().delta);
     }
 }

@@ -24,8 +24,8 @@
 //! therefore produces bit-identical plans to an uncached one.
 
 use crate::config::EstimatorKind;
-use crate::mapping::{map_continuous, MapJob};
-use crate::onion::{peel, OnionJob, Shifted};
+use crate::mapping::{map_continuous, map_continuous_incremental, MapJob, MapState, MapStats};
+use crate::onion::{peel, peel_incremental, OnionJob, PeelState, ReplayStats, Shifted};
 use crate::wcde::worst_case_quantile;
 use crate::{CoreError, RushConfig};
 use rush_estimator::{
@@ -120,6 +120,10 @@ pub struct JobSolve {
 pub struct PlanCache {
     // rush-lint: allow(RUSH-L001): keyed by u128 fingerprint, get/insert only
     map: HashMap<u128, JobSolve>,
+    /// Per-input-index memo from the previous pass: `(fingerprint,
+    /// solve)`. Positionally stable passes hit here in O(1) per job; the
+    /// keyed map above is only the spillover for reshuffled lists.
+    by_index: Vec<(u128, JobSolve)>,
     hits: u64,
     misses: u64,
 }
@@ -142,17 +146,18 @@ impl PlanCache {
 
     /// Entries currently retained (≤ jobs in the last pass).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.by_index.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.by_index.is_empty()
     }
 
     /// Drops all entries (counters are kept).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.by_index.clear();
     }
 }
 
@@ -171,9 +176,10 @@ impl Fnv {
     }
 
     fn u64(mut self, v: u64) -> Self {
-        for b in v.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
+        // One xor-multiply per word instead of eight per-byte rounds: the
+        // fingerprint pass is on the steady-state replan path, and the
+        // keys live only inside one process — no stability obligation.
+        self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
         self
     }
 
@@ -318,40 +324,65 @@ fn solve_jobs<E: PlanEstimator>(
         return solve_batch(config, &refs, estimator);
     };
 
+    let n = jobs.len();
     let tag = config_tag(config);
     let prints: Vec<u128> = jobs.iter().map(|j| fingerprint(tag, j)).collect();
-    let prev = std::mem::take(&mut cache.map);
-    // rush-lint: allow(RUSH-L001): generation rotation of the memo table, never iterated
-    let mut next: HashMap<u128, JobSolve> = HashMap::with_capacity(jobs.len());
-    let mut out: Vec<Option<JobSolve>> = vec![None; jobs.len()];
+    let mut out: Vec<Option<JobSolve>> = vec![None; n];
+    // Index-aligned fast path: between consecutive passes the job list is
+    // usually positionally stable with at most a few changed entries, so
+    // the per-index memo serves almost every job without touching (or
+    // rebuilding) a hash table.
+    let index_ok = cache.by_index.len() == n;
     let mut miss_idx: Vec<usize> = Vec::new();
     for (i, fp) in prints.iter().enumerate() {
-        if let Some(&s) = prev.get(fp).or_else(|| next.get(fp)) {
-            out[i] = Some(s);
-            next.insert(*fp, s);
+        if index_ok && cache.by_index[i].0 == *fp {
+            out[i] = Some(cache.by_index[i].1);
             cache.hits += 1;
         } else {
             miss_idx.push(i);
+        }
+    }
+    if miss_idx.len() > INDEX_SHIFT_SPILL {
+        // Index alignment broke (an arrival or cancel reshuffled the
+        // list): spill the previous pass into the keyed map so shifted
+        // jobs still hit by content.
+        for &(fp, s) in &cache.by_index {
+            cache.map.insert(fp, s);
+        }
+    }
+    let mut solve_idx: Vec<usize> = Vec::new();
+    for &i in &miss_idx {
+        if let Some(&s) = cache.map.get(&prints[i]) {
+            out[i] = Some(s);
+            cache.hits += 1;
+        } else {
+            solve_idx.push(i);
             cache.misses += 1;
         }
     }
-    let miss_jobs: Vec<&PlanInput<'_>> = miss_idx.iter().map(|&i| &jobs[i]).collect();
-    let solved = match solve_batch(config, &miss_jobs, estimator) {
-        Ok(s) => s,
-        Err(e) => {
-            // Keep the hits gathered so far; the failed pass must not
-            // wipe the cache.
-            cache.map = next;
-            return Err(e);
-        }
-    };
-    for (&i, s) in miss_idx.iter().zip(solved) {
-        next.insert(prints[i], s);
+    let miss_jobs: Vec<&PlanInput<'_>> = solve_idx.iter().map(|&i| &jobs[i]).collect();
+    // On error the per-index memo is untouched and still content-correct
+    // (it is keyed by fingerprint); the failed pass must not wipe it.
+    let solved = solve_batch(config, &miss_jobs, estimator)?;
+    for (&i, s) in solve_idx.iter().zip(solved) {
+        cache.map.insert(prints[i], s);
         out[i] = Some(s);
     }
-    cache.map = next;
+    cache.by_index.clear();
+    cache
+        .by_index
+        // rush-lint: allow(RUSH-L003): every slot is filled by the hit loop or the miss solve above
+        .extend(prints.iter().zip(&out).map(|(&fp, s)| (fp, s.expect("hit or solved"))));
+    // The keyed map is intra-pass scratch: draining it here keeps the
+    // retention promise (departed jobs do not linger) — the next pass's
+    // reshuffle spill repopulates it from `by_index` when needed.
+    cache.map.clear();
     Ok(out.into_iter().map(|s| s.expect("every job hit or solved")).collect())
 }
+
+/// Index misses beyond this spill the previous pass's per-index memo into
+/// the keyed map (a positional reshuffle, not a content change).
+const INDEX_SHIFT_SPILL: usize = 2;
 
 /// Runs one CA pass with the estimator class named in `config`.
 ///
@@ -449,6 +480,284 @@ pub fn compute_plan_with_cached<E: PlanEstimator>(
     compute_plan_inner(config, capacity, jobs, estimator, Some(cache))
 }
 
+/// Wall-clock phase breakdown and delta telemetry for the most recent
+/// [`compute_plan_incremental`] pass. Times are nanoseconds.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct PlanPhaseStats {
+    /// Estimate + WCDE stage (including memo-table lookups).
+    pub solve_ns: u64,
+    /// Onion peel (delta replay or full re-peel).
+    pub peel_ns: u64,
+    /// Continuous time-slot mapping.
+    pub map_ns: u64,
+    /// Target/placement bookkeeping and entry assembly.
+    pub assemble_ns: u64,
+    /// How the peel executed (replayed / resumed / re-recorded).
+    pub peel_replay: ReplayStats,
+    /// How the mapping executed (prefix reuse).
+    pub map_delta: MapStats,
+}
+
+/// Under `strict-invariants`, every this-many incremental passes the plan
+/// is recomputed from scratch and compared — the delta structures must
+/// never drift from the pure pipeline.
+#[cfg(feature = "strict-invariants")]
+const SPOT_CHECK_INTERVAL: u64 = 64;
+
+/// Cross-pass state for [`compute_plan_incremental`]: the per-job memo
+/// table plus the peel trace and mapping pack the delta paths patch
+/// between events.
+#[derive(Default, Debug, Clone)]
+pub struct PlanState {
+    cache: PlanCache,
+    peel: PeelState,
+    map: MapState,
+    /// Utility/age context of the previous pass: the peel replay is only
+    /// sound when demands are the sole change, so these are compared
+    /// (bitwise for ages) before taking the delta path.
+    last_utilities: Vec<TimeUtility>,
+    last_ages: Vec<u64>,
+    passes: u64,
+    stats: PlanPhaseStats,
+}
+
+impl PlanState {
+    /// Creates an empty state; the first pass computes everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all cross-pass structures; the next pass runs cold.
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+        self.peel.invalidate();
+        self.map.invalidate();
+        self.last_utilities.clear();
+        self.last_ages.clear();
+    }
+
+    /// The per-job estimate + WCDE memo table (hit/miss counters).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Phase breakdown of the most recent pass.
+    pub fn last_stats(&self) -> PlanPhaseStats {
+        self.stats
+    }
+
+    /// Incremental passes fed through this state so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+/// Runs one CA pass with every stage memoized across events: the per-job
+/// estimate + WCDE stage through [`PlanCache`], the onion peel through
+/// delta replay ([`crate::onion::peel_incremental`]) and the continuous
+/// mapping through pack-prefix reuse
+/// ([`crate::mapping::map_continuous_incremental`]).
+///
+/// This is the planner-facing steady-state entry: feeding consecutive
+/// scheduling events through one [`PlanState`] turns the O(n² log n) peel
+/// into an O(n) arithmetic replay whenever only demands changed, while
+/// producing plans bit-identical to [`compute_plan`] in every case. Under
+/// the `strict-invariants` feature the equivalence is re-proved from
+/// scratch every [`SPOT_CHECK_INTERVAL`] passes.
+///
+/// # Errors
+///
+/// Same as [`compute_plan`]; a failed pass leaves the state usable.
+pub fn compute_plan_incremental(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput<'_>],
+    state: &mut PlanState,
+) -> Result<Plan, CoreError> {
+    match config.estimator {
+        EstimatorKind::Mean => {
+            let de = MeanEstimator::new(config.max_bins).with_prior(config.cold_prior);
+            compute_plan_incremental_inner(config, capacity, jobs, &de, state)
+        }
+        EstimatorKind::Gaussian => {
+            let de = GaussianEstimator::new(config.max_bins).with_prior(config.cold_prior);
+            compute_plan_incremental_inner(config, capacity, jobs, &de, state)
+        }
+        EstimatorKind::Empirical { resamples } => {
+            let de =
+                EmpiricalEstimator::new(config.max_bins, resamples).with_prior(config.cold_prior);
+            compute_plan_incremental_inner(config, capacity, jobs, &de, state)
+        }
+        EstimatorKind::Windowed { window } => {
+            let de =
+                WindowedEstimator::new(config.max_bins, window).with_prior(config.cold_prior);
+            compute_plan_incremental_inner(config, capacity, jobs, &de, state)
+        }
+    }
+}
+
+fn compute_plan_incremental_inner<E: PlanEstimator>(
+    config: &RushConfig,
+    capacity: u32,
+    jobs: &[PlanInput<'_>],
+    estimator: &E,
+    state: &mut PlanState,
+) -> Result<Plan, CoreError> {
+    use std::time::Instant;
+
+    config.validate()?;
+    if capacity == 0 {
+        return Err(CoreError::InvalidConfig { reason: "capacity must be > 0" });
+    }
+    if jobs.is_empty() {
+        // A drained cluster retains no per-job state.
+        state.invalidate();
+        return Ok(Plan::default());
+    }
+
+    let t0 = Instant::now();
+    let solves = solve_jobs(config, jobs, estimator, Some(&mut state.cache))?;
+    let t1 = Instant::now();
+    let etas: Vec<u64> = solves.iter().map(|s| s.eta).collect();
+    let task_lens: Vec<u64> = solves.iter().map(|s| s.task_len).collect();
+
+    // The peel replay is only sound when demands are the sole thing that
+    // moved since the recorded pass: utilities and ages shape every probe.
+    let same_context = state.last_utilities.len() == jobs.len()
+        && jobs
+            .iter()
+            .zip(&state.last_utilities)
+            .zip(&state.last_ages)
+            .all(|((j, u), &a)| j.age.to_bits() == a && j.utility == *u);
+
+    let shifted: Vec<Shifted<'_>> =
+        jobs.iter().map(|j| Shifted::new(&j.utility, j.age)).collect();
+    let onion_jobs: Vec<OnionJob<'_>> = shifted
+        .iter()
+        .zip(&etas)
+        .map(|(u, &eta)| OnionJob { demand: eta, utility: u })
+        .collect();
+    let targets = peel_incremental(
+        &onion_jobs,
+        capacity,
+        config.tolerance,
+        config.horizon,
+        same_context,
+        &mut state.peel,
+    )?;
+    let t2 = Instant::now();
+
+    let (map_jobs, target_of, level_of) = build_map_jobs(config, jobs, &etas, &task_lens, &targets);
+    let placements = map_continuous_incremental(&map_jobs, capacity, &mut state.map)?;
+    let t3 = Instant::now();
+
+    let plan = assemble(jobs, &etas, &task_lens, &target_of, &level_of, placements);
+    if !same_context {
+        state.last_utilities.clear();
+        state.last_utilities.extend(jobs.iter().map(|j| j.utility));
+        state.last_ages.clear();
+        state.last_ages.extend(jobs.iter().map(|j| j.age.to_bits()));
+    }
+    state.passes += 1;
+    let t4 = Instant::now();
+
+    #[cfg(feature = "strict-invariants")]
+    if state.passes % SPOT_CHECK_INTERVAL == 0 {
+        let scratch = compute_plan_inner(config, capacity, jobs, estimator, None)?;
+        debug_assert_eq!(
+            plan, scratch,
+            "delta-plan contract: incremental pass {} diverged from a from-scratch CA pass",
+            state.passes
+        );
+    }
+
+    state.stats = PlanPhaseStats {
+        solve_ns: (t1 - t0).as_nanos() as u64,
+        peel_ns: (t2 - t1).as_nanos() as u64,
+        map_ns: (t3 - t2).as_nanos() as u64,
+        assemble_ns: (t4 - t3).as_nanos() as u64,
+        peel_replay: state.peel.last_stats(),
+        map_delta: state.map.last_stats(),
+    };
+    Ok(plan)
+}
+
+/// Builds the mapping inputs from peel targets (step 4 preamble), shared
+/// by the pure and incremental pipelines. Returns `(map_jobs, target_of,
+/// level_of)` in input order.
+fn build_map_jobs(
+    config: &RushConfig,
+    jobs: &[PlanInput<'_>],
+    etas: &[u64],
+    task_lens: &[u64],
+    targets: &[crate::onion::Target],
+) -> (Vec<MapJob>, Vec<f64>, Vec<f64>) {
+    let mut target_of = vec![0.0f64; jobs.len()];
+    let mut level_of = vec![0.0f64; jobs.len()];
+    let mut lax_of = vec![false; jobs.len()];
+    for t in targets {
+        target_of[t.job] = t.deadline;
+        level_of[t.job] = t.level;
+        lax_of[t.job] = t.lax;
+    }
+    let map_jobs: Vec<MapJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            // Spread the robust demand over the real remaining tasks: each
+            // task occupies a container for its robust runtime η/n (≥ R),
+            // so the plan provisions exactly η container·slots with the
+            // true task count.
+            let n = job.remaining_tasks as u64;
+            let r = if n > 0 { etas[i].div_ceil(n).max(task_lens[i]) } else { task_lens[i] };
+            let shaved = if config.shave_mapping_slack {
+                (target_of[i] - r as f64).max(1.0)
+            } else {
+                target_of[i].max(1.0)
+            };
+            if lax_of[i] {
+                // A lax job's packing ignores its target — the field is
+                // only the pack-order hint among lax jobs. Key on the
+                // job's own demand (mirroring the deferred phase's
+                // smallest-demand-first commit order) rather than its
+                // ASAP deadline: the deadline shifts for *every* deferred
+                // job whenever any demand changes, which would invalidate
+                // the incremental mapping's cached order and prefix on
+                // every event.
+                MapJob { tasks: n, task_len: r, target: n.saturating_mul(r), lax: true }
+            } else {
+                MapJob { tasks: n, task_len: r, target: shaved as u64, lax: false }
+            }
+        })
+        .collect();
+    (map_jobs, target_of, level_of)
+}
+
+/// Step 5: entry assembly, shared by the pure and incremental pipelines.
+fn assemble(
+    jobs: &[PlanInput<'_>],
+    etas: &[u64],
+    task_lens: &[u64],
+    target_of: &[f64],
+    level_of: &[f64],
+    placements: &[crate::mapping::Placement],
+) -> Plan {
+    let entries = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| PlanEntry {
+            eta: etas[i],
+            task_len: task_lens[i],
+            target: target_of[i],
+            level: level_of[i],
+            desired_now: placements[i].active_at(0),
+            planned_completion: placements[i].completion,
+            impossible: level_of[i] <= 1e-9,
+        })
+        .collect();
+    Plan { entries }
+}
+
 fn compute_plan_inner<E: PlanEstimator>(
     config: &RushConfig,
     capacity: u32,
@@ -464,6 +773,7 @@ fn compute_plan_inner<E: PlanEstimator>(
         // A drained cluster retains no per-job state.
         if let Some(c) = cache {
             c.map.clear();
+            c.by_index.clear();
         }
         return Ok(Plan::default());
     }
@@ -485,50 +795,11 @@ fn compute_plan_inner<E: PlanEstimator>(
     let targets = peel(&onion_jobs, capacity, config.tolerance, config.horizon)?;
 
     // 4. Continuous mapping, with the Theorem 3 slack shaved off targets.
-    let mut target_of = vec![0.0f64; jobs.len()];
-    let mut level_of = vec![0.0f64; jobs.len()];
-    let mut lax_of = vec![false; jobs.len()];
-    for t in &targets {
-        target_of[t.job] = t.deadline;
-        level_of[t.job] = t.level;
-        lax_of[t.job] = t.lax;
-    }
-    let map_jobs: Vec<MapJob> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, job)| {
-            // Spread the robust demand over the real remaining tasks: each
-            // task occupies a container for its robust runtime η/n (≥ R),
-            // so the plan provisions exactly η container·slots with the
-            // true task count.
-            let n = job.remaining_tasks as u64;
-            let r = if n > 0 { etas[i].div_ceil(n).max(task_lens[i]) } else { task_lens[i] };
-            let shaved = if config.shave_mapping_slack {
-                (target_of[i] - r as f64).max(1.0)
-            } else {
-                target_of[i].max(1.0)
-            };
-            let target = if lax_of[i] { target_of[i].max(1.0) } else { shaved };
-            MapJob { tasks: n, task_len: r, target: target as u64, lax: lax_of[i] }
-        })
-        .collect();
+    let (map_jobs, target_of, level_of) = build_map_jobs(config, jobs, &etas, &task_lens, &targets);
     let placements = map_continuous(&map_jobs, capacity)?;
 
     // 5. Assemble.
-    let entries = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, _)| PlanEntry {
-            eta: etas[i],
-            task_len: task_lens[i],
-            target: target_of[i],
-            level: level_of[i],
-            desired_now: placements[i].active_at(0),
-            planned_completion: placements[i].completion,
-            impossible: level_of[i] <= 1e-9,
-        })
-        .collect();
-    Ok(Plan { entries })
+    Ok(assemble(jobs, &etas, &task_lens, &target_of, &level_of, &placements))
 }
 
 /// Renders a plan as the monitoring table the paper's enhanced HTTP
@@ -811,6 +1082,48 @@ mod tests {
         // An emptied cluster clears the cache entirely.
         compute_plan_cached(&cfg, 16, &[], &mut cache).unwrap();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn incremental_plan_bit_identical_across_event_stream() {
+        let cfg = RushConfig::default();
+        let mut jobs = mixed_fleet(30);
+        let mut state = PlanState::new();
+        for step in 0..24u64 {
+            // One scheduling event per pass: a task completes (sample +
+            // remaining), a task fails, or a job ages — the planner
+            // steady state.
+            let k = (step as usize * 7) % jobs.len();
+            match step % 3 {
+                0 => {
+                    jobs[k].samples.to_mut().push(40 + (step * 13) % 60);
+                    jobs[k].remaining_tasks = jobs[k].remaining_tasks.saturating_sub(1).max(1);
+                }
+                1 => jobs[k].failed_attempts += 1,
+                _ => {
+                    for j in jobs.iter_mut() {
+                        j.age += 1.0;
+                    }
+                }
+            }
+            let fresh = compute_plan(&cfg, 16, &jobs).unwrap();
+            let inc = compute_plan_incremental(&cfg, 16, &jobs, &mut state).unwrap();
+            assert_eq!(inc, fresh, "step {step}");
+        }
+        // A demand-only event must actually replay, not re-peel.
+        jobs[3].samples.to_mut().push(47);
+        let fresh = compute_plan(&cfg, 16, &jobs).unwrap();
+        let inc = compute_plan_incremental(&cfg, 16, &jobs, &mut state).unwrap();
+        assert_eq!(inc, fresh);
+        assert!(state.last_stats().peel_replay.delta, "demand-only event must take the delta path");
+        // Capacity changes invalidate the recorded trace but stay exact.
+        let fresh = compute_plan(&cfg, 12, &jobs).unwrap();
+        let inc = compute_plan_incremental(&cfg, 12, &jobs, &mut state).unwrap();
+        assert_eq!(inc, fresh);
+        assert!(!state.last_stats().peel_replay.delta);
+        // A drained cluster resets the state.
+        compute_plan_incremental(&cfg, 12, &[], &mut state).unwrap();
+        assert!(state.cache().is_empty());
     }
 
     #[test]

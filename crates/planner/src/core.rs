@@ -21,7 +21,7 @@
 
 use crate::PlannerError;
 use rush_core::config::EstimatorKind;
-use rush_core::plan::{compute_plan_cached, Plan, PlanCache, PlanEntry, PlanInput};
+use rush_core::plan::{compute_plan_incremental, Plan, PlanCache, PlanEntry, PlanInput, PlanPhaseStats, PlanState};
 use rush_core::wcde::worst_case_quantile;
 use rush_core::RushConfig;
 use rush_estimator::{
@@ -198,8 +198,10 @@ pub struct PlannerCore {
     /// All observed samples regardless of label — last-resort cold-start
     /// pool before the configured prior.
     global_pool: Vec<u64>,
-    /// Memo table for the per-job estimate + WCDE stage.
-    cache: PlanCache,
+    /// Cross-event planning state: the per-job estimate + WCDE memo
+    /// table plus the peel trace and mapping pack the delta replan
+    /// patches instead of recomputing (see `rush_core::plan::PlanState`).
+    state: PlanState,
     /// The most recent plan.
     plan: Plan,
     /// Job ids of `plan.entries`, parallel.
@@ -234,7 +236,7 @@ impl PlannerCore {
             next_id: 0,
             label_pool: BTreeMap::new(),
             global_pool: Vec::new(),
-            cache: PlanCache::new(),
+            state: PlanState::new(),
             plan: Plan::default(),
             plan_ids: Vec::new(),
             plan_slot: None,
@@ -257,7 +259,7 @@ impl PlannerCore {
             next_id: 0,
             label_pool: BTreeMap::new(),
             global_pool: Vec::new(),
-            cache: PlanCache::new(),
+            state: PlanState::new(),
             plan: Plan::default(),
             plan_ids: Vec::new(),
             plan_slot: None,
@@ -372,12 +374,22 @@ impl PlannerCore {
 
     /// Estimate+WCDE memo hits since construction.
     pub fn cache_hits(&self) -> u64 {
-        self.cache.hits()
+        self.cache().hits()
     }
 
     /// Estimate+WCDE memo misses since construction.
     pub fn cache_misses(&self) -> u64 {
-        self.cache.misses()
+        self.cache().misses()
+    }
+
+    /// The per-job estimate + WCDE memo table of the planning state.
+    pub fn cache(&self) -> &PlanCache {
+        self.state.cache()
+    }
+
+    /// Phase breakdown and delta telemetry of the most recent replan.
+    pub fn plan_stats(&self) -> PlanPhaseStats {
+        self.state.last_stats()
     }
 
     /// Whether the current plan is fresh for `now_slot`: no event arrived
@@ -535,7 +547,7 @@ impl PlannerCore {
             self.jobs.iter().filter(|(_, j)| !j.parked).map(|(id, _)| *id).collect();
         // Destructure for disjoint borrows: the inputs borrow the records
         // and pools while the pipeline takes the plan cache mutably.
-        let Self { config, capacity, cold_start, jobs, label_pool, global_pool, cache, .. } =
+        let Self { config, capacity, cold_start, jobs, label_pool, global_pool, state, .. } =
             &mut *self;
         let inputs: Vec<PlanInput<'_>> = ids
             .iter()
@@ -557,7 +569,7 @@ impl PlannerCore {
                 }
             })
             .collect();
-        let plan = compute_plan_cached(config, *capacity, &inputs, cache)?;
+        let plan = compute_plan_incremental(config, *capacity, &inputs, state)?;
         self.install_plan(now_slot, ids, plan);
         Ok(&self.delta)
     }
@@ -581,7 +593,7 @@ impl PlannerCore {
         if self.is_fresh(now_slot) {
             return Ok(&self.delta);
         }
-        let Self { config, capacity, cold_start, label_pool, global_pool, cache, .. } =
+        let Self { config, capacity, cold_start, label_pool, global_pool, state, .. } =
             &mut *self;
         let inputs: Vec<PlanInput<'_>> = roster
             .iter()
@@ -602,7 +614,7 @@ impl PlannerCore {
                 }
             })
             .collect();
-        let plan = compute_plan_cached(config, *capacity, &inputs, cache)?;
+        let plan = compute_plan_incremental(config, *capacity, &inputs, state)?;
         let ids: Vec<JobId> = roster.iter().map(|r| r.id).collect();
         self.install_plan(now_slot, ids, plan);
         Ok(&self.delta)

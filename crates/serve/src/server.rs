@@ -8,9 +8,9 @@
 //! **Epoch batching.** `submit` requests are not planned individually: the
 //! planner collects them until either `epoch_max_batch` submissions are
 //! pending or the oldest has waited `epoch_ms` milliseconds, then closes
-//! the epoch — one admission sweep plus **one**
-//! [`rush_core::compute_plan_cached`] call for the whole batch (PR 1's
-//! plan cache makes the unchanged residents nearly free). Every waiting
+//! the epoch — one admission sweep plus **one** kernel replan for the
+//! whole batch (the delta path patches the previous onion layering and
+//! mapping, so the unchanged residents are nearly free). Every waiting
 //! client then receives its verdict, stamped with the microseconds it
 //! waited; the planner records that wait in a
 //! [`rush_metrics::Histogram`] surfaced through the load generator.

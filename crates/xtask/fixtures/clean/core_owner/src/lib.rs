@@ -1,0 +1,9 @@
+//! Clean corpus: rush-core owns the full CA pipeline and the naive oracle —
+//! RUSH-L007 exempts it, so the batch entry points may be named freely.
+//! This file is never compiled.
+
+pub fn replan_from_scratch(jobs: &[Job], capacity: u32) -> Plan {
+    let layers = peel(jobs, capacity);
+    let placements = map_continuous(&layers, capacity);
+    compute_plan(layers, placements)
+}

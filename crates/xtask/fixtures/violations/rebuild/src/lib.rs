@@ -1,0 +1,12 @@
+//! Seeded RUSH-L007 violations: an adapter calling the batch (full-rebuild)
+//! CA entry points where the delta path belongs. This file is never compiled.
+
+use rush_core::mapping::map_continuous; // RUSH-L007 (full mapping rebuild)
+use rush_core::onion::peel; // RUSH-L007 (full onion peel)
+use rush_core::plan::compute_plan; // RUSH-L007 (full plan rebuild)
+
+#[cfg(test)]
+mod tests {
+    // Differential suites may drive the full rebuild: not a finding.
+    use rush_core::plan::compute_plan;
+}

@@ -1,0 +1,103 @@
+//! `cargo xtask bench-gate` — steady-state benchmark regression gate.
+//!
+//! Compares the cached (delta-path) cost per event at one job count between
+//! a baseline `BENCH_fig5_scheduler_cost.json` (the checked-in numbers) and
+//! a freshly produced candidate, and fails when the candidate regresses by
+//! more than a configurable factor. The parser is a tiny purpose-built
+//! scanner (the toolchain has no serde): it walks `"jobs": N` keys and reads
+//! the `"cached_ns_per_event"` value that follows inside the same point.
+
+/// Extract `cached_ns_per_event` for the point with `"jobs": <jobs>`.
+///
+/// Returns `None` when the point is absent or the JSON is malformed enough
+/// that the value cannot be located.
+pub fn cached_ns_at(json: &str, jobs: u64) -> Option<f64> {
+    const JOBS_KEY: &str = "\"jobs\":";
+    const CACHED_KEY: &str = "\"cached_ns_per_event\":";
+    let mut search = 0usize;
+    while let Some(off) = json[search..].find(JOBS_KEY) {
+        let at = search + off + JOBS_KEY.len();
+        search = at;
+        let Some(n) = leading_number(&json[at..]) else { continue };
+        if n != jobs as f64 {
+            continue;
+        }
+        // The point is one JSON object on one conceptual record; the next
+        // cached key after its jobs key belongs to it.
+        let rest = &json[at..];
+        let cached_at = rest.find(CACHED_KEY)? + CACHED_KEY.len();
+        return leading_number(&rest[cached_at..]);
+    }
+    None
+}
+
+/// Parse the number at the start of `s` (after optional whitespace).
+fn leading_number(s: &str) -> Option<f64> {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(s.len());
+    s[..end].parse::<f64>().ok()
+}
+
+/// The outcome of one gate comparison.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Baseline cached cost, ns/event.
+    pub baseline: f64,
+    /// Candidate cached cost, ns/event.
+    pub candidate: f64,
+    /// candidate / baseline.
+    pub ratio: f64,
+    /// Whether the candidate stayed within `factor` of the baseline.
+    pub pass: bool,
+}
+
+/// Compare candidate vs baseline at `jobs`, allowing up to `factor`×.
+pub fn gate(baseline_json: &str, candidate_json: &str, jobs: u64, factor: f64) -> Result<GateOutcome, String> {
+    let baseline = cached_ns_at(baseline_json, jobs)
+        .ok_or_else(|| format!("baseline JSON has no point with jobs = {jobs}"))?;
+    let candidate = cached_ns_at(candidate_json, jobs)
+        .ok_or_else(|| format!("candidate JSON has no point with jobs = {jobs}"))?;
+    if baseline <= 0.0 {
+        return Err(format!("baseline cached_ns_per_event at jobs = {jobs} is not positive"));
+    }
+    let ratio = candidate / baseline;
+    Ok(GateOutcome { baseline, candidate, ratio, pass: ratio <= factor })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmark": "fig5_scheduler_cost",
+  "points": [
+    {"jobs": 20, "baseline_ns_per_event": 568512, "cached_ns_per_event": 67141, "profile_ns": {"solve": 24466}},
+    {"jobs": 200, "baseline_ns_per_event": 15050993, "cached_ns_per_event": 313889, "profile_ns": {"solve": 29193}}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_the_matching_point() {
+        assert_eq!(cached_ns_at(SAMPLE, 20), Some(67141.0));
+        assert_eq!(cached_ns_at(SAMPLE, 200), Some(313889.0));
+        assert_eq!(cached_ns_at(SAMPLE, 500), None);
+    }
+
+    #[test]
+    fn gate_passes_within_factor_and_fails_beyond() {
+        let fast = SAMPLE.replace("313889", "200000");
+        let ok = gate(SAMPLE, &fast, 200, 2.0).expect("points present");
+        assert!(ok.pass);
+        let slow = SAMPLE.replace("313889", "700000");
+        let bad = gate(SAMPLE, &slow, 200, 2.0).expect("points present");
+        assert!(!bad.pass);
+        assert!(bad.ratio > 2.0);
+    }
+
+    #[test]
+    fn missing_point_is_an_error() {
+        assert!(gate(SAMPLE, SAMPLE, 500, 2.0).is_err());
+    }
+}

@@ -1,14 +1,16 @@
 //! `xtask` — offline workspace automation for RUSH.
 //!
-//! The only subcommand today is `lint`: a from-scratch, registry-free
-//! static-analysis pass enforcing the workspace's RUSH-specific rules
-//! (determinism, float hygiene, panic hygiene, feature-gate hygiene, shim
-//! drift and planner layering). See `cargo xtask lint --explain
-//! RUSH-L001` … `RUSH-L006`.
+//! Two subcommands: `lint`, a from-scratch, registry-free static-analysis
+//! pass enforcing the workspace's RUSH-specific rules (determinism, float
+//! hygiene, panic hygiene, feature-gate hygiene, shim drift, planner
+//! layering and full-rebuild containment — see `cargo xtask lint --explain
+//! RUSH-L001` … `RUSH-L007`), and `bench-gate`, the fig5 steady-state
+//! regression gate CI runs against the checked-in benchmark numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_gate;
 pub mod lexer;
 pub mod manifest;
 pub mod report;

@@ -1,5 +1,6 @@
-//! CLI entry point: `cargo xtask lint [--json] [--root PATH]` and
-//! `cargo xtask lint --explain RUSH-LNNN`.
+//! CLI entry point: `cargo xtask lint [--json] [--root PATH]`,
+//! `cargo xtask lint --explain RUSH-LNNN` and
+//! `cargo xtask bench-gate --baseline A.json --candidate B.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,14 +14,19 @@ Commands:
   lint [--json] [--root PATH]   run the RUSH static-analysis pass
   lint --explain RUSH-LNNN      print the documentation for one rule
   lint --list                   list rule codes and summaries
+  bench-gate --baseline A.json --candidate B.json [--jobs N] [--factor F]
+                                fail if the candidate fig5 cached cost at
+                                N jobs (default 200) exceeds F x baseline
+                                (default 2.0)
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+Exit codes: 0 = clean, 1 = findings/regression, 2 = usage error.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_cmd(&args[1..]),
+        Some("bench-gate") => bench_gate_cmd(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
@@ -51,7 +57,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             }
             "--explain" => {
                 let Some(code) = args.get(i + 1) else {
-                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L006)");
+                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L007)");
                     return ExitCode::from(2);
                 };
                 let Some(rule) = Rule::from_code(code) else {
@@ -96,6 +102,101 @@ fn lint_cmd(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("lint failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn bench_gate_cmd(args: &[String]) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut candidate: Option<PathBuf> = None;
+    let mut jobs: u64 = 200;
+    let mut factor: f64 = 2.0;
+    let mut i = 0usize;
+    while i < args.len() {
+        let take = |j: usize| args.get(j + 1).cloned();
+        match args[i].as_str() {
+            "--baseline" => match take(i) {
+                Some(p) => {
+                    baseline = Some(PathBuf::from(p));
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--candidate" => match take(i) {
+                Some(p) => {
+                    candidate = Some(PathBuf::from(p));
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--candidate needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    jobs = n;
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--jobs needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--factor" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(f) => {
+                    factor = f;
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--factor needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
+        eprintln!("bench-gate needs --baseline and --candidate");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |p: &PathBuf| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", p.display());
+            None
+        }
+    };
+    let (Some(base_json), Some(cand_json)) = (read(&baseline), read(&candidate)) else {
+        return ExitCode::from(2);
+    };
+    match xtask::bench_gate::gate(&base_json, &cand_json, jobs, factor) {
+        Ok(o) => {
+            println!(
+                "bench-gate: cached ns/event at {jobs} jobs: baseline {:.0}, candidate {:.0} ({:.2}x, limit {:.2}x) -> {}",
+                o.baseline,
+                o.candidate,
+                o.ratio,
+                factor,
+                if o.pass { "PASS" } else { "FAIL" }
+            );
+            if o.pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
             ExitCode::from(2)
         }
     }

@@ -18,6 +18,9 @@ pub enum Rule {
     /// RUSH-L006 — planner layering: `compute_plan_cached`/`PlanCache` are
     /// kernel-internal; adapters go through `rush_planner::PlannerCore`.
     PlannerLayering,
+    /// RUSH-L007 — full rebuild: `compute_plan`/`peel`/`map_continuous` are
+    /// oracle/bench entry points; steady-state callers use the delta path.
+    FullRebuild,
 }
 
 /// All rules, in code order.
@@ -28,6 +31,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::FeatureGate,
     Rule::ShimDrift,
     Rule::PlannerLayering,
+    Rule::FullRebuild,
 ];
 
 impl Rule {
@@ -40,6 +44,7 @@ impl Rule {
             Rule::FeatureGate => "RUSH-L004",
             Rule::ShimDrift => "RUSH-L005",
             Rule::PlannerLayering => "RUSH-L006",
+            Rule::FullRebuild => "RUSH-L007",
         }
     }
 
@@ -58,6 +63,7 @@ impl Rule {
             Rule::FeatureGate => "cfg(feature) names an undeclared feature",
             Rule::ShimDrift => "API not implemented by the vendored shim",
             Rule::PlannerLayering => "planner-kernel internals used outside rush-planner",
+            Rule::FullRebuild => "full-rebuild CA entry point used outside rush-core",
         }
     }
 
@@ -149,6 +155,29 @@ impl Rule {
                  exempt, as are the two owning crates. If a new layer legitimately needs\n\
                  the raw cache, put it behind a kernel API instead, or justify the site:\n\
                  // rush-lint: allow(RUSH-L006): <why>\n"
+            }
+            Rule::FullRebuild => {
+                "RUSH-L007: full rebuild\n\
+                 \n\
+                 Delta-peeling made the incremental path (`compute_plan_incremental`,\n\
+                 `peel_incremental`, `map_continuous_incremental`) the only planner-facing\n\
+                 entry into the CA pipeline: steady-state replans patch the previous\n\
+                 onion layering and mapping instead of recomputing them, which is what\n\
+                 takes a 1000-job replan from tens of milliseconds to under one. The\n\
+                 batch entry points — `compute_plan`, the full `onion::peel`, and\n\
+                 `map_continuous` — exist as the differential oracle the delta path is\n\
+                 proven bit-identical against, and as bench baselines. An adapter that\n\
+                 calls them on the hot path silently forfeits the entire speedup and\n\
+                 bypasses the cache-coherence invariants the kernel maintains.\n\
+                 \n\
+                 The rule flags any reference to `compute_plan`, `peel` or\n\
+                 `map_continuous` in non-test library code of crates other than\n\
+                 `rush-core` (which owns the full pipeline and the naive oracle).\n\
+                 Test code, benches and binaries are exempt — differential suites and\n\
+                 figure reproductions are exactly where the full rebuild belongs. A\n\
+                 cold-start or recovery path that genuinely needs a from-scratch plan\n\
+                 should seed a fresh `PlanState` and go through the kernel, or justify\n\
+                 the site:  // rush-lint: allow(RUSH-L007): <why>\n"
             }
         }
     }

@@ -1,4 +1,4 @@
-//! The six RUSH lint rules (RUSH-L001 … RUSH-L006), plus the supporting
+//! The seven RUSH lint rules (RUSH-L001 … RUSH-L007), plus the supporting
 //! machinery: `#[cfg(test)]` region detection, pragma comments, the
 //! grandfathered-site allowlist and shim API surface extraction.
 
@@ -17,6 +17,17 @@ const PLANNER_INTERNAL_IDENTS: &[&str] = &["compute_plan_cached", "PlanCache"];
 /// Crates allowed to reference [`PLANNER_INTERNAL_IDENTS`]: the kernel
 /// itself and the crate that defines the CA pipeline.
 const PLANNER_OWNER_CRATES: &[&str] = &["rush-planner", "rush-core"];
+
+/// Identifiers RUSH-L007 reserves to the full-rebuild path: the batch CA
+/// entry points that recompute the plan from scratch. The delta path
+/// (`compute_plan_incremental` / `peel_incremental` /
+/// `map_continuous_incremental` — distinct identifiers, never flagged) is
+/// the only planner-facing entry.
+const FULL_REBUILD_IDENTS: &[&str] = &["compute_plan", "peel", "map_continuous"];
+
+/// Crates allowed to reference [`FULL_REBUILD_IDENTS`]: rush-core owns the
+/// full pipeline and the naive oracle the delta path is verified against.
+const FULL_REBUILD_OWNER_CRATES: &[&str] = &["rush-core"];
 
 /// Upstream API the shims deliberately do NOT implement. These fire even when
 /// the shim crate itself is outside the scanned tree (pure-name matching,
@@ -536,6 +547,25 @@ impl Engine<'_> {
             }
         }
 
+        // ---- RUSH-L007: full-rebuild entry points ----------------------
+        if !FULL_REBUILD_OWNER_CRATES.contains(&f.manifest.name.as_str()) && f.is_library() {
+            for (i, t) in toks.iter().enumerate() {
+                if in_test(i) || t.kind != TokKind::Ident {
+                    continue;
+                }
+                if FULL_REBUILD_IDENTS.contains(&t.text.as_str()) {
+                    emit(
+                        Rule::FullRebuild,
+                        t.line,
+                        format!(
+                            "`{}` rebuilds the plan from scratch; steady-state callers take the delta path (`compute_plan_incremental` via `rush_planner::PlannerCore`)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+
         // ---- suppression: pragmas and allowlist ------------------------
         for finding in pending {
             let code = finding.rule.code();
@@ -793,6 +823,39 @@ mod tests {
         assert!(bench.findings.iter().all(|f| f.rule != Rule::PlannerLayering));
         let bin = run(src, &outsider, "src/bin/tool.rs");
         assert!(bin.findings.iter().all(|f| f.rule != Rule::PlannerLayering));
+    }
+
+    #[test]
+    fn full_rebuild_flagged_outside_core() {
+        let outsider = crate::manifest::parse_str(
+            "[package]\nname = \"rush-serve\"\n\
+             [package.metadata.rush-lint]\ndeterministic = false\nlibrary-hygiene = false\n",
+        );
+        let src = "use rush_core::plan::compute_plan;\n\
+                   use rush_core::onion::peel;\n\
+                   use rush_core::mapping::map_continuous;\n\
+                   pub fn hot(s: &mut S) { s.plan = compute_plan(&s.cfg, s.cap, &s.jobs); }\n\
+                   #[cfg(test)]\nmod tests { use rush_core::plan::compute_plan; }\n";
+        let r = run(src, &outsider, "src/lib.rs");
+        let hits: Vec<_> = r.findings.iter().filter(|f| f.rule == Rule::FullRebuild).collect();
+        assert_eq!(hits.len(), 4, "three use-sites + one call, test module exempt: {hits:#?}");
+        // The delta-path identifiers are distinct tokens and never flagged.
+        let delta = run(
+            "use rush_core::plan::compute_plan_incremental;\n\
+             use rush_core::onion::peel_incremental;\n\
+             use rush_core::mapping::map_continuous_incremental;\n",
+            &outsider,
+            "src/lib.rs",
+        );
+        assert!(delta.findings.iter().all(|f| f.rule != Rule::FullRebuild));
+        // rush-core (full pipeline + naive oracle) may reference them freely.
+        let core = run(src, &det_manifest(), "src/lib.rs");
+        assert!(core.findings.iter().all(|f| f.rule != Rule::FullRebuild));
+        // Bench/bin targets are where the full rebuild belongs: exempt.
+        let bench = run(src, &outsider, "benches/b.rs");
+        assert!(bench.findings.iter().all(|f| f.rule != Rule::FullRebuild));
+        let bin = run(src, &outsider, "src/bin/tool.rs");
+        assert!(bin.findings.iter().all(|f| f.rule != Rule::FullRebuild));
     }
 
     #[test]

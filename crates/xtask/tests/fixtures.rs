@@ -47,6 +47,9 @@ fn violations_corpus_flags_expected_sites() {
     assert!(has(Rule::ShimDrift, "consumer", "thread_rng"));
     assert!(has(Rule::PlannerLayering, "layering", "compute_plan_cached"));
     assert!(has(Rule::PlannerLayering, "layering", "PlanCache"));
+    assert!(has(Rule::FullRebuild, "rebuild", "`compute_plan`"));
+    assert!(has(Rule::FullRebuild, "rebuild", "`peel`"));
+    assert!(has(Rule::FullRebuild, "rebuild", "`map_continuous`"));
     // The declared feature and the implemented shim path must NOT fire.
     assert!(!has(Rule::FeatureGate, "det_crate", "serde"));
     assert!(!has(Rule::ShimDrift, "consumer", "SmallRng"));
@@ -59,6 +62,16 @@ fn violations_corpus_flags_expected_sites() {
             .count(),
         3,
         "two use-sites + the struct field, test module exempt"
+    );
+    // The rebuild fixture's test-gated use of the full path is exempt.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::FullRebuild && f.file.contains("rebuild"))
+            .count(),
+        3,
+        "three use-sites, test module exempt"
     );
     // Test-gated code in the corpus is exempt.
     assert!(report.findings.iter().all(|f| f.line < 44 || !f.file.contains("det_crate")));
