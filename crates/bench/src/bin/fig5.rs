@@ -28,6 +28,14 @@
 //! (estimate+WCDE / peel / mapping / assembly ns per event) so the
 //! peel-dominance claim stays measured; `--profile` prints it as a table.
 //!
+//! Beyond the single-kernel series, a **sharded sweep** drives the
+//! [`rush_planner::ShardedPlanner`] at 10k (and, in full mode, 100k)
+//! resident jobs across shard counts: each steady-state event (one task
+//! sample) dirties exactly one label-hash shard, so only that shard's
+//! `n/N`-job registry replans — the event cost drops near-linearly with
+//! the shard count. Build with `--features parallel` to also fan
+//! multi-shard replans out across scoped threads.
+//!
 //! Flags: `--reps N`, `--seed S`, `--capacity C`, `--out PATH`, `--quick`
 //! (CI mode: fewer points and repetitions), `--profile` (print the phase
 //! breakdown).
@@ -142,6 +150,68 @@ struct Point {
     approx_mb: f64,
 }
 
+struct ShardPoint {
+    jobs: usize,
+    shards: usize,
+    ns_per_event: f64,
+}
+
+/// The sharded steady-state sweep: a [`ShardedPlanner`] holding `n`
+/// resident jobs, driven by single-sample events at a fixed slot. Every
+/// event dirties one shard and `plan_at` replans only that shard, so
+/// ns/event falls with the shard count; the 1-shard row is the registry
+/// baseline the speedup is measured against.
+fn sharded_series(quick: bool, capacity: u32, seed: u64) -> Vec<ShardPoint> {
+    use rush_planner::{JobId, JobSpec, ShardedPlanner};
+
+    let combos: &[(usize, usize)] = if quick {
+        &[(10_000, 1), (10_000, 2), (10_000, 8)]
+    } else {
+        &[(10_000, 1), (10_000, 2), (10_000, 4), (10_000, 8), (100_000, 8)]
+    };
+    let events = if quick { 64 } else { 256 };
+    let cfg = RushConfig::default();
+    let mut points = Vec::with_capacity(combos.len());
+    for &(n, shards) in combos {
+        let total = capacity.max(shards as u32);
+        let mut planner = ShardedPlanner::new(cfg, total, shards)
+            .expect("planner")
+            .with_retirement(false);
+        let mut rng = seeded_rng(derive_seed(seed, (n as u64) << 8 | shards as u64));
+        for i in 0..n {
+            let mean: f64 = rng.gen_range(30.0..90.0);
+            let budget: f64 = rng.gen_range(2_000.0..40_000.0);
+            planner.admit(JobSpec {
+                // ~500 templates: labels spread across shards by hash,
+                // many jobs per label (shared-cloud tenancy shape).
+                label: format!("tpl-{}", i % 509),
+                utility: TimeUtility::sigmoid(budget, 3.0, 10.0 / budget)
+                    .expect("valid utility"),
+                tasks: 1_000,
+                arrived_slot: 0,
+                runtime_hint: Some(mean),
+                parked: false,
+            });
+        }
+        planner.plan_at(0).expect("initial plan");
+        // Warm-up: a few events so every shard's caches are hot.
+        for e in 0..8u64 {
+            let _ = planner.ingest_sample(JobId(e * 7919 % n as u64), 40 + e % 50);
+            planner.plan_at(0).expect("warm-up replan");
+        }
+        let t = Instant::now();
+        for e in 0..events as u64 {
+            // 7919 is prime: the sampled job (and thus the dirtied shard)
+            // rotates through the registry.
+            let _ = planner.ingest_sample(JobId(e * 7919 % n as u64), 40 + (e * 13) % 50);
+            planner.plan_at(0).expect("replan");
+        }
+        let ns_per_event = t.elapsed().as_nanos() as f64 / events as f64;
+        points.push(ShardPoint { jobs: n, shards, ns_per_event });
+    }
+    points
+}
+
 fn main() {
     let args = parse_args();
     let quick = args.contains_key("quick");
@@ -253,7 +323,29 @@ fn main() {
     println!("normalized growth rate (1.0 = perfectly linear): {}", fmt_f64(avg_ratio, 2));
     println!("Paper shape: near-linear runtime growth; memory well under 130 MB.");
 
-    let json = render_json(&points, capacity, reps, seed, quick);
+    println!("\nSharded sweep: steady-state ns/event at 10k+ resident jobs");
+    let sharded = sharded_series(quick, capacity, seed);
+    let mut st = Table::new(["jobs", "shards", "event_us", "speedup_vs_1_shard"]);
+    for sp in &sharded {
+        let base = sharded
+            .iter()
+            .find(|b| b.jobs == sp.jobs && b.shards == 1)
+            .map_or(f64::NAN, |b| b.ns_per_event);
+        let speedup = if base.is_nan() {
+            "-".to_owned()
+        } else {
+            fmt_f64(base / sp.ns_per_event, 2)
+        };
+        st.row([
+            sp.jobs.to_string(),
+            sp.shards.to_string(),
+            fmt_f64(sp.ns_per_event / 1e3, 1),
+            speedup,
+        ]);
+    }
+    println!("{}", st.render());
+
+    let json = render_json(&points, &sharded, capacity, reps, seed, quick);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
@@ -261,7 +353,14 @@ fn main() {
 }
 
 /// Hand-rolled JSON: the workspace builds offline, without serde.
-fn render_json(points: &[Point], capacity: u32, reps: usize, seed: u64, quick: bool) -> String {
+fn render_json(
+    points: &[Point],
+    sharded: &[ShardPoint],
+    capacity: u32,
+    reps: usize,
+    seed: u64,
+    quick: bool,
+) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -288,6 +387,16 @@ fn render_json(points: &[Point], capacity: u32, reps: usize, seed: u64, quick: b
             p.phase_ns[2],
             p.phase_ns[3],
             comma
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"sharded_points\": [");
+    for (i, sp) in sharded.iter().enumerate() {
+        let comma = if i + 1 == sharded.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"jobs\": {}, \"shards\": {}, \"ns_per_event\": {:.0}}}{}",
+            sp.jobs, sp.shards, sp.ns_per_event, comma
         );
     }
     let _ = writeln!(s, "  ],");

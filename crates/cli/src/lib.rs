@@ -72,8 +72,9 @@ pub fn usage() -> String {
                  [--schedulers rush,fifo,edf,rrh,fair,spec-edf]\n\
        gantt     --scheduler NAME --jobs N --seed S [--width W]\n\
        dashboard --jobs N --seed S [--at SLOT]\n\
-       serve     [--addr A] [--capacity N] [--epoch-ms T] [--batch N]\n\
-                 [--ms-per-slot T] [--snapshot FILE] [--theta F] [--delta F]\n\
+       serve     [--addr A] [--capacity N] [--shards N] [--epoch-ms T]\n\
+                 [--batch N] [--ms-per-slot T] [--snapshot FILE]\n\
+                 [--theta F] [--delta F]\n\
        loadgen   --addr A [--jobs N] [--workers N] [--mean-ms F] [--seed S]\n\
                  [--epoch-ms T] [--out FILE] [--shutdown true]\n"
         .to_owned()
@@ -300,6 +301,7 @@ pub fn serve_config(cli: &Cli) -> Result<rush_serve::ServeConfig, String> {
     cfg.epoch_ms = flag(cli, "epoch-ms", cfg.epoch_ms);
     cfg.epoch_max_batch = flag(cli, "batch", cfg.epoch_max_batch);
     cfg.ms_per_slot = flag(cli, "ms-per-slot", cfg.ms_per_slot);
+    cfg.shards = flag(cli, "shards", cfg.shards);
     cfg.snapshot_path = cli.flags.get("snapshot").map(std::path::PathBuf::from);
     cfg.rush.theta = flag(cli, "theta", cfg.rush.theta);
     cfg.rush.delta = flag(cli, "delta", cfg.rush.delta);

@@ -235,6 +235,17 @@ fn water_fill(occupation: &mut [u64], task_len: u64, tasks: u64, placement: &mut
         return;
     }
     let l = task_len;
+    // Segments already in the placement (the strict prefix when this is an
+    // overflow spill) are container-ascending, and a strict segment on
+    // queue `k` ends exactly at the current `occupation[k]`. When the
+    // spill lands right behind one, extend it instead of emitting a second
+    // segment: the tasks run at the same rate (`task_len` is uniform per
+    // placement), so the merged segment covers the identical slot interval
+    // — occupancy replay (last write per queue) and `active_at` (interval
+    // union) are unchanged, keeping plans bit-identical while cutting the
+    // emitted segment count.
+    let prior = placement.segments.len();
+    let mut adj = 0usize;
     let (min_o, sum_o) = occupation
         .iter()
         .fold((u64::MAX, 0u128), |(m, s), &o| (m.min(o), s + o as u128));
@@ -349,7 +360,15 @@ fn water_fill(occupation: &mut [u64], task_len: u64, tasks: u64, placement: &mut
             leftover -= 1;
         }
         if m > 0 {
-            placement.segments.push(Segment { container: k as u32, start: o0, tasks: m });
+            while adj < prior && placement.segments[adj].container < k as u32 {
+                adj += 1;
+            }
+            match placement.segments.get_mut(adj) {
+                Some(s) if adj < prior && s.container == k as u32 && s.start + s.tasks * l == o0 => {
+                    s.tasks += m;
+                }
+                _ => placement.segments.push(Segment { container: k as u32, start: o0, tasks: m }),
+            }
             *o = o0 + m * l;
             placement.completion = placement.completion.max(*o);
         }
@@ -654,6 +673,20 @@ mod tests {
         assert_eq!(total, 10, "all tasks placed despite overflow");
         assert_eq!(p[0].completion, 50); // 10 tasks over 2 queues
         assert!(p[0].completion > 10 + 10, "bound violated ⇒ detectable");
+    }
+
+    #[test]
+    fn overflow_spill_coalesces_with_strict_prefix() {
+        // The strict pass puts one task per queue (ending at slot 10) and
+        // the spill continues at slot 10 on the same queues: adjacent
+        // same-rate runs must come out as one segment per queue, not two.
+        let jobs = [MapJob { tasks: 10, task_len: 10, target: 10, lax: false }];
+        let p = map_continuous(&jobs, 2).unwrap();
+        assert_eq!(p[0].segments.len(), 2, "adjacent same-rate runs merge");
+        assert_eq!(p[0].segments[0], Segment { container: 0, start: 0, tasks: 5 });
+        assert_eq!(p[0].segments[1], Segment { container: 1, start: 0, tasks: 5 });
+        assert_eq!(p[0].active_at(0), 2);
+        assert_eq!(p[0].active_at(49), 2);
     }
 
     #[test]

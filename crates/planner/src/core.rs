@@ -398,6 +398,33 @@ impl PlannerCore {
         !self.dirty && self.plan_slot == Some(now_slot)
     }
 
+    /// The smallest capacity under which the current plan's committed
+    /// `(target, η)` reservations still satisfy Theorem 2's prefix
+    /// condition — the probe a cross-shard rebalancer uses to decide how
+    /// far a partition's slice can be cut. Entries the onion marked
+    /// impossible are already beyond the theorem and do not pin capacity
+    /// (they miss their targets at *any* slice); an empty or stale plan
+    /// pins nothing.
+    pub fn committed_capacity(&self) -> u32 {
+        let reservations: Vec<(f64, u64)> = self
+            .plan
+            .entries
+            .iter()
+            .filter(|e| !e.impossible)
+            .map(|e| (e.target, e.eta))
+            .collect();
+        rush_core::onion::prefix_capacity_required(&reservations)
+    }
+
+    /// Theorem-2 prefix-capacity headroom of this kernel: how many of its
+    /// containers are *not* pinned by the current plan's committed prefix
+    /// demand ([`PlannerCore::committed_capacity`]). This is the capacity
+    /// a rebalancer may migrate away without breaking any promised
+    /// deadline.
+    pub fn headroom(&self) -> u32 {
+        self.capacity.saturating_sub(self.committed_capacity())
+    }
+
     // ------------------------------------------------------------------
     // Events
     // ------------------------------------------------------------------

@@ -42,6 +42,7 @@
 pub mod core;
 pub mod event;
 pub mod scheduler;
+pub mod sharded;
 
 pub use crate::core::{
     estimate_eta, ColdStart, JobId, JobRecord, JobSpec, PlanDelta, PlannerCore, RosterJob,
@@ -49,6 +50,7 @@ pub use crate::core::{
 };
 pub use event::{EventOutcome, PlannerEvent};
 pub use scheduler::RushScheduler;
+pub use sharded::{shard_of_label, ShardedPlanner, DEFAULT_REBALANCE_INTERVAL};
 
 use std::fmt;
 

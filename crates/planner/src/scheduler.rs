@@ -14,7 +14,8 @@
 //! current slot, so a burst of free containers in one slot costs one
 //! pipeline pass.
 
-use crate::core::{ColdStart, JobId, JobSpec, PlannerCore, RosterJob};
+use crate::core::{ColdStart, JobId, JobSpec, RosterJob};
+use crate::sharded::ShardedPlanner;
 use rush_core::plan::Plan;
 use rush_core::RushConfig;
 use rush_sim::view::{ClusterView, TaskSample};
@@ -46,11 +47,14 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RushScheduler {
-    kernel: PlannerCore,
+    kernel: ShardedPlanner,
     name: &'static str,
     /// Desired next-slot allocations `(desired_now, target)` by raw job
     /// id, maintained incrementally from plan deltas.
     desired: BTreeMap<u64, (u32, f64)>,
+    /// The merged cross-shard plan of the last completed pass, rebuilt
+    /// after each refresh (with one shard: exactly the kernel's plan).
+    plan: Plan,
 }
 
 impl RushScheduler {
@@ -61,12 +65,24 @@ impl RushScheduler {
     /// config surfaces as a failed plan pass, which the assign fallbacks
     /// absorb — same as the pre-kernel scheduler.
     pub fn new(config: RushConfig) -> Self {
+        Self::with_shards(config, 1)
+    }
+
+    /// Creates a RUSH scheduler whose planner is partitioned across
+    /// `shards` kernels (see [`ShardedPlanner`]). With `shards == 1`
+    /// (the [`RushScheduler::new`] default) behavior is bit-identical to
+    /// the single-kernel adapter; more shards trade a deterministic
+    /// label-hash partition of the capacity for near-linear event-cost
+    /// scaling on large registries.
+    pub fn with_shards(config: RushConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
         RushScheduler {
-            kernel: PlannerCore::new_unchecked(config, 1)
+            kernel: ShardedPlanner::new_unchecked(config, shards as u32, shards)
                 .with_cold_start(ColdStart::PooledByLabel)
                 .with_retirement(false),
             name: "RUSH",
             desired: BTreeMap::new(),
+            plan: Plan::default(),
         }
     }
 
@@ -90,15 +106,16 @@ impl RushScheduler {
 
     /// The planner kernel behind the adapter (plan, deltas, cache
     /// counters — the data behind the paper's enhanced HTTP interface).
-    pub fn kernel(&self) -> &PlannerCore {
+    pub fn kernel(&self) -> &ShardedPlanner {
         &self.kernel
     }
 
     /// The most recently computed plan (projected completion times, robust
     /// demands, impossible-job flags) — the data behind the paper's
-    /// enhanced HTTP interface (Fig. 2).
+    /// enhanced HTTP interface (Fig. 2). Entries are merged shard by
+    /// shard; with one shard this is exactly the kernel's plan.
     pub fn last_plan(&self) -> &Plan {
-        self.kernel.plan()
+        &self.plan
     }
 
     /// Forgets a completed or cancelled job: drops its registry record and
@@ -124,7 +141,14 @@ impl RushScheduler {
     /// Ensures the kernel's plan is fresh for `view.now` and the desired
     /// map reflects it.
     fn refresh(&mut self, view: &ClusterView<'_>) {
-        self.kernel.set_capacity(view.capacity);
+        if self.kernel.set_capacity(view.capacity).is_err() {
+            // The view's capacity cannot hold one container per shard;
+            // treat it like a failed pass (empty plan, fallbacks engage).
+            self.desired.clear();
+            self.kernel.install_empty_plan(view.now);
+            self.plan = Plan::default();
+            return;
+        }
         if self.kernel.is_fresh(view.now) {
             return;
         }
@@ -150,6 +174,9 @@ impl RushScheduler {
                 for (id, e) in &delta.changed {
                     self.desired.insert(id.0, (e.desired_now, e.target));
                 }
+                self.plan = Plan {
+                    entries: self.kernel.planned().map(|(_, e)| *e).collect(),
+                };
             }
             Err(_) => {
                 // On estimation failure (pathological inputs) fall back to
@@ -157,6 +184,7 @@ impl RushScheduler {
                 // the cluster from stalling.
                 self.desired.clear();
                 self.kernel.install_empty_plan(view.now);
+                self.plan = Plan::default();
             }
         }
     }

@@ -1,0 +1,1023 @@
+//! [`ShardedPlanner`] — N [`PlannerCore`] partitions behind one kernel
+//! surface, for near-linear event-cost scaling at 10k–100k resident jobs.
+//!
+//! The single-kernel planner replans the *whole* registry whenever any
+//! job changes; past a few thousand residents that replan dominates every
+//! event. The sharded planner partitions the registry across N kernels by
+//! **label hash** (every job of a template lands on the same shard, so
+//! the [`crate::ColdStart::PooledByLabel`] pools stay intact), gives each
+//! shard a **capacity slice** summing to the cluster's `C`, and replans
+//! only the shards an event actually dirtied — a steady-state event
+//! touches one shard and costs one `n/N`-job incremental replan. Under
+//! the `parallel` feature, epoch-style batches that dirty several shards
+//! replan them concurrently on scoped threads.
+//!
+//! Capacity — not jobs — migrates between shards: a periodic rebalancer
+//! probes each shard's Theorem-2 prefix-capacity headroom
+//! ([`PlannerCore::headroom`]) and re-splits `C` so every shard keeps at
+//! least its committed prefix demand, with the surplus following planned
+//! demand (η mass). Because assignment is a pure hash and slices change
+//! only at rebalance points, plans stay deterministic and the shard-local
+//! caches (PlanCache, peel traces) stay warm.
+//!
+//! With `shards == 1` every call forwards verbatim to the single kernel —
+//! the configuration is bit-identical to a bare [`PlannerCore`], which
+//! `tests/sharded_differential.rs` proves over randomized event streams.
+
+use crate::core::{
+    ColdStart, JobId, JobRecord, JobSpec, PlanDelta, PlannerCore, RosterJob, SampleOutcome,
+};
+use crate::event::{EventOutcome, PlannerEvent};
+use crate::PlannerError;
+use rush_core::plan::PlanEntry;
+use rush_core::RushConfig;
+use std::collections::BTreeMap;
+
+/// How many plan passes between two rebalance probes, by default.
+pub const DEFAULT_REBALANCE_INTERVAL: u64 = 64;
+
+/// Deterministic shard assignment: FNV-1a over the label bytes, reduced
+/// modulo the shard count. Pure — the same label always lands on the same
+/// shard, across processes and runs — which is what keeps sharded plans
+/// reproducible and same-label cold-start pools co-located.
+#[must_use]
+pub fn shard_of_label(label: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// An even split of `total` containers into `shards` slices: the first
+/// `total % shards` slices get one extra container. Requires
+/// `total >= shards` so every slice stays positive.
+fn even_split(total: u32, shards: usize) -> Vec<u32> {
+    let n = shards as u32;
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + u32::from(i < extra)).collect()
+}
+
+/// A job registry partitioned across N planner kernels with one capacity
+/// slice each. See the [module docs](self) for the design.
+#[derive(Debug, Clone)]
+pub struct ShardedPlanner {
+    shards: Vec<PlannerCore>,
+    total: u32,
+    /// Owner shard of every resident job (label hash at admission time).
+    assignment: BTreeMap<u64, usize>,
+    /// Global id counter; shards are driven through `admit_as` so ids
+    /// stay unique across the partition.
+    next_id: u64,
+    /// Merged delta of the last completed plan pass.
+    delta: PlanDelta,
+    /// Per-shard deltas accumulated across partially-failed passes, so a
+    /// retry still reports every change exactly once.
+    pending: PlanDelta,
+    /// Plan passes since construction (drives the rebalance cadence).
+    passes: u64,
+    rebalance_interval: u64,
+}
+
+impl ShardedPlanner {
+    /// Builds a planner partitioned across `shards` kernels with an even
+    /// initial capacity split.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Config`] when `shards == 0` or
+    /// `capacity < shards` (every slice must hold at least one
+    /// container), plus whatever [`PlannerCore::new`] rejects.
+    pub fn new(config: RushConfig, capacity: u32, shards: usize) -> Result<Self, PlannerError> {
+        if shards == 0 {
+            return Err(PlannerError::Config("shard count must be at least 1".into()));
+        }
+        if (capacity as u64) < shards as u64 {
+            return Err(PlannerError::Config(format!(
+                "capacity {capacity} cannot be split across {shards} shards (need >= 1 container each)"
+            )));
+        }
+        let cores: Result<Vec<PlannerCore>, PlannerError> = even_split(capacity, shards)
+            .into_iter()
+            .map(|slice| PlannerCore::new(config, slice))
+            .collect();
+        Ok(ShardedPlanner {
+            shards: cores?,
+            total: capacity,
+            assignment: BTreeMap::new(),
+            next_id: 0,
+            delta: PlanDelta::default(),
+            pending: PlanDelta::default(),
+            passes: 0,
+            rebalance_interval: DEFAULT_REBALANCE_INTERVAL,
+        })
+    }
+
+    /// Adapter-parity constructor: skips config validation, like
+    /// [`PlannerCore::new_unchecked`]. The placeholder capacity is
+    /// `max(capacity, shards)` so every slice starts positive even before
+    /// the first `set_capacity` from a cluster view.
+    pub(crate) fn new_unchecked(config: RushConfig, capacity: u32, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let total = capacity.max(shards as u32);
+        ShardedPlanner {
+            shards: even_split(total, shards)
+                .into_iter()
+                .map(|slice| PlannerCore::new_unchecked(config, slice))
+                .collect(),
+            total,
+            assignment: BTreeMap::new(),
+            next_id: 0,
+            delta: PlanDelta::default(),
+            pending: PlanDelta::default(),
+            passes: 0,
+            rebalance_interval: DEFAULT_REBALANCE_INTERVAL,
+        }
+    }
+
+    /// Sets the cold-start mode of every shard (builder style).
+    #[must_use]
+    pub fn with_cold_start(mut self, cold_start: ColdStart) -> Self {
+        self.shards = self.shards.into_iter().map(|s| s.with_cold_start(cold_start)).collect();
+        self
+    }
+
+    /// Sets completed-job retirement on every shard (builder style).
+    #[must_use]
+    pub fn with_retirement(mut self, retire: bool) -> Self {
+        self.shards = self.shards.into_iter().map(|s| s.with_retirement(retire)).collect();
+        self
+    }
+
+    /// Sets the rebalance cadence in plan passes; `0` disables the
+    /// rebalancer (builder style).
+    #[must_use]
+    pub fn with_rebalance_interval(mut self, passes: u64) -> Self {
+        self.rebalance_interval = passes;
+        self
+    }
+
+    /// Rebuilds a sharded planner from snapshot parts, routing every job
+    /// to its label-hash shard.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedPlanner::new`], plus [`PlannerError::Snapshot`]
+    /// when a job id repeats or is not below `next_id`.
+    pub fn from_parts(
+        config: RushConfig,
+        capacity: u32,
+        shards: usize,
+        jobs: Vec<(JobId, JobRecord)>,
+        next_id: u64,
+    ) -> Result<Self, PlannerError> {
+        let mut planner = ShardedPlanner::new(config, capacity, shards)?;
+        let mut parts: Vec<Vec<(JobId, JobRecord)>> = vec![Vec::new(); shards];
+        for (id, record) in jobs {
+            let shard = shard_of_label(&record.label, shards);
+            if planner.assignment.insert(id.0, shard).is_some() {
+                return Err(PlannerError::Snapshot(format!("duplicate job id {id}")));
+            }
+            parts[shard].push((id, record));
+        }
+        let slices: Vec<u32> = planner.shards.iter().map(PlannerCore::capacity).collect();
+        for ((core, part), slice) in planner.shards.iter_mut().zip(parts).zip(slices) {
+            *core = PlannerCore::from_parts(config, slice, part, next_id)?;
+        }
+        planner.next_id = next_id;
+        Ok(planner)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The scheduler configuration (shared by every shard).
+    pub fn config(&self) -> &RushConfig {
+        // bound: construction guarantees at least one shard.
+        self.shards[0].config()
+    }
+
+    /// Total cluster capacity in containers (the sum of all slices).
+    pub fn capacity(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of planner shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current capacity slice of every shard, in shard order. Always
+    /// sums to [`ShardedPlanner::capacity`].
+    pub fn slices(&self) -> Vec<u32> {
+        self.shards.iter().map(PlannerCore::capacity).collect()
+    }
+
+    /// Read access to one shard kernel, for introspection and tests.
+    /// Mutation goes through the [`ShardedPlanner`] surface only — lint
+    /// RUSH-L008 keeps adapter code off this accessor.
+    pub fn shard_core(&self, shard: usize) -> &PlannerCore {
+        &self.shards[shard]
+    }
+
+    /// The owner shard of a resident job, if it is registered.
+    pub fn shard_of(&self, job: JobId) -> Option<usize> {
+        self.assignment.get(&job.0).copied()
+    }
+
+    /// Next job id [`ShardedPlanner::admit`] will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Looks up one resident job.
+    pub fn job(&self, id: JobId) -> Option<&JobRecord> {
+        self.shards[*self.assignment.get(&id.0)?].job(id)
+    }
+
+    /// Iterates all resident jobs across shards in ascending id order.
+    pub fn jobs(&self) -> impl Iterator<Item = (JobId, &JobRecord)> {
+        let mut all: Vec<(JobId, &JobRecord)> =
+            self.shards.iter().flat_map(PlannerCore::jobs).collect();
+        all.sort_by_key(|(id, _)| *id);
+        all.into_iter()
+    }
+
+    /// Number of resident jobs across all shards.
+    pub fn job_count(&self) -> usize {
+        self.shards.iter().map(PlannerCore::job_count).sum()
+    }
+
+    /// Number of parked jobs across all shards.
+    pub fn parked_count(&self) -> usize {
+        self.shards.iter().map(PlannerCore::parked_count).sum()
+    }
+
+    /// Iterates the current plan as `(job, entry)` pairs, shard by shard
+    /// (within a shard: that shard's planning order). With one shard this
+    /// is exactly the kernel's `plan_ids × plan` zip.
+    pub fn planned(&self) -> impl Iterator<Item = (JobId, &PlanEntry)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.plan_ids().iter().copied().zip(s.plan().entries.iter()))
+    }
+
+    /// Number of entries in the current plan across all shards.
+    pub fn planned_count(&self) -> usize {
+        self.shards.iter().map(|s| s.plan_ids().len()).sum()
+    }
+
+    /// The plan entry of one job, if it is in its shard's current plan.
+    pub fn entry(&self, id: JobId) -> Option<&PlanEntry> {
+        self.shards[*self.assignment.get(&id.0)?].entry(id)
+    }
+
+    /// What the last completed plan pass changed, merged across shards.
+    pub fn delta(&self) -> &PlanDelta {
+        &self.delta
+    }
+
+    /// Estimate+WCDE memo hits across all shards.
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(PlannerCore::cache_hits).sum()
+    }
+
+    /// Estimate+WCDE memo misses across all shards.
+    pub fn cache_misses(&self) -> u64 {
+        self.shards.iter().map(PlannerCore::cache_misses).sum()
+    }
+
+    /// Whether every shard's plan is fresh for `now_slot`.
+    pub fn is_fresh(&self, now_slot: u64) -> bool {
+        self.shards.iter().all(|s| s.is_fresh(now_slot))
+    }
+
+    /// Theorem-2 headroom of every shard ([`PlannerCore::headroom`]), in
+    /// shard order.
+    pub fn headrooms(&self) -> Vec<u32> {
+        self.shards.iter().map(PlannerCore::headroom).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    /// Registers a new job under the next free id on its label's shard.
+    pub fn admit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.route_admit(id, spec);
+        id
+    }
+
+    /// Registers (or re-registers) a job under a caller-chosen id. If a
+    /// re-registration changes the label onto a different shard, the old
+    /// record is dropped from its previous owner first — a job is owned
+    /// by exactly one shard at all times.
+    pub fn admit_as(&mut self, id: JobId, spec: JobSpec) {
+        self.next_id = self.next_id.max(id.0.saturating_add(1));
+        self.route_admit(id, spec);
+    }
+
+    fn route_admit(&mut self, id: JobId, spec: JobSpec) {
+        let shard = shard_of_label(&spec.label, self.shards.len());
+        if let Some(old) = self.assignment.insert(id.0, shard) {
+            if old != shard {
+                self.shards[old].cancel(id);
+            }
+        }
+        self.shards[shard].admit_as(id, spec);
+    }
+
+    /// Ingests one completed-task runtime sample, routed to the job's
+    /// owner shard. A sample for an unknown job goes to shard 0 — under
+    /// [`ColdStart::PooledByLabel`] stray evidence still feeds a cluster
+    /// pool, and with one shard this is exactly the kernel's behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::UnknownJob`] in `OwnSamplesOnly` mode only.
+    pub fn ingest_sample(
+        &mut self,
+        job: JobId,
+        runtime: u64,
+    ) -> Result<SampleOutcome, PlannerError> {
+        // Unrouted evidence defaults to shard 0 — with one shard this is
+        // exactly the bare kernel's behavior.
+        let shard = self.assignment.get(&job.0).copied().unwrap_or(0);
+        let outcome = self.shards[shard].ingest_sample(job, runtime)?;
+        if outcome.completed && self.shards[shard].job(job).is_none() {
+            // Retirement dropped the job from its shard's registry.
+            self.assignment.remove(&job.0);
+        }
+        Ok(outcome)
+    }
+
+    /// Charges one failed task attempt to the job's owner shard. Returns
+    /// whether the job was known; only its shard's plan is invalidated.
+    pub fn record_failure(&mut self, job: JobId) -> bool {
+        let shard = self.assignment.get(&job.0).copied().unwrap_or(0);
+        self.shards[shard].record_failure(job)
+    }
+
+    /// Removes a job from its owner shard. Returns whether it was known.
+    pub fn cancel(&mut self, job: JobId) -> bool {
+        let shard = self.assignment.remove(&job.0).unwrap_or(0);
+        self.shards[shard].cancel(job)
+    }
+
+    /// Parks or unparks a job on its owner shard.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::UnknownJob`] for a non-resident id.
+    pub fn set_parked(&mut self, job: JobId, parked: bool) -> Result<(), PlannerError> {
+        let shard =
+            *self.assignment.get(&job.0).ok_or(PlannerError::UnknownJob(job.0))?;
+        self.shards[shard].set_parked(job, parked)
+    }
+
+    /// Forces the next plan pass to recompute every shard.
+    pub fn invalidate(&mut self) {
+        for s in &mut self.shards {
+            s.invalidate();
+        }
+    }
+
+    /// Updates the total planning capacity. A change re-splits the slices
+    /// evenly (the rebalancer re-learns demand-proportional slices from
+    /// the next plans); an unchanged total keeps the current slices.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Config`] when `capacity < shard_count` — a slice
+    /// cannot hold less than one container.
+    pub fn set_capacity(&mut self, capacity: u32) -> Result<(), PlannerError> {
+        if capacity == self.total {
+            return Ok(());
+        }
+        if (capacity as u64) < self.shards.len() as u64 {
+            return Err(PlannerError::Config(format!(
+                "capacity {capacity} cannot be split across {} shards",
+                self.shards.len()
+            )));
+        }
+        self.total = capacity;
+        self.apply_slices(&even_split(capacity, self.shards.len()));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Planning
+    // ------------------------------------------------------------------
+
+    /// Replans every stale shard from its own registry and returns the
+    /// merged delta. Fresh shards are skipped entirely — the scaling
+    /// property: a steady-state event dirties one shard, so one event
+    /// costs one `n/N`-job incremental replan. Under the `parallel`
+    /// feature, multiple stale shards replan on scoped threads.
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard's error (by shard index). Shards that
+    /// succeeded keep their new plans and their deltas are carried into
+    /// the next successful pass, so every change is reported exactly once.
+    pub fn plan_at(&mut self, now_slot: u64) -> Result<&PlanDelta, PlannerError> {
+        self.maybe_rebalance();
+        let stale: Vec<usize> =
+            (0..self.shards.len()).filter(|&i| !self.shards[i].is_fresh(now_slot)).collect();
+        if stale.is_empty() {
+            return Ok(&self.delta);
+        }
+        let results =
+            fan_out_indexed(&mut self.shards, &stale, |_, s| s.plan_at(now_slot).map(|_| ()));
+        self.collect_pass(results)
+    }
+
+    /// Replans from a caller-supplied roster, partitioned across shards
+    /// by label hash (stable within a shard: the roster's order is the
+    /// planning order, as in [`PlannerCore::plan_roster`]). With one
+    /// shard the roster is forwarded verbatim.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedPlanner::plan_at`].
+    pub fn plan_roster(
+        &mut self,
+        now_slot: u64,
+        roster: &[RosterJob<'_>],
+    ) -> Result<&PlanDelta, PlannerError> {
+        self.maybe_rebalance();
+        let n = self.shards.len();
+        let stale: Vec<usize> = (0..n).filter(|&i| !self.shards[i].is_fresh(now_slot)).collect();
+        if stale.is_empty() {
+            return Ok(&self.delta);
+        }
+        let mut parts: Vec<Vec<RosterJob<'_>>> = vec![Vec::new(); n];
+        if n == 1 {
+            // bound: n == 1 guarantees slot 0 exists.
+            parts[0] = roster.to_vec();
+        } else {
+            for r in roster {
+                parts[shard_of_label(r.label, n)].push(*r);
+            }
+        }
+        let results = fan_out_indexed(&mut self.shards, &stale, |i, s| {
+            s.plan_roster(now_slot, &parts[i]).map(|_| ())
+        });
+        self.collect_pass(results)
+    }
+
+    /// Installs an empty plan on every shard (the adapters' liveness
+    /// fallback when a plan pass fails on pathological inputs).
+    pub fn install_empty_plan(&mut self, now_slot: u64) {
+        for s in &mut self.shards {
+            s.install_empty_plan(now_slot);
+        }
+        self.pending = PlanDelta::default();
+        let mut removed: Vec<JobId> = Vec::new();
+        for s in &self.shards {
+            removed.extend(s.delta().removed.iter().copied());
+        }
+        self.delta = PlanDelta { changed: Vec::new(), removed };
+    }
+
+    /// Merges the deltas of the shards that replanned in this pass into
+    /// the pending set; on a fully successful pass, publishes it.
+    fn collect_pass(
+        &mut self,
+        results: Vec<(usize, Result<(), PlannerError>)>,
+    ) -> Result<&PlanDelta, PlannerError> {
+        let mut first_err: Option<(usize, PlannerError)> = None;
+        for (i, r) in results {
+            match r {
+                Ok(()) => {
+                    let d = self.shards[i].delta();
+                    self.pending.changed.extend(d.changed.iter().copied());
+                    self.pending.removed.extend(d.removed.iter().copied());
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => {
+                self.delta = std::mem::take(&mut self.pending);
+                self.check_shard_invariants();
+                Ok(&self.delta)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    fn maybe_rebalance(&mut self) {
+        self.passes = self.passes.wrapping_add(1);
+        if self.rebalance_interval == 0
+            || self.shards.len() <= 1
+            || !self.passes.is_multiple_of(self.rebalance_interval)
+        {
+            return;
+        }
+        self.rebalance();
+    }
+
+    /// Re-splits the capacity across shards from their Theorem-2 prefix
+    /// headroom: every shard keeps at least its committed prefix demand
+    /// ([`PlannerCore::committed_capacity`], floored at one container),
+    /// and the surplus follows each shard's planned η mass — capacity
+    /// migrates toward the loaded partitions without ever starving one
+    /// below what it already promised. When the committed demands alone
+    /// exceed `C` (the cluster is overcommitted), the current slices are
+    /// kept: no re-split can help, and stability preserves cache warmth.
+    ///
+    /// Called automatically every [`ShardedPlanner::with_rebalance_interval`]
+    /// plan passes; public for callers that want an explicit cadence.
+    pub fn rebalance(&mut self) {
+        let n = self.shards.len();
+        if n <= 1 {
+            return;
+        }
+        let total = u64::from(self.total);
+        // Committed floor per shard: what its current plan already
+        // promised (clamped into [1, total] — a shard always keeps one
+        // container, and an overloaded shard cannot demand more than C).
+        let floor: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| u64::from(s.committed_capacity()).clamp(1, total))
+            .collect();
+        let floor_sum: u64 = floor.iter().sum();
+        if floor_sum > total {
+            return;
+        }
+        // Surplus follows planned demand: weight = total planned η + 1
+        // (the +1 keeps idle shards eligible and the split total).
+        let weights: Vec<u128> = self
+            .shards
+            .iter()
+            .map(|s| s.plan().entries.iter().map(|e| u128::from(e.eta)).sum::<u128>() + 1)
+            .collect();
+        let weight_sum: u128 = weights.iter().sum();
+        let surplus = total - floor_sum;
+        let mut slices: Vec<u64> = floor.clone();
+        let mut handed = 0u64;
+        for (slice, w) in slices.iter_mut().zip(&weights) {
+            let share = (u128::from(surplus) * w / weight_sum) as u64;
+            *slice += share;
+            handed += share;
+        }
+        // Flooring remainder: one container at a time, heaviest shard
+        // first (ties to the lower index) — deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+        let mut rest = surplus - handed;
+        for &i in order.iter().cycle().take(n * 2) {
+            if rest == 0 {
+                break;
+            }
+            slices[i] += 1;
+            rest -= 1;
+        }
+        let slices: Vec<u32> = slices.into_iter().map(|s| s as u32).collect();
+        #[cfg(feature = "strict-invariants")]
+        {
+            debug_assert_eq!(
+                slices.iter().map(|&s| u64::from(s)).sum::<u64>(),
+                total,
+                "rebalance must conserve total capacity"
+            );
+            for (i, (&s, &f)) in slices.iter().zip(&floor).enumerate() {
+                debug_assert!(s >= 1, "shard {i} starved to an empty slice");
+                debug_assert!(
+                    u64::from(s) >= f,
+                    "shard {i} cut below its committed prefix demand ({s} < {f})"
+                );
+            }
+        }
+        self.apply_slices(&slices);
+    }
+
+    /// Installs new capacity slices; only shards whose slice actually
+    /// changed are dirtied (their caches survive — a capacity change
+    /// invalidates the peel trace, not the estimate+WCDE memo).
+    fn apply_slices(&mut self, slices: &[u32]) {
+        for (s, &slice) in self.shards.iter_mut().zip(slices) {
+            s.set_capacity(slice);
+        }
+        self.check_shard_invariants();
+    }
+
+    /// Contract layer: the partition invariants.
+    #[cfg(feature = "strict-invariants")]
+    fn check_shard_invariants(&self) {
+        let sum: u64 = self.shards.iter().map(|s| u64::from(s.capacity())).sum();
+        debug_assert_eq!(sum, u64::from(self.total), "slices must sum to the total capacity");
+        debug_assert!(
+            self.shards.iter().all(|s| s.capacity() >= 1),
+            "every shard must keep at least one container"
+        );
+        let residents: usize = self.shards.iter().map(PlannerCore::job_count).sum();
+        debug_assert_eq!(
+            residents,
+            self.assignment.len(),
+            "every resident job must be owned by exactly one shard"
+        );
+        for (id, &shard) in &self.assignment {
+            debug_assert!(
+                self.shards[shard].job(JobId(*id)).is_some(),
+                "job {id} is assigned to shard {shard} but not resident there"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    fn check_shard_invariants(&self) {}
+
+    // ------------------------------------------------------------------
+    // Event surface
+    // ------------------------------------------------------------------
+
+    /// Applies one typed event, routed to the owning shard (`Tick` plans
+    /// every stale shard). Equivalent to the corresponding named method.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the corresponding method returns.
+    pub fn apply(&mut self, event: PlannerEvent) -> Result<EventOutcome, PlannerError> {
+        match event {
+            PlannerEvent::JobArrival { id: None, spec } => {
+                Ok(EventOutcome::Arrived { job: self.admit(spec) })
+            }
+            PlannerEvent::JobArrival { id: Some(id), spec } => {
+                self.admit_as(id, spec);
+                Ok(EventOutcome::Arrived { job: id })
+            }
+            PlannerEvent::TaskSample { job, runtime } => {
+                self.ingest_sample(job, runtime).map(EventOutcome::Sampled)
+            }
+            PlannerEvent::TaskFailed { job } => {
+                Ok(EventOutcome::FailureRecorded { known: self.record_failure(job) })
+            }
+            PlannerEvent::Cancel { job } => {
+                Ok(EventOutcome::Cancelled { known: self.cancel(job) })
+            }
+            PlannerEvent::SetParked { job, parked } => {
+                self.set_parked(job, parked)?;
+                Ok(EventOutcome::Parked)
+            }
+            PlannerEvent::Tick { now_slot } => {
+                let delta = self.plan_at(now_slot)?.clone();
+                Ok(EventOutcome::Planned(delta))
+            }
+        }
+    }
+
+    /// Applies a batch of events: mutations are routed and grouped per
+    /// shard (each shard sees its events in stream order), and each
+    /// `Tick` acts as a barrier that plans every stale shard — under the
+    /// `parallel` feature both the grouped mutations and the replans fan
+    /// out across scoped threads. Outcomes come back in stream order.
+    ///
+    /// # Errors
+    ///
+    /// The first failing event's error (by stream position); events
+    /// before it have been applied.
+    pub fn apply_batch(
+        &mut self,
+        events: Vec<PlannerEvent>,
+    ) -> Result<Vec<EventOutcome>, PlannerError> {
+        let mut outcomes: Vec<Option<EventOutcome>> = (0..events.len()).map(|_| None).collect();
+        let mut groups: Vec<Vec<(usize, PlannerEvent)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, event) in events.into_iter().enumerate() {
+            match event {
+                PlannerEvent::Tick { now_slot } => {
+                    self.flush_groups(&mut groups, &mut outcomes)?;
+                    let delta = self.plan_at(now_slot)?.clone();
+                    outcomes[pos] = Some(EventOutcome::Planned(delta));
+                }
+                PlannerEvent::JobArrival { id, spec } => {
+                    // Admission bookkeeping (id allocation, assignment,
+                    // cross-shard moves) is serial; the shard-local insert
+                    // rides the group.
+                    let id = id.unwrap_or(JobId(self.next_id));
+                    self.next_id = self.next_id.max(id.0.saturating_add(1));
+                    let shard = shard_of_label(&spec.label, self.shards.len());
+                    if let Some(old) = self.assignment.insert(id.0, shard) {
+                        if old != shard {
+                            groups[old].push((usize::MAX, PlannerEvent::Cancel { job: id }));
+                        }
+                    }
+                    outcomes[pos] = Some(EventOutcome::Arrived { job: id });
+                    groups[shard].push((pos, PlannerEvent::JobArrival { id: Some(id), spec }));
+                }
+                PlannerEvent::Cancel { job } => {
+                    let shard = self.assignment.remove(&job.0).unwrap_or(0);
+                    groups[shard].push((pos, PlannerEvent::Cancel { job }));
+                }
+                event => {
+                    let job = match &event {
+                        PlannerEvent::TaskSample { job, .. }
+                        | PlannerEvent::TaskFailed { job }
+                        | PlannerEvent::SetParked { job, .. } => *job,
+                        // Arrival/cancel/tick are matched above.
+                        _ => JobId(0),
+                    };
+                    let shard = self.assignment.get(&job.0).copied().unwrap_or(0);
+                    groups[shard].push((pos, event));
+                }
+            }
+        }
+        self.flush_groups(&mut groups, &mut outcomes)?;
+        let total = outcomes.len();
+        let out: Vec<EventOutcome> = outcomes.into_iter().flatten().collect();
+        debug_assert_eq!(out.len(), total, "every applied event produces an outcome");
+        Ok(out)
+    }
+
+    /// Runs each shard's queued events (parallel when the feature is on),
+    /// recording outcomes by stream position.
+    fn flush_groups(
+        &mut self,
+        groups: &mut [Vec<(usize, PlannerEvent)>],
+        outcomes: &mut [Option<EventOutcome>],
+    ) -> Result<(), PlannerError> {
+        let busy: Vec<usize> =
+            (0..groups.len()).filter(|&i| !groups[i].is_empty()).collect();
+        if busy.is_empty() {
+            return Ok(());
+        }
+        let taken: Vec<Vec<(usize, PlannerEvent)>> =
+            groups.iter_mut().map(std::mem::take).collect();
+        let results = fan_out_indexed(&mut self.shards, &busy, |i, shard| {
+            let mut out: Vec<(usize, Result<EventOutcome, PlannerError>)> = Vec::new();
+            for (pos, event) in &taken[i] {
+                out.push((*pos, shard.apply(event.clone())));
+            }
+            Ok(out)
+        });
+        // Surface the earliest failure by stream position; apply every
+        // successful outcome either way (they did happen).
+        let mut first_err: Option<(usize, PlannerError)> = None;
+        for (_, r) in results {
+            // The group runner itself never fails; shard-level errors ride
+            // inside the per-event outcomes.
+            let list = r.unwrap_or_default();
+            for (pos, outcome) in list {
+                match outcome {
+                    Ok(o) => {
+                        if pos != usize::MAX {
+                            outcomes[pos] = Some(o);
+                        }
+                    }
+                    Err(e) => {
+                        if first_err.as_ref().is_none_or(|(p, _)| pos < *p) {
+                            first_err = Some((pos, e));
+                        }
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => {
+                self.retire_assignments();
+                Ok(())
+            }
+        }
+    }
+
+    /// Drops assignments of jobs a shard no longer holds (retirement
+    /// inside a batched sample completes a job without going through
+    /// [`ShardedPlanner::cancel`]).
+    fn retire_assignments(&mut self) {
+        let shards = &self.shards;
+        self.assignment.retain(|id, &mut shard| shards[shard].job(JobId(*id)).is_some());
+    }
+}
+
+/// Runs `f` on the selected shards and returns `(index, result)` pairs in
+/// selection order. Sequential without the `parallel` feature; scoped
+/// threads with it (one per selected shard) when more than one shard is
+/// selected.
+fn fan_out_indexed<T, F>(
+    shards: &mut [PlannerCore],
+    selected: &[usize],
+    f: F,
+) -> Vec<(usize, Result<T, PlannerError>)>
+where
+    T: Send,
+    F: Fn(usize, &mut PlannerCore) -> Result<T, PlannerError> + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if selected.len() > 1 {
+            let mut results: Vec<(usize, Result<T, PlannerError>)> =
+                Vec::with_capacity(selected.len());
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(selected.len());
+                let f = &f;
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    if !selected.contains(&i) {
+                        continue;
+                    }
+                    handles.push((i, scope.spawn(move || f(i, shard))));
+                }
+                for (i, h) in handles {
+                    let r = h.join().unwrap_or_else(|_| {
+                        Err(PlannerError::Config("planner shard thread panicked".into()))
+                    });
+                    results.push((i, r));
+                }
+            });
+            results.sort_by_key(|(i, _)| *i);
+            return results;
+        }
+    }
+    selected.iter().map(|&i| (i, f(i, &mut shards[i]))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_utility::TimeUtility;
+
+    fn spec(label: &str, tasks: u64, arrived: u64) -> JobSpec {
+        JobSpec {
+            label: label.into(),
+            utility: TimeUtility::sigmoid(500.0, 3.0, 0.02).expect("valid utility"),
+            tasks,
+            arrived_slot: arrived,
+            runtime_hint: Some(50.0),
+            parked: false,
+        }
+    }
+
+    fn sharded(capacity: u32, shards: usize) -> ShardedPlanner {
+        ShardedPlanner::new(RushConfig::default(), capacity, shards).expect("planner")
+    }
+
+    #[test]
+    fn shard_of_label_is_deterministic_and_in_range() {
+        for shards in 1..=8usize {
+            for label in ["etl", "train-7", "", "a very long label with spaces"] {
+                let s = shard_of_label(label, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_label(label, shards), "pure function");
+            }
+        }
+        assert_eq!(shard_of_label("anything", 1), 0);
+    }
+
+    #[test]
+    fn construction_rejects_zero_shards_and_thin_capacity() {
+        assert!(matches!(
+            ShardedPlanner::new(RushConfig::default(), 8, 0),
+            Err(PlannerError::Config(_))
+        ));
+        assert!(matches!(
+            ShardedPlanner::new(RushConfig::default(), 3, 4),
+            Err(PlannerError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn slices_split_evenly_and_sum_to_capacity() {
+        let p = sharded(10, 4);
+        assert_eq!(p.slices(), vec![3, 3, 2, 2]);
+        assert_eq!(p.slices().iter().sum::<u32>(), p.capacity());
+    }
+
+    #[test]
+    fn admit_routes_by_label_hash_and_ids_stay_global() {
+        let mut p = sharded(8, 4);
+        let mut ids = Vec::new();
+        for i in 0..12u64 {
+            let label = format!("job-{i}");
+            let id = p.admit(spec(&label, 4, 0));
+            assert_eq!(p.shard_of(id), Some(shard_of_label(&label, 4)));
+            ids.push(id);
+        }
+        // Ids are globally unique and ascending regardless of shard.
+        assert_eq!(ids, (0..12).map(JobId).collect::<Vec<_>>());
+        assert_eq!(p.job_count(), 12);
+        assert_eq!(p.jobs().count(), 12);
+    }
+
+    #[test]
+    fn set_capacity_validates_and_resplits() {
+        let mut p = sharded(8, 2);
+        assert!(p.set_capacity(8).is_ok(), "no-op on unchanged total");
+        assert!(matches!(p.set_capacity(1), Err(PlannerError::Config(_))));
+        p.set_capacity(5).expect("re-split");
+        assert_eq!(p.slices(), vec![3, 2]);
+        assert_eq!(p.capacity(), 5);
+    }
+
+    #[test]
+    fn plan_replans_only_dirty_shards() {
+        let mut p = sharded(8, 2).with_rebalance_interval(0);
+        // Two labels that land on different shards.
+        let labels: Vec<String> = {
+            let mut found = Vec::new();
+            let mut i = 0u64;
+            while found.len() < 2 {
+                let l = format!("l{i}");
+                let s = shard_of_label(&l, 2);
+                if !found.iter().any(|f: &String| shard_of_label(f, 2) == s) {
+                    found.push(l);
+                }
+                i += 1;
+            }
+            found
+        };
+        let a = p.admit(spec(&labels[0], 4, 0));
+        p.admit(spec(&labels[1], 4, 0));
+        p.plan_at(0).expect("initial plan");
+        let misses = p.cache_misses();
+        // An event on shard A leaves shard B's plan fresh: the next pass
+        // recomputes only one shard.
+        let other = p.shard_of(a).map(|s| 1 - s).expect("resident");
+        p.ingest_sample(a, 50).expect("sample");
+        assert!(p.shards[other].is_fresh(0), "untouched shard stays fresh");
+        p.plan_at(0).expect("replan");
+        assert!(p.cache_misses() > misses, "dirty shard recomputed");
+        assert!(p.is_fresh(0));
+    }
+
+    #[test]
+    fn rebalance_conserves_capacity_and_respects_floors() {
+        let mut p = sharded(16, 4).with_rebalance_interval(0);
+        for i in 0..20u64 {
+            p.admit(spec(&format!("t{i}"), 8, 0));
+        }
+        p.plan_at(0).expect("plan");
+        p.rebalance();
+        let slices = p.slices();
+        assert_eq!(slices.iter().sum::<u32>(), 16, "capacity conserved");
+        assert!(slices.iter().all(|&s| s >= 1), "no shard starved");
+        for (i, &s) in slices.iter().enumerate() {
+            assert!(
+                s >= p.shard_core(i).committed_capacity().min(16),
+                "slice below committed prefix demand"
+            );
+        }
+        // Determinism: rebalancing again from the same plans is a no-op
+        // fixed point or at least reproducible.
+        p.plan_at(1).expect("replan under new slices");
+        p.rebalance();
+        let once = p.slices();
+        p.rebalance();
+        assert_eq!(p.slices(), once, "rebalance is deterministic");
+    }
+
+    #[test]
+    fn cancel_and_retirement_drop_assignments() {
+        let mut p = sharded(8, 2);
+        let a = p.admit(spec("x", 2, 0));
+        assert!(p.cancel(a));
+        assert_eq!(p.shard_of(a), None);
+        assert!(!p.cancel(a), "second cancel is unknown");
+        assert_eq!(p.job_count(), 0);
+    }
+
+    #[test]
+    fn apply_batch_orders_outcomes_by_stream_position() {
+        let mut p = sharded(8, 4);
+        let events = vec![
+            PlannerEvent::JobArrival { id: None, spec: spec("p", 4, 0) },
+            PlannerEvent::JobArrival { id: None, spec: spec("q", 4, 0) },
+            PlannerEvent::TaskSample { job: JobId(0), runtime: 40 },
+            PlannerEvent::Tick { now_slot: 0 },
+            PlannerEvent::Cancel { job: JobId(1) },
+            PlannerEvent::Tick { now_slot: 0 },
+        ];
+        let out = p.apply_batch(events).expect("batch");
+        assert_eq!(out.len(), 6);
+        assert!(matches!(out[0], EventOutcome::Arrived { job: JobId(0) }));
+        assert!(matches!(out[1], EventOutcome::Arrived { job: JobId(1) }));
+        assert!(matches!(out[2], EventOutcome::Sampled(_)));
+        assert!(matches!(out[3], EventOutcome::Planned(_)));
+        assert!(matches!(out[4], EventOutcome::Cancelled { known: true }));
+        match &out[5] {
+            EventOutcome::Planned(delta) => {
+                assert!(delta.removed.contains(&JobId(1)), "cancel reported in tick delta");
+            }
+            other => panic!("expected a plan outcome, got {other:?}"),
+        }
+        assert!(p.is_fresh(0));
+    }
+}

@@ -1,9 +1,9 @@
 //! `rushd` — the RUSH scheduling daemon.
 //!
 //! ```text
-//! rushd [--addr 127.0.0.1:4117] [--capacity 16] [--epoch-ms 25]
-//!       [--batch 32] [--ms-per-slot 1000] [--snapshot PATH]
-//!       [--theta 0.9] [--delta 0.7]
+//! rushd [--addr 127.0.0.1:4117] [--capacity 16] [--shards 1]
+//!       [--epoch-ms 25] [--batch 32] [--ms-per-slot 1000]
+//!       [--snapshot PATH] [--theta 0.9] [--delta 0.7]
 //! ```
 //!
 //! Prints `rushd listening on ADDR` once the socket is bound (CI's
@@ -28,6 +28,10 @@ fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
             "--capacity" => {
                 cfg.capacity =
                     take(&mut it, flag)?.parse().map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--shards" => {
+                cfg.shards =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("--shards: {e}"))?;
             }
             "--epoch-ms" => {
                 cfg.epoch_ms =
@@ -57,8 +61,8 @@ fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
     Ok(cfg)
 }
 
-const USAGE: &str = "usage: rushd [--addr A] [--capacity N] [--epoch-ms T] [--batch N] \
-                     [--ms-per-slot T] [--snapshot PATH] [--theta F] [--delta F]";
+const USAGE: &str = "usage: rushd [--addr A] [--capacity N] [--shards N] [--epoch-ms T] \
+                     [--batch N] [--ms-per-slot T] [--snapshot PATH] [--theta F] [--delta F]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

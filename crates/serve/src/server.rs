@@ -21,6 +21,17 @@
 //! function of (state, slot), which is what makes the snapshot/restore
 //! guarantee testable: a daemon restored from a snapshot starts its clock
 //! at the snapshot's slot.
+//!
+//! **Shards.** With [`ServeConfig::shards`] `> 1` the daemon runs one
+//! planner thread per shard, each owning an independent [`ServeState`]
+//! over a slice of the capacity. Connection workers route submissions by
+//! label hash ([`rush_planner::shard_of_label`] — same-label jobs share a
+//! shard, so cold-start pools and epoch batching stay effective) and
+//! per-job requests by wire id. Wire ids encode the owner:
+//! `wire = local * shards + shard`, which is the identity when
+//! `shards == 1`, so the single-shard daemon is bit-identical to the
+//! pre-sharding one. Cluster-wide requests (full plan table, stats,
+//! shutdown) are broadcast and merged by the connection worker.
 
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::snapshot;
@@ -52,8 +63,13 @@ pub struct ServeConfig {
     /// Wall-clock milliseconds per logical slot.
     pub ms_per_slot: u64,
     /// Snapshot file: written on graceful shutdown, restored on startup
-    /// when present.
+    /// when present. With more than one shard, shard `i` uses the path
+    /// suffixed `.shard<i>`.
     pub snapshot_path: Option<PathBuf>,
+    /// Planner shards (threads). `1` (the default) is bit-identical to
+    /// the pre-sharding daemon; more shards split the capacity and plan
+    /// label-hash partitions of the jobs independently.
+    pub shards: usize,
     /// The scheduling pipeline's parameters.
     pub rush: RushConfig,
 }
@@ -67,6 +83,7 @@ impl Default for ServeConfig {
             epoch_ms: 25,
             ms_per_slot: 1000,
             snapshot_path: None,
+            shards: 1,
             rush: RushConfig::default(),
         }
     }
@@ -85,7 +102,7 @@ enum PlannerMsg {
 /// [`ServerHandle::join`].
 pub struct ServerHandle {
     addr: SocketAddr,
-    planner: thread::JoinHandle<Result<Histogram, ServeError>>,
+    planners: Vec<thread::JoinHandle<Result<Histogram, ServeError>>>,
     acceptor: thread::JoinHandle<()>,
     stop: Arc<AtomicBool>,
 }
@@ -97,29 +114,64 @@ impl ServerHandle {
     }
 
     /// Waits for the daemon to finish (it finishes when a client sends
-    /// `shutdown`). Returns the submit-wait histogram (µs).
+    /// `shutdown`). Returns the submit-wait histogram (µs), merged across
+    /// planner shards.
     ///
     /// # Errors
     ///
-    /// [`ServeError`] when the planner exited on an internal error or a
+    /// [`ServeError`] when a planner exited on an internal error or a
     /// daemon thread panicked.
     pub fn join(self) -> Result<Histogram, ServeError> {
-        let hist = self
-            .planner
-            .join()
-            .map_err(|_| ServeError::Config("planner thread panicked".into()))??;
-        // The planner exits first and flips the stop flag; the acceptor
+        let mut merged = Histogram::new();
+        let mut first_err = None;
+        for p in self.planners {
+            match p.join() {
+                Ok(Ok(hist)) => merged.merge(&hist),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err = first_err
+                        .or_else(|| Some(ServeError::Config("planner thread panicked".into())));
+                }
+            }
+        }
+        // The planners exit first and flip the stop flag; the acceptor
         // notices within one poll interval.
         self.stop.store(true, Ordering::SeqCst);
         self.acceptor
             .join()
             .map_err(|_| ServeError::Config("acceptor thread panicked".into()))?;
-        Ok(hist)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(merged),
+        }
     }
 }
 
-/// Starts the daemon: binds `config.addr`, restores the snapshot if one
-/// exists, and spawns the planner + acceptor threads.
+/// Shard `i`'s snapshot file: the configured path itself for a
+/// single-shard daemon, the path suffixed `.shard<i>` otherwise.
+fn shard_snapshot_path(base: Option<&PathBuf>, shard: usize, shards: usize) -> Option<PathBuf> {
+    base.map(|p| {
+        if shards == 1 {
+            p.clone()
+        } else {
+            let mut os = p.clone().into_os_string();
+            os.push(format!(".shard{shard}"));
+            PathBuf::from(os)
+        }
+    })
+}
+
+/// An even split of `total` into `shards` slices (first slices take the
+/// remainder), mirroring the planner's slice initialization.
+fn split_capacity(total: u32, shards: usize) -> Vec<u32> {
+    let n = shards as u32;
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + u32::from(i < extra)).collect()
+}
+
+/// Starts the daemon: binds `config.addr`, restores the snapshot(s) if
+/// present, and spawns one planner thread per shard plus the acceptor.
 ///
 /// # Errors
 ///
@@ -133,30 +185,53 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     if config.ms_per_slot == 0 {
         return Err(ServeError::Config("ms_per_slot must be >= 1".into()));
     }
-    let (state, base_slot) = match &config.snapshot_path {
-        Some(p) if p.exists() => snapshot::read(p, config.rush, config.capacity)?,
-        _ => (ServeState::new(config.rush, config.capacity)?, 0),
-    };
+    if config.shards == 0 {
+        return Err(ServeError::Config("shards must be >= 1".into()));
+    }
+    if config.capacity < config.shards as u32 {
+        return Err(ServeError::Config(format!(
+            "capacity {} cannot be split across {} planner shards",
+            config.capacity, config.shards
+        )));
+    }
+
+    let slices = split_capacity(config.capacity, config.shards);
+    let mut shard_states = Vec::with_capacity(config.shards);
+    for (i, &slice) in slices.iter().enumerate() {
+        let path = shard_snapshot_path(config.snapshot_path.as_ref(), i, config.shards);
+        let (state, base_slot) = match &path {
+            Some(p) if p.exists() => snapshot::read(p, config.rush, slice)?,
+            _ => (ServeState::new(config.rush, slice)?, 0),
+        };
+        shard_states.push((state, base_slot, path, slice));
+    }
 
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<PlannerMsg>();
-
-    let planner = {
+    let mut planners = Vec::with_capacity(config.shards);
+    let mut txs = Vec::with_capacity(config.shards);
+    for (state, base_slot, path, slice) in shard_states {
+        let (tx, rx) = mpsc::channel::<PlannerMsg>();
+        txs.push(tx);
         let stop = Arc::clone(&stop);
-        let config = config.clone();
-        thread::spawn(move || planner_loop(config, state, base_slot, &rx, &stop))
-    };
+        // Each planner sees a shard-local view of the config: its slice
+        // of the capacity and its own snapshot file.
+        let shard_config =
+            ServeConfig { capacity: slice, snapshot_path: path, ..config.clone() };
+        planners
+            .push(thread::spawn(move || planner_loop(shard_config, state, base_slot, &rx, &stop)));
+    }
 
     let acceptor = {
         let stop = Arc::clone(&stop);
-        thread::spawn(move || acceptor_loop(&listener, &tx, &stop))
+        let txs = Arc::new(txs);
+        thread::spawn(move || acceptor_loop(&listener, &txs, &stop))
     };
 
-    Ok(ServerHandle { addr, planner, acceptor, stop })
+    Ok(ServerHandle { addr, planners, acceptor, stop })
 }
 
 /// The logical slot clock.
@@ -291,12 +366,12 @@ fn answer_immediate(state: &mut ServeState, req: Request, slot: u64) -> Response
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, tx: &Sender<PlannerMsg>, stop: &AtomicBool) {
+fn acceptor_loop(listener: &TcpListener, txs: &Arc<Vec<Sender<PlannerMsg>>>, stop: &AtomicBool) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let tx = tx.clone();
-                thread::spawn(move || connection_loop(stream, &tx));
+                let txs = Arc::clone(txs);
+                thread::spawn(move || connection_loop(stream, &txs));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(5));
@@ -308,10 +383,151 @@ fn acceptor_loop(listener: &TcpListener, tx: &Sender<PlannerMsg>, stop: &AtomicB
     }
 }
 
-/// One connection: read request lines, route to the planner, write
-/// response lines. Malformed frames get structured error responses and the
-/// connection stays open.
-fn connection_loop(stream: TcpStream, tx: &Sender<PlannerMsg>) {
+// ----------------------------------------------------------------------
+// Wire-id codec: `wire = local * shards + shard` (identity with one
+// shard), so every wire id names its owner without a shared table.
+// ----------------------------------------------------------------------
+
+fn wire_shard(job: u64, shards: usize) -> usize {
+    (job % shards as u64) as usize
+}
+
+fn wire_to_local(job: u64, shards: usize) -> u64 {
+    job / shards as u64
+}
+
+fn local_to_wire(job: u64, shard: usize, shards: usize) -> u64 {
+    job * shards as u64 + shard as u64
+}
+
+/// Rewrites the shard-local job ids of a planner reply to wire ids.
+fn encode_response(mut resp: Response, shard: usize, shards: usize) -> Response {
+    match &mut resp {
+        Response::Submitted { job, .. } => {
+            *job = job.map(|j| local_to_wire(j, shard, shards));
+        }
+        Response::PlanTable { rows, .. } => {
+            for row in rows {
+                row.job = local_to_wire(row.job, shard, shards);
+            }
+        }
+        Response::Prediction { job, .. } => *job = local_to_wire(*job, shard, shards),
+        _ => {}
+    }
+    resp
+}
+
+/// Sends one request to one shard's planner and waits for the reply, with
+/// wire-id translation on both legs.
+fn ask_shard(
+    txs: &[Sender<PlannerMsg>],
+    shard: usize,
+    req: Request,
+    submit: bool,
+) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let msg = if submit {
+        PlannerMsg::Submit { req, enqueued: Instant::now(), reply: reply_tx }
+    } else {
+        PlannerMsg::Immediate { req, reply: reply_tx }
+    };
+    if txs[shard].send(msg).is_err() {
+        return Response::error(ErrorCode::Shutdown, "daemon is shutting down");
+    }
+    match reply_rx.recv() {
+        Ok(resp) => encode_response(resp, shard, txs.len()),
+        Err(_) => Response::error(ErrorCode::Shutdown, "daemon is shutting down"),
+    }
+}
+
+/// Broadcasts a cluster-wide request to every shard and merges the
+/// replies: plan tables concatenate (ids translated per shard), stats sum
+/// their counters, shutdown acknowledgments AND their snapshot flags. The
+/// first error reply, if any, wins.
+fn broadcast(txs: &[Sender<PlannerMsg>], req: &Request) -> Response {
+    let shards = txs.len();
+    let mut merged: Option<Response> = None;
+    for shard in 0..shards {
+        let resp = ask_shard(txs, shard, req.clone(), false);
+        merged = Some(match (merged, resp) {
+            (None, r) => r,
+            (Some(e @ Response::Error(_)), _) => e,
+            (Some(_), e @ Response::Error(_)) => e,
+            (
+                Some(Response::PlanTable { now_slot, epoch, mut rows }),
+                Response::PlanTable { now_slot: ns, epoch: ep, rows: more },
+            ) => {
+                rows.extend(more);
+                Response::PlanTable {
+                    now_slot: now_slot.max(ns),
+                    epoch: epoch + ep,
+                    rows,
+                }
+            }
+            (Some(Response::Stats(mut a)), Response::Stats(b)) => {
+                a.active_jobs += b.active_jobs;
+                a.deferred_jobs += b.deferred_jobs;
+                a.epochs += b.epochs;
+                a.admitted += b.admitted;
+                a.deferred += b.deferred;
+                a.rejected += b.rejected;
+                a.cancelled += b.cancelled;
+                a.completed += b.completed;
+                a.samples += b.samples;
+                a.cache_hits += b.cache_hits;
+                a.cache_misses += b.cache_misses;
+                a.now_slot = a.now_slot.max(b.now_slot);
+                Response::Stats(a)
+            }
+            (
+                Some(Response::ShuttingDown { snapshot_written }),
+                Response::ShuttingDown { snapshot_written: w },
+            ) => Response::ShuttingDown { snapshot_written: snapshot_written && w },
+            // Mixed reply kinds (a shard racing shutdown): keep the first.
+            (Some(first), _) => first,
+        });
+    }
+    merged.unwrap_or_else(|| Response::error(ErrorCode::Internal, "no planner shards"))
+}
+
+/// Routes one decoded request to its shard(s).
+fn route_request(txs: &[Sender<PlannerMsg>], req: Request) -> Response {
+    let shards = txs.len();
+    match req {
+        Request::Submit(ref sub) => {
+            let shard = rush_planner::shard_of_label(&sub.label, shards);
+            ask_shard(txs, shard, req, true)
+        }
+        Request::ReportSample { job, runtime } => {
+            let shard = wire_shard(job, shards);
+            let req = Request::ReportSample { job: wire_to_local(job, shards), runtime };
+            ask_shard(txs, shard, req, false)
+        }
+        Request::QueryPlan { job: Some(job) } => {
+            let shard = wire_shard(job, shards);
+            let req = Request::QueryPlan { job: Some(wire_to_local(job, shards)) };
+            ask_shard(txs, shard, req, false)
+        }
+        Request::Predict { job } => {
+            let shard = wire_shard(job, shards);
+            let req = Request::Predict { job: wire_to_local(job, shards) };
+            ask_shard(txs, shard, req, false)
+        }
+        Request::Cancel { job } => {
+            let shard = wire_shard(job, shards);
+            let req = Request::Cancel { job: wire_to_local(job, shards) };
+            ask_shard(txs, shard, req, false)
+        }
+        Request::QueryPlan { job: None } | Request::Stats | Request::Shutdown { .. } => {
+            broadcast(txs, &req)
+        }
+    }
+}
+
+/// One connection: read request lines, route to the planner shard(s),
+/// write response lines. Malformed frames get structured error responses
+/// and the connection stays open.
+fn connection_loop(stream: TcpStream, txs: &[Sender<PlannerMsg>]) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
     let reader = BufReader::new(stream);
@@ -322,25 +538,7 @@ fn connection_loop(stream: TcpStream, tx: &Sender<PlannerMsg>) {
         }
         let response = match Request::decode(&line) {
             Err(e) => Response::Error(e),
-            Ok(req) => {
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let msg = match req {
-                    Request::Submit(_) => {
-                        PlannerMsg::Submit { req, enqueued: Instant::now(), reply: reply_tx }
-                    }
-                    _ => PlannerMsg::Immediate { req, reply: reply_tx },
-                };
-                if tx.send(msg).is_err() {
-                    Response::error(ErrorCode::Shutdown, "daemon is shutting down")
-                } else {
-                    match reply_rx.recv() {
-                        Ok(resp) => resp,
-                        Err(_) => {
-                            Response::error(ErrorCode::Shutdown, "daemon is shutting down")
-                        }
-                    }
-                }
-            }
+            Ok(req) => route_request(txs, req),
         };
         let done = matches!(response, Response::ShuttingDown { .. });
         if writer.write_all((response.encode() + "\n").as_bytes()).is_err() {

@@ -29,7 +29,7 @@ use crate::admission::{admission_deadline, estimate_eta, probe};
 use crate::protocol::{Decision, ErrorCode, JobSubmission, PlanRow, StatsReport, WireError};
 use crate::ServeError;
 use rush_core::RushConfig;
-use rush_planner::{JobId, JobRecord, JobSpec, PlannerCore, PlannerError};
+use rush_planner::{JobId, JobRecord, JobSpec, PlannerError, ShardedPlanner};
 use std::collections::BTreeMap;
 
 /// One resident job, as exchanged with the snapshot layer. Internally the
@@ -72,7 +72,7 @@ pub struct Counters {
 /// planner kernel plus the wire submissions and counters.
 #[derive(Debug, Clone)]
 pub struct ServeState {
-    planner: PlannerCore,
+    planner: ShardedPlanner,
     /// The original wire submission of every resident job (the kernel's
     /// registry carries the planning projection of it).
     subs: BTreeMap<u64, JobSubmission>,
@@ -80,15 +80,33 @@ pub struct ServeState {
 }
 
 impl ServeState {
-    /// Creates an empty state.
+    /// Creates an empty state with a single planner shard (bit-identical
+    /// to the pre-sharding daemon).
     ///
     /// # Errors
     ///
     /// [`ServeError::Config`] for zero capacity, [`ServeError::Planner`]
     /// for an invalid [`RushConfig`].
     pub fn new(config: RushConfig, capacity: u32) -> Result<Self, ServeError> {
+        Self::with_shards(config, capacity, 1)
+    }
+
+    /// Creates an empty state whose planner is partitioned across
+    /// `shards` kernels (see [`rush_planner::ShardedPlanner`]): jobs are
+    /// routed by label hash, each shard plans a capacity slice, and an
+    /// event replans only the shard it dirtied.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeState::new`], plus a config error when
+    /// `capacity < shards`.
+    pub fn with_shards(
+        config: RushConfig,
+        capacity: u32,
+        shards: usize,
+    ) -> Result<Self, ServeError> {
         Ok(ServeState {
-            planner: PlannerCore::new(config, capacity)?,
+            planner: ShardedPlanner::new(config, capacity, shards)?,
             subs: BTreeMap::new(),
             counters: Counters::default(),
         })
@@ -125,7 +143,9 @@ impl ServeState {
                 (JobId(id), record)
             })
             .collect();
-        let planner = PlannerCore::from_parts(config, capacity, records, next_id)?;
+        // Snapshots restore into a single shard: the format is
+        // shard-agnostic and a multi-shard daemon snapshots per shard.
+        let planner = ShardedPlanner::from_parts(config, capacity, 1, records, next_id)?;
         Ok(ServeState { planner, subs, counters })
     }
 
@@ -149,8 +169,8 @@ impl ServeState {
         self.counters
     }
 
-    /// The planner kernel (plan, deltas, cache counters) — read-only.
-    pub fn planner(&self) -> &PlannerCore {
+    /// The planner (plan, deltas, cache counters) — read-only.
+    pub fn planner(&self) -> &ShardedPlanner {
         &self.planner
     }
 
@@ -176,11 +196,9 @@ impl ServeState {
     fn reservations(&self, now_slot: u64) -> Vec<(f64, u64)> {
         let config = self.planner.config();
         self.planner
-            .plan_ids()
-            .iter()
-            .zip(self.planner.plan().entries.iter())
+            .planned()
             .filter_map(|(id, entry)| {
-                let record = self.planner.job(*id)?;
+                let record = self.planner.job(id)?;
                 let sub = self.subs.get(&id.0)?;
                 let age = now_slot.saturating_sub(record.arrived_slot) as f64;
                 let d = (admission_deadline(config, sub.budget) - age)
@@ -348,12 +366,10 @@ impl ServeState {
         self.planner.plan_at(now_slot).map_err(|e| internal(ServeError::from(e)))?;
         Ok(self
             .planner
-            .plan_ids()
-            .iter()
-            .zip(self.planner.plan().entries.iter())
+            .planned()
             .filter(|(id, _)| filter.is_none() || filter == Some(id.0))
             .filter_map(|(id, e)| {
-                let record = self.planner.job(*id)?;
+                let record = self.planner.job(id)?;
                 let sub = self.subs.get(&id.0)?;
                 Some(PlanRow {
                     job: id.0,
@@ -555,7 +571,7 @@ mod tests {
     fn restored_state_reproduces_the_plan_bit_identically() {
         let mut a = ServeState::new(RushConfig::default(), 16).expect("state");
         a.submit_epoch(vec![sub("x", 12, 4000), sub("y", 30, 9000)], 5).expect("epoch");
-        let x = a.planner().plan_ids()[0].0;
+        let x = a.planner().planned().next().expect("planned job").0 .0;
         a.report_sample(x, 47).expect("sample");
         let rows_a = a.rows(9, None).expect("rows");
 

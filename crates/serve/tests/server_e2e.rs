@@ -18,6 +18,7 @@ fn test_config() -> ServeConfig {
         epoch_ms: 10,
         ms_per_slot: 3_600_000,
         snapshot_path: None,
+        shards: 1,
         rush: rush_core::RushConfig::default(),
     }
 }
@@ -116,6 +117,62 @@ fn concurrent_submissions_share_an_epoch() {
     assert_eq!(stats.epochs, 1, "one shared epoch");
     client.shutdown(false).expect("shutdown");
     handle.join().expect("join");
+}
+
+#[test]
+fn sharded_daemon_serves_the_same_lifecycle() {
+    // Four planner shards: submissions route by label hash, wire ids
+    // encode the owner shard, and cluster-wide requests (full table,
+    // stats, shutdown) merge across shards.
+    let cfg = ServeConfig { shards: 4, ..test_config() };
+    let handle = serve(cfg).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let mut ids = Vec::new();
+    for i in 0..8 {
+        let (decision, id, _, _) =
+            client.submit(submission(&format!("tpl-{i}"), 4)).expect("submit");
+        assert_eq!(decision, Decision::Admit);
+        ids.push(id.expect("admitted"));
+    }
+    assert_eq!(
+        ids.iter().collect::<std::collections::BTreeSet<_>>().len(),
+        8,
+        "wire ids stay unique across shards"
+    );
+
+    // Per-job reads route to the owner shard.
+    for &id in &ids {
+        let rows = client.query_plan(Some(id)).expect("plan");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].job, id);
+        let _ = client.predict(id).expect("predict");
+    }
+
+    // The merged full table sees every shard's jobs.
+    let all = client.query_plan(None).expect("full table");
+    assert_eq!(all.len(), 8);
+
+    // Samples route by wire id; completing one job updates merged stats.
+    for _ in 0..4 {
+        client.report_sample(ids[0], 40).expect("sample");
+    }
+    client.cancel(ids[1]).expect("cancel");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.admitted, 8);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.samples, 4);
+    assert_eq!(stats.active_jobs, 6);
+
+    assert!(!client.shutdown(false).expect("shutdown"));
+    handle.join().expect("join");
+}
+
+#[test]
+fn sharded_daemon_rejects_thin_capacity() {
+    let cfg = ServeConfig { shards: 32, capacity: 16, ..test_config() };
+    assert!(serve(cfg).is_err(), "capacity must cover one container per shard");
 }
 
 /// Raw-socket client: sends `line`, returns the response line.

@@ -1,0 +1,30 @@
+//! Seeded RUSH-L008 violations: an adapter reaching into individual planner
+//! shards instead of going through the `ShardedPlanner` API. This file is
+//! never compiled.
+
+use rush_planner::ShardedPlanner;
+
+pub fn first_shard_capacity(p: &ShardedPlanner) -> u32 {
+    p.shard_core(0).capacity() // RUSH-L008 (raw per-shard handle)
+}
+
+pub struct ShardWatcher<'a> {
+    planner: &'a ShardedPlanner,
+}
+
+impl ShardWatcher<'_> {
+    pub fn job_count(&self) -> usize {
+        // RUSH-L008: per-shard iteration bypasses the merged view.
+        (0..self.planner.shard_count()).map(|i| self.planner.shard_core(i).job_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Invariant suites may inspect individual shards: not a finding.
+    use rush_planner::ShardedPlanner;
+
+    fn probe(p: &ShardedPlanner) -> u32 {
+        p.shard_core(0).capacity()
+    }
+}

@@ -31,6 +31,69 @@ pub fn cached_ns_at(json: &str, jobs: u64) -> Option<f64> {
     None
 }
 
+/// Extract `ns_per_event` from the `"sharded_points"` array for the entry
+/// with `"jobs": <jobs>` and `"shards": <shards>`.
+///
+/// Returns `None` when the sweep, the entry, or the value is absent.
+pub fn sharded_ns_at(json: &str, jobs: u64, shards: u64) -> Option<f64> {
+    const SWEEP_KEY: &str = "\"sharded_points\":";
+    const JOBS_KEY: &str = "\"jobs\":";
+    const SHARDS_KEY: &str = "\"shards\":";
+    const NS_KEY: &str = "\"ns_per_event\":";
+    let sweep = &json[json.find(SWEEP_KEY)? + SWEEP_KEY.len()..];
+    // The sweep array closes at the first `]` after it opens.
+    let sweep = &sweep[..sweep.find(']').unwrap_or(sweep.len())];
+    let mut search = 0usize;
+    while let Some(off) = sweep[search..].find(JOBS_KEY) {
+        let at = search + off + JOBS_KEY.len();
+        search = at;
+        if leading_number(&sweep[at..]) != Some(jobs as f64) {
+            continue;
+        }
+        let rest = &sweep[at..];
+        let shards_at = rest.find(SHARDS_KEY)? + SHARDS_KEY.len();
+        if leading_number(&rest[shards_at..]) != Some(shards as f64) {
+            continue;
+        }
+        let ns_at = rest.find(NS_KEY)? + NS_KEY.len();
+        return leading_number(&rest[ns_at..]);
+    }
+    None
+}
+
+/// The outcome of one sharded-scaling comparison.
+#[derive(Debug)]
+pub struct ShardGateOutcome {
+    /// Single-shard steady-state cost, ns/event.
+    pub single: f64,
+    /// N-shard steady-state cost, ns/event.
+    pub sharded: f64,
+    /// single / sharded — the measured scaling win.
+    pub speedup: f64,
+    /// Whether the speedup met the floor.
+    pub pass: bool,
+}
+
+/// Gate the sharded sweep inside one candidate JSON: the `shards`-shard
+/// point at `jobs` jobs must be at least `min_speedup`× faster than the
+/// 1-shard point at the same job count.
+pub fn shard_gate(
+    candidate_json: &str,
+    jobs: u64,
+    shards: u64,
+    min_speedup: f64,
+) -> Result<ShardGateOutcome, String> {
+    let single = sharded_ns_at(candidate_json, jobs, 1)
+        .ok_or_else(|| format!("candidate JSON has no 1-shard point at jobs = {jobs}"))?;
+    let sharded = sharded_ns_at(candidate_json, jobs, shards)
+        .ok_or_else(|| format!("candidate JSON has no {shards}-shard point at jobs = {jobs}"))?;
+    if sharded <= 0.0 {
+        return Err(format!("{shards}-shard ns_per_event at jobs = {jobs} is not positive"));
+    }
+    let speedup = single / sharded;
+    Ok(ShardGateOutcome { single, sharded, speedup, pass: speedup >= min_speedup })
+}
+
 /// Parse the number at the start of `s` (after optional whitespace).
 fn leading_number(s: &str) -> Option<f64> {
     let s = s.trim_start();
@@ -99,5 +162,39 @@ mod tests {
     #[test]
     fn missing_point_is_an_error() {
         assert!(gate(SAMPLE, SAMPLE, 500, 2.0).is_err());
+    }
+
+    const SHARDED: &str = r#"{
+  "points": [
+    {"jobs": 200, "cached_ns_per_event": 313889}
+  ],
+  "sharded_points": [
+    {"jobs": 10000, "shards": 1, "ns_per_event": 12000000},
+    {"jobs": 10000, "shards": 8, "ns_per_event": 1500000},
+    {"jobs": 100000, "shards": 8, "ns_per_event": 20000000}
+  ],
+  "speedup_at_200_jobs": 47.9
+}"#;
+
+    #[test]
+    fn extracts_the_matching_sharded_point() {
+        assert_eq!(sharded_ns_at(SHARDED, 10_000, 1), Some(12_000_000.0));
+        assert_eq!(sharded_ns_at(SHARDED, 10_000, 8), Some(1_500_000.0));
+        assert_eq!(sharded_ns_at(SHARDED, 100_000, 8), Some(20_000_000.0));
+        assert_eq!(sharded_ns_at(SHARDED, 10_000, 4), None);
+        assert_eq!(sharded_ns_at(SHARDED, 50_000, 8), None);
+        // The flat `points` array must not leak into the sweep lookup.
+        assert_eq!(sharded_ns_at(SAMPLE, 200, 1), None);
+    }
+
+    #[test]
+    fn shard_gate_checks_the_scaling_floor() {
+        let ok = shard_gate(SHARDED, 10_000, 8, 3.0).expect("points present");
+        assert!(ok.pass);
+        assert!((ok.speedup - 8.0).abs() < 1e-9);
+        let flat = SHARDED.replace("1500000", "11000000");
+        let bad = shard_gate(&flat, 10_000, 8, 3.0).expect("points present");
+        assert!(!bad.pass);
+        assert!(shard_gate(SHARDED, 10_000, 4, 3.0).is_err(), "missing shard count");
     }
 }

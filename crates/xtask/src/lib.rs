@@ -3,9 +3,10 @@
 //! Two subcommands: `lint`, a from-scratch, registry-free static-analysis
 //! pass enforcing the workspace's RUSH-specific rules (determinism, float
 //! hygiene, panic hygiene, feature-gate hygiene, shim drift, planner
-//! layering and full-rebuild containment — see `cargo xtask lint --explain
-//! RUSH-L001` … `RUSH-L007`), and `bench-gate`, the fig5 steady-state
-//! regression gate CI runs against the checked-in benchmark numbers.
+//! layering, full-rebuild containment and shard isolation — see `cargo
+//! xtask lint --explain RUSH-L001` … `RUSH-L008`), and `bench-gate`, the
+//! fig5 steady-state regression gate CI runs against the checked-in
+//! benchmark numbers, plus its `--sharded` scaling-floor mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,6 +18,11 @@ Commands:
                                 fail if the candidate fig5 cached cost at
                                 N jobs (default 200) exceeds F x baseline
                                 (default 2.0)
+  bench-gate --sharded --candidate B.json [--jobs N] [--shards S]
+             [--min-speedup F]  fail if the candidate's S-shard point
+                                (default 8) at N jobs (default 10000) is
+                                not at least F x (default 3.0) faster
+                                than its own 1-shard point
 
 Exit codes: 0 = clean, 1 = findings/regression, 2 = usage error.
 ";
@@ -57,7 +62,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             }
             "--explain" => {
                 let Some(code) = args.get(i + 1) else {
-                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L007)");
+                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L008)");
                     return ExitCode::from(2);
                 };
                 let Some(rule) = Rule::from_code(code) else {
@@ -110,12 +115,36 @@ fn lint_cmd(args: &[String]) -> ExitCode {
 fn bench_gate_cmd(args: &[String]) -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut candidate: Option<PathBuf> = None;
-    let mut jobs: u64 = 200;
+    let mut sharded = false;
+    let mut jobs: Option<u64> = None;
+    let mut shards: u64 = 8;
     let mut factor: f64 = 2.0;
+    let mut min_speedup: f64 = 3.0;
     let mut i = 0usize;
     while i < args.len() {
         let take = |j: usize| args.get(j + 1).cloned();
         match args[i].as_str() {
+            "--sharded" => sharded = true,
+            "--shards" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(s) => {
+                    shards = s;
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--shards needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-speedup" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(f) => {
+                    min_speedup = f;
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--min-speedup needs a number");
+                    return ExitCode::from(2);
+                }
+            },
             "--baseline" => match take(i) {
                 Some(p) => {
                     baseline = Some(PathBuf::from(p));
@@ -138,7 +167,7 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
             },
             "--jobs" => match take(i).and_then(|v| v.parse().ok()) {
                 Some(n) => {
-                    jobs = n;
+                    jobs = Some(n);
                     i += 1;
                 }
                 None => {
@@ -164,11 +193,6 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
-        eprintln!("bench-gate needs --baseline and --candidate");
-        eprint!("{USAGE}");
-        return ExitCode::from(2);
-    };
     let read = |p: &PathBuf| match std::fs::read_to_string(p) {
         Ok(s) => Some(s),
         Err(e) => {
@@ -176,9 +200,49 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
             None
         }
     };
+    if sharded {
+        // Self-contained scaling check: the candidate's own 1-shard
+        // point is the reference, no baseline file involved.
+        let Some(candidate) = candidate else {
+            eprintln!("bench-gate --sharded needs --candidate");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        let Some(cand_json) = read(&candidate) else {
+            return ExitCode::from(2);
+        };
+        let jobs = jobs.unwrap_or(10_000);
+        return match xtask::bench_gate::shard_gate(&cand_json, jobs, shards, min_speedup) {
+            Ok(o) => {
+                println!(
+                    "bench-gate --sharded: ns/event at {jobs} jobs: 1 shard {:.0}, {shards} shards {:.0} ({:.2}x speedup, floor {:.2}x) -> {}",
+                    o.single,
+                    o.sharded,
+                    o.speedup,
+                    min_speedup,
+                    if o.pass { "PASS" } else { "FAIL" }
+                );
+                if o.pass {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate --sharded: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
+        eprintln!("bench-gate needs --baseline and --candidate");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
     let (Some(base_json), Some(cand_json)) = (read(&baseline), read(&candidate)) else {
         return ExitCode::from(2);
     };
+    let jobs = jobs.unwrap_or(200);
     match xtask::bench_gate::gate(&base_json, &cand_json, jobs, factor) {
         Ok(o) => {
             println!(

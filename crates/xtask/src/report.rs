@@ -21,6 +21,9 @@ pub enum Rule {
     /// RUSH-L007 — full rebuild: `compute_plan`/`peel`/`map_continuous` are
     /// oracle/bench entry points; steady-state callers use the delta path.
     FullRebuild,
+    /// RUSH-L008 — shard isolation: per-shard planner state is reached only
+    /// through the `ShardedPlanner` API, never via raw `shard_core` handles.
+    ShardIsolation,
 }
 
 /// All rules, in code order.
@@ -32,6 +35,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::ShimDrift,
     Rule::PlannerLayering,
     Rule::FullRebuild,
+    Rule::ShardIsolation,
 ];
 
 impl Rule {
@@ -45,6 +49,7 @@ impl Rule {
             Rule::ShimDrift => "RUSH-L005",
             Rule::PlannerLayering => "RUSH-L006",
             Rule::FullRebuild => "RUSH-L007",
+            Rule::ShardIsolation => "RUSH-L008",
         }
     }
 
@@ -64,6 +69,7 @@ impl Rule {
             Rule::ShimDrift => "API not implemented by the vendored shim",
             Rule::PlannerLayering => "planner-kernel internals used outside rush-planner",
             Rule::FullRebuild => "full-rebuild CA entry point used outside rush-core",
+            Rule::ShardIsolation => "per-shard planner state reached outside rush-planner",
         }
     }
 
@@ -178,6 +184,29 @@ impl Rule {
                  cold-start or recovery path that genuinely needs a from-scratch plan\n\
                  should seed a fresh `PlanState` and go through the kernel, or justify\n\
                  the site:  // rush-lint: allow(RUSH-L007): <why>\n"
+            }
+            Rule::ShardIsolation => {
+                "RUSH-L008: shard isolation\n\
+                 \n\
+                 `ShardedPlanner` partitions the job registry across per-shard\n\
+                 `PlannerCore` instances and owns every invariant that makes the split\n\
+                 sound: label-hash routing, globally unique job ids, capacity slices\n\
+                 that sum to the configured total, and the periodic headroom-driven\n\
+                 rebalance. `shard_core(i)` exists so tests and diagnostics can inspect\n\
+                 one shard, but an adapter that holds a per-shard handle is coupled to\n\
+                 the current partition: the rebalancer may resize the slice, a cancel\n\
+                 may drop the job it cached, and any state derived from one shard\n\
+                 silently goes stale without the wrapper's freshness tracking.\n\
+                 \n\
+                 The rule flags any reference to `shard_core` in non-test library code\n\
+                 of crates other than `rush-planner` (which defines the sharded\n\
+                 wrapper). Test code, benches and binaries are exempt — the invariant\n\
+                 suites and the fig5 sweep are exactly where per-shard inspection\n\
+                 belongs. Adapters route events and read merged state through the\n\
+                 `ShardedPlanner` API (`admit`, `ingest_sample`, `plan_at`, `planned`,\n\
+                 `jobs`, `slices`, `headrooms`); a genuinely missing view should become\n\
+                 a wrapper method, or justify the site:\n\
+                 // rush-lint: allow(RUSH-L008): <why>\n"
             }
         }
     }

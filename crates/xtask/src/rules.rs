@@ -1,4 +1,4 @@
-//! The seven RUSH lint rules (RUSH-L001 … RUSH-L007), plus the supporting
+//! The eight RUSH lint rules (RUSH-L001 … RUSH-L008), plus the supporting
 //! machinery: `#[cfg(test)]` region detection, pragma comments, the
 //! grandfathered-site allowlist and shim API surface extraction.
 
@@ -28,6 +28,15 @@ const FULL_REBUILD_IDENTS: &[&str] = &["compute_plan", "peel", "map_continuous"]
 /// Crates allowed to reference [`FULL_REBUILD_IDENTS`]: rush-core owns the
 /// full pipeline and the naive oracle the delta path is verified against.
 const FULL_REBUILD_OWNER_CRATES: &[&str] = &["rush-core"];
+
+/// Identifiers RUSH-L008 reserves to the sharded wrapper: the per-shard
+/// escape hatch. Adapters read merged state and route events through the
+/// `ShardedPlanner` API instead of holding raw shard handles.
+const SHARD_INTERNAL_IDENTS: &[&str] = &["shard_core"];
+
+/// Crates allowed to reference [`SHARD_INTERNAL_IDENTS`]: the crate that
+/// defines `ShardedPlanner` and its invariants.
+const SHARD_OWNER_CRATES: &[&str] = &["rush-planner"];
 
 /// Upstream API the shims deliberately do NOT implement. These fire even when
 /// the shim crate itself is outside the scanned tree (pure-name matching,
@@ -566,6 +575,25 @@ impl Engine<'_> {
             }
         }
 
+        // ---- RUSH-L008: shard isolation --------------------------------
+        if !SHARD_OWNER_CRATES.contains(&f.manifest.name.as_str()) && f.is_library() {
+            for (i, t) in toks.iter().enumerate() {
+                if in_test(i) || t.kind != TokKind::Ident {
+                    continue;
+                }
+                if SHARD_INTERNAL_IDENTS.contains(&t.text.as_str()) {
+                    emit(
+                        Rule::ShardIsolation,
+                        t.line,
+                        format!(
+                            "`{}` hands out a raw per-shard planner; read merged state and route events through the `ShardedPlanner` API",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+
         // ---- suppression: pragmas and allowlist ------------------------
         for finding in pending {
             let code = finding.rule.code();
@@ -856,6 +884,33 @@ mod tests {
         assert!(bench.findings.iter().all(|f| f.rule != Rule::FullRebuild));
         let bin = run(src, &outsider, "src/bin/tool.rs");
         assert!(bin.findings.iter().all(|f| f.rule != Rule::FullRebuild));
+    }
+
+    #[test]
+    fn shard_escape_hatch_flagged_outside_planner() {
+        let outsider = crate::manifest::parse_str(
+            "[package]\nname = \"rush-serve\"\n\
+             [package.metadata.rush-lint]\ndeterministic = false\nlibrary-hygiene = false\n",
+        );
+        let src = "pub fn poke(p: &rush_planner::ShardedPlanner) -> u32 {\n\
+                   p.shard_core(0).capacity()\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn t(p: &rush_planner::ShardedPlanner) { p.shard_core(0); } }\n";
+        let r = run(src, &outsider, "src/lib.rs");
+        let hits: Vec<_> = r.findings.iter().filter(|f| f.rule == Rule::ShardIsolation).collect();
+        assert_eq!(hits.len(), 1, "library site flagged, test-gated site exempt: {hits:#?}");
+        // The owning crate may hand out shard handles freely.
+        let owner = crate::manifest::parse_str(
+            "[package]\nname = \"rush-planner\"\n\
+             [package.metadata.rush-lint]\ndeterministic = false\nlibrary-hygiene = true\n",
+        );
+        let r = run("pub fn shard_core(&self, i: usize) -> &PlannerCore { &self.shards[i] }\n", &owner, "src/sharded.rs");
+        assert!(r.findings.iter().all(|f| f.rule != Rule::ShardIsolation));
+        // Tests/benches/bins are where per-shard inspection belongs: exempt.
+        let bench = run(src, &outsider, "benches/b.rs");
+        assert!(bench.findings.iter().all(|f| f.rule != Rule::ShardIsolation));
+        let bin = run(src, &outsider, "src/bin/tool.rs");
+        assert!(bin.findings.iter().all(|f| f.rule != Rule::ShardIsolation));
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn violations_corpus_flags_expected_sites() {
     assert!(has(Rule::FullRebuild, "rebuild", "`compute_plan`"));
     assert!(has(Rule::FullRebuild, "rebuild", "`peel`"));
     assert!(has(Rule::FullRebuild, "rebuild", "`map_continuous`"));
+    assert!(has(Rule::ShardIsolation, "sharding", "`shard_core`"));
     // The declared feature and the implemented shim path must NOT fire.
     assert!(!has(Rule::FeatureGate, "det_crate", "serde"));
     assert!(!has(Rule::ShimDrift, "consumer", "SmallRng"));
@@ -72,6 +73,16 @@ fn violations_corpus_flags_expected_sites() {
             .count(),
         3,
         "three use-sites, test module exempt"
+    );
+    // The sharding fixture's test-gated shard probe is exempt.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::ShardIsolation && f.file.contains("sharding"))
+            .count(),
+        2,
+        "two library sites, test module exempt"
     );
     // Test-gated code in the corpus is exempt.
     assert!(report.findings.iter().all(|f| f.line < 44 || !f.file.contains("det_crate")));

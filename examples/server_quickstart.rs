@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         epoch_ms: 10,
         ms_per_slot: 50,
         snapshot_path: Some(snapshot.clone()),
+        shards: 1,
         rush: rush::core::RushConfig::default(),
     })?;
     println!("daemon on {}", handle.local_addr());
