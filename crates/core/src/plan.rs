@@ -377,7 +377,9 @@ fn solve_jobs<E: PlanEstimator>(
     // retention promise (departed jobs do not linger) — the next pass's
     // reshuffle spill repopulates it from `by_index` when needed.
     cache.map.clear();
-    Ok(out.into_iter().map(|s| s.expect("every job hit or solved")).collect())
+    // `by_index` was rebuilt just above in job order (one entry per
+    // print), so the plan vector is a straight copy of its solved column.
+    Ok(cache.by_index.iter().map(|&(_, s)| s).collect())
 }
 
 /// Index misses beyond this spill the previous pass's per-index memo into

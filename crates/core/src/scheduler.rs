@@ -252,7 +252,9 @@ impl Scheduler for ReferenceScheduler {
 
     fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
         self.refresh(view);
-        let desired = &self.cache.as_ref().expect("refresh populated cache").1;
+        // `refresh` always populates the cache; `?` keeps that assumption
+        // from becoming a panic if the invariant ever breaks.
+        let desired = &self.cache.as_ref()?.1;
 
         // The paper's rule: the container goes to the job with the largest
         // positive gap between planned and current occupancy. When no plan

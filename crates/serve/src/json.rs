@@ -402,7 +402,7 @@ impl Parser<'_> {
                     // sequence is valid; copy it wholesale.
                     let s = self.bytes;
                     let mut end = self.pos;
-                    while end < s.len() && (s[end] & 0xC0) == 0x80 {
+                    while s.get(end).is_some_and(|&b| (b & 0xC0) == 0x80) {
                         end += 1;
                     }
                     match std::str::from_utf8(&s[start..end]) {

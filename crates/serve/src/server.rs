@@ -33,7 +33,7 @@
 //! pre-sharding one. Cluster-wide requests (full plan table, stats,
 //! shutdown) are broadcast and merged by the connection worker.
 
-use crate::protocol::{ErrorCode, Request, Response};
+use crate::protocol::{ErrorCode, JobSubmission, Request, Response};
 use crate::snapshot;
 use crate::state::ServeState;
 use crate::ServeError;
@@ -92,7 +92,7 @@ impl Default for ServeConfig {
 /// What connection workers send the planner.
 enum PlannerMsg {
     /// A submission waiting for its epoch.
-    Submit { req: Request, enqueued: Instant, reply: Sender<Response> },
+    Submit { sub: JobSubmission, enqueued: Instant, reply: Sender<Response> },
     /// Anything else — answered immediately.
     Immediate { req: Request, reply: Sender<Response> },
 }
@@ -249,7 +249,7 @@ fn planner_loop(
 ) -> Result<Histogram, ServeError> {
     let started = Instant::now();
     let mut waits = Histogram::new();
-    let mut pending: Vec<(Request, Instant, Sender<Response>)> = Vec::new();
+    let mut pending: Vec<(JobSubmission, Instant, Sender<Response>)> = Vec::new();
     let mut epoch_deadline: Option<Instant> = None;
     let idle_tick = Duration::from_millis(200);
 
@@ -259,11 +259,11 @@ fn planner_loop(
             None => idle_tick,
         };
         match rx.recv_timeout(timeout) {
-            Ok(PlannerMsg::Submit { req, enqueued, reply }) => {
+            Ok(PlannerMsg::Submit { sub, enqueued, reply }) => {
                 if pending.is_empty() {
                     epoch_deadline = Some(enqueued + Duration::from_millis(config.epoch_ms));
                 }
-                pending.push((req, enqueued, reply));
+                pending.push((sub, enqueued, reply));
                 if pending.len() >= config.epoch_max_batch {
                     close_epoch(&config, &mut state, base_slot, started, &mut pending, &mut waits)?;
                     epoch_deadline = None;
@@ -308,7 +308,7 @@ fn close_epoch(
     state: &mut ServeState,
     base_slot: u64,
     started: Instant,
-    pending: &mut Vec<(Request, Instant, Sender<Response>)>,
+    pending: &mut Vec<(JobSubmission, Instant, Sender<Response>)>,
     waits: &mut Histogram,
 ) -> Result<(), ServeError> {
     if pending.is_empty() {
@@ -316,13 +316,7 @@ fn close_epoch(
     }
     let batch = std::mem::take(pending);
     let slot = now_slot(base_slot, started, config.ms_per_slot);
-    let subs = batch
-        .iter()
-        .filter_map(|(req, _, _)| match req {
-            Request::Submit(sub) => Some(sub.clone()),
-            _ => None,
-        })
-        .collect();
+    let subs = batch.iter().map(|(sub, _, _)| sub.clone()).collect();
     let verdicts = state.submit_epoch(subs, slot)?;
     let epoch = state.counters().epochs;
     for ((_, enqueued, reply), (decision, id)) in batch.iter().zip(verdicts) {
@@ -412,7 +406,12 @@ fn encode_response(mut resp: Response, shard: usize, shards: usize) -> Response 
             }
         }
         Response::Prediction { job, .. } => *job = local_to_wire(*job, shard, shards),
-        _ => {}
+        // No job ids to rewrite; enumerated so a new carrying variant
+        // fails to compile here instead of silently passing through.
+        Response::Ack
+        | Response::Stats(_)
+        | Response::ShuttingDown { .. }
+        | Response::Error(_) => {}
     }
     resp
 }
@@ -422,16 +421,13 @@ fn encode_response(mut resp: Response, shard: usize, shards: usize) -> Response 
 fn ask_shard(
     txs: &[Sender<PlannerMsg>],
     shard: usize,
-    req: Request,
-    submit: bool,
+    make: impl FnOnce(Sender<Response>) -> PlannerMsg,
 ) -> Response {
     let (reply_tx, reply_rx) = mpsc::channel();
-    let msg = if submit {
-        PlannerMsg::Submit { req, enqueued: Instant::now(), reply: reply_tx }
-    } else {
-        PlannerMsg::Immediate { req, reply: reply_tx }
+    let Some(tx) = txs.get(shard) else {
+        return Response::error(ErrorCode::Internal, "shard index out of range");
     };
-    if txs[shard].send(msg).is_err() {
+    if tx.send(make(reply_tx)).is_err() {
         return Response::error(ErrorCode::Shutdown, "daemon is shutting down");
     }
     match reply_rx.recv() {
@@ -448,7 +444,7 @@ fn broadcast(txs: &[Sender<PlannerMsg>], req: &Request) -> Response {
     let shards = txs.len();
     let mut merged: Option<Response> = None;
     for shard in 0..shards {
-        let resp = ask_shard(txs, shard, req.clone(), false);
+        let resp = ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req: req.clone(), reply });
         merged = Some(match (merged, resp) {
             (None, r) => r,
             (Some(e @ Response::Error(_)), _) => e,
@@ -494,29 +490,33 @@ fn broadcast(txs: &[Sender<PlannerMsg>], req: &Request) -> Response {
 fn route_request(txs: &[Sender<PlannerMsg>], req: Request) -> Response {
     let shards = txs.len();
     match req {
-        Request::Submit(ref sub) => {
+        Request::Submit(sub) => {
             let shard = rush_planner::shard_of_label(&sub.label, shards);
-            ask_shard(txs, shard, req, true)
+            ask_shard(txs, shard, |reply| PlannerMsg::Submit {
+                sub,
+                enqueued: Instant::now(),
+                reply,
+            })
         }
         Request::ReportSample { job, runtime } => {
             let shard = wire_shard(job, shards);
             let req = Request::ReportSample { job: wire_to_local(job, shards), runtime };
-            ask_shard(txs, shard, req, false)
+            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
         }
         Request::QueryPlan { job: Some(job) } => {
             let shard = wire_shard(job, shards);
             let req = Request::QueryPlan { job: Some(wire_to_local(job, shards)) };
-            ask_shard(txs, shard, req, false)
+            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
         }
         Request::Predict { job } => {
             let shard = wire_shard(job, shards);
             let req = Request::Predict { job: wire_to_local(job, shards) };
-            ask_shard(txs, shard, req, false)
+            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
         }
         Request::Cancel { job } => {
             let shard = wire_shard(job, shards);
             let req = Request::Cancel { job: wire_to_local(job, shards) };
-            ask_shard(txs, shard, req, false)
+            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
         }
         Request::QueryPlan { job: None } | Request::Stats | Request::Shutdown { .. } => {
             broadcast(txs, &req)

@@ -177,17 +177,21 @@ impl ServeState {
     /// Iterates all resident jobs (planned and parked) in id order,
     /// reassembling each kernel record with its wire submission.
     pub fn jobs(&self) -> impl Iterator<Item = (u64, JobState)> + '_ {
-        self.planner.jobs().map(|(id, record)| {
-            (
+        self.planner.jobs().filter_map(|(id, record)| {
+            // Every resident job has a submission; a missing one would be
+            // an internal bookkeeping bug, so skip it rather than panic
+            // the daemon mid-snapshot.
+            let submission = self.subs.get(&id.0)?.clone();
+            Some((
                 id.0,
                 JobState {
-                    submission: self.subs[&id.0].clone(),
+                    submission,
                     samples: record.samples.clone(),
                     remaining_tasks: record.remaining_tasks,
                     arrived_slot: record.arrived_slot,
                     parked: record.parked,
                 },
-            )
+            ))
         })
     }
 

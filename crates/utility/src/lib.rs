@@ -391,11 +391,13 @@ impl Utility for PiecewiseLinear {
                 return u0 + (u1 - u0) * (t - t0) / (t1 - t0);
             }
         }
-        self.points.last().expect("non-empty").1
+        self.points.last().map_or(0.0, |&(_, u)| u)
     }
 
     fn inf(&self) -> f64 {
-        self.points.last().expect("non-empty").1
+        // Points are validated non-empty at construction; an empty curve
+        // degenerates to zero utility rather than a panic.
+        self.points.last().map_or(0.0, |&(_, u)| u)
     }
 
     fn latest_time(&self, level: f64) -> LatestTime {

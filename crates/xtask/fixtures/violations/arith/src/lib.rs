@@ -1,0 +1,25 @@
+//! RUSH-L010 fixture: bare `+`/`-`/`*` on slot/capacity quantities in a
+//! crate that opted into kernel arithmetic hygiene. The saturating forms
+//! below must stay silent.
+
+pub fn free_slots(capacity: u64, used_slots: u64) -> u64 {
+    capacity - used_slots
+}
+
+pub fn doubled(slot_count: u64) -> u64 {
+    slot_count * 2
+}
+
+pub fn admit(used_slots: &mut u64, eta: u64) {
+    *used_slots += eta;
+}
+
+pub fn safe_free(capacity: u64, used_slots: u64) -> u64 {
+    capacity.saturating_sub(used_slots)
+}
+
+/// Arithmetic on names that are not slot/capacity quantities is out of
+/// scope for the rule.
+pub fn plain_math(a: u64, b: u64) -> u64 {
+    a + b
+}

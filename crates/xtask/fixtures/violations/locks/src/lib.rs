@@ -1,0 +1,36 @@
+//! RUSH-L011 fixture: the two classic hazards — an inconsistent global
+//! acquisition order (`jobs` before `plans` in one function, the reverse
+//! in another) and a guard held across blocking socket I/O.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub jobs: Mutex<u32>,
+    pub plans: Mutex<u32>,
+}
+
+pub fn jobs_then_plans(s: &Shared) -> u32 {
+    let j = s.jobs.lock().unwrap();
+    let p = s.plans.lock().unwrap();
+    *j + *p
+}
+
+pub fn plans_then_jobs(s: &Shared) -> u32 {
+    let p = s.plans.lock().unwrap();
+    let j = s.jobs.lock().unwrap();
+    *p + *j
+}
+
+pub fn reply_under_lock(s: &Shared, stream: &mut std::net::TcpStream) {
+    let j = s.jobs.lock().unwrap();
+    stream.write_all(&j.to_le_bytes()).ok();
+}
+
+/// Dropping the guard before the write is the fixed shape: no finding.
+pub fn reply_after_drop(s: &Shared, stream: &mut std::net::TcpStream) {
+    let j = s.jobs.lock().unwrap();
+    let bytes = j.to_le_bytes();
+    drop(j);
+    stream.write_all(&bytes).ok();
+}

@@ -1,0 +1,41 @@
+//! RUSH-L009 fixture: panic sites buried behind calls from the declared
+//! `connection_loop` entry point. The deep lint must walk the call graph
+//! and report each with a witness path; `unreached` must stay silent.
+
+pub fn connection_loop(frames: &[u32]) {
+    for f in frames {
+        handle(*f, frames);
+    }
+}
+
+fn handle(op: u32, frames: &[u32]) {
+    let first = frames[op as usize];
+    decode(first).unwrap();
+    deep_step();
+}
+
+fn deep_step() {
+    panic!("kernel invariant violated");
+}
+
+fn decode(v: u32) -> Option<u32> {
+    if v < 16 {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Never called from the entry point: its panic is NOT a finding.
+pub fn unreached() {
+    todo!("offline maintenance path")
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code panics freely without tripping the rule.
+    #[test]
+    fn test_path_may_panic() {
+        super::decode(99).expect("test-only expect");
+    }
+}

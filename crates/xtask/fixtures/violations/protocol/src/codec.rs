@@ -1,0 +1,13 @@
+//! RUSH-L012 fixture, violating half: `Frame::Bye` is never mentioned on
+//! this declared surface, and the wildcard arm would silently swallow any
+//! future variant.
+
+use crate::Frame;
+
+pub fn decode(f: Frame) -> u8 {
+    match f {
+        Frame::Hello => 0,
+        Frame::Data => 1,
+        _ => 255,
+    }
+}

@@ -1,0 +1,19 @@
+//! RUSH-L012 fixture, clean half: this surface covers every `Frame`
+//! variant with no wildcard, so all the corpus findings must point at
+//! `codec.rs`.
+
+pub mod codec;
+
+pub enum Frame {
+    Hello,
+    Data,
+    Bye,
+}
+
+pub fn encode(f: &Frame) -> u8 {
+    match f {
+        Frame::Hello => 0,
+        Frame::Data => 1,
+        Frame::Bye => 2,
+    }
+}

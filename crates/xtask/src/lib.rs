@@ -1,26 +1,36 @@
 //! `xtask` — offline workspace automation for RUSH.
 //!
 //! Two subcommands: `lint`, a from-scratch, registry-free static-analysis
-//! pass enforcing the workspace's RUSH-specific rules (determinism, float
-//! hygiene, panic hygiene, feature-gate hygiene, shim drift, planner
-//! layering, full-rebuild containment and shard isolation — see `cargo
-//! xtask lint --explain RUSH-L001` … `RUSH-L008`), and `bench-gate`, the
-//! fig5 steady-state regression gate CI runs against the checked-in
-//! benchmark numbers, plus its `--sharded` scaling-floor mode.
+//! pass enforcing the workspace's RUSH-specific rules — eight token-level
+//! rules (determinism, float hygiene, panic hygiene, feature-gate hygiene,
+//! shim drift, planner layering, full-rebuild containment, shard
+//! isolation) plus, under `--deep`, four AST/call-graph rules proved on a
+//! workspace model built by the from-scratch recursive-descent parser
+//! (panic reachability, slot/capacity arithmetic hygiene, lock
+//! discipline, protocol-match exhaustiveness — see `cargo xtask lint
+//! --explain RUSH-L001` … `RUSH-L012`) — and `bench-gate`, the fig5
+//! steady-state regression gate CI runs against the checked-in benchmark
+//! numbers, plus its `--sharded` scaling-floor mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod bench_gate;
+pub mod deep;
 pub mod lexer;
 pub mod manifest;
+pub mod model;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use manifest::Manifest;
+use model::WorkspaceModel;
 use report::Report;
 use rules::{Allowlist, Engine, FileInput, ShimApi, SHIM_NAMES};
 
@@ -29,6 +39,13 @@ const SKIP_DIRS: &[&str] = &["target", ".git", ".cargo", "fixtures", "node_modul
 
 /// Name of the checked-in grandfathered-site allowlist at the scan root.
 pub const ALLOWLIST_FILE: &str = "xtask-lint.allow";
+
+/// Options for a lint run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Also run the deep (AST + call-graph) rules RUSH-L009 … RUSH-L012.
+    pub deep: bool,
+}
 
 /// Recursively collect files under `dir`, skipping [`SKIP_DIRS`].
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -54,8 +71,72 @@ struct CrateInfo {
     manifest: Manifest,
 }
 
-/// Run the full lint over the tree rooted at `root`.
+/// One loaded source file, ready for the engines.
+struct LoadedFile {
+    rel_path: String,
+    crate_rel: String,
+    owner: usize,
+    src: String,
+    lexed: lexer::Lexed,
+}
+
+/// Read + lex every `.rs` file that belongs to a crate. Under the
+/// `parallel` feature the per-file work fans out across scoped threads
+/// (files are independent); results come back in deterministic order
+/// either way.
+fn load_files(files: &[PathBuf], crates: &[CrateInfo], root: &Path) -> Vec<LoadedFile> {
+    let jobs: Vec<(usize, &PathBuf)> = files
+        .iter()
+        .filter(|f| f.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .filter_map(|f| {
+            crates
+                .iter()
+                .position(|c| f.starts_with(&c.dir))
+                .map(|owner| (owner, f))
+        })
+        .collect();
+
+    let load_one = |&(owner, path): &(usize, &PathBuf)| -> Option<LoadedFile> {
+        let src = std::fs::read_to_string(path).ok()?;
+        let lexed = lexer::lex(&src);
+        Some(LoadedFile {
+            rel_path: rel_str(path, root),
+            crate_rel: rel_str(path, &crates[owner].dir),
+            owner,
+            src,
+            lexed,
+        })
+    };
+
+    #[cfg(feature = "parallel")]
+    {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        if jobs.len() > 1 && workers > 1 {
+            let chunk = jobs.len().div_ceil(workers);
+            let mut slots: Vec<Vec<Option<LoadedFile>>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(move || part.iter().map(load_one).collect::<Vec<_>>()))
+                    .collect();
+                for h in handles {
+                    slots.push(h.join().unwrap_or_default());
+                }
+            });
+            return slots.into_iter().flatten().flatten().collect();
+        }
+    }
+    jobs.iter().filter_map(load_one).collect()
+}
+
+/// Run the full lint over the tree rooted at `root` (shallow rules only).
 pub fn lint(root: &Path) -> std::io::Result<Report> {
+    lint_with(root, LintOptions::default())
+}
+
+/// Run the lint over the tree rooted at `root` with explicit options.
+pub fn lint_with(root: &Path, opts: LintOptions) -> std::io::Result<Report> {
+    let started = Instant::now();
     let mut files = Vec::new();
     walk(root, &mut files);
 
@@ -93,29 +174,51 @@ pub fn lint(root: &Path) -> std::io::Result<Report> {
     let allow = Allowlist::parse(&allow_text);
     let engine = Engine { shims: &shims, allow: &allow };
 
-    let mut report = Report { crates_scanned: crates.len(), ..Report::default() };
+    let mut report = Report { crates_scanned: crates.len(), deep: opts.deep, ..Report::default() };
 
+    let loaded = load_files(&files, &crates, root);
+    let inputs: Vec<FileInput<'_>> = loaded
+        .iter()
+        .map(|lf| FileInput {
+            rel_path: lf.rel_path.clone(),
+            crate_rel: lf.crate_rel.clone(),
+            manifest: &crates[lf.owner].manifest,
+            src: &lf.src,
+            lexed: &lf.lexed,
+        })
+        .collect();
+
+    for input in &inputs {
+        report.files_scanned += 1;
+        engine.check_file(input, &mut report);
+    }
+
+    if opts.deep {
+        let model = WorkspaceModel::build(&inputs);
+        deep::check(&model, &allow, &mut report);
+    }
+
+    report.finalize();
+    report.wall_ms = started.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+/// Parse every workspace `.rs` file with the deep-lint parser, returning
+/// `(rel_path, structural_errors, recovered_tokens)` per file. The parser
+/// self-test pins this to all-zeros over the real workspace.
+pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<(String, usize, usize)>> {
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    let mut out = Vec::new();
     for f in &files {
         if f.extension().and_then(|e| e.to_str()) != Some("rs") {
             continue;
         }
-        let Some(owner) = crates.iter().find(|c| f.starts_with(&c.dir)) else { continue };
-        let src = match std::fs::read_to_string(f) {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let lexed = lexer::lex(&src);
-        let rel_path = rel_str(f, root);
-        let crate_rel = rel_str(f, &owner.dir);
-        report.files_scanned += 1;
-        engine.check_file(
-            &FileInput { rel_path, crate_rel, manifest: &owner.manifest, src: &src, lexed: &lexed },
-            &mut report,
-        );
+        let Ok(src) = std::fs::read_to_string(f) else { continue };
+        let outcome = parser::parse_file(&lexer::lex(&src));
+        out.push((rel_str(f, root), outcome.errors.len(), outcome.recovered.len()));
     }
-
-    report.finalize();
-    Ok(report)
+    Ok(out)
 }
 
 /// `path` relative to `base`, with forward slashes.

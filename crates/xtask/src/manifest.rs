@@ -18,11 +18,33 @@ pub struct Manifest {
     pub deterministic: bool,
     /// `package.metadata.rush-lint.library-hygiene` — L3 applies.
     pub library_hygiene: bool,
+    /// `package.metadata.rush-lint.entry-points` — function names the
+    /// deep lint uses as RUSH-L009 panic-reachability roots.
+    pub entry_points: Vec<String>,
+    /// `package.metadata.rush-lint.arith-hygiene` — L10 applies to
+    /// slot/capacity arithmetic in this crate.
+    pub arith_hygiene: bool,
+    /// `package.metadata.rush-lint.protocol-enums` — enum names whose
+    /// variants L12 requires each protocol surface to cover.
+    pub protocol_enums: Vec<String>,
+    /// `package.metadata.rush-lint.protocol-surfaces` — crate-relative
+    /// source paths L12 checks for variant coverage.
+    pub protocol_surfaces: Vec<String>,
 }
 
 fn unquote(v: &str) -> String {
     let v = v.trim();
     v.trim_matches('"').to_string()
+}
+
+/// Parse a single-line TOML list value: `["a", "b"]` → `["a", "b"]`.
+fn parse_list(value: &str) -> Vec<String> {
+    let inner = value.trim().trim_start_matches('[').trim_end_matches(']');
+    inner
+        .split(',')
+        .map(unquote)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// Parse a manifest file. Returns `None` when the file cannot be read.
@@ -59,6 +81,10 @@ pub fn parse_str(text: &str) -> Manifest {
                 match key {
                     "deterministic" => m.deterministic = on,
                     "library-hygiene" => m.library_hygiene = on,
+                    "arith-hygiene" => m.arith_hygiene = on,
+                    "entry-points" => m.entry_points = parse_list(value),
+                    "protocol-enums" => m.protocol_enums = parse_list(value),
+                    "protocol-surfaces" => m.protocol_surfaces = parse_list(value),
                     _ => {}
                 }
             }
@@ -108,6 +134,10 @@ maybe = { path = "../maybe", optional = true }
 [package.metadata.rush-lint]
 deterministic = true
 library-hygiene = true
+arith-hygiene = true
+entry-points = ["connection_loop", "planner_loop"]
+protocol-enums = ["Request", "Response"]
+protocol-surfaces = ["src/protocol.rs", "src/server.rs"]
 "#,
         );
         assert_eq!(m.name, "rush-core");
@@ -116,6 +146,10 @@ library-hygiene = true
         assert!(m.features.contains("maybe"));
         assert!(m.deterministic);
         assert!(m.library_hygiene);
+        assert!(m.arith_hygiene);
+        assert_eq!(m.entry_points, ["connection_loop", "planner_loop"]);
+        assert_eq!(m.protocol_enums, ["Request", "Response"]);
+        assert_eq!(m.protocol_surfaces, ["src/protocol.rs", "src/server.rs"]);
     }
 
     #[test]

@@ -1,0 +1,1844 @@
+//! A from-scratch recursive-descent parser over [`crate::lexer`], producing
+//! the lightweight AST in [`crate::ast`].
+//!
+//! The parser is *lenient by construction*: it must accept every source
+//! file in the workspace (a self-test enforces exactly that) without
+//! depending on `syn`. Three techniques make that tractable:
+//!
+//! 1. **Skip what the analyses never read.** Generics, types, visibility,
+//!    where-clauses, attribute bodies and patterns (beyond their top-level
+//!    shape) are consumed by balanced skipping, not parsed.
+//! 2. **Precedence-climbing expressions.** A conventional Pratt-style
+//!    expression grammar covers calls, method chains, indexing, arithmetic,
+//!    ranges, casts, closures, and the block-like expressions (`if`,
+//!    `match`, `while`, `for`, `loop`).
+//! 3. **Soft recovery.** A token that fits no production is consumed as an
+//!    [`Expr::Unknown`] atom and recorded in [`ParseOutcome::recovered`],
+//!    so parsing always terminates with a tree. Structural problems
+//!    (an unclosed delimiter, a missing item name) are recorded in
+//!    [`ParseOutcome::errors`]; the workspace corpus must produce none.
+
+use crate::ast::{Arm, Block, EnumDef, Expr, Function, ImplBlock, Item, Module, Pat, SourceFile, Stmt};
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// A structural parse problem (workspace sources must produce none).
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+/// The result of parsing one file.
+#[derive(Debug, Default)]
+pub struct ParseOutcome {
+    /// The parsed tree.
+    pub file: SourceFile,
+    /// Structural errors (empty on valid Rust).
+    pub errors: Vec<ParseError>,
+    /// Lines where soft recovery consumed an uninterpretable token.
+    pub recovered: Vec<u32>,
+}
+
+/// Parse one lexed file.
+pub fn parse_file(lexed: &Lexed) -> ParseOutcome {
+    let mut p = Parser { toks: &lexed.tokens, i: 0, errors: Vec::new(), recovered: Vec::new() };
+    let items = p.parse_items(false);
+    ParseOutcome {
+        file: SourceFile { items },
+        errors: p.errors,
+        recovered: p.recovered,
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+    errors: Vec<ParseError>,
+    recovered: Vec<u32>,
+}
+
+impl<'a> Parser<'a> {
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&'a Token> {
+        self.toks.get(self.i + k)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek()
+            .map(|t| t.line)
+            .or_else(|| self.toks.last().map(|t| t.line))
+            .unwrap_or(1)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    /// At a block-like expression (`{`, `if`, `match`, `loop`, `while`,
+    /// `for`, `unsafe`)? In statement and match-arm position these are
+    /// complete on their own — Rust does not continue them with postfix
+    /// or binary operators there (`match x {}` followed by `[` starts a
+    /// new statement/arm, not an index).
+    fn at_block_like(&self) -> bool {
+        self.at_punct("{")
+            || self.at_ident("if")
+            || self.at_ident("match")
+            || self.at_ident("loop")
+            || self.at_ident("while")
+            || self.at_ident("for")
+            || self.at_ident("unsafe")
+    }
+
+    fn at_ident(&self, id: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(id))
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, id: &str) -> bool {
+        if self.at_ident(id) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&mut self, msg: impl Into<String>) {
+        let line = self.line();
+        self.errors.push(ParseError { line, msg: msg.into() });
+    }
+
+    // ---- balanced skipping ---------------------------------------------
+
+    /// At an opening `(`/`[`/`{`: skip past its matching close, balancing
+    /// all three delimiter kinds. Records an error at EOF.
+    fn skip_balanced(&mut self) {
+        let mut stack: Vec<&str> = Vec::new();
+        loop {
+            let Some(t) = self.bump() else {
+                self.errors.push(ParseError {
+                    line: self.toks.last().map_or(1, |t| t.line),
+                    msg: "unclosed delimiter at end of file".into(),
+                });
+                return;
+            };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => stack.push(")"),
+                    "[" => stack.push("]"),
+                    "{" => stack.push("}"),
+                    ")" | "]" | "}" => {
+                        // A mismatched close still unwinds (lenient).
+                        stack.pop();
+                        if stack.is_empty() {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if stack.is_empty() {
+                // First token was not an opener; nothing to balance.
+                return;
+            }
+        }
+    }
+
+    /// At a `<`: skip a generic-argument group, counting `<<`/`>>` as two
+    /// and balancing nested `(`/`[`/`{` groups (const generics).
+    fn skip_angles(&mut self) {
+        let mut depth: i64 = 0;
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" | "<=" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    ">=" | "->" | "=>" => {}
+                    "(" | "[" | "{" => {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    ";" => break, // never part of a generic group
+                    _ => {}
+                }
+            }
+            self.i += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+        self.error("unclosed `<` generic group");
+    }
+
+    /// Skip a type position: paths, references, slices, tuples, fn
+    /// pointers, `dyn`/`impl` bounds. Stops at any token that cannot
+    /// continue a type (`;`, `,`, `=`, `{`, `)`, ...).
+    fn skip_type(&mut self) {
+        let mut made_progress = true;
+        while made_progress {
+            made_progress = false;
+            let Some(t) = self.peek() else { return };
+            match (&t.kind, t.text.as_str()) {
+                (TokKind::Ident, "dyn" | "impl" | "mut" | "const" | "unsafe" | "fn" | "as") => {
+                    self.i += 1;
+                    made_progress = true;
+                }
+                (TokKind::Ident, _) => {
+                    self.i += 1;
+                    made_progress = true;
+                }
+                (TokKind::Lifetime, _) => {
+                    self.i += 1;
+                    made_progress = true;
+                }
+                (TokKind::Punct, "::") => {
+                    self.i += 1;
+                    made_progress = true;
+                }
+                (TokKind::Punct, "<") => {
+                    self.skip_angles();
+                    made_progress = true;
+                }
+                (TokKind::Punct, "&" | "&&" | "*" | "!" | "+") => {
+                    self.i += 1;
+                    made_progress = true;
+                }
+                (TokKind::Punct, "(" | "[") => {
+                    self.skip_balanced();
+                    made_progress = true;
+                }
+                (TokKind::Punct, "->") => {
+                    self.i += 1;
+                    made_progress = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- attributes ----------------------------------------------------
+
+    /// Consume any `#[...]` / `#![...]` attributes. Returns true when one
+    /// of them is test-gating (`#[test]`, `#[cfg(test)]`, `#[cfg_attr(test, ..)]`).
+    fn eat_attrs(&mut self) -> bool {
+        let mut test = false;
+        while self.at_punct("#") {
+            let start = self.i;
+            self.i += 1;
+            self.eat_punct("!");
+            if self.at_punct("[") {
+                let open = self.i;
+                self.skip_balanced();
+                if attr_is_test(&self.toks[open + 1..self.i.saturating_sub(1)]) {
+                    test = true;
+                }
+            } else {
+                // A bare `#` that is not an attribute: rewind and stop.
+                self.i = start;
+                break;
+            }
+        }
+        test
+    }
+
+    // ---- items ---------------------------------------------------------
+
+    /// Parse items until EOF (or until the `}` closing the enclosing
+    /// block when `stop_at_brace` is set — the brace is not consumed).
+    fn parse_items(&mut self, stop_at_brace: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            if self.peek().is_none() {
+                break;
+            }
+            if stop_at_brace && self.at_punct("}") {
+                break;
+            }
+            let is_test = self.eat_attrs();
+            // Visibility.
+            if self.eat_ident("pub") && self.at_punct("(") {
+                self.skip_balanced();
+            }
+            // Modifier keywords before `fn` (const/unsafe/async/extern "C").
+            loop {
+                if (self.at_ident("const") || self.at_ident("unsafe"))
+                    && self.peek_at(1).is_some_and(|t| {
+                        t.is_ident("fn")
+                            || t.is_ident("unsafe")
+                            || t.is_ident("extern")
+                            || t.is_ident("async")
+                            || t.is_ident("impl")
+                            || t.is_ident("trait")
+                    })
+                {
+                    self.i += 1;
+                    continue;
+                }
+                if self.at_ident("async") || self.at_ident("default") || self.at_ident("auto") {
+                    self.i += 1;
+                    continue;
+                }
+                if self.at_ident("extern")
+                    && self.peek_at(1).is_some_and(|t| t.kind == TokKind::Str)
+                    && self.peek_at(2).is_some_and(|t| t.is_ident("fn"))
+                {
+                    self.i += 2;
+                    continue;
+                }
+                break;
+            }
+            let Some(t) = self.peek() else { break };
+            match (&t.kind, t.text.as_str()) {
+                (TokKind::Ident, "fn") => items.push(self.parse_fn(is_test)),
+                (TokKind::Ident, "impl") => items.push(self.parse_impl(is_test)),
+                (TokKind::Ident, "mod") => items.push(self.parse_mod(is_test)),
+                (TokKind::Ident, "enum") => items.push(self.parse_enum(is_test)),
+                (TokKind::Ident, "trait") => items.push(self.parse_trait(is_test)),
+                (TokKind::Ident, "struct" | "union") => {
+                    items.push(self.parse_struct());
+                }
+                (TokKind::Ident, "use") => {
+                    self.skip_to_semi();
+                    items.push(Item::Skipped);
+                }
+                (TokKind::Ident, "type") => {
+                    self.skip_to_semi();
+                    items.push(Item::Skipped);
+                }
+                (TokKind::Ident, "const" | "static") => {
+                    self.skip_to_semi();
+                    items.push(Item::Skipped);
+                }
+                (TokKind::Ident, "macro_rules") => {
+                    // macro_rules ! name { ... }
+                    self.i += 1;
+                    self.eat_punct("!");
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+                        self.i += 1;
+                    }
+                    if self.at_punct("{") || self.at_punct("(") || self.at_punct("[") {
+                        self.skip_balanced();
+                    }
+                    self.eat_punct(";");
+                    items.push(Item::Skipped);
+                }
+                (TokKind::Ident, "macro") => {
+                    // macros 2.0: macro name { ... }
+                    self.i += 1;
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+                        self.i += 1;
+                    }
+                    if self.at_punct("{") || self.at_punct("(") {
+                        self.skip_balanced();
+                    }
+                    items.push(Item::Skipped);
+                }
+                (TokKind::Ident, "extern") => {
+                    // extern crate x; | extern "C" { ... }
+                    self.i += 1;
+                    if self.eat_ident("crate") {
+                        self.skip_to_semi();
+                    } else {
+                        if self.peek().is_some_and(|t| t.kind == TokKind::Str) {
+                            self.i += 1;
+                        }
+                        if self.at_punct("{") {
+                            self.skip_balanced();
+                        }
+                    }
+                    items.push(Item::Skipped);
+                }
+                (TokKind::Ident, _) if self.peek_at(1).is_some_and(|n| n.is_punct("!")) => {
+                    // Item-level macro invocation: name!( ... );
+                    self.i += 2;
+                    if self.at_punct("(") || self.at_punct("[") || self.at_punct("{") {
+                        self.skip_balanced();
+                    }
+                    self.eat_punct(";");
+                    items.push(Item::Skipped);
+                }
+                _ => {
+                    self.error(format!("unexpected token `{}` at item level", t.text));
+                    self.i += 1;
+                }
+            }
+        }
+        items
+    }
+
+    /// Skip to (and past) the next `;` at delimiter depth zero.
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.i += 1;
+                return;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                self.skip_balanced();
+                continue;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn parse_fn(&mut self, is_test: bool) -> Item {
+        let line = self.line();
+        self.i += 1; // `fn`
+        let name = match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.i += 1;
+                n
+            }
+            _ => {
+                self.error("`fn` without a name");
+                String::new()
+            }
+        };
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        if self.at_punct("(") {
+            self.skip_balanced();
+        }
+        // Return type and where-clause: skip until the body `{` or a `;`.
+        let mut body = None;
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.i += 1;
+                break;
+            }
+            if t.is_punct("{") {
+                body = Some(self.parse_block());
+                break;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                self.skip_balanced();
+                continue;
+            }
+            self.i += 1;
+        }
+        Item::Fn(Function { name, line, is_test, body })
+    }
+
+    fn parse_impl(&mut self, is_test: bool) -> Item {
+        self.i += 1; // `impl`
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // Type path (possibly `Trait for Type`); the self type is the last
+        // identifier segment before the body, after any `for`.
+        let mut last_seg = String::new();
+        while let Some(t) = self.peek() {
+            match (&t.kind, t.text.as_str()) {
+                (TokKind::Ident, "for") => {
+                    last_seg.clear();
+                    self.i += 1;
+                }
+                (TokKind::Ident, "where") => break,
+                (TokKind::Ident, _) => {
+                    last_seg = t.text.clone();
+                    self.i += 1;
+                }
+                (TokKind::Punct, "<") => self.skip_angles(),
+                (TokKind::Punct, "{") => break,
+                (TokKind::Punct, "(") | (TokKind::Punct, "[") => self.skip_balanced(),
+                (TokKind::Punct, ";") => {
+                    self.i += 1;
+                    return Item::Skipped;
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+        }
+        // where-clause.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+            } else {
+                self.i += 1;
+            }
+        }
+        if !self.eat_punct("{") {
+            self.error("`impl` without a body");
+            return Item::Skipped;
+        }
+        let items = self.parse_items(true);
+        self.eat_punct("}");
+        Item::Impl(ImplBlock { self_type: last_seg, is_test, items })
+    }
+
+    fn parse_trait(&mut self, is_test: bool) -> Item {
+        self.i += 1; // `trait`
+        let name = match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.i += 1;
+                n
+            }
+            _ => String::new(),
+        };
+        // Generics, supertraits, where-clause.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_punct(";") {
+                self.i += 1;
+                return Item::Skipped;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+            } else {
+                self.i += 1;
+            }
+        }
+        if !self.eat_punct("{") {
+            return Item::Skipped;
+        }
+        let items = self.parse_items(true);
+        self.eat_punct("}");
+        // A trait behaves like a module for analysis: default method
+        // bodies are real code.
+        Item::Mod(Module { name, is_test, items })
+    }
+
+    fn parse_mod(&mut self, is_test: bool) -> Item {
+        self.i += 1; // `mod`
+        let name = match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.i += 1;
+                n
+            }
+            _ => String::new(),
+        };
+        if self.eat_punct(";") {
+            return Item::Skipped; // out-of-line module: its file is scanned separately
+        }
+        if !self.eat_punct("{") {
+            self.error("`mod` without `;` or body");
+            return Item::Skipped;
+        }
+        let items = self.parse_items(true);
+        self.eat_punct("}");
+        Item::Mod(Module { name, is_test, items })
+    }
+
+    fn parse_enum(&mut self, is_test: bool) -> Item {
+        let line = self.line();
+        self.i += 1; // `enum`
+        let name = match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.i += 1;
+                n
+            }
+            _ => {
+                self.error("`enum` without a name");
+                String::new()
+            }
+        };
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // where-clause.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+            } else {
+                self.i += 1;
+            }
+        }
+        if self.eat_punct(";") {
+            return Item::Skipped;
+        }
+        if !self.eat_punct("{") {
+            return Item::Skipped;
+        }
+        let mut variants = Vec::new();
+        while let Some(t) = self.peek() {
+            if t.is_punct("}") {
+                self.i += 1;
+                break;
+            }
+            self.eat_attrs();
+            match self.peek() {
+                Some(t) if t.kind == TokKind::Ident => {
+                    variants.push(t.text.clone());
+                    self.i += 1;
+                }
+                _ => {
+                    self.i += 1;
+                    continue;
+                }
+            }
+            // Payload and/or discriminant.
+            while let Some(t) = self.peek() {
+                if t.is_punct(",") {
+                    self.i += 1;
+                    break;
+                }
+                if t.is_punct("}") {
+                    break;
+                }
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    self.skip_balanced();
+                    continue;
+                }
+                if t.is_punct("<") {
+                    self.skip_angles();
+                    continue;
+                }
+                self.i += 1;
+            }
+        }
+        Item::Enum(EnumDef { name, variants, is_test, line })
+    }
+
+    fn parse_struct(&mut self) -> Item {
+        self.i += 1; // `struct` / `union`
+        if self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+            self.i += 1;
+        }
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // Unit / tuple / braced body, with optional where-clause.
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.i += 1;
+                return Item::Skipped;
+            }
+            if t.is_punct("(") {
+                self.skip_balanced();
+                continue; // tuple struct: `;` (or where-clause) follows
+            }
+            if t.is_punct("{") {
+                self.skip_balanced();
+                return Item::Skipped;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            self.i += 1;
+        }
+        Item::Skipped
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        if !self.eat_punct("{") {
+            self.error("expected `{`");
+            return block;
+        }
+        loop {
+            let Some(t) = self.peek() else {
+                self.error("unclosed block at end of file");
+                break;
+            };
+            if t.is_punct("}") {
+                self.i += 1;
+                break;
+            }
+            if t.is_punct(";") {
+                self.i += 1;
+                continue;
+            }
+            let is_test_attr = if t.is_punct("#") { self.eat_attrs() } else { false };
+            let Some(t) = self.peek() else { continue };
+            if t.is_ident("let") {
+                block.stmts.push(self.parse_let());
+                continue;
+            }
+            // Nested items inside a body. `const` needs a following
+            // identifier (`const X: ..` / `const fn ..`) to distinguish
+            // it from `const { .. }` block expressions.
+            let is_item = match (&t.kind, t.text.as_str()) {
+                (
+                    TokKind::Ident,
+                    "fn" | "struct" | "enum" | "union" | "trait" | "impl" | "mod" | "use"
+                    | "type" | "static" | "macro_rules" | "pub",
+                ) => true,
+                (TokKind::Ident, "const") => {
+                    self.peek_at(1).is_some_and(|n| n.kind == TokKind::Ident)
+                }
+                _ => false,
+            };
+            if is_item {
+                let before = self.i;
+                let mut items = self.parse_single_item(is_test_attr);
+                if self.i == before {
+                    // No progress: force one token to avoid a loop.
+                    self.i += 1;
+                    continue;
+                }
+                block.stmts.extend(items.drain(..).map(|it| Stmt::Item(Box::new(it))));
+                continue;
+            }
+            let expr = if self.at_block_like() {
+                // Statement-position block-like expressions are complete —
+                // unless `.`/`?` follows, where rustc resumes the
+                // expression (`match e { .. }.0` as a tail expression).
+                let e = self.parse_primary(false);
+                if self.at_punct(".") || self.at_punct("?") {
+                    self.postfix_chain(e)
+                } else {
+                    e
+                }
+            } else {
+                self.parse_expr(false)
+            };
+            self.eat_punct(";");
+            block.stmts.push(Stmt::Expr(expr));
+        }
+        block
+    }
+
+    /// Parse exactly one item (used for items nested in blocks).
+    fn parse_single_item(&mut self, is_test: bool) -> Vec<Item> {
+        if self.eat_ident("pub") && self.at_punct("(") {
+            self.skip_balanced();
+        }
+        while (self.at_ident("const") || self.at_ident("unsafe") || self.at_ident("async"))
+            && self.peek_at(1).is_some_and(|t| t.is_ident("fn") || t.is_ident("extern"))
+        {
+            self.i += 1;
+        }
+        let Some(t) = self.peek() else { return vec![] };
+        match t.text.as_str() {
+            "fn" => vec![self.parse_fn(is_test)],
+            "impl" => vec![self.parse_impl(is_test)],
+            "mod" => vec![self.parse_mod(is_test)],
+            "enum" => vec![self.parse_enum(is_test)],
+            "trait" => vec![self.parse_trait(is_test)],
+            "struct" | "union" => vec![self.parse_struct()],
+            "use" | "type" | "const" | "static" => {
+                self.skip_to_semi();
+                vec![Item::Skipped]
+            }
+            "macro_rules" => {
+                self.i += 1;
+                self.eat_punct("!");
+                if self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+                    self.i += 1;
+                }
+                if self.at_punct("{") || self.at_punct("(") {
+                    self.skip_balanced();
+                }
+                vec![Item::Skipped]
+            }
+            _ => vec![],
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let line = self.line();
+        self.i += 1; // `let`
+        // Pattern: record the bound name for plain `[mut] name` patterns.
+        while self.at_ident("mut") || self.at_ident("ref") {
+            self.i += 1;
+        }
+        let mut name = None;
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident && !t.is_ident("_") {
+                // Only a *plain* binding: the next token must end the pattern.
+                if self
+                    .peek_at(1)
+                    .is_some_and(|n| n.is_punct("=") || n.is_punct(":") || n.is_punct(";"))
+                {
+                    name = Some(t.text.clone());
+                }
+            }
+        }
+        // Skip the rest of the pattern up to `:`, `=`, `;` or `else`.
+        while let Some(t) = self.peek() {
+            if t.is_punct("=") || t.is_punct(":") || t.is_punct(";") || t.is_ident("else") {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                self.skip_balanced();
+                continue;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            self.i += 1;
+        }
+        if self.eat_punct(":") {
+            self.skip_type();
+        }
+        let mut init = None;
+        if self.eat_punct("=") {
+            init = Some(self.parse_expr(false));
+        }
+        let mut else_block = None;
+        if self.eat_ident("else") {
+            if self.at_punct("{") {
+                else_block = Some(self.parse_block());
+            } else {
+                self.error("`let ... else` without a block");
+            }
+        }
+        self.eat_punct(";");
+        Stmt::Let { name, init, else_block, line }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Parse a full expression. `no_struct` suppresses struct-literal
+    /// parsing (condition / scrutinee positions, where `Path {` starts the
+    /// block instead).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        self.parse_assign(no_struct)
+    }
+
+    fn parse_assign(&mut self, no_struct: bool) -> Expr {
+        let lhs = self.parse_range(no_struct);
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct
+                && matches!(
+                    t.text.as_str(),
+                    "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+                )
+            {
+                let op = t.text.clone();
+                let line = t.line;
+                self.i += 1;
+                let rhs = self.parse_assign(no_struct);
+                return Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            }
+        }
+        lhs
+    }
+
+    fn parse_range(&mut self, no_struct: bool) -> Expr {
+        // Prefix / nullary range: `..hi`, `..`.
+        if self.at_punct("..") || self.at_punct("..=") {
+            let line = self.line();
+            self.i += 1;
+            let hi = if self.can_start_expr() {
+                Some(Box::new(self.parse_binary(0, no_struct)))
+            } else {
+                None
+            };
+            return Expr::Range { lo: None, hi, line };
+        }
+        let lo = self.parse_binary(0, no_struct);
+        if self.at_punct("..") || self.at_punct("..=") {
+            let line = self.line();
+            self.i += 1;
+            let hi = if self.can_start_expr() {
+                Some(Box::new(self.parse_binary(0, no_struct)))
+            } else {
+                None
+            };
+            return Expr::Range { lo: Some(Box::new(lo)), hi, line };
+        }
+        lo
+    }
+
+    /// Can the current token start an expression? (Used for open ranges.)
+    fn can_start_expr(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => match (&t.kind, t.text.as_str()) {
+                (TokKind::Punct, ")" | "]" | "}" | "," | ";" | "=>" | "=") => false,
+                (TokKind::Punct, _) => {
+                    matches!(t.text.as_str(), "(" | "[" | "{" | "!" | "-" | "*" | "&" | "&&" | "|" | "||" | "<" | "#")
+                }
+                (TokKind::Ident, "in" | "else" | "as" | "where") => false,
+                _ => true,
+            },
+        }
+    }
+
+    /// Binary-operator precedence (higher binds tighter). Assignment and
+    /// ranges are handled above; unary and postfix below.
+    fn bin_prec(op: &str) -> Option<u8> {
+        Some(match op {
+            "||" => 1,
+            "&&" => 2,
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => 3,
+            "|" => 4,
+            "^" => 5,
+            "&" => 6,
+            "<<" | ">>" => 7,
+            "+" | "-" => 8,
+            "*" | "/" | "%" => 9,
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_prec: u8, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_unary(no_struct);
+        while let Some(t) = self.peek() {
+            if t.kind != TokKind::Punct {
+                break;
+            }
+            let Some(prec) = Self::bin_prec(&t.text) else { break };
+            if prec < min_prec {
+                break;
+            }
+            let op = t.text.clone();
+            let line = t.line;
+            self.i += 1;
+            let rhs = self.parse_binary(prec + 1, no_struct);
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), "!" | "-" | "*" | "&" | "&&") {
+                let line = t.line;
+                let op = if t.text == "&&" { "&".to_string() } else { t.text.clone() };
+                let double_ref = t.text == "&&";
+                self.i += 1;
+                if op == "&" {
+                    self.eat_ident("mut");
+                    self.eat_ident("raw");
+                    self.eat_ident("const");
+                }
+                let inner = self.parse_unary(no_struct);
+                let one = Expr::Unary { op: op.clone(), operand: Box::new(inner), line };
+                return if double_ref {
+                    Expr::Unary { op, operand: Box::new(one), line }
+                } else {
+                    one
+                };
+            }
+        }
+        self.parse_postfix(no_struct)
+    }
+
+    fn parse_postfix(&mut self, no_struct: bool) -> Expr {
+        let expr = self.parse_primary(no_struct);
+        self.postfix_chain(expr)
+    }
+
+    /// Continue an already-parsed expression with postfix operators
+    /// (`.m()`, `.f`, `(..)`, `[..]`, `?`, `as`).
+    fn postfix_chain(&mut self, mut expr: Expr) -> Expr {
+        while let Some(t) = self.peek() {
+            match (&t.kind, t.text.as_str()) {
+                (TokKind::Punct, ".") => {
+                    let after = self.peek_at(1);
+                    match after {
+                        Some(n) if n.kind == TokKind::Ident => {
+                            if n.is_ident("await") {
+                                self.i += 2;
+                                continue; // treat `.await` as transparent
+                            }
+                            let name = n.text.clone();
+                            let line = n.line;
+                            self.i += 2;
+                            // Optional turbofish: `.collect::<T>()`.
+                            if self.at_punct("::") {
+                                self.i += 1;
+                                if self.at_punct("<") {
+                                    self.skip_angles();
+                                }
+                            }
+                            if self.at_punct("(") {
+                                let args = self.parse_paren_args();
+                                expr = Expr::MethodCall {
+                                    recv: Box::new(expr),
+                                    name,
+                                    args,
+                                    line,
+                                };
+                            } else {
+                                expr = Expr::Field { base: Box::new(expr), name, line };
+                            }
+                        }
+                        Some(n) if n.kind == TokKind::Int || n.kind == TokKind::Float => {
+                            // Tuple field access `t.0` (and `t.0.1`, which
+                            // the lexer yields as a float token).
+                            let name = n.text.clone();
+                            let line = n.line;
+                            self.i += 2;
+                            expr = Expr::Field { base: Box::new(expr), name, line };
+                        }
+                        _ => break,
+                    }
+                }
+                (TokKind::Punct, "(") => {
+                    let line = t.line;
+                    let args = self.parse_paren_args();
+                    expr = Expr::Call { callee: Box::new(expr), args, line };
+                }
+                (TokKind::Punct, "[") => {
+                    let line = t.line;
+                    self.i += 1;
+                    let index = self.parse_expr(false);
+                    // Consume garbage up to the `]` (lenient).
+                    while let Some(t) = self.peek() {
+                        if t.is_punct("]") {
+                            break;
+                        }
+                        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                            self.skip_balanced();
+                            continue;
+                        }
+                        self.recovered.push(t.line);
+                        self.i += 1;
+                    }
+                    self.eat_punct("]");
+                    expr = Expr::Index { base: Box::new(expr), index: Box::new(index), line };
+                }
+                (TokKind::Punct, "?") => {
+                    let line = t.line;
+                    self.i += 1;
+                    expr = Expr::Try { operand: Box::new(expr), line };
+                }
+                (TokKind::Ident, "as") => {
+                    let line = t.line;
+                    self.i += 1;
+                    self.skip_type();
+                    expr = Expr::Cast { operand: Box::new(expr), line };
+                }
+                _ => break,
+            }
+        }
+        expr
+    }
+
+    /// Macro arguments between the opener (current token) and `close`.
+    /// Macros embed non-expression DSL fragments (`matches!` guards,
+    /// `vec![x; n]` repeats, format specs), so each comma-separated chunk
+    /// is parsed as an expression and any unparseable remainder is
+    /// *silently* skipped to the next top-level separator — macro bodies
+    /// never produce structural errors or recovery records.
+    fn parse_macro_args(&mut self, close: &str) -> Vec<Expr> {
+        self.i += 1; // opener
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    self.error("unclosed macro arguments");
+                    break;
+                }
+                Some(t) if t.is_punct(close) => {
+                    self.i += 1;
+                    break;
+                }
+                Some(t) if t.is_punct(",") || t.is_punct(";") => {
+                    self.i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            let err_mark = self.errors.len();
+            let rec_mark = self.recovered.len();
+            let before = self.i;
+            args.push(self.parse_expr(false));
+            if self.i == before {
+                self.i += 1;
+            }
+            let at_sep = self.peek().is_none()
+                || self.at_punct(close)
+                || self.at_punct(",")
+                || self.at_punct(";");
+            if !at_sep {
+                // DSL remnant: forget any diagnostics from this chunk and
+                // resynchronize at the next separator.
+                self.errors.truncate(err_mark);
+                self.recovered.truncate(rec_mark);
+                while let Some(t) = self.peek() {
+                    if t.is_punct(close) || t.is_punct(",") || t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    self.i += 1;
+                }
+            }
+        }
+        args
+    }
+
+    /// `( a, b, ... )` — the caller sits on the `(`.
+    fn parse_paren_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        self.eat_punct("(");
+        loop {
+            let Some(t) = self.peek() else {
+                self.error("unclosed call arguments");
+                break;
+            };
+            if t.is_punct(")") {
+                self.i += 1;
+                break;
+            }
+            if t.is_punct(",") {
+                self.i += 1;
+                continue;
+            }
+            let before = self.i;
+            args.push(self.parse_expr(false));
+            if self.i == before {
+                self.recovered.push(self.line());
+                self.i += 1;
+            }
+        }
+        args
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Unknown { line: self.line() };
+        };
+        let line = t.line;
+        match (&t.kind, t.text.as_str()) {
+            (TokKind::Int, _) => {
+                self.i += 1;
+                Expr::Lit { line, is_int: true }
+            }
+            (TokKind::Float, _) | (TokKind::Str, _) | (TokKind::Char, _) => {
+                self.i += 1;
+                Expr::Lit { line, is_int: false }
+            }
+            (TokKind::Lifetime, _) => {
+                // Loop label: `'outer: loop { ... }`.
+                self.i += 1;
+                self.eat_punct(":");
+                self.parse_primary(no_struct)
+            }
+            (TokKind::Punct, "(") => {
+                self.i += 1;
+                let mut elems = Vec::new();
+                let mut saw_comma = false;
+                loop {
+                    let Some(t) = self.peek() else {
+                        self.error("unclosed parenthesis");
+                        break;
+                    };
+                    if t.is_punct(")") {
+                        self.i += 1;
+                        break;
+                    }
+                    if t.is_punct(",") {
+                        saw_comma = true;
+                        self.i += 1;
+                        continue;
+                    }
+                    let before = self.i;
+                    elems.push(self.parse_expr(false));
+                    if self.i == before {
+                        self.recovered.push(self.line());
+                        self.i += 1;
+                    }
+                }
+                if elems.len() == 1 && !saw_comma {
+                    elems.pop().unwrap_or(Expr::Unknown { line })
+                } else {
+                    Expr::Tuple { elems, line }
+                }
+            }
+            (TokKind::Punct, "[") => {
+                self.i += 1;
+                let mut elems = Vec::new();
+                loop {
+                    let Some(t) = self.peek() else {
+                        self.error("unclosed array literal");
+                        break;
+                    };
+                    if t.is_punct("]") {
+                        self.i += 1;
+                        break;
+                    }
+                    if t.is_punct(",") || t.is_punct(";") {
+                        self.i += 1;
+                        continue;
+                    }
+                    let before = self.i;
+                    elems.push(self.parse_expr(false));
+                    if self.i == before {
+                        self.recovered.push(self.line());
+                        self.i += 1;
+                    }
+                }
+                Expr::Array { elems, line }
+            }
+            (TokKind::Punct, "{") => Expr::BlockExpr(self.parse_block()),
+            (TokKind::Punct, "|") | (TokKind::Punct, "||") => {
+                // Closure: skip parameters up to the closing `|`.
+                if t.is_punct("||") {
+                    self.i += 1;
+                } else {
+                    self.i += 1;
+                    while let Some(t) = self.peek() {
+                        if t.is_punct("|") {
+                            self.i += 1;
+                            break;
+                        }
+                        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                            self.skip_balanced();
+                            continue;
+                        }
+                        if t.is_punct("<") {
+                            self.skip_angles();
+                            continue;
+                        }
+                        self.i += 1;
+                    }
+                }
+                // Optional return type: `|x| -> T { .. }`.
+                if self.at_punct("->") {
+                    self.i += 1;
+                    self.skip_type();
+                }
+                let body = self.parse_expr(false);
+                Expr::Closure { body: Box::new(body), line }
+            }
+            (TokKind::Punct, "<") => {
+                // Qualified path: `<T as Trait>::method(..)`.
+                self.skip_angles();
+                let mut segs = vec!["<qualified>".to_string()];
+                while self.at_punct("::") {
+                    self.i += 1;
+                    if self.at_punct("<") {
+                        self.skip_angles();
+                        continue;
+                    }
+                    match self.peek() {
+                        Some(t) if t.kind == TokKind::Ident => {
+                            segs.push(t.text.clone());
+                            self.i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                self.finish_path(segs, line, no_struct)
+            }
+            (TokKind::Punct, "#") => {
+                // Expression-position attribute (e.g. on a literal): skip.
+                self.eat_attrs();
+                self.parse_primary(no_struct)
+            }
+            (TokKind::Ident, "if") => self.parse_if(),
+            (TokKind::Ident, "match") => self.parse_match(),
+            (TokKind::Ident, "while") => {
+                self.i += 1;
+                let cond = self.parse_cond();
+                let body = self.parse_block();
+                Expr::While { cond: Box::new(cond), body, line }
+            }
+            (TokKind::Ident, "loop") => {
+                self.i += 1;
+                let body = self.parse_block();
+                Expr::Loop { body, line }
+            }
+            (TokKind::Ident, "for") => {
+                self.i += 1;
+                // Skip the pattern up to `in` at depth zero.
+                while let Some(t) = self.peek() {
+                    if t.is_ident("in") {
+                        self.i += 1;
+                        break;
+                    }
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    self.i += 1;
+                }
+                let iter = self.parse_expr(true);
+                let body = self.parse_block();
+                Expr::ForLoop { iter: Box::new(iter), body, line }
+            }
+            (TokKind::Ident, "unsafe") | (TokKind::Ident, "async") => {
+                self.i += 1;
+                self.eat_ident("move");
+                if self.at_punct("{") {
+                    Expr::BlockExpr(self.parse_block())
+                } else {
+                    self.parse_primary(no_struct)
+                }
+            }
+            (TokKind::Ident, "move") => {
+                self.i += 1;
+                self.parse_primary(no_struct) // closure follows
+            }
+            (TokKind::Ident, "return" | "break" | "continue") => {
+                self.i += 1;
+                // Loop label on break/continue.
+                if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.i += 1;
+                }
+                let value = if self.can_start_expr() {
+                    Some(Box::new(self.parse_expr(no_struct)))
+                } else {
+                    None
+                };
+                Expr::Jump { value, line }
+            }
+            (TokKind::Ident, "let") => {
+                // `let`-chain fragment inside a condition: `cond && let P = e`.
+                self.i += 1;
+                while let Some(t) = self.peek() {
+                    if t.is_punct("=") {
+                        self.i += 1;
+                        break;
+                    }
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    if t.is_punct("<") {
+                        self.skip_angles();
+                        continue;
+                    }
+                    if t.is_punct("&&") || t.is_punct("{") || t.is_punct(";") {
+                        break;
+                    }
+                    self.i += 1;
+                }
+                self.parse_unary(no_struct)
+            }
+            (TokKind::Ident, _) => {
+                let mut segs = vec![t.text.clone()];
+                self.i += 1;
+                while self.at_punct("::") {
+                    self.i += 1;
+                    if self.at_punct("<") {
+                        self.skip_angles();
+                        continue;
+                    }
+                    match self.peek() {
+                        Some(t) if t.kind == TokKind::Ident => {
+                            segs.push(t.text.clone());
+                            self.i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                // Macro invocation?
+                if self.at_punct("!")
+                    && self
+                        .peek_at(1)
+                        .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+                {
+                    self.i += 1;
+                    let name = segs.last().cloned().unwrap_or_default();
+                    let args = if self.at_punct("{") {
+                        // Brace macro bodies are frequently non-expression
+                        // DSLs (`proptest! { .. }`): skip, don't parse.
+                        self.skip_balanced();
+                        Vec::new()
+                    } else if self.at_punct("(") {
+                        self.parse_macro_args(")")
+                    } else {
+                        self.parse_macro_args("]")
+                    };
+                    return Expr::Macro { name, args, line };
+                }
+                self.finish_path(segs, line, no_struct)
+            }
+            _ => {
+                self.recovered.push(line);
+                self.i += 1;
+                Expr::Unknown { line }
+            }
+        }
+    }
+
+    /// A parsed path: struct literal when allowed and followed by `{`,
+    /// plain path otherwise.
+    fn finish_path(&mut self, segs: Vec<String>, line: u32, no_struct: bool) -> Expr {
+        if !no_struct && self.at_punct("{") {
+            self.i += 1;
+            let mut fields = Vec::new();
+            loop {
+                let Some(t) = self.peek() else {
+                    self.error("unclosed struct literal");
+                    break;
+                };
+                if t.is_punct("}") {
+                    self.i += 1;
+                    break;
+                }
+                if t.is_punct(",") {
+                    self.i += 1;
+                    continue;
+                }
+                if t.is_punct("..") {
+                    // Functional update: `..base`.
+                    self.i += 1;
+                    if self.can_start_expr() {
+                        fields.push(self.parse_expr(false));
+                    }
+                    continue;
+                }
+                // `name: expr` or shorthand `name`.
+                if t.kind == TokKind::Ident && self.peek_at(1).is_some_and(|n| n.is_punct(":")) {
+                    self.i += 2;
+                }
+                let before = self.i;
+                fields.push(self.parse_expr(false));
+                if self.i == before {
+                    self.recovered.push(self.line());
+                    self.i += 1;
+                }
+            }
+            return Expr::StructLit { segs, fields, line };
+        }
+        Expr::Path { segs, line }
+    }
+
+    /// An `if`/`while` condition (or `if let` / `while let` scrutinee):
+    /// struct literals are suppressed; `let` patterns are skipped down to
+    /// their scrutinee.
+    fn parse_cond(&mut self) -> Expr {
+        if self.at_ident("let") {
+            self.i += 1;
+            // Skip the pattern to the `=` at depth zero.
+            while let Some(t) = self.peek() {
+                if t.is_punct("=") {
+                    self.i += 1;
+                    break;
+                }
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    self.skip_balanced();
+                    continue;
+                }
+                if t.is_punct("<") {
+                    self.skip_angles();
+                    continue;
+                }
+                self.i += 1;
+            }
+        }
+        self.parse_expr(true)
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let line = self.line();
+        self.i += 1; // `if`
+        let cond = self.parse_cond();
+        let then_block = self.parse_block();
+        let mut else_expr = None;
+        if self.eat_ident("else") {
+            if self.at_ident("if") {
+                else_expr = Some(Box::new(self.parse_if()));
+            } else if self.at_punct("{") {
+                else_expr = Some(Box::new(Expr::BlockExpr(self.parse_block())));
+            } else {
+                self.error("`else` without a block or `if`");
+            }
+        }
+        Expr::If { cond: Box::new(cond), then_block, else_expr, line }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let line = self.line();
+        self.i += 1; // `match`
+        let scrutinee = self.parse_expr(true);
+        let mut arms = Vec::new();
+        if !self.eat_punct("{") {
+            self.error("`match` without a body");
+            return Expr::Match { scrutinee: Box::new(scrutinee), arms, line };
+        }
+        loop {
+            let Some(t) = self.peek() else {
+                self.error("unclosed match body");
+                break;
+            };
+            if t.is_punct("}") {
+                self.i += 1;
+                break;
+            }
+            if t.is_punct(",") || t.is_punct("|") {
+                self.i += 1;
+                continue;
+            }
+            self.eat_attrs();
+            let arm_line = self.line();
+            let pat = self.parse_arm_pattern();
+            if !self.eat_punct("=>") {
+                // Malformed arm: resynchronize at the next `,` / `}`.
+                self.recovered.push(self.line());
+                while let Some(t) = self.peek() {
+                    if t.is_punct(",") || t.is_punct("}") {
+                        break;
+                    }
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    self.i += 1;
+                }
+                continue;
+            }
+            let body = if self.at_block_like() {
+                // Arm-position: a block-like body ends the arm (same
+                // `.`/`?` continuation rule as statement position).
+                let e = self.parse_primary(false);
+                if self.at_punct(".") || self.at_punct("?") {
+                    self.postfix_chain(e)
+                } else {
+                    e
+                }
+            } else {
+                self.parse_expr(false)
+            };
+            arms.push(Arm { pat, body, line: arm_line });
+        }
+        Expr::Match { scrutinee: Box::new(scrutinee), arms, line }
+    }
+
+    /// Scan one arm pattern up to its `=>` (exclusive), classifying the
+    /// top-level shape. Guards (`if ...`) end the pattern proper.
+    fn parse_arm_pattern(&mut self) -> Pat {
+        let mut toks: Vec<&Token> = Vec::new();
+        // Collect the pattern tokens at depth zero; payloads are skipped
+        // but their presence is irrelevant to the classification.
+        let mut saw_payload = false;
+        while let Some(t) = self.peek() {
+            if t.is_punct("=>") {
+                break;
+            }
+            if t.is_ident("if") {
+                // Guard: consume its expression, then stop at `=>`.
+                self.i += 1;
+                let _ = self.parse_expr(true);
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                saw_payload = toks.iter().any(|t| t.kind == TokKind::Ident);
+                self.skip_balanced();
+                continue;
+            }
+            if t.is_punct("<") && toks.last().is_some_and(|p| p.is_punct("::")) {
+                self.skip_angles();
+                continue;
+            }
+            if t.is_punct(",") || t.is_punct("}") {
+                break;
+            }
+            toks.push(t);
+            self.i += 1;
+        }
+        classify_pattern(&toks, saw_payload)
+    }
+}
+
+/// Classify a collected top-level arm pattern.
+fn classify_pattern(toks: &[&Token], _saw_payload: bool) -> Pat {
+    // Strip binding prefixes `name @`, `ref`, `mut`, leading `&`.
+    let mut toks: Vec<&Token> = toks.to_vec();
+    if let Some(at) = toks.iter().position(|t| t.is_punct("@")) {
+        toks.drain(..=at);
+    }
+    while toks.first().is_some_and(|t| {
+        t.is_ident("ref") || t.is_ident("mut") || t.is_punct("&") || t.is_punct("&&")
+    }) {
+        toks.remove(0);
+    }
+    if toks.is_empty() {
+        return Pat::Other;
+    }
+    if toks.len() == 1 && toks[0].is_ident("_") {
+        return Pat::Wild;
+    }
+    // Or-patterns: split on `|` and classify each alternative; paths win.
+    let mut paths: Vec<Vec<String>> = Vec::new();
+    let mut has_wild = false;
+    let mut single_binding: Option<String> = None;
+    for alt in toks.split(|t| t.is_punct("|")) {
+        if alt.is_empty() {
+            continue;
+        }
+        if alt.len() == 1 && alt[0].is_ident("_") {
+            has_wild = true;
+            continue;
+        }
+        // A path alternative: idents joined by `::`.
+        let mut segs = Vec::new();
+        let mut ok = true;
+        for (k, t) in alt.iter().enumerate() {
+            if k % 2 == 0 {
+                if t.kind == TokKind::Ident && !t.is_ident("_") {
+                    segs.push(t.text.clone());
+                } else {
+                    ok = false;
+                    break;
+                }
+            } else if !t.is_punct("::") {
+                ok = false;
+                break;
+            }
+        }
+        if ok && !segs.is_empty() {
+            if segs.len() == 1 {
+                let lower = segs[0].chars().next().is_some_and(char::is_lowercase);
+                if lower {
+                    single_binding = Some(segs[0].clone());
+                } else {
+                    // `None`, `Ack`-style unit variants in scope.
+                    paths.push(segs);
+                }
+            } else {
+                paths.push(segs);
+            }
+        } else {
+            return Pat::Other;
+        }
+    }
+    if !paths.is_empty() {
+        return Pat::Variants(paths);
+    }
+    if has_wild {
+        return Pat::Wild;
+    }
+    if let Some(b) = single_binding {
+        return Pat::Binding(b);
+    }
+    Pat::Other
+}
+
+/// Is this attribute token run (between `[` and `]`) test-gating?
+fn attr_is_test(inner: &[Token]) -> bool {
+    if inner.len() == 1 && inner[0].is_ident("test") {
+        return true;
+    }
+    if inner.first().map(|t| t.is_ident("cfg") || t.is_ident("cfg_attr")) != Some(true) {
+        return false;
+    }
+    for (j, t) in inner.iter().enumerate() {
+        if t.is_ident("test") {
+            let negated = j >= 2 && inner[j - 1].is_punct("(") && inner[j - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Item, Pat, Stmt};
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParseOutcome {
+        parse_file(&lex(src))
+    }
+
+    fn first_fn(out: &ParseOutcome) -> &crate::ast::Function {
+        for item in &out.file.items {
+            if let Item::Fn(f) = item {
+                return f;
+            }
+        }
+        panic!("no function parsed");
+    }
+
+    #[test]
+    fn parses_items_and_bodies() {
+        let out = parse(
+            r#"
+            use std::collections::BTreeMap;
+            pub struct S { x: u32 }
+            pub enum E { A, B(u32), C { f: f64 } }
+            impl S {
+                pub fn get(&self) -> u32 { self.x }
+            }
+            mod inner {
+                pub fn helper(v: &[u8]) -> u8 { v[0] }
+            }
+            fn free<T: Clone>(t: T) -> T where T: Copy { t }
+            "#,
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.recovered.is_empty(), "recovered at {:?}", out.recovered);
+        let names: Vec<&str> = out
+            .file
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Enum(e) => Some(e.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["E"]);
+        if let Some(Item::Enum(e)) = out
+            .file
+            .items
+            .iter()
+            .find(|i| matches!(i, Item::Enum(_)))
+        {
+            assert_eq!(e.variants, ["A", "B", "C"]);
+        }
+    }
+
+    #[test]
+    fn expression_shapes() {
+        let out = parse(
+            "fn f(xs: &[u32], m: &std::collections::BTreeMap<u64, u32>) -> u32 {\n\
+                 let a = xs[0] + m[&3] * 2;\n\
+                 let b = xs.get(1).copied().unwrap_or(0);\n\
+                 a - b\n\
+             }\n",
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let f = first_fn(&out);
+        let body = f.body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 3);
+        // `xs[0] + m[&3] * 2` — top-level binary `+` with an index inside.
+        let Stmt::Let { init: Some(e), name, .. } = &body.stmts[0] else {
+            panic!("expected let")
+        };
+        assert_eq!(name.as_deref(), Some("a"));
+        let Expr::Binary { op, .. } = e else { panic!("expected binary, got {e:?}") };
+        assert_eq!(op, "+");
+    }
+
+    #[test]
+    fn match_arms_classified() {
+        let out = parse(
+            "fn f(r: R) -> u32 {\n\
+                 match r {\n\
+                     R::A => 1,\n\
+                     R::B(x) | R::C { y } => 2,\n\
+                     other => 3,\n\
+                 }\n\
+             }\n\
+             fn g(r: R) -> u32 { match r { R::A => 1, _ => 0 } }\n",
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let f = first_fn(&out);
+        let Some(Stmt::Expr(Expr::Match { arms, .. })) =
+            f.body.as_ref().and_then(|b| b.stmts.first())
+        else {
+            panic!("expected match")
+        };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].pat, Pat::Variants(vec![vec!["R".into(), "A".into()]]));
+        assert_eq!(
+            arms[1].pat,
+            Pat::Variants(vec![
+                vec!["R".into(), "B".into()],
+                vec!["R".into(), "C".into()]
+            ])
+        );
+        assert_eq!(arms[2].pat, Pat::Binding("other".into()));
+    }
+
+    #[test]
+    fn closures_ranges_casts_turbofish() {
+        let out = parse(
+            "fn f(v: Vec<u32>) -> Vec<u64> {\n\
+                 let total = v.iter().map(|x| *x as u64).sum::<u64>();\n\
+                 let s = &v[1..v.len() - 1];\n\
+                 let t = (total, s.len());\n\
+                 if let Some(first) = v.first() { let _ = first; }\n\
+                 v.into_iter().map(u64::from).collect::<Vec<_>>()\n\
+             }\n",
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.recovered.is_empty(), "recovered at {:?}", out.recovered);
+    }
+
+    #[test]
+    fn struct_literals_vs_condition_blocks() {
+        let out = parse(
+            "fn f(x: u32) -> S {\n\
+                 if x > 0 { return S { x }; }\n\
+                 while x < 10 { break; }\n\
+                 for i in 0..x { let _ = i; }\n\
+                 S { x: x + 1 }\n\
+             }\n",
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.recovered.is_empty(), "recovered at {:?}", out.recovered);
+    }
+
+    #[test]
+    fn let_else_and_macros() {
+        let out = parse(
+            "fn f(o: Option<u32>) -> u32 {\n\
+                 let Some(v) = o else { return 0; };\n\
+                 let w = vec![v; 3];\n\
+                 assert_eq!(w.len(), 3);\n\
+                 panic!(\"boom {v}\");\n\
+             }\n",
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let f = first_fn(&out);
+        let body = f.body.as_ref().expect("body");
+        assert!(matches!(&body.stmts[0], Stmt::Let { else_block: Some(_), .. }));
+        let macros: Vec<&str> = body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Expr(Expr::Macro { name, .. }) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(macros, ["assert_eq", "panic"]);
+    }
+
+    #[test]
+    fn test_gating_detected() {
+        let out = parse(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n\
+             fn lib() {}\n",
+        );
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let Some(Item::Mod(m)) = out.file.items.iter().find(|i| matches!(i, Item::Mod(_)))
+        else {
+            panic!("expected mod")
+        };
+        assert!(m.is_test);
+    }
+}

@@ -24,6 +24,18 @@ pub enum Rule {
     /// RUSH-L008 — shard isolation: per-shard planner state is reached only
     /// through the `ShardedPlanner` API, never via raw `shard_core` handles.
     ShardIsolation,
+    /// RUSH-L009 — panic reachability (deep): no panic path reachable from
+    /// the daemon's declared entry points on the workspace call graph.
+    PanicReachability,
+    /// RUSH-L010 — arithmetic hygiene (deep): unchecked `+`/`-`/`*` on
+    /// slot/capacity integers in kernel crates.
+    ArithHygiene,
+    /// RUSH-L011 — lock discipline (deep): consistent acquisition order;
+    /// no lock held across I/O or planner fan-out.
+    LockDiscipline,
+    /// RUSH-L012 — protocol exhaustiveness (deep): every protocol-enum
+    /// variant handled on every declared protocol surface, no wildcards.
+    ProtocolExhaustiveness,
 }
 
 /// All rules, in code order.
@@ -36,6 +48,19 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::PlannerLayering,
     Rule::FullRebuild,
     Rule::ShardIsolation,
+    Rule::PanicReachability,
+    Rule::ArithHygiene,
+    Rule::LockDiscipline,
+    Rule::ProtocolExhaustiveness,
+];
+
+/// The rules that only run under `cargo xtask lint --deep` (they need the
+/// AST + call-graph model, not just the token stream).
+pub const DEEP_RULES: &[Rule] = &[
+    Rule::PanicReachability,
+    Rule::ArithHygiene,
+    Rule::LockDiscipline,
+    Rule::ProtocolExhaustiveness,
 ];
 
 impl Rule {
@@ -50,6 +75,10 @@ impl Rule {
             Rule::PlannerLayering => "RUSH-L006",
             Rule::FullRebuild => "RUSH-L007",
             Rule::ShardIsolation => "RUSH-L008",
+            Rule::PanicReachability => "RUSH-L009",
+            Rule::ArithHygiene => "RUSH-L010",
+            Rule::LockDiscipline => "RUSH-L011",
+            Rule::ProtocolExhaustiveness => "RUSH-L012",
         }
     }
 
@@ -70,6 +99,10 @@ impl Rule {
             Rule::PlannerLayering => "planner-kernel internals used outside rush-planner",
             Rule::FullRebuild => "full-rebuild CA entry point used outside rush-core",
             Rule::ShardIsolation => "per-shard planner state reached outside rush-planner",
+            Rule::PanicReachability => "panic path reachable from a daemon entry point",
+            Rule::ArithHygiene => "unchecked slot/capacity arithmetic in kernel code",
+            Rule::LockDiscipline => "lock-order or held-across-I/O hazard",
+            Rule::ProtocolExhaustiveness => "protocol enum variant not exhaustively handled",
         }
     }
 
@@ -208,6 +241,94 @@ impl Rule {
                  a wrapper method, or justify the site:\n\
                  // rush-lint: allow(RUSH-L008): <why>\n"
             }
+            Rule::PanicReachability => {
+                "RUSH-L009: panic reachability (deep)\n\
+                 \n\
+                 RUSH's robustness guarantees (Theorems 2/3) only hold if the daemon\n\
+                 survives every request: a panic mid-epoch tears down a connection\n\
+                 worker or the planner thread and silently drops committed work. This\n\
+                 rule parses the whole workspace (the from-scratch recursive-descent\n\
+                 parser over the lint lexer), builds a name-based call graph, and walks\n\
+                 it from the entry points each crate declares in\n\
+                 `[package.metadata.rush-lint] entry-points = [\"connection_loop\", ...]`\n\
+                 (for rush-serve: the per-connection handler and the epoch planner\n\
+                 loop). Any `panic!`-family macro, `.unwrap()`, `.expect(..)` or\n\
+                 non-range `[]`-index reachable on that graph in non-test library code\n\
+                 is reported together with one call path that reaches it.\n\
+                 \n\
+                 Resolution is deliberately over-approximate (a `.m()` call may target\n\
+                 any method named `m`), which is sound for reachability: it can only\n\
+                 claim more code reachable, never miss a path. Bare `[]`-indexing is\n\
+                 reported only inside crates that declare entry points; integer-literal\n\
+                 indexes justified by a `bound:` comment are accepted, as are sites\n\
+                 covered by existing RUSH-L003 pragmas or allowlist entries — the two\n\
+                 rules share the panic-hygiene escape hatch:\n\
+                 // rush-lint: allow(RUSH-L009): <why>\n"
+            }
+            Rule::ArithHygiene => {
+                "RUSH-L010: slot/capacity arithmetic hygiene (deep)\n\
+                 \n\
+                 Slot counts and capacity totals are the load-bearing integers of the\n\
+                 planner: the sharded capacity slices must sum to `C`, the onion peel\n\
+                 trusts committed-prefix demand, and an unchecked subtraction that\n\
+                 wraps (or an addition that overflows) corrupts every downstream\n\
+                 admission decision without failing loudly in release builds. In\n\
+                 crates opting in via `[package.metadata.rush-lint] arith-hygiene =\n\
+                 true` (rush-core, rush-planner), this rule walks every parsed\n\
+                 function body and flags bare `+`, `-`, `*`, `+=`, `-=`, `*=` where\n\
+                 either operand is a path or field whose name mentions `slot` or\n\
+                 `capacity`.\n\
+                 \n\
+                 Use `checked_sub`/`checked_add`/`saturating_*` (or restructure so the\n\
+                 invariant is explicit) instead. A site whose bounds are genuinely\n\
+                 guaranteed by a maintained invariant carries a pragma with the\n\
+                 justification:  // rush-lint: allow(RUSH-L010): <why>\n"
+            }
+            Rule::LockDiscipline => {
+                "RUSH-L011: lock discipline (deep)\n\
+                 \n\
+                 The sharded daemon runs one planner thread per shard plus a thread\n\
+                 per connection; a deadlock freezes every epoch deadline at once, and\n\
+                 a lock held across socket I/O lets one slow client stall unrelated\n\
+                 requests. This rule runs a small dataflow over each parsed function:\n\
+                 `let g = x.lock()/.read()/.write()` (zero-argument, so `io::Read`/\n\
+                 `io::Write` calls don't alias) starts a held region that ends at\n\
+                 scope exit or `drop(g)`. Two checks follow:\n\
+                 \n\
+                 1. Acquisition order: every (held → acquired) pair feeds a global\n\
+                    order graph; a cycle (lock A taken before B on one path, B before\n\
+                    A on another) is reported with both witness sites.\n\
+                 2. Held-across-blocking: a call to socket/stream I/O (`write_all`,\n\
+                    `read_line`, `flush`, ...) or planner fan-out (`plan_at`,\n\
+                    `plan_roster`) while any guard is live is reported.\n\
+                 \n\
+                 The workspace currently sidesteps locks entirely (channels + owned\n\
+                 state per thread) — this rule is the fence that keeps future shared-\n\
+                 state shortcuts honest. Intentional exceptions take a pragma:\n\
+                 // rush-lint: allow(RUSH-L011): <why>\n"
+            }
+            Rule::ProtocolExhaustiveness => {
+                "RUSH-L012: protocol-match exhaustiveness (deep)\n\
+                 \n\
+                 The wire protocol is versioned and about to grow a second (binary)\n\
+                 codec; a `Request`/`Response` variant that one surface forgets is a\n\
+                 silent drift bug that only shows up as a live daemon rejecting or\n\
+                 mis-framing traffic. Crates declare their protocol enums and the\n\
+                 surfaces that must stay in lockstep in\n\
+                 `[package.metadata.rush-lint]`:\n\
+                 protocol-enums = [\"Request\", \"Response\"]\n\
+                 protocol-surfaces = [\"src/protocol.rs\", \"src/server.rs\", ...]\n\
+                 \n\
+                 Two checks per surface: (1) token-level coverage — every declared\n\
+                 variant must appear as `Enum::Variant` somewhere in the surface's\n\
+                 non-test code (constructing, matching, or encoding it); (2) AST-level\n\
+                 wildcard fencing — a `match` whose arms name protocol-enum variants\n\
+                 must not also contain a bare `_` arm, because a wildcard silently\n\
+                 swallows the next variant added. A named catch-all binding (e.g.\n\
+                 `other => fail(other)`) stays allowed: it is explicit in the source\n\
+                 and typically routes to an error path. Genuine don't-care surfaces\n\
+                 take a pragma:  // rush-lint: allow(RUSH-L012): <why>\n"
+            }
         }
     }
 }
@@ -242,6 +363,10 @@ pub struct Report {
     pub crates_scanned: usize,
     /// Findings suppressed by pragma or allowlist (for the summary line).
     pub suppressed: usize,
+    /// The deep (AST + call-graph) pass ran.
+    pub deep: bool,
+    /// Wall-clock time of the whole lint run, in milliseconds.
+    pub wall_ms: u64,
 }
 
 impl Report {
@@ -269,11 +394,13 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "lint: {} finding(s) in {} file(s) across {} crate(s) ({} suppressed)\n",
+            "lint{}: {} finding(s) in {} file(s) across {} crate(s) ({} suppressed, {} ms)\n",
+            if self.deep { " --deep" } else { "" },
             self.findings.len(),
             self.files_scanned,
             self.crates_scanned,
-            self.suppressed
+            self.suppressed,
+            self.wall_ms
         ));
         out
     }
@@ -308,10 +435,12 @@ impl Report {
         );
         out.push_str("},\n");
         out.push_str(&format!(
-            "  \"files_scanned\": {},\n  \"crates_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {}\n}}\n",
+            "  \"files_scanned\": {},\n  \"crates_scanned\": {},\n  \"suppressed\": {},\n  \"deep\": {},\n  \"wall_ms\": {},\n  \"total\": {}\n}}\n",
             self.files_scanned,
             self.crates_scanned,
             self.suppressed,
+            self.deep,
+            self.wall_ms,
             self.findings.len()
         ));
         out

@@ -265,14 +265,14 @@ pub struct FileInput<'a> {
 
 impl FileInput<'_> {
     /// Lives under `tests/`, `benches/` or `examples/` — never library code.
-    fn is_test_tree(&self) -> bool {
+    pub(crate) fn is_test_tree(&self) -> bool {
         self.crate_rel.starts_with("tests/")
             || self.crate_rel.starts_with("benches/")
             || self.crate_rel.starts_with("examples/")
     }
 
     /// Library code: inside `src/` but not a binary target.
-    fn is_library(&self) -> bool {
+    pub(crate) fn is_library(&self) -> bool {
         self.crate_rel.starts_with("src/")
             && !self.crate_rel.starts_with("src/bin/")
             && self.crate_rel != "src/main.rs"
@@ -665,7 +665,7 @@ fn walk_path_tree(toks: &[Token], start: usize) -> (Vec<(String, u32)>, usize) {
 
 /// Map of line → rule codes allowed by `// rush-lint: allow(CODE, ...)`
 /// pragmas. A pragma covers its own line and the line after it.
-fn pragma_lines(f: &FileInput<'_>) -> BTreeMap<u32, BTreeSet<&'static str>> {
+pub(crate) fn pragma_lines(f: &FileInput<'_>) -> BTreeMap<u32, BTreeSet<&'static str>> {
     let mut map: BTreeMap<u32, BTreeSet<&'static str>> = BTreeMap::new();
     for c in &f.lexed.comments {
         let Some(pos) = c.text.find("rush-lint:") else { continue };
@@ -684,7 +684,7 @@ fn pragma_lines(f: &FileInput<'_>) -> BTreeMap<u32, BTreeSet<&'static str>> {
 
 /// Lines carrying a comment that documents a bound (for the literal-index
 /// rule): any comment containing "bound" (case-insensitive).
-fn bound_comment_lines(f: &FileInput<'_>) -> BTreeSet<u32> {
+pub(crate) fn bound_comment_lines(f: &FileInput<'_>) -> BTreeSet<u32> {
     f.lexed
         .comments
         .iter()

@@ -9,9 +9,14 @@ fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
 }
 
+fn deep_lint(name: &str) -> xtask::report::Report {
+    xtask::lint_with(&fixture(name), xtask::LintOptions { deep: true })
+        .expect("fixture tree readable")
+}
+
 #[test]
 fn violations_corpus_trips_every_rule_family() {
-    let report = xtask::lint(&fixture("violations")).expect("fixture tree readable");
+    let report = deep_lint("violations");
     assert!(!report.findings.is_empty(), "seeded corpus must produce findings");
     for &rule in ALL_RULES {
         assert!(
@@ -21,6 +26,67 @@ fn violations_corpus_trips_every_rule_family() {
             report.findings
         );
     }
+}
+
+#[test]
+fn deep_corpus_flags_expected_sites() {
+    let report = deep_lint("violations");
+    let has = |rule: Rule, file_part: &str, msg_part: &str| {
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.file.contains(file_part) && f.message.contains(msg_part))
+    };
+    // L009: each panic kind, with a call-graph witness path.
+    assert!(has(Rule::PanicReachability, "panic_entry", "connection_loop -> handle"));
+    assert!(has(Rule::PanicReachability, "panic_entry", "`panic!` in `deep_step`"));
+    assert!(has(Rule::PanicReachability, "panic_entry", "`.unwrap()` in `handle`"));
+    assert!(has(Rule::PanicReachability, "panic_entry", "`[]` indexing in `handle`"));
+    // The function never called from the entry point stays silent, as
+    // does the test module.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file.contains("panic_entry") && f.message.contains("unreached")),
+        "{:#?}",
+        report.findings
+    );
+    // L010: slot/capacity operands only; plain names are out of scope.
+    assert!(has(Rule::ArithHygiene, "arith", "`-` on `used_slots`"));
+    assert!(has(Rule::ArithHygiene, "arith", "`*` on `slot_count`"));
+    assert!(has(Rule::ArithHygiene, "arith", "`+=` on `used_slots`"));
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::ArithHygiene && f.message.contains("plain_math")),
+        "{:#?}",
+        report.findings
+    );
+    // L011: the order cycle and the guard held across the socket write.
+    assert!(has(Rule::LockDiscipline, "locks", "inconsistent lock order"));
+    assert!(has(Rule::LockDiscipline, "locks", "held across blocking I/O `write_all`"));
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::LockDiscipline && f.message.contains("reply_after_drop")),
+        "dropping the guard before the write must silence the rule: {:#?}",
+        report.findings
+    );
+    // L012: the uncovered variant and the wildcard arm, both in codec.rs;
+    // the fully-enumerated surface in lib.rs stays silent.
+    assert!(has(Rule::ProtocolExhaustiveness, "codec.rs", "`Frame::Bye` is never handled"));
+    assert!(has(Rule::ProtocolExhaustiveness, "codec.rs", "wildcard `_` arm"));
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::ProtocolExhaustiveness && f.file.ends_with("lib.rs")),
+        "{:#?}",
+        report.findings
+    );
 }
 
 #[test]
@@ -90,7 +156,10 @@ fn violations_corpus_flags_expected_sites() {
 
 #[test]
 fn clean_corpus_passes_with_suppressions_exercised() {
-    let report = xtask::lint(&fixture("clean")).expect("fixture tree readable");
+    // Deep mode so the fixed shapes in `deep_clean` (saturating slot
+    // math, consistent lock order, exhaustive protocol matches, panic-free
+    // entry point) are checked by the rules they silence.
+    let report = deep_lint("clean");
     assert!(
         report.findings.is_empty(),
         "clean corpus must produce no findings, got: {:#?}",
