@@ -73,10 +73,12 @@ pub fn usage() -> String {
        gantt     --scheduler NAME --jobs N --seed S [--width W]\n\
        dashboard --jobs N --seed S [--at SLOT]\n\
        serve     [--addr A] [--capacity N] [--shards N] [--epoch-ms T]\n\
+                 [--frontend threads|reactor] [--reactors N]\n\
                  [--batch N] [--ms-per-slot T] [--snapshot FILE]\n\
                  [--theta F] [--delta F]\n\
-       loadgen   --addr A [--jobs N] [--workers N] [--mean-ms F] [--seed S]\n\
-                 [--epoch-ms T] [--out FILE] [--shutdown true]\n"
+       loadgen   --addr A [--jobs N] [--workers N] [--connections N]\n\
+                 [--binary true] [--frontend-label L] [--mean-ms F] [--seed S]\n\
+                 [--epoch-ms T] [--out FILE] [--append true] [--shutdown true]\n"
         .to_owned()
 }
 
@@ -302,6 +304,8 @@ pub fn serve_config(cli: &Cli) -> Result<rush_serve::ServeConfig, String> {
     cfg.epoch_max_batch = flag(cli, "batch", cfg.epoch_max_batch);
     cfg.ms_per_slot = flag(cli, "ms-per-slot", cfg.ms_per_slot);
     cfg.shards = flag(cli, "shards", cfg.shards);
+    cfg.frontend = flag(cli, "frontend", cfg.frontend);
+    cfg.reactors = flag(cli, "reactors", cfg.reactors);
     cfg.snapshot_path = cli.flags.get("snapshot").map(std::path::PathBuf::from);
     cfg.rush.theta = flag(cli, "theta", cfg.rush.theta);
     cfg.rush.delta = flag(cli, "delta", cfg.rush.delta);
@@ -337,11 +341,15 @@ pub fn loadgen_config(cli: &Cli) -> Result<rush_serve::loadgen::LoadgenConfig, S
         addr: cli.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4117".into()),
         jobs: flag(cli, "jobs", 100),
         workers: flag(cli, "workers", 8),
+        connections: flag(cli, "connections", 0),
+        binary: flag(cli, "binary", false),
+        frontend: cli.flags.get("frontend-label").cloned().unwrap_or_else(|| "threads".into()),
         mean_interarrival_ms: flag(cli, "mean-ms", 10.0),
         seed: flag(cli, "seed", 7),
         epoch_ms: flag(cli, "epoch-ms", 25),
         report_samples: flag(cli, "report-samples", true),
         shutdown: flag(cli, "shutdown", false),
+        append: flag(cli, "append", false),
         out: cli.flags.get("out").map(std::path::PathBuf::from),
     })
 }
@@ -358,14 +366,19 @@ pub fn cmd_loadgen(cli: &Cli) -> Result<String, String> {
         return Err(format!("loadgen hit {} protocol errors", report.protocol_errors));
     }
     Ok(format!(
-        "loadgen: {} submitted, {} admitted, {} deferred, {} rejected; \
-         p50 {} us, p99 {} us; {:.1}% within epoch deadline; {} epochs\n",
+        "loadgen: {} submitted over {} conns ({}), {} admitted, {} deferred, {} rejected; \
+         p50 {} us, p99 {} us, p999 {} us; {:.0} sub/s; \
+         {:.1}% within epoch deadline; {} epochs\n",
         report.submitted,
+        cfg.effective_connections(),
+        cfg.codec(),
         report.admitted,
         report.deferred,
         report.rejected,
         report.client_latency_us.quantile(0.5),
         report.client_latency_us.quantile(0.99),
+        report.client_latency_us.quantile(0.999),
+        report.submissions_per_sec(),
         100.0 * report.within_deadline_frac(),
         report.epochs,
     ))
@@ -515,8 +528,72 @@ mod tests {
         assert_eq!(cfg.addr, "127.0.0.1:9");
         assert_eq!(cfg.jobs, 5);
         assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.connections, 0);
+        assert!(!cfg.binary);
+        assert_eq!(cfg.frontend, "threads");
         assert!(cfg.shutdown);
+        assert!(!cfg.append);
         assert!(cfg.out.is_none());
+
+        let cfg = loadgen_config(&cli(
+            "loadgen",
+            &[
+                ("connections", "64"),
+                ("binary", "true"),
+                ("frontend-label", "reactor"),
+                ("append", "true"),
+            ],
+        ))
+        .unwrap();
+        assert_eq!(cfg.connections, 64);
+        assert!(cfg.binary);
+        assert_eq!(cfg.frontend, "reactor");
+        assert!(cfg.append);
+        assert_eq!(cfg.effective_connections(), 64);
+        assert_eq!(cfg.codec(), "binary");
+    }
+
+    #[test]
+    fn serve_config_parses_frontend_flags() {
+        let cfg = serve_config(&cli(
+            "serve",
+            &[("frontend", "reactor"), ("reactors", "2")],
+        ))
+        .unwrap();
+        assert_eq!(cfg.frontend, rush_serve::Frontend::Reactor);
+        assert_eq!(cfg.reactors, 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn loadgen_open_loop_drives_a_reactor_daemon() {
+        // The reactor frontend and the open-loop engine end to end: a
+        // binary-codec loadgen over concurrent nonblocking connections.
+        let handle = rush_serve::serve(rush_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            frontend: rush_serve::Frontend::Reactor,
+            ..serve_config(&cli("serve", &[("epoch-ms", "5")])).unwrap()
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+        let out = cmd_loadgen(&cli(
+            "loadgen",
+            &[
+                ("addr", &addr),
+                ("jobs", "8"),
+                ("connections", "4"),
+                ("binary", "true"),
+                ("frontend-label", "reactor"),
+                ("mean-ms", "2"),
+                ("epoch-ms", "5"),
+                ("shutdown", "true"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("8 submitted"), "{out}");
+        assert!(out.contains("4 conns (binary)"), "{out}");
+        let waits = handle.join().unwrap();
+        assert_eq!(waits.count(), 8);
     }
 
     #[test]

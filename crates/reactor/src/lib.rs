@@ -1,0 +1,64 @@
+//! # rush-reactor — nonblocking event-loop primitives
+//!
+//! A from-scratch, dependency-free reactor substrate for the RUSH serving
+//! layer, built the same way the workspace's `rand`/`proptest`/`criterion`
+//! stand-ins were: the minimal API subset the repo needs, implemented
+//! against raw syscalls instead of a registry crate.
+//!
+//! Four pieces, composable into an event loop:
+//!
+//! * [`sys`] — the only `unsafe` in the workspace: a thin FFI binding for
+//!   `epoll_create1` / `epoll_ctl` / `epoll_wait` / `eventfd` plus
+//!   `read`/`write`/`close` on those descriptors. Non-Linux targets get
+//!   stubs returning [`std::io::ErrorKind::Unsupported`].
+//! * [`Poller`] — one epoll instance: level-triggered registration of
+//!   descriptors under integer tokens, `wait` with an optional timeout.
+//! * [`Waker`] — an eventfd registered in the poller; any thread can make
+//!   a parked reactor return from `wait` (wakes coalesce).
+//! * [`TimerWheel`] — lazy-deletion deadline heap; the reactor derives its
+//!   poll timeout from `next_deadline`, so timers (epoch ticks,
+//!   slow-reader eviction) fire even when every connection is idle.
+//! * [`ReadBuf`] / [`WriteBuf`] — per-connection byte queues with
+//!   occupancy accounting for backpressure decisions.
+//!
+//! The crate deliberately stops below the protocol layer: it knows nothing
+//! about frames, codecs, or the planner. `rush-serve` composes these
+//! primitives into its `--frontend reactor` connection state machines.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rush_reactor::{Interest, Poller, TimerWheel, Waker};
+//! use std::time::{Duration, Instant};
+//!
+//! let mut poller = Poller::new()?;
+//! let waker = Waker::new()?;
+//! poller.register(waker.fd(), 0, Interest::READ)?;
+//! let mut timers = TimerWheel::new();
+//! timers.schedule(Instant::now() + Duration::from_millis(25), 1);
+//!
+//! let timeout = timers.next_deadline().map(|d| d.saturating_duration_since(Instant::now()));
+//! for event in poller.wait(timeout)? {
+//!     if event.token == 0 {
+//!         waker.drain();
+//!     }
+//! }
+//! for token in timers.expired(Instant::now()) {
+//!     assert_eq!(token, 1); // epoch tick due
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod poller;
+pub mod sys;
+pub mod timer;
+pub mod waker;
+
+pub use buffer::{ReadBuf, ReadOutcome, WriteBuf, WriteOutcome};
+pub use poller::{Event, Interest, Poller};
+pub use timer::{TimerId, TimerWheel};
+pub use waker::Waker;

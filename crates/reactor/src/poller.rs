@@ -1,0 +1,225 @@
+//! The readiness poller: a safe wrapper over one epoll instance.
+//!
+//! Registration is level-triggered — a descriptor with unread input (or
+//! writable buffer space, when write interest is armed) is reported on
+//! every [`Poller::wait`] until the condition clears. Level triggering
+//! keeps the per-connection state machines simple: they never have to
+//! drain a descriptor to "re-arm" it, they just do as much work as their
+//! backpressure budget allows and get called again.
+
+use crate::sys;
+use std::io;
+use std::time::Duration;
+
+/// Which readiness conditions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Report when the descriptor has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// Report when the descriptor can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+
+    fn mask(self) -> u32 {
+        let mut m = sys::EVENT_RDHUP;
+        if self.readable {
+            m |= sys::EVENT_READ;
+        }
+        if self.writable {
+            m |= sys::EVENT_WRITE;
+        }
+        m
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// The descriptor is readable (includes pending accepts).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up or an error condition is pending; the connection
+    /// state machine should read to EOF and close.
+    pub closed: bool,
+}
+
+/// A safe wrapper over one epoll instance plus its event buffer.
+#[derive(Debug)]
+pub struct Poller {
+    ep: sys::OwnedFd,
+    raw: Vec<sys::RawEvent>,
+    events: Vec<Event>,
+}
+
+impl Poller {
+    /// Creates a poller able to report up to `capacity` events per wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (or `Unsupported` off-Linux).
+    pub fn with_capacity(capacity: usize) -> io::Result<Poller> {
+        let cap = capacity.clamp(1, 4096);
+        Ok(Poller {
+            ep: sys::epoll_create()?,
+            raw: vec![sys::RawEvent::default(); cap],
+            events: Vec::with_capacity(cap),
+        })
+    }
+
+    /// Creates a poller with a default event buffer (1024 events/wait).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (or `Unsupported` off-Linux).
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_capacity(1024)
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. the fd is already registered).
+    pub fn register(&self, fd: sys::Fd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(self.ep.raw(), fd, interest.mask(), token)
+    }
+
+    /// Replaces the interest set of a registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. the fd was never registered).
+    pub fn reregister(&self, fd: sys::Fd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_modify(self.ep.raw(), fd, interest.mask(), token)
+    }
+
+    /// Removes `fd` from the poller. Safe to call for descriptors that are
+    /// about to be closed; errors are returned but typically ignorable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn deregister(&self, fd: sys::Fd) -> io::Result<()> {
+        sys::epoll_delete(self.ep.raw(), fd)
+    }
+
+    /// Waits until at least one registered descriptor is ready or the
+    /// timeout elapses (`None` blocks indefinitely), then returns the
+    /// batch of readiness events. An empty slice means the wait timed out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure; `EINTR` is retried internally.
+    pub fn wait(&mut self, timeout: Option<Duration>) -> io::Result<&[Event]> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0.5 ms deadline does not spin at timeout 0.
+            Some(d) => d.as_millis().saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        let n = loop {
+            match sys::epoll_wait(self.ep.raw(), &mut self.raw, timeout_ms) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        self.events.clear();
+        for ev in self.raw.iter().take(n) {
+            let bits = { ev.events };
+            self.events.push(Event {
+                token: { ev.data },
+                readable: bits & sys::EVENT_READ != 0,
+                writable: bits & sys::EVENT_WRITE != 0,
+                closed: bits & (sys::EVENT_ERROR | sys::EVENT_HANGUP | sys::EVENT_RDHUP) != 0,
+            });
+        }
+        Ok(&self.events)
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn level_triggered_read_readiness() {
+        let (mut a, b) = tcp_pair();
+        b.set_nonblocking(true).expect("nonblocking");
+        let mut poller = Poller::with_capacity(8).expect("poller");
+        poller.register(b.as_raw_fd(), 7, Interest::READ).expect("register");
+
+        // Idle: times out with no events.
+        assert!(poller.wait(Some(Duration::from_millis(0))).expect("wait").is_empty());
+
+        a.write_all(b"ping").expect("write");
+        let events = poller.wait(Some(Duration::from_millis(1000))).expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data keeps reporting.
+        let events = poller.wait(Some(Duration::from_millis(1000))).expect("wait");
+        assert_eq!(events.len(), 1, "unread bytes must re-report");
+
+        // Draining the socket clears readiness.
+        let mut sink = [0u8; 16];
+        let mut b2 = &b;
+        let n = b2.read(&mut sink).expect("read");
+        assert_eq!(n, 4);
+        assert!(poller.wait(Some(Duration::from_millis(0))).expect("wait").is_empty());
+    }
+
+    #[test]
+    fn interest_can_be_switched_and_removed() {
+        let (mut a, b) = tcp_pair();
+        b.set_nonblocking(true).expect("nonblocking");
+        let mut poller = Poller::with_capacity(8).expect("poller");
+        // Write interest on an idle socket reports writable immediately.
+        poller.register(b.as_raw_fd(), 1, Interest::WRITE).expect("register");
+        let events = poller.wait(Some(Duration::from_millis(1000))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Switch to read-only: writability stops reporting.
+        poller.reregister(b.as_raw_fd(), 1, Interest::READ).expect("reregister");
+        assert!(poller.wait(Some(Duration::from_millis(0))).expect("wait").is_empty());
+
+        // Deregistered descriptors never report.
+        a.write_all(b"x").expect("write");
+        poller.deregister(b.as_raw_fd()).expect("deregister");
+        assert!(poller.wait(Some(Duration::from_millis(10))).expect("wait").is_empty());
+    }
+
+    #[test]
+    fn hangup_is_reported_as_closed() {
+        let (a, b) = tcp_pair();
+        b.set_nonblocking(true).expect("nonblocking");
+        let mut poller = Poller::with_capacity(8).expect("poller");
+        poller.register(b.as_raw_fd(), 9, Interest::READ).expect("register");
+        drop(a);
+        let events = poller.wait(Some(Duration::from_millis(1000))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 9 && e.closed));
+    }
+}

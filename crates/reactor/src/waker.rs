@@ -1,0 +1,95 @@
+//! Cross-thread wakeup for a parked reactor.
+//!
+//! An eventfd counter registered in the reactor's poller: any thread
+//! holding a clone of the [`Waker`] (the planner reply path, a shutdown
+//! signal) can make the reactor's `epoll_wait` return immediately by
+//! bumping the counter. Wakes coalesce — a thousand `wake()` calls before
+//! the reactor runs cost one readable event and one `drain()`.
+
+use crate::sys;
+use std::io;
+
+/// A cross-thread wakeup handle backed by an eventfd.
+///
+/// Shared across threads behind an `Arc`; `wake` takes `&self`.
+#[derive(Debug)]
+pub struct Waker {
+    fd: sys::OwnedFd,
+}
+
+impl Waker {
+    /// Creates a new waker with its counter at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd` failure (or `Unsupported` off-Linux).
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker { fd: sys::eventfd_create()? })
+    }
+
+    /// The descriptor to register (read interest) in the reactor's poller.
+    pub fn fd(&self) -> sys::Fd {
+        self.fd.raw()
+    }
+
+    /// Makes the reactor's next (or current) `wait` return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failure; an already-pending wake (`WouldBlock` on
+    /// a saturated counter) is success — the reactor is waking anyway.
+    pub fn wake(&self) -> io::Result<()> {
+        match sys::eventfd_write(self.fd.raw(), 1) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resets the counter after a wakeup so level-triggered polling stops
+    /// reporting it. Returns the number of coalesced wakes (0 when the
+    /// counter was already clear).
+    pub fn drain(&self) -> u64 {
+        sys::eventfd_read(self.fd.raw()).unwrap_or_default()
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::poller::{Interest, Poller};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_from_another_thread_interrupts_a_blocking_wait() {
+        let waker = Arc::new(Waker::new().expect("waker"));
+        let mut poller = Poller::with_capacity(4).expect("poller");
+        poller.register(waker.fd(), 0, Interest::READ).expect("register");
+
+        let remote = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().expect("wake");
+        });
+
+        let events = poller.wait(Some(Duration::from_secs(10))).expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 0);
+        t.join().expect("join");
+
+        assert_eq!(waker.drain(), 1);
+        // Drained: the poller goes quiet again.
+        assert!(poller.wait(Some(Duration::from_millis(0))).expect("wait").is_empty());
+    }
+
+    #[test]
+    fn wakes_coalesce() {
+        let waker = Waker::new().expect("waker");
+        for _ in 0..1000 {
+            waker.wake().expect("wake");
+        }
+        assert_eq!(waker.drain(), 1000);
+        assert_eq!(waker.drain(), 0);
+    }
+}

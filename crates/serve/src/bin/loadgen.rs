@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! rush-loadgen --addr 127.0.0.1:4117 [--jobs 100] [--workers 8]
+//!              [--connections 0] [--binary] [--frontend-label threads]
 //!              [--mean-ms 10] [--seed 7] [--epoch-ms 25]
-//!              [--out BENCH_serve_latency.json] [--quick] [--shutdown]
+//!              [--out BENCH_serve_latency.json] [--append]
+//!              [--quick] [--shutdown]
 //! ```
+//!
+//! `--connections N` switches to the open-loop reactor engine: one thread
+//! multiplexing `N` concurrent nonblocking connections. `--binary`
+//! negotiates the length-prefixed `RUSH1` codec. `--append` merges the
+//! run into an existing report (for benchmark sweeps).
 //!
 //! Exits non-zero when any frame draws a protocol error, so CI's
 //! serve-smoke step fails loudly on wire regressions.
@@ -13,8 +20,9 @@ use rush_serve::loadgen::{run, LoadgenConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rush-loadgen --addr A [--jobs N] [--workers N] [--mean-ms F] \
-                     [--seed N] [--epoch-ms T] [--out PATH] [--quick] [--shutdown]";
+const USAGE: &str = "usage: rush-loadgen --addr A [--jobs N] [--workers N] [--connections N] \
+                     [--binary] [--frontend-label L] [--mean-ms F] [--seed N] [--epoch-ms T] \
+                     [--out PATH] [--append] [--quick] [--shutdown]";
 
 fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
     it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
@@ -25,11 +33,15 @@ fn parse_flags(args: &[String]) -> Result<LoadgenConfig, String> {
         addr: "127.0.0.1:4117".into(),
         jobs: 100,
         workers: 8,
+        connections: 0,
+        binary: false,
+        frontend: "threads".into(),
         mean_interarrival_ms: 10.0,
         seed: 7,
         epoch_ms: 25,
         report_samples: true,
         shutdown: false,
+        append: false,
         out: Some(PathBuf::from("BENCH_serve_latency.json")),
     };
     let mut it = args.iter();
@@ -54,7 +66,14 @@ fn parse_flags(args: &[String]) -> Result<LoadgenConfig, String> {
                 cfg.epoch_ms =
                     take(&mut it, flag)?.parse().map_err(|e| format!("--epoch-ms: {e}"))?;
             }
+            "--connections" => {
+                cfg.connections =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--binary" => cfg.binary = true,
+            "--frontend-label" => cfg.frontend = take(&mut it, flag)?,
             "--out" => cfg.out = Some(PathBuf::from(take(&mut it, flag)?)),
+            "--append" => cfg.append = true,
             "--quick" => {
                 let quick = LoadgenConfig::quick(cfg.addr.clone(), cfg.epoch_ms);
                 cfg.jobs = quick.jobs;
@@ -81,14 +100,19 @@ fn main() -> ExitCode {
     match run(&cfg) {
         Ok(report) => {
             println!(
-                "loadgen: {} submitted, {} admitted, {} deferred, {} rejected; \
-                 p50 {} us, p99 {} us; {:.1}% within epoch deadline; {} epochs",
+                "loadgen: {} submitted over {} conns ({}), {} admitted, {} deferred, \
+                 {} rejected; p50 {} us, p99 {} us, p999 {} us; {:.0} sub/s; \
+                 {:.1}% within epoch deadline; {} epochs",
                 report.submitted,
+                cfg.effective_connections(),
+                cfg.codec(),
                 report.admitted,
                 report.deferred,
                 report.rejected,
                 report.client_latency_us.quantile(0.5),
                 report.client_latency_us.quantile(0.99),
+                report.client_latency_us.quantile(0.999),
+                report.submissions_per_sec(),
                 100.0 * report.within_deadline_frac(),
                 report.epochs,
             );

@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! rushd [--addr 127.0.0.1:4117] [--capacity 16] [--shards 1]
+//!       [--frontend threads|reactor] [--reactors 1]
 //!       [--epoch-ms 25] [--batch 32] [--ms-per-slot 1000]
 //!       [--snapshot PATH] [--theta 0.9] [--delta 0.7]
 //! ```
+//!
+//! `--frontend reactor` serves connections on nonblocking epoll event
+//! loops (`--reactors N` of them) instead of one thread per connection;
+//! both frontends speak JSON and the negotiated binary codec.
 //!
 //! Prints `rushd listening on ADDR` once the socket is bound (CI's
 //! serve-smoke step greps for it), then serves until a client sends the
@@ -45,6 +50,14 @@ fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
                 cfg.ms_per_slot =
                     take(&mut it, flag)?.parse().map_err(|e| format!("--ms-per-slot: {e}"))?;
             }
+            "--frontend" => {
+                cfg.frontend =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("--frontend: {e}"))?;
+            }
+            "--reactors" => {
+                cfg.reactors =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("--reactors: {e}"))?;
+            }
             "--snapshot" => cfg.snapshot_path = Some(PathBuf::from(take(&mut it, flag)?)),
             "--theta" => {
                 cfg.rush.theta =
@@ -61,8 +74,9 @@ fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
     Ok(cfg)
 }
 
-const USAGE: &str = "usage: rushd [--addr A] [--capacity N] [--shards N] [--epoch-ms T] \
-                     [--batch N] [--ms-per-slot T] [--snapshot PATH] [--theta F] [--delta F]";
+const USAGE: &str = "usage: rushd [--addr A] [--capacity N] [--shards N] \
+                     [--frontend threads|reactor] [--reactors N] [--epoch-ms T] [--batch N] \
+                     [--ms-per-slot T] [--snapshot PATH] [--theta F] [--delta F]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

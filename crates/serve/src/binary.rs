@@ -1,0 +1,893 @@
+//! The version-negotiated, length-prefixed binary wire codec.
+//!
+//! A compact alternative to the newline-JSON protocol carrying exactly the
+//! same [`Request`]/[`Response`] values — the codec differential suite
+//! proves both decode to identical values and drive the planner to
+//! byte-identical snapshots.
+//!
+//! ## Negotiation handshake
+//!
+//! A binary connection opens with a 6-byte client hello: the magic
+//! `b"RUSH1"` followed by the highest frame version the client speaks.
+//! The server answers with the same magic and the negotiated version
+//! (`min(client, server)`), or version `0` ("no common version") and a
+//! close. The magic's first byte (`R`, 0x52) is how a frontend sniffs
+//! binary from JSON on one port: a JSON frame always starts with `{`.
+//!
+//! ## Framing
+//!
+//! After the handshake, each frame in either direction is an LEB128
+//! varint payload length followed by the payload. Payloads are capped at
+//! [`MAX_FRAME_LEN`]; an oversized or unparseable length prefix is
+//! connection-fatal (there is no way to resynchronize), while a
+//! well-framed but malformed payload yields a structured
+//! [`ErrorCode::BadFrame`]/[`ErrorCode::BadField`] error and the
+//! connection keeps serving — mirroring the JSON codec's contract.
+//!
+//! ## Field encoding
+//!
+//! * `u64`/`u32` — LEB128 varint (u32 widened).
+//! * `f64` — 8 bytes, little-endian IEEE-754 bits (bit-exact round trip).
+//! * `String` — varint byte length + UTF-8 bytes.
+//! * `bool` — one byte, `0` or `1` (anything else is malformed).
+//! * `Option<T>` — one presence byte (`0`/`1`) then `T` when present.
+//! * Utilities travel in the same persist text form as JSON
+//!   (`sigmoid:700,5,0.02`), so all wire formats share one grammar.
+//!
+//! Every payload starts with a one-byte variant tag; the tag tables for
+//! requests and responses are documented in `DESIGN.md` §15.
+
+use crate::protocol::{
+    Decision, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
+};
+use rush_workload::persist::{utility_from_text, utility_to_text};
+
+/// The 5-byte connection magic both hellos open with.
+pub const MAGIC: &[u8; 5] = b"RUSH1";
+
+/// The highest binary frame version this build speaks.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Hard cap on a frame payload; larger length prefixes are
+/// connection-fatal.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Result of scanning a byte buffer for one complete item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scan<T> {
+    /// More bytes are needed; read again and re-scan.
+    Incomplete,
+    /// One complete item, consuming `consumed` buffer bytes.
+    Done {
+        /// The decoded item.
+        item: T,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+    },
+}
+
+fn bad_frame(why: impl Into<String>) -> WireError {
+    WireError::new(ErrorCode::BadFrame, why)
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// The negotiated version for a client that offered `client_max`, or `0`
+/// when there is no common version.
+pub fn negotiate(client_max: u8) -> u8 {
+    client_max.min(BINARY_VERSION)
+}
+
+/// The 6-byte hello either side sends: magic + version byte.
+pub fn hello(version: u8) -> [u8; 6] {
+    let mut h = [0u8; 6];
+    h[..5].copy_from_slice(MAGIC);
+    h[5] = version; // bound: h is a fixed [u8; 6], index 5 is its last byte
+    h
+}
+
+/// Scans a buffer for a complete 6-byte hello.
+///
+/// # Errors
+///
+/// [`ErrorCode::BadFrame`] when the magic does not match (connection-fatal:
+/// the peer is not speaking this protocol).
+pub fn scan_hello(buf: &[u8]) -> Result<Scan<u8>, WireError> {
+    let prefix = buf.len().min(MAGIC.len());
+    if buf[..prefix] != MAGIC[..prefix] {
+        return Err(bad_frame("bad magic: expected RUSH1"));
+    }
+    if buf.len() < 6 {
+        return Ok(Scan::Incomplete);
+    }
+    // bound: the length check above guarantees buf.len() >= 6
+    Ok(Scan::Done { item: buf[5], consumed: 6 })
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Appends a varint length prefix + `payload` to `out`.
+pub fn frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    put_varint(payload.len() as u64, out);
+    out.extend_from_slice(payload);
+}
+
+/// Scans a buffer for one complete length-prefixed frame, returning the
+/// payload byte range (relative to the buffer start).
+///
+/// # Errors
+///
+/// [`ErrorCode::BadFrame`] for an oversized or malformed length prefix —
+/// connection-fatal, since the stream cannot be resynchronized.
+pub fn scan_frame(buf: &[u8]) -> Result<Scan<std::ops::Range<usize>>, WireError> {
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    let mut idx = 0usize;
+    loop {
+        let Some(&byte) = buf.get(idx) else {
+            // A length prefix longer than 5 bytes already exceeds the
+            // frame cap; don't wait for more bytes that cannot help.
+            return if idx >= 5 { Err(bad_frame("length prefix too long")) } else { Ok(Scan::Incomplete) };
+        };
+        len |= u64::from(byte & 0x7f) << shift;
+        idx += 1;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift >= 35 {
+            return Err(bad_frame("length prefix too long"));
+        }
+    }
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(bad_frame(format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap")));
+    }
+    let len = len as usize;
+    if buf.len() < idx + len {
+        return Ok(Scan::Incomplete);
+    }
+    Ok(Scan::Done { item: idx..idx + len, consumed: idx + len })
+}
+
+// ---------------------------------------------------------------------------
+// Primitive field codecs
+// ---------------------------------------------------------------------------
+
+fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(v: f64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    put_varint(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(b: bool, out: &mut Vec<u8>) {
+    out.push(u8::from(b));
+}
+
+fn put_opt_varint(v: Option<u64>, out: &mut Vec<u8>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_varint(v, out);
+        }
+    }
+}
+
+fn put_opt_f64(v: Option<f64>, out: &mut Vec<u8>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(v, out);
+        }
+    }
+}
+
+/// A checked cursor over one frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        let b = self
+            .buf
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| bad_frame(format!("truncated payload reading {what}")))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift == 63 && byte > 1 {
+                return Err(bad_frame(format!("varint overflow in {what}")));
+            }
+            if shift >= 64 {
+                return Err(bad_frame(format!("varint overflow in {what}")));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad_frame(format!("truncated payload reading {what}")))?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.varint(what)? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad_frame(format!("truncated payload reading {what}")))?;
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|_| bad_frame(format!("invalid UTF-8 in {what}")))?;
+        self.pos = end;
+        Ok(s.to_string())
+    }
+
+    fn boolean(&mut self, what: &str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(bad_frame(format!("bad boolean byte {b} in {what}"))),
+        }
+    }
+
+    fn opt_varint(&mut self, what: &str) -> Result<Option<u64>, WireError> {
+        if self.boolean(what)? {
+            Ok(Some(self.varint(what)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, WireError> {
+        if self.boolean(what)? {
+            Ok(Some(self.f64(what)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad_frame(format!("{} trailing bytes after payload", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+fn bad_field(name: &str, why: &str) -> WireError {
+    WireError::new(ErrorCode::BadField, format!("field \"{name}\": {why}"))
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+const REQ_SUBMIT: u8 = 0;
+const REQ_REPORT_SAMPLE: u8 = 1;
+const REQ_QUERY_PLAN: u8 = 2;
+const REQ_PREDICT: u8 = 3;
+const REQ_CANCEL: u8 = 4;
+const REQ_STATS: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+/// Encodes a request payload (tag + fields, no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match req {
+        Request::Submit(sub) => {
+            out.push(REQ_SUBMIT);
+            put_str(&sub.label, &mut out);
+            put_varint(sub.tasks, &mut out);
+            put_opt_f64(sub.runtime_hint, &mut out);
+            put_str(&utility_to_text(&sub.utility), &mut out);
+            put_opt_varint(sub.budget, &mut out);
+            put_varint(u64::from(sub.priority), &mut out);
+        }
+        Request::ReportSample { job, runtime } => {
+            out.push(REQ_REPORT_SAMPLE);
+            put_varint(*job, &mut out);
+            put_varint(*runtime, &mut out);
+        }
+        Request::QueryPlan { job } => {
+            out.push(REQ_QUERY_PLAN);
+            put_opt_varint(*job, &mut out);
+        }
+        Request::Predict { job } => {
+            out.push(REQ_PREDICT);
+            put_varint(*job, &mut out);
+        }
+        Request::Cancel { job } => {
+            out.push(REQ_CANCEL);
+            put_varint(*job, &mut out);
+        }
+        Request::Stats => out.push(REQ_STATS),
+        Request::Shutdown { snapshot } => {
+            out.push(REQ_SHUTDOWN);
+            put_bool(*snapshot, &mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a request payload, applying exactly the validation the JSON
+/// decoder applies (`tasks >= 1`, `hint > 0`, utility grammar, priority in
+/// `1..=u32::MAX`).
+///
+/// # Errors
+///
+/// [`ErrorCode::BadFrame`] for structural problems, [`ErrorCode::BadOp`]
+/// for an unknown tag, [`ErrorCode::BadField`] for validation failures —
+/// the connection stays usable after any of them.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("request tag")?;
+    let req = match tag {
+        REQ_SUBMIT => {
+            let label = r.string("label")?;
+            let tasks = r.varint("tasks")?;
+            if tasks == 0 {
+                return Err(bad_field("tasks", "must be >= 1"));
+            }
+            let hint = r.opt_f64("hint")?;
+            if let Some(h) = hint {
+                if h <= 0.0 || !h.is_finite() {
+                    return Err(bad_field("hint", "must be > 0"));
+                }
+            }
+            let utility =
+                utility_from_text(&r.string("utility")?).map_err(|e| bad_field("utility", &e))?;
+            let budget = r.opt_varint("budget")?;
+            let priority = r.varint("priority")?;
+            let priority =
+                u32::try_from(priority).map_err(|_| bad_field("priority", "must fit in u32"))?;
+            if priority == 0 {
+                return Err(bad_field("priority", "must be >= 1"));
+            }
+            Request::Submit(JobSubmission { label, tasks, runtime_hint: hint, utility, budget, priority })
+        }
+        REQ_REPORT_SAMPLE => {
+            Request::ReportSample { job: r.varint("job")?, runtime: r.varint("runtime")? }
+        }
+        REQ_QUERY_PLAN => Request::QueryPlan { job: r.opt_varint("job")? },
+        REQ_PREDICT => Request::Predict { job: r.varint("job")? },
+        REQ_CANCEL => Request::Cancel { job: r.varint("job")? },
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown { snapshot: r.boolean("snapshot")? },
+        other => {
+            return Err(WireError::new(ErrorCode::BadOp, format!("unknown request tag {other}")))
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+const RESP_SUBMITTED: u8 = 0;
+const RESP_ACK: u8 = 1;
+const RESP_PLAN_TABLE: u8 = 2;
+const RESP_PREDICTION: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_SHUTTING_DOWN: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+fn decision_tag(d: Decision) -> u8 {
+    match d {
+        Decision::Admit => 0,
+        Decision::Defer => 1,
+        Decision::Reject => 2,
+    }
+}
+
+fn decision_from_tag(tag: u8) -> Result<Decision, WireError> {
+    match tag {
+        0 => Ok(Decision::Admit),
+        1 => Ok(Decision::Defer),
+        2 => Ok(Decision::Reject),
+        other => Err(bad_frame(format!("unknown decision tag {other}"))),
+    }
+}
+
+fn error_code_tag(c: ErrorCode) -> u8 {
+    match c {
+        ErrorCode::BadJson => 0,
+        ErrorCode::BadFrame => 1,
+        ErrorCode::BadVersion => 2,
+        ErrorCode::BadOp => 3,
+        ErrorCode::BadField => 4,
+        ErrorCode::UnknownJob => 5,
+        ErrorCode::Deferred => 6,
+        ErrorCode::Shutdown => 7,
+        ErrorCode::Internal => 8,
+    }
+}
+
+fn error_code_from_tag(tag: u8) -> Result<ErrorCode, WireError> {
+    match tag {
+        0 => Ok(ErrorCode::BadJson),
+        1 => Ok(ErrorCode::BadFrame),
+        2 => Ok(ErrorCode::BadVersion),
+        3 => Ok(ErrorCode::BadOp),
+        4 => Ok(ErrorCode::BadField),
+        5 => Ok(ErrorCode::UnknownJob),
+        6 => Ok(ErrorCode::Deferred),
+        7 => Ok(ErrorCode::Shutdown),
+        8 => Ok(ErrorCode::Internal),
+        other => Err(bad_frame(format!("unknown error-code tag {other}"))),
+    }
+}
+
+fn put_plan_row(row: &PlanRow, out: &mut Vec<u8>) {
+    put_varint(row.job, out);
+    put_str(&row.label, out);
+    put_varint(row.eta, out);
+    put_varint(row.task_len, out);
+    put_f64(row.target, out);
+    put_f64(row.level, out);
+    put_varint(u64::from(row.desired_now), out);
+    put_varint(row.planned_completion, out);
+    put_bool(row.impossible, out);
+    put_varint(row.remaining_tasks, out);
+}
+
+fn read_plan_row(r: &mut Reader<'_>) -> Result<PlanRow, WireError> {
+    let job = r.varint("row.job")?;
+    let label = r.string("row.label")?;
+    let eta = r.varint("row.eta")?;
+    let task_len = r.varint("row.task_len")?;
+    let target = r.f64("row.target")?;
+    let level = r.f64("row.level")?;
+    let desired = r.varint("row.desired_now")?;
+    let desired_now =
+        u32::try_from(desired).map_err(|_| bad_field("desired_now", "must fit in u32"))?;
+    Ok(PlanRow {
+        job,
+        label,
+        eta,
+        task_len,
+        target,
+        level,
+        desired_now,
+        planned_completion: r.varint("row.planned_completion")?,
+        impossible: r.boolean("row.impossible")?,
+        remaining_tasks: r.varint("row.remaining_tasks")?,
+    })
+}
+
+/// Encodes a response payload (tag + fields, no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match resp {
+        Response::Submitted { job, decision, epoch, waited_us } => {
+            out.push(RESP_SUBMITTED);
+            put_opt_varint(*job, &mut out);
+            out.push(decision_tag(*decision));
+            put_varint(*epoch, &mut out);
+            put_varint(*waited_us, &mut out);
+        }
+        Response::Ack => out.push(RESP_ACK),
+        Response::PlanTable { now_slot, epoch, rows } => {
+            out.push(RESP_PLAN_TABLE);
+            put_varint(*now_slot, &mut out);
+            put_varint(*epoch, &mut out);
+            put_varint(rows.len() as u64, &mut out);
+            for row in rows {
+                put_plan_row(row, &mut out);
+            }
+        }
+        Response::Prediction { job, target, task_len, bound, planned_completion, impossible } => {
+            out.push(RESP_PREDICTION);
+            put_varint(*job, &mut out);
+            put_f64(*target, &mut out);
+            put_varint(*task_len, &mut out);
+            put_f64(*bound, &mut out);
+            put_varint(*planned_completion, &mut out);
+            put_bool(*impossible, &mut out);
+        }
+        Response::Stats(s) => {
+            out.push(RESP_STATS);
+            for v in [
+                s.active_jobs,
+                s.deferred_jobs,
+                s.epochs,
+                s.admitted,
+                s.deferred,
+                s.rejected,
+                s.cancelled,
+                s.completed,
+                s.samples,
+                s.cache_hits,
+                s.cache_misses,
+                s.now_slot,
+            ] {
+                put_varint(v, &mut out);
+            }
+        }
+        Response::ShuttingDown { snapshot_written } => {
+            out.push(RESP_SHUTTING_DOWN);
+            put_bool(*snapshot_written, &mut out);
+        }
+        Response::Error(e) => {
+            out.push(RESP_ERROR);
+            out.push(error_code_tag(e.code));
+            put_str(&e.message, &mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a response payload (the client side of the codec).
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is not a well-formed response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("response tag")?;
+    let resp = match tag {
+        RESP_SUBMITTED => {
+            let job = r.opt_varint("job")?;
+            let decision = decision_from_tag(r.u8("decision")?)?;
+            Response::Submitted {
+                job,
+                decision,
+                epoch: r.varint("epoch")?,
+                waited_us: r.varint("waited_us")?,
+            }
+        }
+        RESP_ACK => Response::Ack,
+        RESP_PLAN_TABLE => {
+            let now_slot = r.varint("now_slot")?;
+            let epoch = r.varint("epoch")?;
+            let count = r.varint("rows")? as usize;
+            // Each row is at least 14 bytes; pre-check against the payload
+            // so a hostile count cannot balloon the allocation.
+            if count > payload.len() {
+                return Err(bad_frame("row count exceeds payload size"));
+            }
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(read_plan_row(&mut r)?);
+            }
+            Response::PlanTable { now_slot, epoch, rows }
+        }
+        RESP_PREDICTION => Response::Prediction {
+            job: r.varint("job")?,
+            target: r.f64("target")?,
+            task_len: r.varint("task_len")?,
+            bound: r.f64("bound")?,
+            planned_completion: r.varint("planned_completion")?,
+            impossible: r.boolean("impossible")?,
+        },
+        RESP_STATS => Response::Stats(StatsReport {
+            active_jobs: r.varint("active_jobs")?,
+            deferred_jobs: r.varint("deferred_jobs")?,
+            epochs: r.varint("epochs")?,
+            admitted: r.varint("admitted")?,
+            deferred: r.varint("deferred")?,
+            rejected: r.varint("rejected")?,
+            cancelled: r.varint("cancelled")?,
+            completed: r.varint("completed")?,
+            samples: r.varint("samples")?,
+            cache_hits: r.varint("cache_hits")?,
+            cache_misses: r.varint("cache_misses")?,
+            now_slot: r.varint("now_slot")?,
+        }),
+        RESP_SHUTTING_DOWN => Response::ShuttingDown { snapshot_written: r.boolean("snapshot_written")? },
+        RESP_ERROR => {
+            let code = error_code_from_tag(r.u8("code")?)?;
+            Response::Error(WireError::new(code, r.string("message")?))
+        }
+        other => {
+            return Err(WireError::new(ErrorCode::BadOp, format!("unknown response tag {other}")))
+        }
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Encodes a request as one complete frame (length prefix + payload).
+pub fn frame_request(req: &Request) -> Vec<u8> {
+    let payload = encode_request(req);
+    let mut out = Vec::with_capacity(payload.len() + 3);
+    frame_into(&payload, &mut out);
+    out
+}
+
+/// Encodes a response as one complete frame (length prefix + payload).
+pub fn frame_response(resp: &Response) -> Vec<u8> {
+    let payload = encode_response(resp);
+    let mut out = Vec::with_capacity(payload.len() + 3);
+    frame_into(&payload, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_utility::TimeUtility;
+
+    fn sub() -> JobSubmission {
+        JobSubmission {
+            label: "terasort".into(),
+            tasks: 40,
+            runtime_hint: Some(55.5),
+            utility: TimeUtility::sigmoid(700.0, 5.0, 0.02).expect("valid"),
+            budget: Some(700),
+            priority: 3,
+        }
+    }
+
+    #[test]
+    fn handshake_negotiates_the_minimum() {
+        assert_eq!(negotiate(0), 0);
+        assert_eq!(negotiate(1), 1);
+        assert_eq!(negotiate(200), BINARY_VERSION);
+        let h = hello(1);
+        assert_eq!(&h[..5], MAGIC);
+        match scan_hello(&h).expect("valid hello") {
+            Scan::Done { item, consumed } => {
+                assert_eq!(item, 1);
+                assert_eq!(consumed, 6);
+            }
+            Scan::Incomplete => unreachable!("complete hello"),
+        }
+    }
+
+    #[test]
+    fn partial_hello_waits_and_bad_magic_is_fatal() {
+        assert_eq!(scan_hello(b"RUS").expect("prefix ok"), Scan::Incomplete);
+        assert!(scan_hello(b"RUSX1\x01").is_err());
+        assert!(scan_hello(b"{\"v\":1").is_err(), "JSON opener is not binary magic");
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_scanner() {
+        let mut buf = Vec::new();
+        frame_into(b"abc", &mut buf);
+        frame_into(b"", &mut buf);
+        frame_into(&[7u8; 300], &mut buf);
+
+        let Scan::Done { item, consumed } = scan_frame(&buf).expect("frame") else {
+            unreachable!("complete frame")
+        };
+        assert_eq!(&buf[item], b"abc");
+        buf.drain(..consumed);
+
+        let Scan::Done { item, consumed } = scan_frame(&buf).expect("frame") else {
+            unreachable!("complete frame")
+        };
+        assert!(buf[item.clone()].is_empty());
+        buf.drain(..consumed);
+
+        let Scan::Done { item, consumed } = scan_frame(&buf).expect("frame") else {
+            unreachable!("complete frame")
+        };
+        assert_eq!(buf[item.clone()].len(), 300);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn truncated_length_prefix_and_payload_wait_for_more() {
+        // 300-byte frame: 2-byte prefix. One prefix byte alone: incomplete.
+        let mut buf = Vec::new();
+        frame_into(&[7u8; 300], &mut buf);
+        assert_eq!(scan_frame(&buf[..1]).expect("scan"), Scan::Incomplete);
+        assert_eq!(scan_frame(&buf[..50]).expect("scan"), Scan::Incomplete);
+    }
+
+    #[test]
+    fn oversized_frames_are_fatal() {
+        let mut buf = Vec::new();
+        put_varint(MAX_FRAME_LEN as u64 + 1, &mut buf);
+        let e = scan_frame(&buf).expect_err("over cap");
+        assert_eq!(e.code, ErrorCode::BadFrame);
+        // A length prefix that never terminates is fatal too.
+        let e = scan_frame(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff]).expect_err("runaway varint");
+        assert_eq!(e.code, ErrorCode::BadFrame);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Submit(sub()),
+            Request::Submit(JobSubmission {
+                runtime_hint: None,
+                budget: None,
+                utility: TimeUtility::constant(2.0).expect("valid"),
+                ..sub()
+            }),
+            Request::ReportSample { job: 7, runtime: 61 },
+            Request::QueryPlan { job: None },
+            Request::QueryPlan { job: Some(3) },
+            Request::Predict { job: 9 },
+            Request::Cancel { job: 0 },
+            Request::Stats,
+            Request::Shutdown { snapshot: false },
+        ];
+        for r in reqs {
+            let payload = encode_request(&r);
+            let back = decode_request(&payload).unwrap_or_else(|e| panic!("{r:?}: {e}"));
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Submitted { job: Some(12), decision: Decision::Admit, epoch: 4, waited_us: 1800 },
+            Response::Submitted { job: None, decision: Decision::Reject, epoch: 4, waited_us: 90 },
+            Response::Ack,
+            Response::PlanTable {
+                now_slot: 17,
+                epoch: 6,
+                rows: vec![PlanRow {
+                    job: 12,
+                    label: "grep".into(),
+                    eta: 2400,
+                    task_len: 60,
+                    target: 512.25,
+                    level: 4.75,
+                    desired_now: 5,
+                    planned_completion: 480,
+                    impossible: false,
+                    remaining_tasks: 31,
+                }],
+            },
+            Response::Prediction {
+                job: 12,
+                target: 512.25,
+                task_len: 60,
+                bound: 572.25,
+                planned_completion: 480,
+                impossible: false,
+            },
+            Response::Stats(StatsReport { active_jobs: 3, samples: 230, ..StatsReport::default() }),
+            Response::ShuttingDown { snapshot_written: true },
+            Response::error(ErrorCode::UnknownJob, "job 99 is not resident"),
+        ];
+        for r in resps {
+            let payload = encode_response(&r);
+            let back = decode_response(&payload).unwrap_or_else(|e| panic!("{r:?}: {e}"));
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn validation_mirrors_the_json_decoder() {
+        // tasks == 0
+        let mut p = encode_request(&Request::Submit(sub()));
+        // Rebuild by hand: tag, label, tasks=0 ...
+        p.clear();
+        p.push(REQ_SUBMIT);
+        put_str("x", &mut p);
+        put_varint(0, &mut p);
+        put_opt_f64(None, &mut p);
+        put_str("constant:1", &mut p);
+        put_opt_varint(None, &mut p);
+        put_varint(1, &mut p);
+        assert_eq!(decode_request(&p).expect_err("zero tasks").code, ErrorCode::BadField);
+
+        // hint <= 0 and non-finite hints.
+        for bad_hint in [0.0, -4.0, f64::NAN, f64::INFINITY] {
+            let mut p = Vec::new();
+            p.push(REQ_SUBMIT);
+            put_str("x", &mut p);
+            put_varint(2, &mut p);
+            put_opt_f64(Some(bad_hint), &mut p);
+            put_str("constant:1", &mut p);
+            put_opt_varint(None, &mut p);
+            put_varint(1, &mut p);
+            assert_eq!(decode_request(&p).expect_err("bad hint").code, ErrorCode::BadField);
+        }
+
+        // unknown utility grammar
+        let mut p = Vec::new();
+        p.push(REQ_SUBMIT);
+        put_str("x", &mut p);
+        put_varint(2, &mut p);
+        put_opt_f64(None, &mut p);
+        put_str("warp:1,2", &mut p);
+        put_opt_varint(None, &mut p);
+        put_varint(1, &mut p);
+        assert_eq!(decode_request(&p).expect_err("bad utility").code, ErrorCode::BadField);
+
+        // priority 0 and priority beyond u32
+        for bad_priority in [0u64, 5_000_000_000] {
+            let mut p = Vec::new();
+            p.push(REQ_SUBMIT);
+            put_str("x", &mut p);
+            put_varint(2, &mut p);
+            put_opt_f64(None, &mut p);
+            put_str("constant:1", &mut p);
+            put_opt_varint(None, &mut p);
+            put_varint(bad_priority, &mut p);
+            assert_eq!(decode_request(&p).expect_err("bad priority").code, ErrorCode::BadField);
+        }
+    }
+
+    #[test]
+    fn structural_garbage_is_bad_frame_or_bad_op() {
+        assert_eq!(decode_request(&[]).expect_err("empty").code, ErrorCode::BadFrame);
+        assert_eq!(decode_request(&[99]).expect_err("unknown tag").code, ErrorCode::BadOp);
+        assert_eq!(decode_response(&[99]).expect_err("unknown tag").code, ErrorCode::BadOp);
+        // Truncated mid-field.
+        let whole = encode_request(&Request::Submit(sub()));
+        for cut in 1..whole.len() {
+            let e = decode_request(&whole[..cut]).expect_err("truncated");
+            assert_eq!(e.code, ErrorCode::BadFrame, "cut at {cut}");
+        }
+        // Trailing bytes after a complete payload.
+        let mut padded = encode_request(&Request::Stats);
+        padded.push(0);
+        assert_eq!(decode_request(&padded).expect_err("trailing").code, ErrorCode::BadFrame);
+        // Bad boolean byte.
+        assert_eq!(decode_request(&[REQ_SHUTDOWN, 7]).expect_err("bad bool").code, ErrorCode::BadFrame);
+    }
+
+    #[test]
+    fn float_fields_are_bit_exact() {
+        let resp = Response::Prediction {
+            job: 1,
+            target: f64::MIN_POSITIVE,
+            task_len: 1,
+            bound: 1.0 / 3.0,
+            planned_completion: 0,
+            impossible: false,
+        };
+        let back = decode_response(&encode_response(&resp)).expect("round trip");
+        let Response::Prediction { target, bound, .. } = back else {
+            unreachable!("prediction")
+        };
+        assert_eq!(target.to_bits(), f64::MIN_POSITIVE.to_bits());
+        assert_eq!(bound.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+}

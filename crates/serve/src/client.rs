@@ -1,21 +1,32 @@
-//! A blocking client for the `rushd` wire protocol.
+//! A blocking client for the `rushd` wire protocol (JSON or binary).
 
+use crate::binary::{self, Scan};
 use crate::protocol::{
     Decision, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
 };
 use crate::ServeError;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Which codec the connection negotiated.
+enum Codec {
+    /// Newline-delimited JSON frames.
+    Json,
+    /// Length-prefixed binary frames; the buffer carries bytes read past
+    /// the previous frame boundary.
+    Binary { buf: Vec<u8> },
+}
 
 /// A connected client. One request/response in flight at a time.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    codec: Codec,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon speaking the JSON protocol.
     ///
     /// # Errors
     ///
@@ -24,7 +35,41 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Ok(Client { reader: BufReader::new(stream), writer, codec: Codec::Json })
+    }
+
+    /// Connects to a daemon and negotiates the length-prefixed binary
+    /// protocol (`RUSH1` magic + version handshake).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection cannot be established or the
+    /// server closes during the handshake; [`ServeError::Wire`] when the
+    /// server's hello is malformed or no common version exists.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&binary::hello(binary::BINARY_VERSION))?;
+        writer.flush()?;
+        let mut buf = Vec::new();
+        let version = loop {
+            match binary::scan_hello(&buf).map_err(ServeError::Wire)? {
+                Scan::Done { item, consumed } => {
+                    buf.drain(..consumed);
+                    break item;
+                }
+                Scan::Incomplete => fill(&mut reader, &mut buf)?,
+            }
+        };
+        if version == 0 {
+            return Err(ServeError::Wire(WireError {
+                code: crate::protocol::ErrorCode::BadVersion,
+                message: "server offers no common binary protocol version".into(),
+            }));
+        }
+        Ok(Client { reader, writer, codec: Codec::Binary { buf } })
     }
 
     /// Sets a read timeout on the underlying socket (`None` = block
@@ -45,17 +90,40 @@ impl Client {
     /// [`ServeError::Io`] on a broken connection, [`ServeError::Wire`] when
     /// the server's reply cannot be decoded.
     pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
-        self.writer.write_all((req.encode() + "\n").as_bytes())?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ServeError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
+        match &mut self.codec {
+            Codec::Json => {
+                self.writer.write_all((req.encode() + "\n").as_bytes())?;
+                self.writer.flush()?;
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(eof());
+                }
+                Ok(Response::decode(line.trim_end())?)
+            }
+            Codec::Binary { .. } => {
+                self.writer.write_all(&binary::frame_request(req))?;
+                self.writer.flush()?;
+                self.read_binary_response()
+            }
         }
-        Ok(Response::decode(line.trim_end())?)
+    }
+
+    /// Reads one length-prefixed response frame.
+    fn read_binary_response(&mut self) -> Result<Response, ServeError> {
+        let Codec::Binary { buf } = &mut self.codec else {
+            return Err(ServeError::Config("not a binary connection".into()));
+        };
+        loop {
+            match binary::scan_frame(buf).map_err(ServeError::Wire)? {
+                Scan::Done { item, consumed } => {
+                    let resp = binary::decode_response(buf.get(item).unwrap_or(&[]))?;
+                    buf.drain(..consumed);
+                    return Ok(resp);
+                }
+                Scan::Incomplete => fill(&mut self.reader, buf)?,
+            }
+        }
     }
 
     /// Submits a job; returns `(decision, job id, epoch, waited_us)`.
@@ -148,6 +216,25 @@ impl Client {
             other => Err(unexpected(&other)),
         }
     }
+}
+
+/// Appends the reader's next chunk to `buf`; EOF is an error (we are
+/// always mid-frame when this is called).
+fn fill(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> Result<(), ServeError> {
+    let mut chunk = [0u8; 4096];
+    let n = reader.read(&mut chunk)?;
+    if n == 0 {
+        return Err(eof());
+    }
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(())
+}
+
+fn eof() -> ServeError {
+    ServeError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "server closed the connection",
+    ))
 }
 
 fn unexpected(resp: &Response) -> ServeError {

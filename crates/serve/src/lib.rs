@@ -11,6 +11,9 @@
 //! * [`protocol`] — the versioned newline-delimited request/response frames
 //!   (`submit`, `report-sample`, `query-plan`, `predict`, `cancel`,
 //!   `stats`, `shutdown`);
+//! * [`binary`] — the version-negotiated, length-prefixed binary codec
+//!   carrying the same `Request`/`Response` values (`RUSH1` magic + varint
+//!   framing); a frontend sniffs binary vs. JSON from the first byte;
 //! * [`state`] — protocol/epoch/admission bookkeeping over the shared
 //!   planner kernel ([`rush_planner::PlannerCore`]): many submissions
 //!   arriving close together are planned by **one** kernel replan;
@@ -20,9 +23,12 @@
 //! * [`snapshot`] — durable state: a graceful shutdown writes the job table
 //!   to disk and a restarted daemon reproduces the same plan (bit-identical
 //!   `η` and targets) for in-flight jobs;
-//! * [`server`] / [`client`] — the TCP daemon (thread-per-connection
-//!   workers feeding a single planner thread over a channel) and a blocking
+//! * [`server`] / [`client`] — the TCP daemon (connection frontends
+//!   feeding per-shard planner threads over channels) and a blocking
 //!   client;
+//! * [`reactor_frontend`] — the nonblocking epoll frontend: N event-loop
+//!   threads multiplexing thousands of connections with bounded in-flight
+//!   frames, write-buffer caps and slow-reader eviction;
 //! * [`loadgen`] — an open-loop Poisson load generator that measures
 //!   submit→planned latency and writes `BENCH_serve_latency.json`.
 //!
@@ -39,17 +45,19 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod binary;
 pub mod client;
 pub mod json;
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor_frontend;
 pub mod server;
 pub mod snapshot;
 pub mod state;
 
 pub use client::Client;
 pub use protocol::{Decision, ErrorCode, Request, Response, PROTOCOL_VERSION};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{serve, Frontend, ServeConfig, ServerHandle};
 pub use state::ServeState;
 
 use std::fmt;

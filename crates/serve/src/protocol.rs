@@ -26,6 +26,9 @@ pub const PROTOCOL_VERSION: u64 = 1;
 pub enum ErrorCode {
     /// The frame was not valid JSON.
     BadJson,
+    /// A binary frame was structurally malformed (truncated payload,
+    /// unknown tag, bad UTF-8) — the binary analog of [`ErrorCode::BadJson`].
+    BadFrame,
     /// The `"v"` field was missing or not a supported version.
     BadVersion,
     /// The `"op"` (or response `"kind"`) was missing or unrecognized.
@@ -48,6 +51,7 @@ impl ErrorCode {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadFrame => "bad-frame",
             ErrorCode::BadVersion => "bad-version",
             ErrorCode::BadOp => "bad-op",
             ErrorCode::BadField => "bad-field",
@@ -62,6 +66,7 @@ impl ErrorCode {
     pub fn from_wire(s: &str) -> Option<ErrorCode> {
         Some(match s {
             "bad-json" => ErrorCode::BadJson,
+            "bad-frame" => ErrorCode::BadFrame,
             "bad-version" => ErrorCode::BadVersion,
             "bad-op" => ErrorCode::BadOp,
             "bad-field" => ErrorCode::BadField,
@@ -85,7 +90,7 @@ pub struct WireError {
 }
 
 impl WireError {
-    fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+    pub(crate) fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
         WireError { code, message: message.into() }
     }
 }

@@ -1,9 +1,19 @@
 //! The `rushd` TCP daemon.
 //!
-//! Concurrency model: **thread-per-connection workers feeding a single
-//! planner thread** over an `mpsc` channel. Connection workers only parse
-//! and frame — all scheduling state lives on the planner thread, so there
-//! are no locks anywhere in the daemon.
+//! Concurrency model: connection frontends feeding **one planner thread per
+//! shard** over `mpsc` channels. Frontend code only parses and frames — all
+//! scheduling state lives on the planner threads, so there are no locks
+//! around scheduler state anywhere in the daemon. Two frontends share the
+//! routing layer:
+//!
+//! * [`Frontend::Threads`] — one blocking worker thread per connection (the
+//!   original model, kept as the differential oracle);
+//! * [`Frontend::Reactor`] — N nonblocking epoll event loops multiplexing
+//!   thousands of connections each (see [`crate::reactor_frontend`]).
+//!
+//! Both frontends speak both codecs, sniffed from the first byte of a
+//! connection: `R` opens the [`crate::binary`] `RUSH1` handshake, anything
+//! else is treated as newline-delimited JSON.
 //!
 //! **Epoch batching.** `submit` requests are not planned individually: the
 //! planner collects them until either `epoch_max_batch` submissions are
@@ -14,7 +24,11 @@
 //! client then receives its verdict, stamped with the microseconds it
 //! waited; the planner records that wait in a
 //! [`rush_metrics::Histogram`] surfaced through the load generator.
-//! Non-submit requests never wait for an epoch.
+//! Non-submit requests never wait for an epoch. The epoch deadline is
+//! enforced after **every** planner-channel turn (not only when the
+//! channel goes idle), and the reactor frontend additionally fires
+//! [`PlannerMsg::EpochTick`] from its timer wheel so deadlines hold even
+//! with zero connection activity.
 //!
 //! **Time.** The daemon quantizes its wall clock into logical slots:
 //! `now_slot = base_slot + elapsed_ms / ms_per_slot`. Plans are a pure
@@ -24,29 +38,66 @@
 //!
 //! **Shards.** With [`ServeConfig::shards`] `> 1` the daemon runs one
 //! planner thread per shard, each owning an independent [`ServeState`]
-//! over a slice of the capacity. Connection workers route submissions by
-//! label hash ([`rush_planner::shard_of_label`] — same-label jobs share a
-//! shard, so cold-start pools and epoch batching stay effective) and
-//! per-job requests by wire id. Wire ids encode the owner:
+//! over a slice of the capacity. Frontends route submissions by label hash
+//! ([`rush_planner::shard_of_label`] — same-label jobs share a shard, so
+//! cold-start pools and epoch batching stay effective) and per-job
+//! requests by wire id. Wire ids encode the owner:
 //! `wire = local * shards + shard`, which is the identity when
 //! `shards == 1`, so the single-shard daemon is bit-identical to the
 //! pre-sharding one. Cluster-wide requests (full plan table, stats,
-//! shutdown) are broadcast and merged by the connection worker.
+//! shutdown) are broadcast and merged in shard order.
 
+use crate::binary::{self, Scan};
 use crate::protocol::{ErrorCode, JobSubmission, Request, Response};
 use crate::snapshot;
 use crate::state::ServeState;
 use crate::ServeError;
 use rush_core::RushConfig;
 use rush_metrics::Histogram;
+use std::collections::VecDeque;
+use std::fmt;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Which connection frontend the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// One blocking worker thread per connection. Simple, and the
+    /// differential oracle for the reactor: both must produce identical
+    /// planner state from identical request streams.
+    Threads,
+    /// [`ServeConfig::reactors`] nonblocking epoll event loops, each
+    /// multiplexing its share of the connections (see
+    /// [`crate::reactor_frontend`]).
+    Reactor,
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "threads" => Ok(Frontend::Threads),
+            "reactor" => Ok(Frontend::Reactor),
+            other => Err(format!("unknown frontend {other:?} (expected `threads` or `reactor`)")),
+        }
+    }
+}
+
+impl fmt::Display for Frontend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Frontend::Threads => "threads",
+            Frontend::Reactor => "reactor",
+        })
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -70,6 +121,22 @@ pub struct ServeConfig {
     /// the pre-sharding daemon; more shards split the capacity and plan
     /// label-hash partitions of the jobs independently.
     pub shards: usize,
+    /// Connection frontend: blocking thread-per-connection workers or
+    /// nonblocking epoll reactors.
+    pub frontend: Frontend,
+    /// Reactor event-loop threads (reactor frontend only). Each accepts
+    /// from the shared listener and owns the connections it accepted.
+    pub reactors: usize,
+    /// Reactor backpressure: per-connection cap on requests handed to the
+    /// planner whose responses have not yet been serialized. A connection
+    /// at the cap stops being read until replies drain.
+    pub max_inflight: usize,
+    /// Reactor backpressure: hard cap in bytes on a connection's pending
+    /// write buffer. A peer that lets us buffer more than this is evicted.
+    pub max_write_buffer: usize,
+    /// Reactor backpressure: a connection whose write buffer has stayed
+    /// non-empty this many milliseconds is a slow reader and is evicted.
+    pub slow_reader_ms: u64,
     /// The scheduling pipeline's parameters.
     pub rush: RushConfig,
 }
@@ -84,17 +151,102 @@ impl Default for ServeConfig {
             ms_per_slot: 1000,
             snapshot_path: None,
             shards: 1,
+            frontend: Frontend::Threads,
+            reactors: 1,
+            max_inflight: 64,
+            max_write_buffer: 4 * 1024 * 1024,
+            slow_reader_ms: 10_000,
             rush: RushConfig::default(),
         }
     }
 }
 
-/// What connection workers send the planner.
-enum PlannerMsg {
+/// One planner reply headed back to a reactor connection.
+pub(crate) struct Completion {
+    /// Token of the connection that issued the request.
+    pub(crate) conn: u64,
+    /// Per-connection sequence number of the request (responses are
+    /// emitted in sequence order, so pipelined requests stay ordered).
+    pub(crate) seq: u64,
+    /// Shard that produced the reply (for wire-id translation and for
+    /// slotting broadcast parts).
+    pub(crate) shard: usize,
+    /// The reply itself, still carrying shard-local job ids.
+    pub(crate) resp: Response,
+}
+
+/// The reactor half of [`ReplySink`]: planner threads push completions
+/// onto the owning reactor's queue and wake its event loop.
+#[derive(Clone)]
+pub(crate) struct ReactorSink {
+    pub(crate) queue: Arc<Mutex<VecDeque<Completion>>>,
+    pub(crate) waker: Arc<rush_reactor::Waker>,
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) shard: usize,
+}
+
+/// Where a planner reply goes: the thread frontend blocks a worker on an
+/// mpsc channel; the reactor frontend enqueues a completion and wakes the
+/// owning event loop. Either way `send` never blocks the planner.
+pub(crate) enum ReplySink {
+    /// Thread frontend: a connection worker blocked on the channel.
+    Channel(Sender<Response>),
+    /// Reactor frontend: completion queue plus the loop's waker.
+    Reactor(ReactorSink),
+}
+
+impl ReplySink {
+    /// Delivers one response. Delivery failures (a vanished peer) are
+    /// dropped — the planner does not care whether anyone is listening.
+    pub(crate) fn send(self, resp: Response) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(resp);
+            }
+            ReplySink::Reactor(sink) => {
+                let completion = Completion {
+                    conn: sink.conn,
+                    seq: sink.seq,
+                    shard: sink.shard,
+                    resp,
+                };
+                if let Ok(mut queue) = sink.queue.lock() {
+                    queue.push_back(completion);
+                }
+                // The guard dropped above, before the eventfd write:
+                // never hold a lock across I/O, even a nonblocking one. A
+                // failed wake is survivable — the reactor also drains its
+                // completion queue on every loop turn.
+                let _ = sink.waker.wake();
+            }
+        }
+    }
+}
+
+/// What frontends send the planner.
+pub(crate) enum PlannerMsg {
     /// A submission waiting for its epoch.
-    Submit { sub: JobSubmission, enqueued: Instant, reply: Sender<Response> },
+    Submit {
+        /// The submission.
+        sub: JobSubmission,
+        /// When the frontend enqueued it (starts the epoch clock).
+        enqueued: Instant,
+        /// Where the verdict goes.
+        reply: ReplySink,
+    },
     /// Anything else — answered immediately.
-    Immediate { req: Request, reply: Sender<Response> },
+    Immediate {
+        /// The request, with job ids already shard-localized.
+        req: Request,
+        /// Where the answer goes.
+        reply: ReplySink,
+    },
+    /// A frontend timer tick: close the epoch if its deadline has passed.
+    /// The reactor fires one per shard every `epoch_ms` from its timer
+    /// wheel so deadlines hold even with zero connection activity; the
+    /// planner also enforces deadlines itself after every channel turn.
+    EpochTick,
 }
 
 /// A running daemon. Dropping the handle does *not* stop the daemon; send
@@ -103,7 +255,8 @@ enum PlannerMsg {
 pub struct ServerHandle {
     addr: SocketAddr,
     planners: Vec<thread::JoinHandle<Result<Histogram, ServeError>>>,
-    acceptor: thread::JoinHandle<()>,
+    frontend: Vec<thread::JoinHandle<()>>,
+    wakers: Vec<Arc<rush_reactor::Waker>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -134,12 +287,21 @@ impl ServerHandle {
                 }
             }
         }
-        // The planners exit first and flip the stop flag; the acceptor
-        // notices within one poll interval.
+        // The planners exit first and flip the stop flag; the thread
+        // acceptor notices within one poll interval, the reactors on the
+        // wake below.
         self.stop.store(true, Ordering::SeqCst);
-        self.acceptor
-            .join()
-            .map_err(|_| ServeError::Config("acceptor thread panicked".into()))?;
+        for waker in &self.wakers {
+            let _ = waker.wake();
+        }
+        let mut frontend_panic = false;
+        for t in self.frontend {
+            frontend_panic |= t.join().is_err();
+        }
+        if frontend_panic {
+            first_err =
+                first_err.or_else(|| Some(ServeError::Config("frontend thread panicked".into())));
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(merged),
@@ -171,12 +333,13 @@ fn split_capacity(total: u32, shards: usize) -> Vec<u32> {
 }
 
 /// Starts the daemon: binds `config.addr`, restores the snapshot(s) if
-/// present, and spawns one planner thread per shard plus the acceptor.
+/// present, and spawns one planner thread per shard plus the configured
+/// frontend (a thread acceptor or N epoll reactors).
 ///
 /// # Errors
 ///
 /// [`ServeError::Io`] when the bind fails, [`ServeError::Snapshot`] when a
-/// present snapshot is malformed or mismatched, [`ServeError::Core`] /
+/// present snapshot is malformed or mismatched, [`ServeError::Planner`] /
 /// [`ServeError::Config`] for invalid configuration.
 pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     if config.epoch_max_batch == 0 {
@@ -187,6 +350,12 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     }
     if config.shards == 0 {
         return Err(ServeError::Config("shards must be >= 1".into()));
+    }
+    if config.reactors == 0 {
+        return Err(ServeError::Config("reactors must be >= 1".into()));
+    }
+    if config.max_inflight == 0 {
+        return Err(ServeError::Config("max_inflight must be >= 1".into()));
     }
     if config.capacity < config.shards as u32 {
         return Err(ServeError::Config(format!(
@@ -225,13 +394,19 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
             .push(thread::spawn(move || planner_loop(shard_config, state, base_slot, &rx, &stop)));
     }
 
-    let acceptor = {
-        let stop = Arc::clone(&stop);
-        let txs = Arc::new(txs);
-        thread::spawn(move || acceptor_loop(&listener, &txs, &stop))
+    let (frontend, wakers) = match config.frontend {
+        Frontend::Threads => {
+            let stop = Arc::clone(&stop);
+            let txs = Arc::new(txs);
+            let acceptor = thread::spawn(move || acceptor_loop(&listener, &txs, &stop));
+            (vec![acceptor], Vec::new())
+        }
+        Frontend::Reactor => {
+            crate::reactor_frontend::spawn(listener, txs, &config, Arc::clone(&stop))?
+        }
     };
 
-    Ok(ServerHandle { addr, planners, acceptor, stop })
+    Ok(ServerHandle { addr, planners, frontend, wakers, stop })
 }
 
 /// The logical slot clock.
@@ -249,7 +424,7 @@ fn planner_loop(
 ) -> Result<Histogram, ServeError> {
     let started = Instant::now();
     let mut waits = Histogram::new();
-    let mut pending: Vec<(JobSubmission, Instant, Sender<Response>)> = Vec::new();
+    let mut pending: Vec<(JobSubmission, Instant, ReplySink)> = Vec::new();
     let mut epoch_deadline: Option<Instant> = None;
     let idle_tick = Duration::from_millis(200);
 
@@ -280,23 +455,30 @@ fn planner_loop(
                         (Some(p), true) => snapshot::write(p, &state, slot).is_ok(),
                         _ => false,
                     };
-                    let _ = reply.send(Response::ShuttingDown { snapshot_written: written });
+                    reply.send(Response::ShuttingDown { snapshot_written: written });
                     stop.store(true, Ordering::SeqCst);
                     return Ok(waits);
                 }
                 let slot = now_slot(base_slot, started, config.ms_per_slot);
-                let _ = reply.send(answer_immediate(&mut state, req, slot));
+                reply.send(answer_immediate(&mut state, req, slot));
             }
+            // The tick itself carries no work; the deadline check below
+            // (which runs on every turn) does the closing.
+            Ok(PlannerMsg::EpochTick) => {}
             Err(RecvTimeoutError::Timeout) => {
-                if epoch_deadline.is_some_and(|d| Instant::now() >= d) {
-                    close_epoch(&config, &mut state, base_slot, started, &mut pending, &mut waits)?;
-                    epoch_deadline = None;
-                }
                 if stop.load(Ordering::SeqCst) {
                     return Ok(waits);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => return Ok(waits),
+        }
+        // Enforce the epoch deadline after *every* turn, not only when
+        // the channel goes idle: a steady stream of immediate requests
+        // used to starve a pending batch indefinitely because the
+        // deadline was consulted only on the `recv_timeout` Timeout arm.
+        if epoch_deadline.is_some_and(|d| Instant::now() >= d) {
+            close_epoch(&config, &mut state, base_slot, started, &mut pending, &mut waits)?;
+            epoch_deadline = None;
         }
     }
 }
@@ -308,7 +490,7 @@ fn close_epoch(
     state: &mut ServeState,
     base_slot: u64,
     started: Instant,
-    pending: &mut Vec<(JobSubmission, Instant, Sender<Response>)>,
+    pending: &mut Vec<(JobSubmission, Instant, ReplySink)>,
     waits: &mut Histogram,
 ) -> Result<(), ServeError> {
     if pending.is_empty() {
@@ -319,10 +501,10 @@ fn close_epoch(
     let subs = batch.iter().map(|(sub, _, _)| sub.clone()).collect();
     let verdicts = state.submit_epoch(subs, slot)?;
     let epoch = state.counters().epochs;
-    for ((_, enqueued, reply), (decision, id)) in batch.iter().zip(verdicts) {
+    for ((_, enqueued, reply), (decision, id)) in batch.into_iter().zip(verdicts) {
         let waited_us = enqueued.elapsed().as_micros() as u64;
         waits.record(waited_us);
-        let _ = reply.send(Response::Submitted { job: id, decision, epoch, waited_us });
+        reply.send(Response::Submitted { job: id, decision, epoch, waited_us });
     }
     Ok(())
 }
@@ -395,7 +577,7 @@ fn local_to_wire(job: u64, shard: usize, shards: usize) -> u64 {
 }
 
 /// Rewrites the shard-local job ids of a planner reply to wire ids.
-fn encode_response(mut resp: Response, shard: usize, shards: usize) -> Response {
+pub(crate) fn encode_response(mut resp: Response, shard: usize, shards: usize) -> Response {
     match &mut resp {
         Response::Submitted { job, .. } => {
             *job = job.map(|j| local_to_wire(j, shard, shards));
@@ -416,18 +598,72 @@ fn encode_response(mut resp: Response, shard: usize, shards: usize) -> Response 
     resp
 }
 
+/// Where one decoded request goes, with wire job ids already rewritten to
+/// shard-local ids. Shared by both frontends so routing semantics cannot
+/// drift between them.
+pub(crate) enum Routed {
+    /// An epoch-batched submission for one shard.
+    Submit {
+        /// Label-hash shard that owns the submission.
+        shard: usize,
+        /// The submission itself.
+        sub: JobSubmission,
+    },
+    /// An immediately-answered request for one shard.
+    Single {
+        /// The wire id's owner shard.
+        shard: usize,
+        /// The request, with job ids localized.
+        req: Request,
+    },
+    /// A cluster-wide request: ask every shard, merge in shard order.
+    Broadcast {
+        /// The request, forwarded verbatim to each shard.
+        req: Request,
+    },
+}
+
+/// Routes one decoded request: picks the owning shard(s) and localizes
+/// wire job ids.
+pub(crate) fn route(req: Request, shards: usize) -> Routed {
+    match req {
+        Request::Submit(sub) => {
+            Routed::Submit { shard: rush_planner::shard_of_label(&sub.label, shards), sub }
+        }
+        Request::ReportSample { job, runtime } => Routed::Single {
+            shard: wire_shard(job, shards),
+            req: Request::ReportSample { job: wire_to_local(job, shards), runtime },
+        },
+        Request::QueryPlan { job: Some(job) } => Routed::Single {
+            shard: wire_shard(job, shards),
+            req: Request::QueryPlan { job: Some(wire_to_local(job, shards)) },
+        },
+        Request::Predict { job } => Routed::Single {
+            shard: wire_shard(job, shards),
+            req: Request::Predict { job: wire_to_local(job, shards) },
+        },
+        Request::Cancel { job } => Routed::Single {
+            shard: wire_shard(job, shards),
+            req: Request::Cancel { job: wire_to_local(job, shards) },
+        },
+        Request::QueryPlan { job: None } | Request::Stats | Request::Shutdown { .. } => {
+            Routed::Broadcast { req }
+        }
+    }
+}
+
 /// Sends one request to one shard's planner and waits for the reply, with
 /// wire-id translation on both legs.
 fn ask_shard(
     txs: &[Sender<PlannerMsg>],
     shard: usize,
-    make: impl FnOnce(Sender<Response>) -> PlannerMsg,
+    make: impl FnOnce(ReplySink) -> PlannerMsg,
 ) -> Response {
     let (reply_tx, reply_rx) = mpsc::channel();
     let Some(tx) = txs.get(shard) else {
         return Response::error(ErrorCode::Internal, "shard index out of range");
     };
-    if tx.send(make(reply_tx)).is_err() {
+    if tx.send(make(ReplySink::Channel(reply_tx))).is_err() {
         return Response::error(ErrorCode::Shutdown, "daemon is shutting down");
     }
     match reply_rx.recv() {
@@ -436,101 +672,104 @@ fn ask_shard(
     }
 }
 
+/// Folds one shard's reply into the running broadcast merge: plan tables
+/// concatenate (ids already translated per shard), stats sum their
+/// counters, shutdown acknowledgments AND their snapshot flags. The first
+/// error reply wins — callers must fold in shard order so "first" is
+/// deterministic across frontends.
+pub(crate) fn merge_pair(merged: Option<Response>, resp: Response) -> Response {
+    match (merged, resp) {
+        (None, r) => r,
+        (Some(e @ Response::Error(_)), _) => e,
+        (Some(_), e @ Response::Error(_)) => e,
+        (
+            Some(Response::PlanTable { now_slot, epoch, mut rows }),
+            Response::PlanTable { now_slot: ns, epoch: ep, rows: more },
+        ) => {
+            rows.extend(more);
+            Response::PlanTable {
+                now_slot: now_slot.max(ns),
+                epoch: epoch + ep,
+                rows,
+            }
+        }
+        (Some(Response::Stats(mut a)), Response::Stats(b)) => {
+            a.active_jobs += b.active_jobs;
+            a.deferred_jobs += b.deferred_jobs;
+            a.epochs += b.epochs;
+            a.admitted += b.admitted;
+            a.deferred += b.deferred;
+            a.rejected += b.rejected;
+            a.cancelled += b.cancelled;
+            a.completed += b.completed;
+            a.samples += b.samples;
+            a.cache_hits += b.cache_hits;
+            a.cache_misses += b.cache_misses;
+            a.now_slot = a.now_slot.max(b.now_slot);
+            Response::Stats(a)
+        }
+        (
+            Some(Response::ShuttingDown { snapshot_written }),
+            Response::ShuttingDown { snapshot_written: w },
+        ) => Response::ShuttingDown { snapshot_written: snapshot_written && w },
+        // Mixed reply kinds (a shard racing shutdown): keep the first.
+        (Some(first), _) => first,
+    }
+}
+
 /// Broadcasts a cluster-wide request to every shard and merges the
-/// replies: plan tables concatenate (ids translated per shard), stats sum
-/// their counters, shutdown acknowledgments AND their snapshot flags. The
-/// first error reply, if any, wins.
+/// replies in shard order (see [`merge_pair`]).
 fn broadcast(txs: &[Sender<PlannerMsg>], req: &Request) -> Response {
     let shards = txs.len();
     let mut merged: Option<Response> = None;
     for shard in 0..shards {
         let resp = ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req: req.clone(), reply });
-        merged = Some(match (merged, resp) {
-            (None, r) => r,
-            (Some(e @ Response::Error(_)), _) => e,
-            (Some(_), e @ Response::Error(_)) => e,
-            (
-                Some(Response::PlanTable { now_slot, epoch, mut rows }),
-                Response::PlanTable { now_slot: ns, epoch: ep, rows: more },
-            ) => {
-                rows.extend(more);
-                Response::PlanTable {
-                    now_slot: now_slot.max(ns),
-                    epoch: epoch + ep,
-                    rows,
-                }
-            }
-            (Some(Response::Stats(mut a)), Response::Stats(b)) => {
-                a.active_jobs += b.active_jobs;
-                a.deferred_jobs += b.deferred_jobs;
-                a.epochs += b.epochs;
-                a.admitted += b.admitted;
-                a.deferred += b.deferred;
-                a.rejected += b.rejected;
-                a.cancelled += b.cancelled;
-                a.completed += b.completed;
-                a.samples += b.samples;
-                a.cache_hits += b.cache_hits;
-                a.cache_misses += b.cache_misses;
-                a.now_slot = a.now_slot.max(b.now_slot);
-                Response::Stats(a)
-            }
-            (
-                Some(Response::ShuttingDown { snapshot_written }),
-                Response::ShuttingDown { snapshot_written: w },
-            ) => Response::ShuttingDown { snapshot_written: snapshot_written && w },
-            // Mixed reply kinds (a shard racing shutdown): keep the first.
-            (Some(first), _) => first,
-        });
+        merged = Some(merge_pair(merged, resp));
     }
     merged.unwrap_or_else(|| Response::error(ErrorCode::Internal, "no planner shards"))
 }
 
-/// Routes one decoded request to its shard(s).
+/// Routes one decoded request to its shard(s), blocking until the reply.
 fn route_request(txs: &[Sender<PlannerMsg>], req: Request) -> Response {
-    let shards = txs.len();
-    match req {
-        Request::Submit(sub) => {
-            let shard = rush_planner::shard_of_label(&sub.label, shards);
-            ask_shard(txs, shard, |reply| PlannerMsg::Submit {
-                sub,
-                enqueued: Instant::now(),
-                reply,
-            })
-        }
-        Request::ReportSample { job, runtime } => {
-            let shard = wire_shard(job, shards);
-            let req = Request::ReportSample { job: wire_to_local(job, shards), runtime };
+    match route(req, txs.len()) {
+        Routed::Submit { shard, sub } => ask_shard(txs, shard, |reply| PlannerMsg::Submit {
+            sub,
+            enqueued: Instant::now(),
+            reply,
+        }),
+        Routed::Single { shard, req } => {
             ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
         }
-        Request::QueryPlan { job: Some(job) } => {
-            let shard = wire_shard(job, shards);
-            let req = Request::QueryPlan { job: Some(wire_to_local(job, shards)) };
-            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
-        }
-        Request::Predict { job } => {
-            let shard = wire_shard(job, shards);
-            let req = Request::Predict { job: wire_to_local(job, shards) };
-            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
-        }
-        Request::Cancel { job } => {
-            let shard = wire_shard(job, shards);
-            let req = Request::Cancel { job: wire_to_local(job, shards) };
-            ask_shard(txs, shard, |reply| PlannerMsg::Immediate { req, reply })
-        }
-        Request::QueryPlan { job: None } | Request::Stats | Request::Shutdown { .. } => {
-            broadcast(txs, &req)
-        }
+        Routed::Broadcast { req } => broadcast(txs, &req),
     }
 }
 
-/// One connection: read request lines, route to the planner shard(s),
-/// write response lines. Malformed frames get structured error responses
-/// and the connection stays open.
+/// One thread-frontend connection. The first byte picks the codec: `R`
+/// opens the binary `RUSH1` handshake, anything else is newline JSON.
 fn connection_loop(stream: TcpStream, txs: &[Sender<PlannerMsg>]) {
-    let Ok(write_half) = stream.try_clone() else { return };
-    let mut writer = write_half;
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
+    let first = loop {
+        match reader.fill_buf() {
+            Ok([]) => return,
+            // bound: the Ok([]) arm above means buf is non-empty here
+            Ok(buf) => break buf[0],
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    };
+    // bound: MAGIC is a non-empty const (b"RUSH1")
+    if first == binary::MAGIC[0] {
+        binary_connection_loop(reader, txs);
+    } else {
+        json_connection_loop(reader, txs);
+    }
+}
+
+/// Newline-delimited JSON: read request lines, route, write response
+/// lines. Malformed frames get structured error responses and the
+/// connection stays open.
+fn json_connection_loop(reader: BufReader<TcpStream>, txs: &[Sender<PlannerMsg>]) {
+    let Ok(mut writer) = reader.get_ref().try_clone() else { return };
     for line in reader.lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
@@ -546,6 +785,82 @@ fn connection_loop(stream: TcpStream, txs: &[Sender<PlannerMsg>]) {
         }
         if writer.flush().is_err() || done {
             return;
+        }
+    }
+}
+
+/// Appends the reader's next chunk to `buf`. Returns `false` on EOF or a
+/// connection error.
+fn fill(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> bool {
+    match reader.fill_buf() {
+        Ok([]) => false,
+        Ok(chunk) => {
+            let n = chunk.len();
+            buf.extend_from_slice(chunk);
+            reader.consume(n);
+            true
+        }
+        Err(e) if e.kind() == ErrorKind::Interrupted => true,
+        Err(_) => false,
+    }
+}
+
+/// Length-prefixed binary: version handshake, then framed requests in and
+/// framed responses out. Payload decode errors get structured error
+/// responses (the connection survives); framing errors are fatal — the
+/// error is reported and the connection closed, because a broken length
+/// prefix leaves no resynchronization point.
+fn binary_connection_loop(mut reader: BufReader<TcpStream>, txs: &[Sender<PlannerMsg>]) {
+    let Ok(mut writer) = reader.get_ref().try_clone() else { return };
+    let mut buf: Vec<u8> = Vec::new();
+    let client_max = loop {
+        match binary::scan_hello(&buf) {
+            Ok(Scan::Done { item, consumed }) => {
+                buf.drain(..consumed);
+                break item;
+            }
+            Ok(Scan::Incomplete) => {
+                if !fill(&mut reader, &mut buf) {
+                    return;
+                }
+            }
+            // A corrupt hello (bad magic) has no framing to reply within.
+            Err(_) => return,
+        }
+    };
+    let agreed = binary::negotiate(client_max);
+    if writer.write_all(&binary::hello(agreed)).is_err() || writer.flush().is_err() {
+        return;
+    }
+    if agreed == 0 {
+        return; // no common protocol version
+    }
+    loop {
+        match binary::scan_frame(&buf) {
+            Ok(Scan::Done { item, consumed }) => {
+                let response = match binary::decode_request(buf.get(item).unwrap_or(&[])) {
+                    Err(e) => Response::Error(e),
+                    Ok(req) => route_request(txs, req),
+                };
+                buf.drain(..consumed);
+                let done = matches!(response, Response::ShuttingDown { .. });
+                if writer.write_all(&binary::frame_response(&response)).is_err()
+                    || writer.flush().is_err()
+                    || done
+                {
+                    return;
+                }
+            }
+            Ok(Scan::Incomplete) => {
+                if !fill(&mut reader, &mut buf) {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = writer.write_all(&binary::frame_response(&Response::Error(e)));
+                let _ = writer.flush();
+                return;
+            }
         }
     }
 }

@@ -1,8 +1,10 @@
-//! Fixture tests for malformed wire frames: every one must produce a
-//! *structured* error with the right [`ErrorCode`] — never a panic, and
-//! never a silently-coerced value. The live-daemon halves of these cases
-//! (connection survives a bad frame) are in `server_e2e.rs`.
+//! Fixture tests for malformed wire frames — JSON and binary: every one
+//! must produce a *structured* error with the right [`ErrorCode`] — never
+//! a panic, and never a silently-coerced value. The live-daemon halves of
+//! these cases (connection survives a bad frame; framing errors are
+//! connection-fatal) are in `server_e2e.rs` and `reactor_e2e.rs`.
 
+use rush_serve::binary::{self, Scan};
 use rush_serve::protocol::{ErrorCode, Request, Response};
 
 fn code_of(line: &str) -> ErrorCode {
@@ -122,6 +124,119 @@ fn error_messages_locate_the_problem() {
     assert!(e.message.contains("tasks"), "message should name the field: {e}");
     let e = Request::decode("{\"v\":1,\"op\"").expect_err("rejected");
     assert!(e.message.contains("byte"), "json errors carry a position: {e}");
+}
+
+#[test]
+fn binary_bad_magic_is_connection_fatal() {
+    // Wrong magic: the peer is not speaking RUSH1 at all.
+    let e = binary::scan_hello(b"RUSX1\x01").expect_err("bad magic");
+    assert_eq!(e.code, ErrorCode::BadFrame);
+    // A JSON frame's first byte is `{`, never `R`: the codec sniff in the
+    // frontends is unambiguous, and feeding JSON to the hello scanner is
+    // caught immediately.
+    assert_eq!(binary::scan_hello(br#"{"v":1,"op":"stats"}"#).expect_err("json").code, ErrorCode::BadFrame);
+}
+
+#[test]
+fn binary_truncated_hello_waits_for_more() {
+    let hello = binary::hello(binary::BINARY_VERSION);
+    for cut in 0..hello.len() {
+        assert_eq!(
+            binary::scan_hello(&hello[..cut]).expect("prefix of a valid hello"),
+            Scan::Incomplete,
+            "cut at {cut}"
+        );
+    }
+    match binary::scan_hello(&hello).expect("complete hello") {
+        Scan::Done { item, consumed } => {
+            assert_eq!(item, binary::BINARY_VERSION);
+            assert_eq!(consumed, hello.len());
+        }
+        Scan::Incomplete => panic!("complete hello must scan"),
+    }
+}
+
+#[test]
+fn binary_version_mismatch_negotiates_to_zero() {
+    assert_eq!(binary::negotiate(0), 0, "a client offering nothing gets nothing");
+    assert_eq!(binary::negotiate(binary::BINARY_VERSION), binary::BINARY_VERSION);
+    assert_eq!(binary::negotiate(250), binary::BINARY_VERSION, "future client downgrades");
+    // The zero verdict survives the hello round trip: the client can tell
+    // "no common version" apart from any negotiated one.
+    match binary::scan_hello(&binary::hello(0)).expect("hello") {
+        Scan::Done { item, .. } => assert_eq!(item, 0),
+        Scan::Incomplete => panic!("complete hello must scan"),
+    }
+}
+
+#[test]
+fn binary_truncated_length_prefix_waits_for_more() {
+    let frame = binary::frame_request(&Request::Stats);
+    for cut in 0..frame.len() {
+        assert_eq!(
+            binary::scan_frame(&frame[..cut]).expect("prefix of a valid frame"),
+            Scan::Incomplete,
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn binary_oversized_frame_is_fatal() {
+    // A varint length prefix announcing one byte more than the cap.
+    let mut prefix = Vec::new();
+    let mut n = binary::MAX_FRAME_LEN + 1;
+    while n >= 0x80 {
+        prefix.push((n as u8 & 0x7f) | 0x80);
+        n >>= 7;
+    }
+    prefix.push(n as u8);
+    let e = binary::scan_frame(&prefix).expect_err("oversized frame");
+    assert_eq!(e.code, ErrorCode::BadFrame);
+}
+
+#[test]
+fn binary_runaway_length_prefix_is_fatal() {
+    // Endless continuation bits: the scanner must give up rather than
+    // wait for bytes that cannot complete a legal length.
+    let e = binary::scan_frame(&[0x80u8; 11]).expect_err("runaway varint");
+    assert_eq!(e.code, ErrorCode::BadFrame);
+}
+
+#[test]
+fn binary_unknown_tags_and_empty_payloads_are_structured_errors() {
+    assert_eq!(binary::decode_request(&[]).expect_err("empty").code, ErrorCode::BadFrame);
+    assert_eq!(binary::decode_request(&[0xEE]).expect_err("unknown tag").code, ErrorCode::BadOp);
+    assert!(binary::decode_response(&[]).is_err());
+    assert!(binary::decode_response(&[0xEE]).is_err());
+}
+
+#[test]
+fn binary_trailing_bytes_in_a_payload_are_rejected() {
+    let mut payload = binary::encode_request(&Request::Stats);
+    payload.push(0);
+    assert_eq!(binary::decode_request(&payload).expect_err("trailing byte").code, ErrorCode::BadFrame);
+}
+
+#[test]
+fn binary_field_validation_matches_the_json_codec() {
+    // The binary decoder applies the same semantic validation as JSON:
+    // zero tasks must draw `bad-field`, not a structural error. Encode a
+    // valid submit, then surgically zero the tasks varint (it follows the
+    // 1-byte label-length prefix + label).
+    let sub = rush_serve::protocol::JobSubmission {
+        label: "x".into(),
+        tasks: 1,
+        runtime_hint: None,
+        utility: rush_utility::TimeUtility::constant(1.0).expect("valid"),
+        budget: None,
+        priority: 1,
+    };
+    let mut payload = binary::encode_request(&Request::Submit(sub));
+    // payload = [tag, label_len=1, 'x', tasks=1, ...]
+    assert_eq!(payload[3], 1, "tasks varint sits after the 1-byte label");
+    payload[3] = 0;
+    assert_eq!(binary::decode_request(&payload).expect_err("zero tasks").code, ErrorCode::BadField);
 }
 
 #[test]

@@ -1,9 +1,15 @@
-//! Property tests for the wire codec: every request and response variant
+//! Property tests for the wire codecs: every request and response variant
 //! must survive encode → decode unchanged (PartialEq, which for the float
 //! fields means bit-identical thanks to shortest-round-trip `f64`
 //! formatting on both the JSON layer and the utility text form).
+//!
+//! One strategy corpus feeds **both** codecs: each variant round-trips
+//! through the newline-JSON codec and the length-prefixed binary codec,
+//! and a differential property asserts the two decoders produce identical
+//! values from their respective encodings of the same frame.
 
 use proptest::prelude::*;
+use rush_serve::binary::{self, Scan};
 use rush_serve::protocol::{
     Decision, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
 };
@@ -98,6 +104,7 @@ fn decision_strategy() -> BoxedStrategy<Decision> {
 fn error_code_strategy() -> BoxedStrategy<ErrorCode> {
     prop_oneof![
         Just(ErrorCode::BadJson),
+        Just(ErrorCode::BadFrame),
         Just(ErrorCode::BadVersion),
         Just(ErrorCode::BadOp),
         Just(ErrorCode::BadField),
@@ -213,6 +220,77 @@ proptest! {
         }
         if cut < line.len() {
             let e = Request::decode(&line[..cut]);
+            prop_assert!(e.is_err(), "truncation at {} decoded: {:?}", cut, e);
+        }
+    }
+
+    /// Differential: the JSON and binary codecs decode their respective
+    /// encodings of the same request to identical values.
+    #[test]
+    fn request_codecs_agree(req in request_strategy()) {
+        let via_json = Request::decode(&req.encode());
+        prop_assert!(via_json.is_ok(), "json decode failed: {:?}", via_json);
+        let via_binary = binary::decode_request(&binary::encode_request(&req));
+        prop_assert!(via_binary.is_ok(), "binary decode failed: {:?}", via_binary);
+        let via_binary = via_binary.expect("checked ok");
+        prop_assert_eq!(via_json.expect("checked ok"), via_binary.clone());
+        prop_assert_eq!(req, via_binary);
+    }
+
+    /// Differential: the JSON and binary codecs decode their respective
+    /// encodings of the same response to identical values.
+    #[test]
+    fn response_codecs_agree(resp in response_strategy()) {
+        let via_json = Response::decode(&resp.encode());
+        prop_assert!(via_json.is_ok(), "json decode failed: {:?}", via_json);
+        let via_binary = binary::decode_response(&binary::encode_response(&resp));
+        prop_assert!(via_binary.is_ok(), "binary decode failed: {:?}", via_binary);
+        let via_binary = via_binary.expect("checked ok");
+        prop_assert_eq!(via_json.expect("checked ok"), via_binary.clone());
+        prop_assert_eq!(resp, via_binary);
+    }
+
+    /// A complete binary frame scans back exactly, and every proper prefix
+    /// is `Incomplete` — the incremental scanner never misparses a frame
+    /// boundary mid-stream.
+    #[test]
+    fn binary_frames_scan_incrementally(req in request_strategy()) {
+        let frame = binary::frame_request(&req);
+        for cut in 0..frame.len() {
+            let scan = binary::scan_frame(&frame[..cut]);
+            prop_assert_eq!(scan, Ok(Scan::Incomplete), "cut at {}", cut);
+        }
+        match binary::scan_frame(&frame) {
+            Ok(Scan::Done { item, consumed }) => {
+                prop_assert_eq!(consumed, frame.len(), "one frame, nothing left over");
+                let back = binary::decode_request(&frame[item]);
+                prop_assert!(back.is_ok(), "framed payload must decode: {:?}", back);
+                prop_assert_eq!(req, back.expect("checked ok"));
+            }
+            other => prop_assert!(false, "complete frame must scan Done: {:?}", other),
+        }
+    }
+
+    /// Truncating a binary request payload anywhere yields a structured
+    /// error, never a panic or a silently shorter value (the payload
+    /// reader demands exact consumption).
+    #[test]
+    fn truncated_binary_requests_never_panic(req in request_strategy(), frac in 0.0f64..1.0) {
+        let payload = binary::encode_request(&req);
+        let cut = (payload.len() as f64 * frac) as usize;
+        if cut < payload.len() {
+            let e = binary::decode_request(&payload[..cut]);
+            prop_assert!(e.is_err(), "truncation at {} decoded: {:?}", cut, e);
+        }
+    }
+
+    /// The response payload decoder has the same truncation contract.
+    #[test]
+    fn truncated_binary_responses_never_panic(resp in response_strategy(), frac in 0.0f64..1.0) {
+        let payload = binary::encode_response(&resp);
+        let cut = (payload.len() as f64 * frac) as usize;
+        if cut < payload.len() {
+            let e = binary::decode_response(&payload[..cut]);
             prop_assert!(e.is_err(), "truncation at {} decoded: {:?}", cut, e);
         }
     }

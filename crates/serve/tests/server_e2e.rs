@@ -17,9 +17,7 @@ fn test_config() -> ServeConfig {
         epoch_max_batch: 8,
         epoch_ms: 10,
         ms_per_slot: 3_600_000,
-        snapshot_path: None,
-        shards: 1,
-        rush: rush_core::RushConfig::default(),
+        ..ServeConfig::default()
     }
 }
 

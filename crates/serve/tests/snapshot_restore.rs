@@ -35,8 +35,7 @@ fn config(snapshot: PathBuf) -> ServeConfig {
         // of the test, on both sides of the restart.
         ms_per_slot: 3_600_000,
         snapshot_path: Some(snapshot),
-        shards: 1,
-        rush: rush_core::RushConfig::default(),
+        ..ServeConfig::default()
     }
 }
 

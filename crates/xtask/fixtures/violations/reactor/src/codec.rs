@@ -1,0 +1,17 @@
+//! Declared `panic-free` in the manifest: the wire decoder runs on the
+//! event loop against untrusted bytes, so every function here must return
+//! errors. Both the bare index and the unwrap are findings; the test
+//! module is exempt.
+
+pub fn decode(payload: &[u8]) -> u64 {
+    let tag = payload[0];
+    u64::from(tag).checked_add(1).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_may_panic() {
+        assert_eq!(super::decode(&[1]), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! RUSH-L013 fixture: blocking primitives reachable from the declared
+//! event loops. The deep lint must walk the call graph from
+//! `EventLoop::run` (a `Type::name` entry) and `drive` (a bare-name
+//! entry) and report each blocking call with a witness path;
+//! `maintenance` is never reached and must stay silent.
+
+mod codec;
+
+pub struct EventLoop {
+    pub queue: std::sync::mpsc::Receiver<u64>,
+}
+
+impl EventLoop {
+    pub fn run(&mut self) {
+        loop {
+            self.tick();
+        }
+    }
+
+    fn tick(&mut self) {
+        backoff();
+        let _ = self.queue.recv();
+    }
+}
+
+/// A bare-name root: an open-loop client driver that writes synchronously.
+pub fn drive(stream: &mut std::net::TcpStream) {
+    use std::io::Write;
+    stream.write_all(&[0]).ok();
+}
+
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+/// Never reachable from a declared loop: blocking here is NOT a finding.
+pub fn maintenance(handle: std::thread::JoinHandle<()>) {
+    handle.join().ok();
+}

@@ -1,6 +1,6 @@
-//! The deep lint pass: RUSH-L009 … RUSH-L012 over the workspace model.
+//! The deep lint pass: RUSH-L009 … RUSH-L013 over the workspace model.
 //!
-//! Shallow rules look at one token stream at a time; these four consume
+//! Shallow rules look at one token stream at a time; these rules consume
 //! the [`crate::model::WorkspaceModel`] — the symbol table, the name-based
 //! call graph, the per-function lock dataflow summaries, and the protocol
 //! metadata — so they can state *cross-function* properties:
@@ -12,7 +12,9 @@
 //! * **RUSH-L011** — a globally consistent lock-acquisition order and no
 //!   lock held across socket I/O or planner fan-out;
 //! * **RUSH-L012** — every protocol-enum variant covered on every declared
-//!   protocol surface, and no wildcard arms that would swallow new ones.
+//!   protocol surface, and no wildcard arms that would swallow new ones;
+//! * **RUSH-L013** — no blocking primitive reachable from a declared
+//!   reactor event loop, and declared codec files panic-free.
 //!
 //! Suppression matches the shallow engine: inline
 //! `// rush-lint: allow(CODE)` pragmas (own line + next line) and the
@@ -36,6 +38,15 @@ const IO_METHODS: &[&str] = &[
 /// dispatch to per-shard planner threads and block on the slowest shard.
 const FANOUT_FNS: &[&str] = &["plan_at", "plan_roster"];
 
+/// Blocking primitives that must be unreachable from a reactor event
+/// loop (RUSH-L013). Deliberately narrower than [`IO_METHODS`]: `send`
+/// on an unbounded channel, `accept`/`read`/`write` on a nonblocking fd
+/// and `epoll_wait` with a timeout are the loop's bread and butter.
+const BLOCKING_FNS: &[&str] = &[
+    "sleep", "recv", "recv_timeout", "join", "park", "park_timeout", "write_all",
+    "write_fmt", "read_exact", "read_line", "read_to_end", "read_to_string",
+];
+
 /// Run the deep rules, appending suppressed-aware findings to `report`.
 pub fn check(model: &WorkspaceModel, allow: &Allowlist, report: &mut Report) {
     let mut pending: Vec<Finding> = Vec::new();
@@ -43,6 +54,7 @@ pub fn check(model: &WorkspaceModel, allow: &Allowlist, report: &mut Report) {
     check_arith_hygiene(model, &mut pending);
     check_lock_discipline(model, &mut pending);
     check_protocol_exhaustiveness(model, &mut pending);
+    check_reactor_discipline(model, &mut pending);
 
     // Suppression: pragmas (own line + previous line) and allowlist.
     // RUSH-L009 shares RUSH-L003's escape hatch (both are panic hygiene).
@@ -51,6 +63,7 @@ pub fn check(model: &WorkspaceModel, allow: &Allowlist, report: &mut Report) {
             Rule::PanicReachability => &["RUSH-L009", "RUSH-L003"],
             Rule::ArithHygiene => &["RUSH-L010"],
             Rule::LockDiscipline => &["RUSH-L011"],
+            Rule::ReactorDiscipline => &["RUSH-L013"],
             _ => &["RUSH-L012"],
         };
         let fm = model.files.iter().find(|f| f.rel_path == finding.file);
@@ -451,6 +464,114 @@ fn check_protocol_exhaustiveness(model: &WorkspaceModel, out: &mut Vec<Finding>)
     }
 }
 
+// ---- RUSH-L013: reactor discipline -------------------------------------
+
+/// Does `f` match a `reactor-loops` entry? `Type::name` requires a method
+/// of `Type`; a bare name matches any function with that name.
+fn matches_loop_entry(f: &FnInfo, entry: &str) -> bool {
+    match entry.split_once("::") {
+        Some((ty, name)) => f.self_type.as_deref() == Some(ty) && f.name == name,
+        None => f.name == entry,
+    }
+}
+
+fn check_reactor_discipline(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    // (1) Blocking reachability from the declared event loops, on the
+    // same over-approximate call graph L009 walks.
+    let idx = CallIndex::build(model);
+    let roots: Vec<usize> = model
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.is_test
+                && model.files[f.file]
+                    .reactor_loops
+                    .iter()
+                    .any(|e| matches_loop_entry(f, e))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if !roots.is_empty() {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for call in &model.fns[cur].calls {
+                for &next in idx.resolve(&call.target) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(next) {
+                        e.insert(Some(cur));
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        for &fi in parent.keys() {
+            let f = &model.fns[fi];
+            if !fn_is_live(model, f) && !roots.contains(&fi) {
+                continue;
+            }
+            let fm = &model.files[f.file];
+            for call in &f.calls {
+                let callee = match &call.target {
+                    CallTarget::Free(n) | CallTarget::Method(n) | CallTarget::Assoc(_, n) => n,
+                };
+                if BLOCKING_FNS.contains(&callee.as_str()) {
+                    let path = witness_path(model, &parent, fi);
+                    out.push(Finding {
+                        rule: Rule::ReactorDiscipline,
+                        file: fm.rel_path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "blocking `{callee}` in `{}`, reachable from a reactor event loop via {path}",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // (2) Panic freedom of the declared codec files: the wire decoders
+    // run on the event loop against attacker-controlled bytes.
+    for f in &model.fns {
+        let fm = &model.files[f.file];
+        if f.is_test || fm.is_shim || !fm.panic_free.iter().any(|p| p == &fm.crate_rel) {
+            continue;
+        }
+        for p in &f.panics {
+            let what = match &p.kind {
+                PanicKind::Macro(m) => format!("`{m}!`"),
+                PanicKind::Unwrap => "`.unwrap()`".to_string(),
+                PanicKind::Expect => "`.expect(..)`".to_string(),
+                PanicKind::Index { literal } => {
+                    if *literal
+                        && (fm.bound_lines.contains(&p.line)
+                            || fm.bound_lines.contains(&p.line.saturating_sub(1)))
+                    {
+                        continue;
+                    }
+                    "`[]` indexing".to_string()
+                }
+            };
+            out.push(Finding {
+                rule: Rule::ReactorDiscipline,
+                file: fm.rel_path.clone(),
+                line: p.line,
+                message: format!(
+                    "{what} in `{}` of panic-free file `{}` — wire codecs must return errors, never panic",
+                    f.name, fm.crate_rel
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,6 +741,79 @@ mod tests {
             "{:?}",
             rep.findings
         );
+    }
+
+    const REACTOR_MANIFEST: &str = "[package]\nname = \"x\"\n\
+        [package.metadata.rush-lint]\nreactor-loops = [\"Reactor::run\"]\n";
+
+    #[test]
+    fn l013_reports_blocking_call_with_path() {
+        let rep = run(
+            "struct Reactor;\n\
+             impl Reactor {\n\
+                 pub fn run(&mut self) { self.tick(); }\n\
+                 fn tick(&self) { helper(); }\n\
+             }\n\
+             fn helper() { std::thread::sleep(std::time::Duration::from_millis(5)); }\n\
+             fn unreached(s: &mut W) { s.write_all(&[0]).ok(); }\n",
+            REACTOR_MANIFEST,
+        );
+        let l13: Vec<_> = rep
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::ReactorDiscipline)
+            .collect();
+        assert_eq!(l13.len(), 1, "{:?}", rep.findings);
+        assert!(l13[0].message.contains("blocking `sleep`"));
+        assert!(l13[0].message.contains("run -> tick -> helper"));
+        assert_eq!(l13[0].line, 6);
+    }
+
+    #[test]
+    fn l013_nonblocking_loop_is_clean() {
+        let rep = run(
+            "struct Reactor;\n\
+             impl Reactor {\n\
+                 pub fn run(&mut self) {\n\
+                     let evs = self.poller.wait(timeout);\n\
+                     let _ = self.tx.send(msg);\n\
+                     let n = self.stream.read(&mut buf);\n\
+                     let _ = (evs, n);\n\
+                 }\n\
+             }\n",
+            REACTOR_MANIFEST,
+        );
+        assert!(
+            rep.findings.iter().all(|f| f.rule != Rule::ReactorDiscipline),
+            "{:?}",
+            rep.findings
+        );
+    }
+
+    #[test]
+    fn l013_panic_free_file_flags_unwrap_and_honors_pragma() {
+        let manifest = "[package]\nname = \"x\"\n\
+            [package.metadata.rush-lint]\npanic-free = [\"src/lib.rs\"]\n";
+        let rep = run(
+            "pub fn decode(v: Option<u32>) -> u32 { v.unwrap() }\n\
+             pub fn checked(v: Option<u32>) -> u32 {\n\
+                 // rush-lint: allow(RUSH-L013): validated at the frame scanner\n\
+                 v.unwrap()\n\
+             }\n\
+             #[cfg(test)]\nmod tests {\n\
+                 fn helper(v: Option<u32>) -> u32 { v.unwrap() }\n\
+             }\n",
+            manifest,
+        );
+        let l13: Vec<_> = rep
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::ReactorDiscipline)
+            .collect();
+        assert_eq!(l13.len(), 1, "{:?}", rep.findings);
+        assert_eq!(l13[0].line, 1);
+        assert!(l13[0].message.contains("panic-free file `src/lib.rs`"));
+        assert_eq!(rep.suppressed, 1);
     }
 
     #[test]

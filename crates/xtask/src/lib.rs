@@ -4,11 +4,11 @@
 //! pass enforcing the workspace's RUSH-specific rules — eight token-level
 //! rules (determinism, float hygiene, panic hygiene, feature-gate hygiene,
 //! shim drift, planner layering, full-rebuild containment, shard
-//! isolation) plus, under `--deep`, four AST/call-graph rules proved on a
+//! isolation) plus, under `--deep`, five AST/call-graph rules proved on a
 //! workspace model built by the from-scratch recursive-descent parser
 //! (panic reachability, slot/capacity arithmetic hygiene, lock
-//! discipline, protocol-match exhaustiveness — see `cargo xtask lint
-//! --explain RUSH-L001` … `RUSH-L012`) — and `bench-gate`, the fig5
+//! discipline, protocol-match exhaustiveness, reactor discipline — see
+//! `cargo xtask lint --explain RUSH-L001` … `RUSH-L013`) — and `bench-gate`, the fig5
 //! steady-state regression gate CI runs against the checked-in benchmark
 //! numbers, plus its `--sharded` scaling-floor mode.
 
@@ -43,7 +43,7 @@ pub const ALLOWLIST_FILE: &str = "xtask-lint.allow";
 /// Options for a lint run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LintOptions {
-    /// Also run the deep (AST + call-graph) rules RUSH-L009 … RUSH-L012.
+    /// Also run the deep (AST + call-graph) rules RUSH-L009 … RUSH-L013.
     pub deep: bool,
 }
 
@@ -144,7 +144,7 @@ pub fn lint_with(root: &Path, opts: LintOptions) -> std::io::Result<Report> {
     let mut crates: Vec<CrateInfo> = Vec::new();
     for f in &files {
         if f.file_name().and_then(|n| n.to_str()) == Some("Cargo.toml") {
-            if let Some(m) = manifest::parse(f) {
+            if let Some(m) = manifest::load(f) {
                 if !m.name.is_empty() {
                     crates.push(CrateInfo { dir: f.parent().unwrap_or(root).to_path_buf(), manifest: m });
                 }

@@ -30,6 +30,13 @@ pub struct Manifest {
     /// `package.metadata.rush-lint.protocol-surfaces` — crate-relative
     /// source paths L12 checks for variant coverage.
     pub protocol_surfaces: Vec<String>,
+    /// `package.metadata.rush-lint.reactor-loops` — event-loop functions
+    /// (`Type::name` or bare names) the deep lint uses as RUSH-L013
+    /// blocking-reachability roots.
+    pub reactor_loops: Vec<String>,
+    /// `package.metadata.rush-lint.panic-free` — crate-relative source
+    /// paths whose non-test functions RUSH-L013 requires to be panic-free.
+    pub panic_free: Vec<String>,
 }
 
 fn unquote(v: &str) -> String {
@@ -47,8 +54,11 @@ fn parse_list(value: &str) -> Vec<String> {
         .collect()
 }
 
-/// Parse a manifest file. Returns `None` when the file cannot be read.
-pub fn parse(path: &Path) -> Option<Manifest> {
+/// Read and parse a manifest file. Returns `None` when the file cannot be
+/// read. (Named `load`, not `parse`, so the deep lint's name-based call
+/// graph cannot confuse this offline file reader with the wire-codec
+/// `parse` functions reachable from the serve event loops.)
+pub fn load(path: &Path) -> Option<Manifest> {
     let text = std::fs::read_to_string(path).ok()?;
     Some(parse_str(&text))
 }
@@ -85,6 +95,8 @@ pub fn parse_str(text: &str) -> Manifest {
                     "entry-points" => m.entry_points = parse_list(value),
                     "protocol-enums" => m.protocol_enums = parse_list(value),
                     "protocol-surfaces" => m.protocol_surfaces = parse_list(value),
+                    "reactor-loops" => m.reactor_loops = parse_list(value),
+                    "panic-free" => m.panic_free = parse_list(value),
                     _ => {}
                 }
             }
@@ -138,6 +150,8 @@ arith-hygiene = true
 entry-points = ["connection_loop", "planner_loop"]
 protocol-enums = ["Request", "Response"]
 protocol-surfaces = ["src/protocol.rs", "src/server.rs"]
+reactor-loops = ["Reactor::run", "Engine::drive"]
+panic-free = ["src/binary.rs"]
 "#,
         );
         assert_eq!(m.name, "rush-core");
@@ -150,6 +164,8 @@ protocol-surfaces = ["src/protocol.rs", "src/server.rs"]
         assert_eq!(m.entry_points, ["connection_loop", "planner_loop"]);
         assert_eq!(m.protocol_enums, ["Request", "Response"]);
         assert_eq!(m.protocol_surfaces, ["src/protocol.rs", "src/server.rs"]);
+        assert_eq!(m.reactor_loops, ["Reactor::run", "Engine::drive"]);
+        assert_eq!(m.panic_free, ["src/binary.rs"]);
     }
 
     #[test]

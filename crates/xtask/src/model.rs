@@ -149,6 +149,10 @@ pub struct FileModel {
     pub protocol_enums: Vec<String>,
     /// The crate's protocol surface files (crate-relative, L012).
     pub protocol_surfaces: Vec<String>,
+    /// The crate's L013 reactor event-loop roots (`Type::name` or bare).
+    pub reactor_loops: Vec<String>,
+    /// The crate's L013 panic-free files (crate-relative).
+    pub panic_free: Vec<String>,
     /// Library code (in `src/`, not a bin target).
     pub is_library: bool,
     /// Belongs to a vendored shim crate.
@@ -201,6 +205,8 @@ impl WorkspaceModel {
             arith_hygiene: input.manifest.arith_hygiene,
             protocol_enums: input.manifest.protocol_enums.clone(),
             protocol_surfaces: input.manifest.protocol_surfaces.clone(),
+            reactor_loops: input.manifest.reactor_loops.clone(),
+            panic_free: input.manifest.panic_free.clone(),
             is_library: input.is_library(),
             is_shim: SHIM_NAMES.contains(&input.manifest.name.as_str()),
             lines: input.src.lines().map(str::to_string).collect(),

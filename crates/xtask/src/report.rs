@@ -36,6 +36,9 @@ pub enum Rule {
     /// RUSH-L012 — protocol exhaustiveness (deep): every protocol-enum
     /// variant handled on every declared protocol surface, no wildcards.
     ProtocolExhaustiveness,
+    /// RUSH-L013 — reactor discipline (deep): no blocking call reachable
+    /// from a declared reactor event loop; declared codec files panic-free.
+    ReactorDiscipline,
 }
 
 /// All rules, in code order.
@@ -52,6 +55,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::ArithHygiene,
     Rule::LockDiscipline,
     Rule::ProtocolExhaustiveness,
+    Rule::ReactorDiscipline,
 ];
 
 /// The rules that only run under `cargo xtask lint --deep` (they need the
@@ -61,6 +65,7 @@ pub const DEEP_RULES: &[Rule] = &[
     Rule::ArithHygiene,
     Rule::LockDiscipline,
     Rule::ProtocolExhaustiveness,
+    Rule::ReactorDiscipline,
 ];
 
 impl Rule {
@@ -79,6 +84,7 @@ impl Rule {
             Rule::ArithHygiene => "RUSH-L010",
             Rule::LockDiscipline => "RUSH-L011",
             Rule::ProtocolExhaustiveness => "RUSH-L012",
+            Rule::ReactorDiscipline => "RUSH-L013",
         }
     }
 
@@ -103,6 +109,7 @@ impl Rule {
             Rule::ArithHygiene => "unchecked slot/capacity arithmetic in kernel code",
             Rule::LockDiscipline => "lock-order or held-across-I/O hazard",
             Rule::ProtocolExhaustiveness => "protocol enum variant not exhaustively handled",
+            Rule::ReactorDiscipline => "blocking call or panic in reactor/codec hot path",
         }
     }
 
@@ -328,6 +335,42 @@ impl Rule {
                  `other => fail(other)`) stays allowed: it is explicit in the source\n\
                  and typically routes to an error path. Genuine don't-care surfaces\n\
                  take a pragma:  // rush-lint: allow(RUSH-L012): <why>\n"
+            }
+            Rule::ReactorDiscipline => {
+                "RUSH-L013: reactor discipline (deep)\n\
+                 \n\
+                 The epoll frontend multiplexes thousands of connections onto a handful\n\
+                 of event-loop threads. One blocking call anywhere in a loop's call\n\
+                 graph — a `sleep`, a channel `recv`, a `join`, or buffered stream I/O\n\
+                 like `write_all`/`read_line` — stalls *every* connection that loop\n\
+                 owns, turning a single slow peer into whole-daemon tail latency. And a\n\
+                 panic inside the wire codec tears the loop down entirely. Crates\n\
+                 declare their loops and their panic-free files in\n\
+                 `[package.metadata.rush-lint]`:\n\
+                 reactor-loops = [\"Reactor::run\", \"Engine::drive\"]\n\
+                 panic-free = [\"src/binary.rs\"]\n\
+                 \n\
+                 Two checks: (1) the rule reuses the RUSH-L009 name-based call graph\n\
+                 and walks it from every function matching a `reactor-loops` entry\n\
+                 (`Type::name` matches a method of `Type`; a bare name matches any\n\
+                 function with that name in the declaring crate); any reachable call\n\
+                 to a blocking primitive (`sleep`, `recv`, `recv_timeout`, `join`,\n\
+                 `park`, `park_timeout`, `write_all`, `write_fmt`, `read_exact`,\n\
+                 `read_line`, `read_to_end`, `read_to_string`) is reported with one\n\
+                 witness path. Nonblocking-by-construction calls (`send` on an\n\
+                 unbounded channel, `epoll_wait` with a timeout, raw `read`/`write`\n\
+                 on a nonblocking fd) stay allowed. (2) every non-test function in a\n\
+                 `panic-free` file must itself be panic-free: no `panic!`-family\n\
+                 macro, `.unwrap()`, `.expect(..)` or non-range `[]`-indexing\n\
+                 (integer-literal indexes justified by a `bound:` comment are\n\
+                 accepted, as under RUSH-L003/L009). The codec runs on the event\n\
+                 loop against attacker-controlled bytes; \"returns WireError, never\n\
+                 panics\" is its load-bearing contract.\n\
+                 \n\
+                 Resolution is over-approximate (a `.m()` call may target any method\n\
+                 named `m` in the workspace), which is sound for reachability. Where\n\
+                 that over-approximation misfires, rename the colliding function or\n\
+                 justify the site:  // rush-lint: allow(RUSH-L013): <why>\n"
             }
         }
     }

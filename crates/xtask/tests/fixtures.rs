@@ -87,6 +87,23 @@ fn deep_corpus_flags_expected_sites() {
         "{:#?}",
         report.findings
     );
+    // L013: blocking calls reachable from both root forms (`Type::name`
+    // and bare), with witness paths, plus the panics in the declared
+    // panic-free codec file. The unreached `join` stays silent.
+    assert!(has(Rule::ReactorDiscipline, "reactor", "blocking `sleep`"));
+    assert!(has(Rule::ReactorDiscipline, "reactor", "run -> tick -> backoff"));
+    assert!(has(Rule::ReactorDiscipline, "reactor", "blocking `recv` in `tick`"));
+    assert!(has(Rule::ReactorDiscipline, "reactor", "blocking `write_all` in `drive`"));
+    assert!(has(Rule::ReactorDiscipline, "codec.rs", "`.unwrap()`"));
+    assert!(has(Rule::ReactorDiscipline, "codec.rs", "`[]` indexing"));
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::ReactorDiscipline && f.message.contains("maintenance")),
+        "blocking in unreached code must stay silent: {:#?}",
+        report.findings
+    );
 }
 
 #[test]

@@ -17,9 +17,12 @@
 //! * [`sched`] — baseline schedulers (FIFO, EDF, RRH, Fair).
 //! * [`workload`] — PUMA-like job templates and the experiment driver.
 //! * [`metrics`] — boxplots, ECDFs and table rendering for the harness.
-//! * [`serve`] — the `rushd` scheduling daemon: newline-delimited JSON
-//!   wire protocol, epoch batching, admission control, snapshots and a
-//!   load generator.
+//! * [`reactor`] — nonblocking event-loop primitives (epoll poller,
+//!   eventfd waker, timer wheel, backpressure-aware buffers) behind the
+//!   daemon's `--frontend reactor` mode.
+//! * [`serve`] — the `rushd` scheduling daemon: versioned JSON and
+//!   length-prefixed binary wire protocols, epoch batching, admission
+//!   control, snapshots and a load generator.
 //!
 //! # Quickstart
 //!
@@ -32,6 +35,7 @@ pub use rush_lp as lp;
 pub use rush_metrics as metrics;
 pub use rush_planner as planner;
 pub use rush_prob as prob;
+pub use rush_reactor as reactor;
 pub use rush_sched as sched;
 pub use rush_serve as serve;
 pub use rush_sim as sim;
