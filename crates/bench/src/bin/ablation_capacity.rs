@@ -1,0 +1,228 @@
+//! Ablation A5 — spot revocation: the δ-ball vs deterministic planning.
+//!
+//! Sweeps the spot-market scenarios of `rush_workload::spot` (revocation
+//! duty cycle 0 → 0.7 on half the cluster) against a δ sweep of the RUSH
+//! planner, with FIFO and EDF as scheduler baselines. Budgets are
+//! calibrated on the *nominal* 48-container cluster, so every revocation
+//! eats directly into the planning margin: a deterministic planner (δ = 0,
+//! which trusts the reference distribution exactly) keeps admitting and
+//! ordering as if the capacity were still there, while the δ-ball's
+//! inflated demand η absorbs the shock.
+//!
+//! The headline metric is the deadline-hit rate among completion-time
+//! critical and sensitive jobs (latency ≤ 0). Results are written to
+//! `BENCH_ablation_capacity.json` (override with `--out PATH`); the
+//! `gate` object is what `cargo xtask bench-gate --capacity` checks: at
+//! the sweep's highest revocation rate, RUSH at the default δ must meet
+//! at least as many deadlines as the deterministic δ = 0 planner.
+//!
+//! Flags: `--jobs N`, `--seed N`, `--ratio X`, `--out PATH`, `--quick`.
+
+use rush_bench::{flag, parse_args, paper_experiment, CALIBRATED_INTERARRIVAL};
+use rush_core::RushConfig;
+use rush_metrics::table::{fmt_f64, Table};
+use rush_planner::RushScheduler;
+use rush_sched::{Edf, Fifo};
+use rush_sim::outcome::SimResult;
+use rush_workload::{generate, spot_scenarios, Experiment, WorkloadConfig};
+
+/// One measured cell of the sweep.
+struct Point {
+    scenario: &'static str,
+    revocation_rate: f64,
+    scheduler: String,
+    /// RUSH's ambiguity radius; `None` for the non-RUSH baselines.
+    delta: Option<f64>,
+    met: usize,
+    total: usize,
+    mean_utility: f64,
+    zero_utility_fraction: f64,
+}
+
+impl Point {
+    fn hit_rate(&self) -> f64 {
+        if self.total == 0 { 1.0 } else { self.met as f64 / self.total as f64 }
+    }
+}
+
+fn measure(
+    scenario: &'static str,
+    rate: f64,
+    name: String,
+    delta: Option<f64>,
+    result: &SimResult,
+) -> Point {
+    let lat: Vec<f64> = result.time_aware_outcomes().filter_map(|o| o.latency()).collect();
+    let utils = result.utility_vector();
+    Point {
+        scenario,
+        revocation_rate: rate,
+        scheduler: name,
+        delta,
+        met: lat.iter().filter(|&&l| l <= 0.0).count(),
+        total: lat.len(),
+        mean_utility: utils.iter().sum::<f64>() / utils.len().max(1) as f64,
+        zero_utility_fraction: result.zero_utility_fraction(1e-3),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let quick = args.contains_key("quick");
+    let jobs: usize = flag(&args, "jobs", if quick { 24 } else { 60 });
+    let seed: u64 = flag(&args, "seed", 1);
+    let ratio: f64 = flag(&args, "ratio", 2.0);
+    // Lighter than the paper's ~80 % contention point: the sweep measures
+    // how much *capacity shock* each planner absorbs, so the calm scenario
+    // must start comfortably feasible.
+    let interarrival: f64 = flag(&args, "interarrival", 2.0 * CALIBRATED_INTERARRIVAL);
+    let out_path: String = flag(&args, "out", "BENCH_ablation_capacity.json".to_owned());
+
+    let default_delta = RushConfig::default().delta;
+    let deltas: Vec<f64> =
+        if quick { vec![0.0, default_delta] } else { vec![0.0, 0.35, default_delta] };
+    let scenarios: Vec<_> = if quick {
+        let all = spot_scenarios();
+        vec![all[0], all[3]]
+    } else {
+        spot_scenarios().to_vec()
+    };
+
+    println!(
+        "Ablation A5: spot revocation x delta (budget {ratio}x, {jobs} jobs, seed {seed})\n"
+    );
+
+    // One workload, calibrated once on the calm nominal cluster: every
+    // scenario and scheduler replays the same jobs.
+    let base = paper_experiment(seed);
+    let cfg = WorkloadConfig {
+        jobs,
+        budget_ratio: ratio,
+        mean_interarrival: interarrival,
+        seed,
+        ..Default::default()
+    };
+    let workload = generate(&cfg, &base).expect("workload");
+    let capacity = base.cluster().capacity();
+    let horizon = workload.iter().map(|j| j.arrival()).max().unwrap_or(0) + 20_000;
+
+    let mut t = Table::new([
+        "scenario", "rate", "scheduler", "hit_rate", "met", "mean_util", "zero_util",
+    ]);
+    let mut points: Vec<Point> = Vec::new();
+    for s in &scenarios {
+        let model = s.cluster_model(capacity, horizon);
+        model.validate().expect("scenario model");
+        let exp = Experiment::new(base.cluster().clone())
+            .with_interference(base.interference().clone())
+            .with_sim_seed(seed)
+            .with_cluster_model(&model);
+        let mut runs: Vec<(String, Option<f64>, SimResult)> = Vec::new();
+        for &delta in &deltas {
+            let mut rush = RushScheduler::new(RushConfig { delta, ..Default::default() });
+            let label = if (delta - default_delta).abs() < 1e-9 {
+                "RUSH".to_owned()
+            } else {
+                format!("RUSH-d{delta}")
+            };
+            let result = exp.run(workload.clone(), &mut rush).expect("rush run");
+            runs.push((label, Some(delta), result));
+        }
+        let mut fifo = Fifo::new();
+        runs.push(("FIFO".to_owned(), None, exp.run(workload.clone(), &mut fifo).expect("fifo")));
+        let mut edf = Edf::new();
+        runs.push(("EDF".to_owned(), None, exp.run(workload.clone(), &mut edf).expect("edf")));
+        for (name, delta, result) in &runs {
+            let p = measure(s.name, s.revocation_rate, name.clone(), *delta, result);
+            t.row([
+                p.scenario.to_owned(),
+                fmt_f64(p.revocation_rate, 2),
+                p.scheduler.clone(),
+                fmt_f64(p.hit_rate(), 3),
+                format!("{}/{}", p.met, p.total),
+                fmt_f64(p.mean_utility, 3),
+                fmt_f64(p.zero_utility_fraction, 3),
+            ]);
+            points.push(p);
+        }
+    }
+    println!("{}", t.render());
+
+    let top_rate = scenarios.iter().map(|s| s.revocation_rate).fold(0.0f64, f64::max);
+    let at_top = |sched: &str| {
+        points
+            .iter()
+            .find(|p| p.revocation_rate == top_rate && p.scheduler == sched)
+            .map_or(0.0, Point::hit_rate)
+    };
+    let rush_top = at_top("RUSH");
+    let det_top = at_top("RUSH-d0");
+    println!(
+        "gate: at rate {top_rate} RUSH (delta {default_delta}) hits {rush_top:.3}, \
+         deterministic delta=0 hits {det_top:.3}"
+    );
+
+    let json = render_json(&points, jobs, seed, ratio, default_delta, top_rate, quick);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON: the workspace builds offline, without serde.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    points: &[Point],
+    jobs: usize,
+    seed: u64,
+    ratio: f64,
+    default_delta: f64,
+    top_rate: f64,
+    quick: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"benchmark\": \"ablation_capacity\",");
+    let _ = writeln!(s, "  \"unit\": \"deadline_hit_rate\",");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"budget_ratio\": {ratio},");
+    let _ = writeln!(s, "  \"default_delta\": {default_delta},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let delta = p.delta.map_or("null".to_owned(), |d| format!("{d}"));
+        let _ = writeln!(
+            s,
+            "    {{\"scenario\": \"{}\", \"revocation_rate\": {}, \"scheduler\": \"{}\", \"delta\": {}, \"hit_rate\": {:.4}, \"met\": {}, \"total\": {}, \"mean_utility\": {:.4}, \"zero_utility_fraction\": {:.4}}}{}",
+            p.scenario,
+            p.revocation_rate,
+            p.scheduler,
+            delta,
+            p.hit_rate(),
+            p.met,
+            p.total,
+            p.mean_utility,
+            p.zero_utility_fraction,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let at_top = |sched: &str| {
+        points
+            .iter()
+            .find(|p| p.revocation_rate == top_rate && p.scheduler == sched)
+            .map_or(0.0, Point::hit_rate)
+    };
+    let _ = writeln!(s, "  \"gate\": {{");
+    let _ = writeln!(s, "    \"revocation_rate\": {top_rate},");
+    let _ = writeln!(s, "    \"rush_hit_rate\": {:.4},", at_top("RUSH"));
+    let _ = writeln!(s, "    \"deterministic_hit_rate\": {:.4},", at_top("RUSH-d0"));
+    let _ = writeln!(s, "    \"fifo_hit_rate\": {:.4},", at_top("FIFO"));
+    let _ = writeln!(s, "    \"edf_hit_rate\": {:.4}", at_top("EDF"));
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -73,7 +73,7 @@ pub fn usage() -> String {
        gantt     --scheduler NAME --jobs N --seed S [--width W]\n\
        dashboard --jobs N --seed S [--at SLOT]\n\
        serve     [--addr A] [--capacity N] [--shards N] [--epoch-ms T]\n\
-                 [--frontend threads|reactor] [--reactors N]\n\
+                 [--frontend reactor|threads] [--reactors N]\n\
                  [--batch N] [--ms-per-slot T] [--snapshot FILE]\n\
                  [--theta F] [--delta F]\n\
        loadgen   --addr A [--jobs N] [--workers N] [--connections N]\n\
@@ -304,7 +304,13 @@ pub fn serve_config(cli: &Cli) -> Result<rush_serve::ServeConfig, String> {
     cfg.epoch_max_batch = flag(cli, "batch", cfg.epoch_max_batch);
     cfg.ms_per_slot = flag(cli, "ms-per-slot", cfg.ms_per_slot);
     cfg.shards = flag(cli, "shards", cfg.shards);
-    cfg.frontend = flag(cli, "frontend", cfg.frontend);
+    // The CLI defaults to the epoll reactor where it exists (lower tail
+    // latency at high connection counts); `--frontend threads` opts back
+    // into the blocking per-connection workers. Non-unix platforms have no
+    // epoll, so the library's threads default stands there.
+    let default_frontend =
+        if cfg!(unix) { rush_serve::Frontend::Reactor } else { cfg.frontend };
+    cfg.frontend = flag(cli, "frontend", default_frontend);
     cfg.reactors = flag(cli, "reactors", cfg.reactors);
     cfg.snapshot_path = cli.flags.get("snapshot").map(std::path::PathBuf::from);
     cfg.rush.theta = flag(cli, "theta", cfg.rush.theta);
@@ -562,6 +568,16 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.frontend, rush_serve::Frontend::Reactor);
         assert_eq!(cfg.reactors, 2);
+        // Threads stays one flag away.
+        let cfg = serve_config(&cli("serve", &[("frontend", "threads")])).unwrap();
+        assert_eq!(cfg.frontend, rush_serve::Frontend::Threads);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_defaults_to_the_reactor_frontend() {
+        let cfg = serve_config(&cli("serve", &[])).unwrap();
+        assert_eq!(cfg.frontend, rush_serve::Frontend::Reactor);
     }
 
     #[cfg(unix)]

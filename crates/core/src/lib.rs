@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod mapping;
@@ -65,6 +66,7 @@ pub mod rem;
 pub mod scheduler;
 pub mod wcde;
 
+pub use cluster::{CapacityChange, CapacityEvent, ClusterModel, ContainerClass, ReliabilityTier};
 pub use config::RushConfig;
 pub use error::CoreError;
 pub use plan::{

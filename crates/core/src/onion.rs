@@ -970,23 +970,28 @@ impl PeelState {
 /// accumulated f64 rounding from margin decay across events.
 const REPLAY_GUARD: f64 = 1e-6;
 
-/// [`peel`] with cross-pass memoization: when only demands (η) changed
-/// since the previous pass — `same_context` asserts the job count, order,
-/// utilities and ages are unchanged; capacity/tolerance/horizon are
-/// checked against the state — the recorded probe trajectory is *replayed*
-/// instead of re-peeled.
+/// [`peel`] with cross-pass memoization: when only demands (η) and/or the
+/// capacity changed since the previous pass — `same_context` asserts the
+/// job count, order, utilities and ages are unchanged; tolerance/horizon
+/// are checked against the state — the recorded probe trajectory is
+/// *replayed* instead of re-peeled.
 ///
 /// Replay verifies each recorded feasibility probe in O(1) arithmetic
 /// using the monotone structure of the Theorem-2 prefix-capacity test: a
 /// feasible probe whose minimum slack exceeds the total demand increase
-/// stays feasible; an infeasible probe stays infeasible at the same
-/// boundary when every decreased demand lies strictly after it and the
-/// increases fit inside the pre-violation slack. Probes that cannot be
+/// plus the capacity-loss term `ΔC·horizon` stays feasible; an infeasible
+/// probe stays infeasible at the same boundary when the capacity did not
+/// grow, every decreased demand lies strictly after the boundary, and the
+/// increases (demand and `ΔC·boundary`) fit inside the pre-violation
+/// slack. A capacity *revocation* therefore replays as a divergence-layer
+/// event — probes whose slack absorbs the loss verify arithmetically, and
+/// the first layer genuinely flipped by the shrink resumes the real loop —
+/// rather than forcing a from-scratch re-peel. Probes that cannot be
 /// verified arithmetically are re-executed against materialized sweep
-/// state; the first probe whose *outcome* actually flips aborts the replay
-/// and resumes the real peeling loop from that layer — on exactly the
-/// state a from-scratch run would have reached, so the result is bitwise
-/// identical to [`peel`] in every case.
+/// state (under the *new* capacity); the first probe whose *outcome*
+/// actually flips aborts the replay and resumes the real peeling loop from
+/// that layer — on exactly the state a from-scratch run would have
+/// reached, so the result is bitwise identical to [`peel`] in every case.
 ///
 /// # Errors
 ///
@@ -1003,7 +1008,6 @@ pub fn peel_incremental(
     let eligible = same_context
         && state.valid
         && state.demands.len() == jobs.len()
-        && state.capacity == capacity
         && state.tolerance.to_bits() == tolerance.to_bits()
         && state.horizon.to_bits() == horizon.to_bits()
         // A demand crossing zero flips the job's never-blocks/∞-sentinel
@@ -1053,33 +1057,76 @@ struct ChangedJob {
     inv: Option<(u64, Option<f64>)>,
 }
 
+/// How the capacity drifted since the recorded pass, with the constants
+/// needed to bound the resulting slack drain per boundary.
+#[derive(Clone, Copy)]
+struct CapDrift {
+    /// Containers revoked since the recorded pass (0 when capacity grew
+    /// or held).
+    dec: f64,
+    /// Whether the capacity grew.
+    inc: bool,
+    /// `dec / C_old` — the relative shrink.
+    scale: f64,
+    /// Total demand of the recorded pass, an upper bound on the load at
+    /// any swept boundary.
+    demand_bound: f64,
+}
+
+impl CapDrift {
+    /// Upper-bounds the slack a `dec`-container revocation drains at any
+    /// boundary whose recorded slack was at least `margin`: the drain at
+    /// boundary `d` is `dec·d`, and `d ≤ horizon` while
+    /// `C_old·d = slack + load − ε ≤ slack + demand_bound` gives the
+    /// usually far tighter `dec·d ≤ scale·(slack + demand_bound)`. The
+    /// bound is increasing in slack, so evaluating it at the recorded
+    /// minimum bounds the post-drift minimum from below.
+    fn drain(&self, margin: f64, boundary_cap: f64) -> f64 {
+        (self.dec * boundary_cap).min(self.scale * (margin + self.demand_bound))
+    }
+}
+
 /// Re-verifies one recorded probe arithmetically. `pos` is the total
-/// demand increase currently in play. Returns the updated record
-/// (conservatively decayed margins) or `None` when a real probe is needed.
+/// demand increase currently in play; `cap` the capacity drift since the
+/// recorded pass. Returns the updated record (conservatively decayed
+/// margins) or `None` when a real probe is needed.
 fn verify_probe(
     jobs: &[OnionJob<'_>],
     horizon: f64,
     rec: ProbeRec,
     changed: &mut [ChangedJob],
     pos: f64,
+    cap: CapDrift,
 ) -> Option<Check> {
     match rec.outcome {
         Check::Feasible { margin } => {
-            // Decreases only grow every boundary's slack; increases shrink
-            // each by at most `pos`, so the stored minimum decays by `pos`.
-            // rush-lint: allow(RUSH-L002): exact zero means no positive deltas exist, not a rounded value
-            if pos == 0.0 {
+            // Decreases (and a capacity *increase*) only grow every
+            // boundary's slack; demand increases shrink each by at most
+            // `pos`, and a capacity loss drains at most
+            // [`CapDrift::drain`] more. Under a pure capacity increase the
+            // recorded margin is kept unchanged — an understatement of the
+            // true slack, which is conservative (it can only force an
+            // extra refresh, never verify a flipped probe).
+            let decay = pos + cap.drain(margin, horizon);
+            // rush-lint: allow(RUSH-L002): exact zero means no decaying deltas exist, not a rounded value
+            if decay == 0.0 {
                 Some(rec.outcome)
-            } else if margin - pos >= REPLAY_GUARD {
-                Some(Check::Feasible { margin: margin - pos })
+            } else if margin - decay >= REPLAY_GUARD {
+                Some(Check::Feasible { margin: margin - decay })
             } else {
                 None
             }
         }
         // The never-scan reads utilities and the demand>0 pattern only —
-        // both unchanged under the delta-eligibility preconditions.
+        // both unchanged under the delta-eligibility preconditions, and
+        // independent of the capacity.
         Check::Infeasible { never: true, .. } => Some(rec.outcome),
         Check::Infeasible { bottleneck, boundary, prefix_margin, never: false } => {
+            // A capacity increase could heal the violated boundary itself;
+            // only a real probe can tell.
+            if cap.inc {
+                return None;
+            }
             // A decreased demand at or before the violated boundary could
             // heal it; require every decrease to sit strictly after it.
             for c in changed.iter_mut() {
@@ -1107,15 +1154,18 @@ fn verify_probe(
                     _ => return None,
                 }
             }
-            // Increases cannot heal the violation; they could only move it
-            // *earlier*, which the pre-violation slack rules out.
-            if pos > prefix_margin - REPLAY_GUARD {
+            // Increases (demand, or the capacity loss's slack drain at
+            // every boundary `d ≤ boundary`) cannot heal the violation;
+            // they could only move it *earlier*, which the pre-violation
+            // slack rules out.
+            let decay = pos + cap.drain(prefix_margin, boundary);
+            if decay > prefix_margin - REPLAY_GUARD {
                 return None;
             }
             Some(Check::Infeasible {
                 bottleneck,
                 boundary,
-                prefix_margin: prefix_margin - pos,
+                prefix_margin: prefix_margin - decay,
                 never: false,
             })
         }
@@ -1157,6 +1207,17 @@ fn replay(
         })
         .collect();
     let mut stats = ReplayStats { delta: true, ..Default::default() };
+    // Capacity divergence: a revocation drains slack at every boundary
+    // (see [`CapDrift::drain`]); a restock can only add slack (but may
+    // heal recorded violations, forcing refreshes).
+    let cap = CapDrift {
+        dec: f64::from(state.capacity.saturating_sub(capacity)),
+        inc: capacity > state.capacity,
+        scale: f64::from(state.capacity.saturating_sub(capacity))
+            / f64::from(state.capacity.max(1)),
+        demand_bound: state.demands.iter().map(|&d| d as f64).sum(),
+    };
+    let cap_changed = capacity != state.capacity;
 
     let mut removed = vec![false; n];
     let mut committed: Vec<(f64, u64)> = Vec::new();
@@ -1189,12 +1250,13 @@ fn replay(
             .filter(|c| c.status != ChangedStatus::Deferred)
             .map(|c| c.delta.max(0.0))
             .sum();
-        let influenced = changed.iter().any(|c| c.status != ChangedStatus::Deferred);
+        let influenced =
+            cap_changed || changed.iter().any(|c| c.status != ChangedStatus::Deferred);
         let pr = layer.probe_start as usize..(layer.probe_start + layer.probe_len) as usize;
         for p in pr {
             let rec = state.trace.probes[p];
             let verdict = if influenced {
-                verify_probe(jobs, horizon, rec, &mut changed, pos)
+                verify_probe(jobs, horizon, rec, &mut changed, pos, cap)
             } else {
                 Some(rec.outcome)
             };
@@ -1334,6 +1396,7 @@ fn replay(
     state.trace = ctx.trace;
     state.demands.clear();
     state.demands.extend(jobs.iter().map(|j| j.demand));
+    state.capacity = capacity;
     state.stats = stats;
     ctx.targets
 }
@@ -2079,8 +2142,76 @@ mod tests {
         assert!(saw_resume, "sweep never exercised a trajectory resume");
     }
 
-    /// Context changes (job count, capacity, zero-crossings, caller flag)
-    /// must force the safe full-record path.
+    /// Capacity churn (revocations and restocks, with and without
+    /// simultaneous demand drift) must stay on the delta path and remain
+    /// bit-identical to a from-scratch peel — the planner-side contract
+    /// behind spot-revocation replanning.
+    #[test]
+    fn incremental_peel_absorbs_capacity_churn() {
+        let utilities: Vec<TimeUtility> = (0..24)
+            .map(|i| {
+                let budget = 150.0 + 73.0 * i as f64;
+                sigmoid(budget, 1.0 + (i % 4) as f64, 12.0 / budget)
+            })
+            .collect();
+        let mut demands: Vec<u64> = (0..24).map(|i| 53 + 67 * i as u64 % 900).collect();
+        let mut state = PeelState::new();
+        let (tol, hor) = (1e-4, 1e6);
+        // Revocations, restocks, deep cuts, and recoveries around C=16.
+        let capacities: [u32; 12] = [16, 14, 14, 9, 12, 3, 3, 16, 15, 2, 11, 16];
+
+        {
+            let jobs: Vec<OnionJob<'_>> = demands
+                .iter()
+                .zip(&utilities)
+                .map(|(&d, u)| OnionJob { demand: d, utility: u })
+                .collect();
+            peel_incremental(&jobs, capacities[0], tol, hor, true, &mut state).unwrap();
+        }
+        let mut saw_resume = false;
+        let mut max_verified = 0usize;
+        for (step, &cap) in capacities.iter().enumerate().skip(1) {
+            // Every other step also drifts one demand, exercising the
+            // combined demand + capacity decay arithmetic.
+            if step % 2 == 0 {
+                let k = (step * 5) % demands.len();
+                demands[k] = (demands[k] + 29).max(1);
+            }
+            let jobs: Vec<OnionJob<'_>> = demands
+                .iter()
+                .zip(&utilities)
+                .map(|(&d, u)| OnionJob { demand: d, utility: u })
+                .collect();
+            let full = peel(&jobs, cap, tol, hor).unwrap();
+            let inc = peel_incremental(&jobs, cap, tol, hor, true, &mut state).unwrap();
+            assert_targets_bitwise(&full, &inc, &format!("capacity step {step} (C={cap})"));
+            let stats = state.last_stats();
+            assert!(stats.delta, "capacity step {step}: must take the delta path");
+            saw_resume |= stats.resumed_at.is_some();
+            max_verified = max_verified.max(stats.verified_probes);
+        }
+        // A capacity shift moves the max-min level itself, so most passes
+        // divergence-resume partway — the point is that the drain bound
+        // arithmetically verifies the dense probe prefix *before* the
+        // divergence layer instead of refreshing (or re-peeling) the world.
+        assert!(saw_resume, "churn never forced a divergence resume");
+        assert!(max_verified >= 20, "drain bound never verified a dense probe prefix");
+        // A pass with no change at all replays the whole trajectory.
+        let jobs: Vec<OnionJob<'_>> = demands
+            .iter()
+            .zip(&utilities)
+            .map(|(&d, u)| OnionJob { demand: d, utility: u })
+            .collect();
+        let cap = *capacities.last().unwrap();
+        let full = peel(&jobs, cap, tol, hor).unwrap();
+        let inc = peel_incremental(&jobs, cap, tol, hor, true, &mut state).unwrap();
+        assert_targets_bitwise(&full, &inc, "quiescent replay");
+        assert!(state.last_stats().resumed_at.is_none(), "quiescent pass must fully replay");
+    }
+
+    /// Context changes (job count, zero-crossings, caller flag) must force
+    /// the safe full-record path; a capacity change alone does *not* — it
+    /// replays as a divergence layer.
     #[test]
     fn incremental_peel_rejects_context_changes() {
         let u = sigmoid(300.0, 2.0, 0.03);
@@ -2095,9 +2226,11 @@ mod tests {
         // Caller says context changed.
         peel_incremental(&j, 8, 1e-4, 1e6, false, &mut state).unwrap();
         assert!(!state.last_stats().delta);
-        // Capacity changed.
-        peel_incremental(&j, 9, 1e-4, 1e6, true, &mut state).unwrap();
-        assert!(!state.last_stats().delta);
+        // Capacity change stays on the delta path, bit-identically.
+        let full = peel(&j, 9, 1e-4, 1e6).unwrap();
+        let inc = peel_incremental(&j, 9, 1e-4, 1e6, true, &mut state).unwrap();
+        assert_targets_bitwise(&full, &inc, "capacity delta");
+        assert!(state.last_stats().delta);
         // Job count changed.
         let j2 = jobs(&[100, 200], &utilities[..2]);
         peel_incremental(&j2, 9, 1e-4, 1e6, true, &mut state).unwrap();

@@ -1118,11 +1118,15 @@ mod tests {
         let inc = compute_plan_incremental(&cfg, 16, &jobs, &mut state).unwrap();
         assert_eq!(inc, fresh);
         assert!(state.last_stats().peel_replay.delta, "demand-only event must take the delta path");
-        // Capacity changes invalidate the recorded trace but stay exact.
+        // A capacity change (spot revocation: 16 → 12) replays as a
+        // divergence layer — still the delta path, still exact.
         let fresh = compute_plan(&cfg, 12, &jobs).unwrap();
         let inc = compute_plan_incremental(&cfg, 12, &jobs, &mut state).unwrap();
         assert_eq!(inc, fresh);
-        assert!(!state.last_stats().peel_replay.delta);
+        assert!(
+            state.last_stats().peel_replay.delta,
+            "capacity-only event must take the delta path"
+        );
         // A drained cluster resets the state.
         compute_plan_incremental(&cfg, 12, &[], &mut state).unwrap();
         assert!(state.cache().is_empty());

@@ -173,6 +173,49 @@ proptest! {
         }
     }
 
+    /// A typed [`rush_core::ClusterModel`] spot-churn schedule drives the
+    /// capacity trajectory while demands drift between events: at every
+    /// revoke/restock of the lowered stream the incremental plan must stay
+    /// bit-identical to a from-scratch pass. This is the capacity-churn
+    /// regime the divergence-layer replay was built for — the whole spot
+    /// pool vanishes and returns, cycle after cycle.
+    #[test]
+    fn cluster_model_spot_churn_bit_identical_to_full(
+        raw in prop::collection::vec(job_strategy(), 2..8),
+        reserved in 3u32..8,
+        spot in 2u32..10,
+        period in 4u64..16,
+        outage in 1u64..4,
+        cycles in 2u32..5,
+        drift in 1u64..120,
+    ) {
+        let cfg = RushConfig::default();
+        // Revoke the entire spot pool each cycle — the worst-case swing —
+        // keeping the period longer than the outage so cycles don't
+        // overlap (the model validator rejects double-revocations).
+        let model = rush_core::ClusterModel::tiered(reserved, 0, spot)
+            .with_spot_churn(1, 2, period.max(outage + 1), outage, spot, cycles);
+        model.validate().unwrap();
+
+        let mut jobs: Vec<PlanInput<'static>> = raw.iter().map(build_input).collect();
+        let mut state = PlanState::new();
+        let full = compute_plan(&cfg, model.total_capacity(), &jobs).unwrap();
+        let inc =
+            compute_plan_incremental(&cfg, model.total_capacity(), &jobs, &mut state).unwrap();
+        assert_plans_identical(&full, &inc)?;
+
+        for (step, ev) in model.events.iter().enumerate() {
+            // Demand drift between capacity events: a fresh sample lands
+            // on one job, as it would in a live cluster.
+            let k = step % jobs.len();
+            jobs[k].samples.to_mut().push(drift + (step as u64 * 13) % 70);
+            let capacity = model.capacity_at(ev.at);
+            let full = compute_plan(&cfg, capacity, &jobs).unwrap();
+            let inc = compute_plan_incremental(&cfg, capacity, &jobs, &mut state).unwrap();
+            assert_plans_identical(&full, &inc)?;
+        }
+    }
+
     /// The peel layer alone, under the same event kinds, agrees with the
     /// frozen naive oracle at every step of the stream. The incremental
     /// peel is checked bitwise against the optimized full peel (they share

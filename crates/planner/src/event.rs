@@ -53,6 +53,14 @@ pub enum PlannerEvent {
         /// Logical slot to plan at.
         now_slot: u64,
     },
+    /// The cluster's effective capacity changed (spot revocation, restock,
+    /// node failure, operator resize). The next plan pass replans against
+    /// the new total; the peel replay treats it as a divergence layer
+    /// rather than a from-scratch re-peel.
+    CapacityChange {
+        /// New effective capacity in containers; must be ≥ 1.
+        capacity: u32,
+    },
 }
 
 /// What applying a [`PlannerEvent`] did.
@@ -79,13 +87,19 @@ pub enum EventOutcome {
     Parked,
     /// The plan is fresh; this is what the last replan changed.
     Planned(PlanDelta),
+    /// The capacity was updated.
+    CapacityChanged {
+        /// The new effective capacity.
+        capacity: u32,
+    },
 }
 
 impl PlannerCore {
     /// Applies one typed event. Equivalent to calling the corresponding
     /// named method ([`PlannerCore::admit`], [`PlannerCore::ingest_sample`],
     /// [`PlannerCore::record_failure`], [`PlannerCore::cancel`],
-    /// [`PlannerCore::set_parked`], [`PlannerCore::plan_at`]).
+    /// [`PlannerCore::set_parked`], [`PlannerCore::plan_at`],
+    /// [`PlannerCore::set_capacity`]).
     ///
     /// # Errors
     ///
@@ -115,6 +129,13 @@ impl PlannerCore {
             PlannerEvent::Tick { now_slot } => {
                 let delta = self.plan_at(now_slot)?.clone();
                 Ok(EventOutcome::Planned(delta))
+            }
+            PlannerEvent::CapacityChange { capacity } => {
+                if capacity == 0 {
+                    return Err(PlannerError::Config("capacity must be >= 1".into()));
+                }
+                self.set_capacity(capacity);
+                Ok(EventOutcome::CapacityChanged { capacity })
             }
         }
     }
@@ -194,5 +215,34 @@ mod tests {
             EventOutcome::Cancelled { known: false }
         );
         assert!(k.apply(PlannerEvent::SetParked { job: id, parked: true }).is_err());
+    }
+
+    #[test]
+    fn capacity_change_event_matches_method_call() {
+        let mut by_events = PlannerCore::new(RushConfig::default(), 8).expect("kernel");
+        let mut by_methods = PlannerCore::new(RushConfig::default(), 8).expect("kernel");
+        by_events.apply(PlannerEvent::JobArrival { id: None, spec: spec("a", 5) }).expect("a");
+        by_methods.admit(spec("a", 5));
+        by_events.apply(PlannerEvent::Tick { now_slot: 0 }).expect("tick");
+        by_methods.plan_at(0).expect("plan");
+
+        // A revocation mid-stream: the event and the method land on the
+        // same kernel state and the same next plan.
+        assert_eq!(
+            by_events.apply(PlannerEvent::CapacityChange { capacity: 5 }).expect("capacity"),
+            EventOutcome::CapacityChanged { capacity: 5 }
+        );
+        by_methods.set_capacity(5);
+        assert_eq!(by_events.capacity(), by_methods.capacity());
+        let de = by_events.apply(PlannerEvent::Tick { now_slot: 1 }).expect("tick");
+        let dm = by_methods.plan_at(1).expect("plan").clone();
+        assert_eq!(de, EventOutcome::Planned(dm));
+        assert_eq!(by_events.plan(), by_methods.plan());
+
+        // Zero capacity is rejected as a typed config error.
+        assert!(matches!(
+            by_events.apply(PlannerEvent::CapacityChange { capacity: 0 }),
+            Err(PlannerError::Config(_))
+        ));
     }
 }

@@ -56,7 +56,7 @@ use std::fmt;
 
 /// Unified error type of the planner layer: absorbs the estimation and
 /// core-pipeline error enums so every adapter handles one type.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum PlannerError {
     /// The CA pipeline (WCDE / peel / mapping) failed.

@@ -16,6 +16,7 @@
 
 use crate::core::{ColdStart, JobId, JobSpec, RosterJob};
 use crate::sharded::ShardedPlanner;
+use crate::PlannerError;
 use rush_core::plan::Plan;
 use rush_core::RushConfig;
 use rush_sim::view::{ClusterView, TaskSample};
@@ -55,6 +56,10 @@ pub struct RushScheduler {
     /// The merged cross-shard plan of the last completed pass, rebuilt
     /// after each refresh (with one shard: exactly the kernel's plan).
     plan: Plan,
+    /// The typed error from the most recent failed capacity update, if
+    /// any (see [`RushScheduler::last_capacity_error`]). Cleared by the
+    /// next successful update.
+    capacity_error: Option<PlannerError>,
 }
 
 impl RushScheduler {
@@ -83,6 +88,7 @@ impl RushScheduler {
             name: "RUSH",
             desired: BTreeMap::new(),
             plan: Plan::default(),
+            capacity_error: None,
         }
     }
 
@@ -138,17 +144,30 @@ impl RushScheduler {
         self.kernel.cancel(JobId::from(job))
     }
 
+    /// The typed error from the most recent *failed* capacity update
+    /// (the view's capacity could not hold one container per shard), or
+    /// `None` when the last update succeeded. The scheduler SPI has no
+    /// error channel, so the adapter degrades to an empty plan when this
+    /// is `Some` — but it no longer swallows the cause: daemons and tests
+    /// read it here.
+    pub fn last_capacity_error(&self) -> Option<&PlannerError> {
+        self.capacity_error.as_ref()
+    }
+
     /// Ensures the kernel's plan is fresh for `view.now` and the desired
     /// map reflects it.
     fn refresh(&mut self, view: &ClusterView<'_>) {
-        if self.kernel.set_capacity(view.capacity).is_err() {
+        if let Err(e) = self.kernel.set_capacity(view.capacity) {
             // The view's capacity cannot hold one container per shard;
-            // treat it like a failed pass (empty plan, fallbacks engage).
+            // treat it like a failed pass (empty plan, fallbacks engage)
+            // but keep the typed cause observable.
+            self.capacity_error = Some(e);
             self.desired.clear();
             self.kernel.install_empty_plan(view.now);
             self.plan = Plan::default();
             return;
         }
+        self.capacity_error = None;
         if self.kernel.is_fresh(view.now) {
             return;
         }
@@ -218,6 +237,15 @@ impl Scheduler for RushScheduler {
         // Failed-attempt durations are not runtime samples, but the plan
         // must be recomputed with the updated failure count.
         self.kernel.record_failure(JobId::from(sample.job));
+    }
+
+    fn on_capacity_change(&mut self, view: &ClusterView<'_>) {
+        // Replan immediately against the new effective capacity: the
+        // revocation's killed attempts have already been recorded (as
+        // failures), and refresh pushes the new total into the kernel —
+        // the peel replay absorbs it as a divergence layer, and the shard
+        // re-split keeps every committed prefix funded.
+        self.refresh(view);
     }
 
     fn on_task_complete(&mut self, _view: &ClusterView<'_>, sample: TaskSample) {
@@ -543,6 +571,47 @@ mod tests {
         let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
         assert_eq!(r.outcomes.len(), 1);
         assert!(r.failed_attempts > 0);
+    }
+
+    #[test]
+    fn survives_capacity_churn() {
+        use rush_sim::cluster::{CapacityChange, CapacityEvent};
+        // Spot revocation takes half the cluster mid-run, a restock
+        // returns it: RUSH must re-plan (killed attempts re-queued as
+        // failures) and still finish every job.
+        let jobs = vec![
+            job("a", 0, 10, 12.0, TimeUtility::sigmoid(300.0, 5.0, 0.05).unwrap(), 300),
+            job("b", 5, 10, 12.0, TimeUtility::sigmoid(400.0, 3.0, 0.04).unwrap(), 400),
+        ];
+        let cfg = SimConfig::homogeneous(1, 6).with_capacity_events(vec![
+            CapacityEvent { at: 15, change: CapacityChange::Revoke { n: 3 } },
+            CapacityEvent { at: 60, change: CapacityChange::Restock { n: 3 } },
+        ]);
+        let mut rush = RushScheduler::new(RushConfig::default());
+        let r = Simulation::new(cfg, jobs).unwrap().run(&mut rush).unwrap();
+        assert_eq!(r.outcomes.len(), 2);
+        assert_eq!(r.revoked_containers, 3);
+        assert_eq!(r.restocked_containers, 3);
+        assert!(rush.last_capacity_error().is_none());
+    }
+
+    #[test]
+    fn capacity_error_is_surfaced_not_swallowed() {
+        use rush_sim::view::ClusterView;
+        // Two shards cannot split one container: refresh degrades to an
+        // empty plan AND records the typed cause.
+        let mut rush = RushScheduler::with_shards(RushConfig::default(), 2);
+        let view = ClusterView { now: 0, capacity: 1, free_containers: 1, jobs: &[] };
+        assert_eq!(rush.assign(&view), None);
+        assert!(
+            matches!(rush.last_capacity_error(), Some(crate::PlannerError::Config(_))),
+            "expected a typed capacity error, got {:?}",
+            rush.last_capacity_error()
+        );
+        // A workable capacity clears it.
+        let view = ClusterView { now: 1, capacity: 4, free_containers: 4, jobs: &[] };
+        assert_eq!(rush.assign(&view), None);
+        assert!(rush.last_capacity_error().is_none());
     }
 
     #[test]

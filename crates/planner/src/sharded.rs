@@ -392,8 +392,14 @@ impl ShardedPlanner {
     }
 
     /// Updates the total planning capacity. A change re-splits the slices
-    /// evenly (the rebalancer re-learns demand-proportional slices from
-    /// the next plans); an unchanged total keeps the current slices.
+    /// immediately along the current demand profile — every shard keeps
+    /// its Theorem-2 committed prefix demand (floored at one container),
+    /// so a revocation shrinks the *surplus* slices first instead of
+    /// cutting evenly through promises ([`ShardedPlanner::rebalance`]
+    /// semantics, applied at the new total). When the committed floors
+    /// alone exceed the new total (the revocation overcommitted the
+    /// cluster) the split falls back to even slices; an unchanged total
+    /// keeps the current slices.
     ///
     /// # Errors
     ///
@@ -410,7 +416,10 @@ impl ShardedPlanner {
             )));
         }
         self.total = capacity;
-        self.apply_slices(&even_split(capacity, self.shards.len()));
+        let slices = self
+            .demand_split(capacity)
+            .unwrap_or_else(|| even_split(capacity, self.shards.len()));
+        self.apply_slices(&slices);
         Ok(())
     }
 
@@ -547,11 +556,24 @@ impl ShardedPlanner {
     /// Called automatically every [`ShardedPlanner::with_rebalance_interval`]
     /// plan passes; public for callers that want an explicit cadence.
     pub fn rebalance(&mut self) {
-        let n = self.shards.len();
-        if n <= 1 {
-            return;
+        if let Some(slices) = self.demand_split(self.total) {
+            self.apply_slices(&slices);
         }
-        let total = u64::from(self.total);
+    }
+
+    /// Computes committed-prefix-floored, η-weighted capacity slices for
+    /// `capacity` total containers — the split [`ShardedPlanner::rebalance`]
+    /// installs periodically and [`ShardedPlanner::set_capacity`] installs
+    /// immediately on a capacity change. Returns `None` when a demand
+    /// split is impossible or meaningless: a single shard, fewer
+    /// containers than shards, or committed floors already exceeding
+    /// `capacity` (no re-split can help).
+    fn demand_split(&self, capacity: u32) -> Option<Vec<u32>> {
+        let n = self.shards.len();
+        if n <= 1 || (capacity as u64) < n as u64 {
+            return None;
+        }
+        let total = u64::from(capacity);
         // Committed floor per shard: what its current plan already
         // promised (clamped into [1, total] — a shard always keeps one
         // container, and an overloaded shard cannot demand more than C).
@@ -562,7 +584,7 @@ impl ShardedPlanner {
             .collect();
         let floor_sum: u64 = floor.iter().sum();
         if floor_sum > total {
-            return;
+            return None;
         }
         // Surplus follows planned demand: weight = total planned η + 1
         // (the +1 keeps idle shards eligible and the split total).
@@ -598,7 +620,7 @@ impl ShardedPlanner {
             debug_assert_eq!(
                 slices.iter().map(|&s| u64::from(s)).sum::<u64>(),
                 total,
-                "rebalance must conserve total capacity"
+                "demand split must conserve total capacity"
             );
             for (i, (&s, &f)) in slices.iter().zip(&floor).enumerate() {
                 debug_assert!(s >= 1, "shard {i} starved to an empty slice");
@@ -608,7 +630,7 @@ impl ShardedPlanner {
                 );
             }
         }
-        self.apply_slices(&slices);
+        Some(slices)
     }
 
     /// Installs new capacity slices; only shards whose slice actually
@@ -683,6 +705,10 @@ impl ShardedPlanner {
                 let delta = self.plan_at(now_slot)?.clone();
                 Ok(EventOutcome::Planned(delta))
             }
+            PlannerEvent::CapacityChange { capacity } => {
+                self.set_capacity(capacity)?;
+                Ok(EventOutcome::CapacityChanged { capacity })
+            }
         }
     }
 
@@ -708,6 +734,14 @@ impl ShardedPlanner {
                     self.flush_groups(&mut groups, &mut outcomes)?;
                     let delta = self.plan_at(now_slot)?.clone();
                     outcomes[pos] = Some(EventOutcome::Planned(delta));
+                }
+                PlannerEvent::CapacityChange { capacity } => {
+                    // Cross-shard barrier like Tick: the re-split touches
+                    // every slice, so queued shard-local mutations must
+                    // land first to keep stream order observable.
+                    self.flush_groups(&mut groups, &mut outcomes)?;
+                    self.set_capacity(capacity)?;
+                    outcomes[pos] = Some(EventOutcome::CapacityChanged { capacity });
                 }
                 PlannerEvent::JobArrival { id, spec } => {
                     // Admission bookkeeping (id allocation, assignment,

@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 use rush_core::RushConfig;
-use rush_planner::{ColdStart, JobId, PlannerCore, ShardedPlanner};
+use rush_planner::{ColdStart, EventOutcome, JobId, PlannerCore, PlannerEvent, ShardedPlanner};
 use rush_utility::TimeUtility;
 
 /// One scripted kernel operation; job references index the admitted-id
@@ -54,6 +54,21 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..16).prop_map(|job| Op::Fail { job }),
         (0usize..16).prop_map(|job| Op::Cancel { job }),
         (0usize..16, 0u8..2).prop_map(|(job, parked)| Op::Park { job, parked: parked == 1 }),
+        (1u32..24).prop_map(|containers| Op::Capacity { containers }),
+        tick(),
+        tick(),
+    ]
+}
+
+/// A stream dominated by capacity events: the spot-revocation regime,
+/// where the cluster resizes more often than jobs arrive. Every other
+/// observable must still track the bare kernel bit-for-bit.
+fn churn_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arrive(),
+        sample(),
+        (1u32..24).prop_map(|containers| Op::Capacity { containers }),
+        (1u32..24).prop_map(|containers| Op::Capacity { containers }),
         (1u32..24).prop_map(|containers| Op::Capacity { containers }),
         tick(),
         tick(),
@@ -152,7 +167,18 @@ fn run_stream(ops: &[Op], cold_start: ColdStart, retire: bool) {
                 assert_eq!(a.is_ok(), b.is_ok(), "park result diverged {ctx}");
             }
             Op::Capacity { containers } => {
-                sharded.set_capacity(*containers).expect("1-shard capacity");
+                // Drive the sharded side through the typed event path and
+                // the bare kernel through the method, so the stream also
+                // proves `PlannerEvent::CapacityChange` is equivalent to a
+                // direct `set_capacity` call.
+                let out = sharded
+                    .apply(PlannerEvent::CapacityChange { capacity: *containers })
+                    .expect("1-shard capacity event");
+                assert_eq!(
+                    out,
+                    EventOutcome::CapacityChanged { capacity: *containers },
+                    "capacity outcome diverged {ctx}"
+                );
                 core.set_capacity(*containers);
             }
             Op::Tick { advance } => {
@@ -196,6 +222,13 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..60),
     ) {
         run_stream(&ops, ColdStart::OwnSamplesOnly, true);
+    }
+
+    #[test]
+    fn one_shard_matches_bare_kernel_under_capacity_churn(
+        ops in proptest::collection::vec(churn_op_strategy(), 1..60),
+    ) {
+        run_stream(&ops, ColdStart::PooledByLabel, false);
     }
 
     #[test]
@@ -273,4 +306,47 @@ proptest! {
         prop_assert_eq!(pa, pb);
         prop_assert_eq!(a.slices(), b.slices());
     }
+}
+
+/// A typed [`rush_core::ClusterModel`] spot-churn trajectory drives a
+/// multi-shard planner through repeated revoke/restock cycles: after every
+/// event the shard slices must still partition the effective capacity,
+/// every shard must keep at least one container, and planning must keep
+/// succeeding — the committed-prefix floor inside `demand_split` must
+/// never wedge the rebalancer under churn.
+#[test]
+fn multi_shard_absorbs_cluster_model_spot_churn() {
+    let model = rush_core::ClusterModel::tiered(4, 0, 8).with_spot_churn(1, 10, 20, 5, 6, 4);
+    model.validate().expect("valid model");
+
+    let mut planner = ShardedPlanner::new(RushConfig::default(), model.total_capacity(), 3)
+        .expect("sharded")
+        .with_cold_start(ColdStart::PooledByLabel);
+    let mut ids: Vec<JobId> = Vec::new();
+    for i in 0..9u8 {
+        ids.push(planner.admit(spec(i % 6, 4 + u64::from(i), 0, false)));
+    }
+    for (i, id) in ids.iter().enumerate() {
+        planner.ingest_sample(*id, 20 + i as u64 * 7).expect("sample");
+    }
+
+    let mut now = 0u64;
+    for ev in &model.events {
+        now = ev.at;
+        let capacity = model.capacity_at(now);
+        let out =
+            planner.apply(PlannerEvent::CapacityChange { capacity }).expect("capacity event");
+        assert_eq!(out, EventOutcome::CapacityChanged { capacity });
+        let slices = planner.slices();
+        assert_eq!(
+            slices.iter().sum::<u32>(),
+            capacity,
+            "slices must partition the effective capacity at slot {now}"
+        );
+        assert!(slices.iter().all(|&s| s >= 1), "every shard keeps a container at slot {now}");
+        planner.plan_at(now).expect("plan under churn");
+    }
+    // The schedule is revoke/restock balanced: once it is exhausted the
+    // cluster is back at full strength.
+    assert_eq!(model.capacity_at(now + 1), model.total_capacity());
 }

@@ -27,6 +27,7 @@
 
 use crate::protocol::{Decision, JobSubmission};
 use crate::ServeError;
+use rush_core::cluster::ClusterModel;
 use rush_core::onion::prefix_capacity_feasible;
 use rush_core::RushConfig;
 
@@ -85,6 +86,49 @@ pub fn probe(
     } else {
         Decision::Reject
     }
+}
+
+/// Decides whether a time-sensitive candidate that [`probe`] would reject
+/// at the *current* (revocation-depressed) capacity deserves a
+/// revocation-aware deferral instead.
+///
+/// Returns `true` — meaning the caller should park the job with
+/// [`crate::protocol::DeferReason::AwaitingRestock`] — exactly when the
+/// cluster model can both explain and price the deficit:
+///
+/// 1. the model predicts the deficit heals in `reclaim` slots
+///    ([`ClusterModel::predicted_reclaim_slots`] attributes it
+///    least-reliable-first; deficits reaching reserved capacity return
+///    `None` and the reject stands);
+/// 2. the candidate could still wait that long: `reclaim` is strictly
+///    inside its [`admission_deadline`]; and
+/// 3. once capacity is restored the candidate would actually fit: the
+///    Theorem-2 probe passes at the *provisioned* capacity with the
+///    candidate's deadline shrunk by the reclaim horizon (waiting consumes
+///    deadline, not demand).
+///
+/// The verdict is advisory by construction — a parked job is re-probed
+/// every epoch at whatever capacity then holds, so a wrong prediction
+/// costs waiting time, never a guarantee.
+pub fn reclaim_defer(
+    config: &RushConfig,
+    model: &ClusterModel,
+    current_capacity: u32,
+    reservations: &[(f64, u64)],
+    candidate: &JobSubmission,
+    candidate_eta: u64,
+) -> bool {
+    let Some(reclaim) = model.predicted_reclaim_slots(current_capacity) else {
+        return false;
+    };
+    let deadline = admission_deadline(config, candidate.budget);
+    let reclaim_f = reclaim as f64;
+    if reclaim_f >= deadline {
+        return false;
+    }
+    let mut all = reservations.to_vec();
+    all.push((deadline - reclaim_f, candidate_eta));
+    prefix_capacity_feasible(&all, model.total_capacity())
 }
 
 #[cfg(test)]
@@ -167,5 +211,53 @@ mod tests {
         assert!((admission_deadline(&c, Some(700)) - 700.0).abs() < 1e-12);
         assert!((admission_deadline(&c, None) - c.horizon).abs() < 1e-12);
         assert!((admission_deadline(&c, Some(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reclaim_defer_upgrades_a_spot_outage_reject() {
+        let c = cfg();
+        let util = TimeUtility::sigmoid(500.0, 3.0, 1.0).expect("valid");
+        let model = ClusterModel::tiered(8, 0, 8);
+        let cand = sub(util, Some(500));
+        // 8 of 16 containers are out (the whole spot pool, reclaim horizon
+        // 60 slots). Demand 5000 by slot 500 fails at capacity 8
+        // (8·500 = 4000) …
+        assert_eq!(probe(&c, 8, &[], &cand, 5000), Decision::Reject);
+        // … but fits at the provisioned 16 with 440 slots left
+        // (16·440 = 7040): defer.
+        assert!(reclaim_defer(&c, &model, 8, &[], &cand, 5000));
+    }
+
+    #[test]
+    fn reclaim_defer_refuses_unpredictable_or_hopeless_deficits() {
+        let c = cfg();
+        let util = TimeUtility::sigmoid(500.0, 3.0, 1.0).expect("valid");
+        let model = ClusterModel::tiered(8, 0, 8);
+        let cand = sub(util, Some(500));
+
+        // Deficit reaches reserved capacity: no reclaim prediction.
+        assert!(!reclaim_defer(&c, &model, 4, &[], &cand, 3000));
+        // No deficit at all: the reject was demand-side, not supply-side.
+        assert!(!reclaim_defer(&c, &model, 16, &[], &cand, 100_000));
+        // Infeasible even at provisioned capacity within the shrunk
+        // deadline (16·440 = 7040): waiting cannot save it.
+        assert!(!reclaim_defer(&c, &model, 8, &[], &cand, 7041));
+
+        // Reclaim horizon at/over the deadline: too late to matter.
+        let tight = sub(TimeUtility::sigmoid(40.0, 3.0, 1.0).expect("valid"), Some(40));
+        assert!(!reclaim_defer(&c, &model, 8, &[], &tight, 10));
+    }
+
+    #[test]
+    fn reclaim_defer_accounts_for_resident_reservations() {
+        let c = cfg();
+        let util = TimeUtility::sigmoid(500.0, 3.0, 1.0).expect("valid");
+        let model = ClusterModel::tiered(8, 0, 8);
+        let cand = sub(util, Some(500));
+        // Alone it would fit after restock …
+        assert!(reclaim_defer(&c, &model, 8, &[], &cand, 3000));
+        // … but residents already hold most of the provisioned prefix.
+        let resident = (440.0, 16u64 * 440 - 1000);
+        assert!(!reclaim_defer(&c, &model, 8, &[resident], &cand, 3000));
     }
 }

@@ -38,7 +38,8 @@
 //! requests and responses are documented in `DESIGN.md` §15.
 
 use crate::protocol::{
-    Decision, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
+    Decision, DeferReason, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport,
+    WireError,
 };
 use rush_workload::persist::{utility_from_text, utility_to_text};
 
@@ -315,6 +316,7 @@ const REQ_PREDICT: u8 = 3;
 const REQ_CANCEL: u8 = 4;
 const REQ_STATS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_SET_CAPACITY: u8 = 7;
 
 /// Encodes a request payload (tag + fields, no length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -347,6 +349,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_varint(*job, &mut out);
         }
         Request::Stats => out.push(REQ_STATS),
+        Request::SetCapacity { capacity } => {
+            out.push(REQ_SET_CAPACITY);
+            put_varint(u64::from(*capacity), &mut out);
+        }
         Request::Shutdown { snapshot } => {
             out.push(REQ_SHUTDOWN);
             put_bool(*snapshot, &mut out);
@@ -398,6 +404,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         REQ_PREDICT => Request::Predict { job: r.varint("job")? },
         REQ_CANCEL => Request::Cancel { job: r.varint("job")? },
         REQ_STATS => Request::Stats,
+        REQ_SET_CAPACITY => {
+            let capacity = r.varint("capacity")?;
+            let capacity =
+                u32::try_from(capacity).map_err(|_| bad_field("capacity", "must fit in u32"))?;
+            if capacity == 0 {
+                return Err(bad_field("capacity", "must be >= 1"));
+            }
+            Request::SetCapacity { capacity }
+        }
         REQ_SHUTDOWN => Request::Shutdown { snapshot: r.boolean("snapshot")? },
         other => {
             return Err(WireError::new(ErrorCode::BadOp, format!("unknown request tag {other}")))
@@ -418,6 +433,7 @@ const RESP_PREDICTION: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_SHUTTING_DOWN: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_CAPACITY_SET: u8 = 7;
 
 fn decision_tag(d: Decision) -> u8 {
     match d {
@@ -433,6 +449,25 @@ fn decision_from_tag(tag: u8) -> Result<Decision, WireError> {
         1 => Ok(Decision::Defer),
         2 => Ok(Decision::Reject),
         other => Err(bad_frame(format!("unknown decision tag {other}"))),
+    }
+}
+
+/// `Option<DeferReason>` as one byte: 0 = none, 1 = overcommit,
+/// 2 = awaiting-restock.
+fn defer_reason_tag(r: Option<DeferReason>) -> u8 {
+    match r {
+        None => 0,
+        Some(DeferReason::Overcommit) => 1,
+        Some(DeferReason::AwaitingRestock) => 2,
+    }
+}
+
+fn defer_reason_from_tag(tag: u8) -> Result<Option<DeferReason>, WireError> {
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(DeferReason::Overcommit)),
+        2 => Ok(Some(DeferReason::AwaitingRestock)),
+        other => Err(bad_frame(format!("unknown defer-reason tag {other}"))),
     }
 }
 
@@ -506,12 +541,13 @@ fn read_plan_row(r: &mut Reader<'_>) -> Result<PlanRow, WireError> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     match resp {
-        Response::Submitted { job, decision, epoch, waited_us } => {
+        Response::Submitted { job, decision, epoch, waited_us, defer_reason } => {
             out.push(RESP_SUBMITTED);
             put_opt_varint(*job, &mut out);
             out.push(decision_tag(*decision));
             put_varint(*epoch, &mut out);
             put_varint(*waited_us, &mut out);
+            out.push(defer_reason_tag(*defer_reason));
         }
         Response::Ack => out.push(RESP_ACK),
         Response::PlanTable { now_slot, epoch, rows } => {
@@ -551,6 +587,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_varint(v, &mut out);
             }
         }
+        Response::CapacitySet { capacity } => {
+            out.push(RESP_CAPACITY_SET);
+            put_varint(u64::from(*capacity), &mut out);
+        }
         Response::ShuttingDown { snapshot_written } => {
             out.push(RESP_SHUTTING_DOWN);
             put_bool(*snapshot_written, &mut out);
@@ -576,12 +616,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         RESP_SUBMITTED => {
             let job = r.opt_varint("job")?;
             let decision = decision_from_tag(r.u8("decision")?)?;
-            Response::Submitted {
-                job,
-                decision,
-                epoch: r.varint("epoch")?,
-                waited_us: r.varint("waited_us")?,
-            }
+            let epoch = r.varint("epoch")?;
+            let waited_us = r.varint("waited_us")?;
+            let defer_reason = defer_reason_from_tag(r.u8("defer_reason")?)?;
+            Response::Submitted { job, decision, epoch, waited_us, defer_reason }
         }
         RESP_ACK => Response::Ack,
         RESP_PLAN_TABLE => {
@@ -621,6 +659,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             cache_misses: r.varint("cache_misses")?,
             now_slot: r.varint("now_slot")?,
         }),
+        RESP_CAPACITY_SET => {
+            let capacity = r.varint("capacity")?;
+            Response::CapacitySet {
+                capacity: u32::try_from(capacity)
+                    .map_err(|_| bad_field("capacity", "must fit in u32"))?,
+            }
+        }
         RESP_SHUTTING_DOWN => Response::ShuttingDown { snapshot_written: r.boolean("snapshot_written")? },
         RESP_ERROR => {
             let code = error_code_from_tag(r.u8("code")?)?;
@@ -751,6 +796,7 @@ mod tests {
             Request::Predict { job: 9 },
             Request::Cancel { job: 0 },
             Request::Stats,
+            Request::SetCapacity { capacity: 24 },
             Request::Shutdown { snapshot: false },
         ];
         for r in reqs {
@@ -763,8 +809,35 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let resps = vec![
-            Response::Submitted { job: Some(12), decision: Decision::Admit, epoch: 4, waited_us: 1800 },
-            Response::Submitted { job: None, decision: Decision::Reject, epoch: 4, waited_us: 90 },
+            Response::Submitted {
+                job: Some(12),
+                decision: Decision::Admit,
+                epoch: 4,
+                waited_us: 1800,
+                defer_reason: None,
+            },
+            Response::Submitted {
+                job: None,
+                decision: Decision::Reject,
+                epoch: 4,
+                waited_us: 90,
+                defer_reason: None,
+            },
+            Response::Submitted {
+                job: Some(3),
+                decision: Decision::Defer,
+                epoch: 2,
+                waited_us: 40,
+                defer_reason: Some(DeferReason::AwaitingRestock),
+            },
+            Response::Submitted {
+                job: Some(4),
+                decision: Decision::Defer,
+                epoch: 2,
+                waited_us: 41,
+                defer_reason: Some(DeferReason::Overcommit),
+            },
+            Response::CapacitySet { capacity: 48 },
             Response::Ack,
             Response::PlanTable {
                 now_slot: 17,
@@ -799,6 +872,26 @@ mod tests {
             let back = decode_response(&payload).unwrap_or_else(|e| panic!("{r:?}: {e}"));
             assert_eq!(r, back);
         }
+    }
+
+    #[test]
+    fn set_capacity_and_defer_reason_are_validated() {
+        // capacity == 0 mirrors the JSON decoder's BadField.
+        let p = vec![REQ_SET_CAPACITY, 0];
+        assert_eq!(decode_request(&p).expect_err("zero capacity").code, ErrorCode::BadField);
+        // capacity beyond u32.
+        let mut p = vec![REQ_SET_CAPACITY];
+        put_varint(5_000_000_000, &mut p);
+        assert_eq!(decode_request(&p).expect_err("huge capacity").code, ErrorCode::BadField);
+        // An unknown defer-reason tag in a Submitted frame is a framing
+        // error: the byte is ours, not the client's.
+        let mut p = vec![RESP_SUBMITTED];
+        put_opt_varint(Some(1), &mut p);
+        p.push(0); // Admit
+        put_varint(1, &mut p); // epoch
+        put_varint(2, &mut p); // waited_us
+        p.push(9); // bogus reason tag
+        assert_eq!(decode_response(&p).expect_err("bad reason").code, ErrorCode::BadFrame);
     }
 
     #[test]

@@ -127,6 +127,8 @@ impl Client {
     }
 
     /// Submits a job; returns `(decision, job id, epoch, waited_us)`.
+    /// (The defer reason, when present, is available via [`Client::call`]
+    /// on the raw [`Response::Submitted`].)
     ///
     /// # Errors
     ///
@@ -137,9 +139,25 @@ impl Client {
         sub: JobSubmission,
     ) -> Result<(Decision, Option<u64>, u64, u64), ServeError> {
         match self.call(&Request::Submit(sub))? {
-            Response::Submitted { job, decision, epoch, waited_us } => {
+            Response::Submitted { job, decision, epoch, waited_us, .. } => {
                 Ok((decision, job, epoch, waited_us))
             }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Re-sizes the cluster to `capacity` containers (a revocation when
+    /// shrinking, a restock when growing). Returns the capacity the daemon
+    /// now serves, summed across planner shards.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Client::submit`]; a capacity the daemon refuses (zero, or
+    /// fewer containers than planner shards) surfaces as
+    /// [`ServeError::Wire`] with [`crate::protocol::ErrorCode::BadField`].
+    pub fn set_capacity(&mut self, capacity: u32) -> Result<u32, ServeError> {
+        match self.call(&Request::SetCapacity { capacity })? {
+            Response::CapacitySet { capacity } => Ok(capacity),
             other => Err(unexpected(&other)),
         }
     }

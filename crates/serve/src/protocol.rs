@@ -137,6 +137,40 @@ impl Decision {
     }
 }
 
+/// Why a submission was deferred (parked) rather than admitted outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeferReason {
+    /// The classic Theorem-2 verdict: the cluster is overcommitted and the
+    /// job is completion-time insensitive, so it waits for room.
+    Overcommit,
+    /// Revocation-aware price deferral: the cluster is temporarily below
+    /// its provisioned capacity (spot revocation / node failure), the
+    /// [`rush_core::ClusterModel`] predicts the lost containers return
+    /// within the job's deadline slack, and the job fits at the
+    /// provisioned capacity — so it waits for the restock instead of
+    /// being rejected.
+    AwaitingRestock,
+}
+
+impl DeferReason {
+    /// The wire form of the reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeferReason::Overcommit => "overcommit",
+            DeferReason::AwaitingRestock => "awaiting-restock",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Option<DeferReason> {
+        Some(match s {
+            "overcommit" => DeferReason::Overcommit,
+            "awaiting-restock" => DeferReason::AwaitingRestock,
+            _ => return None,
+        })
+    }
+}
+
 /// A job submission: everything the paper's job-configuration interface
 /// collects from the client (Sec. IV).
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +228,14 @@ pub enum Request {
     },
     /// Fetch daemon counters.
     Stats,
+    /// Inject a capacity event: the cluster's effective container count
+    /// changed (spot revocation, restock, node failure, operator resize).
+    /// Cluster-wide: a multi-shard daemon re-splits the new total across
+    /// its shards exactly like the startup split.
+    SetCapacity {
+        /// New cluster-wide effective capacity in containers (≥ 1).
+        capacity: u32,
+    },
     /// Gracefully stop the daemon.
     Shutdown {
         /// Write a state snapshot before exiting (requires the daemon to
@@ -270,6 +312,9 @@ pub enum Response {
         epoch: u64,
         /// Microseconds the submission waited for its epoch to close.
         waited_us: u64,
+        /// Why the job was parked (present exactly when `decision` is
+        /// [`Decision::Defer`]).
+        defer_reason: Option<DeferReason>,
     },
     /// Generic success (report-sample, cancel).
     Ack,
@@ -299,6 +344,12 @@ pub enum Response {
     },
     /// Counter dump.
     Stats(StatsReport),
+    /// The capacity event was applied. From a multi-shard daemon this is
+    /// the merged (summed) effective capacity across shards.
+    CapacitySet {
+        /// The effective capacity now in force.
+        capacity: u32,
+    },
     /// The daemon acknowledged `shutdown` and is exiting.
     ShuttingDown {
         /// Whether a snapshot was written.
@@ -431,6 +482,10 @@ impl Request {
             Request::Stats => {
                 fields.push(("op".into(), Json::str("stats")));
             }
+            Request::SetCapacity { capacity } => {
+                fields.push(("op".into(), Json::str("set-capacity")));
+                fields.push(("capacity".into(), Json::u64(u64::from(*capacity))));
+            }
             Request::Shutdown { snapshot } => {
                 fields.push(("op".into(), Json::str("shutdown")));
                 fields.push(("snapshot".into(), Json::Bool(*snapshot)));
@@ -492,6 +547,15 @@ impl Request {
             "predict" => Ok(Request::Predict { job: need_u64(&obj, "job")? }),
             "cancel" => Ok(Request::Cancel { job: need_u64(&obj, "job")? }),
             "stats" => Ok(Request::Stats),
+            "set-capacity" => {
+                let capacity = need_u64(&obj, "capacity")?;
+                let capacity = u32::try_from(capacity)
+                    .map_err(|_| bad_field("capacity", "must fit in u32"))?;
+                if capacity == 0 {
+                    return Err(bad_field("capacity", "must be >= 1"));
+                }
+                Ok(Request::SetCapacity { capacity })
+            }
             "shutdown" => Ok(Request::Shutdown { snapshot: opt_bool(&obj, "snapshot", true)? }),
             other => {
                 Err(WireError::new(ErrorCode::BadOp, format!("unknown op \"{other}\"")))
@@ -540,7 +604,7 @@ impl Response {
     /// Encodes the response as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         let fields = match self {
-            Response::Submitted { job, decision, epoch, waited_us } => {
+            Response::Submitted { job, decision, epoch, waited_us, defer_reason } => {
                 let mut f = vec![
                     ("ok".to_string(), Json::Bool(true)),
                     ("kind".into(), Json::str("submitted")),
@@ -548,6 +612,9 @@ impl Response {
                     ("epoch".into(), Json::u64(*epoch)),
                     ("waited_us".into(), Json::u64(*waited_us)),
                 ];
+                if let Some(reason) = defer_reason {
+                    f.push(("defer_reason".into(), Json::str(reason.as_str())));
+                }
                 if let Some(id) = job {
                     f.insert(2, ("job".into(), Json::u64(*id)));
                 }
@@ -592,6 +659,11 @@ impl Response {
                 ("cache_misses".into(), Json::u64(s.cache_misses)),
                 ("now_slot".into(), Json::u64(s.now_slot)),
             ],
+            Response::CapacitySet { capacity } => vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("kind".into(), Json::str("capacity-set")),
+                ("capacity".into(), Json::u64(u64::from(*capacity))),
+            ],
             Response::ShuttingDown { snapshot_written } => vec![
                 ("ok".to_string(), Json::Bool(true)),
                 ("kind".into(), Json::str("shutting-down")),
@@ -631,11 +703,20 @@ impl Response {
             "submitted" => {
                 let decision = Decision::from_wire(need_str(&obj, "decision")?)
                     .ok_or_else(|| bad_field("decision", "unknown decision"))?;
+                let defer_reason = match obj.get("defer_reason") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .and_then(DeferReason::from_wire)
+                            .ok_or_else(|| bad_field("defer_reason", "unknown defer reason"))?,
+                    ),
+                };
                 Ok(Response::Submitted {
                     job: opt_u64(&obj, "job")?,
                     decision,
                     epoch: need_u64(&obj, "epoch")?,
                     waited_us: need_u64(&obj, "waited_us")?,
+                    defer_reason,
                 })
             }
             "ack" => Ok(Response::Ack),
@@ -674,6 +755,13 @@ impl Response {
                 cache_misses: need_u64(&obj, "cache_misses")?,
                 now_slot: need_u64(&obj, "now_slot")?,
             })),
+            "capacity-set" => {
+                let capacity = need_u64(&obj, "capacity")?;
+                Ok(Response::CapacitySet {
+                    capacity: u32::try_from(capacity)
+                        .map_err(|_| bad_field("capacity", "must fit in u32"))?,
+                })
+            }
             "shutting-down" => Ok(Response::ShuttingDown {
                 snapshot_written: need_bool(&obj, "snapshot_written")?,
             }),
@@ -720,6 +808,7 @@ mod tests {
             Request::Predict { job: 9 },
             Request::Cancel { job: 0 },
             Request::Stats,
+            Request::SetCapacity { capacity: 12 },
             Request::Shutdown { snapshot: false },
         ];
         for r in reqs {
@@ -738,12 +827,28 @@ mod tests {
                 decision: Decision::Admit,
                 epoch: 4,
                 waited_us: 1800,
+                defer_reason: None,
             },
             Response::Submitted {
                 job: None,
                 decision: Decision::Reject,
                 epoch: 4,
                 waited_us: 90,
+                defer_reason: None,
+            },
+            Response::Submitted {
+                job: Some(3),
+                decision: Decision::Defer,
+                epoch: 2,
+                waited_us: 40,
+                defer_reason: Some(DeferReason::AwaitingRestock),
+            },
+            Response::Submitted {
+                job: Some(4),
+                decision: Decision::Defer,
+                epoch: 2,
+                waited_us: 41,
+                defer_reason: Some(DeferReason::Overcommit),
             },
             Response::Ack,
             Response::PlanTable {
@@ -784,6 +889,7 @@ mod tests {
                 cache_misses: 9,
                 now_slot: 123,
             }),
+            Response::CapacitySet { capacity: 9 },
             Response::ShuttingDown { snapshot_written: true },
             Response::error(ErrorCode::UnknownJob, "job 99 is not resident"),
         ];
@@ -845,6 +951,29 @@ mod tests {
     fn shutdown_snapshot_defaults_to_true() {
         let r = Request::decode(r#"{"v":1,"op":"shutdown"}"#).unwrap();
         assert_eq!(r, Request::Shutdown { snapshot: true });
+    }
+
+    #[test]
+    fn set_capacity_is_validated() {
+        let r = Request::decode(r#"{"v":1,"op":"set-capacity","capacity":7}"#).unwrap();
+        assert_eq!(r, Request::SetCapacity { capacity: 7 });
+        for bad in [
+            r#"{"v":1,"op":"set-capacity"}"#,
+            r#"{"v":1,"op":"set-capacity","capacity":0}"#,
+            r#"{"v":1,"op":"set-capacity","capacity":5000000000}"#,
+            r#"{"v":1,"op":"set-capacity","capacity":-3}"#,
+        ] {
+            let e = Request::decode(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadField, "{bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_defer_reason_is_structured() {
+        let line = r#"{"ok":true,"kind":"submitted","job":1,"decision":"defer","epoch":1,"waited_us":5,"defer_reason":"lunar-eclipse"}"#;
+        let e = Response::decode(line).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadField);
+        assert!(e.message.contains("defer_reason"));
     }
 
     #[test]

@@ -48,10 +48,11 @@
 //! shutdown) are broadcast and merged in shard order.
 
 use crate::binary::{self, Scan};
-use crate::protocol::{ErrorCode, JobSubmission, Request, Response};
+use crate::protocol::{ErrorCode, JobSubmission, Request, Response, WireError};
 use crate::snapshot;
 use crate::state::ServeState;
 use crate::ServeError;
+use rush_core::cluster::ClusterModel;
 use rush_core::RushConfig;
 use rush_metrics::Histogram;
 use std::collections::VecDeque;
@@ -139,6 +140,14 @@ pub struct ServeConfig {
     pub slow_reader_ms: u64,
     /// The scheduling pipeline's parameters.
     pub rush: RushConfig,
+    /// An optional typed model of the container supply. When set, the
+    /// daemon runs revocation-aware admission: a time-sensitive job that
+    /// fails Theorem 2 at the current (revocation-depressed) capacity is
+    /// parked as `awaiting-restock` when the model predicts the deficit
+    /// heals inside the job's deadline. Requires `shards == 1` (a shard's
+    /// capacity slice cannot observe the cluster-wide deficit) and a
+    /// provisioned total equal to `capacity`.
+    pub cluster: Option<ClusterModel>,
 }
 
 impl Default for ServeConfig {
@@ -157,6 +166,7 @@ impl Default for ServeConfig {
             max_write_buffer: 4 * 1024 * 1024,
             slow_reader_ms: 10_000,
             rush: RushConfig::default(),
+            cluster: None,
         }
     }
 }
@@ -363,6 +373,19 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
             config.capacity, config.shards
         )));
     }
+    if let Some(model) = &config.cluster {
+        if config.shards != 1 {
+            return Err(ServeError::Config(
+                "a cluster model requires a single planner shard: a shard's capacity \
+                 slice cannot observe the cluster-wide deficit"
+                    .into(),
+            ));
+        }
+        model.validate().map_err(|e| ServeError::Config(format!("cluster model: {e}")))?;
+        // `capacity > total` (serving more than is provisioned) is
+        // rejected per shard by `with_cluster_model`; `capacity < total`
+        // is legitimate — a daemon restarted mid-outage.
+    }
 
     let slices = split_capacity(config.capacity, config.shards);
     let mut shard_states = Vec::with_capacity(config.shards);
@@ -371,6 +394,13 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         let (state, base_slot) = match &path {
             Some(p) if p.exists() => snapshot::read(p, config.rush, slice)?,
             _ => (ServeState::new(config.rush, slice)?, 0),
+        };
+        // The operator's model wins over a snapshot-restored one: the
+        // snapshot records what was attached at write time, the config
+        // says what is provisioned now.
+        let state = match &config.cluster {
+            Some(model) => state.with_cluster_model(model.clone())?,
+            None => state,
         };
         shard_states.push((state, base_slot, path, slice));
     }
@@ -384,14 +414,16 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     let mut txs = Vec::with_capacity(config.shards);
     for (state, base_slot, path, slice) in shard_states {
         let (tx, rx) = mpsc::channel::<PlannerMsg>();
+        let shard = txs.len();
         txs.push(tx);
         let stop = Arc::clone(&stop);
         // Each planner sees a shard-local view of the config: its slice
         // of the capacity and its own snapshot file.
         let shard_config =
             ServeConfig { capacity: slice, snapshot_path: path, ..config.clone() };
-        planners
-            .push(thread::spawn(move || planner_loop(shard_config, state, base_slot, &rx, &stop)));
+        planners.push(thread::spawn(move || {
+            planner_loop(shard_config, shard, state, base_slot, &rx, &stop)
+        }));
     }
 
     let (frontend, wakers) = match config.frontend {
@@ -417,6 +449,7 @@ fn now_slot(base_slot: u64, started: Instant, ms_per_slot: u64) -> u64 {
 #[allow(clippy::needless_pass_by_value)]
 fn planner_loop(
     config: ServeConfig,
+    shard: usize,
     mut state: ServeState,
     base_slot: u64,
     rx: &Receiver<PlannerMsg>,
@@ -460,7 +493,7 @@ fn planner_loop(
                     return Ok(waits);
                 }
                 let slot = now_slot(base_slot, started, config.ms_per_slot);
-                reply.send(answer_immediate(&mut state, req, slot));
+                reply.send(answer_immediate(&mut state, req, slot, shard, config.shards));
             }
             // The tick itself carries no work; the deadline check below
             // (which runs on every turn) does the closing.
@@ -501,16 +534,30 @@ fn close_epoch(
     let subs = batch.iter().map(|(sub, _, _)| sub.clone()).collect();
     let verdicts = state.submit_epoch(subs, slot)?;
     let epoch = state.counters().epochs;
-    for ((_, enqueued, reply), (decision, id)) in batch.into_iter().zip(verdicts) {
+    for ((_, enqueued, reply), v) in batch.into_iter().zip(verdicts) {
         let waited_us = enqueued.elapsed().as_micros() as u64;
         waits.record(waited_us);
-        reply.send(Response::Submitted { job: id, decision, epoch, waited_us });
+        reply.send(Response::Submitted {
+            job: v.job,
+            decision: v.decision,
+            epoch,
+            waited_us,
+            defer_reason: v.defer_reason,
+        });
     }
     Ok(())
 }
 
-/// Answers a non-submit request against the state.
-fn answer_immediate(state: &mut ServeState, req: Request, slot: u64) -> Response {
+/// Answers a non-submit request against the state. `shard` / `shards`
+/// locate this planner inside the daemon so a broadcast `set-capacity`
+/// can compute its own slice of the new total.
+fn answer_immediate(
+    state: &mut ServeState,
+    req: Request,
+    slot: u64,
+    shard: usize,
+    shards: usize,
+) -> Response {
     match req {
         Request::ReportSample { job, runtime } => match state.report_sample(job, runtime) {
             Ok(_) => Response::Ack,
@@ -535,6 +582,31 @@ fn answer_immediate(state: &mut ServeState, req: Request, slot: u64) -> Response
             Err(e) => Response::Error(e),
         },
         Request::Stats => Response::Stats(state.stats(slot)),
+        Request::SetCapacity { capacity } => {
+            // Validated identically on every shard *before* any state
+            // changes: a broadcast is not atomic, so a capacity that only
+            // some shards could absorb must be refused by all of them.
+            if capacity < shards as u32 {
+                return Response::Error(WireError {
+                    code: ErrorCode::BadField,
+                    message: format!(
+                        "capacity: {capacity} cannot be split across {shards} planner shards"
+                    ),
+                });
+            }
+            // `split_capacity` returns exactly `shards` slices; a missing
+            // one would be an internal routing bug, not a client error.
+            let Some(&slice) = split_capacity(capacity, shards).get(shard) else {
+                return Response::error(ErrorCode::Internal, "shard index out of range");
+            };
+            // rush-lint: allow(RUSH-L014): sanctioned wire adapter — ServeState lowers onto PlannerEvent::CapacityChange
+            match state.set_capacity(slice) {
+                // Each shard reports its slice; the broadcast merge sums
+                // them back to the cluster-wide total.
+                Ok(()) => Response::CapacitySet { capacity: slice },
+                Err(e) => Response::Error(e),
+            }
+        }
         // Submit and Shutdown are routed before this function.
         Request::Submit(_) | Request::Shutdown { .. } => {
             Response::error(ErrorCode::Internal, "request routed to the wrong handler")
@@ -592,6 +664,7 @@ pub(crate) fn encode_response(mut resp: Response, shard: usize, shards: usize) -
         // fails to compile here instead of silently passing through.
         Response::Ack
         | Response::Stats(_)
+        | Response::CapacitySet { .. }
         | Response::ShuttingDown { .. }
         | Response::Error(_) => {}
     }
@@ -646,9 +719,10 @@ pub(crate) fn route(req: Request, shards: usize) -> Routed {
             shard: wire_shard(job, shards),
             req: Request::Cancel { job: wire_to_local(job, shards) },
         },
-        Request::QueryPlan { job: None } | Request::Stats | Request::Shutdown { .. } => {
-            Routed::Broadcast { req }
-        }
+        Request::QueryPlan { job: None }
+        | Request::Stats
+        | Request::SetCapacity { .. }
+        | Request::Shutdown { .. } => Routed::Broadcast { req },
     }
 }
 
@@ -707,6 +781,10 @@ pub(crate) fn merge_pair(merged: Option<Response>, resp: Response) -> Response {
             a.cache_misses += b.cache_misses;
             a.now_slot = a.now_slot.max(b.now_slot);
             Response::Stats(a)
+        }
+        // Each shard resized its slice; the cluster-wide total is the sum.
+        (Some(Response::CapacitySet { capacity }), Response::CapacitySet { capacity: c }) => {
+            Response::CapacitySet { capacity: capacity + c }
         }
         (
             Some(Response::ShuttingDown { snapshot_written }),

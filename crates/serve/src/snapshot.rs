@@ -18,6 +18,7 @@ use crate::json::{parse, Json};
 use crate::protocol::JobSubmission;
 use crate::state::{Counters, JobState, ServeState};
 use crate::ServeError;
+use rush_core::cluster::{ClusterModel, ContainerClass, ReliabilityTier};
 use rush_core::RushConfig;
 use rush_workload::persist::{utility_from_text, utility_to_text};
 use std::path::Path;
@@ -107,16 +108,80 @@ fn job_from_json(v: &Json) -> Result<(u64, JobState), ServeError> {
     ))
 }
 
+/// The attached [`ClusterModel`], minus its event schedule: capacity
+/// changes arrive over the wire, so only the provisioned classes are
+/// durable state.
+fn cluster_to_json(m: &ClusterModel) -> Json {
+    Json::Obj(vec![
+        ("provisioned".into(), Json::u64(u64::from(m.total_capacity()))),
+        (
+            "classes".into(),
+            Json::Arr(
+                m.classes
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(c.name.clone())),
+                            ("count".into(), Json::u64(u64::from(c.count))),
+                            ("price".into(), Json::f64(c.price)),
+                            ("tier".into(), Json::str(c.tier.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn cluster_from_json(v: &Json) -> Result<ClusterModel, ServeError> {
+    let classes: Result<Vec<ContainerClass>, ServeError> = v
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| snap_err("cluster is missing \"classes\""))?
+        .iter()
+        .map(|c| {
+            Ok(ContainerClass {
+                name: c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| snap_err("container class is missing \"name\""))?
+                    .to_string(),
+                count: u32::try_from(need_u64(c, "count")?)
+                    .map_err(|_| snap_err("container class count does not fit in u32"))?,
+                price: c
+                    .get("price")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| snap_err("container class is missing \"price\""))?,
+                tier: c
+                    .get("tier")
+                    .and_then(Json::as_str)
+                    .and_then(ReliabilityTier::from_wire)
+                    .ok_or_else(|| snap_err("container class has an unknown \"tier\""))?,
+            })
+        })
+        .collect();
+    let model = ClusterModel { classes: classes?, events: Vec::new() };
+    if need_u64(v, "provisioned")? != u64::from(model.total_capacity()) {
+        return Err(snap_err("cluster \"provisioned\" disagrees with its classes"));
+    }
+    Ok(model)
+}
+
 /// Serializes the daemon state (plus the slot it was taken at) to a JSON
 /// document.
 pub fn encode(state: &ServeState, now_slot: u64) -> String {
     let c = state.counters();
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("v".to_string(), Json::u64(SNAPSHOT_VERSION)),
         ("kind".into(), Json::str("rushd-snapshot")),
         ("now_slot".into(), Json::u64(now_slot)),
         ("next_id".into(), Json::u64(state.next_id())),
         ("capacity".into(), Json::u64(u64::from(state.capacity()))),
+    ];
+    if let Some(m) = state.cluster_model() {
+        fields.push(("cluster".into(), cluster_to_json(m)));
+    }
+    fields.extend(vec![
         ("theta".into(), Json::f64(state.config().theta)),
         ("delta".into(), Json::f64(state.config().delta)),
         (
@@ -136,7 +201,7 @@ pub fn encode(state: &ServeState, now_slot: u64) -> String {
             Json::Arr(state.jobs().map(|(id, j)| job_to_json(id, &j)).collect()),
         ),
     ]);
-    doc.encode()
+    Json::Obj(fields).encode()
 }
 
 /// Rebuilds a [`ServeState`] from a snapshot document under the daemon's
@@ -194,6 +259,14 @@ pub fn decode(text: &str, config: RushConfig, capacity: u32) -> Result<(ServeSta
         .collect();
     let state =
         ServeState::from_parts(config, capacity, jobs?, need_u64(&doc, "next_id")?, counters)?;
+    // An absent "cluster" field is a pre-model snapshot: restore without
+    // revocation-aware admission, exactly as that daemon ran.
+    let state = match doc.get("cluster") {
+        None | Some(Json::Null) => state,
+        Some(cv) => state
+            .with_cluster_model(cluster_from_json(cv)?)
+            .map_err(|e| snap_err(format!("cluster model: {e}")))?,
+    };
     Ok((state, now_slot))
 }
 
@@ -247,8 +320,8 @@ mod tests {
             },
         ];
         let verdicts = s.submit_epoch(subs, 3).expect("epoch");
-        assert!(verdicts.iter().all(|(d, _)| *d == Decision::Admit));
-        let id = verdicts[0].1.expect("id");
+        assert!(verdicts.iter().all(|v| v.decision == Decision::Admit));
+        let id = verdicts[0].job.expect("id");
         s.report_sample(id, 38).expect("sample");
         s.report_sample(id, 44).expect("sample");
         (s, 7)
@@ -283,6 +356,57 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(restored_slot, slot);
         assert_eq!(restored.next_id(), state.next_id());
+    }
+
+    #[test]
+    fn cluster_model_round_trips_and_reattaches() {
+        let (s, slot) = populated();
+        let s = s
+            .with_cluster_model(ClusterModel::tiered(8, 4, 4).with_spot_churn(2, 10, 100, 30, 2, 3))
+            .expect("valid model");
+        let text = encode(&s, slot);
+        assert!(text.contains("\"cluster\""), "{text}");
+        let (b, _) = decode(&text, RushConfig::default(), 16).expect("decode");
+        let m = b.cluster_model().expect("model restored");
+        assert_eq!(m.total_capacity(), 16);
+        assert_eq!(m.classes.len(), 3);
+        assert_eq!(m.classes[2].tier, ReliabilityTier::Spot);
+        // The event schedule is deliberately not durable: capacity changes
+        // arrive over the wire after restart.
+        assert!(m.events.is_empty());
+        // Re-encoding the restored state reproduces the document.
+        assert_eq!(text, encode(&b, slot));
+    }
+
+    #[test]
+    fn pre_model_snapshots_restore_without_a_model() {
+        let (s, slot) = populated();
+        let text = encode(&s, slot);
+        assert!(!text.contains("\"cluster\""), "{text}");
+        let (b, _) = decode(&text, RushConfig::default(), 16).expect("decode");
+        assert!(b.cluster_model().is_none());
+    }
+
+    #[test]
+    fn malformed_cluster_fields_are_refused() {
+        let (s, slot) = populated();
+        let s = s.with_cluster_model(ClusterModel::tiered(8, 4, 4)).expect("valid model");
+        let text = encode(&s, slot);
+        for (from, to) in [
+            // Unknown tier name.
+            ("\"tier\":\"spot\"", "\"tier\":\"preemptible\""),
+            // Provisioned total out of step with the classes.
+            ("\"provisioned\":16", "\"provisioned\":12"),
+            // Class list gone entirely.
+            ("\"classes\"", "\"klasses\""),
+        ] {
+            let bad = text.replace(from, to);
+            assert_ne!(bad, text, "replacement {from:?} must apply");
+            assert!(
+                matches!(decode(&bad, RushConfig::default(), 16), Err(ServeError::Snapshot(_))),
+                "{from} -> {to}"
+            );
+        }
     }
 
     #[test]

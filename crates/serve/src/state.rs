@@ -25,11 +25,14 @@
 //! Parked (deferred) jobs are re-probed at the start of every epoch, in
 //! submission order.
 
-use crate::admission::{admission_deadline, estimate_eta, probe};
-use crate::protocol::{Decision, ErrorCode, JobSubmission, PlanRow, StatsReport, WireError};
+use crate::admission::{admission_deadline, estimate_eta, probe, reclaim_defer};
+use crate::protocol::{
+    Decision, DeferReason, ErrorCode, JobSubmission, PlanRow, StatsReport, WireError,
+};
 use crate::ServeError;
+use rush_core::cluster::ClusterModel;
 use rush_core::RushConfig;
-use rush_planner::{JobId, JobRecord, JobSpec, PlannerError, ShardedPlanner};
+use rush_planner::{JobId, JobRecord, JobSpec, PlannerError, PlannerEvent, ShardedPlanner};
 use std::collections::BTreeMap;
 
 /// One resident job, as exchanged with the snapshot layer. Internally the
@@ -68,6 +71,19 @@ pub struct Counters {
     pub samples: u64,
 }
 
+/// One admission verdict from [`ServeState::submit_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochVerdict {
+    /// The admission decision.
+    pub decision: Decision,
+    /// The assigned job id; `None` exactly when the submission was
+    /// rejected.
+    pub job: Option<u64>,
+    /// Why a deferral happened; `Some` exactly when `decision` is
+    /// [`Decision::Defer`].
+    pub defer_reason: Option<DeferReason>,
+}
+
 /// The daemon's entire mutable state (minus sockets and clocks): the
 /// planner kernel plus the wire submissions and counters.
 #[derive(Debug, Clone)]
@@ -77,6 +93,10 @@ pub struct ServeState {
     /// registry carries the planning projection of it).
     subs: BTreeMap<u64, JobSubmission>,
     counters: Counters,
+    /// The typed container supply, when the operator described one.
+    /// Admission consults it to upgrade supply-side rejections into
+    /// [`DeferReason::AwaitingRestock`] deferrals.
+    model: Option<ClusterModel>,
 }
 
 impl ServeState {
@@ -109,7 +129,38 @@ impl ServeState {
             planner: ShardedPlanner::new(config, capacity, shards)?,
             subs: BTreeMap::new(),
             counters: Counters::default(),
+            model: None,
         })
+    }
+
+    /// Attaches a typed cluster model, turning on revocation-aware
+    /// admission: a time-sensitive candidate that fails the Theorem-2
+    /// probe at the current capacity is parked (instead of rejected) when
+    /// the model predicts the deficit heals inside the candidate's
+    /// deadline (see [`crate::admission::reclaim_defer`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when the model fails
+    /// [`ClusterModel::validate`] or provisions fewer containers than the
+    /// state's current capacity (observed capacity can sag below the
+    /// provisioned total during an outage, never exceed it).
+    pub fn with_cluster_model(mut self, model: ClusterModel) -> Result<Self, ServeError> {
+        model.validate().map_err(|e| ServeError::Config(format!("cluster model: {e}")))?;
+        if self.capacity() > model.total_capacity() {
+            return Err(ServeError::Config(format!(
+                "cluster model provisions {} containers but the daemon serves {}",
+                model.total_capacity(),
+                self.capacity()
+            )));
+        }
+        self.model = Some(model);
+        Ok(self)
+    }
+
+    /// The attached cluster model, if any.
+    pub fn cluster_model(&self) -> Option<&ClusterModel> {
+        self.model.as_ref()
     }
 
     /// Rebuilds a state from snapshot parts (see [`crate::snapshot`]).
@@ -146,7 +197,7 @@ impl ServeState {
         // Snapshots restore into a single shard: the format is
         // shard-agnostic and a multi-shard daemon snapshots per shard.
         let planner = ShardedPlanner::from_parts(config, capacity, 1, records, next_id)?;
-        Ok(ServeState { planner, subs, counters })
+        Ok(ServeState { planner, subs, counters, model: None })
     }
 
     /// The scheduler configuration.
@@ -162,6 +213,27 @@ impl ServeState {
     /// Next job id to be assigned.
     pub fn next_id(&self) -> u64 {
         self.planner.next_id()
+    }
+
+    /// Re-sizes the cluster through the planner's capacity-event path
+    /// (the same [`PlannerEvent::CapacityChange`] the simulator injects),
+    /// so the delta-peel divergence machinery — not an out-of-band reset —
+    /// absorbs the change.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadField`] when the kernel refuses the capacity
+    /// (e.g. zero, or fewer containers than planner shards); other kernel
+    /// failures surface as [`ErrorCode::Internal`].
+    pub fn set_capacity(&mut self, capacity: u32) -> Result<(), WireError> {
+        self.planner.apply(PlannerEvent::CapacityChange { capacity }).map_err(|e| match e {
+            PlannerError::Config(msg) => WireError {
+                code: ErrorCode::BadField,
+                message: format!("capacity: {msg}"),
+            },
+            other => internal(ServeError::from(other)),
+        })?;
+        Ok(())
     }
 
     /// The counters.
@@ -216,8 +288,15 @@ impl ServeState {
     /// rejects each new submission (in order, each admission's reservation
     /// visible to the next candidate), then replans **once**.
     ///
-    /// Returns one `(decision, job id)` pair per submission, in order; the
-    /// id is `None` exactly when the submission was rejected.
+    /// Returns one [`EpochVerdict`] per submission, in order; the job id
+    /// is `None` exactly when the submission was rejected.
+    ///
+    /// With a cluster model attached ([`Self::with_cluster_model`]), a
+    /// time-sensitive candidate the probe rejects at the current
+    /// (revocation-depressed) capacity is parked with
+    /// [`DeferReason::AwaitingRestock`] when the model predicts the
+    /// deficit heals inside its deadline; ordinary insensitive deferrals
+    /// carry [`DeferReason::Overcommit`].
     ///
     /// # Errors
     ///
@@ -228,7 +307,7 @@ impl ServeState {
         &mut self,
         subs: Vec<JobSubmission>,
         now_slot: u64,
-    ) -> Result<Vec<(Decision, Option<u64>)>, ServeError> {
+    ) -> Result<Vec<EpochVerdict>, ServeError> {
         self.planner.plan_at(now_slot)?;
         let mut reservations = self.reservations(now_slot);
 
@@ -280,6 +359,22 @@ impl ServeState {
                 // refusing it is the conservative verdict.
                 None => Decision::Reject,
             };
+            let (decision, defer_reason) = match (decision, eta, &self.model) {
+                (Decision::Reject, Some(eta), Some(model))
+                    if reclaim_defer(
+                        self.planner.config(),
+                        model,
+                        self.planner.capacity(),
+                        &reservations,
+                        &sub,
+                        eta,
+                    ) =>
+                {
+                    (Decision::Defer, Some(DeferReason::AwaitingRestock))
+                }
+                (Decision::Defer, ..) => (Decision::Defer, Some(DeferReason::Overcommit)),
+                (d, ..) => (d, None),
+            };
             let id = match decision {
                 Decision::Admit | Decision::Defer => {
                     if decision == Decision::Admit {
@@ -309,7 +404,7 @@ impl ServeState {
                     None
                 }
             };
-            verdicts.push((decision, id));
+            verdicts.push(EpochVerdict { decision, job: id, defer_reason });
         }
 
         self.counters.epochs += 1;
@@ -483,7 +578,9 @@ mod tests {
             .submit_epoch(vec![sub("a", 10, 5000), sub("b", 20, 8000)], 0)
             .expect("epoch");
         assert_eq!(verdicts.len(), 2);
-        assert!(verdicts.iter().all(|(d, id)| *d == Decision::Admit && id.is_some()));
+        assert!(verdicts
+            .iter()
+            .all(|v| v.decision == Decision::Admit && v.job.is_some() && v.defer_reason.is_none()));
         assert_eq!(s.counters().epochs, 1);
         assert_eq!(s.counters().admitted, 2);
         // The epoch replanned exactly once: one per-job solve each.
@@ -506,13 +603,14 @@ mod tests {
         let verdicts = s
             .submit_epoch(vec![sub("huge", 400, 100), insensitive("patient", 400)], 0)
             .expect("epoch");
-        assert_eq!(verdicts[0].0, Decision::Reject);
-        assert_eq!(verdicts[0].1, None);
+        assert_eq!(verdicts[0].decision, Decision::Reject);
+        assert_eq!(verdicts[0].job, None);
+        assert_eq!(verdicts[0].defer_reason, None);
         assert_eq!(s.counters().rejected, 1);
         // The insensitive twin is parked, not dropped. (Whether it is
         // parked or admitted depends on the horizon; with the default 1e6
         // horizon 10000 slots of work fit, so it is admitted.)
-        assert!(verdicts[1].1.is_some());
+        assert!(verdicts[1].job.is_some());
     }
 
     #[test]
@@ -523,12 +621,14 @@ mod tests {
         // inflation) fits the 2 × 1000 container·slot horizon; two don't.
         let verdicts =
             s.submit_epoch(vec![insensitive("filler", 20)], 0).expect("epoch");
-        assert_eq!(verdicts[0].0, Decision::Admit);
-        let filler = verdicts[0].1.expect("id");
-        // A second bulk job no longer fits and is deferred.
+        assert_eq!(verdicts[0].decision, Decision::Admit);
+        let filler = verdicts[0].job.expect("id");
+        // A second bulk job no longer fits and is deferred (a plain
+        // demand-side overcommit: no cluster model is attached).
         let verdicts = s.submit_epoch(vec![insensitive("waiter", 20)], 1).expect("epoch");
-        assert_eq!(verdicts[0].0, Decision::Defer);
-        let waiter = verdicts[0].1.expect("id");
+        assert_eq!(verdicts[0].decision, Decision::Defer);
+        assert_eq!(verdicts[0].defer_reason, Some(DeferReason::Overcommit));
+        let waiter = verdicts[0].job.expect("id");
         assert!(s.rows(1, Some(waiter)).is_err(), "parked job has no plan row");
         // Cancel the filler; the next epoch unparks the waiter.
         s.cancel(filler).expect("cancel");
@@ -542,7 +642,7 @@ mod tests {
     fn samples_shrink_the_job_and_complete_it() {
         let mut s = ServeState::new(RushConfig::default(), 8).expect("state");
         let verdicts = s.submit_epoch(vec![sub("j", 3, 5000)], 0).expect("epoch");
-        let id = verdicts[0].1.expect("id");
+        let id = verdicts[0].job.expect("id");
         assert!(!s.report_sample(id, 48).expect("sample"));
         assert!(!s.report_sample(id, 52).expect("sample"));
         assert!(s.report_sample(id, 50).expect("sample"), "last task completes the job");
@@ -559,7 +659,7 @@ mod tests {
     fn predict_returns_the_theorem3_bound() {
         let mut s = ServeState::new(RushConfig::default(), 8).expect("state");
         let id = s.submit_epoch(vec![sub("j", 10, 5000)], 0).expect("epoch")[0]
-            .1
+            .job
             .expect("id");
         let (target, task_len, bound, planned, impossible) =
             s.predict(id, 0).expect("predict");
@@ -607,6 +707,92 @@ mod tests {
         )];
         let err = ServeState::from_parts(RushConfig::default(), 4, jobs, 5, Counters::default());
         assert!(matches!(err, Err(ServeError::Snapshot(_))));
+    }
+
+    #[test]
+    fn set_capacity_flows_through_the_event_path() {
+        let mut s = ServeState::new(RushConfig::default(), 8).expect("state");
+        let id = s.submit_epoch(vec![sub("j", 10, 5000)], 0).expect("epoch")[0]
+            .job
+            .expect("id");
+        s.set_capacity(3).expect("shrink");
+        assert_eq!(s.capacity(), 3);
+        assert_eq!(s.rows(1, None).expect("rows").len(), 1);
+        s.set_capacity(12).expect("grow");
+        assert_eq!(s.capacity(), 12);
+        let (_, _, _, planned, _) = s.predict(id, 2).expect("predict");
+        assert!(planned > 0);
+        // The kernel refuses a zero-container cluster, as a BadField.
+        let err = s.set_capacity(0).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadField);
+        assert_eq!(s.capacity(), 12, "failed resize must not change capacity");
+    }
+
+    /// A budget that makes a `tasks`-task, hint-50 job infeasible at the
+    /// depressed capacity 8 but feasible at the provisioned 16 even after
+    /// the 60-slot spot reclaim horizon: `8·b < η ≤ 16·(b − 60)` holds for
+    /// `b = η/8 − 1` whenever `η ≥ 976`.
+    fn outage_budget(s: &ServeState, tasks: u64) -> u64 {
+        let (eta, _) = crate::admission::estimate_eta(s.config(), &[], Some(50.0), tasks as usize)
+            .expect("estimate");
+        assert!(eta >= 976, "test premise needs a big job, eta={eta}");
+        eta / 8 - 1
+    }
+
+    #[test]
+    fn spot_outage_defers_then_restock_admits() {
+        use rush_core::cluster::ClusterModel;
+        let mut s = ServeState::new(RushConfig::default(), 16)
+            .expect("state")
+            .with_cluster_model(ClusterModel::tiered(8, 0, 8))
+            .expect("valid model");
+        // The spot pool is revoked: 16 → 8 containers.
+        s.set_capacity(8).expect("revoke");
+        let budget = outage_budget(&s, 400);
+        // A time-sensitive job that fails Theorem 2 at the depressed 8 but
+        // fits the provisioned 16 after the 60-slot spot reclaim horizon
+        // is parked as awaiting-restock instead of rejected.
+        let verdicts = s.submit_epoch(vec![sub("spiky", 400, budget)], 0).expect("epoch");
+        assert_eq!(verdicts[0].decision, Decision::Defer);
+        assert_eq!(verdicts[0].defer_reason, Some(DeferReason::AwaitingRestock));
+        let job = verdicts[0].job.expect("parked job keeps its id");
+        assert_eq!(s.counters().deferred, 1);
+        assert!(s.rows(0, Some(job)).is_err(), "parked job has no plan row");
+        // The market restocks; the next epoch's re-probe admits the job.
+        s.set_capacity(16).expect("restock");
+        let verdicts = s.submit_epoch(vec![], 1).expect("epoch");
+        assert!(verdicts.is_empty());
+        assert_eq!(s.stats(1).deferred_jobs, 0);
+        assert_eq!(s.rows(1, Some(job)).expect("rows").len(), 1);
+    }
+
+    #[test]
+    fn without_a_model_the_same_outage_rejects() {
+        let mut s = ServeState::new(RushConfig::default(), 16).expect("state");
+        s.set_capacity(8).expect("revoke");
+        let budget = outage_budget(&s, 400);
+        let verdicts = s.submit_epoch(vec![sub("spiky", 400, budget)], 0).expect("epoch");
+        assert_eq!(verdicts[0].decision, Decision::Reject);
+        assert_eq!(verdicts[0].defer_reason, None);
+    }
+
+    #[test]
+    fn cluster_model_attachment_is_validated() {
+        use rush_core::cluster::ClusterModel;
+        let s = ServeState::new(RushConfig::default(), 16).expect("state");
+        // Model provisions fewer containers than the daemon serves.
+        let err = s.with_cluster_model(ClusterModel::tiered(4, 0, 4));
+        assert!(matches!(err, Err(ServeError::Config(_))));
+        // Malformed model (no classes).
+        let s = ServeState::new(RushConfig::default(), 16).expect("state");
+        let err = s.with_cluster_model(ClusterModel::default());
+        assert!(matches!(err, Err(ServeError::Config(_))));
+        // A well-formed model attaches and is readable back.
+        let s = ServeState::new(RushConfig::default(), 16)
+            .expect("state")
+            .with_cluster_model(ClusterModel::tiered(8, 4, 4))
+            .expect("valid model");
+        assert_eq!(s.cluster_model().expect("model").total_capacity(), 16);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use proptest::prelude::*;
 use rush_serve::binary::{self, Scan};
 use rush_serve::protocol::{
-    Decision, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport, WireError,
+    Decision, DeferReason, ErrorCode, JobSubmission, PlanRow, Request, Response, StatsReport,
+    WireError,
 };
 use rush_utility::TimeUtility;
 
@@ -67,6 +68,7 @@ fn request_strategy() -> BoxedStrategy<Request> {
         (0u64..1000).prop_map(|job| Request::Predict { job }),
         (0u64..1000).prop_map(|job| Request::Cancel { job }),
         Just(Request::Stats),
+        (1u32..100_000).prop_map(|capacity| Request::SetCapacity { capacity }),
         prop_oneof![Just(true), Just(false)]
             .prop_map(|snapshot| Request::Shutdown { snapshot }),
     ]
@@ -116,6 +118,15 @@ fn error_code_strategy() -> BoxedStrategy<ErrorCode> {
     .boxed()
 }
 
+fn defer_reason_strategy() -> BoxedStrategy<Option<DeferReason>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(DeferReason::Overcommit)),
+        Just(Some(DeferReason::AwaitingRestock)),
+    ]
+    .boxed()
+}
+
 fn response_strategy() -> BoxedStrategy<Response> {
     prop_oneof![
         (
@@ -123,13 +134,16 @@ fn response_strategy() -> BoxedStrategy<Response> {
             decision_strategy(),
             0u64..10_000,
             0u64..100_000_000,
+            defer_reason_strategy(),
         )
-            .prop_map(|(job, decision, epoch, waited_us)| Response::Submitted {
+            .prop_map(|(job, decision, epoch, waited_us, defer_reason)| Response::Submitted {
                 job,
                 decision,
                 epoch,
                 waited_us,
+                defer_reason,
             }),
+        (1u32..100_000).prop_map(|capacity| Response::CapacitySet { capacity }),
         Just(Response::Ack),
         (0u64..100_000, 0u64..10_000, prop::collection::vec(plan_row_strategy(), 0..6))
             .prop_map(|(now_slot, epoch, rows)| Response::PlanTable { now_slot, epoch, rows }),

@@ -168,6 +168,105 @@ fn sharded_daemon_serves_the_same_lifecycle() {
 }
 
 #[test]
+fn set_capacity_resizes_across_shards_and_codecs() {
+    let cfg = ServeConfig { shards: 4, ..test_config() };
+    let handle = serve(cfg).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // A resident job keeps its plan through both resizes.
+    let (d, id, _, _) = client.submit(submission("survivor", 4)).expect("submit");
+    assert_eq!(d, Decision::Admit);
+    let id = id.expect("admitted");
+
+    // Shrink: every shard re-slices; the reply sums back to the total.
+    assert_eq!(client.set_capacity(8).expect("shrink"), 8);
+    assert_eq!(client.query_plan(Some(id)).expect("plan").len(), 1);
+
+    // Grow, over the binary codec this time.
+    let mut bin = Client::connect_binary(handle.local_addr()).expect("connect binary");
+    assert_eq!(bin.set_capacity(24).expect("grow"), 24);
+    assert_eq!(bin.query_plan(Some(id)).expect("plan").len(), 1);
+
+    // A capacity the shards cannot split is refused atomically …
+    let err = client.set_capacity(3).expect_err("4 shards need >= 4 containers");
+    assert!(err.to_string().contains("bad-field"), "{err}");
+    // … and zero dies in the decoder before reaching any planner.
+    let err = client.set_capacity(0).expect_err("zero capacity");
+    assert!(err.to_string().contains("bad-field"), "{err}");
+    // Neither failed resize moved the cluster off 24.
+    assert_eq!(client.set_capacity(24).expect("idempotent resize"), 24);
+
+    client.shutdown(false).expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn spot_revocation_defers_awaiting_restock_over_the_wire() {
+    use rush_core::cluster::ClusterModel;
+    use rush_serve::protocol::DeferReason;
+
+    let cfg = ServeConfig {
+        cluster: Some(ClusterModel::tiered(8, 0, 8)),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("serve");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // The whole spot pool is revoked: 16 → 8 containers.
+    assert_eq!(client.set_capacity(8).expect("revoke"), 8);
+
+    // Size the job from the same estimator the daemon runs: a budget of
+    // η/8 − 1 is infeasible at the depressed 8 but feasible at the
+    // provisioned 16 even after the 60-slot spot reclaim horizon.
+    let (eta, _) = rush_planner::estimate_eta(
+        &rush_core::RushConfig::default(),
+        &[],
+        Some(40.0),
+        400,
+    )
+    .expect("estimate");
+    let budget = eta / 8 - 1;
+    let spiky = rush_serve::protocol::JobSubmission {
+        label: "spiky".into(),
+        tasks: 400,
+        runtime_hint: Some(40.0),
+        utility: TimeUtility::linear(budget as f64, 3.0, 0.01).expect("valid"),
+        budget: Some(budget),
+        priority: 1,
+    };
+    let job = match client.call(&Request::Submit(spiky)).expect("submit") {
+        Response::Submitted { decision, defer_reason, job, .. } => {
+            assert_eq!(decision, Decision::Defer);
+            assert_eq!(defer_reason, Some(DeferReason::AwaitingRestock));
+            job.expect("parked job keeps its id")
+        }
+        other => panic!("expected a submit verdict, got {other:?}"),
+    };
+    assert_eq!(client.stats().expect("stats").deferred_jobs, 1);
+
+    // The market restocks; the next epoch re-probes and admits.
+    assert_eq!(client.set_capacity(16).expect("restock"), 16);
+    let (d, _, _, _) = client.submit(submission("epoch-trigger", 1)).expect("submit");
+    assert_eq!(d, Decision::Admit);
+    assert_eq!(client.stats().expect("stats").deferred_jobs, 0);
+    assert_eq!(client.query_plan(Some(job)).expect("plan").len(), 1);
+
+    client.shutdown(false).expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn cluster_model_requires_a_single_shard() {
+    use rush_core::cluster::ClusterModel;
+    let cfg = ServeConfig {
+        cluster: Some(ClusterModel::tiered(8, 0, 8)),
+        shards: 4,
+        ..test_config()
+    };
+    assert!(serve(cfg).is_err(), "a shard slice cannot observe the cluster-wide deficit");
+}
+
+#[test]
 fn sharded_daemon_rejects_thin_capacity() {
     let cfg = ServeConfig { shards: 32, capacity: 16, ..test_config() };
     assert!(serve(cfg).is_err(), "capacity must cover one container per shard");

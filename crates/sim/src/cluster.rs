@@ -6,7 +6,95 @@
 //! *speed factor* (relative runtime multiplier: 1.0 = baseline, < 1.0 =
 //! faster) and a number of container slots.
 
-use crate::{NodeId, SimError};
+use crate::{NodeId, SimError, Slot};
+
+/// One step of a deterministic capacity-event stream: the provider takes
+/// containers away or hands them back.
+///
+/// The sim works in the flat container index space and does not know about
+/// container classes or prices — `rush_core::cluster::ClusterModel` lowers
+/// its class-tagged event stream onto these totals. Revocation always claims
+/// the *highest*-indexed in-service containers and restock returns the
+/// *lowest*-indexed revoked ones, so the event stream alone determines the
+/// exact container set deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CapacityChange {
+    /// The provider reclaims `n` containers (spot revocation or a
+    /// correlated node-failure burst).
+    Revoke {
+        /// Containers taken out of service.
+        n: u32,
+    },
+    /// `n` previously revoked containers return to service.
+    Restock {
+        /// Containers returned to service.
+        n: u32,
+    },
+}
+
+/// A [`CapacityChange`] scheduled at an absolute simulation slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CapacityEvent {
+    /// Slot at which the change takes effect.
+    pub at: Slot,
+    /// What happens.
+    pub change: CapacityChange,
+}
+
+/// Validates a capacity-event stream against a starting capacity: events
+/// must be sorted by slot, zero-sized changes are rejected, a revocation
+/// may never leave fewer than one container in service, and a restock may
+/// never return more containers than are currently revoked.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] describing the first violation.
+pub fn validate_capacity_events(
+    capacity: u32,
+    events: &[CapacityEvent],
+) -> Result<(), SimError> {
+    let mut in_service = capacity;
+    let mut last_at = 0;
+    for ev in events {
+        if ev.at < last_at {
+            return Err(SimError::InvalidConfig {
+                reason: "capacity events must be sorted by slot",
+            });
+        }
+        last_at = ev.at;
+        match ev.change {
+            CapacityChange::Revoke { n } => {
+                if n == 0 {
+                    return Err(SimError::InvalidConfig {
+                        reason: "capacity event must change at least one container",
+                    });
+                }
+                if n >= in_service {
+                    return Err(SimError::InvalidConfig {
+                        reason: "revocation would leave the cluster without containers",
+                    });
+                }
+                in_service -= n;
+            }
+            CapacityChange::Restock { n } => {
+                if n == 0 {
+                    return Err(SimError::InvalidConfig {
+                        reason: "capacity event must change at least one container",
+                    });
+                }
+                if in_service + n > capacity {
+                    return Err(SimError::InvalidConfig {
+                        reason: "restock exceeds the revoked container count",
+                    });
+                }
+                in_service += n;
+            }
+        }
+    }
+    Ok(())
+}
 
 /// One machine in the cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,9 +253,14 @@ pub struct FreePool {
     words: Vec<u64>,
     /// Bit `w % 64` of `summary[w / 64]` is set iff `words[w] != 0`.
     summary: Vec<u64>,
+    /// Bit `c % 64` of `revoked[c / 64]` is set iff container `c` has been
+    /// revoked (taken out of service by a capacity event). A revoked
+    /// container is never free; the index space itself never shrinks.
+    revoked: Vec<u64>,
     /// Per-node container ranges `[start, end)`, in node order.
     node_ranges: Vec<(u32, u32)>,
     free: u32,
+    revoked_count: u32,
     capacity: u32,
 }
 
@@ -193,7 +286,15 @@ impl FreePool {
                 bits
             })
             .collect();
-        FreePool { words, summary, node_ranges: spec.node_container_ranges(), free: capacity, capacity }
+        FreePool {
+            words,
+            summary,
+            revoked: vec![0; n_words],
+            node_ranges: spec.node_container_ranges(),
+            free: capacity,
+            revoked_count: 0,
+            capacity,
+        }
     }
 
     /// Number of free containers.
@@ -206,9 +307,69 @@ impl FreePool {
         self.free == 0
     }
 
-    /// Total container capacity.
+    /// Total container capacity — the fixed index space, including
+    /// containers currently revoked.
     pub fn capacity(&self) -> u32 {
         self.capacity
+    }
+
+    /// Containers currently in service: `capacity() - revoked`.
+    pub fn effective_capacity(&self) -> u32 {
+        self.capacity - self.revoked_count
+    }
+
+    /// Containers currently revoked (out of service).
+    pub fn revoked_count(&self) -> u32 {
+        self.revoked_count
+    }
+
+    /// Whether container `c` is currently revoked.
+    pub fn is_revoked(&self, c: u32) -> bool {
+        c < self.capacity && self.revoked[(c / 64) as usize] & (1 << (c % 64)) != 0
+    }
+
+    /// Takes container `c` out of service. Returns `true` if it was free
+    /// (and has been removed from the pool); `false` if it was busy — the
+    /// caller owns killing whatever runs on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or already revoked.
+    pub fn revoke(&mut self, c: u32) -> bool {
+        assert!(c < self.capacity, "container {c} out of range (capacity {})", self.capacity);
+        assert!(!self.is_revoked(c), "container {c} revoked twice");
+        self.revoked[(c / 64) as usize] |= 1 << (c % 64);
+        self.revoked_count += 1;
+        let was_free = self.contains(c);
+        if was_free {
+            self.clear(c);
+        }
+        was_free
+    }
+
+    /// Returns a revoked container to service (and to the free set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or not currently revoked.
+    pub fn restore(&mut self, c: u32) {
+        assert!(c < self.capacity, "container {c} out of range (capacity {})", self.capacity);
+        assert!(self.is_revoked(c), "restore of in-service container {c}");
+        self.revoked[(c / 64) as usize] &= !(1 << (c % 64));
+        self.revoked_count -= 1;
+        self.release(c);
+    }
+
+    /// The highest-indexed in-service container (free or busy) — the next
+    /// victim of a deterministic revocation sweep.
+    pub fn highest_in_service(&self) -> Option<u32> {
+        (0..self.capacity).rev().find(|&c| !self.is_revoked(c))
+    }
+
+    /// The lowest-indexed revoked container — the next container a
+    /// deterministic restock returns to service.
+    pub fn lowest_revoked(&self) -> Option<u32> {
+        (0..self.capacity).find(|&c| self.is_revoked(c))
     }
 
     /// Whether container `c` is currently free.
@@ -242,6 +403,7 @@ impl FreePool {
     pub fn release(&mut self, c: u32) {
         assert!(c < self.capacity, "container {c} out of range (capacity {})", self.capacity);
         let w = (c / 64) as usize;
+        debug_assert!(!self.is_revoked(c), "release of revoked container {c}");
         debug_assert!(self.words[w] & (1 << (c % 64)) == 0, "double release of container {c}");
         self.words[w] |= 1 << (c % 64);
         self.summary[w / 64] |= 1 << (w % 64);
@@ -426,5 +588,73 @@ mod tests {
     fn free_pool_release_out_of_range_panics() {
         let spec = ClusterSpec::homogeneous(1, 4).unwrap();
         FreePool::new(&spec).release(4);
+    }
+
+    #[test]
+    fn free_pool_revoke_and_restore() {
+        let spec = ClusterSpec::homogeneous(1, 6).unwrap();
+        let mut pool = FreePool::new(&spec);
+        assert_eq!(pool.effective_capacity(), 6);
+        assert_eq!(pool.highest_in_service(), Some(5));
+        // Revoking a free container removes it from the pool.
+        assert!(pool.revoke(5));
+        assert_eq!(pool.len(), 5);
+        assert_eq!(pool.effective_capacity(), 5);
+        assert!(!pool.contains(5));
+        assert!(pool.is_revoked(5));
+        assert_eq!(pool.highest_in_service(), Some(4));
+        assert_eq!(pool.lowest_revoked(), Some(5));
+        // Revoking a busy container leaves the free count alone.
+        assert!(pool.acquire(4));
+        assert!(!pool.revoke(4));
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.effective_capacity(), 4);
+        assert_eq!(pool.revoked_count(), 2);
+        assert_eq!(pool.lowest_revoked(), Some(4));
+        // Restock returns the lowest revoked container to the free set.
+        pool.restore(4);
+        assert!(pool.contains(4));
+        assert_eq!(pool.effective_capacity(), 5);
+        pool.restore(5);
+        assert_eq!(pool.len(), 6);
+        assert_eq!(pool.revoked_count(), 0);
+        assert_eq!(pool.lowest_revoked(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "revoked twice")]
+    fn free_pool_double_revoke_panics() {
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut pool = FreePool::new(&spec);
+        pool.revoke(3);
+        pool.revoke(3);
+    }
+
+    #[test]
+    fn capacity_event_validation() {
+        let ok = vec![
+            CapacityEvent { at: 10, change: CapacityChange::Revoke { n: 3 } },
+            CapacityEvent { at: 20, change: CapacityChange::Restock { n: 2 } },
+            CapacityEvent { at: 20, change: CapacityChange::Revoke { n: 1 } },
+        ];
+        assert!(validate_capacity_events(4, &ok).is_ok());
+        // Out of order.
+        let bad = vec![
+            CapacityEvent { at: 20, change: CapacityChange::Revoke { n: 1 } },
+            CapacityEvent { at: 10, change: CapacityChange::Revoke { n: 1 } },
+        ];
+        assert!(validate_capacity_events(4, &bad).is_err());
+        // Revokes the whole cluster.
+        let bad = vec![CapacityEvent { at: 0, change: CapacityChange::Revoke { n: 4 } }];
+        assert!(validate_capacity_events(4, &bad).is_err());
+        // Restocks more than was revoked.
+        let bad = vec![
+            CapacityEvent { at: 0, change: CapacityChange::Revoke { n: 1 } },
+            CapacityEvent { at: 5, change: CapacityChange::Restock { n: 2 } },
+        ];
+        assert!(validate_capacity_events(4, &bad).is_err());
+        // Zero-sized change.
+        let bad = vec![CapacityEvent { at: 0, change: CapacityChange::Revoke { n: 0 } }];
+        assert!(validate_capacity_events(4, &bad).is_err());
     }
 }

@@ -34,7 +34,9 @@
 //! `tests/engine_differential.rs` holds the two to that contract under
 //! randomized workloads, failures, interference and speculation.
 
-use crate::cluster::{ClusterSpec, FreePool};
+use crate::cluster::{
+    validate_capacity_events, CapacityChange, CapacityEvent, ClusterSpec, FreePool,
+};
 use crate::job::{JobSpec, Phase};
 use crate::outcome::{JobOutcome, SimResult};
 use crate::perturb::{FailureModel, Interference};
@@ -59,6 +61,7 @@ pub struct SimConfig {
     remote_penalty: f64,
     max_slots: Slot,
     seed: u64,
+    capacity_events: Vec<CapacityEvent>,
 }
 
 impl SimConfig {
@@ -73,6 +76,7 @@ impl SimConfig {
             remote_penalty: 1.0,
             max_slots: 1 << 40,
             seed: 0,
+            capacity_events: Vec::new(),
         }
     }
 
@@ -134,6 +138,19 @@ impl SimConfig {
     pub fn with_max_slots(mut self, max_slots: Slot) -> Self {
         self.max_slots = max_slots;
         self
+    }
+
+    /// Sets the deterministic capacity-event stream (default: none). Events
+    /// must be sorted by slot; they are validated against the cluster's
+    /// capacity when the simulation is built.
+    pub fn with_capacity_events(mut self, events: Vec<CapacityEvent>) -> Self {
+        self.capacity_events = events;
+        self
+    }
+
+    /// The configured capacity-event stream.
+    pub fn capacity_events(&self) -> &[CapacityEvent] {
+        &self.capacity_events
     }
 
     /// The cluster topology.
@@ -336,6 +353,14 @@ impl EngineState {
         }
     }
 
+    /// The alive attempt currently occupying container `c`, if any.
+    fn attempt_on(&self, c: u32) -> Option<u32> {
+        self.slab
+            .iter()
+            .position(|a| a.alive && a.container == c)
+            .map(|i| i as u32)
+    }
+
     /// Removes a completed job's view and re-indexes the views behind it
     /// (views stay in arrival order, which schedulers observe).
     fn remove_view(&mut self, vi: usize) {
@@ -366,6 +391,7 @@ impl Simulation {
         if jobs.is_empty() {
             return Err(SimError::InvalidConfig { reason: "no jobs submitted" });
         }
+        validate_capacity_events(config.capacity(), &config.capacity_events)?;
         let jobs = jobs
             .into_iter()
             .map(|spec| {
@@ -398,12 +424,14 @@ impl Simulation {
     /// * [`SimError::SchedulerStalled`] if the scheduler refuses to assign
     ///   while nothing is running and no arrival is pending.
     pub fn run<S: Scheduler + ?Sized>(mut self, scheduler: &mut S) -> Result<SimResult, SimError> {
-        let capacity = self.config.capacity();
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
 
         // Arrivals sorted descending so the next arrival pops from the back.
         let mut arrivals: Vec<usize> = (0..self.jobs.len()).collect();
         arrivals.sort_by_key(|&i| Reverse((self.jobs[i].spec.arrival(), i)));
+
+        let cap_events = self.config.capacity_events.clone();
+        let mut cap_idx = 0usize;
 
         let mut st = EngineState::new(&self.config, self.jobs.len());
         let mut result = SimResult::default();
@@ -438,7 +466,7 @@ impl Simulation {
                     st.refresh_oldest(a.job);
                     let view = ClusterView {
                         now,
-                        capacity,
+                        capacity: st.free.effective_capacity(),
                         free_containers: st.free.len(),
                         jobs: &st.views,
                     };
@@ -470,7 +498,7 @@ impl Simulation {
                     st.refresh_oldest(a.job);
                     let view = ClusterView {
                         now,
-                        capacity,
+                        capacity: st.free.effective_capacity(),
                         free_containers: st.free.len(),
                         jobs: &st.views,
                     };
@@ -478,6 +506,73 @@ impl Simulation {
                     scheduler.on_task_complete(&view, sample);
                     result.scheduler_time += t0.elapsed();
                 }
+            }
+
+            // 1b. Capacity events at `now`, after completions have freed
+            // their containers: a revocation claims the highest-indexed
+            // in-service containers (whatever runs on one is killed and
+            // re-queued as a failure, charged as wasted slots); a restock
+            // returns the lowest-indexed revoked containers. The scheduler
+            // observes the change through `on_capacity_change` and through
+            // every later view's effective capacity.
+            while cap_idx < cap_events.len() && cap_events[cap_idx].at <= now {
+                let ev = cap_events[cap_idx];
+                cap_idx += 1;
+                match ev.change {
+                    CapacityChange::Revoke { n } => {
+                        for _ in 0..n {
+                            let c = st.free.highest_in_service().expect("schedule validated");
+                            result.revoked_containers += 1;
+                            if st.free.revoke(c) {
+                                continue; // was free: nothing to kill
+                            }
+                            let id = st.attempt_on(c).expect("busy container has an attempt");
+                            let a = st.slab[id as usize];
+                            st.kill(id);
+                            let sibling = st.sibling_of(a.job, a.task);
+                            // The attempt dies mid-flight: only the elapsed
+                            // runtime was wasted, and that is what the
+                            // scheduler observes as the failure sample.
+                            let killed =
+                                Attempt { end: now, duration: now - a.start(), ..a };
+                            let sample = self.fail_task_ix(
+                                &mut st,
+                                killed,
+                                now,
+                                sibling.is_some(),
+                                &mut result,
+                                &mut trace,
+                            );
+                            result.revoked_attempts += 1;
+                            st.refresh_oldest(a.job);
+                            let view = ClusterView {
+                                now,
+                                capacity: st.free.effective_capacity(),
+                                free_containers: st.free.len(),
+                                jobs: &st.views,
+                            };
+                            let t0 = Instant::now();
+                            scheduler.on_task_failed(&view, sample);
+                            result.scheduler_time += t0.elapsed();
+                        }
+                    }
+                    CapacityChange::Restock { n } => {
+                        for _ in 0..n {
+                            let c = st.free.lowest_revoked().expect("schedule validated");
+                            st.free.restore(c);
+                            result.restocked_containers += 1;
+                        }
+                    }
+                }
+                let view = ClusterView {
+                    now,
+                    capacity: st.free.effective_capacity(),
+                    free_containers: st.free.len(),
+                    jobs: &st.views,
+                };
+                let t0 = Instant::now();
+                scheduler.on_capacity_change(&view);
+                result.scheduler_time += t0.elapsed();
             }
 
             // 2. Arrivals at `now`.
@@ -493,7 +588,7 @@ impl Simulation {
                 }
                 let view = ClusterView {
                     now,
-                    capacity,
+                    capacity: st.free.effective_capacity(),
                     free_containers: st.free.len(),
                     jobs: &st.views,
                 };
@@ -505,11 +600,11 @@ impl Simulation {
             // 3. Dispatch loop. A bounded misassignment budget lets a
             // scheduler recover from naming an invalid job without letting
             // a persistently confused one spin the engine forever.
-            let mut misassign_budget = capacity as u64 + 1;
+            let mut misassign_budget = st.free.effective_capacity() as u64 + 1;
             while !st.free.is_empty() && st.total_runnable > 0 {
                 let view = ClusterView {
                     now,
-                    capacity,
+                    capacity: st.free.effective_capacity(),
                     free_containers: st.free.len(),
                     jobs: &st.views,
                 };
@@ -556,12 +651,12 @@ impl Simulation {
             // scheduler the chance to duplicate a long-running attempt
             // (Hadoop-style speculative execution). The engine picks the
             // oldest non-duplicated primary attempt of the named job.
-            let mut spec_budget = capacity as u64;
+            let mut spec_budget = st.free.effective_capacity() as u64;
             while !st.free.is_empty() && spec_budget > 0 {
                 spec_budget -= 1;
                 let view = ClusterView {
                     now,
-                    capacity,
+                    capacity: st.free.effective_capacity(),
                     free_containers: st.free.len(),
                     jobs: &st.views,
                 };
@@ -630,11 +725,13 @@ impl Simulation {
             }
             let next_completion = st.next_end();
             let next_arrival = arrivals.last().map(|&i| self.jobs[i].spec.arrival());
-            let next = match (next_completion, next_arrival) {
-                (Some(c), Some(a)) => c.min(a),
-                (Some(c), None) => c,
-                (None, Some(a)) => a,
-                (None, None) => return Err(SimError::SchedulerStalled { at: now }),
+            let next_capacity = cap_events.get(cap_idx).map(|e| e.at);
+            let next = [next_completion, next_arrival, next_capacity]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else {
+                return Err(SimError::SchedulerStalled { at: now });
             };
             debug_assert!(next > now, "time must advance");
             if next > self.config.max_slots {
@@ -957,6 +1054,11 @@ pub mod naive {
         let mut arrivals: Vec<usize> = (0..sim.jobs.len()).collect();
         arrivals.sort_by_key(|&i| Reverse((sim.jobs[i].spec.arrival(), i)));
 
+        let cap_events = sim.config.capacity_events.clone();
+        let mut cap_idx = 0usize;
+        let mut revoked = vec![false; capacity as usize];
+        let mut revoked_count = 0u32;
+
         // Free containers, largest index first so pop() yields the smallest.
         let mut free: Vec<u32> = (0..capacity).rev().collect();
         let mut running: Vec<RunningTask> = Vec::with_capacity(capacity as usize);
@@ -992,7 +1094,7 @@ pub mod naive {
                     refresh_oldest(&mut views, &running, rt.job);
                     let view = ClusterView {
                         now,
-                        capacity,
+                        capacity: capacity - revoked_count,
                         free_containers: free.len() as u32,
                         jobs: &views,
                     };
@@ -1027,7 +1129,7 @@ pub mod naive {
                     refresh_oldest(&mut views, &running, rt.job);
                     let view = ClusterView {
                         now,
-                        capacity,
+                        capacity: capacity - revoked_count,
                         free_containers: free.len() as u32,
                         jobs: &views,
                     };
@@ -1040,6 +1142,82 @@ pub mod naive {
                 free.sort_unstable_by_key(|&c| Reverse(c));
             }
 
+            // 1b. Capacity events at `now` — identical semantics to the
+            // indexed engine: revoke the highest-indexed in-service
+            // containers (killing and re-queueing whatever runs on them),
+            // restock the lowest-indexed revoked ones.
+            while cap_idx < cap_events.len() && cap_events[cap_idx].at <= now {
+                let ev = cap_events[cap_idx];
+                cap_idx += 1;
+                match ev.change {
+                    CapacityChange::Revoke { n } => {
+                        for _ in 0..n {
+                            let c = (0..capacity)
+                                .rev()
+                                .find(|&c| !revoked[c as usize])
+                                .expect("schedule validated");
+                            revoked[c as usize] = true;
+                            revoked_count += 1;
+                            result.revoked_containers += 1;
+                            if let Some(pos) = free.iter().position(|&f| f == c) {
+                                free.remove(pos);
+                                continue; // was free: nothing to kill
+                            }
+                            let idx = running
+                                .iter()
+                                .position(|rt| rt.container == c)
+                                .expect("busy container has an attempt");
+                            let rt = running.remove(idx);
+                            let sibling_running =
+                                running.iter().any(|o| o.job == rt.job && o.task == rt.task);
+                            let killed =
+                                RunningTask { end: now, duration: now - rt.start(), ..rt };
+                            let sample = fail_task(
+                                &mut sim,
+                                &mut views,
+                                killed,
+                                now,
+                                sibling_running,
+                                &mut result,
+                                &mut trace,
+                            );
+                            result.revoked_attempts += 1;
+                            refresh_oldest(&mut views, &running, rt.job);
+                            let view = ClusterView {
+                                now,
+                                capacity: capacity - revoked_count,
+                                free_containers: free.len() as u32,
+                                jobs: &views,
+                            };
+                            let t0 = Instant::now();
+                            scheduler.on_task_failed(&view, sample);
+                            result.scheduler_time += t0.elapsed();
+                        }
+                    }
+                    CapacityChange::Restock { n } => {
+                        for _ in 0..n {
+                            let c = (0..capacity)
+                                .find(|&c| revoked[c as usize])
+                                .expect("schedule validated");
+                            revoked[c as usize] = false;
+                            revoked_count -= 1;
+                            free.push(c);
+                            result.restocked_containers += 1;
+                        }
+                        free.sort_unstable_by_key(|&c| Reverse(c));
+                    }
+                }
+                let view = ClusterView {
+                    now,
+                    capacity: capacity - revoked_count,
+                    free_containers: free.len() as u32,
+                    jobs: &views,
+                };
+                let t0 = Instant::now();
+                scheduler.on_capacity_change(&view);
+                result.scheduler_time += t0.elapsed();
+            }
+
             // 2. Arrivals at `now`.
             while arrivals.last().is_some_and(|&i| sim.jobs[i].spec.arrival() == now) {
                 let i = arrivals.pop().expect("peeked");
@@ -1049,8 +1227,12 @@ pub mod naive {
                 if let Some(trace) = &mut trace {
                     trace.push(TraceEvent::JobArrived { job: id, at: now });
                 }
-                let view =
-                    ClusterView { now, capacity, free_containers: free.len() as u32, jobs: &views };
+                let view = ClusterView {
+                    now,
+                    capacity: capacity - revoked_count,
+                    free_containers: free.len() as u32,
+                    jobs: &views,
+                };
                 let t0 = Instant::now();
                 scheduler.on_job_arrival(&view, id);
                 result.scheduler_time += t0.elapsed();
@@ -1059,10 +1241,14 @@ pub mod naive {
             // 3. Dispatch loop. A bounded misassignment budget lets a
             // scheduler recover from naming an invalid job without letting
             // a persistently confused one spin the engine forever.
-            let mut misassign_budget = capacity as u64 + 1;
+            let mut misassign_budget = (capacity - revoked_count) as u64 + 1;
             while !free.is_empty() && views.iter().any(|v| v.runnable_tasks > 0) {
-                let view =
-                    ClusterView { now, capacity, free_containers: free.len() as u32, jobs: &views };
+                let view = ClusterView {
+                    now,
+                    capacity: capacity - revoked_count,
+                    free_containers: free.len() as u32,
+                    jobs: &views,
+                };
                 let t0 = Instant::now();
                 let choice = scheduler.assign(&view);
                 result.scheduler_time += t0.elapsed();
@@ -1107,11 +1293,15 @@ pub mod naive {
             // scheduler the chance to duplicate a long-running attempt
             // (Hadoop-style speculative execution). The engine picks the
             // oldest non-duplicated primary attempt of the named job.
-            let mut spec_budget = capacity as u64;
+            let mut spec_budget = (capacity - revoked_count) as u64;
             while !free.is_empty() && spec_budget > 0 {
                 spec_budget -= 1;
-                let view =
-                    ClusterView { now, capacity, free_containers: free.len() as u32, jobs: &views };
+                let view = ClusterView {
+                    now,
+                    capacity: capacity - revoked_count,
+                    free_containers: free.len() as u32,
+                    jobs: &views,
+                };
                 let t0 = Instant::now();
                 let choice = scheduler.speculate(&view);
                 result.scheduler_time += t0.elapsed();
@@ -1175,11 +1365,13 @@ pub mod naive {
             }
             let next_completion = next_end(&running);
             let next_arrival = arrivals.last().map(|&i| sim.jobs[i].spec.arrival());
-            let next = match (next_completion, next_arrival) {
-                (Some(c), Some(a)) => c.min(a),
-                (Some(c), None) => c,
-                (None, Some(a)) => a,
-                (None, None) => return Err(SimError::SchedulerStalled { at: now }),
+            let next_capacity = cap_events.get(cap_idx).map(|e| e.at);
+            let next = [next_completion, next_arrival, next_capacity]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else {
+                return Err(SimError::SchedulerStalled { at: now });
             };
             debug_assert!(next > now, "time must advance");
             if next > sim.config.max_slots {
@@ -1899,5 +2091,143 @@ mod tests {
             .unwrap();
         let err = naive::run(sim, &mut Refusenik).unwrap_err();
         assert!(matches!(err, SimError::SchedulerStalled { at: 0 }));
+    }
+
+    #[test]
+    fn revocation_kills_running_attempt_and_requeues() {
+        // One job, 2 maps of 10 slots on a 2-container cluster. At slot 4
+        // one container is revoked: the attempt on container 1 dies with 4
+        // wasted slots and its task re-queues onto the surviving container.
+        let cfg = SimConfig::homogeneous(1, 2).with_trace(true).with_capacity_events(vec![
+            CapacityEvent { at: 4, change: CapacityChange::Revoke { n: 1 } },
+        ]);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 2, 10.0)]).unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        assert_eq!(r.revoked_containers, 1);
+        assert_eq!(r.revoked_attempts, 1);
+        assert_eq!(r.failed_attempts, 1);
+        // Task 0 runs 0..10 on container 0; task 1 is killed at 4 and
+        // reruns 10..20 after container 0 frees up.
+        assert_eq!(r.outcomes[0].finish, 20);
+        assert_eq!(r.outcomes[0].wasted_slots, 4);
+        assert_eq!(r.outcomes[0].container_slots, 20);
+        let trace = r.trace.as_ref().unwrap();
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::TaskFailed { at: 4, runtime: 4, .. }
+        )));
+    }
+
+    /// Declines every container while the effective capacity is below 2 —
+    /// the shape of a planner that waits out a revocation.
+    struct WaitsForCapacity;
+
+    impl Scheduler for WaitsForCapacity {
+        fn name(&self) -> &str {
+            "waits-for-capacity"
+        }
+
+        fn assign(&mut self, view: &ClusterView<'_>) -> Option<JobId> {
+            if view.capacity < 2 {
+                return None;
+            }
+            view.runnable_jobs().min_by_key(|j| (j.arrival, j.id)).map(|j| j.id)
+        }
+    }
+
+    #[test]
+    fn restock_wakes_a_waiting_scheduler() {
+        // Two of three containers revoked before the job arrives; the
+        // scheduler refuses to run on the rump cluster. With nothing
+        // running and no arrivals pending, the engine must advance to the
+        // restock at slot 40 instead of reporting SchedulerStalled.
+        let cfg = SimConfig::homogeneous(1, 3).with_capacity_events(vec![
+            CapacityEvent { at: 0, change: CapacityChange::Revoke { n: 2 } },
+            CapacityEvent { at: 40, change: CapacityChange::Restock { n: 2 } },
+        ]);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 2, 10.0)]).unwrap();
+        let r = sim.run(&mut WaitsForCapacity).unwrap();
+        assert_eq!(r.revoked_containers, 2);
+        assert_eq!(r.restocked_containers, 2);
+        // Both maps start at 40 once capacity is back.
+        assert_eq!(r.outcomes[0].finish, 50);
+
+        // A pre-arrival revocation serializes the waves on the survivor;
+        // the restock scheduled after the job completes is never applied.
+        let cfg = SimConfig::homogeneous(1, 3).with_capacity_events(vec![
+            CapacityEvent { at: 0, change: CapacityChange::Revoke { n: 2 } },
+            CapacityEvent { at: 40, change: CapacityChange::Restock { n: 1 } },
+        ]);
+        let sim = Simulation::new(cfg, vec![simple_job("j", 0, 2, 10.0)]).unwrap();
+        let r = sim.run(&mut fcfs_task_order()).unwrap();
+        // Maps serialize 0..10 and 10..20 on container 0.
+        assert_eq!(r.outcomes[0].finish, 20);
+        assert_eq!(r.revoked_containers, 2);
+        assert_eq!(r.restocked_containers, 0);
+    }
+
+    #[test]
+    fn capacity_schedule_validated_at_build() {
+        let cfg = SimConfig::homogeneous(1, 2).with_capacity_events(vec![CapacityEvent {
+            at: 0,
+            change: CapacityChange::Revoke { n: 2 },
+        }]);
+        assert!(matches!(
+            Simulation::new(cfg, vec![simple_job("j", 0, 1, 5.0)]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn naive_engine_matches_indexed_under_capacity_churn() {
+        let events = vec![
+            CapacityEvent { at: 3, change: CapacityChange::Revoke { n: 4 } },
+            CapacityEvent { at: 9, change: CapacityChange::Revoke { n: 3 } },
+            CapacityEvent { at: 15, change: CapacityChange::Restock { n: 5 } },
+            CapacityEvent { at: 22, change: CapacityChange::Revoke { n: 6 } },
+            CapacityEvent { at: 31, change: CapacityChange::Restock { n: 8 } },
+        ];
+        let mk = || {
+            let cfg = SimConfig::new(ClusterSpec::paper_testbed(2).unwrap())
+                .with_interference(Interference::LogNormal { cv: 0.4 })
+                .with_failures(FailureModel::Bernoulli { p: 0.15 })
+                .with_remote_penalty(1.3)
+                .with_trace(true)
+                .with_seed(42)
+                .with_capacity_events(events.clone());
+            let jobs: Vec<JobSpec> = (0..6)
+                .map(|i| {
+                    JobSpec::builder(format!("j{i}"))
+                        .arrival(i * 3)
+                        .tasks((0..5).map(|t| {
+                            TaskSpec::new(4.0 + t as f64, Phase::Map)
+                                .with_preference(crate::NodeId((t % 6) as u32))
+                        }))
+                        .task(TaskSpec::new(6.0, Phase::Reduce))
+                        .utility(TimeUtility::constant(1.0).unwrap())
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            Simulation::new(cfg, jobs).unwrap()
+        };
+        let indexed = mk().run(&mut AlwaysSpeculate).unwrap();
+        let scanned = naive::run(mk(), &mut AlwaysSpeculate).unwrap();
+        assert_eq!(indexed.outcomes, scanned.outcomes);
+        assert_eq!(indexed.makespan, scanned.makespan);
+        assert_eq!(indexed.assignments, scanned.assignments);
+        assert_eq!(indexed.misassignments, scanned.misassignments);
+        assert_eq!(indexed.scheduler_invocations, scanned.scheduler_invocations);
+        assert_eq!(indexed.failed_attempts, scanned.failed_attempts);
+        assert_eq!(indexed.speculative_attempts, scanned.speculative_attempts);
+        assert_eq!(indexed.killed_attempts, scanned.killed_attempts);
+        assert_eq!(indexed.local_starts, scanned.local_starts);
+        assert_eq!(indexed.remote_starts, scanned.remote_starts);
+        assert_eq!(indexed.revoked_containers, scanned.revoked_containers);
+        assert_eq!(indexed.restocked_containers, scanned.restocked_containers);
+        assert_eq!(indexed.revoked_attempts, scanned.revoked_attempts);
+        assert_eq!(indexed.trace, scanned.trace);
+        // The churn actually bit: something was revoked while busy.
+        assert!(indexed.revoked_attempts > 0);
     }
 }

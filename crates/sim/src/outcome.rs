@@ -76,6 +76,13 @@ pub struct SimResult {
     pub remote_starts: u64,
     /// Duplicate attempts killed because their sibling finished first.
     pub killed_attempts: u64,
+    /// Containers taken out of service by capacity events.
+    pub revoked_containers: u64,
+    /// Containers returned to service by capacity events.
+    pub restocked_containers: u64,
+    /// Running attempts killed because their container was revoked (each
+    /// also counts as a failed attempt: the task is re-queued).
+    pub revoked_attempts: u64,
     /// The event trace, when tracing was enabled in the config.
     pub trace: Option<Trace>,
 }

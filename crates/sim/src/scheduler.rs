@@ -39,6 +39,15 @@ pub trait Scheduler {
         let _ = (view, sample);
     }
 
+    /// Called after a capacity event (revocation or restock) has been
+    /// applied; `view.capacity` is the new effective capacity. Attempts
+    /// killed by the revocation have already been reported through
+    /// [`on_task_failed`](Scheduler::on_task_failed). Default: ignore —
+    /// schedulers that track capacity also see it on every later view.
+    fn on_capacity_change(&mut self, view: &ClusterView<'_>) {
+        let _ = view;
+    }
+
     /// Offers a chance to *speculate*: duplicate the oldest running attempt
     /// of the returned job on a free container (the engine picks the
     /// attempt). Called only while containers remain free after

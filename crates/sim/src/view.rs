@@ -91,7 +91,8 @@ pub struct TaskSample {
 pub struct ClusterView<'a> {
     /// Current slot.
     pub now: Slot,
-    /// Total container capacity `C`.
+    /// Container capacity `C` currently in service (total capacity minus
+    /// containers revoked by capacity events).
     pub capacity: u32,
     /// Containers currently free.
     pub free_containers: u32,

@@ -1,7 +1,8 @@
 //! The experiment driver: replay one workload under several schedulers
 //! with identical randomness.
 
-use rush_sim::cluster::ClusterSpec;
+use rush_core::cluster::ClusterModel;
+use rush_sim::cluster::{CapacityEvent, ClusterSpec};
 use rush_sim::engine::{SimConfig, Simulation};
 use rush_sim::job::JobSpec;
 use rush_sim::outcome::SimResult;
@@ -18,6 +19,7 @@ use rush_sim::{Scheduler, SimError};
 pub struct Experiment {
     cluster: ClusterSpec,
     interference: Interference,
+    capacity_events: Vec<CapacityEvent>,
     sim_seed: u64,
     max_slots: u64,
 }
@@ -29,6 +31,7 @@ impl Experiment {
         Experiment {
             cluster,
             interference: Interference::default(),
+            capacity_events: Vec::new(),
             sim_seed: 0,
             max_slots: 10_000_000,
         }
@@ -38,6 +41,22 @@ impl Experiment {
     pub fn with_interference(mut self, interference: Interference) -> Self {
         self.interference = interference;
         self
+    }
+
+    /// Schedules a capacity trajectory (spot revocations, failure bursts)
+    /// applied to every [`Experiment::run`]. Budget calibration via
+    /// [`Experiment::benchmark`] deliberately ignores it: the paper
+    /// benchmarks each job on the *nominal* cluster, so churn erodes the
+    /// margin instead of inflating the budgets.
+    pub fn with_capacity_events(mut self, events: Vec<CapacityEvent>) -> Self {
+        self.capacity_events = events;
+        self
+    }
+
+    /// [`Experiment::with_capacity_events`] from a typed
+    /// [`ClusterModel`]'s event stream.
+    pub fn with_cluster_model(self, model: &ClusterModel) -> Self {
+        self.with_capacity_events(model.sim_events())
     }
 
     /// Sets the simulation seed (interference draws).
@@ -74,6 +93,7 @@ impl Experiment {
     ) -> Result<SimResult, SimError> {
         let cfg = SimConfig::new(self.cluster.clone())
             .with_interference(self.interference.clone())
+            .with_capacity_events(self.capacity_events.clone())
             .with_seed(self.sim_seed)
             .with_max_slots(self.max_slots);
         Simulation::new(cfg, jobs)?.run(scheduler)
@@ -177,6 +197,49 @@ mod tests {
         let a = exp_noisy.benchmark(&job("x", 0, 8), 1).unwrap();
         let b = exp_noisy.benchmark(&job("x", 0, 8), 2).unwrap();
         assert_ne!(a, b, "different benchmark seeds should differ under noise");
+    }
+
+    #[test]
+    fn capacity_events_apply_to_runs_but_not_benchmarks() {
+        use rush_sim::cluster::{CapacityChange, CapacityEvent};
+        let events = vec![
+            CapacityEvent { at: 0, change: CapacityChange::Revoke { n: 6 } },
+            CapacityEvent { at: 120, change: CapacityChange::Restock { n: 6 } },
+        ];
+        let calm = Experiment::new(cluster()).with_interference(Interference::None);
+        let churned = calm.clone().with_capacity_events(events);
+        let jobs = vec![job("a", 0, 16), job("b", 0, 16)];
+        let mut f1 = rush_sched::Fifo::new();
+        let mut f2 = rush_sched::Fifo::new();
+        let full = calm.run(jobs.clone(), &mut f1).unwrap();
+        let starved = churned.run(jobs.clone(), &mut f2).unwrap();
+        assert!(
+            starved.makespan > full.makespan,
+            "revocation must slow the run: {} vs {}",
+            starved.makespan,
+            full.makespan
+        );
+        // Budget calibration sees the nominal cluster either way.
+        let a = calm.benchmark(&jobs[0], 1).unwrap();
+        let b = churned.benchmark(&jobs[0], 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_model_trajectory_lowers_onto_runs() {
+        use rush_core::cluster::ClusterModel;
+        let model = ClusterModel::tiered(4, 0, 4).with_spot_churn(1, 0, 100, 60, 4, 3);
+        let exp = Experiment::new(cluster())
+            .with_interference(Interference::None)
+            .with_cluster_model(&model);
+        let jobs = vec![job("a", 0, 16)];
+        let mut fifo = rush_sched::Fifo::new();
+        let calm = Experiment::new(cluster())
+            .with_interference(Interference::None)
+            .run(jobs.clone(), &mut rush_sched::Fifo::new())
+            .unwrap();
+        let churned = exp.run(jobs, &mut fifo).unwrap();
+        assert!(churned.makespan > calm.makespan);
     }
 
     #[test]

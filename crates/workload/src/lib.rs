@@ -9,6 +9,8 @@
 //!
 //! * [`templates`] — eight parameterized job templates with heterogeneous
 //!   task-count and task-runtime distributions;
+//! * [`spot`] — named spot-market cluster scenarios (tiered supply with a
+//!   periodic revocation trajectory) that pair with any job mix;
 //! * [`generator`] — the randomized workload builder, including the
 //!   benchmark-calibration pass that sets budgets;
 //! * [`experiment`] — a driver that replays one workload under several
@@ -39,8 +41,10 @@
 pub mod experiment;
 pub mod generator;
 pub mod persist;
+pub mod spot;
 pub mod templates;
 
 pub use experiment::Experiment;
 pub use generator::{generate, ArrivalProcess, WorkloadConfig};
+pub use spot::{spot_scenarios, SpotScenario};
 pub use templates::{puma_templates, JobTemplate, RuntimeDist};

@@ -9,3 +9,8 @@ pub struct Kernel {
 pub fn replan(kernel: &mut Kernel) -> Result<(), ()> {
     compute_plan_cached(&mut kernel.cache)
 }
+
+/// RUSH-L014: a capacity-authority crate may drive the resize seam.
+pub fn apply_capacity_change(kernel: &mut Kernel, capacity: u32) {
+    kernel.set_capacity(capacity);
+}

@@ -1,0 +1,29 @@
+//! RUSH-L014 fixture: an adapter crate mutating cluster capacity directly
+//! instead of routing through `PlannerEvent::CapacityChange` or the sim
+//! capacity-event queue. The deep lint must flag the planner resize and
+//! both free-pool mutators in `shortcut_resize`; the pragma-justified wire
+//! adapter and the test-gated probe must stay silent.
+
+pub struct Kernel;
+pub struct Pool;
+
+/// Three findings: the direct resize and the revoke/restore pair.
+pub fn shortcut_resize(kernel: &mut Kernel, pool: &mut Pool, capacity: u32) {
+    kernel.set_capacity(capacity);
+    pool.revoke(2);
+    pool.restore(2);
+}
+
+/// A sanctioned adapter site: the pragma carries the justification.
+pub fn dispatch(state: &mut Kernel, slice: u32) {
+    // rush-lint: allow(RUSH-L014): lowers onto the planner event path
+    state.set_capacity(slice);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may resize directly (fixtures, invariant probes).
+    fn probe(k: &mut super::Kernel) {
+        k.set_capacity(4);
+    }
+}

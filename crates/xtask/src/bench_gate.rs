@@ -194,6 +194,44 @@ pub fn serve_gate(
     Ok(ServeGateOutcome { threads, reactor, conn_ratio, pass })
 }
 
+/// The outcome of one capacity-ablation comparison.
+#[derive(Debug)]
+pub struct CapacityGateOutcome {
+    /// The sweep's highest revocation rate (where the gate is evaluated).
+    pub revocation_rate: f64,
+    /// RUSH's deadline-hit rate at that rate (default δ).
+    pub rush: f64,
+    /// The deterministic δ = 0 planner's hit rate at that rate.
+    pub deterministic: f64,
+    /// Whether RUSH held at least the deterministic baseline's hit rate.
+    pub pass: bool,
+}
+
+/// Gate the capacity ablation inside one candidate
+/// `BENCH_ablation_capacity.json`: at the sweep's highest revocation rate
+/// (the report's `gate` object), RUSH at the default δ must meet at least
+/// as many deadlines as the deterministic δ = 0 planner. The sim is fully
+/// seeded, so the comparison is exact — no slack factor is needed.
+pub fn capacity_gate(candidate_json: &str) -> Result<CapacityGateOutcome, String> {
+    const GATE_KEY: &str = "\"gate\":";
+    const RATE_KEY: &str = "\"revocation_rate\":";
+    const RUSH_KEY: &str = "\"rush_hit_rate\":";
+    const DET_KEY: &str = "\"deterministic_hit_rate\":";
+    let gate = &candidate_json[candidate_json
+        .find(GATE_KEY)
+        .ok_or_else(|| "candidate JSON has no gate object".to_string())?
+        + GATE_KEY.len()..];
+    let field = |key: &str| {
+        gate.find(key)
+            .and_then(|at| leading_number(&gate[at + key.len()..]))
+            .ok_or_else(|| format!("gate object has no numeric {key} field"))
+    };
+    let revocation_rate = field(RATE_KEY)?;
+    let rush = field(RUSH_KEY)?;
+    let deterministic = field(DET_KEY)?;
+    Ok(CapacityGateOutcome { revocation_rate, rush, deterministic, pass: rush >= deterministic })
+}
+
 /// Parse the quoted string at the start of `s` (after optional whitespace).
 /// Empty when `s` does not start with a string.
 fn leading_string(s: &str) -> String {
@@ -345,6 +383,38 @@ mod tests {
         let only_threads = &SERVE[..SERVE.find("reactor").unwrap_or(SERVE.len())];
         assert!(serve_gate(only_threads, 5.0, 1.0).is_err());
         assert!(serve_gate("{}", 5.0, 1.0).is_err());
+    }
+
+    const CAPACITY: &str = r#"{
+  "benchmark": "ablation_capacity",
+  "points": [
+    {"scenario": "spot-storm", "revocation_rate": 0.7, "scheduler": "RUSH", "hit_rate": 0.8958}
+  ],
+  "gate": {
+    "revocation_rate": 0.7,
+    "rush_hit_rate": 0.8958,
+    "deterministic_hit_rate": 0.8542,
+    "fifo_hit_rate": 0.6667,
+    "edf_hit_rate": 0.8542
+  }
+}"#;
+
+    #[test]
+    fn capacity_gate_compares_rush_to_the_deterministic_planner() {
+        let ok = capacity_gate(CAPACITY).expect("gate present");
+        assert!(ok.pass);
+        assert!((ok.revocation_rate - 0.7).abs() < 1e-9);
+        assert!((ok.rush - 0.8958).abs() < 1e-9);
+        assert!((ok.deterministic - 0.8542).abs() < 1e-9);
+        // A tie passes (>=); a regression fails.
+        let tie = CAPACITY.replace("\"rush_hit_rate\": 0.8958", "\"rush_hit_rate\": 0.8542");
+        assert!(capacity_gate(&tie).expect("gate present").pass);
+        let worse = CAPACITY.replace("\"rush_hit_rate\": 0.8958", "\"rush_hit_rate\": 0.7");
+        assert!(!capacity_gate(&worse).expect("gate present").pass);
+        // Missing gate object or field is an error, not a silent pass.
+        assert!(capacity_gate("{}").is_err());
+        let no_det = CAPACITY.replace("deterministic_hit_rate", "other_rate");
+        assert!(capacity_gate(&no_det).is_err());
     }
 
     #[test]

@@ -13,10 +13,10 @@ Usage: cargo xtask <command>
 Commands:
   lint [--json] [--root PATH]   run the RUSH static-analysis pass
   lint --deep                   also run the AST + call-graph rules
-                                (RUSH-L009..L013: panic reachability,
+                                (RUSH-L009..L014: panic reachability,
                                 arithmetic hygiene, lock discipline,
                                 protocol exhaustiveness, reactor
-                                discipline)
+                                discipline, capacity fence)
   lint --explain RUSH-LNNN      print the documentation for one rule
   lint --list                   list rule codes and summaries
   bench-gate --baseline A.json --candidate B.json [--jobs N] [--factor F]
@@ -36,6 +36,13 @@ Commands:
                                 client p99 within S x (default 1.10,
                                 the log2-histogram's resolution) of
                                 that baseline
+  bench-gate --capacity --candidate B.json
+                                fail if, at the capacity ablation's
+                                highest revocation rate, RUSH's
+                                deadline-hit rate falls below the
+                                deterministic delta=0 planner's (reads
+                                the report's own gate object; the sim
+                                is seeded, so the check is exact)
 
 Exit codes: 0 = clean, 1 = findings/regression, 2 = usage error.
 ";
@@ -77,7 +84,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             }
             "--explain" => {
                 let Some(code) = args.get(i + 1) else {
-                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L013)");
+                    eprintln!("--explain needs a rule code (RUSH-L001..RUSH-L014)");
                     return ExitCode::from(2);
                 };
                 let Some(rule) = Rule::from_code(code) else {
@@ -132,6 +139,7 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
     let mut candidate: Option<PathBuf> = None;
     let mut sharded = false;
     let mut serve = false;
+    let mut capacity = false;
     let mut jobs: Option<u64> = None;
     let mut shards: u64 = 8;
     let mut factor: f64 = 2.0;
@@ -144,6 +152,7 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--sharded" => sharded = true,
             "--serve" => serve = true,
+            "--capacity" => capacity = true,
             "--min-conn-ratio" => match take(i).and_then(|v| v.parse().ok()) {
                 Some(f) => {
                     min_conn_ratio = f;
@@ -239,6 +248,38 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
             None
         }
     };
+    if capacity {
+        // Self-contained robustness check: the ablation report's own gate
+        // object carries both hit rates, no baseline file involved.
+        let Some(candidate) = candidate else {
+            eprintln!("bench-gate --capacity needs --candidate");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        let Some(cand_json) = read(&candidate) else {
+            return ExitCode::from(2);
+        };
+        return match xtask::bench_gate::capacity_gate(&cand_json) {
+            Ok(o) => {
+                println!(
+                    "bench-gate --capacity: at revocation rate {:.2} RUSH hits {:.4}, deterministic delta=0 hits {:.4} -> {}",
+                    o.revocation_rate,
+                    o.rush,
+                    o.deterministic,
+                    if o.pass { "PASS" } else { "FAIL" }
+                );
+                if o.pass {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate --capacity: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if serve {
         // Self-contained frontend-scaling check: the report's own
         // thread-frontend run is the reference, no baseline file involved.

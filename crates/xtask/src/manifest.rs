@@ -37,6 +37,10 @@ pub struct Manifest {
     /// `package.metadata.rush-lint.panic-free` — crate-relative source
     /// paths whose non-test functions RUSH-L013 requires to be panic-free.
     pub panic_free: Vec<String>,
+    /// `package.metadata.rush-lint.capacity-authority` — this crate owns a
+    /// capacity seam (planner event path or sim engine), so RUSH-L014 does
+    /// not fence its calls to the capacity mutators.
+    pub capacity_authority: bool,
 }
 
 fn unquote(v: &str) -> String {
@@ -97,6 +101,7 @@ pub fn parse_str(text: &str) -> Manifest {
                     "protocol-surfaces" => m.protocol_surfaces = parse_list(value),
                     "reactor-loops" => m.reactor_loops = parse_list(value),
                     "panic-free" => m.panic_free = parse_list(value),
+                    "capacity-authority" => m.capacity_authority = on,
                     _ => {}
                 }
             }
@@ -152,6 +157,7 @@ protocol-enums = ["Request", "Response"]
 protocol-surfaces = ["src/protocol.rs", "src/server.rs"]
 reactor-loops = ["Reactor::run", "Engine::drive"]
 panic-free = ["src/binary.rs"]
+capacity-authority = true
 "#,
         );
         assert_eq!(m.name, "rush-core");
@@ -166,6 +172,7 @@ panic-free = ["src/binary.rs"]
         assert_eq!(m.protocol_surfaces, ["src/protocol.rs", "src/server.rs"]);
         assert_eq!(m.reactor_loops, ["Reactor::run", "Engine::drive"]);
         assert_eq!(m.panic_free, ["src/binary.rs"]);
+        assert!(m.capacity_authority);
     }
 
     #[test]

@@ -153,6 +153,8 @@ pub struct FileModel {
     pub reactor_loops: Vec<String>,
     /// The crate's L013 panic-free files (crate-relative).
     pub panic_free: Vec<String>,
+    /// The crate owns a capacity seam (L014 exempts its mutator calls).
+    pub capacity_authority: bool,
     /// Library code (in `src/`, not a bin target).
     pub is_library: bool,
     /// Belongs to a vendored shim crate.
@@ -207,6 +209,7 @@ impl WorkspaceModel {
             protocol_surfaces: input.manifest.protocol_surfaces.clone(),
             reactor_loops: input.manifest.reactor_loops.clone(),
             panic_free: input.manifest.panic_free.clone(),
+            capacity_authority: input.manifest.capacity_authority,
             is_library: input.is_library(),
             is_shim: SHIM_NAMES.contains(&input.manifest.name.as_str()),
             lines: input.src.lines().map(str::to_string).collect(),

@@ -39,6 +39,10 @@ pub enum Rule {
     /// RUSH-L013 — reactor discipline (deep): no blocking call reachable
     /// from a declared reactor event loop; declared codec files panic-free.
     ReactorDiscipline,
+    /// RUSH-L014 — capacity fence (deep): cluster capacity is mutated only
+    /// by the crates that own it (the planner event path and the sim
+    /// engine); adapters route resizes through `PlannerEvent::CapacityChange`.
+    CapacityFence,
 }
 
 /// All rules, in code order.
@@ -56,6 +60,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::LockDiscipline,
     Rule::ProtocolExhaustiveness,
     Rule::ReactorDiscipline,
+    Rule::CapacityFence,
 ];
 
 /// The rules that only run under `cargo xtask lint --deep` (they need the
@@ -66,6 +71,7 @@ pub const DEEP_RULES: &[Rule] = &[
     Rule::LockDiscipline,
     Rule::ProtocolExhaustiveness,
     Rule::ReactorDiscipline,
+    Rule::CapacityFence,
 ];
 
 impl Rule {
@@ -85,6 +91,7 @@ impl Rule {
             Rule::LockDiscipline => "RUSH-L011",
             Rule::ProtocolExhaustiveness => "RUSH-L012",
             Rule::ReactorDiscipline => "RUSH-L013",
+            Rule::CapacityFence => "RUSH-L014",
         }
     }
 
@@ -110,6 +117,7 @@ impl Rule {
             Rule::LockDiscipline => "lock-order or held-across-I/O hazard",
             Rule::ProtocolExhaustiveness => "protocol enum variant not exhaustively handled",
             Rule::ReactorDiscipline => "blocking call or panic in reactor/codec hot path",
+            Rule::CapacityFence => "direct capacity mutation outside the planner event path",
         }
     }
 
@@ -371,6 +379,37 @@ impl Rule {
                  named `m` in the workspace), which is sound for reachability. Where\n\
                  that over-approximation misfires, rename the colliding function or\n\
                  justify the site:  // rush-lint: allow(RUSH-L013): <why>\n"
+            }
+            Rule::CapacityFence => {
+                "RUSH-L014: capacity fence (deep)\n\
+                 \n\
+                 Dynamic cluster capacity (tiered supply, spot revocation, restock)\n\
+                 flows through exactly one seam per layer: the simulator's typed\n\
+                 capacity-event queue mutates the free pool (`FreePool::revoke`/\n\
+                 `restore`), and the planner kernel resizes itself when\n\
+                 `PlannerEvent::CapacityChange` reaches `apply` — which re-splits the\n\
+                 shard slices, re-admits against the shrunk prefix capacity and feeds\n\
+                 the delta-peel divergence machinery. An adapter that calls\n\
+                 `set_capacity` (or the pool mutators) directly skips all of that:\n\
+                 admission keeps trusting a stale capacity, the rebalancer's slice\n\
+                 invariant (slices sum to C) silently breaks, and the replan does a\n\
+                 full rebuild instead of a delta patch.\n\
+                 \n\
+                 Crates that own a capacity seam declare it in their manifest:\n\
+                 [package.metadata.rush-lint]\n\
+                 capacity-authority = true   (rush-planner, rush-sim)\n\
+                 \n\
+                 This rule walks every parsed non-test library function in crates\n\
+                 *without* that declaration and flags any call to `set_capacity`,\n\
+                 `revoke` or `restore`. Resolution is name-based and deliberately\n\
+                 over-approximate, like RUSH-L009/L013: a `.set_capacity(..)` call on\n\
+                 a wire client is still reported, because at the lint's resolution it\n\
+                 is indistinguishable from a kernel mutation. Sanctioned adapters —\n\
+                 e.g. the serve dispatcher lowering a `set-capacity` request onto\n\
+                 `ServeState::set_capacity`, which itself applies\n\
+                 `PlannerEvent::CapacityChange` — justify the site with a pragma:\n\
+                 // rush-lint: allow(RUSH-L014): <why>\n\
+                 Tests, benches and binaries are exempt; so are the vendored shims.\n"
             }
         }
     }

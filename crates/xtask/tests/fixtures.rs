@@ -104,6 +104,22 @@ fn deep_corpus_flags_expected_sites() {
         "blocking in unreached code must stay silent: {:#?}",
         report.findings
     );
+    // L014: the direct resize and both free-pool mutators in the
+    // non-authority adapter; the pragma-justified dispatch and the
+    // test-gated probe stay silent.
+    assert!(has(Rule::CapacityFence, "capacity", "`set_capacity` called in `shortcut_resize`"));
+    assert!(has(Rule::CapacityFence, "capacity", "`revoke` called in `shortcut_resize`"));
+    assert!(has(Rule::CapacityFence, "capacity", "`restore` called in `shortcut_resize`"));
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::CapacityFence && f.file.contains("capacity"))
+            .count(),
+        3,
+        "pragma site + test probe exempt: {:#?}",
+        report.findings
+    );
 }
 
 #[test]
